@@ -1,0 +1,215 @@
+//! Hadoop-style weighted fair scheduling.
+//!
+//! The fair scheduler divides the cluster among all alive jobs in proportion
+//! to their weights, launching one copy per task and never speculating. The
+//! paper points out that SRPTMS+C with `ε = 1` reduces to exactly this
+//! policy; having an independent implementation lets the experiments check
+//! that equivalence and gives the detection-based baselines (Mantri, LATE) a
+//! realistic job-level allocator to sit on.
+
+use mapreduce_sim::{Action, ClusterState, JobState, Scheduler};
+use mapreduce_workload::Phase;
+
+/// Launches up to `budget` copies of unscheduled tasks, spreading machines
+/// across the given jobs in weighted max-min fashion.
+///
+/// Jobs repeatedly receive one machine each, picked as the job with the
+/// smallest `occupied / weight` ratio among those that still have a
+/// launchable task (map tasks first; reduce tasks only once the job's Map
+/// phase completed). Work-conserving: if some jobs cannot use their share the
+/// machines go to the others.
+///
+/// Returns the launch actions; used by [`FairScheduler`]. The detection-based
+/// baselines ([`Mantri`](crate::Mantri), [`Late`](crate::Late)) use
+/// [`fair_fill_unweighted`] instead, because those systems have no notion of
+/// per-job weights.
+pub fn fair_fill(jobs: &[&JobState], budget: usize) -> Vec<Action> {
+    fill(jobs, budget, true)
+}
+
+/// Same as [`fair_fill`] but ignoring job weights (every alive job gets an
+/// equal share), which is how Hadoop/Dryad schedule jobs underneath Mantri
+/// and LATE.
+pub fn fair_fill_unweighted(jobs: &[&JobState], budget: usize) -> Vec<Action> {
+    fill(jobs, budget, false)
+}
+
+fn fill(jobs: &[&JobState], mut budget: usize, weighted: bool) -> Vec<Action> {
+    let mut actions = Vec::new();
+    if budget == 0 || jobs.is_empty() {
+        return actions;
+    }
+    // Per-job launch cursors and dynamic occupancy.
+    struct Slot<'a> {
+        job: &'a JobState,
+        occupied: usize,
+        map_cursor: usize,
+        reduce_cursor: usize,
+    }
+    let mut slots: Vec<Slot<'_>> = jobs
+        .iter()
+        .map(|j| Slot {
+            job: j,
+            occupied: j.active_copies(),
+            map_cursor: 0,
+            reduce_cursor: 0,
+        })
+        .collect();
+
+    // Pre-collect unscheduled task ids per job so the cursors are stable.
+    let unscheduled: Vec<(Vec<_>, Vec<_>)> = jobs
+        .iter()
+        .map(|j| {
+            let maps: Vec<_> = j.unscheduled_tasks(Phase::Map).map(|t| t.id()).collect();
+            let reduces: Vec<_> = if j.map_phase_complete() {
+                j.unscheduled_tasks(Phase::Reduce).map(|t| t.id()).collect()
+            } else {
+                Vec::new()
+            };
+            (maps, reduces)
+        })
+        .collect();
+
+    while budget > 0 {
+        // Pick the job with the smallest occupied/weight that can still
+        // launch something.
+        let mut best: Option<(f64, usize)> = None;
+        for (idx, slot) in slots.iter().enumerate() {
+            let (maps, reduces) = &unscheduled[idx];
+            let has_work = slot.map_cursor < maps.len() || slot.reduce_cursor < reduces.len();
+            if !has_work {
+                continue;
+            }
+            let weight = if weighted { slot.job.weight() } else { 1.0 };
+            let ratio = slot.occupied as f64 / weight;
+            match best {
+                Some((best_ratio, _)) if ratio >= best_ratio => {}
+                _ => best = Some((ratio, idx)),
+            }
+        }
+        let Some((_, idx)) = best else { break };
+        let (maps, reduces) = &unscheduled[idx];
+        let slot = &mut slots[idx];
+        let task = if slot.map_cursor < maps.len() {
+            let t = maps[slot.map_cursor];
+            slot.map_cursor += 1;
+            t
+        } else {
+            let t = reduces[slot.reduce_cursor];
+            slot.reduce_cursor += 1;
+            t
+        };
+        actions.push(Action::Launch { task, copies: 1 });
+        slot.occupied += 1;
+        budget -= 1;
+    }
+    actions
+}
+
+/// Hadoop's weighted fair scheduler: no speculation, no cloning.
+#[derive(Debug, Default, Clone)]
+pub struct FairScheduler {
+    _private: (),
+}
+
+impl FairScheduler {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        FairScheduler::default()
+    }
+}
+
+impl Scheduler for FairScheduler {
+    fn name(&self) -> &str {
+        "fair"
+    }
+
+    fn schedule(&mut self, state: &ClusterState<'_>) -> Vec<Action> {
+        let jobs: Vec<&JobState> = state.alive_jobs().collect();
+        fair_fill(&jobs, state.available_machines())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapreduce_sim::{SimConfig, Simulation};
+    use mapreduce_workload::{JobId, JobSpecBuilder, Trace, WorkloadBuilder};
+
+    #[test]
+    fn completes_every_job() {
+        let trace = WorkloadBuilder::new()
+            .num_jobs(30)
+            .map_tasks_per_job(1, 5)
+            .reduce_tasks_per_job(0, 2)
+            .weights(&[1.0, 3.0])
+            .build(1);
+        let outcome = Simulation::new(SimConfig::new(8), &trace)
+            .run(&mut FairScheduler::new())
+            .unwrap();
+        assert_eq!(outcome.records().len(), 30);
+        // No speculation: exactly one copy per task.
+        let tasks: usize = outcome.records().iter().map(|r| r.num_tasks()).sum();
+        assert_eq!(outcome.total_copies, tasks);
+    }
+
+    #[test]
+    fn weights_bias_the_allocation() {
+        // Two identical jobs, one with 4× the weight, one machine-starved
+        // cluster: the heavy job should finish first.
+        let heavy = JobSpecBuilder::new(JobId::new(0))
+            .weight(4.0)
+            .map_tasks_from_workloads(&vec![50.0; 8])
+            .build();
+        let light = JobSpecBuilder::new(JobId::new(1))
+            .weight(1.0)
+            .map_tasks_from_workloads(&vec![50.0; 8])
+            .build();
+        let trace = Trace::new(vec![heavy, light]).unwrap();
+        let outcome = Simulation::new(SimConfig::new(5), &trace)
+            .run(&mut FairScheduler::new())
+            .unwrap();
+        let heavy_rec = outcome.record(JobId::new(0)).unwrap();
+        let light_rec = outcome.record(JobId::new(1)).unwrap();
+        assert!(heavy_rec.completion < light_rec.completion);
+    }
+
+    #[test]
+    fn fair_fill_respects_budget() {
+        let specs: Vec<_> = (0..3)
+            .map(|i| {
+                JobSpecBuilder::new(JobId::new(i))
+                    .map_tasks_from_workloads(&[10.0, 10.0, 10.0])
+                    .build()
+            })
+            .collect();
+        let mut states: Vec<JobState> = specs.into_iter().map(JobState::new).collect();
+        for s in &mut states {
+            // mark arrived through the public API: JobState::new starts
+            // un-arrived but fair_fill does not check arrival, only tasks.
+            let _ = s;
+        }
+        let refs: Vec<&JobState> = states.iter().collect();
+        let actions = fair_fill(&refs, 5);
+        assert_eq!(actions.len(), 5);
+        // The 5 launches are spread across the three jobs (2/2/1).
+        let mut per_job = [0usize; 3];
+        for a in &actions {
+            if let Action::Launch { task, .. } = a {
+                per_job[task.job.as_usize()] += 1;
+            }
+        }
+        per_job.sort_unstable();
+        assert_eq!(per_job, [1, 2, 2]);
+    }
+
+    #[test]
+    fn fair_fill_empty_inputs() {
+        assert!(fair_fill(&[], 10).is_empty());
+        let spec = JobSpecBuilder::new(JobId::new(0))
+            .map_tasks_from_workloads(&[1.0])
+            .build();
+        let state = JobState::new(spec);
+        assert!(fair_fill(&[&state], 0).is_empty());
+    }
+}

@@ -1,0 +1,324 @@
+//! Microsoft Mantri's resource-aware speculative execution ([4] in the
+//! paper).
+//!
+//! Mantri monitors the progress of every running task, estimates its
+//! remaining time `t_rem` and the time `t_new` a freshly restarted copy would
+//! need, and — when a machine is available — launches a duplicate of a task
+//! whenever `P(t_rem > 2·t_new) > δ`. The intuition is that a duplicate is
+//! only worth its machine if it roughly halves the expected completion of the
+//! task.
+//!
+//! This implementation follows that decision rule with the information the
+//! simulator exposes:
+//!
+//! * `t_rem` comes from the task's progress (the per-copy progress score a
+//!   MapReduce system reports; in the simulator the derived estimate is
+//!   exact, which if anything *flatters* Mantri),
+//! * `t_new` is the average duration of the task's phase observed so far from
+//!   the job's completed tasks, falling back to the phase mean from the job's
+//!   statistics when nothing has completed yet,
+//! * `δ` is folded into a configurable slack factor on the `2×` threshold,
+//! * at most one backup copy per task ([4] caps outstanding duplicates), and
+//!   backups are only launched when machines are idle (resource awareness).
+//!
+//! Job-level allocation (which job's tasks get free machines first) uses the
+//! same weighted fair sharing as Hadoop's fair scheduler, which is how Mantri
+//! is deployed in practice. The fundamental limitation the paper exploits is
+//! visible directly in the code: a straggler can only be detected after its
+//! task has run long enough to produce progress samples, which is too late
+//! for small jobs.
+
+use crate::fair::fair_fill_unweighted;
+use mapreduce_sim::{Action, ClusterState, JobState, Scheduler, Slot, TaskState};
+use mapreduce_workload::Phase;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the [`Mantri`] baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MantriConfig {
+    /// A duplicate is launched when `t_rem > threshold_factor · t_new`.
+    /// Mantri's published rule uses 2.0.
+    pub threshold_factor: f64,
+    /// Minimum elapsed running time (slots) before a task may be judged a
+    /// straggler; avoids reacting to tasks that have barely started.
+    pub min_elapsed_for_detection: Slot,
+    /// Maximum total copies per task (original + duplicates).
+    pub max_copies_per_task: usize,
+    /// How often (in slots) the detector re-examines running tasks.
+    pub detection_interval: Slot,
+}
+
+impl Default for MantriConfig {
+    fn default() -> Self {
+        MantriConfig {
+            threshold_factor: 2.0,
+            // A task only becomes a speculation candidate after it has run
+            // long enough for its progress rate to be trustworthy. Hadoop's
+            // speculative execution uses a 60 s lag; Mantri reacts earlier,
+            // so we use 30 s. This is exactly the "detection may be too late
+            // for helping small jobs" limitation the paper exploits.
+            min_elapsed_for_detection: 30,
+            max_copies_per_task: 2,
+            detection_interval: 5,
+        }
+    }
+}
+
+impl MantriConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    /// Panics if the threshold is not positive, the copy cap is below 2, or
+    /// the detection interval is zero.
+    pub fn validate(&self) {
+        assert!(
+            self.threshold_factor > 0.0,
+            "threshold factor must be positive"
+        );
+        assert!(
+            self.max_copies_per_task >= 2,
+            "Mantri needs at least 2 copies per task to ever speculate"
+        );
+        assert!(self.detection_interval >= 1, "detection interval must be >= 1");
+    }
+}
+
+/// The Mantri speculative-execution baseline.
+#[derive(Debug, Clone)]
+pub struct Mantri {
+    config: MantriConfig,
+}
+
+impl Mantri {
+    /// Creates Mantri with the published default parameters.
+    pub fn new() -> Self {
+        Self::with_config(MantriConfig::default())
+    }
+
+    /// Creates Mantri with a custom configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid.
+    pub fn with_config(config: MantriConfig) -> Self {
+        config.validate();
+        Mantri { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MantriConfig {
+        &self.config
+    }
+
+    /// Mantri's estimate of the time a restarted copy of a task in `phase` of
+    /// `job` would take: the mean duration of already-completed tasks of that
+    /// phase, or the phase's a-priori mean if none completed yet.
+    fn estimate_t_new(job: &JobState, phase: Phase) -> f64 {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for task in job.tasks(phase) {
+            if let (Some(first), Some(done)) = (task.first_launched_at(), task.finished_at()) {
+                sum += done.saturating_sub(first) as f64;
+                count += 1;
+            }
+        }
+        if count > 0 {
+            sum / count as f64
+        } else {
+            job.spec().stats(phase).mean
+        }
+    }
+
+    /// Collects duplicate launches for running stragglers of one job, ordered
+    /// by how much remaining time they have (worst first).
+    fn straggler_candidates(&self, job: &JobState, now: Slot) -> Vec<(Slot, Action)> {
+        let mut candidates = Vec::new();
+        for phase in [Phase::Map, Phase::Reduce] {
+            let t_new = Self::estimate_t_new(job, phase);
+            for task in job.running_tasks(phase) {
+                if !self.is_straggler(task, t_new, now) {
+                    continue;
+                }
+                let t_rem = task.min_remaining(now).unwrap_or(0);
+                candidates.push((
+                    t_rem,
+                    Action::Launch {
+                        task: task.id(),
+                        copies: 1,
+                    },
+                ));
+            }
+        }
+        candidates
+    }
+
+    fn is_straggler(&self, task: &TaskState, t_new: f64, now: Slot) -> bool {
+        if task.active_copies() >= self.config.max_copies_per_task {
+            return false;
+        }
+        if task.oldest_active_elapsed(now) < self.config.min_elapsed_for_detection {
+            return false;
+        }
+        let Some(t_rem) = task.min_remaining(now) else {
+            return false;
+        };
+        t_rem as f64 > self.config.threshold_factor * t_new
+    }
+}
+
+impl Default for Mantri {
+    fn default() -> Self {
+        Mantri::new()
+    }
+}
+
+impl Scheduler for Mantri {
+    fn name(&self) -> &str {
+        "mantri"
+    }
+
+    fn wakeup_interval(&self) -> Option<Slot> {
+        Some(self.config.detection_interval)
+    }
+
+    fn schedule(&mut self, state: &ClusterState<'_>) -> Vec<Action> {
+        let mut budget = state.available_machines();
+        if budget == 0 {
+            return Vec::new();
+        }
+        // 1. Regular work first (Mantri only uses *spare* machines for
+        //    duplicates): equal-share fair scheduling across alive jobs —
+        //    Mantri sits on the cluster's stock job scheduler, which knows
+        //    nothing about the trace's priority weights.
+        let jobs: Vec<&JobState> = state.alive_jobs().collect();
+        let mut actions = fair_fill_unweighted(&jobs, budget);
+        let launched = actions.len();
+        budget -= launched.min(budget);
+        if budget == 0 {
+            return actions;
+        }
+
+        // 2. Spend leftover machines on duplicates of detected stragglers,
+        //    worst (largest remaining time) first.
+        let mut candidates: Vec<(Slot, Action)> = Vec::new();
+        for job in &jobs {
+            candidates.extend(self.straggler_candidates(job, state.now()));
+        }
+        candidates.sort_by(|a, b| b.0.cmp(&a.0));
+        for (_, action) in candidates.into_iter().take(budget) {
+            actions.push(action);
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapreduce_sim::{SimConfig, Simulation, StragglerModel};
+    use mapreduce_workload::{DurationDistribution, JobId, JobSpecBuilder, PhaseStats, Trace, WorkloadBuilder};
+
+    #[test]
+    fn completes_ordinary_workloads() {
+        let trace = WorkloadBuilder::new()
+            .num_jobs(25)
+            .map_tasks_per_job(1, 6)
+            .reduce_tasks_per_job(0, 2)
+            .build(8);
+        let outcome = Simulation::new(SimConfig::new(8).with_seed(1), &trace)
+            .run(&mut Mantri::new())
+            .unwrap();
+        assert_eq!(outcome.records().len(), 25);
+    }
+
+    #[test]
+    fn duplicates_a_clear_straggler() {
+        // One job, two map tasks: one normal (20 s), one straggling (400 s),
+        // with a short-mean resampling distribution so the duplicate rescues
+        // it. A second machine is free for the duplicate.
+        let dist = DurationDistribution::Deterministic { value: 20.0 };
+        let job = JobSpecBuilder::new(JobId::new(0))
+            .map_tasks_from_workloads(&[20.0, 400.0])
+            .map_stats(PhaseStats::new(20.0, 5.0))
+            .map_distribution(dist)
+            .build();
+        let trace = Trace::new(vec![job]).unwrap();
+        let outcome = Simulation::new(SimConfig::new(3).with_seed(2), &trace)
+            .run(&mut Mantri::new())
+            .unwrap();
+        let record = outcome.record(JobId::new(0)).unwrap();
+        // Without speculation the job would take 400 slots; with Mantri the
+        // duplicate (20 slots, launched once the straggler is detected)
+        // finishes long before that.
+        assert!(
+            record.completion < 200,
+            "straggler not rescued: completion {}",
+            record.completion
+        );
+        assert!(record.copies_launched > record.num_tasks());
+    }
+
+    #[test]
+    fn speculation_beats_no_speculation_with_machine_stragglers() {
+        let trace = WorkloadBuilder::new()
+            .num_jobs(20)
+            .map_tasks_per_job(2, 5)
+            .reduce_tasks_per_job(1, 1)
+            .map_duration(DurationDistribution::TruncatedNormal {
+                mean: 50.0,
+                std_dev: 10.0,
+                min: 10.0,
+            })
+            .build(5);
+        let straggling = StragglerModel::MachineSlowdown {
+            probability: 0.15,
+            factor: 6.0,
+        };
+        let cfg = SimConfig::new(16).with_seed(7).with_straggler_model(straggling);
+        let fair = Simulation::new(cfg.clone(), &trace)
+            .run(&mut crate::FairScheduler::new())
+            .unwrap();
+        let mantri = Simulation::new(cfg, &trace).run(&mut Mantri::new()).unwrap();
+        assert!(
+            mantri.mean_flowtime() < fair.mean_flowtime(),
+            "Mantri {} should beat Fair {} when machines straggle",
+            mantri.mean_flowtime(),
+            fair.mean_flowtime()
+        );
+    }
+
+    #[test]
+    fn respects_copy_cap() {
+        let job = JobSpecBuilder::new(JobId::new(0))
+            .map_tasks_from_workloads(&[500.0])
+            .map_stats(PhaseStats::new(20.0, 5.0))
+            .map_distribution(DurationDistribution::Deterministic { value: 500.0 })
+            .build();
+        let trace = Trace::new(vec![job]).unwrap();
+        let outcome = Simulation::new(SimConfig::new(10).with_seed(3), &trace)
+            .run(&mut Mantri::new())
+            .unwrap();
+        // Cap is 2 copies per task.
+        assert!(outcome.total_copies <= 2);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(std::panic::catch_unwind(|| {
+            Mantri::with_config(MantriConfig {
+                threshold_factor: 0.0,
+                ..MantriConfig::default()
+            })
+        })
+        .is_err());
+        assert!(std::panic::catch_unwind(|| {
+            Mantri::with_config(MantriConfig {
+                max_copies_per_task: 1,
+                ..MantriConfig::default()
+            })
+        })
+        .is_err());
+        assert_eq!(Mantri::new().config().threshold_factor, 2.0);
+        assert_eq!(Mantri::new().name(), "mantri");
+        assert_eq!(Mantri::default().wakeup_interval(), Some(5));
+    }
+}

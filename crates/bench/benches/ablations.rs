@@ -1,0 +1,46 @@
+//! Ablation bench: how much each design ingredient of SRPTMS+C contributes
+//! (cloning, the rσ pessimism term, the ε-fraction sharing), plus the raw
+//! scheduler-overhead microbenchmark (cost of one `schedule()` pass).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mapreduce_bench::bench_scenario;
+use mapreduce_experiments::{ablation, run_scheduler, SchedulerKind};
+use std::hint::black_box;
+
+fn bench_ablations(c: &mut Criterion) {
+    let scenario = bench_scenario();
+    let rows = ablation::run(&scenario);
+    println!("{}", ablation::render(&rows));
+
+    let trace = scenario.trace(scenario.seeds[0]);
+    let mut group = c.benchmark_group("ablation_variants");
+    let variants = [
+        ("full", SchedulerKind::paper_default()),
+        (
+            "no-cloning",
+            SchedulerKind::SrptMsNoCloning {
+                epsilon: 0.6,
+                r: 3.0,
+            },
+        ),
+        ("no-sharing", SchedulerKind::SrptNoClone { r: 3.0 }),
+        ("fair", SchedulerKind::Fair),
+    ];
+    for (label, kind) in variants {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &kind, |b, &kind| {
+            b.iter(|| {
+                let outcome =
+                    run_scheduler(kind, black_box(&trace), scenario.machines, scenario.seeds[0]);
+                black_box(outcome.weighted_mean_flowtime())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ablations
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Fig. 1 bench: the ε sweep of SRPTMS+C (r = 0). One benchmark per ε value
+//! plus a whole-sweep measurement; the regenerated table is printed once.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mapreduce_bench::sweep_scenario;
+use mapreduce_experiments::{fig1, run_scheduler, SchedulerKind};
+use std::hint::black_box;
+
+fn bench_fig1(c: &mut Criterion) {
+    let scenario = sweep_scenario();
+    let rows = fig1::run(&scenario, &fig1::paper_epsilons());
+    println!("{}", fig1::render(&rows));
+    if let Some(best) = fig1::best_epsilon(&rows) {
+        println!("best epsilon: {best:.1} (paper: 0.6)\n");
+    }
+
+    let trace = scenario.trace(scenario.seeds[0]);
+    let mut group = c.benchmark_group("fig1_epsilon");
+    for epsilon in [0.2, 0.6, 1.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(epsilon),
+            &epsilon,
+            |b, &epsilon| {
+                b.iter(|| {
+                    let outcome = run_scheduler(
+                        SchedulerKind::SrptMsC { epsilon, r: 0.0 },
+                        black_box(&trace),
+                        scenario.machines,
+                        scenario.seeds[0],
+                    );
+                    black_box(outcome.mean_flowtime())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig1
+}
+criterion_main!(benches);

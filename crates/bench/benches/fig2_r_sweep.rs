@@ -1,0 +1,40 @@
+//! Fig. 2 bench: the pessimism-factor (r) sweep of SRPTMS+C at ε = 0.6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mapreduce_bench::sweep_scenario;
+use mapreduce_experiments::{fig2, run_scheduler, SchedulerKind};
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    let scenario = sweep_scenario();
+    let rows = fig2::run(&scenario, &fig2::paper_rs());
+    println!("{}", fig2::render(&rows));
+    println!(
+        "relative spread across r: {:.1} % (paper: small)\n",
+        fig2::relative_spread(&rows) * 100.0
+    );
+
+    let trace = scenario.trace(scenario.seeds[0]);
+    let mut group = c.benchmark_group("fig2_r");
+    for r in [0.0, 3.0, 8.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
+            b.iter(|| {
+                let outcome = run_scheduler(
+                    SchedulerKind::SrptMsC { epsilon: 0.6, r },
+                    black_box(&trace),
+                    scenario.machines,
+                    scenario.seeds[0],
+                );
+                black_box(outcome.weighted_mean_flowtime())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig2
+}
+criterion_main!(benches);

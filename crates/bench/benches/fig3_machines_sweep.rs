@@ -1,0 +1,44 @@
+//! Fig. 3 bench: SRPTMS+C (ε = 0.6, r = 3) across cluster sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mapreduce_bench::sweep_scenario;
+use mapreduce_experiments::{fig3, run_scheduler, SchedulerKind};
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    let scenario = sweep_scenario();
+    let rows = fig3::run(&scenario, &fig3::paper_fractions());
+    println!("{}", fig3::render(&rows));
+
+    let trace = scenario.trace(scenario.seeds[0]);
+    let mut group = c.benchmark_group("fig3_machines");
+    for fraction in [0.5, 0.75, 1.0] {
+        let machines = ((scenario.machines as f64 * fraction) as usize).max(1);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(machines),
+            &machines,
+            |b, &machines| {
+                b.iter(|| {
+                    let outcome = run_scheduler(
+                        SchedulerKind::SrptMsC {
+                            epsilon: 0.6,
+                            r: 3.0,
+                        },
+                        black_box(&trace),
+                        machines,
+                        scenario.seeds[0],
+                    );
+                    black_box(outcome.mean_flowtime())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig3
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Fig. 4 bench: small-job (0–300 s) flowtime CDF for SRPTMS+C vs SCA vs
+//! Mantri. The regenerated series is printed once; the measured benchmark is
+//! one full simulation + CDF extraction per scheduler.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mapreduce_bench::bench_scenario;
+use mapreduce_experiments::{fig4, run_scheduler, SchedulerKind};
+use mapreduce_metrics::Ecdf;
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let scenario = bench_scenario();
+    let comparison = fig4::run(&scenario);
+    println!(
+        "{}",
+        fig4::render(
+            &comparison,
+            "Fig. 4 — cumulative fraction of jobs vs flowtime (0–300 s window)"
+        )
+    );
+
+    let trace = scenario.trace(scenario.seeds[0]);
+    let mut group = c.benchmark_group("fig4_small_job_cdf");
+    for kind in SchedulerKind::paper_comparison() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let outcome =
+                        run_scheduler(kind, black_box(&trace), scenario.machines, scenario.seeds[0]);
+                    let cdf = Ecdf::from_outcome(&outcome);
+                    black_box(cdf.fraction_at_or_below(100.0))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig4
+}
+criterion_main!(benches);

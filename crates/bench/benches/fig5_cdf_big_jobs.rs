@@ -1,0 +1,39 @@
+//! Fig. 5 bench: big-job (300–4000 s) flowtime CDF for SRPTMS+C vs SCA vs
+//! Mantri.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mapreduce_bench::bench_scenario;
+use mapreduce_experiments::{fig5, run_scheduler, SchedulerKind};
+use mapreduce_metrics::Ecdf;
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let scenario = bench_scenario();
+    let comparison = fig5::run(&scenario);
+    println!("{}", fig5::render(&comparison));
+
+    let trace = scenario.trace(scenario.seeds[0]);
+    let mut group = c.benchmark_group("fig5_big_job_cdf");
+    for kind in SchedulerKind::paper_comparison() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let outcome =
+                        run_scheduler(kind, black_box(&trace), scenario.machines, scenario.seeds[0]);
+                    let cdf = Ecdf::from_outcome(&outcome);
+                    black_box(cdf.fraction_at_or_below(1000.0))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig5
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Fig. 6 bench: weighted/unweighted average flowtime of SRPTMS+C, SCA and
+//! Mantri on the same trace, including the improvement-over-Mantri headline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mapreduce_bench::bench_scenario;
+use mapreduce_experiments::{fig6, run_scheduler, SchedulerKind};
+use std::hint::black_box;
+
+fn bench_fig6(c: &mut Criterion) {
+    let scenario = bench_scenario();
+    let result = fig6::run(&scenario);
+    println!("{}", fig6::render(&result));
+
+    let trace = scenario.trace(scenario.seeds[0]);
+    let mut group = c.benchmark_group("fig6_comparison");
+    for kind in SchedulerKind::paper_comparison() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let outcome =
+                        run_scheduler(kind, black_box(&trace), scenario.machines, scenario.seeds[0]);
+                    black_box((outcome.mean_flowtime(), outcome.weighted_mean_flowtime()))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig6
+}
+criterion_main!(benches);

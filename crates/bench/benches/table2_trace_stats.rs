@@ -1,0 +1,33 @@
+//! Table II bench: generating the Google-like trace and computing its
+//! statistics. Also prints the regenerated table once so `cargo bench`
+//! output contains the paper-vs-measured comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mapreduce_bench::bench_scenario;
+use mapreduce_experiments::table2;
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let scenario = bench_scenario();
+    // Print the regenerated artefact once.
+    println!("{}", table2::render(&table2::run(&scenario)));
+
+    c.bench_function("table2/generate_trace_and_stats", |b| {
+        b.iter(|| {
+            let stats = table2::run(black_box(&scenario));
+            black_box(stats)
+        })
+    });
+
+    let trace = scenario.trace(scenario.seeds[0]);
+    c.bench_function("table2/stats_only", |b| {
+        b.iter(|| black_box(trace.stats()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table2
+}
+criterion_main!(benches);

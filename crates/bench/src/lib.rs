@@ -1,0 +1,37 @@
+//! Benchmark support crate.
+//!
+//! The actual Criterion benchmarks live in `benches/`, one file per table or
+//! figure of the paper (see DESIGN.md §4 and EXPERIMENTS.md). This library
+//! only hosts the shared scenario used by every bench so that all benchmarks
+//! measure the same workload.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mapreduce_experiments::Scenario;
+
+/// The scenario every benchmark runs: a scaled-down Google-like trace
+/// (300 jobs, ~590 machines, single seed) that preserves the paper's
+/// jobs-per-machine ratio while keeping a single simulation run in the
+/// tens-of-milliseconds range so Criterion can repeat it.
+pub fn bench_scenario() -> Scenario {
+    Scenario::bench()
+}
+
+/// A smaller scenario for the more expensive sweeps (Fig. 1–3), where one
+/// benchmark iteration runs the full parameter sweep.
+pub fn sweep_scenario() -> Scenario {
+    Scenario::scaled(150, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_are_consistent() {
+        assert_eq!(bench_scenario().profile.num_jobs, 300);
+        assert_eq!(sweep_scenario().profile.num_jobs, 150);
+        assert_eq!(bench_scenario().seeds.len(), 1);
+    }
+}

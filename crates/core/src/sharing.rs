@@ -1,0 +1,268 @@
+//! The ε-fraction machine-sharing rule of SRPTMS+C (Section V-A).
+//!
+//! At every slot the alive jobs with unscheduled tasks are ranked by
+//! `w_i / U_i(l)`. The machines are then shared, in proportion to their
+//! weights, among the *highest-priority* jobs whose weights make up an ε
+//! fraction of the total alive weight `W(l)`:
+//!
+//! ```text
+//!            ⎧ w_i·M / (ε·W(l))                        if W_i(l) − w_i ≥ (1−ε)·W(l)
+//! g_i(l) =   ⎨ 0                                        if W_i(l) < (1−ε)·W(l)
+//!            ⎩ (W_i(l) − (1−ε)·W(l))·M / (ε·W(l))       otherwise
+//! ```
+//!
+//! where `W_i(l)` is the cumulative weight of all jobs with priority *lower
+//! than or equal to* job `i` (the set `ψ^s_i(l)` of the paper, which includes
+//! `J_i` itself). The fractional shares always sum to `M`; the engine needs
+//! integers, so [`epsilon_fraction_shares`] also performs a deterministic
+//! largest-remainder rounding that preserves the sum.
+//!
+//! Setting `ε = 1` recovers Hadoop's fair scheduler (all alive jobs share the
+//! cluster in proportion to weight); `ε → 0` degenerates to pure SRPT (only
+//! the single most urgent job runs).
+
+use mapreduce_workload::JobId;
+use serde::{Deserialize, Serialize};
+
+/// The machine share assigned to one job by the ε-fraction rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineShare {
+    /// The job this share belongs to.
+    pub job: JobId,
+    /// The exact fractional share `g_i(l)`.
+    pub fractional: f64,
+    /// The integer share after largest-remainder rounding (sums to `M` across
+    /// all jobs).
+    pub machines: usize,
+}
+
+/// Computes the ε-fraction shares for jobs already sorted by *decreasing*
+/// priority.
+///
+/// `jobs` is the priority-ordered list of `(job id, weight)` pairs of the
+/// alive jobs with unscheduled tasks (`ψ^s(l)`); `total_machines` is `M`.
+///
+/// Returns one [`MachineShare`] per input job, in the same order.
+///
+/// # Panics
+/// Panics if `epsilon` is not in `(0, 1]` or any weight is not positive.
+pub fn epsilon_fraction_shares(
+    jobs: &[(JobId, f64)],
+    total_machines: usize,
+    epsilon: f64,
+) -> Vec<MachineShare> {
+    assert!(
+        epsilon > 0.0 && epsilon <= 1.0,
+        "epsilon must be in (0, 1], got {epsilon}"
+    );
+    assert!(
+        jobs.iter().all(|(_, w)| *w > 0.0),
+        "job weights must be positive"
+    );
+    if jobs.is_empty() || total_machines == 0 {
+        return jobs
+            .iter()
+            .map(|&(job, _)| MachineShare {
+                job,
+                fractional: 0.0,
+                machines: 0,
+            })
+            .collect();
+    }
+
+    let total_weight: f64 = jobs.iter().map(|(_, w)| w).sum();
+    let m = total_machines as f64;
+    let threshold = (1.0 - epsilon) * total_weight;
+
+    // W_i(l): cumulative weight of jobs with priority <= job i (including i).
+    // Jobs are sorted by decreasing priority, so this is the weight of the
+    // suffix starting at i.
+    let mut suffix_weight = total_weight;
+    let mut shares = Vec::with_capacity(jobs.len());
+    for &(job, weight) in jobs {
+        let w_i = suffix_weight;
+        let fractional = if w_i - weight >= threshold {
+            weight * m / (epsilon * total_weight)
+        } else if w_i < threshold {
+            0.0
+        } else {
+            (w_i - threshold) * m / (epsilon * total_weight)
+        };
+        shares.push(MachineShare {
+            job,
+            fractional,
+            machines: 0,
+        });
+        suffix_weight -= weight;
+    }
+
+    largest_remainder_round(&mut shares, total_machines);
+    shares
+}
+
+/// Rounds fractional shares to integers that sum to `total_machines`, by
+/// flooring every share and then handing the remaining machines to the
+/// largest fractional remainders (ties broken by position, i.e. by priority).
+fn largest_remainder_round(shares: &mut [MachineShare], total_machines: usize) {
+    let mut assigned = 0usize;
+    let mut remainders: Vec<(f64, usize)> = Vec::with_capacity(shares.len());
+    for (idx, share) in shares.iter_mut().enumerate() {
+        let floor = share.fractional.floor() as usize;
+        share.machines = floor;
+        assigned += floor;
+        remainders.push((share.fractional - floor as f64, idx));
+    }
+    let mut leftover = total_machines.saturating_sub(assigned);
+    // Sort by remainder descending, position ascending.
+    remainders.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.1.cmp(&b.1))
+    });
+    for (rem, idx) in remainders {
+        if leftover == 0 {
+            break;
+        }
+        // Only top up jobs that actually participate in the sharing (have a
+        // positive fractional share); purely zero-share jobs stay at zero.
+        if rem > 0.0 || shares[idx].fractional > 0.0 {
+            shares[idx].machines += 1;
+            leftover -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ids(n: usize) -> Vec<JobId> {
+        (0..n as u64).map(JobId::new).collect()
+    }
+
+    #[test]
+    fn epsilon_one_is_weighted_fair_sharing() {
+        let jobs: Vec<(JobId, f64)> = ids(3).into_iter().zip([1.0, 2.0, 1.0]).collect();
+        let shares = epsilon_fraction_shares(&jobs, 8, 1.0);
+        // With ε = 1 every job participates in proportion to weight: 2, 4, 2.
+        let fractional: Vec<f64> = shares.iter().map(|s| s.fractional).collect();
+        assert!((fractional[0] - 2.0).abs() < 1e-9);
+        assert!((fractional[1] - 4.0).abs() < 1e-9);
+        assert!((fractional[2] - 2.0).abs() < 1e-9);
+        let total: usize = shares.iter().map(|s| s.machines).sum();
+        assert_eq!(total, 8);
+    }
+
+    #[test]
+    fn small_epsilon_concentrates_on_top_priority_job() {
+        let jobs: Vec<(JobId, f64)> = ids(4).into_iter().zip([1.0, 1.0, 1.0, 1.0]).collect();
+        let shares = epsilon_fraction_shares(&jobs, 100, 0.25);
+        // ε share of weight = 1.0 = exactly the first job's weight: the top
+        // job takes everything.
+        assert!((shares[0].fractional - 100.0).abs() < 1e-9);
+        for s in &shares[1..] {
+            assert_eq!(s.fractional, 0.0);
+            assert_eq!(s.machines, 0);
+        }
+        assert_eq!(shares[0].machines, 100);
+    }
+
+    #[test]
+    fn partial_job_straddling_the_threshold_gets_partial_share() {
+        // Three unit-weight jobs, ε = 0.5 → threshold = 1.5. The top job has
+        // W_1 - w_1 = 2 ≥ 1.5 → full share; the second has W_2 = 2 ≥ 1.5 but
+        // W_2 - w_2 = 1 < 1.5 → partial share (2 - 1.5) = 0.5 of a weight
+        // unit; the third has W_3 = 1 < 1.5 → nothing.
+        let jobs: Vec<(JobId, f64)> = ids(3).into_iter().zip([1.0, 1.0, 1.0]).collect();
+        let shares = epsilon_fraction_shares(&jobs, 12, 0.5);
+        assert!((shares[0].fractional - 8.0).abs() < 1e-9); // 1·12/(0.5·3)
+        assert!((shares[1].fractional - 4.0).abs() < 1e-9); // 0.5·12/(0.5·3)
+        assert_eq!(shares[2].fractional, 0.0);
+        let total: usize = shares.iter().map(|s| s.machines).sum();
+        assert_eq!(total, 12);
+    }
+
+    #[test]
+    fn shares_sum_to_m_after_rounding() {
+        let jobs: Vec<(JobId, f64)> = ids(7)
+            .into_iter()
+            .zip([3.0, 1.0, 2.5, 1.0, 4.0, 0.5, 2.0])
+            .collect();
+        for m in [1usize, 3, 10, 97] {
+            for eps in [0.2, 0.5, 0.6, 0.9, 1.0] {
+                let shares = epsilon_fraction_shares(&jobs, m, eps);
+                let frac_sum: f64 = shares.iter().map(|s| s.fractional).sum();
+                assert!(
+                    (frac_sum - m as f64).abs() < 1e-6,
+                    "fractional shares sum {frac_sum} != {m} at eps {eps}"
+                );
+                let int_sum: usize = shares.iter().map(|s| s.machines).sum();
+                assert_eq!(int_sum, m, "integer shares must sum to M");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_machines_or_no_jobs() {
+        let jobs: Vec<(JobId, f64)> = ids(2).into_iter().zip([1.0, 1.0]).collect();
+        let shares = epsilon_fraction_shares(&jobs, 0, 0.5);
+        assert!(shares.iter().all(|s| s.machines == 0));
+        let empty = epsilon_fraction_shares(&[], 10, 0.5);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn higher_priority_jobs_never_get_less_share_per_weight() {
+        let jobs: Vec<(JobId, f64)> = ids(5)
+            .into_iter()
+            .zip([2.0, 1.0, 3.0, 1.0, 1.0])
+            .collect();
+        let shares = epsilon_fraction_shares(&jobs, 40, 0.6);
+        let per_weight: Vec<f64> = shares
+            .iter()
+            .zip(&jobs)
+            .map(|(s, (_, w))| s.fractional / w)
+            .collect();
+        for pair in per_weight.windows(2) {
+            assert!(pair[0] + 1e-9 >= pair[1], "share per weight must be non-increasing");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be in")]
+    fn zero_epsilon_rejected() {
+        epsilon_fraction_shares(&[(JobId::new(0), 1.0)], 4, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn non_positive_weight_rejected() {
+        epsilon_fraction_shares(&[(JobId::new(0), 0.0)], 4, 0.5);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_shares_always_sum_to_m(
+            weights in proptest::collection::vec(0.1f64..20.0, 1..30),
+            m in 1usize..200,
+            eps in 0.05f64..1.0,
+        ) {
+            let jobs: Vec<(JobId, f64)> = weights
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| (JobId::new(i as u64), w))
+                .collect();
+            let shares = epsilon_fraction_shares(&jobs, m, eps);
+            let int_sum: usize = shares.iter().map(|s| s.machines).sum();
+            prop_assert_eq!(int_sum, m);
+            let frac_sum: f64 = shares.iter().map(|s| s.fractional).sum();
+            prop_assert!((frac_sum - m as f64).abs() < 1e-6);
+            // No share is negative and no single share exceeds M.
+            for s in &shares {
+                prop_assert!(s.fractional >= -1e-9);
+                prop_assert!(s.machines <= m);
+            }
+        }
+    }
+}

@@ -1,0 +1,498 @@
+//! Algorithm 2: **SRPTMS+C** — Shortest Remaining Processing Time based
+//! Machine Sharing plus Cloning.
+//!
+//! At every decision instant the scheduler:
+//!
+//! 1. collects the alive jobs that still have unscheduled tasks (`ψ^s(l)`),
+//! 2. ranks them by `w_i / U_i(l)` where `U_i(l)` is the remaining effective
+//!    workload of Equation (4),
+//! 3. computes the ε-fraction machine shares `g_i(l)`
+//!    ([`crate::sharing::epsilon_fraction_shares`]),
+//! 4. walks the jobs in priority order and gives each one
+//!    `ξ_i(l) = g_i(l) − σ_i(l)` *extra* machines (never taking machines away
+//!    from a job that currently holds more than its share — the allocation is
+//!    non-preemptive), clipped to the machines actually available, and
+//! 5. inside a job, launches unscheduled **map** tasks first; reduce tasks are
+//!    only launched once the Map phase has completed. When a job receives
+//!    more machines than it has unscheduled tasks, the surplus is spent on
+//!    **clones**: every unscheduled task of the phase receives
+//!    `⌊extra/tasks⌋` copies (the first `extra mod tasks` tasks one more), so
+//!    the allocated share is fully used. When machines are scarcer than
+//!    tasks, one copy each is launched for as many tasks as fit.
+//!
+//! Setting `ε = 1` makes the scheduler behave like Hadoop's (weighted) fair
+//! scheduler, `ε → 0` approaches pure SRPT; `ε ≈ 0.6` is the sweet spot in
+//! the paper's evaluation (Fig. 1). Cloning can be disabled for ablations.
+
+use crate::priority::online_priority;
+use crate::sharing::epsilon_fraction_shares;
+use mapreduce_sim::{Action, ClusterState, JobState, Scheduler};
+use mapreduce_workload::{JobId, Phase};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the SRPTMS+C scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SrptMsCConfig {
+    /// The sharing fraction `ε ∈ (0, 1]` of Section V-A.
+    pub epsilon: f64,
+    /// The pessimism factor `r ≥ 0` multiplying the standard deviation in the
+    /// effective workload (Equations (2) and (4)).
+    pub r: f64,
+    /// Whether surplus machines are spent on clones (Algorithm 2's behaviour).
+    /// Disabling this yields the "machine sharing only" ablation.
+    pub cloning: bool,
+    /// Whether machines left over after the ε-fraction pass are backfilled
+    /// with unscheduled tasks of the remaining (lower-priority) alive jobs,
+    /// one copy each, in priority order.
+    ///
+    /// The paper's pseudo-code only hands machines to jobs with a positive
+    /// share `g_i(l) > 0`, which taken literally lets machines idle while the
+    /// lowest-priority jobs starve; at the same time the paper states that
+    /// `ε = 1` "reduces to the fair scheduler in Hadoop", which is
+    /// work-conserving. This flag resolves that ambiguity in favour of work
+    /// conservation (the default); setting it to `false` gives the literal,
+    /// non-work-conserving reading, kept for the ablation experiment.
+    /// Backfilled jobs never receive clones — cloning remains the privilege
+    /// of the ε-fraction share.
+    pub work_conserving: bool,
+    /// Upper bound on the number of copies requested per task in a single
+    /// decision. The paper's formula `⌊(g_i−σ_i)/c_i⌋` can assign arbitrarily
+    /// many clones when few jobs are alive (a lone job's share is the whole
+    /// cluster), but the concave speedup `s(x)` has essentially no marginal
+    /// gain beyond a handful of copies (for the Pareto model with α = 2 the
+    /// eighth copy buys < 2 %), so additional clones only burn machines that
+    /// non-preemption then withholds from later arrivals. The default cap of
+    /// 8 keeps the algorithm's behaviour at small alive-job counts consistent
+    /// with its behaviour in the paper's 12 000-machine regime; see DESIGN.md.
+    pub max_copies_per_task: usize,
+}
+
+impl SrptMsCConfig {
+    /// Creates a configuration with the given `ε` and `r` and default
+    /// settings otherwise.
+    ///
+    /// # Panics
+    /// Panics if `epsilon` is not in `(0, 1]` or `r` is negative/not finite.
+    pub fn new(epsilon: f64, r: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon <= 1.0,
+            "epsilon must be in (0, 1], got {epsilon}"
+        );
+        assert!(
+            r.is_finite() && r >= 0.0,
+            "r must be a non-negative finite number, got {r}"
+        );
+        SrptMsCConfig {
+            epsilon,
+            r,
+            cloning: true,
+            work_conserving: true,
+            max_copies_per_task: 8,
+        }
+    }
+
+    /// Disables (or re-enables) cloning.
+    pub fn with_cloning(mut self, cloning: bool) -> Self {
+        self.cloning = cloning;
+        self
+    }
+
+    /// Disables (or re-enables) the work-conserving backfill pass (see
+    /// [`SrptMsCConfig::work_conserving`]).
+    pub fn with_work_conserving(mut self, work_conserving: bool) -> Self {
+        self.work_conserving = work_conserving;
+        self
+    }
+
+    /// Sets the per-task copy cap.
+    ///
+    /// # Panics
+    /// Panics if `cap` is zero.
+    pub fn with_max_copies_per_task(mut self, cap: usize) -> Self {
+        assert!(cap >= 1, "copy cap must be at least 1");
+        self.max_copies_per_task = cap;
+        self
+    }
+}
+
+impl Default for SrptMsCConfig {
+    /// The configuration the paper settles on after Figs. 1–2: `ε = 0.6`,
+    /// `r = 3`.
+    fn default() -> Self {
+        SrptMsCConfig::new(0.6, 3.0)
+    }
+}
+
+/// The SRPTMS+C online scheduler (Algorithm 2).
+#[derive(Debug, Clone)]
+pub struct SrptMsC {
+    config: SrptMsCConfig,
+    name: String,
+}
+
+impl SrptMsC {
+    /// Creates the scheduler with the given `ε` and `r`.
+    ///
+    /// # Panics
+    /// Panics if the parameters are invalid (see [`SrptMsCConfig::new`]).
+    pub fn new(epsilon: f64, r: f64) -> Self {
+        Self::with_config(SrptMsCConfig::new(epsilon, r))
+    }
+
+    /// Creates the scheduler from a full configuration.
+    pub fn with_config(config: SrptMsCConfig) -> Self {
+        let name = if config.cloning {
+            format!("srptms+c(eps={},r={})", config.epsilon, config.r)
+        } else {
+            format!("srptms(eps={},r={})", config.epsilon, config.r)
+        };
+        SrptMsC { config, name }
+    }
+
+    /// The scheduler's configuration.
+    pub fn config(&self) -> &SrptMsCConfig {
+        &self.config
+    }
+
+    /// Decides how to spend `machines` newly granted machines on one job:
+    /// the task-scheduling procedure of Algorithm 2. Returns the launch
+    /// actions and the number of machines actually used.
+    fn schedule_tasks_for_job(&self, job: &JobState, machines: usize) -> (Vec<Action>, usize) {
+        let mut actions = Vec::new();
+        if machines == 0 {
+            return (actions, 0);
+        }
+
+        // Map tasks first; reduce tasks only once the Map phase completed.
+        let phase = if job.num_unscheduled(Phase::Map) > 0 {
+            Phase::Map
+        } else if job.map_phase_complete() && job.num_unscheduled(Phase::Reduce) > 0 {
+            Phase::Reduce
+        } else {
+            return (actions, 0);
+        };
+
+        let unscheduled: Vec<_> = job.unscheduled_tasks(phase).map(|t| t.id()).collect();
+        let count = unscheduled.len();
+        if count == 0 {
+            return (actions, 0);
+        }
+
+        let mut used = 0usize;
+        if machines <= count || !self.config.cloning {
+            // Scarce machines (or cloning disabled): one copy each for as many
+            // tasks as we can fit.
+            for task in unscheduled.into_iter().take(machines) {
+                actions.push(Action::Launch { task, copies: 1 });
+                used += 1;
+            }
+        } else {
+            // Surplus machines: clone every unscheduled task so the whole
+            // share is used. Task k gets floor(machines/count) copies, plus
+            // one more for the first (machines mod count) tasks.
+            let base = machines / count;
+            let extra = machines % count;
+            for (k, task) in unscheduled.into_iter().enumerate() {
+                let copies = (base + usize::from(k < extra)).min(self.config.max_copies_per_task);
+                if copies > 0 {
+                    actions.push(Action::Launch { task, copies });
+                    used += copies;
+                }
+            }
+        }
+        (actions, used)
+    }
+}
+
+impl Default for SrptMsC {
+    fn default() -> Self {
+        SrptMsC::with_config(SrptMsCConfig::default())
+    }
+}
+
+impl Scheduler for SrptMsC {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn schedule(&mut self, state: &ClusterState<'_>) -> Vec<Action> {
+        let mut available = state.available_machines();
+        if available == 0 {
+            return Vec::new();
+        }
+
+        // ψ^s(l): alive jobs that still have unscheduled tasks.
+        let mut candidates: Vec<&JobState> = state
+            .alive_jobs()
+            .filter(|j| j.total_unscheduled() > 0)
+            .collect();
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        // Sort by decreasing w_i / U_i(l); ties by id for determinism.
+        candidates.sort_by(|a, b| {
+            let pa = online_priority(a, self.config.r);
+            let pb = online_priority(b, self.config.r);
+            pb.partial_cmp(&pa)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.id().cmp(&b.id()))
+        });
+
+        let ranked: Vec<(JobId, f64)> = candidates.iter().map(|j| (j.id(), j.weight())).collect();
+        let shares = epsilon_fraction_shares(&ranked, state.total_machines(), self.config.epsilon);
+
+        let mut actions = Vec::new();
+        let mut launched: std::collections::HashSet<mapreduce_workload::TaskId> =
+            std::collections::HashSet::new();
+        for (job, share) in candidates.iter().zip(shares.iter()) {
+            if available == 0 {
+                break;
+            }
+            if share.machines == 0 {
+                continue;
+            }
+            // σ_i(l): machines the job already holds (running copies of its
+            // tasks, clones included). The allocation is non-preemptive: if
+            // the job holds more than its share we simply give it nothing new.
+            let sigma = job.active_copies();
+            let xi = share.machines.saturating_sub(sigma);
+            if xi == 0 {
+                continue;
+            }
+            let grant = xi.min(available);
+            let (job_actions, used) = self.schedule_tasks_for_job(job, grant);
+            for action in &job_actions {
+                if let Action::Launch { task, .. } = action {
+                    launched.insert(*task);
+                }
+            }
+            actions.extend(job_actions);
+            available -= used;
+        }
+
+        // Work-conserving backfill: machines the ε-fraction could not use go
+        // to the remaining unscheduled tasks, one copy each, in priority
+        // order (no cloning outside the ε-fraction share).
+        if self.config.work_conserving && available > 0 {
+            'backfill: for job in &candidates {
+                let phase = if job.num_unscheduled(Phase::Map) > 0 {
+                    Phase::Map
+                } else if job.map_phase_complete() && job.num_unscheduled(Phase::Reduce) > 0 {
+                    Phase::Reduce
+                } else {
+                    continue;
+                };
+                for task in job.unscheduled_tasks(phase) {
+                    if available == 0 {
+                        break 'backfill;
+                    }
+                    if launched.contains(&task.id()) {
+                        continue;
+                    }
+                    actions.push(Action::Launch {
+                        task: task.id(),
+                        copies: 1,
+                    });
+                    launched.insert(task.id());
+                    available -= 1;
+                }
+            }
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapreduce_sim::{SimConfig, Simulation};
+    use mapreduce_workload::{
+        DurationDistribution, JobSpecBuilder, PhaseStats, Trace, WorkloadBuilder,
+    };
+
+    fn run(trace: &Trace, machines: usize, scheduler: &mut SrptMsC) -> mapreduce_sim::SimOutcome {
+        Simulation::new(SimConfig::new(machines).with_seed(11), trace)
+            .run(scheduler)
+            .unwrap()
+    }
+
+    #[test]
+    fn completes_every_job() {
+        let trace = WorkloadBuilder::new()
+            .num_jobs(40)
+            .arrivals(mapreduce_workload::ArrivalProcess::Poisson {
+                mean_interarrival: 20.0,
+            })
+            .map_tasks_per_job(2, 8)
+            .reduce_tasks_per_job(1, 3)
+            .weights(&[1.0, 2.0, 6.0])
+            .build(1);
+        let outcome = run(&trace, 16, &mut SrptMsC::new(0.6, 3.0));
+        assert_eq!(outcome.records().len(), 40);
+        assert!(outcome.records().iter().all(|r| r.completion >= r.arrival));
+    }
+
+    #[test]
+    fn clones_are_made_when_machines_are_plentiful() {
+        // One small job alone in a big cluster: its tasks should be cloned.
+        let job = JobSpecBuilder::new(JobId::new(0))
+            .weight(1.0)
+            .map_tasks_from_workloads(&[100.0, 100.0])
+            .map_stats(PhaseStats::new(100.0, 30.0))
+            .map_distribution(DurationDistribution::lognormal_from_moments(100.0, 30.0).unwrap())
+            .build();
+        let trace = Trace::new(vec![job]).unwrap();
+        let outcome = run(&trace, 10, &mut SrptMsC::new(0.6, 3.0));
+        // 2 tasks, 10 machines → the scheduler should have launched clones.
+        assert!(outcome.total_copies > 2, "expected clones, got {}", outcome.total_copies);
+        assert!(outcome.mean_copies_per_task() > 1.0);
+    }
+
+    #[test]
+    fn cloning_can_be_disabled() {
+        let job = JobSpecBuilder::new(JobId::new(0))
+            .weight(1.0)
+            .map_tasks_from_workloads(&[100.0, 100.0])
+            .build();
+        let trace = Trace::new(vec![job]).unwrap();
+        let cfg = SrptMsCConfig::new(0.6, 3.0).with_cloning(false);
+        let outcome = run(&trace, 10, &mut SrptMsC::with_config(cfg));
+        assert_eq!(outcome.total_copies, 2);
+    }
+
+    #[test]
+    fn cloning_reduces_flowtime_under_heavy_tailed_durations() {
+        // Heavy-tailed tasks with resampled clones: SRPTMS+C should beat its
+        // no-cloning ablation on mean flowtime. Shape 2.2 keeps the variance
+        // finite so the scheduler-visible PhaseStats are well defined.
+        let dist = DurationDistribution::pareto_from_mean(100.0, 2.2).unwrap();
+        let mut jobs = Vec::new();
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
+        for i in 0..15 {
+            let workloads = dist.sample_n(&mut rng, 3);
+            jobs.push(
+                JobSpecBuilder::new(JobId::new(i))
+                    .weight(1.0)
+                    .arrival((i * 40) as u64)
+                    .map_tasks_from_workloads(&workloads)
+                    .map_stats(PhaseStats::new(dist.mean(), dist.std_dev()))
+                    .map_distribution(dist.clone())
+                    .build(),
+            );
+        }
+        let trace = Trace::new(jobs).unwrap();
+
+        let with_clones = run(&trace, 24, &mut SrptMsC::new(0.6, 3.0));
+        let without = run(
+            &trace,
+            24,
+            &mut SrptMsC::with_config(SrptMsCConfig::new(0.6, 3.0).with_cloning(false)),
+        );
+        assert!(
+            with_clones.mean_flowtime() <= without.mean_flowtime(),
+            "cloning should not hurt: {} vs {}",
+            with_clones.mean_flowtime(),
+            without.mean_flowtime()
+        );
+    }
+
+    #[test]
+    fn reduce_tasks_wait_for_map_phase() {
+        // A job with one long map task and one reduce task: the reduce task
+        // must not be scheduled until the map task finished, so no machine is
+        // wasted holding it (SRPTMS+C behaviour per Section V-B).
+        let job = JobSpecBuilder::new(JobId::new(0))
+            .map_tasks_from_workloads(&[50.0])
+            .reduce_tasks_from_workloads(&[10.0])
+            .build();
+        let trace = Trace::new(vec![job]).unwrap();
+        let outcome = run(&trace, 4, &mut SrptMsC::new(1.0, 0.0));
+        let record = outcome.record(JobId::new(0)).unwrap();
+        assert_eq!(record.completion, 60);
+    }
+
+    #[test]
+    fn small_jobs_jump_ahead_of_large_jobs_once_machines_free_up() {
+        // A huge job saturates the cluster; a tiny job arrives later. The
+        // allocation is non-preemptive, so the tiny job has to wait for the
+        // first batch of huge tasks to finish — but as soon as machines free
+        // up (slot 200) the tiny job's far higher w/U priority wins them, so
+        // it completes right after that and far ahead of the huge job.
+        let huge = JobSpecBuilder::new(JobId::new(0))
+            .weight(1.0)
+            .arrival(0)
+            .map_tasks_from_workloads(&vec![200.0; 12])
+            .build();
+        let tiny = JobSpecBuilder::new(JobId::new(1))
+            .weight(1.0)
+            .arrival(10)
+            .map_tasks_from_workloads(&[5.0])
+            .build();
+        let trace = Trace::new(vec![huge, tiny]).unwrap();
+        let outcome = run(&trace, 4, &mut SrptMsC::new(0.6, 0.0));
+        let tiny_rec = outcome.record(JobId::new(1)).unwrap();
+        let huge_rec = outcome.record(JobId::new(0)).unwrap();
+        assert!(
+            tiny_rec.completion <= 210,
+            "tiny job should complete right after the first wave, got {}",
+            tiny_rec.completion
+        );
+        assert!(huge_rec.flowtime() > tiny_rec.flowtime());
+
+        // If both jobs are present from the start, the tiny job's higher
+        // priority wins it a machine immediately and it finishes right away.
+        let together = Trace::new(vec![
+            JobSpecBuilder::new(JobId::new(0))
+                .weight(1.0)
+                .map_tasks_from_workloads(&vec![200.0; 12])
+                .build(),
+            JobSpecBuilder::new(JobId::new(1))
+                .weight(1.0)
+                .map_tasks_from_workloads(&[5.0])
+                .build(),
+        ])
+        .unwrap();
+        let both = run(&together, 4, &mut SrptMsC::new(0.6, 0.0));
+        assert!(both.record(JobId::new(1)).unwrap().flowtime() <= 5);
+    }
+
+    #[test]
+    fn epsilon_one_behaves_like_fair_sharing() {
+        let trace = WorkloadBuilder::new()
+            .num_jobs(10)
+            .map_tasks_per_job(2, 4)
+            .build(7);
+        let outcome = run(&trace, 8, &mut SrptMsC::new(1.0, 0.0));
+        assert_eq!(outcome.records().len(), 10);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(std::panic::catch_unwind(|| SrptMsCConfig::new(0.0, 1.0)).is_err());
+        assert!(std::panic::catch_unwind(|| SrptMsCConfig::new(1.5, 1.0)).is_err());
+        assert!(std::panic::catch_unwind(|| SrptMsCConfig::new(0.5, -1.0)).is_err());
+        assert!(std::panic::catch_unwind(|| SrptMsCConfig::new(0.5, 1.0).with_max_copies_per_task(0))
+            .is_err());
+        let cfg = SrptMsCConfig::default();
+        assert_eq!(cfg.epsilon, 0.6);
+        assert_eq!(cfg.r, 3.0);
+        assert!(cfg.cloning);
+    }
+
+    #[test]
+    fn name_reflects_configuration() {
+        assert!(SrptMsC::new(0.6, 3.0).name().contains("srptms+c"));
+        let no_clone = SrptMsC::with_config(SrptMsCConfig::new(0.5, 1.0).with_cloning(false));
+        assert!(!no_clone.name().contains("+c"));
+        assert_eq!(SrptMsC::default().config().epsilon, 0.6);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let trace = WorkloadBuilder::new().num_jobs(20).build(3);
+        let a = run(&trace, 8, &mut SrptMsC::new(0.6, 3.0));
+        let b = run(&trace, 8, &mut SrptMsC::new(0.6, 3.0));
+        assert_eq!(a, b);
+    }
+}

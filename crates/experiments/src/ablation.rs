@@ -1,0 +1,119 @@
+//! Design ablations called out in DESIGN.md: how much of SRPTMS+C's win comes
+//! from cloning, from the SRPT ordering, and from the rσ pessimism term.
+
+use crate::runner::{average_summary, run_scheduler_averaged, SchedulerKind};
+use crate::scenario::Scenario;
+use mapreduce_metrics::FlowtimeSummary;
+use serde::{Deserialize, Serialize};
+
+/// One ablation variant and its averaged result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationRow {
+    /// Human-readable variant label.
+    pub variant: String,
+    /// Averaged flowtime summary for the variant.
+    pub summary: FlowtimeSummary,
+}
+
+/// The standard ablation line-up: full SRPTMS+C, SRPTMS without cloning,
+/// plain SRPT without sharing or cloning, fair sharing, and the ε extremes.
+pub fn variants() -> Vec<(String, SchedulerKind)> {
+    vec![
+        (
+            "SRPTMS+C (eps=0.6, r=3)".to_string(),
+            SchedulerKind::SrptMsC {
+                epsilon: 0.6,
+                r: 3.0,
+            },
+        ),
+        (
+            "SRPTMS+C without rσ term (r=0)".to_string(),
+            SchedulerKind::SrptMsC {
+                epsilon: 0.6,
+                r: 0.0,
+            },
+        ),
+        (
+            "SRPTMS without cloning".to_string(),
+            SchedulerKind::SrptMsNoCloning {
+                epsilon: 0.6,
+                r: 3.0,
+            },
+        ),
+        (
+            "SRPTMS+C non-work-conserving".to_string(),
+            SchedulerKind::SrptMsStrict {
+                epsilon: 0.6,
+                r: 3.0,
+            },
+        ),
+        (
+            "SRPT without sharing or cloning".to_string(),
+            SchedulerKind::SrptNoClone { r: 3.0 },
+        ),
+        ("Fair sharing (eps=1 limit)".to_string(), SchedulerKind::Fair),
+        (
+            "Near-SRPT sharing (eps=0.1)".to_string(),
+            SchedulerKind::SrptMsC {
+                epsilon: 0.1,
+                r: 3.0,
+            },
+        ),
+    ]
+}
+
+/// Runs every ablation variant over the scenario.
+pub fn run(scenario: &Scenario) -> Vec<AblationRow> {
+    variants()
+        .into_iter()
+        .map(|(variant, kind)| {
+            let outcomes = run_scheduler_averaged(kind, scenario);
+            let mut summary = average_summary(kind, &outcomes);
+            summary.scheduler = variant.clone();
+            AblationRow { variant, summary }
+        })
+        .collect()
+}
+
+/// Renders the ablation table.
+pub fn render(rows: &[AblationRow]) -> String {
+    let mut out = String::from("Ablations — contribution of each design choice\n");
+    out.push_str(&format!(
+        "{:<36} {:>14} {:>20} {:>14}\n",
+        "variant", "avg flowtime", "weighted avg", "copies/task"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<36} {:>14.1} {:>20.1} {:>14.2}\n",
+            row.variant,
+            row.summary.mean,
+            row.summary.weighted_mean,
+            row.summary.mean_copies_per_task
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_run_on_a_small_scenario() {
+        let rows = run(&Scenario::scaled(50, 1));
+        assert_eq!(rows.len(), variants().len());
+        for row in &rows {
+            assert!(row.summary.mean > 0.0, "{} produced zero flowtime", row.variant);
+        }
+        let table = render(&rows);
+        assert!(table.contains("SRPTMS+C"));
+        assert!(table.contains("Fair"));
+    }
+
+    #[test]
+    fn variant_labels_are_unique() {
+        let labels: std::collections::HashSet<String> =
+            variants().into_iter().map(|(l, _)| l).collect();
+        assert_eq!(labels.len(), variants().len());
+    }
+}

@@ -1,0 +1,156 @@
+//! `reproduce` — regenerates every table and figure of the paper from the
+//! command line.
+//!
+//! ```text
+//! reproduce [EXPERIMENT] [--scale full|<num_jobs>] [--seeds N]
+//!
+//! EXPERIMENT: all (default) | table2 | fig1 | fig2 | fig3 | fig4 | fig5 |
+//!             fig6 | theorem1 | ablation
+//! --scale     "full" runs the paper-scale scenario (6 064 jobs, 12 000
+//!             machines, slow); a number runs a scaled-down scenario with
+//!             that many jobs (default 600).
+//! --seeds     number of repetitions to average over (default 3 at reduced
+//!             scale, 10 at full scale).
+//! ```
+
+use mapreduce_experiments::Scenario;
+use mapreduce_experiments::{ablation, fig1, fig2, fig3, fig4, fig5, fig6, table2, theorem1};
+
+struct Options {
+    experiment: String,
+    scale: Option<usize>,
+    full: bool,
+    seeds: Option<usize>,
+}
+
+fn parse_args() -> Options {
+    let mut options = Options {
+        experiment: "all".to_string(),
+        scale: None,
+        full: false,
+        seeds: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let value = args.next().unwrap_or_else(|| {
+                    eprintln!("--scale needs a value (\"full\" or a number of jobs)");
+                    std::process::exit(2);
+                });
+                if value == "full" {
+                    options.full = true;
+                } else {
+                    options.scale = Some(value.parse().unwrap_or_else(|_| {
+                        eprintln!("invalid --scale value: {value}");
+                        std::process::exit(2);
+                    }));
+                }
+            }
+            "--seeds" => {
+                let value = args.next().unwrap_or_else(|| {
+                    eprintln!("--seeds needs a number");
+                    std::process::exit(2);
+                });
+                options.seeds = Some(value.parse().unwrap_or_else(|_| {
+                    eprintln!("invalid --seeds value: {value}");
+                    std::process::exit(2);
+                }));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: reproduce [all|table2|fig1|fig2|fig3|fig4|fig5|fig6|theorem1|ablation] \
+                     [--scale full|<num_jobs>] [--seeds N]"
+                );
+                std::process::exit(0);
+            }
+            other if !other.starts_with('-') => options.experiment = other.to_string(),
+            other => {
+                eprintln!("unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    options
+}
+
+fn scenario_for(options: &Options) -> Scenario {
+    let mut scenario = if options.full {
+        Scenario::paper()
+    } else {
+        Scenario::scaled(options.scale.unwrap_or(600), 3)
+    };
+    if let Some(seeds) = options.seeds {
+        scenario.seeds = (0..seeds as u64).map(|i| 2015 + i).collect();
+    }
+    scenario
+}
+
+fn main() {
+    let options = parse_args();
+    let known = [
+        "all", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "theorem1", "ablation",
+    ];
+    if !known.contains(&options.experiment.as_str()) {
+        eprintln!("unknown experiment: {}", options.experiment);
+        std::process::exit(2);
+    }
+    let scenario = scenario_for(&options);
+    println!(
+        "# Reproduction scenario: {} jobs, {} machines, {} seed(s)\n",
+        scenario.profile.num_jobs,
+        scenario.machines,
+        scenario.seeds.len()
+    );
+
+    let experiment = options.experiment.as_str();
+    let run_all = experiment == "all";
+
+    if run_all || experiment == "table2" {
+        println!("{}", table2::render(&table2::run(&scenario)));
+    }
+    if run_all || experiment == "fig1" {
+        let rows = fig1::run(&scenario, &fig1::paper_epsilons());
+        println!("{}", fig1::render(&rows));
+        if let Some(best) = fig1::best_epsilon(&rows) {
+            println!("best epsilon (paper: 0.6): {best:.1}\n");
+        }
+    }
+    if run_all || experiment == "fig2" {
+        let rows = fig2::run(&scenario, &fig2::paper_rs());
+        println!("{}", fig2::render(&rows));
+        println!(
+            "relative spread across r (paper: small): {:.1} %\n",
+            fig2::relative_spread(&rows) * 100.0
+        );
+    }
+    if run_all || experiment == "fig3" {
+        let rows = fig3::run(&scenario, &fig3::paper_fractions());
+        println!("{}", fig3::render(&rows));
+    }
+    if run_all || experiment == "fig4" {
+        let comparison = fig4::run(&scenario);
+        println!(
+            "{}",
+            fig4::render(
+                &comparison,
+                "Fig. 4 — cumulative fraction of jobs vs flowtime (0–300 s window)"
+            )
+        );
+    }
+    if run_all || experiment == "fig5" {
+        let comparison = fig5::run(&scenario);
+        println!("{}", fig5::render(&comparison));
+    }
+    if run_all || experiment == "fig6" {
+        let result = fig6::run(&scenario);
+        println!("{}", fig6::render(&result));
+    }
+    if run_all || experiment == "theorem1" {
+        println!("{}", theorem1::render(&theorem1::run(&scenario, 0.0, true)));
+        println!("{}", theorem1::render(&theorem1::run(&scenario, 3.0, false)));
+    }
+    if run_all || experiment == "ablation" {
+        println!("{}", ablation::render(&ablation::run(&scenario)));
+    }
+}

@@ -1,0 +1,97 @@
+//! Fig. 3 — weighted/unweighted average job flowtime as a function of the
+//! cluster size, with ε = 0.6 and r = 3.
+
+use crate::runner::{average_summary, run_scheduler_averaged, SchedulerKind};
+use crate::scenario::Scenario;
+use serde::{Deserialize, Serialize};
+
+/// One point of the cluster-size sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig3Row {
+    /// Number of machines in the cluster.
+    pub machines: usize,
+    /// Unweighted average job flowtime (seconds).
+    pub mean_flowtime: f64,
+    /// Weighted average job flowtime (seconds).
+    pub weighted_mean_flowtime: f64,
+}
+
+/// The machine counts swept in the paper (6 000 … 12 000 in steps of 1 000),
+/// expressed as fractions of the scenario's base cluster so the sweep also
+/// makes sense at reduced scale.
+pub fn paper_fractions() -> Vec<f64> {
+    (6..=12).map(|i| i as f64 / 12.0).collect()
+}
+
+/// Runs the sweep: SRPTMS+C (ε = 0.6, r = 3) on clusters of
+/// `fraction · scenario.machines` machines.
+pub fn run(scenario: &Scenario, fractions: &[f64]) -> Vec<Fig3Row> {
+    fractions
+        .iter()
+        .map(|&fraction| {
+            let machines = ((scenario.machines as f64 * fraction).round() as usize).max(1);
+            let sub = scenario.with_machines(machines);
+            let kind = SchedulerKind::SrptMsC {
+                epsilon: 0.6,
+                r: 3.0,
+            };
+            let outcomes = run_scheduler_averaged(kind, &sub);
+            let summary = average_summary(kind, &outcomes);
+            Fig3Row {
+                machines,
+                mean_flowtime: summary.mean,
+                weighted_mean_flowtime: summary.weighted_mean,
+            }
+        })
+        .collect()
+}
+
+/// Renders the sweep as a text table.
+pub fn render(rows: &[Fig3Row]) -> String {
+    let mut out = String::from(
+        "Fig. 3 — average job flowtime vs number of machines (SRPTMS+C, epsilon = 0.6, r = 3)\n",
+    );
+    out.push_str(&format!(
+        "{:>10} {:>18} {:>24}\n",
+        "machines", "avg flowtime (s)", "weighted avg flowtime (s)"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:>10} {:>18.1} {:>24.1}\n",
+            row.machines, row.mean_flowtime, row.weighted_mean_flowtime
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_rows_and_flowtime_does_not_increase_with_machines() {
+        let rows = run(&Scenario::scaled(60, 1), &[0.5, 1.0]);
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].machines < rows[1].machines);
+        // More machines never hurt (within a small tolerance for tie-breaks).
+        assert!(rows[1].mean_flowtime <= rows[0].mean_flowtime * 1.05);
+    }
+
+    #[test]
+    fn paper_fractions_cover_6k_to_12k() {
+        let f = paper_fractions();
+        assert_eq!(f.len(), 7);
+        assert!((f[0] - 0.5).abs() < 1e-12);
+        assert!((f[6] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_lists_machine_counts() {
+        let rows = vec![Fig3Row {
+            machines: 8000,
+            mean_flowtime: 100.0,
+            weighted_mean_flowtime: 90.0,
+        }];
+        assert!(render(&rows).contains("8000"));
+    }
+}

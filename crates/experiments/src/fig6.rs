@@ -1,0 +1,89 @@
+//! Fig. 6 — weighted and unweighted average job flowtime of SRPTMS+C, SCA and
+//! Mantri on the full trace, including the headline "≈25 % better than
+//! Mantri" comparison.
+
+use crate::runner::{average_summary, run_scheduler_averaged, SchedulerKind};
+use crate::scenario::Scenario;
+use mapreduce_metrics::{ComparisonReport, FlowtimeSummary};
+use serde::{Deserialize, Serialize};
+
+/// Output of the Fig. 6 experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig6Result {
+    /// Per-scheduler averaged summaries, in line-up order.
+    pub summaries: Vec<FlowtimeSummary>,
+    /// Relative improvement of SRPTMS+C over Mantri on the unweighted average
+    /// flowtime (0.25 = 25 % lower).
+    pub improvement_over_mantri: Option<f64>,
+    /// Relative improvement of SRPTMS+C over Mantri on the weighted average
+    /// flowtime.
+    pub weighted_improvement_over_mantri: Option<f64>,
+}
+
+/// Runs the comparison for an arbitrary scheduler line-up.
+pub fn run_with(scenario: &Scenario, kinds: &[SchedulerKind]) -> Fig6Result {
+    let summaries: Vec<FlowtimeSummary> = kinds
+        .iter()
+        .map(|&kind| {
+            let outcomes = run_scheduler_averaged(kind, scenario);
+            average_summary(kind, &outcomes)
+        })
+        .collect();
+    let report = ComparisonReport::from_summaries(summaries.clone());
+    Fig6Result {
+        improvement_over_mantri: report.unweighted_improvement("SRPTMS+C", "Mantri"),
+        weighted_improvement_over_mantri: report.weighted_improvement("SRPTMS+C", "Mantri"),
+        summaries,
+    }
+}
+
+/// Runs the paper's line-up (SRPTMS+C, SCA, Mantri).
+pub fn run(scenario: &Scenario) -> Fig6Result {
+    run_with(scenario, &SchedulerKind::paper_comparison())
+}
+
+/// Renders the comparison as a text table plus the improvement headline.
+pub fn render(result: &Fig6Result) -> String {
+    let report = ComparisonReport::from_summaries(result.summaries.clone());
+    let mut out = String::from(
+        "Fig. 6 — weighted/unweighted average job flowtime under different algorithms\n",
+    );
+    out.push_str(&report.to_table());
+    if let (Some(unweighted), Some(weighted)) = (
+        result.improvement_over_mantri,
+        result.weighted_improvement_over_mantri,
+    ) {
+        out.push_str(&format!(
+            "SRPTMS+C vs Mantri: {:.1} % lower average flowtime, {:.1} % lower weighted average flowtime (paper reports ~25 %)\n",
+            unweighted * 100.0,
+            weighted * 100.0
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_produces_summaries_for_each_scheduler() {
+        let scenario = Scenario::scaled(60, 1);
+        let result = run_with(
+            &scenario,
+            &[SchedulerKind::paper_default(), SchedulerKind::Mantri],
+        );
+        assert_eq!(result.summaries.len(), 2);
+        assert!(result.improvement_over_mantri.is_some());
+        let table = render(&result);
+        assert!(table.contains("SRPTMS+C"));
+        assert!(table.contains("Mantri"));
+    }
+
+    #[test]
+    fn missing_mantri_yields_no_improvement_number() {
+        let scenario = Scenario::scaled(40, 1);
+        let result = run_with(&scenario, &[SchedulerKind::Fair]);
+        assert!(result.improvement_over_mantri.is_none());
+    }
+}

@@ -1,0 +1,229 @@
+//! Running schedulers over scenarios: single runs, multi-seed averaging and
+//! the scheduler registry used by the `reproduce` binary.
+
+use crate::scenario::Scenario;
+use mapreduce_baselines::{FairScheduler, Fifo, Late, Mantri, Sca, SrptNoClone};
+use mapreduce_metrics::FlowtimeSummary;
+use mapreduce_sched::{OfflineSrpt, SrptMsC, SrptMsCConfig};
+use mapreduce_sim::{Scheduler, SimConfig, SimOutcome, Simulation};
+use mapreduce_workload::Trace;
+use serde::{Deserialize, Serialize};
+
+/// The schedulers known to the experiment harness, with their parameters.
+///
+/// This is the unit of comparison in the figures: every variant can be
+/// instantiated into a fresh [`Scheduler`] per run (schedulers are stateful,
+/// so they are never shared across runs).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// SRPTMS+C (Algorithm 2) with sharing fraction `epsilon` and pessimism
+    /// factor `r`.
+    SrptMsC {
+        /// Sharing fraction ε.
+        epsilon: f64,
+        /// Pessimism factor r.
+        r: f64,
+    },
+    /// SRPTMS+C with cloning disabled (machine sharing only) — ablation.
+    SrptMsNoCloning {
+        /// Sharing fraction ε.
+        epsilon: f64,
+        /// Pessimism factor r.
+        r: f64,
+    },
+    /// SRPTMS+C with the literal, non-work-conserving reading of the paper's
+    /// pseudo-code (machines unused by the ε-fraction stay idle) — ablation.
+    SrptMsStrict {
+        /// Sharing fraction ε.
+        epsilon: f64,
+        /// Pessimism factor r.
+        r: f64,
+    },
+    /// The offline Algorithm 1 (bulk-arrival SRPT, no cloning).
+    OfflineSrpt {
+        /// Pessimism factor r.
+        r: f64,
+    },
+    /// Microsoft Mantri speculative execution.
+    Mantri,
+    /// The Smart Cloning Algorithm.
+    Sca,
+    /// Hadoop weighted fair scheduler.
+    Fair,
+    /// FIFO without speculation.
+    Fifo,
+    /// Online SRPT without cloning.
+    SrptNoClone {
+        /// Pessimism factor r.
+        r: f64,
+    },
+    /// LATE speculative execution.
+    Late,
+}
+
+impl SchedulerKind {
+    /// The paper's headline configuration: SRPTMS+C with ε = 0.6, r = 3.
+    pub fn paper_default() -> Self {
+        SchedulerKind::SrptMsC {
+            epsilon: 0.6,
+            r: 3.0,
+        }
+    }
+
+    /// The line-up compared in Figs. 4–6 of the paper.
+    pub fn paper_comparison() -> Vec<SchedulerKind> {
+        vec![
+            SchedulerKind::paper_default(),
+            SchedulerKind::Sca,
+            SchedulerKind::Mantri,
+        ]
+    }
+
+    /// Instantiates a fresh scheduler.
+    pub fn build(&self) -> Box<dyn Scheduler> {
+        match *self {
+            SchedulerKind::SrptMsC { epsilon, r } => Box::new(SrptMsC::new(epsilon, r)),
+            SchedulerKind::SrptMsNoCloning { epsilon, r } => Box::new(SrptMsC::with_config(
+                SrptMsCConfig::new(epsilon, r).with_cloning(false),
+            )),
+            SchedulerKind::SrptMsStrict { epsilon, r } => Box::new(SrptMsC::with_config(
+                SrptMsCConfig::new(epsilon, r).with_work_conserving(false),
+            )),
+            SchedulerKind::OfflineSrpt { r } => Box::new(OfflineSrpt::new(r)),
+            SchedulerKind::Mantri => Box::new(Mantri::new()),
+            SchedulerKind::Sca => Box::new(Sca::new()),
+            SchedulerKind::Fair => Box::new(FairScheduler::new()),
+            SchedulerKind::Fifo => Box::new(Fifo::new()),
+            SchedulerKind::SrptNoClone { r } => Box::new(SrptNoClone::new(r)),
+            SchedulerKind::Late => Box::new(Late::new()),
+        }
+    }
+
+    /// A short stable label used in tables and benchmark ids.
+    pub fn label(&self) -> String {
+        match *self {
+            SchedulerKind::SrptMsC { .. } => "SRPTMS+C".to_string(),
+            SchedulerKind::SrptMsNoCloning { .. } => "SRPTMS (no cloning)".to_string(),
+            SchedulerKind::SrptMsStrict { .. } => "SRPTMS+C (non-work-conserving)".to_string(),
+            SchedulerKind::OfflineSrpt { .. } => "Offline SRPT".to_string(),
+            SchedulerKind::Mantri => "Mantri".to_string(),
+            SchedulerKind::Sca => "SCA".to_string(),
+            SchedulerKind::Fair => "Fair".to_string(),
+            SchedulerKind::Fifo => "FIFO".to_string(),
+            SchedulerKind::SrptNoClone { .. } => "SRPT (no cloning)".to_string(),
+            SchedulerKind::Late => "LATE".to_string(),
+        }
+    }
+}
+
+/// Runs one scheduler once over one trace.
+///
+/// # Panics
+/// Panics if the simulation fails (stalled scheduler, horizon exceeded) —
+/// experiment code treats that as a bug, not a recoverable condition.
+pub fn run_scheduler(kind: SchedulerKind, trace: &Trace, machines: usize, seed: u64) -> SimOutcome {
+    let config = SimConfig::new(machines).with_seed(seed);
+    let mut scheduler = kind.build();
+    Simulation::new(config, trace)
+        .run(scheduler.as_mut())
+        .unwrap_or_else(|e| panic!("simulation with {} failed: {e}", kind.label()))
+}
+
+/// Runs one scheduler over every seed of a scenario (in parallel) and returns
+/// one outcome per seed.
+pub fn run_scheduler_averaged(kind: SchedulerKind, scenario: &Scenario) -> Vec<SimOutcome> {
+    let mut outcomes: Vec<Option<SimOutcome>> = vec![None; scenario.seeds.len()];
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (idx, &seed) in scenario.seeds.iter().enumerate() {
+            let scenario = scenario.clone();
+            handles.push((idx, scope.spawn(move |_| {
+                let trace = scenario.trace(seed);
+                run_scheduler(kind, &trace, scenario.machines, seed)
+            })));
+        }
+        for (idx, handle) in handles {
+            outcomes[idx] = Some(handle.join().expect("simulation thread panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+    outcomes.into_iter().map(|o| o.expect("filled above")).collect()
+}
+
+/// Averages the headline metrics of several outcomes (one per seed) into a
+/// single [`FlowtimeSummary`]-shaped row labelled with the scheduler's name.
+pub fn average_summary(kind: SchedulerKind, outcomes: &[SimOutcome]) -> FlowtimeSummary {
+    assert!(!outcomes.is_empty(), "need at least one outcome to average");
+    let summaries: Vec<FlowtimeSummary> =
+        outcomes.iter().map(FlowtimeSummary::from_outcome).collect();
+    let n = summaries.len() as f64;
+    let avg = |f: fn(&FlowtimeSummary) -> f64| summaries.iter().map(f).sum::<f64>() / n;
+    FlowtimeSummary {
+        scheduler: kind.label(),
+        jobs: summaries.iter().map(|s| s.jobs).sum::<usize>() / summaries.len(),
+        mean: avg(|s| s.mean),
+        weighted_mean: avg(|s| s.weighted_mean),
+        weighted_sum: avg(|s| s.weighted_sum),
+        median: avg(|s| s.median),
+        p95: avg(|s| s.p95),
+        max: avg(|s| s.max),
+        mean_copies_per_task: avg(|s| s.mean_copies_per_task),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_builds_and_has_a_label() {
+        let kinds = [
+            SchedulerKind::paper_default(),
+            SchedulerKind::SrptMsNoCloning {
+                epsilon: 0.6,
+                r: 3.0,
+            },
+            SchedulerKind::OfflineSrpt { r: 0.0 },
+            SchedulerKind::Mantri,
+            SchedulerKind::Sca,
+            SchedulerKind::Fair,
+            SchedulerKind::Fifo,
+            SchedulerKind::SrptNoClone { r: 1.0 },
+            SchedulerKind::Late,
+        ];
+        for kind in kinds {
+            let scheduler = kind.build();
+            assert!(!scheduler.name().is_empty());
+            assert!(!kind.label().is_empty());
+        }
+        assert_eq!(SchedulerKind::paper_comparison().len(), 3);
+    }
+
+    #[test]
+    fn run_and_average_small_scenario() {
+        let scenario = Scenario::scaled(60, 2);
+        let outcomes = run_scheduler_averaged(SchedulerKind::Fair, &scenario);
+        assert_eq!(outcomes.len(), 2);
+        for o in &outcomes {
+            assert_eq!(o.records().len(), 60);
+        }
+        let summary = average_summary(SchedulerKind::Fair, &outcomes);
+        assert_eq!(summary.scheduler, "Fair");
+        assert!(summary.mean > 0.0);
+    }
+
+    #[test]
+    fn single_run_is_deterministic() {
+        let scenario = Scenario::scaled(40, 1);
+        let trace = scenario.trace(7);
+        let a = run_scheduler(SchedulerKind::paper_default(), &trace, scenario.machines, 7);
+        let b = run_scheduler(SchedulerKind::paper_default(), &trace, scenario.machines, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one outcome")]
+    fn average_of_nothing_panics() {
+        average_summary(SchedulerKind::Fair, &[]);
+    }
+}

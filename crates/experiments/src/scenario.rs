@@ -1,0 +1,130 @@
+//! Experiment scenarios: workload profile, cluster size and trial seeds.
+
+use mapreduce_workload::{GoogleTraceProfile, Trace};
+use serde::{Deserialize, Serialize};
+
+/// A reusable description of "which workload, which cluster, how many
+/// trials" shared by all experiments.
+///
+/// The paper's evaluation uses the full Google-like trace (≈6 064 jobs) on a
+/// 12 000-machine cluster with 10 repetitions; [`Scenario::paper`] reproduces
+/// that. Scaled-down variants keep the jobs-per-machine ratio and the arrival
+/// intensity so the qualitative behaviour (who wins, where the knees are) is
+/// preserved while running in seconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Trace-generation profile.
+    pub profile: GoogleTraceProfile,
+    /// Number of machines in the simulated cluster.
+    pub machines: usize,
+    /// Seeds; each seed generates a fresh trace and drives one simulation
+    /// repetition. Results are averaged across seeds.
+    pub seeds: Vec<u64>,
+}
+
+impl Scenario {
+    /// The full-scale scenario of the paper: 6 064 jobs, 12 000 machines,
+    /// 10 repetitions.
+    pub fn paper() -> Self {
+        Scenario {
+            profile: GoogleTraceProfile::paper(),
+            machines: 12_000,
+            seeds: (0..10).map(|i| 2015 + i).collect(),
+        }
+    }
+
+    /// A scaled-down scenario with the requested number of jobs, preserving
+    /// the paper's ≈0.5 jobs-per-machine ratio.
+    pub fn scaled(num_jobs: usize, seeds: usize) -> Self {
+        let machines = (num_jobs * 12_000 / 6_064).max(8);
+        Scenario {
+            profile: GoogleTraceProfile::scaled(num_jobs),
+            machines,
+            seeds: (0..seeds as u64).map(|i| 2015 + i).collect(),
+        }
+    }
+
+    /// The scenario used by the Criterion benches: small enough for repeated
+    /// measurement, large enough that scheduling decisions still matter.
+    pub fn bench() -> Self {
+        Self::scaled(300, 1)
+    }
+
+    /// The scenario used by integration tests (fast).
+    pub fn test() -> Self {
+        Self::scaled(150, 1)
+    }
+
+    /// Generates the trace for one seed.
+    pub fn trace(&self, seed: u64) -> Trace {
+        self.profile.generate(seed)
+    }
+
+    /// Returns a copy with a different number of machines (used by the Fig. 3
+    /// cluster-size sweep).
+    pub fn with_machines(&self, machines: usize) -> Self {
+        Scenario {
+            machines,
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy with every arrival forced to zero — the bulk-arrival
+    /// workload of the offline experiments.
+    pub fn as_bulk(&self) -> Self {
+        Scenario {
+            profile: self.profile.clone().with_bulk_arrivals(),
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy with the within-job task-duration CV overridden
+    /// (0 = negligible variance, the Remark 2 regime).
+    pub fn with_task_cv(&self, cv: f64) -> Self {
+        Scenario {
+            profile: self.profile.clone().with_task_cv(cv),
+            ..self.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scenario_matches_table_ii_scale() {
+        let s = Scenario::paper();
+        assert_eq!(s.machines, 12_000);
+        assert_eq!(s.profile.num_jobs, 6_064);
+        assert_eq!(s.seeds.len(), 10);
+    }
+
+    #[test]
+    fn scaled_scenario_preserves_load_ratio() {
+        let s = Scenario::scaled(606, 2);
+        assert_eq!(s.profile.num_jobs, 606);
+        // ≈ 0.5 jobs per machine.
+        let ratio = s.profile.num_jobs as f64 / s.machines as f64;
+        assert!((ratio - 0.505).abs() < 0.05, "ratio {ratio}");
+        assert_eq!(s.seeds.len(), 2);
+    }
+
+    #[test]
+    fn trace_generation_is_deterministic() {
+        let s = Scenario::test();
+        assert_eq!(s.trace(1), s.trace(1));
+        assert_ne!(s.trace(1), s.trace(2));
+        assert_eq!(s.trace(1).len(), s.profile.num_jobs);
+    }
+
+    #[test]
+    fn bulk_and_cv_modifiers() {
+        let s = Scenario::test().as_bulk();
+        assert!(s.trace(3).iter().all(|j| j.arrival == 0));
+        let zero_cv = Scenario::test().with_task_cv(0.0);
+        assert!(zero_cv.profile.classes.iter().all(|c| c.task_duration_cv == 0.0));
+        let resized = Scenario::test().with_machines(99);
+        assert_eq!(resized.machines, 99);
+    }
+}

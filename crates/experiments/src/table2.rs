@@ -1,0 +1,61 @@
+//! Table II — statistics of the (synthetic) Google trace.
+
+use crate::scenario::Scenario;
+use mapreduce_workload::TraceStats;
+
+/// Computes the Table II statistics of the scenario's trace (first seed).
+pub fn run(scenario: &Scenario) -> TraceStats {
+    let seed = scenario.seeds.first().copied().unwrap_or(0);
+    scenario.trace(seed).stats()
+}
+
+/// Renders the statistics next to the values reported in the paper.
+pub fn render(stats: &TraceStats) -> String {
+    let paper_rows = [
+        ("Total number of Jobs", 6064.0),
+        ("Average number of tasks per job", 26.31),
+        ("Minimum task duration (s)", 12.8),
+        ("Maximum task duration (s)", 22_919.3),
+        ("Average task duration (s)", 1_179.7),
+    ];
+    let ours = [
+        stats.total_jobs as f64,
+        stats.mean_tasks_per_job,
+        stats.min_task_duration,
+        stats.max_task_duration,
+        stats.mean_task_duration,
+    ];
+    let mut out = String::from("Table II — trace statistics (paper vs this reproduction)\n");
+    out.push_str(&format!("{:<38} {:>12} {:>12}\n", "statistic", "paper", "measured"));
+    for ((label, paper), measured) in paper_rows.iter().zip(ours.iter()) {
+        out.push_str(&format!("{label:<38} {paper:>12.2} {measured:>12.2}\n"));
+    }
+    out.push_str(&format!(
+        "{:<38} {:>12} {:>12}\n",
+        "Trace duration (s)", 35_032, stats.duration
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_trace_stats_are_plausible() {
+        let stats = run(&Scenario::test());
+        assert_eq!(stats.total_jobs, 150);
+        assert!(stats.mean_tasks_per_job > 5.0);
+        assert!(stats.min_task_duration >= 12.8 - 1e-9);
+        assert!(stats.max_task_duration <= 22_919.3 + 1e-9);
+    }
+
+    #[test]
+    fn render_contains_paper_reference_values() {
+        let stats = run(&Scenario::test());
+        let table = render(&stats);
+        assert!(table.contains("26.31"));
+        assert!(table.contains("1179.70"));
+        assert!(table.contains("measured"));
+    }
+}

@@ -1,0 +1,21 @@
+//! Flowtime metrics, empirical CDFs and comparison reports.
+//!
+//! The paper's evaluation reports three kinds of numbers, all of which are
+//! produced by this crate from one or more [`mapreduce_sim::SimOutcome`]s:
+//!
+//! * weighted and unweighted **average job flowtime** (Figs. 1, 2, 3, 6) —
+//!   [`FlowtimeSummary`];
+//! * the **CDF of job flowtime**, restricted to small jobs (0–300 s, Fig. 4)
+//!   or big jobs (300–4000 s, Fig. 5) — [`Ecdf`];
+//! * side-by-side **algorithm comparisons** — [`ComparisonReport`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cdf;
+pub mod report;
+pub mod summary;
+
+pub use cdf::Ecdf;
+pub use report::ComparisonReport;
+pub use summary::{FlowtimeBucket, FlowtimeSummary};

@@ -1,0 +1,145 @@
+//! Side-by-side comparison of schedulers, rendered as text tables.
+
+use crate::summary::FlowtimeSummary;
+use mapreduce_sim::SimOutcome;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A comparison of several schedulers on the same workload — the data behind
+/// Fig. 6 of the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComparisonReport {
+    summaries: Vec<FlowtimeSummary>,
+}
+
+impl ComparisonReport {
+    /// Builds a report from one outcome per scheduler.
+    pub fn from_outcomes<'a>(outcomes: impl IntoIterator<Item = &'a SimOutcome>) -> Self {
+        ComparisonReport {
+            summaries: outcomes
+                .into_iter()
+                .map(FlowtimeSummary::from_outcome)
+                .collect(),
+        }
+    }
+
+    /// Builds a report directly from pre-computed summaries (e.g. averaged
+    /// over several seeds).
+    pub fn from_summaries(summaries: Vec<FlowtimeSummary>) -> Self {
+        ComparisonReport { summaries }
+    }
+
+    /// The per-scheduler summaries, in insertion order.
+    pub fn summaries(&self) -> &[FlowtimeSummary] {
+        &self.summaries
+    }
+
+    /// Summary of a scheduler by name, if present.
+    pub fn summary(&self, scheduler: &str) -> Option<&FlowtimeSummary> {
+        self.summaries.iter().find(|s| s.scheduler == scheduler)
+    }
+
+    /// Relative improvement of scheduler `a` over scheduler `b` on the
+    /// *weighted* mean flowtime, as a fraction (0.25 = 25 % lower flowtime
+    /// under `a`). `None` if either scheduler is missing or `b`'s value is 0.
+    pub fn weighted_improvement(&self, a: &str, b: &str) -> Option<f64> {
+        let sa = self.summary(a)?;
+        let sb = self.summary(b)?;
+        if sb.weighted_mean > 0.0 {
+            Some((sb.weighted_mean - sa.weighted_mean) / sb.weighted_mean)
+        } else {
+            None
+        }
+    }
+
+    /// Relative improvement of `a` over `b` on the unweighted mean flowtime.
+    pub fn unweighted_improvement(&self, a: &str, b: &str) -> Option<f64> {
+        let sa = self.summary(a)?;
+        let sb = self.summary(b)?;
+        if sb.mean > 0.0 {
+            Some((sb.mean - sa.mean) / sb.mean)
+        } else {
+            None
+        }
+    }
+
+    /// Renders the report as a fixed-width text table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<28} {:>10} {:>14} {:>10} {:>10} {:>12}\n",
+            "scheduler", "mean", "weighted mean", "median", "p95", "copies/task"
+        ));
+        for s in &self.summaries {
+            out.push_str(&format!(
+                "{:<28} {:>10.1} {:>14.1} {:>10.1} {:>10.1} {:>12.2}\n",
+                s.scheduler, s.mean, s.weighted_mean, s.median, s.p95, s.mean_copies_per_task
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for ComparisonReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapreduce_sim::JobRecord;
+    use mapreduce_workload::JobId;
+
+    fn outcome(name: &str, flowtimes: &[u64]) -> SimOutcome {
+        let records: Vec<JobRecord> = flowtimes
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| JobRecord {
+                job: JobId::new(i as u64),
+                weight: 1.0,
+                arrival: 0,
+                completion: f,
+                num_map_tasks: 1,
+                num_reduce_tasks: 0,
+                copies_launched: 1,
+                true_workload: 1.0,
+            })
+            .collect();
+        SimOutcome::new(name.to_string(), 4, records, 100, 10, flowtimes.len(), 5)
+    }
+
+    #[test]
+    fn improvement_computation() {
+        let a = outcome("fast", &[50, 150]);
+        let b = outcome("slow", &[100, 300]);
+        let report = ComparisonReport::from_outcomes([&a, &b]);
+        // fast mean 100 vs slow mean 200 → 50 % improvement.
+        assert!((report.unweighted_improvement("fast", "slow").unwrap() - 0.5).abs() < 1e-12);
+        assert!((report.weighted_improvement("fast", "slow").unwrap() - 0.5).abs() < 1e-12);
+        assert!(report.weighted_improvement("fast", "missing").is_none());
+    }
+
+    #[test]
+    fn table_contains_every_scheduler() {
+        let a = outcome("alpha", &[10]);
+        let b = outcome("beta", &[20]);
+        let report = ComparisonReport::from_outcomes([&a, &b]);
+        let table = report.to_table();
+        assert!(table.contains("alpha"));
+        assert!(table.contains("beta"));
+        assert!(table.contains("weighted mean"));
+        assert_eq!(report.summaries().len(), 2);
+        assert!(report.summary("alpha").is_some());
+        assert!(report.summary("gamma").is_none());
+    }
+
+    #[test]
+    fn from_summaries_roundtrip() {
+        let s = FlowtimeSummary::from_outcome(&outcome("x", &[1, 2, 3]));
+        let report = ComparisonReport::from_summaries(vec![s.clone()]);
+        assert_eq!(report.summaries()[0], s);
+        assert!(!format!("{report}").is_empty());
+    }
+}

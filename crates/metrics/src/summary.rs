@@ -1,0 +1,190 @@
+//! Flowtime summary statistics.
+
+use mapreduce_sim::{JobRecord, SimOutcome};
+use serde::{Deserialize, Serialize};
+
+/// A half-open flowtime bucket `[lo, hi)` used to split jobs into the paper's
+/// "small" (0–300 s) and "big" (300–4000 s) categories.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowtimeBucket {
+    /// Inclusive lower edge in slots/seconds.
+    pub lo: u64,
+    /// Exclusive upper edge in slots/seconds.
+    pub hi: u64,
+}
+
+impl FlowtimeBucket {
+    /// The paper's small-job bucket (Fig. 4): flowtime in `[0, 300)`.
+    pub const SMALL_JOBS: FlowtimeBucket = FlowtimeBucket { lo: 0, hi: 300 };
+    /// The paper's big-job bucket (Fig. 5): flowtime in `[300, 4000)`.
+    pub const BIG_JOBS: FlowtimeBucket = FlowtimeBucket { lo: 300, hi: 4000 };
+
+    /// Whether a flowtime falls inside the bucket.
+    pub fn contains(&self, flowtime: u64) -> bool {
+        flowtime >= self.lo && flowtime < self.hi
+    }
+}
+
+/// Summary of the per-job flowtimes of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowtimeSummary {
+    /// Name of the scheduler that produced the run.
+    pub scheduler: String,
+    /// Number of jobs summarised.
+    pub jobs: usize,
+    /// Unweighted mean flowtime.
+    pub mean: f64,
+    /// Weighted mean flowtime (`Σ wF / Σ w`).
+    pub weighted_mean: f64,
+    /// Weighted sum of flowtimes (the paper's objective).
+    pub weighted_sum: f64,
+    /// Median flowtime.
+    pub median: f64,
+    /// 95th-percentile flowtime.
+    pub p95: f64,
+    /// Maximum flowtime.
+    pub max: f64,
+    /// Mean number of copies launched per task (1.0 = no speculation).
+    pub mean_copies_per_task: f64,
+}
+
+impl FlowtimeSummary {
+    /// Summarises a full simulation outcome.
+    pub fn from_outcome(outcome: &SimOutcome) -> Self {
+        Self::from_records(&outcome.scheduler, outcome.records(), outcome.mean_copies_per_task())
+    }
+
+    /// Summarises an arbitrary set of job records (used for per-bucket
+    /// breakdowns).
+    pub fn from_records(scheduler: &str, records: &[JobRecord], mean_copies: f64) -> Self {
+        if records.is_empty() {
+            return FlowtimeSummary {
+                scheduler: scheduler.to_string(),
+                jobs: 0,
+                mean: 0.0,
+                weighted_mean: 0.0,
+                weighted_sum: 0.0,
+                median: 0.0,
+                p95: 0.0,
+                max: 0.0,
+                mean_copies_per_task: mean_copies,
+            };
+        }
+        let mut flowtimes: Vec<f64> = records.iter().map(|r| r.flowtime() as f64).collect();
+        flowtimes.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let n = flowtimes.len();
+        let mean = flowtimes.iter().sum::<f64>() / n as f64;
+        let total_weight: f64 = records.iter().map(|r| r.weight).sum();
+        let weighted_sum: f64 = records.iter().map(|r| r.weighted_flowtime()).sum();
+        let quantile = |q: f64| -> f64 {
+            let idx = ((n as f64 - 1.0) * q).round() as usize;
+            flowtimes[idx.min(n - 1)]
+        };
+        FlowtimeSummary {
+            scheduler: scheduler.to_string(),
+            jobs: n,
+            mean,
+            weighted_mean: if total_weight > 0.0 {
+                weighted_sum / total_weight
+            } else {
+                0.0
+            },
+            weighted_sum,
+            median: quantile(0.5),
+            p95: quantile(0.95),
+            max: flowtimes[n - 1],
+            mean_copies_per_task: mean_copies,
+        }
+    }
+
+    /// Summarises only the jobs whose flowtime falls in `bucket`.
+    pub fn for_bucket(outcome: &SimOutcome, bucket: FlowtimeBucket) -> Self {
+        let records: Vec<JobRecord> = outcome
+            .records()
+            .iter()
+            .filter(|r| bucket.contains(r.flowtime()))
+            .cloned()
+            .collect();
+        Self::from_records(&outcome.scheduler, &records, outcome.mean_copies_per_task())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapreduce_workload::JobId;
+
+    fn record(job: u64, weight: f64, flowtime: u64) -> JobRecord {
+        JobRecord {
+            job: JobId::new(job),
+            weight,
+            arrival: 0,
+            completion: flowtime,
+            num_map_tasks: 1,
+            num_reduce_tasks: 1,
+            copies_launched: 2,
+            true_workload: 10.0,
+        }
+    }
+
+    #[test]
+    fn summary_of_known_records() {
+        let records = vec![
+            record(0, 1.0, 100),
+            record(1, 3.0, 200),
+            record(2, 1.0, 300),
+        ];
+        let s = FlowtimeSummary::from_records("x", &records, 1.0);
+        assert_eq!(s.jobs, 3);
+        assert!((s.mean - 200.0).abs() < 1e-12);
+        // Weighted mean: (100 + 600 + 300) / 5 = 200.
+        assert!((s.weighted_mean - 200.0).abs() < 1e-12);
+        assert!((s.weighted_sum - 1000.0).abs() < 1e-12);
+        assert_eq!(s.median, 200.0);
+        assert_eq!(s.max, 300.0);
+    }
+
+    #[test]
+    fn empty_records_are_safe() {
+        let s = FlowtimeSummary::from_records("x", &[], 0.0);
+        assert_eq!(s.jobs, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.median, 0.0);
+    }
+
+    #[test]
+    fn buckets_partition_small_and_big_jobs() {
+        assert!(FlowtimeBucket::SMALL_JOBS.contains(0));
+        assert!(FlowtimeBucket::SMALL_JOBS.contains(299));
+        assert!(!FlowtimeBucket::SMALL_JOBS.contains(300));
+        assert!(FlowtimeBucket::BIG_JOBS.contains(300));
+        assert!(FlowtimeBucket::BIG_JOBS.contains(3999));
+        assert!(!FlowtimeBucket::BIG_JOBS.contains(4000));
+    }
+
+    #[test]
+    fn bucket_summary_filters_records() {
+        let outcome = mapreduce_sim::SimOutcome::new(
+            "sched".into(),
+            4,
+            vec![record(0, 1.0, 50), record(1, 1.0, 500), record(2, 1.0, 100)],
+            500,
+            100,
+            6,
+            10,
+        );
+        let small = FlowtimeSummary::for_bucket(&outcome, FlowtimeBucket::SMALL_JOBS);
+        assert_eq!(small.jobs, 2);
+        let big = FlowtimeSummary::for_bucket(&outcome, FlowtimeBucket::BIG_JOBS);
+        assert_eq!(big.jobs, 1);
+        assert_eq!(small.scheduler, "sched");
+    }
+
+    #[test]
+    fn p95_is_close_to_max_for_small_samples() {
+        let records: Vec<JobRecord> = (0..20).map(|i| record(i, 1.0, (i + 1) * 10)).collect();
+        let s = FlowtimeSummary::from_records("x", &records, 1.0);
+        assert!(s.p95 >= s.median);
+        assert!(s.p95 <= s.max);
+    }
+}

@@ -1,0 +1,237 @@
+//! Simulation configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Model of machine-level straggling applied on top of the workload-level
+/// variance already encoded in the trace.
+///
+/// The paper attributes stragglers to "partially/intermittently failing
+/// machines or localized resource bottlenecks" but then folds the effect into
+/// the task-workload distribution. [`StragglerModel::MachineSlowdown`] lets
+/// experiments re-introduce an explicit machine-level effect (useful for the
+/// straggler-mitigation example and for stress tests); the default is
+/// [`StragglerModel::None`] which matches the paper's model exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StragglerModel {
+    /// No machine-level slowdown: a copy's duration equals its sampled
+    /// workload divided by machine speed.
+    None,
+    /// Each launched copy independently lands on a "struggling" machine with
+    /// probability `probability`; its duration is multiplied by `factor`.
+    MachineSlowdown {
+        /// Probability that any individual copy is slowed down.
+        probability: f64,
+        /// Multiplicative slowdown factor (> 1).
+        factor: f64,
+    },
+}
+
+impl Default for StragglerModel {
+    fn default() -> Self {
+        StragglerModel::None
+    }
+}
+
+impl StragglerModel {
+    /// Validates the model parameters.
+    ///
+    /// # Panics
+    /// Panics if the probability is outside `[0, 1]` or the factor is < 1.
+    pub fn validate(&self) {
+        if let StragglerModel::MachineSlowdown {
+            probability,
+            factor,
+        } = *self
+        {
+            assert!(
+                (0.0..=1.0).contains(&probability),
+                "slowdown probability must be in [0, 1], got {probability}"
+            );
+            assert!(factor >= 1.0, "slowdown factor must be >= 1, got {factor}");
+        }
+    }
+}
+
+/// Configuration of a single simulation run.
+///
+/// ```
+/// use mapreduce_sim::{SimConfig, StragglerModel};
+/// let cfg = SimConfig::new(1000)
+///     .with_seed(7)
+///     .with_machine_speed(1.2)
+///     .with_straggler_model(StragglerModel::MachineSlowdown { probability: 0.05, factor: 4.0 });
+/// assert_eq!(cfg.num_machines, 1000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Number of machines `M` in the cluster.
+    pub num_machines: usize,
+    /// RNG seed used for clone-workload resampling and straggler injection.
+    pub seed: u64,
+    /// Machine speed `s`; the paper's resource-augmentation analysis gives the
+    /// algorithm machines of speed `1 + ε`. A task copy with workload `p`
+    /// needs `ceil(p / speed)` slots.
+    pub machine_speed: f64,
+    /// Hard horizon on the simulated time, as a safety net against scheduler
+    /// bugs. `None` means unbounded.
+    pub max_slots: Option<u64>,
+    /// Whether clone copies draw a fresh workload from the job's phase
+    /// distribution (the paper's evaluation does this); if `false`, or if the
+    /// job carries no distribution, clones reuse the original task workload.
+    pub resample_clone_workloads: bool,
+    /// Upper bound on simultaneously active copies of a single task; guards
+    /// against pathological schedulers. The paper's algorithms never need more
+    /// than `M / (number of unscheduled tasks)`.
+    pub max_copies_per_task: usize,
+    /// Machine-level straggler injection model.
+    pub straggler: StragglerModel,
+    /// Invoke the scheduler at least every `periodic_wakeup` slots even when
+    /// no arrival/completion happened (in addition to any interval the
+    /// scheduler itself requests). `None` = event-driven only.
+    pub periodic_wakeup: Option<u64>,
+}
+
+impl SimConfig {
+    /// Creates a configuration with the given number of machines and sensible
+    /// defaults everywhere else.
+    ///
+    /// # Panics
+    /// Panics if `num_machines` is zero.
+    pub fn new(num_machines: usize) -> Self {
+        assert!(num_machines > 0, "cluster must have at least one machine");
+        SimConfig {
+            num_machines,
+            seed: 0,
+            machine_speed: 1.0,
+            max_slots: None,
+            resample_clone_workloads: true,
+            max_copies_per_task: 64,
+            straggler: StragglerModel::None,
+            periodic_wakeup: None,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the machine speed (resource augmentation).
+    ///
+    /// # Panics
+    /// Panics if the speed is not strictly positive.
+    pub fn with_machine_speed(mut self, speed: f64) -> Self {
+        assert!(speed > 0.0, "machine speed must be positive, got {speed}");
+        self.machine_speed = speed;
+        self
+    }
+
+    /// Sets the simulation horizon.
+    pub fn with_max_slots(mut self, max_slots: u64) -> Self {
+        self.max_slots = Some(max_slots);
+        self
+    }
+
+    /// Sets whether clone copies resample their workloads.
+    pub fn with_resample_clones(mut self, resample: bool) -> Self {
+        self.resample_clone_workloads = resample;
+        self
+    }
+
+    /// Sets the per-task copy cap.
+    ///
+    /// # Panics
+    /// Panics if `max_copies` is zero.
+    pub fn with_max_copies_per_task(mut self, max_copies: usize) -> Self {
+        assert!(max_copies >= 1, "max copies per task must be at least 1");
+        self.max_copies_per_task = max_copies;
+        self
+    }
+
+    /// Sets the straggler-injection model.
+    ///
+    /// # Panics
+    /// Panics if the model parameters are invalid.
+    pub fn with_straggler_model(mut self, model: StragglerModel) -> Self {
+        model.validate();
+        self.straggler = model;
+        self
+    }
+
+    /// Sets a periodic scheduler wakeup interval.
+    pub fn with_periodic_wakeup(mut self, every: u64) -> Self {
+        self.periodic_wakeup = Some(every.max(1));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sensible() {
+        let cfg = SimConfig::new(12);
+        assert_eq!(cfg.num_machines, 12);
+        assert_eq!(cfg.machine_speed, 1.0);
+        assert!(cfg.resample_clone_workloads);
+        assert_eq!(cfg.straggler, StragglerModel::None);
+        assert!(cfg.max_slots.is_none());
+    }
+
+    #[test]
+    fn builder_setters() {
+        let cfg = SimConfig::new(5)
+            .with_seed(9)
+            .with_machine_speed(1.6)
+            .with_max_slots(1000)
+            .with_resample_clones(false)
+            .with_max_copies_per_task(4)
+            .with_periodic_wakeup(10);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.machine_speed, 1.6);
+        assert_eq!(cfg.max_slots, Some(1000));
+        assert!(!cfg.resample_clone_workloads);
+        assert_eq!(cfg.max_copies_per_task, 4);
+        assert_eq!(cfg.periodic_wakeup, Some(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one machine")]
+    fn zero_machines_rejected() {
+        SimConfig::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "speed must be positive")]
+    fn zero_speed_rejected() {
+        SimConfig::new(1).with_machine_speed(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must be in")]
+    fn bad_straggler_probability_rejected() {
+        SimConfig::new(1).with_straggler_model(StragglerModel::MachineSlowdown {
+            probability: 1.5,
+            factor: 2.0,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must be >= 1")]
+    fn bad_straggler_factor_rejected() {
+        SimConfig::new(1).with_straggler_model(StragglerModel::MachineSlowdown {
+            probability: 0.5,
+            factor: 0.5,
+        });
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let cfg = SimConfig::new(3).with_seed(1).with_max_slots(7);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+    }
+}

@@ -1,0 +1,197 @@
+//! Task copies: the unit of execution on a machine.
+//!
+//! Every launch (original attempt, clone, or speculative backup) creates one
+//! [`CopyInfo`]. A copy occupies exactly one machine from the slot it is
+//! launched until it finishes or is cancelled. Reduce copies launched before
+//! their job's Map phase has completed sit in [`CopyPhase::WaitingForMapPhase`]
+//! — they hold their machine (as in the offline algorithm of Section IV) but
+//! make no progress until the precedence constraint is satisfied.
+
+use crate::state::Slot;
+use mapreduce_workload::TaskId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a single task copy, unique within one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CopyId(pub u64);
+
+impl fmt::Display for CopyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Lifecycle phase of a copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CopyPhase {
+    /// The copy occupies a machine but cannot progress because the job's Map
+    /// phase has not finished yet (only possible for reduce copies).
+    WaitingForMapPhase,
+    /// The copy is processing; it will finish at its recorded finish slot
+    /// unless its task completes first through a sibling copy.
+    Running,
+    /// The copy finished and its result was used for the task.
+    Finished,
+    /// The copy was cancelled because a sibling copy finished first (or a
+    /// scheduler action killed it).
+    Cancelled,
+}
+
+/// Full description of one copy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CopyInfo {
+    /// Identifier of the copy.
+    pub id: CopyId,
+    /// The task this copy belongs to.
+    pub task: TaskId,
+    /// Slot at which the copy was launched (machine occupied from here on).
+    pub launched_at: Slot,
+    /// Slot at which the copy started processing (equals `launched_at` except
+    /// for reduce copies that had to wait for the Map phase).
+    pub started_at: Option<Slot>,
+    /// Number of slots of processing this copy needs once started.
+    pub duration: Slot,
+    /// Current lifecycle phase.
+    pub phase: CopyPhase,
+    /// Slot at which the copy left the machine (finished or cancelled).
+    pub ended_at: Option<Slot>,
+}
+
+impl CopyInfo {
+    /// Creates a copy that starts processing immediately.
+    pub(crate) fn running(id: CopyId, task: TaskId, launched_at: Slot, duration: Slot) -> Self {
+        CopyInfo {
+            id,
+            task,
+            launched_at,
+            started_at: Some(launched_at),
+            duration,
+            phase: CopyPhase::Running,
+            ended_at: None,
+        }
+    }
+
+    /// Creates a copy that waits for the Map phase of its job.
+    pub(crate) fn waiting(id: CopyId, task: TaskId, launched_at: Slot, duration: Slot) -> Self {
+        CopyInfo {
+            id,
+            task,
+            launched_at,
+            started_at: None,
+            duration,
+            phase: CopyPhase::WaitingForMapPhase,
+            ended_at: None,
+        }
+    }
+
+    /// Whether the copy currently occupies a machine.
+    pub fn is_active(&self) -> bool {
+        matches!(
+            self.phase,
+            CopyPhase::WaitingForMapPhase | CopyPhase::Running
+        )
+    }
+
+    /// The slot at which this copy will finish, if it is running and nothing
+    /// cancels it.
+    pub fn finish_slot(&self) -> Option<Slot> {
+        match (self.phase, self.started_at) {
+            (CopyPhase::Running, Some(start)) => Some(start + self.duration),
+            _ => None,
+        }
+    }
+
+    /// Slots of processing completed by `now` (zero while waiting).
+    pub fn elapsed(&self, now: Slot) -> Slot {
+        match (self.phase, self.started_at) {
+            (CopyPhase::Running, Some(start)) => now.saturating_sub(start).min(self.duration),
+            (CopyPhase::Finished, Some(_)) => self.duration,
+            _ => 0,
+        }
+    }
+
+    /// Fraction of this copy's work completed by `now`, in `[0, 1]`.
+    ///
+    /// This mirrors the per-task progress score a real MapReduce system
+    /// reports and is what detection-based baselines (Mantri, LATE) consume.
+    pub fn progress(&self, now: Slot) -> f64 {
+        if self.duration == 0 {
+            return 1.0;
+        }
+        self.elapsed(now) as f64 / self.duration as f64
+    }
+
+    /// Estimated remaining processing slots at `now`, assuming the copy keeps
+    /// its current rate (exact in this simulator).
+    pub fn remaining(&self, now: Slot) -> Slot {
+        match self.phase {
+            CopyPhase::Finished => 0,
+            CopyPhase::Cancelled => 0,
+            CopyPhase::WaitingForMapPhase => self.duration,
+            CopyPhase::Running => self.duration.saturating_sub(self.elapsed(now)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapreduce_workload::{JobId, Phase};
+
+    fn task() -> TaskId {
+        TaskId::new(JobId::new(0), Phase::Map, 0)
+    }
+
+    #[test]
+    fn running_copy_progress_and_finish() {
+        let c = CopyInfo::running(CopyId(1), task(), 10, 20);
+        assert!(c.is_active());
+        assert_eq!(c.finish_slot(), Some(30));
+        assert_eq!(c.elapsed(10), 0);
+        assert_eq!(c.elapsed(15), 5);
+        assert_eq!(c.elapsed(100), 20);
+        assert!((c.progress(20) - 0.5).abs() < 1e-12);
+        assert_eq!(c.remaining(15), 15);
+    }
+
+    #[test]
+    fn waiting_copy_makes_no_progress() {
+        let c = CopyInfo::waiting(CopyId(2), task(), 5, 8);
+        assert!(c.is_active());
+        assert_eq!(c.finish_slot(), None);
+        assert_eq!(c.elapsed(50), 0);
+        assert_eq!(c.progress(50), 0.0);
+        assert_eq!(c.remaining(50), 8);
+    }
+
+    #[test]
+    fn finished_copy_is_complete() {
+        let mut c = CopyInfo::running(CopyId(3), task(), 0, 10);
+        c.phase = CopyPhase::Finished;
+        c.ended_at = Some(10);
+        assert!(!c.is_active());
+        assert_eq!(c.progress(10), 1.0);
+        assert_eq!(c.remaining(10), 0);
+    }
+
+    #[test]
+    fn cancelled_copy_is_inactive() {
+        let mut c = CopyInfo::running(CopyId(4), task(), 0, 10);
+        c.phase = CopyPhase::Cancelled;
+        c.ended_at = Some(3);
+        assert!(!c.is_active());
+        assert_eq!(c.remaining(5), 0);
+    }
+
+    #[test]
+    fn zero_duration_copy_has_full_progress() {
+        let c = CopyInfo::running(CopyId(5), task(), 0, 0);
+        assert_eq!(c.progress(0), 1.0);
+    }
+
+    #[test]
+    fn display_of_copy_id() {
+        assert_eq!(CopyId(7).to_string(), "c7");
+    }
+}

@@ -1,0 +1,744 @@
+//! The discrete-event simulation engine.
+//!
+//! The engine advances slot-granular time, delivers job arrivals, executes
+//! task copies, enforces the Map→Reduce precedence constraint, implements
+//! first-copy-wins cloning semantics (sibling copies are cancelled the moment
+//! one copy of a task finishes) and invokes the [`Scheduler`] whenever the
+//! cluster state changes.
+//!
+//! Event compression: the scheduler is only woken when an arrival or a
+//! completion happened, or on an explicit periodic wakeup (requested either
+//! by the scheduler itself through [`Scheduler::wakeup_interval`] or globally
+//! through [`SimConfig::periodic_wakeup`]). Between such instants nothing in
+//! the model can change, so this is equivalent to the per-slot loop of the
+//! paper while being fast enough for 12 000-machine traces.
+
+use crate::config::{SimConfig, StragglerModel};
+use crate::copy::{CopyId, CopyInfo, CopyPhase};
+use crate::error::SimError;
+use crate::result::{JobRecord, SimOutcome};
+use crate::state::{Action, ClusterState, JobState, Scheduler, Slot};
+use mapreduce_workload::{Phase, TaskId, Trace};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
+
+/// A single simulation run: one trace, one configuration, one scheduler.
+///
+/// See the crate-level documentation for an end-to-end example.
+#[derive(Debug)]
+pub struct Simulation {
+    config: SimConfig,
+    jobs: Vec<JobState>,
+}
+
+/// Entry of the completion-event heap. Entries can become stale when a
+/// sibling copy finishes first; stale entries are skipped on pop.
+type FinishEvent = Reverse<(Slot, u64, TaskId)>;
+
+impl Simulation {
+    /// Creates a simulation over the given trace.
+    ///
+    /// The trace is copied into internal per-job runtime state, so the caller
+    /// keeps ownership of the original.
+    pub fn new(config: SimConfig, trace: &Trace) -> Self {
+        let jobs = trace.iter().cloned().map(JobState::new).collect();
+        Simulation { config, jobs }
+    }
+
+    /// The configuration of this simulation.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs the simulation to completion with the given scheduler.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::NoMachines`] if the configuration has zero machines
+    ///   (normally prevented by [`SimConfig::new`]).
+    /// * [`SimError::SchedulerStalled`] if jobs remain but the scheduler
+    ///   refuses to launch anything and nothing is running or arriving.
+    /// * [`SimError::HorizonExceeded`] if [`SimConfig::max_slots`] is reached.
+    /// * [`SimError::UnknownTask`] if the scheduler references a task outside
+    ///   the trace.
+    pub fn run(mut self, scheduler: &mut dyn Scheduler) -> Result<SimOutcome, SimError> {
+        if self.config.num_machines == 0 {
+            return Err(SimError::NoMachines);
+        }
+        let total_machines = self.config.num_machines;
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+
+        // Jobs are sorted by arrival in the trace; keep a queue of indices.
+        let mut arrival_order: Vec<usize> = (0..self.jobs.len()).collect();
+        arrival_order.sort_by_key(|&i| self.jobs[i].arrival());
+        let mut arrival_queue: VecDeque<usize> = arrival_order.into();
+
+        let mut finish_heap: BinaryHeap<FinishEvent> = BinaryHeap::new();
+        let mut alive: BTreeSet<usize> = BTreeSet::new();
+
+        let mut now: Slot = 0;
+        let mut available = total_machines;
+        let mut next_copy_id: u64 = 0;
+        let mut busy_machine_slots: u64 = 0;
+        let mut total_copies: usize = 0;
+        let mut completed_jobs: usize = 0;
+        let mut scheduler_invocations: u64 = 0;
+        let mut makespan: Slot = 0;
+
+        let wakeup_every = match (scheduler.wakeup_interval(), self.config.periodic_wakeup) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (None, None) => None,
+        };
+
+        while completed_jobs < self.jobs.len() {
+            // ---- determine the next decision instant ----
+            let next_arrival = arrival_queue.front().map(|&i| self.jobs[i].arrival());
+            let next_finish = finish_heap.peek().map(|Reverse((slot, _, _))| *slot);
+            let running_anything = available < total_machines;
+            let next_wakeup = match wakeup_every {
+                Some(k) if !alive.is_empty() && running_anything => Some(now + k),
+                _ => None,
+            };
+
+            let next = [next_arrival, next_finish, next_wakeup]
+                .into_iter()
+                .flatten()
+                .min();
+
+            let next = match next {
+                Some(t) => t.max(now),
+                None => {
+                    // Nothing can ever happen again. If jobs are still alive
+                    // (or waiting to arrive — impossible here since
+                    // next_arrival would be Some) the scheduler has stalled.
+                    return Err(SimError::SchedulerStalled {
+                        slot: now,
+                        alive_jobs: alive.len(),
+                    });
+                }
+            };
+            now = next;
+            if let Some(max_slots) = self.config.max_slots {
+                if now > max_slots {
+                    return Err(SimError::HorizonExceeded {
+                        max_slots,
+                        unfinished_jobs: self.jobs.len() - completed_jobs,
+                    });
+                }
+            }
+
+            // ---- deliver arrivals ----
+            let mut newly_arrived = Vec::new();
+            while let Some(&idx) = arrival_queue.front() {
+                if self.jobs[idx].arrival() <= now {
+                    arrival_queue.pop_front();
+                    self.jobs[idx].mark_arrived();
+                    alive.insert(idx);
+                    newly_arrived.push(self.jobs[idx].id());
+                } else {
+                    break;
+                }
+            }
+
+            // ---- deliver completions ----
+            let mut newly_finished = Vec::new();
+            while let Some(&Reverse((slot, copy_raw, task_id))) = finish_heap.peek() {
+                if slot > now {
+                    break;
+                }
+                finish_heap.pop();
+                let copy_id = CopyId(copy_raw);
+                let finish_result = self.handle_copy_finish(
+                    task_id,
+                    copy_id,
+                    slot,
+                    &mut available,
+                    &mut busy_machine_slots,
+                );
+                if let Some(finished_task) = finish_result {
+                    newly_finished.push(finished_task);
+                    // Map phase completion may have activated waiting reduce
+                    // copies: schedule their completions.
+                    let job_idx = task_id.job.as_usize();
+                    if task_id.phase == Phase::Map && self.jobs[job_idx].map_phase_complete() {
+                        self.activate_waiting_reduce_copies(job_idx, slot, &mut finish_heap);
+                    }
+                    if self.jobs[job_idx].all_tasks_finished()
+                        && !self.jobs[job_idx].is_complete()
+                    {
+                        self.jobs[job_idx].mark_complete(slot);
+                        completed_jobs += 1;
+                        makespan = makespan.max(slot);
+                        alive.remove(&job_idx);
+                    }
+                }
+            }
+
+            if completed_jobs == self.jobs.len() {
+                break;
+            }
+
+            // ---- invoke the scheduler ----
+            let alive_vec: Vec<usize> = alive.iter().copied().collect();
+            scheduler_invocations += 1;
+            let actions = {
+                let state =
+                    ClusterState::new(now, total_machines, available, &self.jobs, &alive_vec);
+                for job in &newly_arrived {
+                    scheduler.on_job_arrival(*job, &state);
+                }
+                for task in &newly_finished {
+                    scheduler.on_task_finished(*task, &state);
+                }
+                scheduler.schedule(&state)
+            };
+
+            self.apply_actions(
+                &actions,
+                now,
+                &mut available,
+                &mut busy_machine_slots,
+                &mut next_copy_id,
+                &mut total_copies,
+                &mut finish_heap,
+                &mut rng,
+            )?;
+
+            // ---- stall detection ----
+            // If nothing is running, nothing will arrive, and jobs remain,
+            // the scheduler will never be given a different state again.
+            if available == total_machines && arrival_queue.is_empty() && !alive.is_empty() {
+                return Err(SimError::SchedulerStalled {
+                    slot: now,
+                    alive_jobs: alive.len(),
+                });
+            }
+        }
+
+        // ---- collect records ----
+        let records: Vec<JobRecord> = self
+            .jobs
+            .iter()
+            .map(|j| JobRecord {
+                job: j.id(),
+                weight: j.weight(),
+                arrival: j.arrival(),
+                completion: j.completed_at().unwrap_or(makespan),
+                num_map_tasks: j.spec().num_map_tasks(),
+                num_reduce_tasks: j.spec().num_reduce_tasks(),
+                copies_launched: j.copies_launched(),
+                true_workload: j.spec().true_total_workload(),
+            })
+            .collect();
+
+        Ok(SimOutcome::new(
+            scheduler.name().to_string(),
+            total_machines,
+            records,
+            makespan,
+            busy_machine_slots,
+            total_copies,
+            scheduler_invocations,
+        ))
+    }
+
+    /// Processes the completion of one copy. Returns `Some(task_id)` if the
+    /// event was live and the task finished, `None` for stale events.
+    fn handle_copy_finish(
+        &mut self,
+        task_id: TaskId,
+        copy_id: CopyId,
+        slot: Slot,
+        available: &mut usize,
+        busy_machine_slots: &mut u64,
+    ) -> Option<TaskId> {
+        let job = self.jobs.get_mut(task_id.job.as_usize())?;
+        let task = job.task_mut(task_id.phase, task_id.index)?;
+        if task.is_finished() {
+            return None;
+        }
+        // Locate the copy and confirm the event is live.
+        {
+            let copies = task.copies_mut();
+            let copy = copies.iter_mut().find(|c| c.id == copy_id)?;
+            if copy.phase != CopyPhase::Running || copy.finish_slot() != Some(slot) {
+                return None;
+            }
+            copy.phase = CopyPhase::Finished;
+            copy.ended_at = Some(slot);
+        }
+        // Cancel the sibling copies (first-copy-wins).
+        let mut released = 0usize;
+        let mut busy = 0u64;
+        for copy in task.copies_mut().iter_mut() {
+            match copy.phase {
+                CopyPhase::Finished if copy.id == copy_id => {
+                    released += 1;
+                    busy += slot.saturating_sub(copy.launched_at);
+                }
+                CopyPhase::Running | CopyPhase::WaitingForMapPhase => {
+                    copy.phase = CopyPhase::Cancelled;
+                    copy.ended_at = Some(slot);
+                    released += 1;
+                    busy += slot.saturating_sub(copy.launched_at);
+                }
+                _ => {}
+            }
+        }
+        task.mark_finished(slot);
+        job.note_task_finished(task_id.phase);
+        job.note_copy_released(released);
+        *available += released;
+        *busy_machine_slots += busy;
+        Some(task_id)
+    }
+
+    /// Starts processing of reduce copies that were launched before the Map
+    /// phase of their job had completed.
+    fn activate_waiting_reduce_copies(
+        &mut self,
+        job_idx: usize,
+        slot: Slot,
+        finish_heap: &mut BinaryHeap<FinishEvent>,
+    ) {
+        let job = &mut self.jobs[job_idx];
+        for index in 0..job.spec().num_reduce_tasks() {
+            if let Some(task) = job.task_mut(Phase::Reduce, index as u32) {
+                let task_id = task.id();
+                for copy in task.copies_mut().iter_mut() {
+                    if copy.phase == CopyPhase::WaitingForMapPhase {
+                        copy.phase = CopyPhase::Running;
+                        copy.started_at = Some(slot);
+                        finish_heap.push(Reverse((slot + copy.duration, copy.id.0, task_id)));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies the scheduler's actions, clipping launches to the available
+    /// machines and the per-task copy cap.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_actions(
+        &mut self,
+        actions: &[Action],
+        now: Slot,
+        available: &mut usize,
+        busy_machine_slots: &mut u64,
+        next_copy_id: &mut u64,
+        total_copies: &mut usize,
+        finish_heap: &mut BinaryHeap<FinishEvent>,
+        rng: &mut ChaCha8Rng,
+    ) -> Result<(), SimError> {
+        for action in actions {
+            match *action {
+                Action::Launch { task, copies } => {
+                    self.launch_copies(
+                        task,
+                        copies,
+                        now,
+                        available,
+                        next_copy_id,
+                        total_copies,
+                        finish_heap,
+                        rng,
+                    )?;
+                }
+                Action::CancelCopies { task, keep } => {
+                    self.cancel_copies(task, keep, now, available, busy_machine_slots)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn launch_copies(
+        &mut self,
+        task_id: TaskId,
+        requested: usize,
+        now: Slot,
+        available: &mut usize,
+        next_copy_id: &mut u64,
+        total_copies: &mut usize,
+        finish_heap: &mut BinaryHeap<FinishEvent>,
+        rng: &mut ChaCha8Rng,
+    ) -> Result<(), SimError> {
+        let job_idx = task_id.job.as_usize();
+        if job_idx >= self.jobs.len() {
+            return Err(SimError::UnknownTask(task_id));
+        }
+        {
+            let job = &self.jobs[job_idx];
+            if job.task(task_id.phase, task_id.index).is_none() {
+                return Err(SimError::UnknownTask(task_id));
+            }
+            // Ignore launches for jobs that have not arrived, finished jobs,
+            // or finished tasks: the scheduler may be acting on a stale view.
+            if !job.is_alive()
+                || job
+                    .task(task_id.phase, task_id.index)
+                    .map(|t| t.is_finished())
+                    .unwrap_or(true)
+            {
+                return Ok(());
+            }
+        }
+
+        let max_per_task = self.config.max_copies_per_task;
+        let speed = self.config.machine_speed;
+        let resample = self.config.resample_clone_workloads;
+        let straggler = self.config.straggler;
+
+        let job = &mut self.jobs[job_idx];
+        let map_phase_complete = job.map_phase_complete();
+        let spec_workload = job
+            .spec()
+            .tasks(task_id.phase)
+            .get(task_id.index as usize)
+            .map(|t| t.workload)
+            .ok_or(SimError::UnknownTask(task_id))?;
+        let distribution = job.spec().distribution(task_id.phase).cloned();
+
+        let active_now = job
+            .task(task_id.phase, task_id.index)
+            .map(|t| t.active_copies())
+            .unwrap_or(0);
+        let capacity_cap = max_per_task.saturating_sub(active_now);
+        let n = requested.min(*available).min(capacity_cap);
+        if n == 0 {
+            return Ok(());
+        }
+
+        for _ in 0..n {
+            let task_was_unscheduled = job
+                .task(task_id.phase, task_id.index)
+                .map(|t| t.is_unscheduled())
+                .unwrap_or(false);
+
+            // Workload of this copy: the original sample for the first copy,
+            // an i.i.d. resample for clones (if enabled and a distribution is
+            // attached to the job).
+            let mut workload = if task_was_unscheduled {
+                spec_workload
+            } else if resample {
+                match &distribution {
+                    Some(dist) => dist.sample(rng),
+                    None => spec_workload,
+                }
+            } else {
+                spec_workload
+            };
+            if let StragglerModel::MachineSlowdown {
+                probability,
+                factor,
+            } = straggler
+            {
+                if rng.gen_bool(probability.clamp(0.0, 1.0)) {
+                    workload *= factor;
+                }
+            }
+            let duration = ((workload / speed).ceil() as Slot).max(1);
+
+            let copy_id = CopyId(*next_copy_id);
+            *next_copy_id += 1;
+
+            let copy = if task_id.phase == Phase::Reduce && !map_phase_complete {
+                CopyInfo::waiting(copy_id, task_id, now, duration)
+            } else {
+                let c = CopyInfo::running(copy_id, task_id, now, duration);
+                finish_heap.push(Reverse((now + duration, copy_id.0, task_id)));
+                c
+            };
+
+            if task_was_unscheduled {
+                job.note_first_launch(task_id.phase);
+            }
+            job.note_copy_launched();
+            if let Some(task) = job.task_mut(task_id.phase, task_id.index) {
+                task.add_copy(copy);
+            }
+            *available -= 1;
+            *total_copies += 1;
+        }
+        Ok(())
+    }
+
+    fn cancel_copies(
+        &mut self,
+        task_id: TaskId,
+        keep: usize,
+        now: Slot,
+        available: &mut usize,
+        busy_machine_slots: &mut u64,
+    ) -> Result<(), SimError> {
+        let job_idx = task_id.job.as_usize();
+        if job_idx >= self.jobs.len() {
+            return Err(SimError::UnknownTask(task_id));
+        }
+        let job = &mut self.jobs[job_idx];
+        let task = match job.task_mut(task_id.phase, task_id.index) {
+            Some(t) => t,
+            None => return Err(SimError::UnknownTask(task_id)),
+        };
+        if task.is_finished() {
+            return Ok(());
+        }
+        // Order active copies by progress (descending) and cancel the excess.
+        let mut active: Vec<(f64, CopyId)> = task
+            .copies()
+            .iter()
+            .filter(|c| c.is_active())
+            .map(|c| (c.progress(now), c.id))
+            .collect();
+        active.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        let to_cancel: Vec<CopyId> = active.iter().skip(keep).map(|&(_, id)| id).collect();
+        let mut released = 0usize;
+        let mut busy = 0u64;
+        for copy in task.copies_mut().iter_mut() {
+            if to_cancel.contains(&copy.id) {
+                copy.phase = CopyPhase::Cancelled;
+                copy.ended_at = Some(now);
+                released += 1;
+                busy += now.saturating_sub(copy.launched_at);
+            }
+        }
+        job.note_copy_released(released);
+        *available += released;
+        *busy_machine_slots += busy;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedulers::{GreedyFifo, MaxCloneScheduler, NoopScheduler};
+    use mapreduce_workload::{JobId, JobSpecBuilder, Trace, WorkloadBuilder};
+
+    fn two_job_trace() -> Trace {
+        let j0 = JobSpecBuilder::new(JobId::new(0))
+            .arrival(0)
+            .weight(1.0)
+            .map_tasks_from_workloads(&[10.0, 10.0])
+            .reduce_tasks_from_workloads(&[5.0])
+            .build();
+        let j1 = JobSpecBuilder::new(JobId::new(1))
+            .arrival(3)
+            .weight(2.0)
+            .map_tasks_from_workloads(&[4.0])
+            .build();
+        Trace::new(vec![j0, j1]).unwrap()
+    }
+
+    #[test]
+    fn fifo_completes_all_jobs() {
+        let trace = two_job_trace();
+        let outcome = Simulation::new(SimConfig::new(4), &trace)
+            .run(&mut GreedyFifo::new())
+            .unwrap();
+        assert_eq!(outcome.records().len(), 2);
+        for r in outcome.records() {
+            assert!(r.completion > r.arrival);
+        }
+        // Job 0: maps finish at 10 (both run in parallel), reduce runs 10..15.
+        let r0 = outcome.record(JobId::new(0)).unwrap();
+        assert_eq!(r0.completion, 15);
+        assert_eq!(r0.flowtime(), 15);
+        // Job 1: arrives at 3, single 4-slot map, machines are free.
+        let r1 = outcome.record(JobId::new(1)).unwrap();
+        assert_eq!(r1.completion, 7);
+        assert_eq!(r1.flowtime(), 4);
+    }
+
+    #[test]
+    fn reduce_respects_map_precedence_even_if_scheduled_early() {
+        // One machine-rich cluster: a FIFO scheduler launches the reduce task
+        // immediately, but it must not finish before map phase + its own
+        // duration.
+        let trace = two_job_trace();
+        let outcome = Simulation::new(SimConfig::new(100), &trace)
+            .run(&mut GreedyFifo::new())
+            .unwrap();
+        let r0 = outcome.record(JobId::new(0)).unwrap();
+        // Map phase ends at slot 10; reduce needs 5 more slots.
+        assert_eq!(r0.completion, 15);
+    }
+
+    #[test]
+    fn machines_are_a_hard_limit() {
+        // 1 machine, two map tasks of 10 slots each plus a 5-slot reduce:
+        // everything must serialise → completion at 25.
+        let trace = Trace::new(vec![JobSpecBuilder::new(JobId::new(0))
+            .map_tasks_from_workloads(&[10.0, 10.0])
+            .reduce_tasks_from_workloads(&[5.0])
+            .build()])
+        .unwrap();
+        let outcome = Simulation::new(SimConfig::new(1), &trace)
+            .run(&mut GreedyFifo::new())
+            .unwrap();
+        assert_eq!(outcome.record(JobId::new(0)).unwrap().completion, 25);
+        // Utilisation must be 100%: one machine busy the whole time.
+        assert!((outcome.utilization() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noop_scheduler_stalls() {
+        let trace = two_job_trace();
+        let err = Simulation::new(SimConfig::new(4), &trace)
+            .run(&mut NoopScheduler::default())
+            .unwrap_err();
+        assert!(matches!(err, SimError::SchedulerStalled { .. }));
+    }
+
+    #[test]
+    fn horizon_is_enforced() {
+        let trace = two_job_trace();
+        let err = Simulation::new(SimConfig::new(1).with_max_slots(5), &trace)
+            .run(&mut GreedyFifo::new())
+            .unwrap_err();
+        assert!(matches!(err, SimError::HorizonExceeded { .. }));
+    }
+
+    #[test]
+    fn cloning_speeds_up_completion_with_resampling() {
+        // A single task with a very long sampled workload but a short-mean
+        // distribution: clones resample and almost surely finish earlier.
+        let dist = mapreduce_workload::DurationDistribution::Deterministic { value: 10.0 };
+        let job = JobSpecBuilder::new(JobId::new(0))
+            .map_tasks_from_workloads(&[1000.0])
+            .map_distribution(dist)
+            .build();
+        let trace = Trace::new(vec![job]).unwrap();
+
+        let no_clone = Simulation::new(SimConfig::new(4).with_seed(1), &trace)
+            .run(&mut GreedyFifo::new())
+            .unwrap();
+        assert_eq!(no_clone.record(JobId::new(0)).unwrap().completion, 1000);
+
+        let cloned = Simulation::new(SimConfig::new(4).with_seed(1), &trace)
+            .run(&mut MaxCloneScheduler::new(4))
+            .unwrap();
+        // The three clones resample a deterministic 10-slot workload, so the
+        // task completes at slot 10.
+        assert_eq!(cloned.record(JobId::new(0)).unwrap().completion, 10);
+        assert!(cloned.total_copies > no_clone.total_copies);
+    }
+
+    #[test]
+    fn clone_cap_is_respected() {
+        let trace = Trace::new(vec![JobSpecBuilder::new(JobId::new(0))
+            .map_tasks_from_workloads(&[50.0])
+            .build()])
+        .unwrap();
+        let outcome = Simulation::new(
+            SimConfig::new(100).with_max_copies_per_task(3),
+            &trace,
+        )
+        .run(&mut MaxCloneScheduler::new(64))
+        .unwrap();
+        assert!(outcome.total_copies <= 3);
+    }
+
+    #[test]
+    fn machine_speed_shortens_durations() {
+        let trace = Trace::new(vec![JobSpecBuilder::new(JobId::new(0))
+            .map_tasks_from_workloads(&[100.0])
+            .build()])
+        .unwrap();
+        let unit = Simulation::new(SimConfig::new(1), &trace)
+            .run(&mut GreedyFifo::new())
+            .unwrap();
+        let fast = Simulation::new(SimConfig::new(1).with_machine_speed(2.0), &trace)
+            .run(&mut GreedyFifo::new())
+            .unwrap();
+        assert_eq!(unit.record(JobId::new(0)).unwrap().completion, 100);
+        assert_eq!(fast.record(JobId::new(0)).unwrap().completion, 50);
+    }
+
+    #[test]
+    fn straggler_injection_slows_things_down() {
+        let trace = WorkloadBuilder::new()
+            .num_jobs(20)
+            .map_tasks_per_job(2, 4)
+            .reduce_tasks_per_job(1, 1)
+            .build(3);
+        let base_cfg = SimConfig::new(8).with_seed(5);
+        let slow_cfg = SimConfig::new(8).with_seed(5).with_straggler_model(
+            StragglerModel::MachineSlowdown {
+                probability: 1.0,
+                factor: 3.0,
+            },
+        );
+        let base = Simulation::new(base_cfg, &trace)
+            .run(&mut GreedyFifo::new())
+            .unwrap();
+        let slowed = Simulation::new(slow_cfg, &trace)
+            .run(&mut GreedyFifo::new())
+            .unwrap();
+        assert!(slowed.mean_flowtime() > base.mean_flowtime());
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_outcomes() {
+        let trace = WorkloadBuilder::new().num_jobs(15).build(2);
+        let a = Simulation::new(SimConfig::new(6).with_seed(9), &trace)
+            .run(&mut GreedyFifo::new())
+            .unwrap();
+        let b = Simulation::new(SimConfig::new(6).with_seed(9), &trace)
+            .run(&mut GreedyFifo::new())
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn larger_cluster_is_not_slower() {
+        let trace = WorkloadBuilder::new()
+            .num_jobs(30)
+            .map_tasks_per_job(4, 8)
+            .build(4);
+        let small = Simulation::new(SimConfig::new(4), &trace)
+            .run(&mut GreedyFifo::new())
+            .unwrap();
+        let large = Simulation::new(SimConfig::new(64), &trace)
+            .run(&mut GreedyFifo::new())
+            .unwrap();
+        assert!(large.mean_flowtime() <= small.mean_flowtime());
+    }
+
+    #[test]
+    fn unknown_task_launch_is_an_error() {
+        struct Bogus;
+        impl Scheduler for Bogus {
+            fn name(&self) -> &str {
+                "bogus"
+            }
+            fn schedule(&mut self, _state: &ClusterState<'_>) -> Vec<Action> {
+                vec![Action::Launch {
+                    task: TaskId::new(JobId::new(999), Phase::Map, 0),
+                    copies: 1,
+                }]
+            }
+        }
+        let trace = two_job_trace();
+        let err = Simulation::new(SimConfig::new(2), &trace)
+            .run(&mut Bogus)
+            .unwrap_err();
+        assert!(matches!(err, SimError::UnknownTask(_)));
+    }
+
+    #[test]
+    fn busy_slots_never_exceed_capacity() {
+        let trace = WorkloadBuilder::new().num_jobs(25).build(6);
+        let outcome = Simulation::new(SimConfig::new(5), &trace)
+            .run(&mut GreedyFifo::new())
+            .unwrap();
+        assert!(outcome.busy_machine_slots <= 5 * outcome.makespan);
+        assert!(outcome.utilization() <= 1.0 + 1e-9);
+    }
+}

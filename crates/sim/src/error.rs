@@ -1,0 +1,74 @@
+//! Error type of the simulator.
+
+use mapreduce_workload::TaskId;
+use std::fmt;
+
+/// Errors returned by [`crate::Simulation::run`] and by action validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The scheduler produced no progress: jobs are alive, no copies are
+    /// running, no arrivals are pending, yet the scheduler issued no launch.
+    SchedulerStalled {
+        /// The slot at which the stall was detected.
+        slot: u64,
+        /// Number of jobs that were still alive.
+        alive_jobs: usize,
+    },
+    /// The simulation exceeded the configured horizon
+    /// ([`crate::SimConfig::max_slots`]).
+    HorizonExceeded {
+        /// The configured horizon.
+        max_slots: u64,
+        /// Number of jobs that had not completed when the horizon was hit.
+        unfinished_jobs: usize,
+    },
+    /// The scheduler referenced a task that does not exist in the trace.
+    UnknownTask(TaskId),
+    /// The simulator was configured with zero machines.
+    NoMachines,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::SchedulerStalled { slot, alive_jobs } => write!(
+                f,
+                "scheduler stalled at slot {slot} with {alive_jobs} alive jobs and no running work"
+            ),
+            SimError::HorizonExceeded {
+                max_slots,
+                unfinished_jobs,
+            } => write!(
+                f,
+                "simulation horizon of {max_slots} slots exceeded with {unfinished_jobs} unfinished jobs"
+            ),
+            SimError::UnknownTask(id) => write!(f, "scheduler referenced unknown task {id}"),
+            SimError::NoMachines => write!(f, "cluster must have at least one machine"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapreduce_workload::{JobId, Phase};
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SimError::SchedulerStalled {
+            slot: 10,
+            alive_jobs: 3,
+        };
+        assert!(e.to_string().contains("slot 10"));
+        let e = SimError::HorizonExceeded {
+            max_slots: 100,
+            unfinished_jobs: 2,
+        };
+        assert!(e.to_string().contains("100"));
+        let e = SimError::UnknownTask(TaskId::new(JobId::new(1), Phase::Map, 0));
+        assert!(e.to_string().contains("J1"));
+        assert!(!SimError::NoMachines.to_string().is_empty());
+    }
+}

@@ -1,0 +1,46 @@
+//! Slot-granular discrete-event MapReduce cluster simulator.
+//!
+//! This crate is the *substrate* of the reproduction: it implements the
+//! cluster model of Section III of the paper — `M` identical unit-speed
+//! machines, slotted time, one task copy per machine per slot, Map→Reduce
+//! precedence inside every job, and task cloning where the first copy to
+//! finish wins and the siblings are cancelled.
+//!
+//! The seam between the substrate and the algorithms is the
+//! [`Scheduler`] trait: at every decision point the engine hands the
+//! scheduler a read-only [`ClusterState`] and applies the returned
+//! [`Action`]s. The paper's algorithms (crate `mapreduce-sched`) and all the
+//! baselines (crate `mapreduce-baselines`) are implementations of this trait.
+//!
+//! # Quick example
+//!
+//! ```
+//! use mapreduce_sim::{SimConfig, Simulation, schedulers::GreedyFifo};
+//! use mapreduce_workload::WorkloadBuilder;
+//!
+//! let trace = WorkloadBuilder::new().num_jobs(5).build(1);
+//! let config = SimConfig::new(8).with_seed(7);
+//! let outcome = Simulation::new(config, &trace).run(&mut GreedyFifo::new()).unwrap();
+//! assert_eq!(outcome.records().len(), 5);
+//! assert!(outcome.mean_flowtime() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod copy;
+pub mod engine;
+pub mod error;
+pub mod result;
+pub mod schedulers;
+pub mod speedup;
+pub mod state;
+
+pub use config::{SimConfig, StragglerModel};
+pub use copy::{CopyId, CopyInfo, CopyPhase};
+pub use engine::Simulation;
+pub use error::SimError;
+pub use result::{JobRecord, SimOutcome};
+pub use speedup::{LinearCappedSpeedup, NoSpeedup, ParetoSpeedup, SpeedupFunction};
+pub use state::{Action, ClusterState, JobState, Scheduler, Slot, TaskState, TaskStatus};

@@ -1,0 +1,231 @@
+//! Simulation results: per-job completion records and run-level summaries.
+
+use crate::state::Slot;
+use mapreduce_workload::JobId;
+use serde::{Deserialize, Serialize};
+
+/// Completion record of one job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Identity of the job.
+    pub job: JobId,
+    /// Weight `w_i`.
+    pub weight: f64,
+    /// Arrival slot `a_i`.
+    pub arrival: Slot,
+    /// Completion slot `f_i`.
+    pub completion: Slot,
+    /// Number of map tasks.
+    pub num_map_tasks: usize,
+    /// Number of reduce tasks.
+    pub num_reduce_tasks: usize,
+    /// Total copies launched for the job (original attempts + clones +
+    /// speculative backups).
+    pub copies_launched: usize,
+    /// Ground-truth total workload of the job (seconds of work at unit
+    /// speed), for utilisation accounting.
+    pub true_workload: f64,
+}
+
+impl JobRecord {
+    /// The flowtime `f_i − a_i` of the job.
+    pub fn flowtime(&self) -> Slot {
+        self.completion.saturating_sub(self.arrival)
+    }
+
+    /// The weighted flowtime `w_i · (f_i − a_i)`.
+    pub fn weighted_flowtime(&self) -> f64 {
+        self.weight * self.flowtime() as f64
+    }
+
+    /// Total number of tasks in the job.
+    pub fn num_tasks(&self) -> usize {
+        self.num_map_tasks + self.num_reduce_tasks
+    }
+
+    /// Number of extra copies beyond the one original attempt per task.
+    pub fn extra_copies(&self) -> usize {
+        self.copies_launched.saturating_sub(self.num_tasks())
+    }
+}
+
+/// Aggregate outcome of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimOutcome {
+    /// Name of the scheduler that produced this outcome.
+    pub scheduler: String,
+    /// Number of machines in the cluster.
+    pub num_machines: usize,
+    /// Per-job completion records, in job-id order.
+    records: Vec<JobRecord>,
+    /// Slot at which the last job completed.
+    pub makespan: Slot,
+    /// Total machine-slots spent running or holding copies.
+    pub busy_machine_slots: u64,
+    /// Total number of copies launched across all jobs.
+    pub total_copies: usize,
+    /// Total number of scheduler invocations.
+    pub scheduler_invocations: u64,
+}
+
+impl SimOutcome {
+    /// Builds an outcome from its parts (engine-internal, but public so that
+    /// experiment code can synthesise outcomes in tests).
+    pub fn new(
+        scheduler: String,
+        num_machines: usize,
+        records: Vec<JobRecord>,
+        makespan: Slot,
+        busy_machine_slots: u64,
+        total_copies: usize,
+        scheduler_invocations: u64,
+    ) -> Self {
+        SimOutcome {
+            scheduler,
+            num_machines,
+            records,
+            makespan,
+            busy_machine_slots,
+            total_copies,
+            scheduler_invocations,
+        }
+    }
+
+    /// Per-job completion records, in job-id order.
+    pub fn records(&self) -> &[JobRecord] {
+        &self.records
+    }
+
+    /// The record of one job, if it exists.
+    pub fn record(&self, job: JobId) -> Option<&JobRecord> {
+        self.records.iter().find(|r| r.job == job)
+    }
+
+    /// Unweighted mean job flowtime (the metric of Figs. 1–3 and 6).
+    pub fn mean_flowtime(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| r.flowtime() as f64).sum::<f64>() / self.records.len() as f64
+    }
+
+    /// Weighted average flowtime `Σ w_i F_i / Σ w_i` (the paper's
+    /// "weighted average of job flowtime").
+    pub fn weighted_mean_flowtime(&self) -> f64 {
+        let total_weight: f64 = self.records.iter().map(|r| r.weight).sum();
+        if total_weight == 0.0 {
+            return 0.0;
+        }
+        self.records
+            .iter()
+            .map(|r| r.weighted_flowtime())
+            .sum::<f64>()
+            / total_weight
+    }
+
+    /// The objective of the paper's optimisation problem: the weighted *sum*
+    /// of job flowtimes `Σ w_i (f_i − a_i)`.
+    pub fn weighted_sum_flowtime(&self) -> f64 {
+        self.records.iter().map(|r| r.weighted_flowtime()).sum()
+    }
+
+    /// All flowtimes, in job-id order.
+    pub fn flowtimes(&self) -> Vec<Slot> {
+        self.records.iter().map(|r| r.flowtime()).collect()
+    }
+
+    /// Average cluster utilisation over the run (busy machine-slots divided
+    /// by `M · makespan`), in `[0, 1]`... slightly above 1 is impossible by
+    /// construction.
+    pub fn utilization(&self) -> f64 {
+        if self.makespan == 0 {
+            return 0.0;
+        }
+        self.busy_machine_slots as f64 / (self.num_machines as f64 * self.makespan as f64)
+    }
+
+    /// Mean number of copies per task across all jobs (1.0 = no cloning).
+    pub fn mean_copies_per_task(&self) -> f64 {
+        let tasks: usize = self.records.iter().map(|r| r.num_tasks()).sum();
+        if tasks == 0 {
+            return 0.0;
+        }
+        self.total_copies as f64 / tasks as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(job: u64, weight: f64, arrival: Slot, completion: Slot) -> JobRecord {
+        JobRecord {
+            job: JobId::new(job),
+            weight,
+            arrival,
+            completion,
+            num_map_tasks: 2,
+            num_reduce_tasks: 1,
+            copies_launched: 4,
+            true_workload: 30.0,
+        }
+    }
+
+    fn outcome() -> SimOutcome {
+        SimOutcome::new(
+            "test".to_string(),
+            10,
+            vec![record(0, 1.0, 0, 100), record(1, 3.0, 50, 150)],
+            150,
+            600,
+            8,
+            42,
+        )
+    }
+
+    #[test]
+    fn job_record_derived_quantities() {
+        let r = record(0, 2.0, 10, 60);
+        assert_eq!(r.flowtime(), 50);
+        assert_eq!(r.weighted_flowtime(), 100.0);
+        assert_eq!(r.num_tasks(), 3);
+        assert_eq!(r.extra_copies(), 1);
+    }
+
+    #[test]
+    fn outcome_means() {
+        let o = outcome();
+        assert_eq!(o.records().len(), 2);
+        // Flowtimes: 100 and 100.
+        assert!((o.mean_flowtime() - 100.0).abs() < 1e-12);
+        assert!((o.weighted_mean_flowtime() - 100.0).abs() < 1e-12);
+        assert!((o.weighted_sum_flowtime() - 400.0).abs() < 1e-12);
+        assert_eq!(o.flowtimes(), vec![100, 100]);
+    }
+
+    #[test]
+    fn outcome_utilization_and_copies() {
+        let o = outcome();
+        assert!((o.utilization() - 600.0 / 1500.0).abs() < 1e-12);
+        assert!((o.mean_copies_per_task() - 8.0 / 6.0).abs() < 1e-12);
+        assert!(o.record(JobId::new(1)).is_some());
+        assert!(o.record(JobId::new(9)).is_none());
+    }
+
+    #[test]
+    fn empty_outcome_is_safe() {
+        let o = SimOutcome::new("x".into(), 5, vec![], 0, 0, 0, 0);
+        assert_eq!(o.mean_flowtime(), 0.0);
+        assert_eq!(o.weighted_mean_flowtime(), 0.0);
+        assert_eq!(o.utilization(), 0.0);
+        assert_eq!(o.mean_copies_per_task(), 0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let o = outcome();
+        let json = serde_json::to_string(&o).unwrap();
+        let back: SimOutcome = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, o);
+    }
+}

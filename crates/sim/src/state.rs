@@ -1,0 +1,624 @@
+//! Scheduler-facing view of the cluster: job and task state, the
+//! [`ClusterState`] snapshot, the [`Action`] vocabulary and the [`Scheduler`]
+//! trait.
+//!
+//! The engine owns all mutable state; schedulers only ever receive `&`
+//! references and communicate decisions back through [`Action`] values, which
+//! keeps every scheduling algorithm trivially deterministic and replayable.
+
+use crate::copy::{CopyInfo, CopyPhase};
+use mapreduce_workload::{JobId, JobSpec, Phase, TaskId};
+use serde::{Deserialize, Serialize};
+
+/// Simulated time, measured in slots (1 slot = 1 second at the paper's
+/// default granularity).
+pub type Slot = u64;
+
+/// Scheduling status of a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskStatus {
+    /// No copy has been launched yet (the task counts towards `m_i(l)` /
+    /// `r_i(l)` in the paper's notation).
+    Unscheduled,
+    /// At least one copy is active, none has finished.
+    Scheduled,
+    /// Some copy finished; the task is complete.
+    Finished,
+}
+
+/// Per-task runtime state.
+#[derive(Debug, Clone)]
+pub struct TaskState {
+    id: TaskId,
+    workload: f64,
+    status: TaskStatus,
+    copies: Vec<CopyInfo>,
+    first_launched_at: Option<Slot>,
+    finished_at: Option<Slot>,
+}
+
+impl TaskState {
+    pub(crate) fn new(id: TaskId, workload: f64) -> Self {
+        TaskState {
+            id,
+            workload,
+            status: TaskStatus::Unscheduled,
+            copies: Vec::new(),
+            first_launched_at: None,
+            finished_at: None,
+        }
+    }
+
+    /// Identity of the task.
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// The ground-truth workload of the original task attempt. Exposed for
+    /// metrics and oracle baselines; the paper's schedulers must not use it.
+    pub fn true_workload(&self) -> f64 {
+        self.workload
+    }
+
+    /// Scheduling status.
+    pub fn status(&self) -> TaskStatus {
+        self.status
+    }
+
+    /// Whether no copy has been launched yet.
+    pub fn is_unscheduled(&self) -> bool {
+        self.status == TaskStatus::Unscheduled
+    }
+
+    /// Whether the task has completed.
+    pub fn is_finished(&self) -> bool {
+        self.status == TaskStatus::Finished
+    }
+
+    /// Every copy ever launched for this task (active, finished or cancelled).
+    pub fn copies(&self) -> &[CopyInfo] {
+        &self.copies
+    }
+
+    /// Number of copies currently occupying machines.
+    pub fn active_copies(&self) -> usize {
+        self.copies.iter().filter(|c| c.is_active()).count()
+    }
+
+    /// Slot of the first launch, if any.
+    pub fn first_launched_at(&self) -> Option<Slot> {
+        self.first_launched_at
+    }
+
+    /// Slot at which the task finished, if it has.
+    pub fn finished_at(&self) -> Option<Slot> {
+        self.finished_at
+    }
+
+    /// Best (largest) progress fraction across the task's copies at `now`.
+    pub fn best_progress(&self, now: Slot) -> f64 {
+        self.copies
+            .iter()
+            .filter(|c| c.phase != CopyPhase::Cancelled)
+            .map(|c| c.progress(now))
+            .fold(0.0, f64::max)
+    }
+
+    /// Smallest remaining processing time across running copies at `now`
+    /// (`None` if nothing is running).
+    pub fn min_remaining(&self, now: Slot) -> Option<Slot> {
+        self.copies
+            .iter()
+            .filter(|c| c.phase == CopyPhase::Running)
+            .map(|c| c.remaining(now))
+            .min()
+    }
+
+    /// Elapsed processing time of the oldest active copy at `now`, zero if no
+    /// copy is active. Detection-based schedulers use this as the "age" of
+    /// the task attempt.
+    pub fn oldest_active_elapsed(&self, now: Slot) -> Slot {
+        self.copies
+            .iter()
+            .filter(|c| c.is_active())
+            .map(|c| c.elapsed(now))
+            .max()
+            .unwrap_or(0)
+    }
+
+    // ----- engine-internal mutation -----
+
+    pub(crate) fn add_copy(&mut self, copy: CopyInfo) {
+        if self.first_launched_at.is_none() {
+            self.first_launched_at = Some(copy.launched_at);
+        }
+        if self.status == TaskStatus::Unscheduled {
+            self.status = TaskStatus::Scheduled;
+        }
+        self.copies.push(copy);
+    }
+
+    pub(crate) fn copies_mut(&mut self) -> &mut Vec<CopyInfo> {
+        &mut self.copies
+    }
+
+    pub(crate) fn mark_finished(&mut self, at: Slot) {
+        self.status = TaskStatus::Finished;
+        self.finished_at = Some(at);
+    }
+}
+
+/// Per-job runtime state: the static [`JobSpec`] plus the dynamic progress of
+/// all its tasks.
+#[derive(Debug, Clone)]
+pub struct JobState {
+    spec: JobSpec,
+    arrived: bool,
+    map_tasks: Vec<TaskState>,
+    reduce_tasks: Vec<TaskState>,
+    unfinished_map: usize,
+    unfinished_reduce: usize,
+    unscheduled_map: usize,
+    unscheduled_reduce: usize,
+    active_copies: usize,
+    copies_launched: usize,
+    completed_at: Option<Slot>,
+}
+
+impl JobState {
+    /// Creates the initial (not yet arrived, nothing scheduled) runtime state
+    /// for a job.
+    ///
+    /// The engine builds these internally; the constructor is public so that
+    /// scheduler crates can unit-test their priority and sharing logic against
+    /// hand-crafted job states without running a full simulation.
+    pub fn new(spec: JobSpec) -> Self {
+        let map_tasks: Vec<TaskState> = spec
+            .map_tasks
+            .iter()
+            .map(|t| TaskState::new(t.id, t.workload))
+            .collect();
+        let reduce_tasks: Vec<TaskState> = spec
+            .reduce_tasks
+            .iter()
+            .map(|t| TaskState::new(t.id, t.workload))
+            .collect();
+        let unfinished_map = map_tasks.len();
+        let unfinished_reduce = reduce_tasks.len();
+        JobState {
+            arrived: false,
+            unscheduled_map: unfinished_map,
+            unscheduled_reduce: unfinished_reduce,
+            unfinished_map,
+            unfinished_reduce,
+            active_copies: 0,
+            copies_launched: 0,
+            completed_at: None,
+            map_tasks,
+            reduce_tasks,
+            spec,
+        }
+    }
+
+    /// Identity of the job.
+    pub fn id(&self) -> JobId {
+        self.spec.id
+    }
+
+    /// Weight `w_i` of the job.
+    pub fn weight(&self) -> f64 {
+        self.spec.weight
+    }
+
+    /// Arrival slot `a_i`.
+    pub fn arrival(&self) -> Slot {
+        self.spec.arrival
+    }
+
+    /// The full static job description (task counts, phase statistics, …).
+    pub fn spec(&self) -> &JobSpec {
+        &self.spec
+    }
+
+    /// Whether the job has arrived at the cluster.
+    pub fn has_arrived(&self) -> bool {
+        self.arrived
+    }
+
+    /// Whether every task of the job has finished.
+    pub fn is_complete(&self) -> bool {
+        self.completed_at.is_some()
+    }
+
+    /// Whether the job has arrived and still has unfinished tasks.
+    pub fn is_alive(&self) -> bool {
+        self.arrived && !self.is_complete()
+    }
+
+    /// Slot at which the job completed, if it has.
+    pub fn completed_at(&self) -> Option<Slot> {
+        self.completed_at
+    }
+
+    /// Whether every map task has finished (the precedence gate for the
+    /// Reduce phase).
+    pub fn map_phase_complete(&self) -> bool {
+        self.unfinished_map == 0
+    }
+
+    /// Task states of a phase.
+    pub fn tasks(&self, phase: Phase) -> &[TaskState] {
+        match phase {
+            Phase::Map => &self.map_tasks,
+            Phase::Reduce => &self.reduce_tasks,
+        }
+    }
+
+    /// A single task state.
+    pub fn task(&self, phase: Phase, index: u32) -> Option<&TaskState> {
+        self.tasks(phase).get(index as usize)
+    }
+
+    /// Number of tasks of `phase` that have not been launched yet
+    /// (`m_i(l)` / `r_i(l)` in the paper).
+    pub fn num_unscheduled(&self, phase: Phase) -> usize {
+        match phase {
+            Phase::Map => self.unscheduled_map,
+            Phase::Reduce => self.unscheduled_reduce,
+        }
+    }
+
+    /// Total number of unscheduled tasks across both phases (`c_i(l)`).
+    pub fn total_unscheduled(&self) -> usize {
+        self.unscheduled_map + self.unscheduled_reduce
+    }
+
+    /// Number of tasks of `phase` that have not finished yet.
+    pub fn num_unfinished(&self, phase: Phase) -> usize {
+        match phase {
+            Phase::Map => self.unfinished_map,
+            Phase::Reduce => self.unfinished_reduce,
+        }
+    }
+
+    /// Ids of the unscheduled tasks of a phase, in index order. Schedulers
+    /// that want the paper's "choose at random" behaviour can pick any subset;
+    /// the engine does not care which unscheduled task is launched first.
+    pub fn unscheduled_tasks(&self, phase: Phase) -> impl Iterator<Item = &TaskState> {
+        self.tasks(phase).iter().filter(|t| t.is_unscheduled())
+    }
+
+    /// Tasks of a phase that are scheduled (running) but not finished.
+    pub fn running_tasks(&self, phase: Phase) -> impl Iterator<Item = &TaskState> {
+        self.tasks(phase)
+            .iter()
+            .filter(|t| t.status() == TaskStatus::Scheduled)
+    }
+
+    /// Number of machines currently occupied by this job's copies
+    /// (`σ_i(l)` in the paper).
+    pub fn active_copies(&self) -> usize {
+        self.active_copies
+    }
+
+    /// Total number of copies launched for this job so far (original attempts
+    /// plus clones plus speculative backups).
+    pub fn copies_launched(&self) -> usize {
+        self.copies_launched
+    }
+
+    /// The remaining effective workload `U_i(l)` of Equation (4):
+    /// `m_i(l)·(E^m + rσ^m) + r_i(l)·(E^r + rσ^r)`, where `m_i(l)` and
+    /// `r_i(l)` count *unscheduled* tasks.
+    pub fn remaining_effective_workload(&self, r: f64) -> f64 {
+        self.unscheduled_map as f64 * self.spec.map_stats.effective_task_workload(r)
+            + self.unscheduled_reduce as f64 * self.spec.reduce_stats.effective_task_workload(r)
+    }
+
+    /// The total effective workload `φ_i` of Equation (2) (static, ignores
+    /// progress).
+    pub fn total_effective_workload(&self, r: f64) -> f64 {
+        self.spec.effective_workload(r)
+    }
+
+    // ----- engine-internal mutation -----
+
+    pub(crate) fn mark_arrived(&mut self) {
+        self.arrived = true;
+    }
+
+    pub(crate) fn task_mut(&mut self, phase: Phase, index: u32) -> Option<&mut TaskState> {
+        match phase {
+            Phase::Map => self.map_tasks.get_mut(index as usize),
+            Phase::Reduce => self.reduce_tasks.get_mut(index as usize),
+        }
+    }
+
+    pub(crate) fn note_first_launch(&mut self, phase: Phase) {
+        match phase {
+            Phase::Map => self.unscheduled_map = self.unscheduled_map.saturating_sub(1),
+            Phase::Reduce => self.unscheduled_reduce = self.unscheduled_reduce.saturating_sub(1),
+        }
+    }
+
+    pub(crate) fn note_copy_launched(&mut self) {
+        self.active_copies += 1;
+        self.copies_launched += 1;
+    }
+
+    pub(crate) fn note_copy_released(&mut self, count: usize) {
+        self.active_copies = self.active_copies.saturating_sub(count);
+    }
+
+    pub(crate) fn note_task_finished(&mut self, phase: Phase) {
+        match phase {
+            Phase::Map => self.unfinished_map = self.unfinished_map.saturating_sub(1),
+            Phase::Reduce => self.unfinished_reduce = self.unfinished_reduce.saturating_sub(1),
+        }
+    }
+
+    pub(crate) fn all_tasks_finished(&self) -> bool {
+        self.unfinished_map == 0 && self.unfinished_reduce == 0
+    }
+
+    pub(crate) fn mark_complete(&mut self, at: Slot) {
+        self.completed_at = Some(at);
+    }
+}
+
+/// Read-only snapshot of the cluster handed to schedulers at every decision
+/// point.
+#[derive(Debug)]
+pub struct ClusterState<'a> {
+    now: Slot,
+    total_machines: usize,
+    available_machines: usize,
+    jobs: &'a [JobState],
+    alive: &'a [usize],
+}
+
+impl<'a> ClusterState<'a> {
+    pub(crate) fn new(
+        now: Slot,
+        total_machines: usize,
+        available_machines: usize,
+        jobs: &'a [JobState],
+        alive: &'a [usize],
+    ) -> Self {
+        ClusterState {
+            now,
+            total_machines,
+            available_machines,
+            jobs,
+            alive,
+        }
+    }
+
+    /// The current slot.
+    pub fn now(&self) -> Slot {
+        self.now
+    }
+
+    /// Total number of machines `M` in the cluster.
+    pub fn total_machines(&self) -> usize {
+        self.total_machines
+    }
+
+    /// Number of machines not currently occupied by any copy (`M(l)` in
+    /// Algorithm 2's notation for "available machines").
+    pub fn available_machines(&self) -> usize {
+        self.available_machines
+    }
+
+    /// Jobs that have arrived and are not yet complete, in job-id order.
+    pub fn alive_jobs(&self) -> impl Iterator<Item = &'a JobState> + '_ {
+        self.alive.iter().map(move |&i| &self.jobs[i])
+    }
+
+    /// Number of alive jobs.
+    pub fn num_alive_jobs(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Looks up any job (alive, finished or not yet arrived) by id.
+    pub fn job(&self, id: JobId) -> Option<&'a JobState> {
+        self.jobs.get(id.as_usize())
+    }
+
+    /// Sum of the weights of all alive jobs (`W(l)` in Equation (5)).
+    pub fn total_alive_weight(&self) -> f64 {
+        self.alive_jobs().map(|j| j.weight()).sum()
+    }
+}
+
+/// A scheduling decision returned by a [`Scheduler`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Action {
+    /// Launch `copies` new copies of the given task, each occupying one
+    /// machine. Launching an already-running task adds clone/speculative
+    /// copies; launching an unscheduled task starts it.
+    Launch {
+        /// The task to launch copies of.
+        task: TaskId,
+        /// Number of new copies to create (at least 1).
+        copies: usize,
+    },
+    /// Cancel active copies of the task, keeping the `keep` most-progressed
+    /// ones. Used by restart-style speculative baselines; the paper's
+    /// algorithms never issue it (sibling copies are cancelled automatically
+    /// when a task finishes).
+    CancelCopies {
+        /// The task whose copies should be trimmed.
+        task: TaskId,
+        /// Number of copies to keep alive.
+        keep: usize,
+    },
+}
+
+/// The interface every scheduling algorithm implements.
+///
+/// The engine guarantees that `schedule` is called whenever the cluster state
+/// changed (job arrival, task completion) and, if
+/// [`Scheduler::wakeup_interval`] returns `Some(k)`, at least every `k` slots
+/// while any job is alive.
+pub trait Scheduler {
+    /// Human-readable name used in reports and benchmark labels.
+    fn name(&self) -> &str;
+
+    /// Makes scheduling decisions for the current state.
+    ///
+    /// Returned [`Action::Launch`] actions are applied in order until the
+    /// cluster runs out of available machines; the engine clips the copy
+    /// count of the action that crosses the limit and ignores the rest.
+    fn schedule(&mut self, state: &ClusterState<'_>) -> Vec<Action>;
+
+    /// Optional periodic wakeup interval in slots. Detection-based schedulers
+    /// (Mantri, LATE) need this to re-examine running tasks even when no
+    /// event occurred; purely event-driven schedulers return `None`.
+    fn wakeup_interval(&self) -> Option<Slot> {
+        None
+    }
+
+    /// Hook invoked after a job arrives (before the next `schedule` call).
+    fn on_job_arrival(&mut self, _job: JobId, _state: &ClusterState<'_>) {}
+
+    /// Hook invoked after a task finishes (before the next `schedule` call).
+    fn on_task_finished(&mut self, _task: TaskId, _state: &ClusterState<'_>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::copy::CopyId;
+    use mapreduce_workload::{JobSpecBuilder, PhaseStats};
+
+    fn job_state() -> JobState {
+        let spec = JobSpecBuilder::new(JobId::new(0))
+            .arrival(3)
+            .weight(2.0)
+            .map_tasks_from_workloads(&[10.0, 20.0])
+            .reduce_tasks_from_workloads(&[30.0])
+            .map_stats(PhaseStats::new(15.0, 5.0))
+            .reduce_stats(PhaseStats::new(30.0, 0.0))
+            .build();
+        JobState::new(spec)
+    }
+
+    #[test]
+    fn fresh_job_state_counters() {
+        let js = job_state();
+        assert!(!js.has_arrived());
+        assert!(!js.is_alive());
+        assert!(!js.is_complete());
+        assert_eq!(js.num_unscheduled(Phase::Map), 2);
+        assert_eq!(js.num_unscheduled(Phase::Reduce), 1);
+        assert_eq!(js.num_unfinished(Phase::Map), 2);
+        assert_eq!(js.total_unscheduled(), 3);
+        assert_eq!(js.active_copies(), 0);
+        assert!(!js.map_phase_complete());
+    }
+
+    #[test]
+    fn remaining_effective_workload_matches_equation_4() {
+        let js = job_state();
+        // U = 2·(15 + 2·5) + 1·(30 + 0) = 50 + 30 = 80
+        assert!((js.remaining_effective_workload(2.0) - 80.0).abs() < 1e-12);
+        // r = 0: 2·15 + 30 = 60
+        assert!((js.remaining_effective_workload(0.0) - 60.0).abs() < 1e-12);
+        assert!((js.total_effective_workload(0.0) - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn launch_and_finish_bookkeeping() {
+        let mut js = job_state();
+        js.mark_arrived();
+        assert!(js.is_alive());
+
+        let tid = TaskId::new(JobId::new(0), Phase::Map, 0);
+        js.note_first_launch(Phase::Map);
+        js.note_copy_launched();
+        js.task_mut(Phase::Map, 0)
+            .unwrap()
+            .add_copy(CopyInfo::running(CopyId(0), tid, 5, 10));
+        assert_eq!(js.num_unscheduled(Phase::Map), 1);
+        assert_eq!(js.active_copies(), 1);
+        assert_eq!(js.copies_launched(), 1);
+        assert_eq!(js.unscheduled_tasks(Phase::Map).count(), 1);
+        assert_eq!(js.running_tasks(Phase::Map).count(), 1);
+
+        js.task_mut(Phase::Map, 0).unwrap().mark_finished(15);
+        js.note_task_finished(Phase::Map);
+        js.note_copy_released(1);
+        assert_eq!(js.num_unfinished(Phase::Map), 1);
+        assert_eq!(js.active_copies(), 0);
+        assert!(!js.all_tasks_finished());
+        assert!(!js.map_phase_complete());
+    }
+
+    #[test]
+    fn task_state_progress_tracking() {
+        let mut ts = TaskState::new(TaskId::new(JobId::new(1), Phase::Map, 0), 50.0);
+        assert!(ts.is_unscheduled());
+        assert_eq!(ts.best_progress(100), 0.0);
+        assert_eq!(ts.min_remaining(100), None);
+
+        ts.add_copy(CopyInfo::running(
+            CopyId(1),
+            ts.id(),
+            0,
+            50,
+        ));
+        ts.add_copy(CopyInfo::running(
+            CopyId(2),
+            ts.id(),
+            10,
+            40,
+        ));
+        assert_eq!(ts.status(), TaskStatus::Scheduled);
+        assert_eq!(ts.active_copies(), 2);
+        assert_eq!(ts.first_launched_at(), Some(0));
+        // At slot 30: copy 1 has 30/50 = 0.6 progress, copy 2 has 20/40 = 0.5.
+        assert!((ts.best_progress(30) - 0.6).abs() < 1e-12);
+        // Remaining: copy 1 → 20, copy 2 → 20.
+        assert_eq!(ts.min_remaining(30), Some(20));
+        assert_eq!(ts.oldest_active_elapsed(30), 30);
+
+        ts.mark_finished(50);
+        assert!(ts.is_finished());
+        assert_eq!(ts.finished_at(), Some(50));
+    }
+
+    #[test]
+    fn cluster_state_accessors() {
+        let mut j0 = job_state();
+        j0.mark_arrived();
+        let spec1 = JobSpecBuilder::new(JobId::new(1))
+            .weight(5.0)
+            .map_tasks_from_workloads(&[1.0])
+            .build();
+        let mut j1 = JobState::new(spec1);
+        j1.mark_arrived();
+        let jobs = vec![j0, j1];
+        let alive = vec![0usize, 1usize];
+        let state = ClusterState::new(7, 10, 4, &jobs, &alive);
+        assert_eq!(state.now(), 7);
+        assert_eq!(state.total_machines(), 10);
+        assert_eq!(state.available_machines(), 4);
+        assert_eq!(state.num_alive_jobs(), 2);
+        assert_eq!(state.alive_jobs().count(), 2);
+        assert!((state.total_alive_weight() - 7.0).abs() < 1e-12);
+        assert!(state.job(JobId::new(1)).is_some());
+        assert!(state.job(JobId::new(5)).is_none());
+    }
+
+    #[test]
+    fn action_equality_and_serde() {
+        let a = Action::Launch {
+            task: TaskId::new(JobId::new(0), Phase::Map, 1),
+            copies: 3,
+        };
+        let json = serde_json::to_string(&a).unwrap();
+        let back: Action = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+    }
+}

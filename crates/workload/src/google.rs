@@ -1,0 +1,500 @@
+//! Synthetic Google-cluster-like trace generation.
+//!
+//! The paper drives its evaluation with ~6 000 jobs extracted from the public
+//! Google cluster-usage trace and summarises them in Table II:
+//!
+//! | Statistic | Value |
+//! |---|---|
+//! | Total number of jobs | 6064 |
+//! | Trace duration (s) | 35032 |
+//! | Average number of tasks per job | 26.31 |
+//! | Minimum task duration (s) | 12.8 |
+//! | Maximum task duration (s) | 22919.3 |
+//! | Average task duration (s) | 1179.7 |
+//!
+//! The raw trace is not redistributable, so [`GoogleTraceGenerator`] produces
+//! a *synthetic* trace whose marginals match those statistics: a heavy-tailed
+//! job-size distribution (most jobs are small, a few are huge), per-job task
+//! durations correlated with job size (small jobs have short tasks — this is
+//! what makes "cutting down the elapsed time of small jobs" possible at all),
+//! Poisson arrivals over the 12-hour window, and integer priorities 0–11 used
+//! as job weights (shifted by one so that weight 0 never occurs).
+//!
+//! Everything is parameterised through [`GoogleTraceProfile`], so scaled-down
+//! versions (for tests and Criterion benches) use the same machinery.
+
+use crate::distribution::DurationDistribution;
+use crate::ids::JobId;
+use crate::job::{JobSpecBuilder, PhaseStats};
+use crate::trace::Trace;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// One job-size class of the synthetic workload mixture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobClass {
+    /// Human-readable label ("small", "medium", "large").
+    pub name: String,
+    /// Probability that a job belongs to this class; the profile normalises
+    /// the weights of all classes.
+    pub fraction: f64,
+    /// Minimum number of tasks of a job of this class.
+    pub min_tasks: usize,
+    /// Mean number of tasks of a job of this class (geometric-ish spread
+    /// between `min_tasks` and `max_tasks`).
+    pub mean_tasks: f64,
+    /// Maximum number of tasks of a job of this class.
+    pub max_tasks: usize,
+    /// Mean task duration (seconds) of a job of this class. The per-job mean
+    /// is drawn from a log-normal around this value.
+    pub mean_task_duration: f64,
+    /// Coefficient of variation of the per-job mean duration across jobs of
+    /// this class (job-to-job heterogeneity).
+    pub job_duration_cv: f64,
+    /// Coefficient of variation of task durations *within* one job phase
+    /// (this is the variance the cloning algorithms fight).
+    pub task_duration_cv: f64,
+}
+
+/// Full description of the synthetic trace to generate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GoogleTraceProfile {
+    /// Number of jobs to generate.
+    pub num_jobs: usize,
+    /// Length of the arrival window in seconds (jobs arrive Poisson-uniformly
+    /// within it).
+    pub duration: u64,
+    /// Job-size mixture.
+    pub classes: Vec<JobClass>,
+    /// Fraction of a job's tasks that are map tasks (the rest are reduce
+    /// tasks); every job keeps at least one map task.
+    pub map_fraction: f64,
+    /// Minimum task duration (Table II: 12.8 s). Sampled durations are clamped
+    /// from below.
+    pub min_task_duration: f64,
+    /// Maximum task duration (Table II: 22 919.3 s). Sampled durations are
+    /// clamped from above.
+    pub max_task_duration: f64,
+    /// Highest priority value (inclusive). Priorities are sampled
+    /// geometrically in `0..=max_priority` and the job weight is
+    /// `priority + 1`.
+    pub max_priority: u32,
+    /// Parameter of the geometric priority distribution (probability of
+    /// stepping down one priority level); larger means more low-priority jobs.
+    pub priority_decay: f64,
+    /// Fraction of jobs whose arrivals are concentrated into short submission
+    /// bursts instead of being spread uniformly over the window. Real
+    /// cluster traces (including the Google trace) have strongly bursty
+    /// submission patterns; the transient contention that bursts create is
+    /// what makes job-level prioritisation matter at an otherwise moderate
+    /// average load.
+    pub burst_fraction: f64,
+    /// Number of burst windows spread evenly over the trace duration. Each
+    /// burst window is 2 % of the trace long.
+    pub num_bursts: usize,
+}
+
+impl GoogleTraceProfile {
+    /// The full-scale profile calibrated against Table II of the paper:
+    /// 6 064 jobs over 35 032 s, ≈26.3 tasks/job, mean task duration
+    /// ≈1 180 s, durations within [12.8 s, 22 919.3 s].
+    pub fn paper() -> Self {
+        GoogleTraceProfile {
+            num_jobs: 6064,
+            duration: 35_032,
+            classes: vec![
+                JobClass {
+                    name: "small".to_string(),
+                    fraction: 0.60,
+                    min_tasks: 1,
+                    mean_tasks: 4.0,
+                    max_tasks: 15,
+                    mean_task_duration: 60.0,
+                    job_duration_cv: 0.8,
+                    task_duration_cv: 0.2,
+                },
+                JobClass {
+                    name: "medium".to_string(),
+                    fraction: 0.30,
+                    min_tasks: 10,
+                    mean_tasks: 25.0,
+                    max_tasks: 80,
+                    mean_task_duration: 300.0,
+                    job_duration_cv: 0.8,
+                    task_duration_cv: 0.2,
+                },
+                JobClass {
+                    name: "large".to_string(),
+                    fraction: 0.10,
+                    min_tasks: 60,
+                    mean_tasks: 165.0,
+                    max_tasks: 600,
+                    mean_task_duration: 1750.0,
+                    job_duration_cv: 1.0,
+                    task_duration_cv: 0.25,
+                },
+            ],
+            map_fraction: 0.7,
+            min_task_duration: 12.8,
+            max_task_duration: 22_919.3,
+            max_priority: 11,
+            priority_decay: 0.45,
+            burst_fraction: 0.4,
+            num_bursts: 8,
+        }
+    }
+
+    /// A scaled-down profile with `num_jobs` jobs spread over the *same*
+    /// 12-hour arrival window as the paper profile. The arrival rate is
+    /// therefore thinned proportionally, so that running the trace on a
+    /// cluster whose machine count is scaled by the same factor keeps the
+    /// offered load (≈45 % at paper scale) unchanged — this is what preserves
+    /// the qualitative behaviour of the figures at laptop scale.
+    pub fn scaled(num_jobs: usize) -> Self {
+        GoogleTraceProfile {
+            num_jobs,
+            ..Self::paper()
+        }
+    }
+
+    /// Returns a copy of the profile with the within-job task-duration
+    /// coefficient of variation overridden for every class. Useful for the
+    /// "negligible variance" offline experiments and for ablations.
+    pub fn with_task_cv(mut self, cv: f64) -> Self {
+        for class in &mut self.classes {
+            class.task_duration_cv = cv;
+        }
+        self
+    }
+
+    /// Returns a copy with every arrival forced to zero (bulk arrival).
+    pub fn with_bulk_arrivals(mut self) -> Self {
+        self.duration = 0;
+        self
+    }
+
+    /// Builds the generator and produces a trace with the given seed.
+    pub fn generate(&self, seed: u64) -> Trace {
+        GoogleTraceGenerator::new(self.clone()).generate(seed)
+    }
+}
+
+impl Default for GoogleTraceProfile {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Generator turning a [`GoogleTraceProfile`] into a [`Trace`].
+#[derive(Debug, Clone)]
+pub struct GoogleTraceGenerator {
+    profile: GoogleTraceProfile,
+}
+
+impl GoogleTraceGenerator {
+    /// Creates a generator for the given profile.
+    ///
+    /// # Panics
+    /// Panics if the profile has no classes, a non-positive total class
+    /// weight, or `map_fraction` outside `(0, 1]`.
+    pub fn new(profile: GoogleTraceProfile) -> Self {
+        assert!(!profile.classes.is_empty(), "profile needs at least one job class");
+        let total: f64 = profile.classes.iter().map(|c| c.fraction).sum();
+        assert!(total > 0.0, "class fractions must sum to a positive value");
+        assert!(
+            profile.map_fraction > 0.0 && profile.map_fraction <= 1.0,
+            "map_fraction must be in (0, 1]"
+        );
+        GoogleTraceGenerator { profile }
+    }
+
+    /// The profile this generator was built from.
+    pub fn profile(&self) -> &GoogleTraceProfile {
+        &self.profile
+    }
+
+    /// Generates a trace. The same seed always produces the same trace.
+    pub fn generate(&self, seed: u64) -> Trace {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let p = &self.profile;
+        let total_fraction: f64 = p.classes.iter().map(|c| c.fraction).sum();
+
+        let mut jobs = Vec::with_capacity(p.num_jobs);
+        for idx in 0..p.num_jobs {
+            let class = self.pick_class(&mut rng, total_fraction);
+            let num_tasks = self.sample_num_tasks(&mut rng, class);
+            let num_map = ((num_tasks as f64 * p.map_fraction).round() as usize)
+                .clamp(1, num_tasks);
+            let num_reduce = num_tasks - num_map;
+
+            // Per-job mean task duration: log-normal around the class mean.
+            let job_mean_dist = DurationDistribution::lognormal_from_moments(
+                class.mean_task_duration,
+                class.mean_task_duration * class.job_duration_cv,
+            )
+            .expect("class parameters validated");
+            let job_mean = job_mean_dist
+                .sample(&mut rng)
+                .clamp(p.min_task_duration, p.max_task_duration / 2.0);
+
+            // Reduce tasks tend to be longer than map tasks (they aggregate);
+            // keep a fixed 1.5× ratio, as the combined mean stays `job_mean`.
+            let map_mean = job_mean * 0.9;
+            let reduce_mean = job_mean * 1.5;
+
+            let map_dist = self.phase_distribution(map_mean, class.task_duration_cv);
+            let reduce_dist = self.phase_distribution(reduce_mean, class.task_duration_cv);
+
+            let map_workloads: Vec<f64> = (0..num_map)
+                .map(|_| {
+                    map_dist
+                        .sample(&mut rng)
+                        .clamp(p.min_task_duration, p.max_task_duration)
+                })
+                .collect();
+            let reduce_workloads: Vec<f64> = (0..num_reduce)
+                .map(|_| {
+                    reduce_dist
+                        .sample(&mut rng)
+                        .clamp(p.min_task_duration, p.max_task_duration)
+                })
+                .collect();
+
+            let arrival = self.sample_arrival(&mut rng);
+            let priority = self.sample_priority(&mut rng);
+            let weight = (priority + 1) as f64;
+
+            let mut builder = JobSpecBuilder::new(JobId::new(idx as u64))
+                .arrival(arrival)
+                .weight(weight)
+                .map_tasks_from_workloads(&map_workloads)
+                .map_stats(PhaseStats::new(
+                    map_dist.mean().clamp(p.min_task_duration, p.max_task_duration),
+                    map_dist.std_dev(),
+                ))
+                .map_distribution(map_dist.clone());
+            if !reduce_workloads.is_empty() {
+                builder = builder
+                    .reduce_tasks_from_workloads(&reduce_workloads)
+                    .reduce_stats(PhaseStats::new(
+                        reduce_dist
+                            .mean()
+                            .clamp(p.min_task_duration, p.max_task_duration),
+                        reduce_dist.std_dev(),
+                    ))
+                    .reduce_distribution(reduce_dist.clone());
+            }
+            jobs.push(builder.build());
+        }
+
+        Trace::new(jobs).expect("generated jobs are valid by construction")
+    }
+
+    fn pick_class<'a>(&'a self, rng: &mut ChaCha8Rng, total_fraction: f64) -> &'a JobClass {
+        let mut x: f64 = rng.gen_range(0.0..total_fraction);
+        for class in &self.profile.classes {
+            if x < class.fraction {
+                return class;
+            }
+            x -= class.fraction;
+        }
+        self.profile
+            .classes
+            .last()
+            .expect("validated: at least one class")
+    }
+
+    /// Samples an arrival time: with probability `burst_fraction` inside one
+    /// of `num_bursts` short submission bursts, otherwise uniformly over the
+    /// window.
+    fn sample_arrival(&self, rng: &mut ChaCha8Rng) -> u64 {
+        let p = &self.profile;
+        if p.duration == 0 {
+            return 0;
+        }
+        let bursty = p.num_bursts > 0
+            && p.burst_fraction > 0.0
+            && rng.gen_bool(p.burst_fraction.clamp(0.0, 1.0));
+        if bursty {
+            let burst_len = (p.duration / 50).max(1);
+            let which = rng.gen_range(0..p.num_bursts as u64);
+            let start = which * p.duration / p.num_bursts as u64;
+            (start + rng.gen_range(0..=burst_len)).min(p.duration)
+        } else {
+            rng.gen_range(0..=p.duration)
+        }
+    }
+
+    fn sample_num_tasks(&self, rng: &mut ChaCha8Rng, class: &JobClass) -> usize {
+        // Shifted-geometric-ish sampler: exponential spread around the class
+        // mean, clamped to [min_tasks, max_tasks].
+        let span_mean = (class.mean_tasks - class.min_tasks as f64).max(0.5);
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let extra = -span_mean * u.ln();
+        let n = class.min_tasks as f64 + extra;
+        (n.round() as usize).clamp(class.min_tasks.max(1), class.max_tasks.max(1))
+    }
+
+    fn sample_priority(&self, rng: &mut ChaCha8Rng) -> u32 {
+        let p = self.profile.priority_decay.clamp(0.01, 0.99);
+        let mut priority = 0u32;
+        while priority < self.profile.max_priority && rng.gen_bool(p) {
+            priority += 1;
+        }
+        priority
+    }
+
+    fn phase_distribution(&self, mean: f64, cv: f64) -> DurationDistribution {
+        let mean = mean.max(self.profile.min_task_duration);
+        if cv <= 0.0 {
+            DurationDistribution::Deterministic { value: mean }
+        } else {
+            DurationDistribution::lognormal_from_moments(mean, mean * cv)
+                .expect("mean positive by construction")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Phase;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let profile = GoogleTraceProfile::scaled(50);
+        let a = profile.generate(7);
+        let b = profile.generate(7);
+        let c = profile.generate(8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn scaled_profile_counts() {
+        let trace = GoogleTraceProfile::scaled(120).generate(1);
+        assert_eq!(trace.len(), 120);
+        assert!(trace.total_tasks() > 120);
+    }
+
+    #[test]
+    fn durations_respect_clamps() {
+        let profile = GoogleTraceProfile::scaled(150);
+        let trace = profile.generate(3);
+        for job in trace.iter() {
+            for t in job.map_tasks.iter().chain(job.reduce_tasks.iter()) {
+                assert!(t.workload >= profile.min_task_duration - 1e-9);
+                assert!(t.workload <= profile.max_task_duration + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn weights_are_in_priority_range() {
+        let profile = GoogleTraceProfile::scaled(200);
+        let trace = profile.generate(11);
+        for job in trace.iter() {
+            assert!(job.weight >= 1.0);
+            assert!(job.weight <= (profile.max_priority + 1) as f64);
+        }
+        // Priorities should not all be identical.
+        let distinct: std::collections::HashSet<u64> =
+            trace.iter().map(|j| j.weight as u64).collect();
+        assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn every_job_has_a_map_task() {
+        let trace = GoogleTraceProfile::scaled(150).generate(5);
+        for job in trace.iter() {
+            assert!(job.num_map_tasks() >= 1);
+            assert!(!job.tasks(Phase::Map).is_empty());
+        }
+    }
+
+    #[test]
+    fn paper_scale_statistics_are_in_the_right_ballpark() {
+        // Full-scale generation (6 064 jobs) — the statistics should land close
+        // to Table II. Allow generous tolerances: this is a synthetic stand-in,
+        // not a fit to the raw trace.
+        let trace = GoogleTraceProfile::paper().generate(2015);
+        let stats = trace.stats();
+        assert_eq!(stats.total_jobs, 6064);
+        assert!(
+            (stats.mean_tasks_per_job - 26.31).abs() / 26.31 < 0.25,
+            "mean tasks/job {} too far from 26.31",
+            stats.mean_tasks_per_job
+        );
+        assert!(
+            (stats.mean_task_duration - 1179.7).abs() / 1179.7 < 0.35,
+            "mean task duration {} too far from 1179.7",
+            stats.mean_task_duration
+        );
+        assert!(stats.min_task_duration >= 12.8 - 1e-9);
+        assert!(stats.max_task_duration <= 22_919.3 + 1e-9);
+        assert!(stats.duration <= 35_032);
+        assert!(stats.duration > 30_000);
+    }
+
+    #[test]
+    fn small_jobs_have_shorter_tasks_than_large_jobs() {
+        let trace = GoogleTraceProfile::scaled(600).generate(9);
+        let mut small_mean = (0.0, 0usize);
+        let mut large_mean = (0.0, 0usize);
+        for job in trace.iter() {
+            let mean_dur = job.true_total_workload() / job.num_tasks() as f64;
+            if job.num_tasks() <= 10 {
+                small_mean.0 += mean_dur;
+                small_mean.1 += 1;
+            } else if job.num_tasks() >= 60 {
+                large_mean.0 += mean_dur;
+                large_mean.1 += 1;
+            }
+        }
+        assert!(small_mean.1 > 0 && large_mean.1 > 0);
+        let small = small_mean.0 / small_mean.1 as f64;
+        let large = large_mean.0 / large_mean.1 as f64;
+        assert!(
+            small < large,
+            "small-job tasks ({small:.1}s) should be shorter than large-job tasks ({large:.1}s)"
+        );
+    }
+
+    #[test]
+    fn with_task_cv_zero_gives_deterministic_phases() {
+        let profile = GoogleTraceProfile::scaled(30).with_task_cv(0.0);
+        let trace = profile.generate(4);
+        for job in trace.iter() {
+            if job.num_map_tasks() >= 2 {
+                let w0 = job.map_tasks[0].workload;
+                for t in &job.map_tasks {
+                    assert!((t.workload - w0).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_arrival_profile_puts_everything_at_zero() {
+        let trace = GoogleTraceProfile::scaled(40).with_bulk_arrivals().generate(1);
+        assert!(trace.iter().all(|j| j.arrival == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one job class")]
+    fn generator_rejects_empty_classes() {
+        let mut profile = GoogleTraceProfile::paper();
+        profile.classes.clear();
+        GoogleTraceGenerator::new(profile);
+    }
+
+    #[test]
+    #[should_panic(expected = "map_fraction")]
+    fn generator_rejects_bad_map_fraction() {
+        let mut profile = GoogleTraceProfile::paper();
+        profile.map_fraction = 0.0;
+        GoogleTraceGenerator::new(profile);
+    }
+}

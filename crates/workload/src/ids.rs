@@ -1,0 +1,189 @@
+//! Strongly-typed identifiers for jobs, tasks and MapReduce phases.
+//!
+//! The simulator, the schedulers and the metrics layer all exchange these ids,
+//! so they live in the workload crate which everything depends on.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a job within a [`crate::Trace`].
+///
+/// Job ids are dense indices assigned by the trace generator (0, 1, 2, …) so
+/// they can double as vector indices in the simulator.
+///
+/// ```
+/// use mapreduce_workload::JobId;
+/// let id = JobId::new(7);
+/// assert_eq!(id.index(), 7);
+/// assert_eq!(format!("{id}"), "J7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId(u64);
+
+impl JobId {
+    /// Creates a job id from its dense index.
+    pub fn new(index: u64) -> Self {
+        JobId(index)
+    }
+
+    /// Returns the dense index backing this id.
+    pub fn index(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the index as a `usize` for direct vector indexing.
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u64> for JobId {
+    fn from(v: u64) -> Self {
+        JobId::new(v)
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "J{}", self.0)
+    }
+}
+
+/// The two phases of a MapReduce job.
+///
+/// The paper writes `c ∈ {m, r}` for map/reduce-related statements; this enum
+/// is the typed equivalent. `Phase::ALL` is handy for iterating over both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// The Map phase. All map tasks of a job must finish before any reduce
+    /// task of that job can make progress.
+    Map,
+    /// The Reduce phase.
+    Reduce,
+}
+
+impl Phase {
+    /// Both phases, in precedence order (Map before Reduce).
+    pub const ALL: [Phase; 2] = [Phase::Map, Phase::Reduce];
+
+    /// Returns the phase that must complete before this one may start, if any.
+    ///
+    /// ```
+    /// use mapreduce_workload::Phase;
+    /// assert_eq!(Phase::Reduce.predecessor(), Some(Phase::Map));
+    /// assert_eq!(Phase::Map.predecessor(), None);
+    /// ```
+    pub fn predecessor(self) -> Option<Phase> {
+        match self {
+            Phase::Map => None,
+            Phase::Reduce => Some(Phase::Map),
+        }
+    }
+
+    /// Short lowercase label (`"map"` / `"reduce"`), useful in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Map => "map",
+            Phase::Reduce => "reduce",
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Identifier of a single task: the job it belongs to, its phase, and its
+/// index within that phase.
+///
+/// Mirrors the paper's `δ^{c,j}_i` notation (task `j` of phase `c` in job
+/// `J_i`).
+///
+/// ```
+/// use mapreduce_workload::{JobId, Phase, TaskId};
+/// let t = TaskId::new(JobId::new(3), Phase::Reduce, 5);
+/// assert_eq!(format!("{t}"), "J3/reduce/5");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId {
+    /// The job this task belongs to.
+    pub job: JobId,
+    /// The phase (map or reduce) this task belongs to.
+    pub phase: Phase,
+    /// Index of the task within its phase (0-based).
+    pub index: u32,
+}
+
+impl TaskId {
+    /// Creates a task id.
+    pub fn new(job: JobId, phase: Phase, index: u32) -> Self {
+        TaskId { job, phase, index }
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}/{}", self.job, self.phase, self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn job_id_roundtrip() {
+        let id = JobId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.as_usize(), 42);
+        assert_eq!(JobId::from(42u64), id);
+    }
+
+    #[test]
+    fn job_id_display() {
+        assert_eq!(JobId::new(0).to_string(), "J0");
+        assert_eq!(JobId::new(123).to_string(), "J123");
+    }
+
+    #[test]
+    fn job_id_ordering_follows_index() {
+        assert!(JobId::new(1) < JobId::new(2));
+        assert!(JobId::new(10) > JobId::new(2));
+    }
+
+    #[test]
+    fn phase_precedence() {
+        assert_eq!(Phase::Map.predecessor(), None);
+        assert_eq!(Phase::Reduce.predecessor(), Some(Phase::Map));
+    }
+
+    #[test]
+    fn phase_labels_and_order() {
+        assert_eq!(Phase::Map.label(), "map");
+        assert_eq!(Phase::Reduce.label(), "reduce");
+        assert_eq!(Phase::ALL[0], Phase::Map);
+        assert_eq!(Phase::ALL[1], Phase::Reduce);
+        assert!(Phase::Map < Phase::Reduce);
+    }
+
+    #[test]
+    fn task_id_display_and_hash() {
+        let a = TaskId::new(JobId::new(1), Phase::Map, 0);
+        let b = TaskId::new(JobId::new(1), Phase::Map, 1);
+        let c = TaskId::new(JobId::new(1), Phase::Reduce, 0);
+        assert_eq!(a.to_string(), "J1/map/0");
+        let set: HashSet<_> = [a, b, c].into_iter().collect();
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn task_id_serde_roundtrip() {
+        let t = TaskId::new(JobId::new(9), Phase::Reduce, 3);
+        let json = serde_json::to_string(&t).expect("serialize");
+        let back: TaskId = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,47 @@
+//! Workload model for the MapReduce task-cloning reproduction.
+//!
+//! This crate provides everything the schedulers and the cluster simulator
+//! need to know about *work*:
+//!
+//! * [`ids`] — strongly-typed identifiers for jobs, tasks and phases.
+//! * [`distribution`] — task-duration distributions (Pareto, bounded Pareto,
+//!   log-normal, …) together with moment queries and fitting helpers.
+//! * [`job`] — [`JobSpec`], [`TaskSpec`] and [`PhaseStats`]: the ground-truth
+//!   workload of every task plus the first/second moments that schedulers are
+//!   allowed to observe (the paper assumes only `E` and `σ` are known a
+//!   priori).
+//! * [`trace`] — the [`Trace`] container, summary statistics mirroring
+//!   Table II of the paper, and JSON import/export.
+//! * [`google`] — a synthetic trace generator calibrated against the Google
+//!   cluster-usage trace statistics reported in the paper (Table II).
+//! * [`generator`] — a generic [`WorkloadBuilder`] for tests, ablations and
+//!   custom experiments (bulk arrivals, Poisson arrivals, bursts, …).
+//!
+//! # Quick example
+//!
+//! ```
+//! use mapreduce_workload::google::GoogleTraceProfile;
+//!
+//! // A scaled-down Google-like trace: 100 jobs, deterministic given the seed.
+//! let trace = GoogleTraceProfile::scaled(100).generate(42);
+//! assert_eq!(trace.jobs().len(), 100);
+//! let stats = trace.stats();
+//! assert!(stats.mean_tasks_per_job > 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distribution;
+pub mod generator;
+pub mod google;
+pub mod ids;
+pub mod job;
+pub mod trace;
+
+pub use distribution::DurationDistribution;
+pub use generator::{ArrivalProcess, WorkloadBuilder};
+pub use google::{GoogleTraceGenerator, GoogleTraceProfile};
+pub use ids::{JobId, Phase, TaskId};
+pub use job::{JobSpec, JobSpecBuilder, PhaseStats, TaskSpec};
+pub use trace::{Trace, TraceError, TraceStats};

@@ -1,0 +1,28 @@
+//! Epsilon tuning: reproduce the shape of Fig. 1 at laptop scale.
+//!
+//! Sweeps the sharing fraction ε of SRPTMS+C from 0.1 to 1.0 (r = 0) on a
+//! scaled-down Google-like workload and prints the weighted/unweighted
+//! average flowtime for each value, plus the best ε found — the paper finds
+//! the sweet spot around ε = 0.6 (ε = 1 is Hadoop fair scheduling, ε → 0 is
+//! pure SRPT).
+//!
+//! ```text
+//! cargo run --release -p mapreduce-experiments --example epsilon_tuning
+//! ```
+
+use mapreduce_experiments::{fig1, Scenario};
+
+fn main() {
+    let scenario = Scenario::scaled(400, 2);
+    println!(
+        "sweeping epsilon on {} jobs / {} machines / {} seeds\n",
+        scenario.profile.num_jobs,
+        scenario.machines,
+        scenario.seeds.len()
+    );
+    let rows = fig1::run(&scenario, &fig1::paper_epsilons());
+    println!("{}", fig1::render(&rows));
+    if let Some(best) = fig1::best_epsilon(&rows) {
+        println!("best epsilon on this workload: {best:.1} (paper: 0.6)");
+    }
+}

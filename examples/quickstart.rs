@@ -1,0 +1,38 @@
+//! Quickstart: generate a small Google-like trace, run SRPTMS+C on a
+//! simulated cluster, and print the flowtime summary.
+//!
+//! ```text
+//! cargo run --release -p mapreduce-experiments --example quickstart
+//! ```
+
+use mapreduce_metrics::FlowtimeSummary;
+use mapreduce_sched::SrptMsC;
+use mapreduce_sim::{SimConfig, Simulation};
+use mapreduce_workload::GoogleTraceProfile;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A scaled-down version of the paper's workload: 300 jobs with the
+    //    Table II marginals (heavy-tailed sizes and durations, priorities
+    //    0–11 as weights).
+    let trace = GoogleTraceProfile::scaled(300).generate(42);
+    println!("generated {} jobs / {} tasks", trace.len(), trace.total_tasks());
+    println!("{}", trace.stats());
+
+    // 2. A 600-machine cluster (same jobs-per-machine ratio as the paper's
+    //    12 000-machine cluster) running the paper's headline configuration:
+    //    SRPTMS+C with epsilon = 0.6 and r = 3.
+    let config = SimConfig::new(600).with_seed(42);
+    let mut scheduler = SrptMsC::new(0.6, 3.0);
+    let outcome = Simulation::new(config, &trace).run(&mut scheduler)?;
+
+    // 3. Report the metrics the paper reports.
+    let summary = FlowtimeSummary::from_outcome(&outcome);
+    println!("scheduler                  : {}", summary.scheduler);
+    println!("jobs completed             : {}", summary.jobs);
+    println!("average flowtime           : {:.1} s", summary.mean);
+    println!("weighted average flowtime  : {:.1} s", summary.weighted_mean);
+    println!("median / p95 flowtime      : {:.1} / {:.1} s", summary.median, summary.p95);
+    println!("copies launched per task   : {:.2}", summary.mean_copies_per_task);
+    println!("cluster utilisation        : {:.1} %", outcome.utilization() * 100.0);
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! Trace replay: export a synthetic trace to JSON, load it back (the same
+//! path you would use for a real, converted Google/production trace), verify
+//! its Table II statistics and replay it under two schedulers.
+//!
+//! ```text
+//! cargo run --release -p mapreduce-experiments --example trace_replay
+//! ```
+
+use mapreduce_baselines::Mantri;
+use mapreduce_sched::SrptMsC;
+use mapreduce_sim::{SimConfig, Simulation};
+use mapreduce_workload::{GoogleTraceProfile, Trace};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Generate and export.
+    let trace = GoogleTraceProfile::scaled(200).generate(2015);
+    let path = std::env::temp_dir().join("mapreduce-task-cloning-trace.json");
+    trace.save_to_file(&path)?;
+    println!("exported trace to {}", path.display());
+
+    // 2. Load it back, exactly as an external trace would be loaded.
+    let loaded = Trace::load_from_file(&path)?;
+    assert_eq!(loaded, trace);
+    println!("re-loaded {} jobs, statistics:", loaded.len());
+    println!("{}", loaded.stats());
+
+    // 3. Replay under SRPTMS+C and Mantri on the same cluster.
+    let config = SimConfig::new(400).with_seed(1);
+    let srptms = Simulation::new(config.clone(), &loaded).run(&mut SrptMsC::new(0.6, 3.0))?;
+    let mantri = Simulation::new(config, &loaded).run(&mut Mantri::new())?;
+    println!(
+        "SRPTMS+C : mean {:.1} s, weighted {:.1} s",
+        srptms.mean_flowtime(),
+        srptms.weighted_mean_flowtime()
+    );
+    println!(
+        "Mantri   : mean {:.1} s, weighted {:.1} s",
+        mantri.mean_flowtime(),
+        mantri.weighted_mean_flowtime()
+    );
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use mapreduce_experiments::{run_scheduler, Scenario, SchedulerKind};
+use mapreduce_sim::SimOutcome;
+use mapreduce_workload::Trace;
+
+/// The scenario used by most integration tests: small enough to run in a few
+/// hundred milliseconds, large enough that scheduling decisions matter.
+pub fn test_scenario() -> Scenario {
+    Scenario::test()
+}
+
+/// Generates the test trace for a seed.
+pub fn test_trace(seed: u64) -> Trace {
+    test_scenario().trace(seed)
+}
+
+/// Runs one scheduler on the shared test trace.
+pub fn run_on_test_trace(kind: SchedulerKind, seed: u64) -> SimOutcome {
+    let scenario = test_scenario();
+    let trace = scenario.trace(seed);
+    run_scheduler(kind, &trace, scenario.machines, seed)
+}
+
+/// Every scheduler kind the harness knows about, for exhaustive smoke tests.
+pub fn all_scheduler_kinds() -> Vec<SchedulerKind> {
+    vec![
+        SchedulerKind::SrptMsC {
+            epsilon: 0.6,
+            r: 3.0,
+        },
+        SchedulerKind::SrptMsNoCloning {
+            epsilon: 0.6,
+            r: 3.0,
+        },
+        SchedulerKind::OfflineSrpt { r: 0.0 },
+        SchedulerKind::Mantri,
+        SchedulerKind::Sca,
+        SchedulerKind::Fair,
+        SchedulerKind::Fifo,
+        SchedulerKind::SrptNoClone { r: 3.0 },
+        SchedulerKind::Late,
+    ]
+}
+
+/// Asserts the structural invariants every simulation outcome must satisfy,
+/// regardless of the scheduler: every job completed after it arrived, the
+/// cluster never ran more copies than machines, and at least one copy was
+/// launched per task.
+pub fn assert_outcome_invariants(outcome: &SimOutcome, trace: &Trace) {
+    assert_eq!(
+        outcome.records().len(),
+        trace.len(),
+        "every job must have a completion record"
+    );
+    for record in outcome.records() {
+        assert!(
+            record.completion >= record.arrival,
+            "job {} completed before it arrived",
+            record.job
+        );
+        assert!(
+            record.copies_launched >= record.num_tasks(),
+            "job {} finished with fewer copies than tasks",
+            record.job
+        );
+    }
+    assert!(
+        outcome.busy_machine_slots <= outcome.num_machines as u64 * outcome.makespan.max(1),
+        "machine-slot accounting exceeded cluster capacity"
+    );
+    assert!(outcome.utilization() <= 1.0 + 1e-9);
+    assert!(outcome.mean_copies_per_task() >= 1.0 - 1e-9);
+}

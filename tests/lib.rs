@@ -1,0 +1,7 @@
+//! Shared helpers for the cross-crate integration tests.
+//!
+//! The actual tests live in `tests/tests/*.rs`; this library crate only holds
+//! small utilities (scaled-down trace profiles, scheduler line-ups) that
+//! several integration tests reuse.
+
+pub mod helpers;

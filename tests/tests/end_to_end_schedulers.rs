@@ -1,0 +1,77 @@
+//! End-to-end smoke tests: every scheduler in the workspace completes the
+//! Google-like workload on the simulator, satisfies the structural
+//! invariants, and is deterministic.
+
+use integration_tests::helpers::{
+    all_scheduler_kinds, assert_outcome_invariants, run_on_test_trace, test_scenario,
+};
+use mapreduce_experiments::run_scheduler;
+
+#[test]
+fn every_scheduler_completes_the_google_like_workload() {
+    let scenario = test_scenario();
+    let trace = scenario.trace(1);
+    for kind in all_scheduler_kinds() {
+        let outcome = run_scheduler(kind, &trace, scenario.machines, 1);
+        assert_outcome_invariants(&outcome, &trace);
+    }
+}
+
+#[test]
+fn schedulers_are_deterministic_given_the_seed() {
+    for kind in all_scheduler_kinds() {
+        let a = run_on_test_trace(kind, 3);
+        let b = run_on_test_trace(kind, 3);
+        assert_eq!(a, b, "{} is not deterministic", kind.label());
+    }
+}
+
+#[test]
+fn cloning_schedulers_actually_clone_and_non_cloning_ones_do_not() {
+    use mapreduce_experiments::SchedulerKind;
+    let with_clones = run_on_test_trace(SchedulerKind::paper_default(), 5);
+    assert!(
+        with_clones.mean_copies_per_task() > 1.0,
+        "SRPTMS+C should launch clones on a half-loaded cluster"
+    );
+    for kind in [
+        SchedulerKind::Fair,
+        SchedulerKind::Fifo,
+        SchedulerKind::SrptNoClone { r: 3.0 },
+        SchedulerKind::OfflineSrpt { r: 0.0 },
+        SchedulerKind::SrptMsNoCloning {
+            epsilon: 0.6,
+            r: 3.0,
+        },
+    ] {
+        let outcome = run_on_test_trace(kind, 5);
+        assert!(
+            (outcome.mean_copies_per_task() - 1.0).abs() < 1e-9,
+            "{} must not clone",
+            kind.label()
+        );
+    }
+}
+
+#[test]
+fn different_machine_speeds_preserve_ordering_of_work() {
+    // Resource augmentation: the same scheduler on (1+eps)-speed machines
+    // must not be slower (this is the premise of the Theorem-2 analysis).
+    use mapreduce_sched::SrptMsC;
+    use mapreduce_sim::{SimConfig, Simulation};
+    let scenario = test_scenario();
+    let trace = scenario.trace(9);
+    let unit = Simulation::new(SimConfig::new(scenario.machines).with_seed(9), &trace)
+        .run(&mut SrptMsC::new(0.6, 3.0))
+        .unwrap();
+    let augmented = Simulation::new(
+        SimConfig::new(scenario.machines)
+            .with_seed(9)
+            .with_machine_speed(1.5),
+        &trace,
+    )
+    .run(&mut SrptMsC::new(0.6, 3.0))
+    .unwrap();
+    assert!(augmented.mean_flowtime() <= unit.mean_flowtime());
+    assert!(augmented.weighted_mean_flowtime() <= unit.weighted_mean_flowtime());
+}

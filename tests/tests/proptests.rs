@@ -1,0 +1,96 @@
+//! Cross-crate property-based tests: for randomly generated workloads and
+//! cluster sizes, every scheduler preserves the simulator's structural
+//! invariants and the headline metrics are internally consistent.
+
+use integration_tests::helpers::assert_outcome_invariants;
+use mapreduce_experiments::{run_scheduler, SchedulerKind};
+use mapreduce_workload::{ArrivalProcess, DurationDistribution, WorkloadBuilder};
+use proptest::prelude::*;
+
+fn random_trace(
+    jobs: usize,
+    seed: u64,
+    mean_interarrival: f64,
+    map_mean: f64,
+) -> mapreduce_workload::Trace {
+    WorkloadBuilder::new()
+        .num_jobs(jobs)
+        .arrivals(ArrivalProcess::Poisson { mean_interarrival })
+        .map_tasks_per_job(1, 6)
+        .reduce_tasks_per_job(0, 2)
+        .map_duration(DurationDistribution::lognormal_from_moments(map_mean, map_mean).unwrap())
+        .reduce_duration(
+            DurationDistribution::lognormal_from_moments(map_mean * 1.5, map_mean).unwrap(),
+        )
+        .weights(&[1.0, 2.0, 5.0, 12.0])
+        .build(seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn prop_srptmsc_preserves_invariants(
+        jobs in 5usize..40,
+        machines in 4usize..64,
+        seed in 0u64..1000,
+        interarrival in 1.0f64..60.0,
+        map_mean in 10.0f64..200.0,
+    ) {
+        let trace = random_trace(jobs, seed, interarrival, map_mean);
+        let outcome = run_scheduler(SchedulerKind::paper_default(), &trace, machines, seed);
+        assert_outcome_invariants(&outcome, &trace);
+        // Weighted metrics are consistent with the records.
+        let manual: f64 = outcome
+            .records()
+            .iter()
+            .map(|r| r.weighted_flowtime())
+            .sum();
+        prop_assert!((manual - outcome.weighted_sum_flowtime()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn prop_baselines_preserve_invariants(
+        jobs in 5usize..30,
+        machines in 4usize..48,
+        seed in 0u64..1000,
+    ) {
+        let trace = random_trace(jobs, seed, 20.0, 60.0);
+        for kind in [SchedulerKind::Mantri, SchedulerKind::Sca, SchedulerKind::Fair] {
+            let outcome = run_scheduler(kind, &trace, machines, seed);
+            assert_outcome_invariants(&outcome, &trace);
+        }
+    }
+
+    #[test]
+    fn prop_flowtime_never_below_critical_path(
+        jobs in 3usize..15,
+        seed in 0u64..500,
+    ) {
+        // Every job needs at least its longest map task plus (if present) its
+        // longest reduce task... no: at least the longest single task — use
+        // that weaker, always-true bound. Cloning can only shorten a task to
+        // the minimum over resampled copies, never below one slot, so we
+        // check the one-slot-per-task floor and the arrival floor only.
+        let trace = random_trace(jobs, seed, 10.0, 50.0);
+        let machines = 64;
+        let outcome = run_scheduler(SchedulerKind::paper_default(), &trace, machines, seed);
+        for record in outcome.records() {
+            // A job with a reduce phase needs at least 2 slots (1 map + 1 reduce).
+            let floor = if record.num_reduce_tasks > 0 { 2 } else { 1 };
+            prop_assert!(record.flowtime() >= floor);
+        }
+    }
+
+    #[test]
+    fn prop_more_machines_never_hurt_fair_scheduling(
+        jobs in 5usize..25,
+        seed in 0u64..500,
+        machines in 4usize..32,
+    ) {
+        let trace = random_trace(jobs, seed, 15.0, 40.0);
+        let small = run_scheduler(SchedulerKind::Fair, &trace, machines, seed);
+        let large = run_scheduler(SchedulerKind::Fair, &trace, machines * 4, seed);
+        prop_assert!(large.mean_flowtime() <= small.mean_flowtime() + 1e-9);
+    }
+}

@@ -1,0 +1,41 @@
+//! Trace serialization round-trips and replay equivalence across crates.
+
+use integration_tests::helpers::test_trace;
+use mapreduce_experiments::{run_scheduler, SchedulerKind};
+use mapreduce_workload::Trace;
+
+#[test]
+fn json_roundtrip_preserves_the_trace_and_the_simulation() {
+    let trace = test_trace(4);
+    let mut buffer = Vec::new();
+    trace.to_writer(&mut buffer).expect("serialize");
+    let reloaded = Trace::from_reader(buffer.as_slice()).expect("deserialize");
+    assert_eq!(reloaded, trace);
+
+    // Replaying the reloaded trace gives bit-identical results.
+    let machines = 300;
+    let a = run_scheduler(SchedulerKind::paper_default(), &trace, machines, 4);
+    let b = run_scheduler(SchedulerKind::paper_default(), &reloaded, machines, 4);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn trace_statistics_survive_the_roundtrip() {
+    let trace = test_trace(8);
+    let stats_before = trace.stats();
+    let json = serde_json::to_string(&trace).expect("serialize");
+    let reloaded: Trace = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(reloaded.stats(), stats_before);
+}
+
+#[test]
+fn bulk_arrival_conversion_only_changes_arrivals() {
+    let trace = test_trace(2);
+    let bulk = trace.as_bulk_arrival();
+    assert_eq!(bulk.len(), trace.len());
+    assert!(bulk.iter().all(|j| j.arrival == 0));
+    assert_eq!(bulk.total_tasks(), trace.total_tasks());
+    let stats = bulk.stats();
+    assert_eq!(stats.duration, 0);
+    assert_eq!(stats.total_tasks, trace.stats().total_tasks);
+}
