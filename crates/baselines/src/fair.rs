@@ -159,11 +159,11 @@ mod tests {
         // cluster: the heavy job should finish first.
         let heavy = JobSpecBuilder::new(JobId::new(0))
             .weight(4.0)
-            .map_tasks_from_workloads(&vec![50.0; 8])
+            .map_tasks_from_workloads(&[50.0; 8])
             .build();
         let light = JobSpecBuilder::new(JobId::new(1))
             .weight(1.0)
-            .map_tasks_from_workloads(&vec![50.0; 8])
+            .map_tasks_from_workloads(&[50.0; 8])
             .build();
         let trace = Trace::new(vec![heavy, light]).unwrap();
         let outcome = Simulation::new(SimConfig::new(5), &trace)

@@ -64,11 +64,11 @@ mod tests {
     fn earlier_jobs_finish_first_under_contention() {
         let first = JobSpecBuilder::new(JobId::new(0))
             .arrival(0)
-            .map_tasks_from_workloads(&vec![30.0; 4])
+            .map_tasks_from_workloads(&[30.0; 4])
             .build();
         let second = JobSpecBuilder::new(JobId::new(1))
             .arrival(1)
-            .map_tasks_from_workloads(&vec![30.0; 4])
+            .map_tasks_from_workloads(&[30.0; 4])
             .build();
         let trace = Trace::new(vec![first, second]).unwrap();
         let outcome = Simulation::new(SimConfig::new(2), &trace)

@@ -11,10 +11,9 @@
 use crate::fair::fair_fill_unweighted;
 use mapreduce_sim::{Action, ClusterState, JobState, Scheduler, Slot};
 use mapreduce_workload::Phase;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the [`Late`] baseline.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LateConfig {
     /// Only tasks whose progress rate is in the slowest `slow_task_quantile`
     /// of running tasks are eligible for speculation (LATE's
@@ -57,7 +56,10 @@ impl LateConfig {
             self.speculative_cap > 0.0 && self.speculative_cap <= 1.0,
             "speculative cap must be in (0, 1]"
         );
-        assert!(self.detection_interval >= 1, "detection interval must be >= 1");
+        assert!(
+            self.detection_interval >= 1,
+            "detection interval must be >= 1"
+        );
     }
 }
 
@@ -164,8 +166,8 @@ impl Scheduler for Late {
         let threshold = rates[idx];
 
         // SpeculativeCap: bound on outstanding duplicates.
-        let cap = ((state.total_machines() as f64 * self.config.speculative_cap).floor() as usize)
-            .max(1);
+        let cap =
+            ((state.total_machines() as f64 * self.config.speculative_cap).floor() as usize).max(1);
         let allowance = cap.saturating_sub(speculative_running).min(budget);
 
         let mut eligible: Vec<(f64, Action)> = candidates
@@ -186,7 +188,9 @@ impl Scheduler for Late {
 mod tests {
     use super::*;
     use mapreduce_sim::{SimConfig, Simulation, StragglerModel};
-    use mapreduce_workload::{DurationDistribution, JobId, JobSpecBuilder, PhaseStats, Trace, WorkloadBuilder};
+    use mapreduce_workload::{
+        DurationDistribution, JobId, JobSpecBuilder, PhaseStats, Trace, WorkloadBuilder,
+    };
 
     #[test]
     fn completes_ordinary_workloads() {
@@ -236,7 +240,9 @@ mod tests {
             probability: 0.15,
             factor: 6.0,
         };
-        let cfg = SimConfig::new(16).with_seed(11).with_straggler_model(straggling);
+        let cfg = SimConfig::new(16)
+            .with_seed(11)
+            .with_straggler_model(straggling);
         let fifo = Simulation::new(cfg.clone(), &trace)
             .run(&mut crate::Fifo::new())
             .unwrap();

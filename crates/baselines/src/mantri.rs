@@ -31,10 +31,9 @@
 use crate::fair::fair_fill_unweighted;
 use mapreduce_sim::{Action, ClusterState, JobState, Scheduler, Slot, TaskState};
 use mapreduce_workload::Phase;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the [`Mantri`] baseline.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MantriConfig {
     /// A duplicate is launched when `t_rem > threshold_factor · t_new`.
     /// Mantri's published rule uses 2.0.
@@ -79,7 +78,10 @@ impl MantriConfig {
             self.max_copies_per_task >= 2,
             "Mantri needs at least 2 copies per task to ever speculate"
         );
-        assert!(self.detection_interval >= 1, "detection interval must be >= 1");
+        assert!(
+            self.detection_interval >= 1,
+            "detection interval must be >= 1"
+        );
     }
 }
 
@@ -203,7 +205,7 @@ impl Scheduler for Mantri {
         for job in &jobs {
             candidates.extend(self.straggler_candidates(job, state.now()));
         }
-        candidates.sort_by(|a, b| b.0.cmp(&a.0));
+        candidates.sort_by_key(|(t_rem, _)| std::cmp::Reverse(*t_rem));
         for (_, action) in candidates.into_iter().take(budget) {
             actions.push(action);
         }
@@ -215,7 +217,9 @@ impl Scheduler for Mantri {
 mod tests {
     use super::*;
     use mapreduce_sim::{SimConfig, Simulation, StragglerModel};
-    use mapreduce_workload::{DurationDistribution, JobId, JobSpecBuilder, PhaseStats, Trace, WorkloadBuilder};
+    use mapreduce_workload::{
+        DurationDistribution, JobId, JobSpecBuilder, PhaseStats, Trace, WorkloadBuilder,
+    };
 
     #[test]
     fn completes_ordinary_workloads() {
@@ -273,11 +277,15 @@ mod tests {
             probability: 0.15,
             factor: 6.0,
         };
-        let cfg = SimConfig::new(16).with_seed(7).with_straggler_model(straggling);
+        let cfg = SimConfig::new(16)
+            .with_seed(7)
+            .with_straggler_model(straggling);
         let fair = Simulation::new(cfg.clone(), &trace)
             .run(&mut crate::FairScheduler::new())
             .unwrap();
-        let mantri = Simulation::new(cfg, &trace).run(&mut Mantri::new()).unwrap();
+        let mantri = Simulation::new(cfg, &trace)
+            .run(&mut Mantri::new())
+            .unwrap();
         assert!(
             mantri.mean_flowtime() < fair.mean_flowtime(),
             "Mantri {} should beat Fair {} when machines straggle",

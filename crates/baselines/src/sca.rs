@@ -23,10 +23,9 @@
 
 use mapreduce_sim::{Action, ClusterState, JobState, ParetoSpeedup, Scheduler, SpeedupFunction};
 use mapreduce_workload::Phase;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the [`Sca`] baseline.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScaConfig {
     /// Pessimism factor applied to the effective workload when ordering jobs.
     pub r: f64,
@@ -53,7 +52,10 @@ impl ScaConfig {
     /// # Panics
     /// Panics if `r` is negative, `speedup_alpha ≤ 1`, or the copy cap is 0.
     pub fn validate(&self) {
-        assert!(self.r >= 0.0 && self.r.is_finite(), "r must be non-negative");
+        assert!(
+            self.r >= 0.0 && self.r.is_finite(),
+            "r must be non-negative"
+        );
         assert!(self.speedup_alpha > 1.0, "speedup alpha must exceed 1");
         assert!(self.max_copies_per_task >= 1, "copy cap must be at least 1");
     }
@@ -130,8 +132,12 @@ impl Scheduler for Sca {
             .filter(|j| j.total_unscheduled() > 0)
             .collect();
         jobs.sort_by(|a, b| {
-            let pa = a.weight() / a.remaining_effective_workload(self.config.r).max(f64::MIN_POSITIVE);
-            let pb = b.weight() / b.remaining_effective_workload(self.config.r).max(f64::MIN_POSITIVE);
+            let pa = a.weight()
+                / a.remaining_effective_workload(self.config.r)
+                    .max(f64::MIN_POSITIVE);
+            let pb = b.weight()
+                / b.remaining_effective_workload(self.config.r)
+                    .max(f64::MIN_POSITIVE);
             pb.partial_cmp(&pa)
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then_with(|| a.id().cmp(&b.id()))
@@ -215,7 +221,9 @@ impl Scheduler for Sca {
 mod tests {
     use super::*;
     use mapreduce_sim::{SimConfig, Simulation};
-    use mapreduce_workload::{DurationDistribution, JobId, JobSpecBuilder, PhaseStats, Trace, WorkloadBuilder};
+    use mapreduce_workload::{
+        DurationDistribution, JobId, JobSpecBuilder, PhaseStats, Trace, WorkloadBuilder,
+    };
 
     #[test]
     fn completes_ordinary_workloads() {
@@ -256,7 +264,7 @@ mod tests {
             .map_tasks_from_workloads(&[30.0, 30.0])
             .build();
         let large = JobSpecBuilder::new(JobId::new(1))
-            .map_tasks_from_workloads(&vec![30.0; 12])
+            .map_tasks_from_workloads(&[30.0; 12])
             .build();
         let trace = Trace::new(vec![small, large]).unwrap();
         let outcome = Simulation::new(SimConfig::new(20).with_seed(6), &trace)

@@ -22,7 +22,10 @@ impl SrptNoClone {
     /// # Panics
     /// Panics if `r` is negative or not finite.
     pub fn new(r: f64) -> Self {
-        assert!(r.is_finite() && r >= 0.0, "r must be non-negative and finite, got {r}");
+        assert!(
+            r.is_finite() && r >= 0.0,
+            "r must be non-negative and finite, got {r}"
+        );
         SrptNoClone {
             r,
             name: format!("srpt-noclone(r={r})"),
@@ -57,8 +60,12 @@ impl Scheduler for SrptNoClone {
             .filter(|j| j.total_unscheduled() > 0)
             .collect();
         jobs.sort_by(|a, b| {
-            let pa = a.weight() / a.remaining_effective_workload(self.r).max(f64::MIN_POSITIVE);
-            let pb = b.weight() / b.remaining_effective_workload(self.r).max(f64::MIN_POSITIVE);
+            let pa = a.weight()
+                / a.remaining_effective_workload(self.r)
+                    .max(f64::MIN_POSITIVE);
+            let pb = b.weight()
+                / b.remaining_effective_workload(self.r)
+                    .max(f64::MIN_POSITIVE);
             pb.partial_cmp(&pa)
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then_with(|| a.id().cmp(&b.id()))
@@ -93,7 +100,7 @@ mod tests {
     #[test]
     fn prefers_small_jobs() {
         let big = JobSpecBuilder::new(JobId::new(0))
-            .map_tasks_from_workloads(&vec![40.0; 6])
+            .map_tasks_from_workloads(&[40.0; 6])
             .build();
         let small = JobSpecBuilder::new(JobId::new(1))
             .map_tasks_from_workloads(&[10.0])

@@ -2,9 +2,10 @@
 //! (cloning, the rσ pessimism term, the ε-fraction sharing), plus the raw
 //! scheduler-overhead microbenchmark (cost of one `schedule()` pass).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mapreduce_bench::bench_scenario;
 use mapreduce_experiments::{ablation, run_scheduler, SchedulerKind};
+use mapreduce_support::criterion::{BenchmarkId, Criterion};
+use mapreduce_support::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn bench_ablations(c: &mut Criterion) {
@@ -29,8 +30,12 @@ fn bench_ablations(c: &mut Criterion) {
     for (label, kind) in variants {
         group.bench_with_input(BenchmarkId::from_parameter(label), &kind, |b, &kind| {
             b.iter(|| {
-                let outcome =
-                    run_scheduler(kind, black_box(&trace), scenario.machines, scenario.seeds[0]);
+                let outcome = run_scheduler(
+                    kind,
+                    black_box(&trace),
+                    scenario.machines,
+                    scenario.seeds[0],
+                );
                 black_box(outcome.weighted_mean_flowtime())
             })
         });

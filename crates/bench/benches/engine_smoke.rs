@@ -1,0 +1,78 @@
+//! Engine smoke benchmark: times one scaled-down `Scenario::paper()` run per
+//! scheduler family and emits `BENCH_engine.json` at the workspace root, so
+//! the engine's performance trajectory is tracked across PRs.
+//!
+//! Run with `cargo bench -p mapreduce-bench --bench engine_smoke`.
+
+use mapreduce_experiments::{run_scheduler, Scenario, SchedulerKind};
+use mapreduce_support::criterion::{BenchmarkId, Criterion};
+use mapreduce_support::json::{JsonValue, ToJson};
+use mapreduce_support::{criterion_group, criterion_main};
+use std::hint::black_box;
+
+fn bench_engine(c: &mut Criterion) {
+    // Scenario::paper() scaled down ~20x: same workload family and load
+    // ratio, a few hundred milliseconds per simulation.
+    let scenario = Scenario::scaled(300, 1);
+    let seed = scenario.seeds[0];
+    let trace = scenario.trace(seed);
+    println!(
+        "engine smoke: {} jobs / {} tasks / {} machines",
+        trace.len(),
+        trace.total_tasks(),
+        scenario.machines
+    );
+
+    let mut group = c.benchmark_group("engine_smoke");
+    let variants = [
+        ("srptmsc", SchedulerKind::paper_default()),
+        ("fifo", SchedulerKind::Fifo),
+        ("mantri", SchedulerKind::Mantri),
+    ];
+    for (label, kind) in variants {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &kind, |b, &kind| {
+            b.iter(|| {
+                let outcome = run_scheduler(kind, black_box(&trace), scenario.machines, seed);
+                black_box(outcome.mean_flowtime())
+            })
+        });
+    }
+    group.finish();
+
+    write_report(c, &scenario);
+}
+
+/// Writes every measured result to `BENCH_engine.json` at the workspace root.
+fn write_report(c: &Criterion, scenario: &Scenario) {
+    let results: Vec<JsonValue> = c
+        .results()
+        .iter()
+        .map(|r| {
+            JsonValue::object([
+                ("id", r.id.to_json()),
+                ("mean_ns", r.mean_ns.to_json()),
+                ("min_ns", r.min_ns.to_json()),
+                ("max_ns", r.max_ns.to_json()),
+                ("samples", r.samples.to_json()),
+            ])
+        })
+        .collect();
+    let report = JsonValue::object([
+        ("benchmark", JsonValue::String("engine_smoke".into())),
+        ("jobs", scenario.profile.num_jobs.to_json()),
+        ("machines", scenario.machines.to_json()),
+        ("results", JsonValue::Array(results)),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    match std::fs::write(path, report.to_pretty_string()) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engine
+}
+criterion_main!(benches);

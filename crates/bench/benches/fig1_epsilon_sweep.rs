@@ -1,9 +1,10 @@
 //! Fig. 1 bench: the ε sweep of SRPTMS+C (r = 0). One benchmark per ε value
 //! plus a whole-sweep measurement; the regenerated table is printed once.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mapreduce_bench::sweep_scenario;
 use mapreduce_experiments::{fig1, run_scheduler, SchedulerKind};
+use mapreduce_support::criterion::{BenchmarkId, Criterion};
+use mapreduce_support::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn bench_fig1(c: &mut Criterion) {

@@ -1,8 +1,9 @@
 //! Fig. 2 bench: the pessimism-factor (r) sweep of SRPTMS+C at ε = 0.6.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mapreduce_bench::sweep_scenario;
 use mapreduce_experiments::{fig2, run_scheduler, SchedulerKind};
+use mapreduce_support::criterion::{BenchmarkId, Criterion};
+use mapreduce_support::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn bench_fig2(c: &mut Criterion) {

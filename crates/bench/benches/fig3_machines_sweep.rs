@@ -1,8 +1,9 @@
 //! Fig. 3 bench: SRPTMS+C (ε = 0.6, r = 3) across cluster sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mapreduce_bench::sweep_scenario;
 use mapreduce_experiments::{fig3, run_scheduler, SchedulerKind};
+use mapreduce_support::criterion::{BenchmarkId, Criterion};
+use mapreduce_support::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn bench_fig3(c: &mut Criterion) {

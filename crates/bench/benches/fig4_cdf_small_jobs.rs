@@ -2,10 +2,11 @@
 //! Mantri. The regenerated series is printed once; the measured benchmark is
 //! one full simulation + CDF extraction per scheduler.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mapreduce_bench::bench_scenario;
 use mapreduce_experiments::{fig4, run_scheduler, SchedulerKind};
 use mapreduce_metrics::Ecdf;
+use mapreduce_support::criterion::{BenchmarkId, Criterion};
+use mapreduce_support::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn bench_fig4(c: &mut Criterion) {
@@ -27,8 +28,12 @@ fn bench_fig4(c: &mut Criterion) {
             &kind,
             |b, &kind| {
                 b.iter(|| {
-                    let outcome =
-                        run_scheduler(kind, black_box(&trace), scenario.machines, scenario.seeds[0]);
+                    let outcome = run_scheduler(
+                        kind,
+                        black_box(&trace),
+                        scenario.machines,
+                        scenario.seeds[0],
+                    );
                     let cdf = Ecdf::from_outcome(&outcome);
                     black_box(cdf.fraction_at_or_below(100.0))
                 })

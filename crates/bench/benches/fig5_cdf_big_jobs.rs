@@ -1,10 +1,11 @@
 //! Fig. 5 bench: big-job (300–4000 s) flowtime CDF for SRPTMS+C vs SCA vs
 //! Mantri.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mapreduce_bench::bench_scenario;
 use mapreduce_experiments::{fig5, run_scheduler, SchedulerKind};
 use mapreduce_metrics::Ecdf;
+use mapreduce_support::criterion::{BenchmarkId, Criterion};
+use mapreduce_support::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn bench_fig5(c: &mut Criterion) {
@@ -20,8 +21,12 @@ fn bench_fig5(c: &mut Criterion) {
             &kind,
             |b, &kind| {
                 b.iter(|| {
-                    let outcome =
-                        run_scheduler(kind, black_box(&trace), scenario.machines, scenario.seeds[0]);
+                    let outcome = run_scheduler(
+                        kind,
+                        black_box(&trace),
+                        scenario.machines,
+                        scenario.seeds[0],
+                    );
                     let cdf = Ecdf::from_outcome(&outcome);
                     black_box(cdf.fraction_at_or_below(1000.0))
                 })

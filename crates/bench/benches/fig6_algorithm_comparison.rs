@@ -1,9 +1,10 @@
 //! Fig. 6 bench: weighted/unweighted average flowtime of SRPTMS+C, SCA and
 //! Mantri on the same trace, including the improvement-over-Mantri headline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mapreduce_bench::bench_scenario;
 use mapreduce_experiments::{fig6, run_scheduler, SchedulerKind};
+use mapreduce_support::criterion::{BenchmarkId, Criterion};
+use mapreduce_support::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn bench_fig6(c: &mut Criterion) {
@@ -19,8 +20,12 @@ fn bench_fig6(c: &mut Criterion) {
             &kind,
             |b, &kind| {
                 b.iter(|| {
-                    let outcome =
-                        run_scheduler(kind, black_box(&trace), scenario.machines, scenario.seeds[0]);
+                    let outcome = run_scheduler(
+                        kind,
+                        black_box(&trace),
+                        scenario.machines,
+                        scenario.seeds[0],
+                    );
                     black_box((outcome.mean_flowtime(), outcome.weighted_mean_flowtime()))
                 })
             },

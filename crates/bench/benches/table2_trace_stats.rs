@@ -2,9 +2,10 @@
 //! statistics. Also prints the regenerated table once so `cargo bench`
 //! output contains the paper-vs-measured comparison.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mapreduce_bench::bench_scenario;
 use mapreduce_experiments::table2;
+use mapreduce_support::criterion::Criterion;
+use mapreduce_support::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn bench_table2(c: &mut Criterion) {
@@ -20,9 +21,7 @@ fn bench_table2(c: &mut Criterion) {
     });
 
     let trace = scenario.trace(scenario.seeds[0]);
-    c.bench_function("table2/stats_only", |b| {
-        b.iter(|| black_box(trace.stats()))
-    });
+    c.bench_function("table2/stats_only", |b| b.iter(|| black_box(trace.stats())));
 }
 
 criterion_group! {

@@ -24,7 +24,6 @@
 
 use mapreduce_sim::SimOutcome;
 use mapreduce_workload::{JobId, JobSpec, PhaseStats, Trace};
-use serde::{Deserialize, Serialize};
 
 /// The probability bound of Theorem 1: the flowtime bound holds with
 /// probability at least `1 + 1/r⁴ − 2/r²`.
@@ -55,7 +54,7 @@ pub fn theorem1_probability(r: f64) -> f64 {
 ///   term is required for the bound to be checkable. All competitive-ratio
 ///   accounting in [`CompetitiveReport`] uses this corrected bound; both are
 ///   reported by the Theorem-1 experiment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OfflineBound {
     /// The job the bound refers to.
     pub job: JobId,
@@ -140,7 +139,7 @@ pub fn theorem1_bound(trace: &Trace, machines: usize, r: f64) -> Vec<OfflineBoun
 }
 
 /// Comparison of measured flowtimes against the Theorem-1 bounds.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CompetitiveReport {
     /// Per-job entries: `(bound, measured flowtime)`.
     entries: Vec<(OfflineBound, f64)>,
@@ -213,11 +212,7 @@ impl CompetitiveReport {
     /// bounds. Remark 2 predicts this stays below 2 when task-duration
     /// variance is negligible.
     pub fn weighted_competitive_ratio(&self) -> f64 {
-        let measured: f64 = self
-            .entries
-            .iter()
-            .map(|(b, m)| b.weight * m)
-            .sum();
+        let measured: f64 = self.entries.iter().map(|(b, m)| b.weight * m).sum();
         let lower: f64 = self
             .entries
             .iter()

@@ -36,7 +36,10 @@ impl OfflineSrpt {
     /// # Panics
     /// Panics if `r` is negative or not finite.
     pub fn new(r: f64) -> Self {
-        assert!(r.is_finite() && r >= 0.0, "r must be a non-negative finite number, got {r}");
+        assert!(
+            r.is_finite() && r >= 0.0,
+            "r must be a non-negative finite number, got {r}"
+        );
         OfflineSrpt {
             r,
             name: format!("offline-srpt(r={r})"),

@@ -23,11 +23,10 @@
 //! the analysis.
 
 use mapreduce_sim::SpeedupFunction;
-use serde::{Deserialize, Serialize};
 
 /// The lag state of a single job used when evaluating the potential function:
 /// the job's weight and the per-task lags `y^j_i(t)`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobLag {
     /// Weight `w_i` of the job.
     pub weight: f64,
@@ -90,7 +89,11 @@ impl<S: SpeedupFunction> PotentialFunction<S> {
         }
         let w_total = total_weight.max(weight);
         let fair_share = weight * self.machines as f64 / (self.epsilon * w_total);
-        weight * lag / self.speedup.speedup(fair_share.max(1.0)).max(f64::MIN_POSITIVE)
+        weight * lag
+            / self
+                .speedup
+                .speedup(fair_share.max(1.0))
+                .max(f64::MIN_POSITIVE)
     }
 
     /// Evaluates Φ(t) for the given set of alive jobs (Equation (15)).
@@ -116,7 +119,7 @@ impl<S: SpeedupFunction> PotentialFunction<S> {
 mod tests {
     use super::*;
     use mapreduce_sim::ParetoSpeedup;
-    use proptest::prelude::*;
+    use mapreduce_support::proptest::prelude::*;
 
     fn pf(epsilon: f64) -> PotentialFunction<ParetoSpeedup> {
         PotentialFunction::new(epsilon, ParetoSpeedup::new(2.0), 100)

@@ -85,9 +85,7 @@ mod tests {
         let high_var = spec(1.0, 2, 10.0, 8.0);
         assert!(offline_priority(&low_var, 3.0) > offline_priority(&high_var, 3.0));
         // With r = 0 the variance does not matter.
-        assert!(
-            (offline_priority(&low_var, 0.0) - offline_priority(&high_var, 0.0)).abs() < 1e-12
-        );
+        assert!((offline_priority(&low_var, 0.0) - offline_priority(&high_var, 0.0)).abs() < 1e-12);
     }
 
     #[test]

@@ -22,10 +22,9 @@
 //! the single most urgent job runs).
 
 use mapreduce_workload::JobId;
-use serde::{Deserialize, Serialize};
 
 /// The machine share assigned to one job by the ε-fraction rule.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineShare {
     /// The job this share belongs to.
     pub job: JobId,
@@ -135,7 +134,7 @@ fn largest_remainder_round(shares: &mut [MachineShare], total_machines: usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mapreduce_support::proptest::prelude::*;
 
     fn ids(n: usize) -> Vec<JobId> {
         (0..n as u64).map(JobId::new).collect()
@@ -214,10 +213,7 @@ mod tests {
 
     #[test]
     fn higher_priority_jobs_never_get_less_share_per_weight() {
-        let jobs: Vec<(JobId, f64)> = ids(5)
-            .into_iter()
-            .zip([2.0, 1.0, 3.0, 1.0, 1.0])
-            .collect();
+        let jobs: Vec<(JobId, f64)> = ids(5).into_iter().zip([2.0, 1.0, 3.0, 1.0, 1.0]).collect();
         let shares = epsilon_fraction_shares(&jobs, 40, 0.6);
         let per_weight: Vec<f64> = shares
             .iter()
@@ -225,7 +221,10 @@ mod tests {
             .map(|(s, (_, w))| s.fractional / w)
             .collect();
         for pair in per_weight.windows(2) {
-            assert!(pair[0] + 1e-9 >= pair[1], "share per weight must be non-increasing");
+            assert!(
+                pair[0] + 1e-9 >= pair[1],
+                "share per weight must be non-increasing"
+            );
         }
     }
 

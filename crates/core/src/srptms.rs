@@ -28,10 +28,9 @@ use crate::priority::online_priority;
 use crate::sharing::epsilon_fraction_shares;
 use mapreduce_sim::{Action, ClusterState, JobState, Scheduler};
 use mapreduce_workload::{JobId, Phase};
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the SRPTMS+C scheduler.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SrptMsCConfig {
     /// The sharing fraction `ε ∈ (0, 1]` of Section V-A.
     pub epsilon: f64,
@@ -344,7 +343,11 @@ mod tests {
         let trace = Trace::new(vec![job]).unwrap();
         let outcome = run(&trace, 10, &mut SrptMsC::new(0.6, 3.0));
         // 2 tasks, 10 machines → the scheduler should have launched clones.
-        assert!(outcome.total_copies > 2, "expected clones, got {}", outcome.total_copies);
+        assert!(
+            outcome.total_copies > 2,
+            "expected clones, got {}",
+            outcome.total_copies
+        );
         assert!(outcome.mean_copies_per_task() > 1.0);
     }
 
@@ -367,14 +370,14 @@ mod tests {
         // finite so the scheduler-visible PhaseStats are well defined.
         let dist = DurationDistribution::pareto_from_mean(100.0, 2.2).unwrap();
         let mut jobs = Vec::new();
-        use rand::SeedableRng;
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
+        use mapreduce_support::rng::SimRng;
+        let mut rng = SimRng::seed_from_u64(99);
         for i in 0..15 {
             let workloads = dist.sample_n(&mut rng, 3);
             jobs.push(
                 JobSpecBuilder::new(JobId::new(i))
                     .weight(1.0)
-                    .arrival((i * 40) as u64)
+                    .arrival(i * 40)
                     .map_tasks_from_workloads(&workloads)
                     .map_stats(PhaseStats::new(dist.mean(), dist.std_dev()))
                     .map_distribution(dist.clone())
@@ -422,7 +425,7 @@ mod tests {
         let huge = JobSpecBuilder::new(JobId::new(0))
             .weight(1.0)
             .arrival(0)
-            .map_tasks_from_workloads(&vec![200.0; 12])
+            .map_tasks_from_workloads(&[200.0; 12])
             .build();
         let tiny = JobSpecBuilder::new(JobId::new(1))
             .weight(1.0)
@@ -445,7 +448,7 @@ mod tests {
         let together = Trace::new(vec![
             JobSpecBuilder::new(JobId::new(0))
                 .weight(1.0)
-                .map_tasks_from_workloads(&vec![200.0; 12])
+                .map_tasks_from_workloads(&[200.0; 12])
                 .build(),
             JobSpecBuilder::new(JobId::new(1))
                 .weight(1.0)
@@ -472,8 +475,10 @@ mod tests {
         assert!(std::panic::catch_unwind(|| SrptMsCConfig::new(0.0, 1.0)).is_err());
         assert!(std::panic::catch_unwind(|| SrptMsCConfig::new(1.5, 1.0)).is_err());
         assert!(std::panic::catch_unwind(|| SrptMsCConfig::new(0.5, -1.0)).is_err());
-        assert!(std::panic::catch_unwind(|| SrptMsCConfig::new(0.5, 1.0).with_max_copies_per_task(0))
-            .is_err());
+        assert!(std::panic::catch_unwind(
+            || SrptMsCConfig::new(0.5, 1.0).with_max_copies_per_task(0)
+        )
+        .is_err());
         let cfg = SrptMsCConfig::default();
         assert_eq!(cfg.epsilon, 0.6);
         assert_eq!(cfg.r, 3.0);

@@ -4,10 +4,9 @@
 use crate::runner::{average_summary, run_scheduler_averaged, SchedulerKind};
 use crate::scenario::Scenario;
 use mapreduce_metrics::FlowtimeSummary;
-use serde::{Deserialize, Serialize};
 
 /// One ablation variant and its averaged result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AblationRow {
     /// Human-readable variant label.
     pub variant: String,
@@ -51,7 +50,10 @@ pub fn variants() -> Vec<(String, SchedulerKind)> {
             "SRPT without sharing or cloning".to_string(),
             SchedulerKind::SrptNoClone { r: 3.0 },
         ),
-        ("Fair sharing (eps=1 limit)".to_string(), SchedulerKind::Fair),
+        (
+            "Fair sharing (eps=1 limit)".to_string(),
+            SchedulerKind::Fair,
+        ),
         (
             "Near-SRPT sharing (eps=0.1)".to_string(),
             SchedulerKind::SrptMsC {
@@ -103,7 +105,11 @@ mod tests {
         let rows = run(&Scenario::scaled(50, 1));
         assert_eq!(rows.len(), variants().len());
         for row in &rows {
-            assert!(row.summary.mean > 0.0, "{} produced zero flowtime", row.variant);
+            assert!(
+                row.summary.mean > 0.0,
+                "{} produced zero flowtime",
+                row.variant
+            );
         }
         let table = render(&rows);
         assert!(table.contains("SRPTMS+C"));

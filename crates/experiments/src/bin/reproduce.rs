@@ -52,10 +52,15 @@ fn parse_args() -> Options {
                     eprintln!("--seeds needs a number");
                     std::process::exit(2);
                 });
-                options.seeds = Some(value.parse().unwrap_or_else(|_| {
+                let seeds: usize = value.parse().unwrap_or_else(|_| {
                     eprintln!("invalid --seeds value: {value}");
                     std::process::exit(2);
-                }));
+                });
+                if seeds == 0 {
+                    eprintln!("--seeds must be at least 1");
+                    std::process::exit(2);
+                }
+                options.seeds = Some(seeds);
             }
             "--help" | "-h" => {
                 println!(
@@ -148,7 +153,10 @@ fn main() {
     }
     if run_all || experiment == "theorem1" {
         println!("{}", theorem1::render(&theorem1::run(&scenario, 0.0, true)));
-        println!("{}", theorem1::render(&theorem1::run(&scenario, 3.0, false)));
+        println!(
+            "{}",
+            theorem1::render(&theorem1::run(&scenario, 3.0, false))
+        );
     }
     if run_all || experiment == "ablation" {
         println!("{}", ablation::render(&ablation::run(&scenario)));

@@ -3,10 +3,9 @@
 
 use crate::runner::{average_summary, run_scheduler_averaged, SchedulerKind};
 use crate::scenario::Scenario;
-use serde::{Deserialize, Serialize};
 
 /// One point of the ε sweep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig1Row {
     /// The sharing fraction ε.
     pub epsilon: f64,
@@ -41,8 +40,7 @@ pub fn run(scenario: &Scenario, epsilons: &[f64]) -> Vec<Fig1Row> {
 
 /// Renders the sweep as a text table.
 pub fn render(rows: &[Fig1Row]) -> String {
-    let mut out =
-        String::from("Fig. 1 — average job flowtime vs epsilon (SRPTMS+C, r = 0)\n");
+    let mut out = String::from("Fig. 1 — average job flowtime vs epsilon (SRPTMS+C, r = 0)\n");
     out.push_str(&format!(
         "{:>8} {:>18} {:>24}\n",
         "epsilon", "avg flowtime (s)", "weighted avg flowtime (s)"

@@ -3,10 +3,9 @@
 
 use crate::runner::{average_summary, run_scheduler_averaged, SchedulerKind};
 use crate::scenario::Scenario;
-use serde::{Deserialize, Serialize};
 
 /// One point of the r sweep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig2Row {
     /// The pessimism factor r.
     pub r: f64,
@@ -39,8 +38,7 @@ pub fn run(scenario: &Scenario, rs: &[f64]) -> Vec<Fig2Row> {
 
 /// Renders the sweep as a text table.
 pub fn render(rows: &[Fig2Row]) -> String {
-    let mut out =
-        String::from("Fig. 2 — average job flowtime vs r (SRPTMS+C, epsilon = 0.6)\n");
+    let mut out = String::from("Fig. 2 — average job flowtime vs r (SRPTMS+C, epsilon = 0.6)\n");
     out.push_str(&format!(
         "{:>6} {:>18} {:>24}\n",
         "r", "avg flowtime (s)", "weighted avg flowtime (s)"
@@ -58,7 +56,10 @@ pub fn render(rows: &[Fig2Row]) -> String {
 /// because within-job task-duration variance is small in this trace. This
 /// helper quantifies that: (max − min) / min of the unweighted averages.
 pub fn relative_spread(rows: &[Fig2Row]) -> f64 {
-    let min = rows.iter().map(|r| r.mean_flowtime).fold(f64::INFINITY, f64::min);
+    let min = rows
+        .iter()
+        .map(|r| r.mean_flowtime)
+        .fold(f64::INFINITY, f64::min);
     let max = rows.iter().map(|r| r.mean_flowtime).fold(0.0, f64::max);
     if min > 0.0 && min.is_finite() {
         (max - min) / min

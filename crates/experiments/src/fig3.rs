@@ -3,10 +3,9 @@
 
 use crate::runner::{average_summary, run_scheduler_averaged, SchedulerKind};
 use crate::scenario::Scenario;
-use serde::{Deserialize, Serialize};
 
 /// One point of the cluster-size sweep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig3Row {
     /// Number of machines in the cluster.
     pub machines: usize,

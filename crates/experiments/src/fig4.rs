@@ -4,10 +4,9 @@
 use crate::runner::{run_scheduler_averaged, SchedulerKind};
 use crate::scenario::Scenario;
 use mapreduce_metrics::Ecdf;
-use serde::{Deserialize, Serialize};
 
 /// The CDF series of one scheduler.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CdfSeries {
     /// Scheduler label.
     pub scheduler: String,
@@ -17,7 +16,7 @@ pub struct CdfSeries {
 
 /// Output of the Fig. 4 / Fig. 5 experiments: one CDF series per scheduler
 /// over a flowtime window.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CdfComparison {
     /// Lower edge of the flowtime window (inclusive).
     pub lo: f64,
@@ -74,13 +73,7 @@ pub fn run_window(
 /// Runs the paper's Fig. 4: small jobs, flowtime window 0–300 s, SRPTMS+C vs
 /// SCA vs Mantri.
 pub fn run(scenario: &Scenario) -> CdfComparison {
-    run_window(
-        scenario,
-        &SchedulerKind::paper_comparison(),
-        0.0,
-        300.0,
-        13,
-    )
+    run_window(scenario, &SchedulerKind::paper_comparison(), 0.0, 300.0, 13)
 }
 
 /// Renders a CDF comparison as a text table (one column per scheduler).

@@ -32,13 +32,7 @@ mod tests {
     #[test]
     fn window_matches_paper() {
         let scenario = Scenario::scaled(50, 1);
-        let cmp = run_window(
-            &scenario,
-            &[SchedulerKind::Fifo],
-            300.0,
-            4000.0,
-            5,
-        );
+        let cmp = run_window(&scenario, &[SchedulerKind::Fifo], 300.0, 4000.0, 5);
         assert!((cmp.lo - 300.0).abs() < 1e-12);
         assert!((cmp.hi - 4000.0).abs() < 1e-12);
         assert_eq!(cmp.series[0].points.len(), 5);

@@ -5,10 +5,9 @@
 use crate::runner::{average_summary, run_scheduler_averaged, SchedulerKind};
 use crate::scenario::Scenario;
 use mapreduce_metrics::{ComparisonReport, FlowtimeSummary};
-use serde::{Deserialize, Serialize};
 
 /// Output of the Fig. 6 experiment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig6Result {
     /// Per-scheduler averaged summaries, in line-up order.
     pub summaries: Vec<FlowtimeSummary>,

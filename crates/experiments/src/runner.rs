@@ -7,14 +7,13 @@ use mapreduce_metrics::FlowtimeSummary;
 use mapreduce_sched::{OfflineSrpt, SrptMsC, SrptMsCConfig};
 use mapreduce_sim::{Scheduler, SimConfig, SimOutcome, Simulation};
 use mapreduce_workload::Trace;
-use serde::{Deserialize, Serialize};
 
 /// The schedulers known to the experiment harness, with their parameters.
 ///
 /// This is the unit of comparison in the figures: every variant can be
 /// instantiated into a fresh [`Scheduler`] per run (schedulers are stateful,
 /// so they are never shared across runs).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SchedulerKind {
     /// SRPTMS+C (Algorithm 2) with sharing fraction `epsilon` and pessimism
     /// factor `r`.
@@ -130,24 +129,17 @@ pub fn run_scheduler(kind: SchedulerKind, trace: &Trace, machines: usize, seed: 
 }
 
 /// Runs one scheduler over every seed of a scenario (in parallel) and returns
-/// one outcome per seed.
+/// one outcome per seed, in seed order.
+///
+/// Each seed is a fully independent deterministic stream: the trace is
+/// generated from the seed and the simulation's RNG is seeded with it, so the
+/// per-seed outcome — and therefore any average over seeds — is bit-identical
+/// whether this runs on one thread (`RAYON_NUM_THREADS=1`) or many.
 pub fn run_scheduler_averaged(kind: SchedulerKind, scenario: &Scenario) -> Vec<SimOutcome> {
-    let mut outcomes: Vec<Option<SimOutcome>> = vec![None; scenario.seeds.len()];
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (idx, &seed) in scenario.seeds.iter().enumerate() {
-            let scenario = scenario.clone();
-            handles.push((idx, scope.spawn(move |_| {
-                let trace = scenario.trace(seed);
-                run_scheduler(kind, &trace, scenario.machines, seed)
-            })));
-        }
-        for (idx, handle) in handles {
-            outcomes[idx] = Some(handle.join().expect("simulation thread panicked"));
-        }
+    mapreduce_support::par_map(&scenario.seeds, |_, &seed| {
+        let trace = scenario.trace(seed);
+        run_scheduler(kind, &trace, scenario.machines, seed)
     })
-    .expect("crossbeam scope failed");
-    outcomes.into_iter().map(|o| o.expect("filled above")).collect()
 }
 
 /// Averages the headline metrics of several outcomes (one per seed) into a

@@ -1,7 +1,6 @@
 //! Experiment scenarios: workload profile, cluster size and trial seeds.
 
 use mapreduce_workload::{GoogleTraceProfile, Trace};
-use serde::{Deserialize, Serialize};
 
 /// A reusable description of "which workload, which cluster, how many
 /// trials" shared by all experiments.
@@ -11,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// that. Scaled-down variants keep the jobs-per-machine ratio and the arrival
 /// intensity so the qualitative behaviour (who wins, where the knees are) is
 /// preserved while running in seconds.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// Trace-generation profile.
     pub profile: GoogleTraceProfile,
@@ -123,7 +122,11 @@ mod tests {
         let s = Scenario::test().as_bulk();
         assert!(s.trace(3).iter().all(|j| j.arrival == 0));
         let zero_cv = Scenario::test().with_task_cv(0.0);
-        assert!(zero_cv.profile.classes.iter().all(|c| c.task_duration_cv == 0.0));
+        assert!(zero_cv
+            .profile
+            .classes
+            .iter()
+            .all(|c| c.task_duration_cv == 0.0));
         let resized = Scenario::test().with_machines(99);
         assert_eq!(resized.machines, 99);
     }

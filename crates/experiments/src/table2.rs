@@ -26,7 +26,10 @@ pub fn render(stats: &TraceStats) -> String {
         stats.mean_task_duration,
     ];
     let mut out = String::from("Table II — trace statistics (paper vs this reproduction)\n");
-    out.push_str(&format!("{:<38} {:>12} {:>12}\n", "statistic", "paper", "measured"));
+    out.push_str(&format!(
+        "{:<38} {:>12} {:>12}\n",
+        "statistic", "paper", "measured"
+    ));
     for ((label, paper), measured) in paper_rows.iter().zip(ours.iter()) {
         out.push_str(&format!("{label:<38} {paper:>12.2} {measured:>12.2}\n"));
     }

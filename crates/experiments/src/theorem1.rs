@@ -5,10 +5,9 @@
 use crate::runner::{run_scheduler, SchedulerKind};
 use crate::scenario::Scenario;
 use mapreduce_sched::{theorem1_probability, CompetitiveReport};
-use serde::{Deserialize, Serialize};
 
 /// Output of the Theorem-1 experiment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Theorem1Result {
     /// The pessimism factor r used.
     pub r: f64,

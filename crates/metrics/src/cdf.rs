@@ -1,7 +1,6 @@
 //! Empirical cumulative distribution functions of job flowtime.
 
 use mapreduce_sim::SimOutcome;
-use serde::{Deserialize, Serialize};
 
 /// An empirical CDF over job flowtimes.
 ///
@@ -11,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(cdf.fraction_at_or_below(25.0), 0.5);
 /// assert_eq!(cdf.quantile(1.0), Some(40.0));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Ecdf {
     sorted: Vec<f64>,
 }
@@ -89,7 +88,13 @@ impl Ecdf {
     /// `denominator` overrides the sample count used for the fraction (pass
     /// the total number of jobs to mimic the paper's figures); pass `None` to
     /// normalise by this CDF's own sample count.
-    pub fn series(&self, lo: f64, hi: f64, points: usize, denominator: Option<usize>) -> Vec<(f64, f64)> {
+    pub fn series(
+        &self,
+        lo: f64,
+        hi: f64,
+        points: usize,
+        denominator: Option<usize>,
+    ) -> Vec<(f64, f64)> {
         assert!(points >= 2, "need at least two points for a series");
         assert!(hi > lo, "hi must exceed lo");
         let denom = denominator.unwrap_or(self.sorted.len()).max(1) as f64;

@@ -2,12 +2,11 @@
 
 use crate::summary::FlowtimeSummary;
 use mapreduce_sim::SimOutcome;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A comparison of several schedulers on the same workload — the data behind
 /// Fig. 6 of the paper.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ComparisonReport {
     summaries: Vec<FlowtimeSummary>,
 }

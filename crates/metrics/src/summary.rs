@@ -1,11 +1,10 @@
 //! Flowtime summary statistics.
 
 use mapreduce_sim::{JobRecord, SimOutcome};
-use serde::{Deserialize, Serialize};
 
 /// A half-open flowtime bucket `[lo, hi)` used to split jobs into the paper's
 /// "small" (0–300 s) and "big" (300–4000 s) categories.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FlowtimeBucket {
     /// Inclusive lower edge in slots/seconds.
     pub lo: u64,
@@ -26,7 +25,7 @@ impl FlowtimeBucket {
 }
 
 /// Summary of the per-job flowtimes of one simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FlowtimeSummary {
     /// Name of the scheduler that produced the run.
     pub scheduler: String,
@@ -51,7 +50,11 @@ pub struct FlowtimeSummary {
 impl FlowtimeSummary {
     /// Summarises a full simulation outcome.
     pub fn from_outcome(outcome: &SimOutcome) -> Self {
-        Self::from_records(&outcome.scheduler, outcome.records(), outcome.mean_copies_per_task())
+        Self::from_records(
+            &outcome.scheduler,
+            outcome.records(),
+            outcome.mean_copies_per_task(),
+        )
     }
 
     /// Summarises an arbitrary set of job records (used for per-bucket

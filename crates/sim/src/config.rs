@@ -1,6 +1,6 @@
 //! Simulation configuration.
 
-use serde::{Deserialize, Serialize};
+use mapreduce_support::json::{FromJson, JsonError, JsonValue, ToJson};
 
 /// Model of machine-level straggling applied on top of the workload-level
 /// variance already encoded in the trace.
@@ -11,10 +11,11 @@ use serde::{Deserialize, Serialize};
 /// experiments re-introduce an explicit machine-level effect (useful for the
 /// straggler-mitigation example and for stress tests); the default is
 /// [`StragglerModel::None`] which matches the paper's model exactly.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum StragglerModel {
     /// No machine-level slowdown: a copy's duration equals its sampled
     /// workload divided by machine speed.
+    #[default]
     None,
     /// Each launched copy independently lands on a "struggling" machine with
     /// probability `probability`; its duration is multiplied by `factor`.
@@ -24,12 +25,6 @@ pub enum StragglerModel {
         /// Multiplicative slowdown factor (> 1).
         factor: f64,
     },
-}
-
-impl Default for StragglerModel {
-    fn default() -> Self {
-        StragglerModel::None
-    }
 }
 
 impl StragglerModel {
@@ -52,6 +47,39 @@ impl StragglerModel {
     }
 }
 
+impl ToJson for StragglerModel {
+    fn to_json(&self) -> JsonValue {
+        match *self {
+            StragglerModel::None => JsonValue::String("None".to_string()),
+            StragglerModel::MachineSlowdown {
+                probability,
+                factor,
+            } => JsonValue::object([(
+                "MachineSlowdown",
+                JsonValue::object([
+                    ("probability", probability.to_json()),
+                    ("factor", factor.to_json()),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for StragglerModel {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        if value.as_str() == Some("None") {
+            return Ok(StragglerModel::None);
+        }
+        if let Some(body) = value.get("MachineSlowdown") {
+            return Ok(StragglerModel::MachineSlowdown {
+                probability: f64::from_json(body.field("probability")?)?,
+                factor: f64::from_json(body.field("factor")?)?,
+            });
+        }
+        Err(JsonError::new("unknown StragglerModel variant"))
+    }
+}
+
 /// Configuration of a single simulation run.
 ///
 /// ```
@@ -62,7 +90,7 @@ impl StragglerModel {
 ///     .with_straggler_model(StragglerModel::MachineSlowdown { probability: 0.05, factor: 4.0 });
 /// assert_eq!(cfg.num_machines, 1000);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Number of machines `M` in the cluster.
     pub num_machines: usize,
@@ -166,6 +194,39 @@ impl SimConfig {
     }
 }
 
+impl ToJson for SimConfig {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("num_machines", self.num_machines.to_json()),
+            ("seed", self.seed.to_json()),
+            ("machine_speed", self.machine_speed.to_json()),
+            ("max_slots", self.max_slots.to_json()),
+            (
+                "resample_clone_workloads",
+                self.resample_clone_workloads.to_json(),
+            ),
+            ("max_copies_per_task", self.max_copies_per_task.to_json()),
+            ("straggler", self.straggler.to_json()),
+            ("periodic_wakeup", self.periodic_wakeup.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SimConfig {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        Ok(SimConfig {
+            num_machines: usize::from_json(value.field("num_machines")?)?,
+            seed: u64::from_json(value.field("seed")?)?,
+            machine_speed: f64::from_json(value.field("machine_speed")?)?,
+            max_slots: Option::from_json(value.field("max_slots")?)?,
+            resample_clone_workloads: bool::from_json(value.field("resample_clone_workloads")?)?,
+            max_copies_per_task: usize::from_json(value.field("max_copies_per_task")?)?,
+            straggler: StragglerModel::from_json(value.field("straggler")?)?,
+            periodic_wakeup: Option::from_json(value.field("periodic_wakeup")?)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,10 +289,16 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
-        let cfg = SimConfig::new(3).with_seed(1).with_max_slots(7);
-        let json = serde_json::to_string(&cfg).unwrap();
-        let back: SimConfig = serde_json::from_str(&json).unwrap();
+    fn json_roundtrip() {
+        let cfg = SimConfig::new(3)
+            .with_seed(1)
+            .with_max_slots(7)
+            .with_straggler_model(StragglerModel::MachineSlowdown {
+                probability: 0.1,
+                factor: 2.0,
+            });
+        let json = cfg.to_json().to_compact_string();
+        let back = SimConfig::from_json(&JsonValue::parse(&json).unwrap()).unwrap();
         assert_eq!(back, cfg);
     }
 }

@@ -9,11 +9,10 @@
 
 use crate::state::Slot;
 use mapreduce_workload::TaskId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a single task copy, unique within one simulation run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CopyId(pub u64);
 
 impl fmt::Display for CopyId {
@@ -23,7 +22,7 @@ impl fmt::Display for CopyId {
 }
 
 /// Lifecycle phase of a copy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CopyPhase {
     /// The copy occupies a machine but cannot progress because the job's Map
     /// phase has not finished yet (only possible for reduce copies).
@@ -39,7 +38,7 @@ pub enum CopyPhase {
 }
 
 /// Full description of one copy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CopyInfo {
     /// Identifier of the copy.
     pub id: CopyId,

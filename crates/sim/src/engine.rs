@@ -12,18 +12,20 @@
 //! through [`SimConfig::periodic_wakeup`]). Between such instants nothing in
 //! the model can change, so this is equivalent to the per-slot loop of the
 //! paper while being fast enough for 12 000-machine traces.
+//!
+//! The arrival/finish/wakeup plumbing lives in [`crate::events`]; the engine
+//! owns the job table, the machine budget and the incrementally maintained
+//! [`AliveIndex`] from which each scheduler-facing [`ClusterState`] snapshot
+//! is built in `O(1)`.
 
 use crate::config::{SimConfig, StragglerModel};
 use crate::copy::{CopyId, CopyInfo, CopyPhase};
 use crate::error::SimError;
+use crate::events::{next_decision, Event, EventQueue};
 use crate::result::{JobRecord, SimOutcome};
-use crate::state::{Action, ClusterState, JobState, Scheduler, Slot};
+use crate::state::{Action, AliveIndex, ClusterState, JobState, Scheduler, Slot};
+use mapreduce_support::rng::{Rng, SimRng};
 use mapreduce_workload::{Phase, TaskId, Trace};
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap, VecDeque};
 
 /// A single simulation run: one trace, one configuration, one scheduler.
 ///
@@ -34,9 +36,18 @@ pub struct Simulation {
     jobs: Vec<JobState>,
 }
 
-/// Entry of the completion-event heap. Entries can become stale when a
-/// sibling copy finishes first; stale entries are skipped on pop.
-type FinishEvent = Reverse<(Slot, u64, TaskId)>;
+/// Mutable per-run bookkeeping shared by the event handlers.
+#[derive(Debug, Default)]
+struct RunStats {
+    available: usize,
+    busy_machine_slots: u64,
+    next_copy_id: u64,
+    total_copies: usize,
+    completed_jobs: usize,
+    scheduler_invocations: u64,
+    makespan: Slot,
+    pending_arrivals: usize,
+}
 
 impl Simulation {
     /// Creates a simulation over the given trace.
@@ -69,24 +80,25 @@ impl Simulation {
             return Err(SimError::NoMachines);
         }
         let total_machines = self.config.num_machines;
-        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        let mut rng = SimRng::seed_from_u64(self.config.seed);
 
-        // Jobs are sorted by arrival in the trace; keep a queue of indices.
-        let mut arrival_order: Vec<usize> = (0..self.jobs.len()).collect();
-        arrival_order.sort_by_key(|&i| self.jobs[i].arrival());
-        let mut arrival_queue: VecDeque<usize> = arrival_order.into();
+        // Seed the queue with every arrival; ties are broken by job index,
+        // matching the trace's dense arrival order.
+        let mut queue = EventQueue::new();
+        for (idx, job) in self.jobs.iter().enumerate() {
+            queue.push(Event::JobArrival {
+                at: job.arrival(),
+                job_index: idx,
+            });
+        }
 
-        let mut finish_heap: BinaryHeap<FinishEvent> = BinaryHeap::new();
-        let mut alive: BTreeSet<usize> = BTreeSet::new();
-
+        let mut alive = AliveIndex::new();
+        let mut stats = RunStats {
+            available: total_machines,
+            pending_arrivals: self.jobs.len(),
+            ..RunStats::default()
+        };
         let mut now: Slot = 0;
-        let mut available = total_machines;
-        let mut next_copy_id: u64 = 0;
-        let mut busy_machine_slots: u64 = 0;
-        let mut total_copies: usize = 0;
-        let mut completed_jobs: usize = 0;
-        let mut scheduler_invocations: u64 = 0;
-        let mut makespan: Slot = 0;
 
         let wakeup_every = match (scheduler.wakeup_interval(), self.config.periodic_wakeup) {
             (Some(a), Some(b)) => Some(a.min(b)),
@@ -95,27 +107,18 @@ impl Simulation {
             (None, None) => None,
         };
 
-        while completed_jobs < self.jobs.len() {
+        while stats.completed_jobs < self.jobs.len() {
             // ---- determine the next decision instant ----
-            let next_arrival = arrival_queue.front().map(|&i| self.jobs[i].arrival());
-            let next_finish = finish_heap.peek().map(|Reverse((slot, _, _))| *slot);
-            let running_anything = available < total_machines;
+            let running_anything = stats.available < total_machines;
             let next_wakeup = match wakeup_every {
                 Some(k) if !alive.is_empty() && running_anything => Some(now + k),
                 _ => None,
             };
-
-            let next = [next_arrival, next_finish, next_wakeup]
-                .into_iter()
-                .flatten()
-                .min();
-
-            let next = match next {
-                Some(t) => t.max(now),
+            let next = match next_decision(queue.peek_slot(), next_wakeup) {
+                Some((slot, _)) => slot.max(now),
                 None => {
-                    // Nothing can ever happen again. If jobs are still alive
-                    // (or waiting to arrive — impossible here since
-                    // next_arrival would be Some) the scheduler has stalled.
+                    // Nothing can ever happen again yet jobs remain: the
+                    // scheduler has stalled.
                     return Err(SimError::SchedulerStalled {
                         slot: now,
                         alive_jobs: alive.len(),
@@ -127,68 +130,59 @@ impl Simulation {
                 if now > max_slots {
                     return Err(SimError::HorizonExceeded {
                         max_slots,
-                        unfinished_jobs: self.jobs.len() - completed_jobs,
+                        unfinished_jobs: self.jobs.len() - stats.completed_jobs,
                     });
                 }
             }
 
-            // ---- deliver arrivals ----
+            // ---- deliver due events (arrivals sort before completions) ----
             let mut newly_arrived = Vec::new();
-            while let Some(&idx) = arrival_queue.front() {
-                if self.jobs[idx].arrival() <= now {
-                    arrival_queue.pop_front();
-                    self.jobs[idx].mark_arrived();
-                    alive.insert(idx);
-                    newly_arrived.push(self.jobs[idx].id());
-                } else {
-                    break;
-                }
-            }
-
-            // ---- deliver completions ----
             let mut newly_finished = Vec::new();
-            while let Some(&Reverse((slot, copy_raw, task_id))) = finish_heap.peek() {
-                if slot > now {
-                    break;
-                }
-                finish_heap.pop();
-                let copy_id = CopyId(copy_raw);
-                let finish_result = self.handle_copy_finish(
-                    task_id,
-                    copy_id,
-                    slot,
-                    &mut available,
-                    &mut busy_machine_slots,
-                );
-                if let Some(finished_task) = finish_result {
-                    newly_finished.push(finished_task);
-                    // Map phase completion may have activated waiting reduce
-                    // copies: schedule their completions.
-                    let job_idx = task_id.job.as_usize();
-                    if task_id.phase == Phase::Map && self.jobs[job_idx].map_phase_complete() {
-                        self.activate_waiting_reduce_copies(job_idx, slot, &mut finish_heap);
+            while let Some(event) = queue.pop_due(now) {
+                match event {
+                    Event::JobArrival { job_index, .. } => {
+                        let job = &mut self.jobs[job_index];
+                        job.mark_arrived();
+                        alive.insert(job_index, job.weight(), job.total_unscheduled());
+                        stats.pending_arrivals -= 1;
+                        newly_arrived.push(job.id());
                     }
-                    if self.jobs[job_idx].all_tasks_finished()
-                        && !self.jobs[job_idx].is_complete()
-                    {
-                        self.jobs[job_idx].mark_complete(slot);
-                        completed_jobs += 1;
-                        makespan = makespan.max(slot);
-                        alive.remove(&job_idx);
+                    Event::CopyFinish { at, copy, task } => {
+                        if let Some(finished) = self.handle_copy_finish(task, copy, at, &mut stats)
+                        {
+                            newly_finished.push(finished);
+                            let job_idx = task.job.as_usize();
+                            if task.phase == Phase::Map && self.jobs[job_idx].map_phase_complete() {
+                                self.activate_waiting_reduce_copies(job_idx, at, &mut queue);
+                            }
+                            if self.jobs[job_idx].all_tasks_finished()
+                                && !self.jobs[job_idx].is_complete()
+                            {
+                                self.jobs[job_idx].mark_complete(at);
+                                stats.completed_jobs += 1;
+                                stats.makespan = stats.makespan.max(at);
+                                alive.remove(job_idx, self.jobs[job_idx].weight());
+                            }
+                        }
                     }
+                    Event::Wakeup { .. } => unreachable!("wakeups are never queued"),
                 }
             }
 
-            if completed_jobs == self.jobs.len() {
+            if stats.completed_jobs == self.jobs.len() {
                 break;
             }
 
             // ---- invoke the scheduler ----
-            let alive_vec: Vec<usize> = alive.iter().copied().collect();
-            scheduler_invocations += 1;
+            stats.scheduler_invocations += 1;
             let actions = {
-                let state =
-                    ClusterState::new(now, total_machines, available, &self.jobs, &alive_vec);
+                let state = ClusterState::from_index(
+                    now,
+                    total_machines,
+                    stats.available,
+                    &self.jobs,
+                    &alive,
+                );
                 for job in &newly_arrived {
                     scheduler.on_job_arrival(*job, &state);
                 }
@@ -198,21 +192,13 @@ impl Simulation {
                 scheduler.schedule(&state)
             };
 
-            self.apply_actions(
-                &actions,
-                now,
-                &mut available,
-                &mut busy_machine_slots,
-                &mut next_copy_id,
-                &mut total_copies,
-                &mut finish_heap,
-                &mut rng,
-            )?;
+            self.apply_actions(&actions, now, &mut stats, &mut alive, &mut queue, &mut rng)?;
 
             // ---- stall detection ----
             // If nothing is running, nothing will arrive, and jobs remain,
             // the scheduler will never be given a different state again.
-            if available == total_machines && arrival_queue.is_empty() && !alive.is_empty() {
+            if stats.available == total_machines && stats.pending_arrivals == 0 && !alive.is_empty()
+            {
                 return Err(SimError::SchedulerStalled {
                     slot: now,
                     alive_jobs: alive.len(),
@@ -221,6 +207,7 @@ impl Simulation {
         }
 
         // ---- collect records ----
+        let makespan = stats.makespan;
         let records: Vec<JobRecord> = self
             .jobs
             .iter()
@@ -241,9 +228,9 @@ impl Simulation {
             total_machines,
             records,
             makespan,
-            busy_machine_slots,
-            total_copies,
-            scheduler_invocations,
+            stats.busy_machine_slots,
+            stats.total_copies,
+            stats.scheduler_invocations,
         ))
     }
 
@@ -254,8 +241,7 @@ impl Simulation {
         task_id: TaskId,
         copy_id: CopyId,
         slot: Slot,
-        available: &mut usize,
-        busy_machine_slots: &mut u64,
+        stats: &mut RunStats,
     ) -> Option<TaskId> {
         let job = self.jobs.get_mut(task_id.job.as_usize())?;
         let task = job.task_mut(task_id.phase, task_id.index)?;
@@ -293,18 +279,19 @@ impl Simulation {
         task.mark_finished(slot);
         job.note_task_finished(task_id.phase);
         job.note_copy_released(released);
-        *available += released;
-        *busy_machine_slots += busy;
+        stats.available += released;
+        stats.busy_machine_slots += busy;
         Some(task_id)
     }
 
     /// Starts processing of reduce copies that were launched before the Map
-    /// phase of their job had completed.
+    /// phase of their job had completed. Completions are queued in task-index
+    /// order, which the event queue preserves for equal finish slots.
     fn activate_waiting_reduce_copies(
         &mut self,
         job_idx: usize,
         slot: Slot,
-        finish_heap: &mut BinaryHeap<FinishEvent>,
+        queue: &mut EventQueue,
     ) {
         let job = &mut self.jobs[job_idx];
         for index in 0..job.spec().num_reduce_tasks() {
@@ -314,7 +301,11 @@ impl Simulation {
                     if copy.phase == CopyPhase::WaitingForMapPhase {
                         copy.phase = CopyPhase::Running;
                         copy.started_at = Some(slot);
-                        finish_heap.push(Reverse((slot + copy.duration, copy.id.0, task_id)));
+                        queue.push(Event::CopyFinish {
+                            at: slot + copy.duration,
+                            copy: copy.id,
+                            task: task_id,
+                        });
                     }
                 }
             }
@@ -323,34 +314,22 @@ impl Simulation {
 
     /// Applies the scheduler's actions, clipping launches to the available
     /// machines and the per-task copy cap.
-    #[allow(clippy::too_many_arguments)]
     fn apply_actions(
         &mut self,
         actions: &[Action],
         now: Slot,
-        available: &mut usize,
-        busy_machine_slots: &mut u64,
-        next_copy_id: &mut u64,
-        total_copies: &mut usize,
-        finish_heap: &mut BinaryHeap<FinishEvent>,
-        rng: &mut ChaCha8Rng,
+        stats: &mut RunStats,
+        alive: &mut AliveIndex,
+        queue: &mut EventQueue,
+        rng: &mut SimRng,
     ) -> Result<(), SimError> {
         for action in actions {
             match *action {
                 Action::Launch { task, copies } => {
-                    self.launch_copies(
-                        task,
-                        copies,
-                        now,
-                        available,
-                        next_copy_id,
-                        total_copies,
-                        finish_heap,
-                        rng,
-                    )?;
+                    self.launch_copies(task, copies, now, stats, alive, queue, rng)?;
                 }
                 Action::CancelCopies { task, keep } => {
-                    self.cancel_copies(task, keep, now, available, busy_machine_slots)?;
+                    self.cancel_copies(task, keep, now, stats)?;
                 }
             }
         }
@@ -363,11 +342,10 @@ impl Simulation {
         task_id: TaskId,
         requested: usize,
         now: Slot,
-        available: &mut usize,
-        next_copy_id: &mut u64,
-        total_copies: &mut usize,
-        finish_heap: &mut BinaryHeap<FinishEvent>,
-        rng: &mut ChaCha8Rng,
+        stats: &mut RunStats,
+        alive: &mut AliveIndex,
+        queue: &mut EventQueue,
+        rng: &mut SimRng,
     ) -> Result<(), SimError> {
         let job_idx = task_id.job.as_usize();
         if job_idx >= self.jobs.len() {
@@ -410,7 +388,7 @@ impl Simulation {
             .map(|t| t.active_copies())
             .unwrap_or(0);
         let capacity_cap = max_per_task.saturating_sub(active_now);
-        let n = requested.min(*available).min(capacity_cap);
+        let n = requested.min(stats.available).min(capacity_cap);
         if n == 0 {
             return Ok(());
         }
@@ -445,26 +423,31 @@ impl Simulation {
             }
             let duration = ((workload / speed).ceil() as Slot).max(1);
 
-            let copy_id = CopyId(*next_copy_id);
-            *next_copy_id += 1;
+            let copy_id = CopyId(stats.next_copy_id);
+            stats.next_copy_id += 1;
 
             let copy = if task_id.phase == Phase::Reduce && !map_phase_complete {
                 CopyInfo::waiting(copy_id, task_id, now, duration)
             } else {
                 let c = CopyInfo::running(copy_id, task_id, now, duration);
-                finish_heap.push(Reverse((now + duration, copy_id.0, task_id)));
+                queue.push(Event::CopyFinish {
+                    at: now + duration,
+                    copy: copy_id,
+                    task: task_id,
+                });
                 c
             };
 
             if task_was_unscheduled {
                 job.note_first_launch(task_id.phase);
+                alive.note_first_launch();
             }
             job.note_copy_launched();
             if let Some(task) = job.task_mut(task_id.phase, task_id.index) {
                 task.add_copy(copy);
             }
-            *available -= 1;
-            *total_copies += 1;
+            stats.available -= 1;
+            stats.total_copies += 1;
         }
         Ok(())
     }
@@ -474,8 +457,7 @@ impl Simulation {
         task_id: TaskId,
         keep: usize,
         now: Slot,
-        available: &mut usize,
-        busy_machine_slots: &mut u64,
+        stats: &mut RunStats,
     ) -> Result<(), SimError> {
         let job_idx = task_id.job.as_usize();
         if job_idx >= self.jobs.len() {
@@ -509,8 +491,8 @@ impl Simulation {
             }
         }
         job.note_copy_released(released);
-        *available += released;
-        *busy_machine_slots += busy;
+        stats.available += released;
+        stats.busy_machine_slots += busy;
         Ok(())
     }
 }
@@ -636,12 +618,9 @@ mod tests {
             .map_tasks_from_workloads(&[50.0])
             .build()])
         .unwrap();
-        let outcome = Simulation::new(
-            SimConfig::new(100).with_max_copies_per_task(3),
-            &trace,
-        )
-        .run(&mut MaxCloneScheduler::new(64))
-        .unwrap();
+        let outcome = Simulation::new(SimConfig::new(100).with_max_copies_per_task(3), &trace)
+            .run(&mut MaxCloneScheduler::new(64))
+            .unwrap();
         assert!(outcome.total_copies <= 3);
     }
 
@@ -669,12 +648,13 @@ mod tests {
             .reduce_tasks_per_job(1, 1)
             .build(3);
         let base_cfg = SimConfig::new(8).with_seed(5);
-        let slow_cfg = SimConfig::new(8).with_seed(5).with_straggler_model(
-            StragglerModel::MachineSlowdown {
-                probability: 1.0,
-                factor: 3.0,
-            },
-        );
+        let slow_cfg =
+            SimConfig::new(8)
+                .with_seed(5)
+                .with_straggler_model(StragglerModel::MachineSlowdown {
+                    probability: 1.0,
+                    factor: 3.0,
+                });
         let base = Simulation::new(base_cfg, &trace)
             .run(&mut GreedyFifo::new())
             .unwrap();

@@ -1,0 +1,369 @@
+//! Typed simulation events and the event queue.
+//!
+//! The engine's arrival/finish/wakeup plumbing used to be inlined in the run
+//! loop; it now lives here so ordering and staleness semantics are testable
+//! in isolation:
+//!
+//! * [`Event`] is the typed vocabulary of things that can happen at a slot.
+//! * [`EventQueue`] is a min-heap over events with a total, deterministic
+//!   order: earlier slots first, arrivals before copy completions at the same
+//!   slot, and same-kind ties broken by sequence (arrival order / copy id).
+//! * The queue is **stale-entry tolerant** by design: completion events are
+//!   never removed when a copy is cancelled (first-copy-wins kills siblings
+//!   lazily); the engine validates each popped completion against the live
+//!   task state and simply skips entries that no longer apply. This keeps
+//!   `push` and `pop` at `O(log n)` with no auxiliary index.
+
+use crate::copy::CopyId;
+use crate::state::Slot;
+use mapreduce_workload::TaskId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Something that happens at a simulation slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A job (identified by its dense trace index) arrives at the cluster.
+    JobArrival {
+        /// Slot of the arrival.
+        at: Slot,
+        /// Dense index of the job within the trace.
+        job_index: usize,
+    },
+    /// A running copy reaches its finish slot. May be stale by the time it is
+    /// popped (sibling finished first, or the copy was cancelled); the engine
+    /// validates against live task state.
+    CopyFinish {
+        /// Slot of the (scheduled) completion.
+        at: Slot,
+        /// The copy that finishes.
+        copy: CopyId,
+        /// The task the copy belongs to.
+        task: TaskId,
+    },
+    /// A periodic scheduler wakeup with no state change of its own. The
+    /// engine synthesises these between queue events; they never enter the
+    /// queue.
+    Wakeup {
+        /// Slot of the wakeup.
+        at: Slot,
+    },
+}
+
+impl Event {
+    /// The slot at which the event fires.
+    pub fn at(&self) -> Slot {
+        match *self {
+            Event::JobArrival { at, .. } => at,
+            Event::CopyFinish { at, .. } => at,
+            Event::Wakeup { at } => at,
+        }
+    }
+
+    /// Deterministic ordering key: slot, then kind (arrivals before
+    /// completions), then sequence.
+    fn key(&self) -> (Slot, u8, u64) {
+        match *self {
+            Event::JobArrival { at, job_index } => (at, 0, job_index as u64),
+            Event::CopyFinish { at, copy, .. } => (at, 1, copy.0),
+            Event::Wakeup { at } => (at, 2, 0),
+        }
+    }
+}
+
+/// Min-heap of pending [`Event`]s with deterministic total order.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct HeapEntry {
+    key: (Slot, u8, u64),
+    event: Event,
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Number of pending events (including entries that may be stale).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules an event.
+    pub fn push(&mut self, event: Event) {
+        debug_assert!(
+            !matches!(event, Event::Wakeup { .. }),
+            "wakeups are synthesised by the engine, not queued"
+        );
+        self.heap.push(Reverse(HeapEntry {
+            key: event.key(),
+            event,
+        }));
+    }
+
+    /// The slot of the earliest pending event, if any.
+    pub fn peek_slot(&self) -> Option<Slot> {
+        self.heap.peek().map(|Reverse(entry)| entry.key.0)
+    }
+
+    /// Pops the earliest event if it fires at or before `now`.
+    pub fn pop_due(&mut self, now: Slot) -> Option<Event> {
+        match self.heap.peek() {
+            Some(Reverse(entry)) if entry.key.0 <= now => {
+                Some(self.heap.pop().expect("peeked").0.event)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// What causes the next decision instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionCause {
+    /// A queued event (arrival or completion) fires.
+    QueuedEvent,
+    /// A periodic wakeup fires with no queued event due first.
+    Wakeup,
+}
+
+/// Computes the next decision instant from the queue head and an optional
+/// periodic-wakeup deadline. Queued events win ties, so a wakeup coinciding
+/// with a real event never produces an extra scheduler invocation.
+pub fn next_decision(
+    queue_head: Option<Slot>,
+    wakeup: Option<Slot>,
+) -> Option<(Slot, DecisionCause)> {
+    match (queue_head, wakeup) {
+        (Some(q), Some(w)) if w < q => Some((w, DecisionCause::Wakeup)),
+        (Some(q), _) => Some((q, DecisionCause::QueuedEvent)),
+        (None, Some(w)) => Some((w, DecisionCause::Wakeup)),
+        (None, None) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapreduce_workload::{JobId, Phase};
+
+    fn task(job: u64, phase: Phase, index: u32) -> TaskId {
+        TaskId::new(JobId::new(job), phase, index)
+    }
+
+    #[test]
+    fn events_pop_in_slot_order() {
+        let mut q = EventQueue::new();
+        q.push(Event::CopyFinish {
+            at: 30,
+            copy: CopyId(2),
+            task: task(0, Phase::Map, 0),
+        });
+        q.push(Event::JobArrival {
+            at: 10,
+            job_index: 1,
+        });
+        q.push(Event::CopyFinish {
+            at: 20,
+            copy: CopyId(1),
+            task: task(0, Phase::Map, 1),
+        });
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peek_slot(), Some(10));
+        let slots: Vec<Slot> =
+            std::iter::from_fn(|| q.pop_due(Slot::MAX).map(|e| e.at())).collect();
+        assert_eq!(slots, vec![10, 20, 30]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn arrivals_precede_completions_at_the_same_slot() {
+        let mut q = EventQueue::new();
+        q.push(Event::CopyFinish {
+            at: 5,
+            copy: CopyId(0),
+            task: task(0, Phase::Map, 0),
+        });
+        q.push(Event::JobArrival {
+            at: 5,
+            job_index: 9,
+        });
+        assert!(matches!(
+            q.pop_due(5),
+            Some(Event::JobArrival { job_index: 9, .. })
+        ));
+        assert!(matches!(q.pop_due(5), Some(Event::CopyFinish { .. })));
+    }
+
+    #[test]
+    fn same_slot_completions_pop_in_copy_id_order() {
+        // Map→Reduce precedence activation pushes reduce-copy completions in
+        // task-index (and therefore copy-id) order; the queue must preserve
+        // that order for determinism.
+        let mut q = EventQueue::new();
+        for copy in [3u64, 1, 2] {
+            q.push(Event::CopyFinish {
+                at: 7,
+                copy: CopyId(copy),
+                task: task(0, Phase::Reduce, copy as u32),
+            });
+        }
+        let copies: Vec<u64> = std::iter::from_fn(|| {
+            q.pop_due(7).map(|e| match e {
+                Event::CopyFinish { copy, .. } => copy.0,
+                _ => unreachable!(),
+            })
+        })
+        .collect();
+        assert_eq!(copies, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.push(Event::JobArrival {
+            at: 50,
+            job_index: 0,
+        });
+        assert_eq!(q.pop_due(49), None);
+        assert_eq!(q.len(), 1);
+        assert!(q.pop_due(50).is_some());
+    }
+
+    #[test]
+    fn stale_sibling_finish_events_are_skipped() {
+        // One 50-slot task whose clones resample a deterministic 10-slot
+        // workload: the clone wins at slot 10, cancelling the original. The
+        // original's finish event at slot 50 stays in the queue and must be
+        // recognised as stale — the run ends at makespan 10 with exactly one
+        // completion and consistent machine accounting.
+        use crate::config::SimConfig;
+        use crate::engine::Simulation;
+        use crate::schedulers::MaxCloneScheduler;
+        use mapreduce_workload::{DurationDistribution, JobSpecBuilder, Trace};
+
+        let job = JobSpecBuilder::new(JobId::new(0))
+            .map_tasks_from_workloads(&[50.0])
+            .map_distribution(DurationDistribution::Deterministic { value: 10.0 })
+            .build();
+        let trace = Trace::new(vec![job]).unwrap();
+        let outcome = Simulation::new(SimConfig::new(2).with_seed(1), &trace)
+            .run(&mut MaxCloneScheduler::new(2))
+            .unwrap();
+        let record = outcome.record(JobId::new(0)).unwrap();
+        assert_eq!(record.completion, 10);
+        assert_eq!(outcome.makespan, 10);
+        assert_eq!(outcome.total_copies, 2);
+        // 2 machines × 10 slots, both fully busy until first-copy-wins.
+        assert_eq!(outcome.busy_machine_slots, 20);
+    }
+
+    #[test]
+    fn first_copy_wins_frees_machines_for_waiting_work() {
+        // Clone cancellation must release the sibling's machine immediately:
+        // a second job that arrives while both machines are occupied by the
+        // clones starts right at the winner's finish slot.
+        use crate::config::SimConfig;
+        use crate::engine::Simulation;
+        use crate::schedulers::MaxCloneScheduler;
+        use mapreduce_workload::{DurationDistribution, JobSpecBuilder, Trace};
+
+        let cloned = JobSpecBuilder::new(JobId::new(0))
+            .map_tasks_from_workloads(&[50.0])
+            .map_distribution(DurationDistribution::Deterministic { value: 10.0 })
+            .build();
+        let waiter = JobSpecBuilder::new(JobId::new(1))
+            .arrival(1)
+            .map_tasks_from_workloads(&[5.0])
+            .build();
+        let trace = Trace::new(vec![cloned, waiter]).unwrap();
+        let outcome = Simulation::new(SimConfig::new(2).with_seed(1), &trace)
+            .run(&mut MaxCloneScheduler::new(2))
+            .unwrap();
+        // Winner finishes at 10, cancelling its sibling; both machines free →
+        // the waiting job runs 10..15.
+        assert_eq!(outcome.record(JobId::new(0)).unwrap().completion, 10);
+        assert_eq!(outcome.record(JobId::new(1)).unwrap().completion, 15);
+    }
+
+    #[test]
+    fn early_launched_reduce_copies_activate_when_map_completes() {
+        // A scheduler that launches *everything* at slot 0 (as Algorithm 1
+        // does): the reduce copies hold machines in WaitingForMapPhase. When
+        // the map phase ends (slot 10) they activate — in task-index order,
+        // per the queue's same-slot ordering — and run their full durations.
+        use crate::config::SimConfig;
+        use crate::engine::Simulation;
+        use crate::state::{Action, ClusterState, Scheduler};
+
+        struct LaunchEverything;
+        impl Scheduler for LaunchEverything {
+            fn name(&self) -> &str {
+                "launch-everything"
+            }
+            fn schedule(&mut self, state: &ClusterState<'_>) -> Vec<Action> {
+                let mut actions = Vec::new();
+                for job in state.alive_jobs() {
+                    for phase in Phase::ALL {
+                        for task in job.unscheduled_tasks(phase) {
+                            actions.push(Action::Launch {
+                                task: task.id(),
+                                copies: 1,
+                            });
+                        }
+                    }
+                }
+                actions
+            }
+        }
+
+        use mapreduce_workload::{JobSpecBuilder, Trace};
+        let job = JobSpecBuilder::new(JobId::new(0))
+            .map_tasks_from_workloads(&[10.0])
+            .reduce_tasks_from_workloads(&[7.0, 3.0])
+            .build();
+        let trace = Trace::new(vec![job]).unwrap();
+        let outcome = Simulation::new(SimConfig::new(8), &trace)
+            .run(&mut LaunchEverything)
+            .unwrap();
+        // Map ends at 10; the longer reduce task determines completion: 17.
+        assert_eq!(outcome.record(JobId::new(0)).unwrap().completion, 17);
+        // Three copies (1 map + 2 reduce), no clones.
+        assert_eq!(outcome.total_copies, 3);
+        // Reduce copies held their machines from slot 0 while waiting:
+        // busy = 10 (map) + 17 + 13 = 40 machine-slots.
+        assert_eq!(outcome.busy_machine_slots, 40);
+    }
+
+    #[test]
+    fn next_decision_prefers_queued_events_on_ties() {
+        use DecisionCause::*;
+        assert_eq!(next_decision(None, None), None);
+        assert_eq!(next_decision(Some(5), None), Some((5, QueuedEvent)));
+        assert_eq!(next_decision(None, Some(9)), Some((9, Wakeup)));
+        assert_eq!(next_decision(Some(5), Some(9)), Some((5, QueuedEvent)));
+        assert_eq!(next_decision(Some(9), Some(5)), Some((5, Wakeup)));
+        assert_eq!(next_decision(Some(7), Some(7)), Some((7, QueuedEvent)));
+    }
+}

@@ -32,6 +32,7 @@ pub mod config;
 pub mod copy;
 pub mod engine;
 pub mod error;
+pub mod events;
 pub mod result;
 pub mod schedulers;
 pub mod speedup;
@@ -41,6 +42,9 @@ pub use config::{SimConfig, StragglerModel};
 pub use copy::{CopyId, CopyInfo, CopyPhase};
 pub use engine::Simulation;
 pub use error::SimError;
+pub use events::{Event, EventQueue};
 pub use result::{JobRecord, SimOutcome};
 pub use speedup::{LinearCappedSpeedup, NoSpeedup, ParetoSpeedup, SpeedupFunction};
-pub use state::{Action, ClusterState, JobState, Scheduler, Slot, TaskState, TaskStatus};
+pub use state::{
+    Action, AliveIndex, ClusterState, JobState, Scheduler, Slot, TaskState, TaskStatus,
+};

@@ -1,11 +1,11 @@
 //! Simulation results: per-job completion records and run-level summaries.
 
 use crate::state::Slot;
+use mapreduce_support::json::{FromJson, JsonError, JsonValue, ToJson};
 use mapreduce_workload::JobId;
-use serde::{Deserialize, Serialize};
 
 /// Completion record of one job.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobRecord {
     /// Identity of the job.
     pub job: JobId,
@@ -49,8 +49,38 @@ impl JobRecord {
     }
 }
 
+impl ToJson for JobRecord {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("job", self.job.to_json()),
+            ("weight", self.weight.to_json()),
+            ("arrival", self.arrival.to_json()),
+            ("completion", self.completion.to_json()),
+            ("num_map_tasks", self.num_map_tasks.to_json()),
+            ("num_reduce_tasks", self.num_reduce_tasks.to_json()),
+            ("copies_launched", self.copies_launched.to_json()),
+            ("true_workload", self.true_workload.to_json()),
+        ])
+    }
+}
+
+impl FromJson for JobRecord {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        Ok(JobRecord {
+            job: JobId::from_json(value.field("job")?)?,
+            weight: f64::from_json(value.field("weight")?)?,
+            arrival: Slot::from_json(value.field("arrival")?)?,
+            completion: Slot::from_json(value.field("completion")?)?,
+            num_map_tasks: usize::from_json(value.field("num_map_tasks")?)?,
+            num_reduce_tasks: usize::from_json(value.field("num_reduce_tasks")?)?,
+            copies_launched: usize::from_json(value.field("copies_launched")?)?,
+            true_workload: f64::from_json(value.field("true_workload")?)?,
+        })
+    }
+}
+
 /// Aggregate outcome of one simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimOutcome {
     /// Name of the scheduler that produced this outcome.
     pub scheduler: String,
@@ -106,7 +136,11 @@ impl SimOutcome {
         if self.records.is_empty() {
             return 0.0;
         }
-        self.records.iter().map(|r| r.flowtime() as f64).sum::<f64>() / self.records.len() as f64
+        self.records
+            .iter()
+            .map(|r| r.flowtime() as f64)
+            .sum::<f64>()
+            / self.records.len() as f64
     }
 
     /// Weighted average flowtime `Σ w_i F_i / Σ w_i` (the paper's
@@ -151,6 +185,37 @@ impl SimOutcome {
             return 0.0;
         }
         self.total_copies as f64 / tasks as f64
+    }
+}
+
+impl ToJson for SimOutcome {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("scheduler", self.scheduler.to_json()),
+            ("num_machines", self.num_machines.to_json()),
+            ("records", self.records.to_json()),
+            ("makespan", self.makespan.to_json()),
+            ("busy_machine_slots", self.busy_machine_slots.to_json()),
+            ("total_copies", self.total_copies.to_json()),
+            (
+                "scheduler_invocations",
+                self.scheduler_invocations.to_json(),
+            ),
+        ])
+    }
+}
+
+impl FromJson for SimOutcome {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        Ok(SimOutcome {
+            scheduler: String::from_json(value.field("scheduler")?)?,
+            num_machines: usize::from_json(value.field("num_machines")?)?,
+            records: Vec::from_json(value.field("records")?)?,
+            makespan: Slot::from_json(value.field("makespan")?)?,
+            busy_machine_slots: u64::from_json(value.field("busy_machine_slots")?)?,
+            total_copies: usize::from_json(value.field("total_copies")?)?,
+            scheduler_invocations: u64::from_json(value.field("scheduler_invocations")?)?,
+        })
     }
 }
 
@@ -222,10 +287,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let o = outcome();
-        let json = serde_json::to_string(&o).unwrap();
-        let back: SimOutcome = serde_json::from_str(&json).unwrap();
+        let json = o.to_json().to_pretty_string();
+        let back = SimOutcome::from_json(&JsonValue::parse(&json).unwrap()).unwrap();
         assert_eq!(back, o);
     }
 }

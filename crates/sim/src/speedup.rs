@@ -15,7 +15,6 @@
 //! tests in this module check the three structural requirements for every
 //! implementation.
 
-use serde::{Deserialize, Serialize};
 use std::fmt::Debug;
 
 /// A speedup function `s(x)` mapping the number of copies of a task to the
@@ -43,7 +42,7 @@ pub trait SpeedupFunction: Debug + Send + Sync {
 /// The Pareto-tail speedup `s(r) = (rα − 1) / (r(α − 1))` derived in
 /// Section III-A of the paper for task durations following a Pareto
 /// distribution with shape `α > 1`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ParetoSpeedup {
     /// Shape parameter `α` of the Pareto task-duration distribution.
     pub alpha: f64,
@@ -82,7 +81,7 @@ impl SpeedupFunction for ParetoSpeedup {
 
 /// A linear-then-capped speedup `s(x) = min(x, cap)`; useful for ablations
 /// and as an optimistic upper bound on what cloning can achieve.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinearCappedSpeedup {
     /// Maximum achievable speedup.
     pub cap: f64,
@@ -107,7 +106,7 @@ impl SpeedupFunction for LinearCappedSpeedup {
 
 /// The degenerate speedup `s(x) = 1`: cloning never helps. Used to ablate the
 /// value of cloning itself.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct NoSpeedup;
 
 impl SpeedupFunction for NoSpeedup {
@@ -119,7 +118,7 @@ impl SpeedupFunction for NoSpeedup {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mapreduce_support::proptest::prelude::*;
 
     fn check_structural_properties(s: &dyn SpeedupFunction, xs: &[f64]) {
         // s(1) = 1

@@ -1,0 +1,111 @@
+//! Deterministic fork-join parallelism over a work list.
+//!
+//! [`par_map`] fans the items of a slice out over a scoped thread pool and
+//! returns the results **in input order**, so callers observe bit-identical
+//! output no matter how many worker threads execute the closure. The thread
+//! count honours `RAYON_NUM_THREADS` (the conventional knob, so existing
+//! tooling and the acceptance tests can pin it to 1) and falls back to the
+//! machine's available parallelism.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads to use for `len` items.
+pub fn worker_threads(len: usize) -> usize {
+    let configured = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0);
+    let hardware = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    configured.unwrap_or(hardware).min(len.max(1))
+}
+
+/// Applies `f` to every item of `items` in parallel and returns the results
+/// in input order.
+///
+/// The closure receives the item index alongside the item so callers can
+/// derive per-item deterministic state (e.g. an RNG stream per seed). Results
+/// are independent of the thread count by construction.
+///
+/// # Panics
+/// Propagates the first panic raised inside `f`.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let threads = worker_threads(items.len());
+    if threads <= 1 || items.len() <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<U>>> =
+        Mutex::new(std::iter::repeat_with(|| None).take(items.len()).collect());
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, U)> = Vec::new();
+                loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= items.len() {
+                        break;
+                    }
+                    local.push((idx, f(idx, &items[idx])));
+                }
+                let mut guard = results.lock().expect("a worker panicked");
+                for (idx, value) in local {
+                    guard[idx] = Some(value);
+                }
+            });
+        }
+    });
+
+    results
+        .into_inner()
+        .expect("a worker panicked")
+        .into_iter()
+        .map(|slot| slot.expect("every index filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let doubled = par_map(&items, |_, &x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn index_is_passed_through() {
+        let items = vec!["a", "b", "c"];
+        let tagged = par_map(&items, |i, s| format!("{i}:{s}"));
+        assert_eq!(tagged, vec!["0:a", "1:b", "2:c"]);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(par_map(&empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[7], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn worker_threads_is_positive_and_bounded() {
+        assert!(worker_threads(0) >= 1);
+        assert_eq!(worker_threads(1), 1);
+        assert!(worker_threads(1000) >= 1);
+    }
+}

@@ -1,0 +1,315 @@
+//! Deterministic pseudo-random number generation and the handful of
+//! distributions the workspace samples from.
+//!
+//! The container this repo builds in has no network access to crates.io, so
+//! instead of `rand`/`rand_chacha`/`rand_distr` we carry a small, fully
+//! deterministic generator of our own: [`SimRng`] is xoshiro256++ seeded
+//! through SplitMix64, which gives high-quality 64-bit streams with a trivial
+//! amount of code. Every simulation and trace-generation seed maps to an
+//! independent stream, so multi-seed experiment sweeps are reproducible
+//! bit-for-bit regardless of how many threads execute them.
+
+use std::ops::{Range, RangeInclusive};
+
+/// The random-source trait consumed by samplers.
+///
+/// Mirrors the subset of `rand::Rng` this workspace uses (`gen_range`,
+/// `gen_bool`) so call sites read identically to the rand-based idiom.
+pub trait Rng {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    fn gen_f64(&mut self) -> f64 {
+        // Take the top 53 bits; 2^-53 scaling keeps the value in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A Bernoulli draw with success probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        self.gen_f64() < p
+    }
+
+    /// A uniform draw from a range. Supports the same half-open and inclusive
+    /// integer/float ranges the call sites use.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+}
+
+/// A range that can produce uniform samples of `T`.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (uniform_u64(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + (uniform_u64(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u64, u32, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let x = self.start + (self.end - self.start) * rng.gen_f64();
+        // Guard against rounding up to the excluded end point.
+        if x >= self.end {
+            self.start
+        } else {
+            x
+        }
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "empty range");
+        start + (end - start) * rng.gen_f64()
+    }
+}
+
+/// Uniform integer in `[0, bound)` by multiply-shift (Lemire); `bound > 0`.
+fn uniform_u64<R: Rng + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    ((rng.next_u64() as u128 * bound as u128) >> 64) as u64
+}
+
+/// The workspace's deterministic generator: xoshiro256++.
+///
+/// ```
+/// use mapreduce_support::rng::{Rng, SimRng};
+/// let mut a = SimRng::seed_from_u64(7);
+/// let mut b = SimRng::seed_from_u64(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let x = a.gen_range(0.0..1.0);
+/// assert!((0.0..1.0).contains(&x));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+impl SimRng {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the four state words; this is
+        // the seeding scheme recommended by the xoshiro authors.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        SimRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Derives an independent stream for a sub-task (e.g. one seed of a
+    /// multi-seed sweep) without correlating with the parent stream.
+    pub fn derive_stream(&self, stream: u64) -> Self {
+        let mut child = self.clone();
+        let mixed = child.next_u64() ^ stream.wrapping_mul(0xA24B_AED4_963E_E407);
+        SimRng::seed_from_u64(mixed)
+    }
+}
+
+impl Rng for SimRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// A normal distribution with the given mean and standard deviation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates the distribution.
+    ///
+    /// # Errors
+    /// Returns an error if the parameters are non-finite or `std_dev < 0`.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, &'static str> {
+        if !mean.is_finite() || !std_dev.is_finite() || std_dev < 0.0 {
+            return Err("invalid normal parameters");
+        }
+        Ok(Normal { mean, std_dev })
+    }
+
+    /// Draws one sample (Box–Muller transform).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// A log-normal distribution parameterised by the underlying normal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates the distribution from the mean `mu` and standard deviation
+    /// `sigma` of the underlying normal.
+    ///
+    /// # Errors
+    /// Returns an error if the parameters are non-finite or `sigma < 0`.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, &'static str> {
+        if !mu.is_finite() || !sigma.is_finite() || sigma < 0.0 {
+            return Err("invalid log-normal parameters");
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// One standard-normal draw via the Box–Muller transform. The second draw of
+/// the pair is discarded so sampling stays stateless.
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1 = rng.gen_f64().max(f64::MIN_POSITIVE);
+    let u2 = rng.gen_f64();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_seeds_give_identical_streams() {
+        let mut a = SimRng::seed_from_u64(42);
+        let mut b = SimRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SimRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_f64_is_in_unit_interval() {
+        let mut rng = SimRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn integer_ranges_respect_bounds() {
+        let mut rng = SimRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let a = rng.gen_range(3u64..10);
+            assert!((3..10).contains(&a));
+            let b = rng.gen_range(0usize..=4);
+            assert!(b <= 4);
+            let c = rng.gen_range(5u32..=5);
+            assert_eq!(c, 5);
+        }
+    }
+
+    #[test]
+    fn float_ranges_respect_bounds() {
+        let mut rng = SimRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(1.5..2.5);
+            assert!((1.5..2.5).contains(&x));
+            let y = rng.gen_range(-1.0..=1.0);
+            assert!((-1.0..=1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability_roughly() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        let freq = hits as f64 / 100_000.0;
+        assert!((freq - 0.3).abs() < 0.01, "frequency {freq}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let dist = Normal::new(10.0, 3.0).unwrap();
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.05, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn lognormal_moments_are_close() {
+        let mut rng = SimRng::seed_from_u64(6);
+        // mu/sigma chosen so the log-normal mean is exp(mu + sigma^2/2).
+        let dist = LogNormal::new(1.0, 0.5).unwrap();
+        let expected_mean = (1.0f64 + 0.125).exp();
+        let n = 300_000;
+        let mean = (0..n).map(|_| dist.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!(
+            (mean - expected_mean).abs() / expected_mean < 0.02,
+            "mean {mean} vs {expected_mean}"
+        );
+    }
+
+    #[test]
+    fn invalid_distribution_parameters_are_rejected() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn derived_streams_differ_from_parent_and_each_other() {
+        let parent = SimRng::seed_from_u64(9);
+        let mut a = parent.derive_stream(0);
+        let mut b = parent.derive_stream(1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

@@ -10,9 +10,8 @@
 //! resamples clone durations from it, and the schedulers only ever see its
 //! first two moments through [`crate::PhaseStats`].
 
-use rand::Rng;
-use rand_distr::{Distribution as RandDistribution, LogNormal, Normal};
-use serde::{Deserialize, Serialize};
+use mapreduce_support::json::{FromJson, JsonError, JsonValue, ToJson};
+use mapreduce_support::rng::{LogNormal, Normal, Rng};
 use std::fmt;
 
 /// Error produced when constructing a distribution from invalid parameters.
@@ -45,15 +44,15 @@ impl std::error::Error for DistributionError {}
 ///
 /// ```
 /// use mapreduce_workload::DurationDistribution;
-/// use rand::SeedableRng;
+/// use mapreduce_support::rng::SimRng;
 ///
 /// let d = DurationDistribution::pareto_from_mean(100.0, 1.8).unwrap();
 /// assert!((d.mean() - 100.0).abs() < 1e-9);
-/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let mut rng = SimRng::seed_from_u64(1);
 /// let x = d.sample(&mut rng);
 /// assert!(x > 0.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum DurationDistribution {
     /// Every task takes exactly `value` time units. Zero variance; used for
     /// the "negligible variance" offline analysis (Remark 2).
@@ -123,10 +122,10 @@ impl DurationDistribution {
     /// # Errors
     /// Returns an error if `mean <= 0` or `shape <= 1` (infinite mean).
     pub fn pareto_from_mean(mean: f64, shape: f64) -> Result<Self, DistributionError> {
-        if !(mean > 0.0) {
+        if mean.is_nan() || mean <= 0.0 {
             return Err(DistributionError::new("mean must be positive"));
         }
-        if !(shape > 1.0) {
+        if shape.is_nan() || shape <= 1.0 {
             return Err(DistributionError::new("Pareto shape must exceed 1"));
         }
         let scale = mean * (shape - 1.0) / shape;
@@ -140,7 +139,7 @@ impl DurationDistribution {
     /// # Errors
     /// Returns an error if `mean <= 0` or `std_dev < 0`.
     pub fn lognormal_from_moments(mean: f64, std_dev: f64) -> Result<Self, DistributionError> {
-        if !(mean > 0.0) {
+        if mean.is_nan() || mean <= 0.0 {
             return Err(DistributionError::new("mean must be positive"));
         }
         if std_dev < 0.0 {
@@ -165,7 +164,7 @@ impl DurationDistribution {
     /// # Errors
     /// Returns an error if `mean <= 0` or `std_dev < 0`.
     pub fn fit(mean: f64, std_dev: f64) -> Result<Self, DistributionError> {
-        if !(mean > 0.0) {
+        if mean.is_nan() || mean <= 0.0 {
             return Err(DistributionError::new("mean must be positive"));
         }
         if std_dev < 0.0 {
@@ -357,6 +356,96 @@ impl DurationDistribution {
     }
 }
 
+impl ToJson for DurationDistribution {
+    fn to_json(&self) -> JsonValue {
+        // Externally tagged, mirroring serde's default enum representation.
+        let (tag, body) = match *self {
+            DurationDistribution::Deterministic { value } => (
+                "Deterministic",
+                JsonValue::object([("value", value.to_json())]),
+            ),
+            DurationDistribution::Uniform { min, max } => (
+                "Uniform",
+                JsonValue::object([("min", min.to_json()), ("max", max.to_json())]),
+            ),
+            DurationDistribution::Exponential { mean } => {
+                ("Exponential", JsonValue::object([("mean", mean.to_json())]))
+            }
+            DurationDistribution::Pareto { scale, shape } => (
+                "Pareto",
+                JsonValue::object([("scale", scale.to_json()), ("shape", shape.to_json())]),
+            ),
+            DurationDistribution::BoundedPareto { scale, shape, max } => (
+                "BoundedPareto",
+                JsonValue::object([
+                    ("scale", scale.to_json()),
+                    ("shape", shape.to_json()),
+                    ("max", max.to_json()),
+                ]),
+            ),
+            DurationDistribution::LogNormal { mu, sigma } => (
+                "LogNormal",
+                JsonValue::object([("mu", mu.to_json()), ("sigma", sigma.to_json())]),
+            ),
+            DurationDistribution::TruncatedNormal { mean, std_dev, min } => (
+                "TruncatedNormal",
+                JsonValue::object([
+                    ("mean", mean.to_json()),
+                    ("std_dev", std_dev.to_json()),
+                    ("min", min.to_json()),
+                ]),
+            ),
+        };
+        JsonValue::object([(tag, body)])
+    }
+}
+
+impl FromJson for DurationDistribution {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        let f = |body: &JsonValue, key: &str| -> Result<f64, JsonError> {
+            f64::from_json(body.field(key)?)
+        };
+        if let Some(body) = value.get("Deterministic") {
+            Ok(DurationDistribution::Deterministic {
+                value: f(body, "value")?,
+            })
+        } else if let Some(body) = value.get("Uniform") {
+            Ok(DurationDistribution::Uniform {
+                min: f(body, "min")?,
+                max: f(body, "max")?,
+            })
+        } else if let Some(body) = value.get("Exponential") {
+            Ok(DurationDistribution::Exponential {
+                mean: f(body, "mean")?,
+            })
+        } else if let Some(body) = value.get("Pareto") {
+            Ok(DurationDistribution::Pareto {
+                scale: f(body, "scale")?,
+                shape: f(body, "shape")?,
+            })
+        } else if let Some(body) = value.get("BoundedPareto") {
+            Ok(DurationDistribution::BoundedPareto {
+                scale: f(body, "scale")?,
+                shape: f(body, "shape")?,
+                max: f(body, "max")?,
+            })
+        } else if let Some(body) = value.get("LogNormal") {
+            Ok(DurationDistribution::LogNormal {
+                mu: f(body, "mu")?,
+                sigma: f(body, "sigma")?,
+            })
+        } else if let Some(body) = value.get("TruncatedNormal") {
+            Ok(DurationDistribution::TruncatedNormal {
+                mean: f(body, "mean")?,
+                std_dev: f(body, "std_dev")?,
+                min: f(body, "min")?,
+            })
+        } else {
+            Err(JsonError::new("unknown DurationDistribution variant"))
+        }
+    }
+}
+
 impl fmt::Display for DurationDistribution {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -382,11 +471,10 @@ impl fmt::Display for DurationDistribution {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use mapreduce_support::rng::SimRng;
 
-    fn rng() -> ChaCha8Rng {
-        ChaCha8Rng::seed_from_u64(0xC0FFEE)
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(0xC0FFEE)
     }
 
     fn empirical_moments(d: &DurationDistribution, n: usize) -> (f64, f64) {
@@ -495,7 +583,7 @@ mod tests {
         let mut r = rng();
         for _ in 0..10_000 {
             let x = d.sample(&mut r);
-            assert!(x >= 12.8 && x <= 22_919.3);
+            assert!((12.8..=22_919.3).contains(&x));
         }
         assert!(d.mean() > 12.8 && d.mean() < 22_919.3);
     }
@@ -554,6 +642,38 @@ mod tests {
             for _ in 0..1000 {
                 assert!(d.sample(&mut r) > 0.0, "{d} produced non-positive sample");
             }
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_covers_every_variant() {
+        let dists = vec![
+            DurationDistribution::Deterministic { value: 5.0 },
+            DurationDistribution::Uniform { min: 1.0, max: 2.0 },
+            DurationDistribution::Exponential { mean: 30.0 },
+            DurationDistribution::Pareto {
+                scale: 12.8,
+                shape: 1.9,
+            },
+            DurationDistribution::BoundedPareto {
+                scale: 12.8,
+                shape: 1.3,
+                max: 22_919.3,
+            },
+            DurationDistribution::LogNormal {
+                mu: 1.5,
+                sigma: 0.25,
+            },
+            DurationDistribution::TruncatedNormal {
+                mean: 10.0,
+                std_dev: 2.0,
+                min: 1.0,
+            },
+        ];
+        for d in dists {
+            let text = d.to_json().to_compact_string();
+            let back = DurationDistribution::from_json(&JsonValue::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, d, "roundtrip failed for {text}");
         }
     }
 

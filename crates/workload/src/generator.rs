@@ -9,13 +9,10 @@ use crate::distribution::DurationDistribution;
 use crate::ids::JobId;
 use crate::job::{JobSpecBuilder, PhaseStats};
 use crate::trace::Trace;
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
+use mapreduce_support::rng::{Rng, SimRng};
 
 /// How job arrival times are generated.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ArrivalProcess {
     /// Every job arrives at time 0 (the offline / bulk-arrival setting of
     /// Section IV).
@@ -39,7 +36,7 @@ pub enum ArrivalProcess {
 }
 
 impl ArrivalProcess {
-    fn arrival(&self, index: usize, prev: u64, rng: &mut ChaCha8Rng) -> u64 {
+    fn arrival(&self, index: usize, prev: u64, rng: &mut SimRng) -> u64 {
         match *self {
             ArrivalProcess::Bulk => 0,
             ArrivalProcess::Poisson { mean_interarrival } => {
@@ -116,7 +113,10 @@ impl WorkloadBuilder {
 
     /// Sets the inclusive range of map tasks per job.
     pub fn map_tasks_per_job(mut self, min: usize, max: usize) -> Self {
-        assert!(min >= 1 && max >= min, "invalid map task range [{min}, {max}]");
+        assert!(
+            min >= 1 && max >= min,
+            "invalid map task range [{min}, {max}]"
+        );
         self.map_tasks_range = (min, max);
         self
     }
@@ -157,7 +157,7 @@ impl WorkloadBuilder {
 
     /// Generates the trace with the given seed. Deterministic per seed.
     pub fn build(&self, seed: u64) -> Trace {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut rng = SimRng::seed_from_u64(seed);
         let mut jobs = Vec::with_capacity(self.num_jobs);
         let mut prev_arrival = 0u64;
         for idx in 0..self.num_jobs {

@@ -27,13 +27,10 @@ use crate::distribution::DurationDistribution;
 use crate::ids::JobId;
 use crate::job::{JobSpecBuilder, PhaseStats};
 use crate::trace::Trace;
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
+use mapreduce_support::rng::{Rng, SimRng};
 
 /// One job-size class of the synthetic workload mixture.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobClass {
     /// Human-readable label ("small", "medium", "large").
     pub name: String,
@@ -59,7 +56,7 @@ pub struct JobClass {
 }
 
 /// Full description of the synthetic trace to generate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GoogleTraceProfile {
     /// Number of jobs to generate.
     pub num_jobs: usize,
@@ -200,7 +197,10 @@ impl GoogleTraceGenerator {
     /// Panics if the profile has no classes, a non-positive total class
     /// weight, or `map_fraction` outside `(0, 1]`.
     pub fn new(profile: GoogleTraceProfile) -> Self {
-        assert!(!profile.classes.is_empty(), "profile needs at least one job class");
+        assert!(
+            !profile.classes.is_empty(),
+            "profile needs at least one job class"
+        );
         let total: f64 = profile.classes.iter().map(|c| c.fraction).sum();
         assert!(total > 0.0, "class fractions must sum to a positive value");
         assert!(
@@ -217,7 +217,7 @@ impl GoogleTraceGenerator {
 
     /// Generates a trace. The same seed always produces the same trace.
     pub fn generate(&self, seed: u64) -> Trace {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut rng = SimRng::seed_from_u64(seed);
         let p = &self.profile;
         let total_fraction: f64 = p.classes.iter().map(|c| c.fraction).sum();
 
@@ -225,8 +225,8 @@ impl GoogleTraceGenerator {
         for idx in 0..p.num_jobs {
             let class = self.pick_class(&mut rng, total_fraction);
             let num_tasks = self.sample_num_tasks(&mut rng, class);
-            let num_map = ((num_tasks as f64 * p.map_fraction).round() as usize)
-                .clamp(1, num_tasks);
+            let num_map =
+                ((num_tasks as f64 * p.map_fraction).round() as usize).clamp(1, num_tasks);
             let num_reduce = num_tasks - num_map;
 
             // Per-job mean task duration: log-normal around the class mean.
@@ -271,7 +271,9 @@ impl GoogleTraceGenerator {
                 .weight(weight)
                 .map_tasks_from_workloads(&map_workloads)
                 .map_stats(PhaseStats::new(
-                    map_dist.mean().clamp(p.min_task_duration, p.max_task_duration),
+                    map_dist
+                        .mean()
+                        .clamp(p.min_task_duration, p.max_task_duration),
                     map_dist.std_dev(),
                 ))
                 .map_distribution(map_dist.clone());
@@ -292,7 +294,7 @@ impl GoogleTraceGenerator {
         Trace::new(jobs).expect("generated jobs are valid by construction")
     }
 
-    fn pick_class<'a>(&'a self, rng: &mut ChaCha8Rng, total_fraction: f64) -> &'a JobClass {
+    fn pick_class<'a>(&'a self, rng: &mut SimRng, total_fraction: f64) -> &'a JobClass {
         let mut x: f64 = rng.gen_range(0.0..total_fraction);
         for class in &self.profile.classes {
             if x < class.fraction {
@@ -309,7 +311,7 @@ impl GoogleTraceGenerator {
     /// Samples an arrival time: with probability `burst_fraction` inside one
     /// of `num_bursts` short submission bursts, otherwise uniformly over the
     /// window.
-    fn sample_arrival(&self, rng: &mut ChaCha8Rng) -> u64 {
+    fn sample_arrival(&self, rng: &mut SimRng) -> u64 {
         let p = &self.profile;
         if p.duration == 0 {
             return 0;
@@ -327,7 +329,7 @@ impl GoogleTraceGenerator {
         }
     }
 
-    fn sample_num_tasks(&self, rng: &mut ChaCha8Rng, class: &JobClass) -> usize {
+    fn sample_num_tasks(&self, rng: &mut SimRng, class: &JobClass) -> usize {
         // Shifted-geometric-ish sampler: exponential spread around the class
         // mean, clamped to [min_tasks, max_tasks].
         let span_mean = (class.mean_tasks - class.min_tasks as f64).max(0.5);
@@ -337,7 +339,7 @@ impl GoogleTraceGenerator {
         (n.round() as usize).clamp(class.min_tasks.max(1), class.max_tasks.max(1))
     }
 
-    fn sample_priority(&self, rng: &mut ChaCha8Rng) -> u32 {
+    fn sample_priority(&self, rng: &mut SimRng) -> u32 {
         let p = self.profile.priority_decay.clamp(0.01, 0.99);
         let mut priority = 0u32;
         while priority < self.profile.max_priority && rng.gen_bool(p) {
@@ -478,7 +480,9 @@ mod tests {
 
     #[test]
     fn bulk_arrival_profile_puts_everything_at_zero() {
-        let trace = GoogleTraceProfile::scaled(40).with_bulk_arrivals().generate(1);
+        let trace = GoogleTraceProfile::scaled(40)
+            .with_bulk_arrivals()
+            .generate(1);
         assert!(trace.iter().all(|j| j.arrival == 0));
     }
 

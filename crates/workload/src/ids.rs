@@ -3,7 +3,7 @@
 //! The simulator, the schedulers and the metrics layer all exchange these ids,
 //! so they live in the workload crate which everything depends on.
 
-use serde::{Deserialize, Serialize};
+use mapreduce_support::json::{FromJson, JsonError, JsonValue, ToJson};
 use std::fmt;
 
 /// Identifier of a job within a [`crate::Trace`].
@@ -17,7 +17,7 @@ use std::fmt;
 /// assert_eq!(id.index(), 7);
 /// assert_eq!(format!("{id}"), "J7");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct JobId(u64);
 
 impl JobId {
@@ -49,11 +49,23 @@ impl fmt::Display for JobId {
     }
 }
 
+impl ToJson for JobId {
+    fn to_json(&self) -> JsonValue {
+        self.0.to_json()
+    }
+}
+
+impl FromJson for JobId {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        u64::from_json(value).map(JobId::new)
+    }
+}
+
 /// The two phases of a MapReduce job.
 ///
 /// The paper writes `c ∈ {m, r}` for map/reduce-related statements; this enum
 /// is the typed equivalent. `Phase::ALL` is handy for iterating over both.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Phase {
     /// The Map phase. All map tasks of a job must finish before any reduce
     /// task of that job can make progress.
@@ -95,6 +107,28 @@ impl fmt::Display for Phase {
     }
 }
 
+impl ToJson for Phase {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::String(
+            match self {
+                Phase::Map => "Map",
+                Phase::Reduce => "Reduce",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for Phase {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        match value.as_str() {
+            Some("Map") => Ok(Phase::Map),
+            Some("Reduce") => Ok(Phase::Reduce),
+            _ => Err(JsonError::new("expected \"Map\" or \"Reduce\"")),
+        }
+    }
+}
+
 /// Identifier of a single task: the job it belongs to, its phase, and its
 /// index within that phase.
 ///
@@ -106,7 +140,7 @@ impl fmt::Display for Phase {
 /// let t = TaskId::new(JobId::new(3), Phase::Reduce, 5);
 /// assert_eq!(format!("{t}"), "J3/reduce/5");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TaskId {
     /// The job this task belongs to.
     pub job: JobId,
@@ -126,6 +160,26 @@ impl TaskId {
 impl fmt::Display for TaskId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}/{}/{}", self.job, self.phase, self.index)
+    }
+}
+
+impl ToJson for TaskId {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("job", self.job.to_json()),
+            ("phase", self.phase.to_json()),
+            ("index", self.index.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TaskId {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        Ok(TaskId {
+            job: JobId::from_json(value.field("job")?)?,
+            phase: Phase::from_json(value.field("phase")?)?,
+            index: u32::from_json(value.field("index")?)?,
+        })
     }
 }
 
@@ -180,10 +234,10 @@ mod tests {
     }
 
     #[test]
-    fn task_id_serde_roundtrip() {
+    fn task_id_json_roundtrip() {
         let t = TaskId::new(JobId::new(9), Phase::Reduce, 3);
-        let json = serde_json::to_string(&t).expect("serialize");
-        let back: TaskId = serde_json::from_str(&json).expect("deserialize");
+        let json = t.to_json().to_compact_string();
+        let back = TaskId::from_json(&JsonValue::parse(&json).expect("parse")).expect("decode");
         assert_eq!(back, t);
     }
 }

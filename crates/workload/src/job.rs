@@ -9,11 +9,11 @@
 
 use crate::distribution::DurationDistribution;
 use crate::ids::{JobId, Phase, TaskId};
-use serde::{Deserialize, Serialize};
+use mapreduce_support::json::{FromJson, JsonError, JsonValue, ToJson};
 use std::fmt;
 
 /// Ground-truth description of a single task.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TaskSpec {
     /// Identity of the task.
     pub id: TaskId,
@@ -36,9 +36,31 @@ impl TaskSpec {
     }
 }
 
+impl ToJson for TaskSpec {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("id", self.id.to_json()),
+            ("workload", self.workload.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TaskSpec {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        let workload = f64::from_json(value.field("workload")?)?;
+        if !(workload.is_finite() && workload > 0.0) {
+            return Err(JsonError::new("task workload must be positive and finite"));
+        }
+        Ok(TaskSpec {
+            id: TaskId::from_json(value.field("id")?)?,
+            workload,
+        })
+    }
+}
+
 /// First and second moments of the task-workload distribution of one phase —
 /// the a-priori knowledge the paper grants the scheduler.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PhaseStats {
     /// Mean task workload `E^c_i` of this phase.
     pub mean: f64,
@@ -91,8 +113,26 @@ impl fmt::Display for PhaseStats {
     }
 }
 
+impl ToJson for PhaseStats {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("mean", self.mean.to_json()),
+            ("std_dev", self.std_dev.to_json()),
+        ])
+    }
+}
+
+impl FromJson for PhaseStats {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        Ok(PhaseStats {
+            mean: f64::from_json(value.field("mean")?)?,
+            std_dev: f64::from_json(value.field("std_dev")?)?,
+        })
+    }
+}
+
 /// Static description of one MapReduce job.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobSpec {
     /// Identity of the job.
     pub id: JobId,
@@ -196,20 +236,55 @@ impl JobSpec {
         if self.num_tasks() == 0 {
             return Err(format!("{}: job has no tasks", self.id));
         }
-        if !(self.weight > 0.0) {
+        if self.weight.is_nan() || self.weight <= 0.0 {
             return Err(format!("{}: weight must be positive", self.id));
         }
-        for (phase, tasks) in [(Phase::Map, &self.map_tasks), (Phase::Reduce, &self.reduce_tasks)] {
+        for (phase, tasks) in [
+            (Phase::Map, &self.map_tasks),
+            (Phase::Reduce, &self.reduce_tasks),
+        ] {
             for (idx, t) in tasks.iter().enumerate() {
                 if t.id.job != self.id || t.id.phase != phase || t.id.index as usize != idx {
                     return Err(format!("{}: task id {} inconsistent", self.id, t.id));
                 }
-                if !(t.workload > 0.0) || !t.workload.is_finite() {
+                if t.workload.is_nan() || t.workload <= 0.0 || !t.workload.is_finite() {
                     return Err(format!("{}: task {} has invalid workload", self.id, t.id));
                 }
             }
         }
         Ok(())
+    }
+}
+
+impl ToJson for JobSpec {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("id", self.id.to_json()),
+            ("arrival", self.arrival.to_json()),
+            ("weight", self.weight.to_json()),
+            ("map_tasks", self.map_tasks.to_json()),
+            ("reduce_tasks", self.reduce_tasks.to_json()),
+            ("map_stats", self.map_stats.to_json()),
+            ("reduce_stats", self.reduce_stats.to_json()),
+            ("map_distribution", self.map_distribution.to_json()),
+            ("reduce_distribution", self.reduce_distribution.to_json()),
+        ])
+    }
+}
+
+impl FromJson for JobSpec {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        Ok(JobSpec {
+            id: JobId::from_json(value.field("id")?)?,
+            arrival: u64::from_json(value.field("arrival")?)?,
+            weight: f64::from_json(value.field("weight")?)?,
+            map_tasks: Vec::from_json(value.field("map_tasks")?)?,
+            reduce_tasks: Vec::from_json(value.field("reduce_tasks")?)?,
+            map_stats: PhaseStats::from_json(value.field("map_stats")?)?,
+            reduce_stats: PhaseStats::from_json(value.field("reduce_stats")?)?,
+            map_distribution: Option::from_json(value.field("map_distribution")?)?,
+            reduce_distribution: Option::from_json(value.field("reduce_distribution")?)?,
+        })
     }
 }
 
@@ -332,7 +407,9 @@ impl JobSpecBuilder {
             PhaseStats::new(mean, var.sqrt())
         };
 
-        let map_stats = self.map_stats.unwrap_or_else(|| empirical(&self.map_workloads));
+        let map_stats = self
+            .map_stats
+            .unwrap_or_else(|| empirical(&self.map_workloads));
         let reduce_stats = self
             .reduce_stats
             .unwrap_or_else(|| empirical(&self.reduce_workloads));
@@ -383,7 +460,10 @@ mod tests {
         assert_eq!(job.num_map_tasks(), 3);
         assert_eq!(job.num_reduce_tasks(), 2);
         assert_eq!(job.num_tasks(), 5);
-        assert_eq!(job.map_tasks[2].id, TaskId::new(JobId::new(1), Phase::Map, 2));
+        assert_eq!(
+            job.map_tasks[2].id,
+            TaskId::new(JobId::new(1), Phase::Map, 2)
+        );
         assert_eq!(
             job.reduce_tasks[0].id,
             TaskId::new(JobId::new(1), Phase::Reduce, 0)
@@ -493,10 +573,11 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
-        let job = sample_job();
-        let json = serde_json::to_string(&job).unwrap();
-        let back: JobSpec = serde_json::from_str(&json).unwrap();
+    fn json_roundtrip() {
+        let mut job = sample_job();
+        job.map_distribution = Some(DurationDistribution::Exponential { mean: 20.0 });
+        let json = job.to_json().to_pretty_string();
+        let back = JobSpec::from_json(&JsonValue::parse(&json).unwrap()).unwrap();
         assert_eq!(back, job);
     }
 }

@@ -8,7 +8,7 @@
 
 use crate::ids::JobId;
 use crate::job::JobSpec;
-use serde::{Deserialize, Serialize};
+use mapreduce_support::json::{FromJson, JsonError, JsonValue, ToJson};
 use std::fmt;
 use std::io::{Read, Write};
 use std::path::Path;
@@ -21,7 +21,7 @@ pub enum TraceError {
     /// Underlying I/O failure while reading or writing a trace file.
     Io(std::io::Error),
     /// The file contents were not a valid JSON trace.
-    Format(serde_json::Error),
+    Format(JsonError),
 }
 
 impl fmt::Display for TraceError {
@@ -50,8 +50,8 @@ impl From<std::io::Error> for TraceError {
     }
 }
 
-impl From<serde_json::Error> for TraceError {
-    fn from(e: serde_json::Error) -> Self {
+impl From<JsonError> for TraceError {
+    fn from(e: JsonError) -> Self {
         TraceError::Format(e)
     }
 }
@@ -61,7 +61,7 @@ impl From<serde_json::Error> for TraceError {
 /// Job ids inside a trace are always the dense indices `0..n` so that the
 /// simulator can use them directly as vector indices; [`Trace::new`] enforces
 /// (re-assigns) this invariant.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
     jobs: Vec<JobSpec>,
 }
@@ -162,8 +162,8 @@ impl Trace {
     ///
     /// # Errors
     /// Returns an error if serialization or the underlying write fails.
-    pub fn to_writer<W: Write>(&self, writer: W) -> Result<(), TraceError> {
-        serde_json::to_writer_pretty(writer, self)?;
+    pub fn to_writer<W: Write>(&self, mut writer: W) -> Result<(), TraceError> {
+        writer.write_all(self.to_json().to_pretty_string().as_bytes())?;
         Ok(())
     }
 
@@ -171,8 +171,11 @@ impl Trace {
     ///
     /// # Errors
     /// Returns an error on I/O failure, malformed JSON, or invalid jobs.
-    pub fn from_reader<R: Read>(reader: R) -> Result<Self, TraceError> {
-        let trace: Trace = serde_json::from_reader(reader)?;
+    pub fn from_reader<R: Read>(mut reader: R) -> Result<Self, TraceError> {
+        let mut text = String::new();
+        reader.read_to_string(&mut text)?;
+        let value = JsonValue::parse(&text)?;
+        let trace = Trace::from_json(&value)?;
         Trace::new(trace.jobs)
     }
 
@@ -195,6 +198,20 @@ impl Trace {
     }
 }
 
+impl ToJson for Trace {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([("jobs", self.jobs.to_json())])
+    }
+}
+
+impl FromJson for Trace {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        Ok(Trace {
+            jobs: Vec::from_json(value.field("jobs")?)?,
+        })
+    }
+}
+
 impl<'a> IntoIterator for &'a Trace {
     type Item = &'a JobSpec;
     type IntoIter = std::slice::Iter<'a, JobSpec>;
@@ -205,7 +222,7 @@ impl<'a> IntoIterator for &'a Trace {
 }
 
 /// Summary statistics of a trace, mirroring Table II of the paper.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceStats {
     /// Total number of jobs.
     pub total_jobs: usize,
@@ -315,7 +332,9 @@ mod tests {
     use crate::job::JobSpecBuilder;
 
     fn job(arrival: u64, map: &[f64], reduce: &[f64], weight: f64) -> JobSpec {
-        let mut b = JobSpecBuilder::new(JobId::new(0)).arrival(arrival).weight(weight);
+        let mut b = JobSpecBuilder::new(JobId::new(0))
+            .arrival(arrival)
+            .weight(weight);
         if !map.is_empty() {
             b = b.map_tasks_from_workloads(map);
         }

@@ -15,7 +15,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    Table II marginals (heavy-tailed sizes and durations, priorities
     //    0–11 as weights).
     let trace = GoogleTraceProfile::scaled(300).generate(42);
-    println!("generated {} jobs / {} tasks", trace.len(), trace.total_tasks());
+    println!(
+        "generated {} jobs / {} tasks",
+        trace.len(),
+        trace.total_tasks()
+    );
     println!("{}", trace.stats());
 
     // 2. A 600-machine cluster (same jobs-per-machine ratio as the paper's
@@ -30,9 +34,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("scheduler                  : {}", summary.scheduler);
     println!("jobs completed             : {}", summary.jobs);
     println!("average flowtime           : {:.1} s", summary.mean);
-    println!("weighted average flowtime  : {:.1} s", summary.weighted_mean);
-    println!("median / p95 flowtime      : {:.1} / {:.1} s", summary.median, summary.p95);
-    println!("copies launched per task   : {:.2}", summary.mean_copies_per_task);
-    println!("cluster utilisation        : {:.1} %", outcome.utilization() * 100.0);
+    println!(
+        "weighted average flowtime  : {:.1} s",
+        summary.weighted_mean
+    );
+    println!(
+        "median / p95 flowtime      : {:.1} / {:.1} s",
+        summary.median, summary.p95
+    );
+    println!(
+        "copies launched per task   : {:.2}",
+        summary.mean_copies_per_task
+    );
+    println!(
+        "cluster utilisation        : {:.1} %",
+        outcome.utilization() * 100.0
+    );
     Ok(())
 }

@@ -23,12 +23,13 @@ use mapreduce_workload::GoogleTraceProfile;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace = GoogleTraceProfile::scaled(300).generate(7);
-    let base = SimConfig::new(600).with_seed(7).with_straggler_model(
-        StragglerModel::MachineSlowdown {
-            probability: 0.10,
-            factor: 5.0,
-        },
-    );
+    let base =
+        SimConfig::new(600)
+            .with_seed(7)
+            .with_straggler_model(StragglerModel::MachineSlowdown {
+                probability: 0.10,
+                factor: 5.0,
+            });
 
     let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
         Box::new(FairScheduler::new()),

@@ -101,7 +101,11 @@ fn cloning_does_not_hurt_the_weighted_objective() {
         &scenario,
     );
     let mean = |outcomes: &[mapreduce_sim::SimOutcome]| {
-        outcomes.iter().map(|o| o.weighted_mean_flowtime()).sum::<f64>() / outcomes.len() as f64
+        outcomes
+            .iter()
+            .map(|o| o.weighted_mean_flowtime())
+            .sum::<f64>()
+            / outcomes.len() as f64
     };
     assert!(
         mean(&with_cloning) <= mean(&without) * 1.02,

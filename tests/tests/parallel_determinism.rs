@@ -1,0 +1,44 @@
+//! Acceptance check for the parallel experiment runner: multi-seed scenario
+//! runs must produce bit-identical results regardless of the worker thread
+//! count (`RAYON_NUM_THREADS=1` vs default parallelism).
+//!
+//! Everything lives in ONE test function: `std::env::set_var` is not safe to
+//! call while another thread may be reading the environment (the test
+//! harness runs sibling `#[test]`s concurrently), so the env-var
+//! manipulation must not coexist with other tests in this binary.
+
+use mapreduce_experiments::{run_scheduler, run_scheduler_averaged, Scenario, SchedulerKind};
+use mapreduce_metrics::FlowtimeSummary;
+
+#[test]
+fn multi_seed_runs_are_bit_identical_across_thread_counts() {
+    let scenario = Scenario::scaled(80, 4);
+    let kind = SchedulerKind::paper_default();
+
+    std::env::remove_var("RAYON_NUM_THREADS");
+    let parallel = run_scheduler_averaged(kind, &scenario);
+
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let serial = run_scheduler_averaged(kind, &scenario);
+    std::env::remove_var("RAYON_NUM_THREADS");
+
+    assert_eq!(parallel.len(), 4);
+    assert_eq!(parallel, serial, "outcomes differ across thread counts");
+
+    // The averaged figure rows are therefore identical too, field by field.
+    let summarise = |outcomes: &[mapreduce_sim::SimOutcome]| -> Vec<FlowtimeSummary> {
+        outcomes.iter().map(FlowtimeSummary::from_outcome).collect()
+    };
+    assert_eq!(summarise(&parallel), summarise(&serial));
+
+    // Seed order is preserved in the results: each entry must match a solo
+    // re-run of its seed, independent of which worker finished first.
+    let order_scenario = Scenario::scaled(40, 3);
+    let outcomes = run_scheduler_averaged(SchedulerKind::Fifo, &order_scenario);
+    assert_eq!(outcomes.len(), order_scenario.seeds.len());
+    for (idx, &seed) in order_scenario.seeds.iter().enumerate() {
+        let trace = order_scenario.trace(seed);
+        let single = run_scheduler(SchedulerKind::Fifo, &trace, order_scenario.machines, seed);
+        assert_eq!(outcomes[idx], single, "seed {seed} out of order");
+    }
+}

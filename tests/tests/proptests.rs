@@ -4,8 +4,8 @@
 
 use integration_tests::helpers::assert_outcome_invariants;
 use mapreduce_experiments::{run_scheduler, SchedulerKind};
+use mapreduce_support::proptest::prelude::*;
 use mapreduce_workload::{ArrivalProcess, DurationDistribution, WorkloadBuilder};
-use proptest::prelude::*;
 
 fn random_trace(
     jobs: usize,

@@ -2,6 +2,7 @@
 
 use integration_tests::helpers::test_trace;
 use mapreduce_experiments::{run_scheduler, SchedulerKind};
+use mapreduce_support::json::{FromJson, JsonValue, ToJson};
 use mapreduce_workload::Trace;
 
 #[test]
@@ -23,8 +24,8 @@ fn json_roundtrip_preserves_the_trace_and_the_simulation() {
 fn trace_statistics_survive_the_roundtrip() {
     let trace = test_trace(8);
     let stats_before = trace.stats();
-    let json = serde_json::to_string(&trace).expect("serialize");
-    let reloaded: Trace = serde_json::from_str(&json).expect("deserialize");
+    let json = trace.to_json().to_compact_string();
+    let reloaded = Trace::from_json(&JsonValue::parse(&json).expect("parse")).expect("decode");
     assert_eq!(reloaded.stats(), stats_before);
 }
 
