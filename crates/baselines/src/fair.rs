@@ -8,7 +8,9 @@
 //! realistic job-level allocator to sit on.
 
 use mapreduce_sim::{Action, ClusterState, JobState, Scheduler};
-use mapreduce_workload::Phase;
+use mapreduce_workload::{Phase, TaskId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Launches up to `budget` copies of unscheduled tasks, spreading machines
 /// across the given jobs in weighted max-min fashion.
@@ -34,74 +36,115 @@ pub fn fair_fill_unweighted(jobs: &[&JobState], budget: usize) -> Vec<Action> {
     fill(jobs, budget, false)
 }
 
+/// An `occupied / weight` ratio ordered with `f64::total_cmp`, so the heap
+/// order is total and deterministic. All four comparison traits go through
+/// `total_cmp` — deriving `PartialEq` (IEEE `==`) would disagree with `Ord`
+/// on `±0.0` and `NaN`, which std documents as a logic error.
+struct Ratio(f64);
+
+impl PartialEq for Ratio {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for Ratio {}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
 fn fill(jobs: &[&JobState], mut budget: usize, weighted: bool) -> Vec<Action> {
     let mut actions = Vec::new();
     if budget == 0 || jobs.is_empty() {
         return actions;
     }
-    // Per-job launch cursors and dynamic occupancy.
-    struct Slot<'a> {
+    // Per-job launch cursors over the engine-maintained unscheduled
+    // free-lists (no per-call collection) and dynamic occupancy.
+    struct JobFill<'a> {
         job: &'a JobState,
         occupied: usize,
+        maps: &'a [u32],
+        reduces: &'a [u32],
         map_cursor: usize,
         reduce_cursor: usize,
     }
-    let mut slots: Vec<Slot<'_>> = jobs
+    impl JobFill<'_> {
+        fn has_work(&self) -> bool {
+            self.map_cursor < self.maps.len() || self.reduce_cursor < self.reduces.len()
+        }
+        fn weight(&self, weighted: bool) -> f64 {
+            if weighted {
+                self.job.weight()
+            } else {
+                1.0
+            }
+        }
+    }
+    let mut slots: Vec<JobFill<'_>> = jobs
         .iter()
-        .map(|j| Slot {
-            job: j,
-            occupied: j.active_copies(),
+        .map(|&job| JobFill {
+            job,
+            occupied: job.active_copies(),
+            maps: job.unscheduled_indices(Phase::Map),
+            reduces: if job.map_phase_complete() {
+                job.unscheduled_indices(Phase::Reduce)
+            } else {
+                &[]
+            },
             map_cursor: 0,
             reduce_cursor: 0,
         })
         .collect();
 
-    // Pre-collect unscheduled task ids per job so the cursors are stable.
-    let unscheduled: Vec<(Vec<_>, Vec<_>)> = jobs
+    // Min-heap over (occupied/weight, position): repeatedly grant one machine
+    // to the least-served job that still has launchable work. Only the
+    // granted job's ratio changes, so popping and re-pushing that single
+    // entry keeps the heap exact — `O(log jobs)` per machine instead of the
+    // previous full scan (`O(jobs)` per machine, `O(budget · jobs)` total).
+    // Ties on the ratio break towards the smaller position, matching the
+    // scan's first-strictly-smaller rule.
+    let mut heap: BinaryHeap<Reverse<(Ratio, usize)>> = slots
         .iter()
-        .map(|j| {
-            let maps: Vec<_> = j.unscheduled_tasks(Phase::Map).map(|t| t.id()).collect();
-            let reduces: Vec<_> = if j.map_phase_complete() {
-                j.unscheduled_tasks(Phase::Reduce).map(|t| t.id()).collect()
-            } else {
-                Vec::new()
-            };
-            (maps, reduces)
-        })
+        .enumerate()
+        .filter(|(_, slot)| slot.has_work())
+        .map(|(idx, slot)| Reverse((Ratio(slot.occupied as f64 / slot.weight(weighted)), idx)))
         .collect();
 
     while budget > 0 {
-        // Pick the job with the smallest occupied/weight that can still
-        // launch something.
-        let mut best: Option<(f64, usize)> = None;
-        for (idx, slot) in slots.iter().enumerate() {
-            let (maps, reduces) = &unscheduled[idx];
-            let has_work = slot.map_cursor < maps.len() || slot.reduce_cursor < reduces.len();
-            if !has_work {
-                continue;
-            }
-            let weight = if weighted { slot.job.weight() } else { 1.0 };
-            let ratio = slot.occupied as f64 / weight;
-            match best {
-                Some((best_ratio, _)) if ratio >= best_ratio => {}
-                _ => best = Some((ratio, idx)),
-            }
-        }
-        let Some((_, idx)) = best else { break };
-        let (maps, reduces) = &unscheduled[idx];
-        let slot = &mut slots[idx];
-        let task = if slot.map_cursor < maps.len() {
-            let t = maps[slot.map_cursor];
-            slot.map_cursor += 1;
-            t
-        } else {
-            let t = reduces[slot.reduce_cursor];
-            slot.reduce_cursor += 1;
-            t
+        let Some(Reverse((_, idx))) = heap.pop() else {
+            break;
         };
-        actions.push(Action::Launch { task, copies: 1 });
+        let slot = &mut slots[idx];
+        let (phase, index) = if slot.map_cursor < slot.maps.len() {
+            let i = slot.maps[slot.map_cursor];
+            slot.map_cursor += 1;
+            (Phase::Map, i)
+        } else {
+            let i = slot.reduces[slot.reduce_cursor];
+            slot.reduce_cursor += 1;
+            (Phase::Reduce, i)
+        };
+        actions.push(Action::Launch {
+            task: TaskId::new(slot.job.id(), phase, index),
+            copies: 1,
+        });
         slot.occupied += 1;
         budget -= 1;
+        if slot.has_work() {
+            heap.push(Reverse((
+                Ratio(slot.occupied as f64 / slot.weight(weighted)),
+                idx,
+            )));
+        }
     }
     actions
 }

@@ -1,7 +1,7 @@
 //! FIFO job scheduling without speculation — Hadoop's original default.
 
 use mapreduce_sim::{Action, ClusterState, Scheduler};
-use mapreduce_workload::Phase;
+use mapreduce_workload::{Phase, TaskId};
 
 /// First-in-first-out job order, one copy per task, no speculation.
 ///
@@ -31,19 +31,19 @@ impl Scheduler for Fifo {
         if budget == 0 {
             return actions;
         }
-        let mut jobs: Vec<_> = state.alive_jobs().collect();
-        jobs.sort_by_key(|j| (j.arrival(), j.id()));
-        for job in jobs {
+        // The engine maintains the alive set in arrival order incrementally;
+        // no per-wakeup sort.
+        for job in state.alive_jobs_by_arrival() {
             for phase in [Phase::Map, Phase::Reduce] {
                 if phase == Phase::Reduce && !job.map_phase_complete() {
                     continue;
                 }
-                for task in job.unscheduled_tasks(phase) {
+                for &index in job.unscheduled_indices(phase) {
                     if budget == 0 {
                         return actions;
                     }
                     actions.push(Action::Launch {
-                        task: task.id(),
+                        task: TaskId::new(job.id(), phase, index),
                         copies: 1,
                     });
                     budget -= 1;

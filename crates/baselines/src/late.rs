@@ -120,7 +120,10 @@ impl Scheduler for Late {
             return actions;
         }
 
-        // Speculative copies, LATE-style, with the leftover machines.
+        // Speculative copies, LATE-style, with the leftover machines. The
+        // running-task iteration below is backed by the engine's per-phase
+        // free-lists, so the detection pass costs O(running tasks), not
+        // O(all tasks of all alive jobs).
         let now = state.now();
         let mut speculative_running = 0usize;
         let mut candidates: Vec<(f64, f64, Action)> = Vec::new(); // (rate, est_time_left, action)
@@ -159,7 +162,7 @@ impl Scheduler for Late {
 
         // SlowTaskThreshold: rate must be in the slowest quantile.
         let mut rates: Vec<f64> = candidates.iter().map(|(rate, _, _)| *rate).collect();
-        rates.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        rates.sort_by(|a, b| a.total_cmp(b));
         let idx = ((rates.len() as f64 * self.config.slow_task_quantile).ceil() as usize)
             .clamp(1, rates.len())
             - 1;
@@ -175,8 +178,9 @@ impl Scheduler for Late {
             .filter(|(rate, _, _)| *rate <= threshold)
             .map(|(_, est, action)| (est, action))
             .collect();
-        // Longest approximate time to end first.
-        eligible.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        // Longest approximate time to end first; `total_cmp` keeps the order
+        // total (the estimates can be infinite).
+        eligible.sort_by(|a, b| b.0.total_cmp(&a.0));
         for (_, action) in eligible.into_iter().take(allowance) {
             actions.push(action);
         }

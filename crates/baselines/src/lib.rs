@@ -19,6 +19,10 @@
 //!
 //! All of them implement [`mapreduce_sim::Scheduler`] and can be swapped into
 //! any experiment or example.
+//!
+//! The [`reference`] module holds frozen pre-optimization copies of the
+//! schedulers, used by the golden-equivalence tests and the benchmark
+//! baselines.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,6 +31,7 @@ pub mod fair;
 pub mod fifo;
 pub mod late;
 pub mod mantri;
+pub mod reference;
 pub mod sca;
 pub mod srpt_noclone;
 
@@ -34,5 +39,6 @@ pub use fair::FairScheduler;
 pub use fifo::Fifo;
 pub use late::{Late, LateConfig};
 pub use mantri::{Mantri, MantriConfig};
+pub use reference::{ReferenceFair, ReferenceFifo, ReferenceLate, ReferenceMantri, ReferenceSca};
 pub use sca::{Sca, ScaConfig};
 pub use srpt_noclone::SrptNoClone;

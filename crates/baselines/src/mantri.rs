@@ -29,7 +29,7 @@
 //! for small jobs.
 
 use crate::fair::fair_fill_unweighted;
-use mapreduce_sim::{Action, ClusterState, JobState, Scheduler, Slot, TaskState};
+use mapreduce_sim::{Action, ClusterState, JobState, Scheduler, Slot};
 use mapreduce_workload::Phase;
 
 /// Configuration of the [`Mantri`] baseline.
@@ -114,35 +114,51 @@ impl Mantri {
     /// Mantri's estimate of the time a restarted copy of a task in `phase` of
     /// `job` would take: the mean duration of already-completed tasks of that
     /// phase, or the phase's a-priori mean if none completed yet.
+    ///
+    /// `O(1)`: the engine maintains the completed-duration aggregates
+    /// incrementally as tasks finish, so nothing is rescanned per wakeup.
     fn estimate_t_new(job: &JobState, phase: Phase) -> f64 {
-        let mut sum = 0.0;
-        let mut count = 0usize;
-        for task in job.tasks(phase) {
-            if let (Some(first), Some(done)) = (task.first_launched_at(), task.finished_at()) {
-                sum += done.saturating_sub(first) as f64;
-                count += 1;
-            }
-        }
-        if count > 0 {
-            sum / count as f64
-        } else {
-            job.spec().stats(phase).mean
-        }
+        job.mean_completed_duration(phase)
+            .unwrap_or_else(|| job.spec().stats(phase).mean)
     }
 
-    /// Collects duplicate launches for running stragglers of one job, ordered
-    /// by how much remaining time they have (worst first).
-    fn straggler_candidates(&self, job: &JobState, now: Slot) -> Vec<(Slot, Action)> {
-        let mut candidates = Vec::new();
+    /// Collects duplicate launches for running stragglers of one job.
+    ///
+    /// Incremental detection: the engine keys every running task by its
+    /// earliest predicted finish slot ([`JobState::running_by_finish`]), and
+    /// `t_rem(now) = finish − now`, so the straggler condition
+    /// `t_rem > threshold · t_new` selects exactly the tail of that order.
+    /// One `partition_point` per phase finds the cutoff and the scan touches
+    /// only the tasks currently judged stragglers — `O(log running +
+    /// stragglers)` per job instead of re-deriving `t_rem` for every running
+    /// task on every detection wakeup.
+    fn straggler_candidates(
+        &self,
+        job: &JobState,
+        now: Slot,
+        candidates: &mut Vec<(Slot, Action)>,
+    ) {
         for phase in [Phase::Map, Phase::Reduce] {
+            let entries = job.running_by_finish(phase);
+            if entries.is_empty() {
+                continue;
+            }
             let t_new = Self::estimate_t_new(job, phase);
-            for task in job.running_tasks(phase) {
-                if !self.is_straggler(task, t_new, now) {
+            let start = entries.partition_point(|&(finish, _)| {
+                finish.saturating_sub(now) as f64 <= self.config.threshold_factor * t_new
+            });
+            for &(finish, index) in &entries[start..] {
+                let Some(task) = job.task(phase, index) else {
+                    continue;
+                };
+                if task.active_copies() >= self.config.max_copies_per_task {
                     continue;
                 }
-                let t_rem = task.min_remaining(now).unwrap_or(0);
+                if task.oldest_active_elapsed(now) < self.config.min_elapsed_for_detection {
+                    continue;
+                }
                 candidates.push((
-                    t_rem,
+                    finish - now,
                     Action::Launch {
                         task: task.id(),
                         copies: 1,
@@ -150,20 +166,6 @@ impl Mantri {
                 ));
             }
         }
-        candidates
-    }
-
-    fn is_straggler(&self, task: &TaskState, t_new: f64, now: Slot) -> bool {
-        if task.active_copies() >= self.config.max_copies_per_task {
-            return false;
-        }
-        if task.oldest_active_elapsed(now) < self.config.min_elapsed_for_detection {
-            return false;
-        }
-        let Some(t_rem) = task.min_remaining(now) else {
-            return false;
-        };
-        t_rem as f64 > self.config.threshold_factor * t_new
     }
 }
 
@@ -203,7 +205,7 @@ impl Scheduler for Mantri {
         //    worst (largest remaining time) first.
         let mut candidates: Vec<(Slot, Action)> = Vec::new();
         for job in &jobs {
-            candidates.extend(self.straggler_candidates(job, state.now()));
+            self.straggler_candidates(job, state.now(), &mut candidates);
         }
         candidates.sort_by_key(|(t_rem, _)| std::cmp::Reverse(*t_rem));
         for (_, action) in candidates.into_iter().take(budget) {

@@ -138,9 +138,7 @@ impl Scheduler for Sca {
             let pb = b.weight()
                 / b.remaining_effective_workload(self.config.r)
                     .max(f64::MIN_POSITIVE);
-            pb.partial_cmp(&pa)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.id().cmp(&b.id()))
+            pb.total_cmp(&pa).then_with(|| a.id().cmp(&b.id()))
         });
 
         // Pass 1: one copy per launchable task, in priority order.
@@ -156,9 +154,12 @@ impl Scheduler for Sca {
             } else {
                 continue;
             };
+            // The unscheduled free-list gives the launchable tasks directly;
+            // no scan over the full task vector.
             let tasks: Vec<_> = job
-                .unscheduled_tasks(phase)
-                .map(|t| t.id())
+                .unscheduled_indices(phase)
+                .iter()
+                .map(|&i| mapreduce_workload::TaskId::new(job.id(), phase, i))
                 .take(budget)
                 .collect();
             if tasks.is_empty() {

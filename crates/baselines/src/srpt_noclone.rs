@@ -66,9 +66,7 @@ impl Scheduler for SrptNoClone {
             let pb = b.weight()
                 / b.remaining_effective_workload(self.r)
                     .max(f64::MIN_POSITIVE);
-            pb.partial_cmp(&pa)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.id().cmp(&b.id()))
+            pb.total_cmp(&pa).then_with(|| a.id().cmp(&b.id()))
         });
         for job in jobs {
             for phase in [Phase::Map, Phase::Reduce] {

@@ -1,0 +1,79 @@
+//! Engine full-scale benchmark: the paper's 12 000-machine / 6 064-job
+//! regime (Table II), timed end to end per scheduler and merged into
+//! `BENCH_engine.json`.
+//!
+//! Besides the optimized schedulers, the bench runs the frozen
+//! pre-optimization SRPTMS+C (`mapreduce_sched::ReferenceSrptMsC`) under the
+//! id `engine_fullscale/srptmsc_reference`, so the report records the
+//! pre-change baseline measured by the same binary on the same machine —
+//! the optimized/reference ratio is the incremental-state speedup at full
+//! scale.
+//!
+//! Run with `cargo bench -p mapreduce-bench --bench engine_fullscale`
+//! (about a minute; `MAPREDUCE_BENCH_SAMPLES=1` for a quick pass).
+
+use mapreduce_experiments::{run_scheduler, Scenario, SchedulerKind};
+use mapreduce_sched::ReferenceSrptMsC;
+use mapreduce_support::criterion::{BenchmarkId, Criterion};
+use mapreduce_support::{criterion_group, criterion_main};
+use std::hint::black_box;
+
+fn bench_fullscale(c: &mut Criterion) {
+    let scenario = Scenario::paper();
+    let seed = scenario.seeds[0];
+    let trace = scenario.trace(seed);
+    println!(
+        "engine fullscale: {} jobs / {} tasks / {} machines",
+        trace.len(),
+        trace.total_tasks(),
+        scenario.machines
+    );
+
+    let mut group = c.benchmark_group("engine_fullscale");
+    let variants = [
+        ("srptmsc", SchedulerKind::paper_default()),
+        ("fifo", SchedulerKind::Fifo),
+        ("mantri", SchedulerKind::Mantri),
+    ];
+    for (label, kind) in variants {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &kind, |b, &kind| {
+            b.iter(|| {
+                let outcome = run_scheduler(kind, black_box(&trace), scenario.machines, seed);
+                black_box(outcome.mean_flowtime())
+            })
+        });
+    }
+    // The recorded pre-change baseline: SRPTMS+C exactly as it was before the
+    // incremental-state optimization.
+    group.bench_with_input(
+        BenchmarkId::from_parameter("srptmsc_reference"),
+        &seed,
+        |b, &seed| {
+            b.iter(|| {
+                let mut scheduler = ReferenceSrptMsC::new(0.6, 3.0);
+                let outcome = mapreduce_bench::run_reference(
+                    &mut scheduler,
+                    black_box(&trace),
+                    scenario.machines,
+                    seed,
+                );
+                black_box(outcome.mean_flowtime())
+            })
+        },
+    );
+    group.finish();
+
+    mapreduce_bench::merge_bench_report(
+        "engine_fullscale",
+        scenario.profile.num_jobs,
+        scenario.machines,
+        c.results(),
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(3);
+    targets = bench_fullscale
+}
+criterion_main!(benches);

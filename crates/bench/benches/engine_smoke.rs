@@ -2,11 +2,19 @@
 //! scheduler family and emits `BENCH_engine.json` at the workspace root, so
 //! the engine's performance trajectory is tracked across PRs.
 //!
+//! The `*_reference` variants run the frozen pre-optimization scheduler
+//! implementations (see `mapreduce_sched::reference` /
+//! `mapreduce_baselines::reference`), so every report carries a same-machine
+//! baseline next to the optimized numbers — absolute timings drift with the
+//! host, the optimized/reference ratio does not.
+//!
 //! Run with `cargo bench -p mapreduce-bench --bench engine_smoke`.
 
+use mapreduce_baselines::ReferenceMantri;
 use mapreduce_experiments::{run_scheduler, Scenario, SchedulerKind};
+use mapreduce_sched::ReferenceSrptMsC;
+use mapreduce_sim::Scheduler;
 use mapreduce_support::criterion::{BenchmarkId, Criterion};
-use mapreduce_support::json::{JsonValue, ToJson};
 use mapreduce_support::{criterion_group, criterion_main};
 use std::hint::black_box;
 
@@ -37,37 +45,38 @@ fn bench_engine(c: &mut Criterion) {
             })
         });
     }
+    // Same-machine pre-optimization baselines.
+    type MakeScheduler = fn() -> Box<dyn Scheduler>;
+    let references: [(&str, MakeScheduler); 2] = [
+        ("srptmsc_reference", || {
+            Box::new(ReferenceSrptMsC::new(0.6, 3.0))
+        }),
+        ("mantri_reference", || Box::new(ReferenceMantri::new())),
+    ];
+    for (label, make) in references {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &seed, |b, &seed| {
+            b.iter(|| {
+                let mut scheduler = make();
+                let outcome = mapreduce_bench::run_reference(
+                    scheduler.as_mut(),
+                    black_box(&trace),
+                    scenario.machines,
+                    seed,
+                );
+                black_box(outcome.mean_flowtime())
+            })
+        });
+    }
     group.finish();
 
-    write_report(c, &scenario);
-}
-
-/// Writes every measured result to `BENCH_engine.json` at the workspace root.
-fn write_report(c: &Criterion, scenario: &Scenario) {
-    let results: Vec<JsonValue> = c
-        .results()
-        .iter()
-        .map(|r| {
-            JsonValue::object([
-                ("id", r.id.to_json()),
-                ("mean_ns", r.mean_ns.to_json()),
-                ("min_ns", r.min_ns.to_json()),
-                ("max_ns", r.max_ns.to_json()),
-                ("samples", r.samples.to_json()),
-            ])
-        })
-        .collect();
-    let report = JsonValue::object([
-        ("benchmark", JsonValue::String("engine_smoke".into())),
-        ("jobs", scenario.profile.num_jobs.to_json()),
-        ("machines", scenario.machines.to_json()),
-        ("results", JsonValue::Array(results)),
-    ]);
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
-    match std::fs::write(path, report.to_pretty_string()) {
-        Ok(()) => println!("wrote {path}"),
-        Err(e) => eprintln!("could not write {path}: {e}"),
-    }
+    // Append-or-update the keyed entry so the perf trajectory accumulates
+    // across PRs instead of overwriting the file.
+    mapreduce_bench::merge_bench_report(
+        "engine_smoke",
+        scenario.profile.num_jobs,
+        scenario.machines,
+        c.results(),
+    );
 }
 
 criterion_group! {

@@ -9,6 +9,12 @@
 #![warn(missing_docs)]
 
 use mapreduce_experiments::Scenario;
+use mapreduce_sim::{Scheduler, SimConfig, SimOutcome, Simulation};
+use mapreduce_support::criterion::BenchResult;
+use mapreduce_support::json::{JsonValue, ToJson};
+use mapreduce_workload::Trace;
+use std::collections::HashMap;
+use std::path::Path;
 
 /// The scenario every benchmark runs: a scaled-down Google-like trace
 /// (300 jobs, ~590 machines, single seed) that preserves the paper's
@@ -24,6 +30,137 @@ pub fn sweep_scenario() -> Scenario {
     Scenario::scaled(150, 1)
 }
 
+/// Runs one scheduler over a trace under exactly the configuration the
+/// experiment harness uses (`mapreduce_experiments::run_scheduler`), so
+/// reference and optimized bench entries always compare identical
+/// simulations. Shared by `engine_smoke` and `engine_fullscale` for their
+/// frozen pre-optimization baselines.
+///
+/// # Panics
+/// Panics if the simulation fails — a bench baseline that cannot complete is
+/// a bug, not a recoverable condition.
+pub fn run_reference(
+    scheduler: &mut dyn Scheduler,
+    trace: &Trace,
+    machines: usize,
+    seed: u64,
+) -> SimOutcome {
+    let config = SimConfig::new(machines).with_seed(seed);
+    Simulation::new(config, trace)
+        .run(scheduler)
+        .unwrap_or_else(|e| panic!("reference run with {} failed: {e}", scheduler.name()))
+}
+
+/// Path of the tracked engine-performance report at the workspace root.
+pub const BENCH_REPORT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+
+/// Merges one benchmark's results into the engine-performance report,
+/// **append-or-update by benchmark name** rather than overwriting the file,
+/// so the perf trajectory accumulates across benches and PRs.
+///
+/// The report is a single JSON object `{"benchmarks": [entry, ...]}` with one
+/// entry per benchmark name. When an entry is updated, each result id that
+/// already existed keeps the previous run's mean as `prev_mean_ns`, so the
+/// before/after of the latest change is recorded in the file itself. The
+/// legacy single-benchmark schema (a bare entry at the top level) is migrated
+/// on first contact.
+///
+/// Smoke-mode runs (`MAPREDUCE_BENCH_SAMPLES` set — CI and local
+/// reproductions of it) leave the tracked report untouched: a one-sample
+/// timing would overwrite the curated means and their `prev_mean_ns`
+/// trajectory with noise.
+pub fn merge_bench_report(benchmark: &str, jobs: usize, machines: usize, results: &[BenchResult]) {
+    if mapreduce_support::criterion::env_sample_override().is_some() {
+        println!("MAPREDUCE_BENCH_SAMPLES set: smoke run, leaving {BENCH_REPORT_PATH} untouched");
+        return;
+    }
+    merge_bench_report_at(
+        Path::new(BENCH_REPORT_PATH),
+        benchmark,
+        jobs,
+        machines,
+        results,
+    );
+}
+
+/// [`merge_bench_report`] against an explicit path (tests use a temp file).
+pub fn merge_bench_report_at(
+    path: &Path,
+    benchmark: &str,
+    jobs: usize,
+    machines: usize,
+    results: &[BenchResult],
+) {
+    let existing = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| JsonValue::parse(&s).ok());
+    let mut entries: Vec<JsonValue> = match &existing {
+        Some(v) => match v.get("benchmarks").and_then(|b| b.as_array()) {
+            Some(list) => list.to_vec(),
+            // Legacy schema: the file was one bare benchmark entry.
+            None if v.get("benchmark").is_some() => vec![v.clone()],
+            None => Vec::new(),
+        },
+        None => Vec::new(),
+    };
+
+    // Previous means for this benchmark, keyed by result id, so the updated
+    // entry records its own before/after.
+    let mut prev_means: HashMap<String, f64> = HashMap::new();
+    if let Some(old) = entries
+        .iter()
+        .find(|e| e.get("benchmark").and_then(|b| b.as_str()) == Some(benchmark))
+    {
+        if let Some(old_results) = old.get("results").and_then(|r| r.as_array()) {
+            for r in old_results {
+                if let (Some(id), Some(mean)) = (
+                    r.get("id").and_then(|v| v.as_str()),
+                    r.get("mean_ns").and_then(|v| v.as_f64()),
+                ) {
+                    prev_means.insert(id.to_string(), mean);
+                }
+            }
+        }
+    }
+
+    let result_values: Vec<JsonValue> = results
+        .iter()
+        .map(|r| {
+            let mut fields: Vec<(&'static str, JsonValue)> = vec![
+                ("id", r.id.to_json()),
+                ("mean_ns", r.mean_ns.to_json()),
+                ("min_ns", r.min_ns.to_json()),
+                ("max_ns", r.max_ns.to_json()),
+                ("samples", r.samples.to_json()),
+            ];
+            if let Some(prev) = prev_means.get(&r.id) {
+                fields.push(("prev_mean_ns", prev.to_json()));
+            }
+            JsonValue::object(fields)
+        })
+        .collect();
+    let entry = JsonValue::object([
+        ("benchmark", JsonValue::String(benchmark.to_string())),
+        ("jobs", jobs.to_json()),
+        ("machines", machines.to_json()),
+        ("results", JsonValue::Array(result_values)),
+    ]);
+
+    match entries
+        .iter()
+        .position(|e| e.get("benchmark").and_then(|b| b.as_str()) == Some(benchmark))
+    {
+        Some(pos) => entries[pos] = entry,
+        None => entries.push(entry),
+    }
+
+    let report = JsonValue::object([("benchmarks", JsonValue::Array(entries))]);
+    match std::fs::write(path, report.to_pretty_string()) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -33,5 +170,106 @@ mod tests {
         assert_eq!(bench_scenario().profile.num_jobs, 300);
         assert_eq!(sweep_scenario().profile.num_jobs, 150);
         assert_eq!(bench_scenario().seeds.len(), 1);
+    }
+
+    fn result(id: &str, mean: f64) -> BenchResult {
+        BenchResult {
+            id: id.to_string(),
+            mean_ns: mean,
+            min_ns: mean * 0.9,
+            max_ns: mean * 1.1,
+            samples: 3,
+        }
+    }
+
+    fn entry<'a>(report: &'a JsonValue, benchmark: &str) -> &'a JsonValue {
+        report
+            .get("benchmarks")
+            .and_then(|b| b.as_array())
+            .and_then(|list| {
+                list.iter()
+                    .find(|e| e.get("benchmark").and_then(|b| b.as_str()) == Some(benchmark))
+            })
+            .expect("benchmark entry present")
+    }
+
+    #[test]
+    fn merge_report_appends_updates_and_records_prev_mean() {
+        // Process-unique name: concurrent test runs must not share the file.
+        let path = std::env::temp_dir().join(format!(
+            "mapreduce_bench_merge_test_{}.json",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        merge_bench_report_at(&path, "smoke", 10, 5, &[result("smoke/a", 100.0)]);
+        merge_bench_report_at(&path, "full", 100, 50, &[result("full/a", 9000.0)]);
+        // Updating a benchmark keeps the other entry and records the previous
+        // mean of every id it had before.
+        merge_bench_report_at(
+            &path,
+            "smoke",
+            10,
+            5,
+            &[result("smoke/a", 40.0), result("smoke/b", 7.0)],
+        );
+
+        let report = JsonValue::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(
+            report.get("benchmarks").unwrap().as_array().unwrap().len(),
+            2
+        );
+        let smoke = entry(&report, "smoke");
+        let results = smoke.get("results").unwrap().as_array().unwrap();
+        assert_eq!(results[0].get("mean_ns").unwrap().as_f64(), Some(40.0));
+        assert_eq!(
+            results[0].get("prev_mean_ns").unwrap().as_f64(),
+            Some(100.0)
+        );
+        // A brand-new id has no previous mean.
+        assert!(results[1].get("prev_mean_ns").is_none());
+        assert!(entry(&report, "full").get("results").is_some());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn merge_report_migrates_the_legacy_single_entry_schema() {
+        let path = std::env::temp_dir().join(format!(
+            "mapreduce_bench_legacy_test_{}.json",
+            std::process::id()
+        ));
+        let legacy = JsonValue::object([
+            ("benchmark", JsonValue::String("engine_smoke".into())),
+            ("jobs", 300usize.to_json()),
+            ("machines", 593usize.to_json()),
+            (
+                "results",
+                JsonValue::Array(vec![JsonValue::object([
+                    ("id", JsonValue::String("engine_smoke/mantri".into())),
+                    ("mean_ns", 42000000.0.to_json()),
+                    ("min_ns", 40000000.0.to_json()),
+                    ("max_ns", 48000000.0.to_json()),
+                    ("samples", 10usize.to_json()),
+                ])]),
+            ),
+        ]);
+        std::fs::write(&path, legacy.to_pretty_string()).unwrap();
+
+        merge_bench_report_at(
+            &path,
+            "engine_smoke",
+            300,
+            593,
+            &[result("engine_smoke/mantri", 15000000.0)],
+        );
+        let report = JsonValue::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let smoke = entry(&report, "engine_smoke");
+        let results = smoke.get("results").unwrap().as_array().unwrap();
+        // The legacy entry's mean became the recorded baseline.
+        assert_eq!(
+            results[0].get("prev_mean_ns").unwrap().as_f64(),
+            Some(42000000.0)
+        );
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -28,6 +28,7 @@ pub mod bounds;
 pub mod offline;
 pub mod potential;
 pub mod priority;
+pub mod reference;
 pub mod sharing;
 pub mod srptms;
 
@@ -35,5 +36,9 @@ pub use bounds::{theorem1_bound, theorem1_probability, CompetitiveReport, Offlin
 pub use offline::OfflineSrpt;
 pub use potential::PotentialFunction;
 pub use priority::{offline_priority, online_priority, rank_jobs_by_priority};
-pub use sharing::{epsilon_fraction_shares, MachineShare};
+pub use reference::ReferenceSrptMsC;
+pub use sharing::{
+    epsilon_fraction_shares, epsilon_fraction_shares_into, epsilon_fraction_shares_scratch,
+    MachineShare,
+};
 pub use srptms::{SrptMsC, SrptMsCConfig};

@@ -49,9 +49,16 @@ pub fn online_priority(job: &JobState, r: f64) -> f64 {
 /// The input is any list of `(JobId, priority)` pairs; the output is the job
 /// ids sorted from most to least urgent.
 pub fn rank_jobs_by_priority(mut jobs: Vec<(JobId, f64)>) -> Vec<JobId> {
+    // `total_cmp` instead of `partial_cmp(..).unwrap_or(Equal)`: the latter
+    // reports incomparable (NaN) pairs as equal, which makes the sort order —
+    // and therefore the schedule — depend on the sorting algorithm's internal
+    // partitioning. A NaN priority (a broken estimate) is demoted to -inf so
+    // it ranks *last* rather than above every finite priority, with the job
+    // id breaking the tie deterministically.
+    let demote = |x: f64| if x.is_nan() { f64::NEG_INFINITY } else { x };
     jobs.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .unwrap_or(std::cmp::Ordering::Equal)
+        demote(b.1)
+            .total_cmp(&demote(a.1))
             .then_with(|| a.0.cmp(&b.0))
     });
     jobs.into_iter().map(|(id, _)| id).collect()
@@ -119,6 +126,9 @@ mod tests {
         ]);
         assert_eq!(ranked.len(), 3);
         assert_eq!(ranked[0], JobId::new(0));
+        // A NaN priority is demoted below every real priority, not treated as
+        // "equal to anything" (which left the order to the sort's internals).
+        assert_eq!(ranked[2], JobId::new(2));
     }
 
     #[test]

@@ -50,6 +50,41 @@ pub fn epsilon_fraction_shares(
     total_machines: usize,
     epsilon: f64,
 ) -> Vec<MachineShare> {
+    let mut shares = Vec::with_capacity(jobs.len());
+    epsilon_fraction_shares_into(jobs, total_machines, epsilon, &mut shares);
+    shares
+}
+
+/// Like [`epsilon_fraction_shares`], but writes the result into a
+/// caller-provided buffer (cleared first) so per-decision schedulers can
+/// reuse the allocation across wakeups.
+///
+/// # Panics
+/// Panics if `epsilon` is not in `(0, 1]` or any weight is not positive.
+pub fn epsilon_fraction_shares_into(
+    jobs: &[(JobId, f64)],
+    total_machines: usize,
+    epsilon: f64,
+    shares: &mut Vec<MachineShare>,
+) {
+    let mut scratch = Vec::new();
+    epsilon_fraction_shares_scratch(jobs, total_machines, epsilon, shares, &mut scratch);
+}
+
+/// Fully allocation-free variant of [`epsilon_fraction_shares_into`]: the
+/// rounding's eligible-remainder working set also comes from a caller-owned
+/// buffer, so a scheduler's decision path performs no heap allocation here
+/// at all.
+///
+/// # Panics
+/// Panics if `epsilon` is not in `(0, 1]` or any weight is not positive.
+pub fn epsilon_fraction_shares_scratch(
+    jobs: &[(JobId, f64)],
+    total_machines: usize,
+    epsilon: f64,
+    shares: &mut Vec<MachineShare>,
+    scratch: &mut Vec<(f64, usize)>,
+) {
     assert!(
         epsilon > 0.0 && epsilon <= 1.0,
         "epsilon must be in (0, 1], got {epsilon}"
@@ -58,15 +93,14 @@ pub fn epsilon_fraction_shares(
         jobs.iter().all(|(_, w)| *w > 0.0),
         "job weights must be positive"
     );
+    shares.clear();
     if jobs.is_empty() || total_machines == 0 {
-        return jobs
-            .iter()
-            .map(|&(job, _)| MachineShare {
-                job,
-                fractional: 0.0,
-                machines: 0,
-            })
-            .collect();
+        shares.extend(jobs.iter().map(|&(job, _)| MachineShare {
+            job,
+            fractional: 0.0,
+            machines: 0,
+        }));
+        return;
     }
 
     let total_weight: f64 = jobs.iter().map(|(_, w)| w).sum();
@@ -77,7 +111,6 @@ pub fn epsilon_fraction_shares(
     // Jobs are sorted by decreasing priority, so this is the weight of the
     // suffix starting at i.
     let mut suffix_weight = total_weight;
-    let mut shares = Vec::with_capacity(jobs.len());
     for &(job, weight) in jobs {
         let w_i = suffix_weight;
         let fractional = if w_i - weight >= threshold {
@@ -95,39 +128,48 @@ pub fn epsilon_fraction_shares(
         suffix_weight -= weight;
     }
 
-    largest_remainder_round(&mut shares, total_machines);
-    shares
+    largest_remainder_round(shares, total_machines, scratch);
 }
 
 /// Rounds fractional shares to integers that sum to `total_machines`, by
 /// flooring every share and then handing the remaining machines to the
 /// largest fractional remainders (ties broken by position, i.e. by priority).
-fn largest_remainder_round(shares: &mut [MachineShare], total_machines: usize) {
+fn largest_remainder_round(
+    shares: &mut [MachineShare],
+    total_machines: usize,
+    eligible: &mut Vec<(f64, usize)>,
+) {
     let mut assigned = 0usize;
-    let mut remainders: Vec<(f64, usize)> = Vec::with_capacity(shares.len());
+    // Only jobs that actually participate in the sharing (positive fractional
+    // share) are eligible for a top-up; purely zero-share jobs stay at zero.
+    eligible.clear();
     for (idx, share) in shares.iter_mut().enumerate() {
         let floor = share.fractional.floor() as usize;
         share.machines = floor;
         assigned += floor;
-        remainders.push((share.fractional - floor as f64, idx));
+        let rem = share.fractional - floor as f64;
+        if rem > 0.0 || share.fractional > 0.0 {
+            eligible.push((rem, idx));
+        }
     }
-    let mut leftover = total_machines.saturating_sub(assigned);
-    // Sort by remainder descending, position ascending.
-    remainders.sort_by(|a, b| {
-        b.0.partial_cmp(&a.0)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| a.1.cmp(&b.1))
-    });
-    for (rem, idx) in remainders {
-        if leftover == 0 {
-            break;
-        }
-        // Only top up jobs that actually participate in the sharing (have a
-        // positive fractional share); purely zero-share jobs stay at zero.
-        if rem > 0.0 || shares[idx].fractional > 0.0 {
-            shares[idx].machines += 1;
-            leftover -= 1;
-        }
+    let leftover = total_machines.saturating_sub(assigned);
+    // Hand the leftover machines to the `leftover` largest remainders
+    // (position ascending on ties). The recipients are the top-k of a total
+    // order — each gets exactly +1, so their relative order is irrelevant —
+    // which a selection finds in O(n) instead of a full O(n log n) sort per
+    // scheduling decision. `total_cmp` keeps the order total even if a
+    // remainder were ever NaN.
+    let k = leftover.min(eligible.len());
+    if k == 0 {
+        return;
+    }
+    if k < eligible.len() {
+        eligible.select_nth_unstable_by(k - 1, |a, b| {
+            b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1))
+        });
+    }
+    for &(_, idx) in &eligible[..k] {
+        shares[idx].machines += 1;
     }
 }
 

@@ -25,9 +25,9 @@
 //! the paper's evaluation (Fig. 1). Cloning can be disabled for ablations.
 
 use crate::priority::online_priority;
-use crate::sharing::epsilon_fraction_shares;
+use crate::sharing::{epsilon_fraction_shares_scratch, MachineShare};
 use mapreduce_sim::{Action, ClusterState, JobState, Scheduler};
-use mapreduce_workload::{JobId, Phase};
+use mapreduce_workload::{JobId, Phase, TaskId};
 
 /// Configuration of the SRPTMS+C scheduler.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -123,10 +123,27 @@ impl Default for SrptMsCConfig {
 }
 
 /// The SRPTMS+C online scheduler (Algorithm 2).
+///
+/// The decision path is incremental: when run by the engine, the candidate
+/// jobs arrive pre-ranked by `w_i / U_i(l)` (maintained across events via
+/// [`Scheduler::priority_r`] — no per-wakeup sort), unscheduled tasks are
+/// enumerated from the per-phase free-lists, and the ranked/share/launch
+/// scratch buffers are reused across decisions.
 #[derive(Debug, Clone)]
 pub struct SrptMsC {
     config: SrptMsCConfig,
     name: String,
+    /// Scratch: `(id, weight)` of the candidates in priority order.
+    ranked: Vec<(JobId, f64)>,
+    /// Scratch: the ε-fraction shares, one per candidate.
+    shares: Vec<MachineShare>,
+    /// Scratch: the rounding's eligible-remainder working set.
+    round_scratch: Vec<(f64, usize)>,
+    /// Scratch: per candidate, how many unscheduled tasks (a *prefix* of the
+    /// job's free-list — the ε-pass launches in free-list order) were
+    /// launched this decision, so the backfill pass resumes after them
+    /// without any per-task membership checks.
+    launched_prefix: Vec<usize>,
 }
 
 impl SrptMsC {
@@ -145,7 +162,14 @@ impl SrptMsC {
         } else {
             format!("srptms(eps={},r={})", config.epsilon, config.r)
         };
-        SrptMsC { config, name }
+        SrptMsC {
+            config,
+            name,
+            ranked: Vec::new(),
+            shares: Vec::new(),
+            round_scratch: Vec::new(),
+            launched_prefix: Vec::new(),
+        }
     }
 
     /// The scheduler's configuration.
@@ -153,35 +177,49 @@ impl SrptMsC {
         &self.config
     }
 
-    /// Decides how to spend `machines` newly granted machines on one job:
-    /// the task-scheduling procedure of Algorithm 2. Returns the launch
-    /// actions and the number of machines actually used.
-    fn schedule_tasks_for_job(&self, job: &JobState, machines: usize) -> (Vec<Action>, usize) {
-        let mut actions = Vec::new();
-        if machines == 0 {
-            return (actions, 0);
-        }
-
-        // Map tasks first; reduce tasks only once the Map phase completed.
-        let phase = if job.num_unscheduled(Phase::Map) > 0 {
-            Phase::Map
+    /// The launchable phase of a job: map tasks first; reduce tasks only once
+    /// the Map phase completed.
+    fn launchable_phase(job: &JobState) -> Option<Phase> {
+        if job.num_unscheduled(Phase::Map) > 0 {
+            Some(Phase::Map)
         } else if job.map_phase_complete() && job.num_unscheduled(Phase::Reduce) > 0 {
-            Phase::Reduce
+            Some(Phase::Reduce)
         } else {
-            return (actions, 0);
-        };
+            None
+        }
+    }
 
-        let unscheduled: Vec<_> = job.unscheduled_tasks(phase).map(|t| t.id()).collect();
+    /// Decides how to spend `machines` newly granted machines on one job:
+    /// the task-scheduling procedure of Algorithm 2. Appends the launch
+    /// actions and returns `(machines used, unscheduled tasks launched)` —
+    /// the launched tasks are always a prefix of the job's unscheduled
+    /// free-list, which is what lets the backfill pass skip them in `O(1)`.
+    fn schedule_tasks_for_job(
+        config: &SrptMsCConfig,
+        job: &JobState,
+        machines: usize,
+        actions: &mut Vec<Action>,
+    ) -> (usize, usize) {
+        if machines == 0 {
+            return (0, 0);
+        }
+        let Some(phase) = Self::launchable_phase(job) else {
+            return (0, 0);
+        };
+        let unscheduled = job.unscheduled_indices(phase);
         let count = unscheduled.len();
         if count == 0 {
-            return (actions, 0);
+            return (0, 0);
         }
 
         let mut used = 0usize;
-        if machines <= count || !self.config.cloning {
+        let tasks_launched;
+        if machines <= count || !config.cloning {
             // Scarce machines (or cloning disabled): one copy each for as many
             // tasks as we can fit.
-            for task in unscheduled.into_iter().take(machines) {
+            tasks_launched = machines.min(count);
+            for &index in unscheduled.iter().take(machines) {
+                let task = TaskId::new(job.id(), phase, index);
                 actions.push(Action::Launch { task, copies: 1 });
                 used += 1;
             }
@@ -189,17 +227,19 @@ impl SrptMsC {
             // Surplus machines: clone every unscheduled task so the whole
             // share is used. Task k gets floor(machines/count) copies, plus
             // one more for the first (machines mod count) tasks.
+            tasks_launched = count;
             let base = machines / count;
             let extra = machines % count;
-            for (k, task) in unscheduled.into_iter().enumerate() {
-                let copies = (base + usize::from(k < extra)).min(self.config.max_copies_per_task);
+            for (k, &index) in unscheduled.iter().enumerate() {
+                let copies = (base + usize::from(k < extra)).min(config.max_copies_per_task);
                 if copies > 0 {
+                    let task = TaskId::new(job.id(), phase, index);
                     actions.push(Action::Launch { task, copies });
                     used += copies;
                 }
             }
         }
-        (actions, used)
+        (used, tasks_launched)
     }
 }
 
@@ -214,40 +254,75 @@ impl Scheduler for SrptMsC {
         &self.name
     }
 
+    fn priority_r(&self) -> Option<f64> {
+        Some(self.config.r)
+    }
+
     fn schedule(&mut self, state: &ClusterState<'_>) -> Vec<Action> {
         let mut available = state.available_machines();
         if available == 0 {
             return Vec::new();
         }
 
-        // ψ^s(l): alive jobs that still have unscheduled tasks.
-        let mut candidates: Vec<&JobState> = state
-            .alive_jobs()
-            .filter(|j| j.total_unscheduled() > 0)
-            .collect();
-        if candidates.is_empty() {
+        // ψ^s(l): alive jobs that still have unscheduled tasks, ranked by
+        // decreasing w_i / U_i(l), ties by id. Engine-built snapshots carry
+        // the order pre-ranked (maintained incrementally across events) and
+        // both passes below walk the borrowed slice directly; hand-built
+        // snapshots fall back to collecting and sorting.
+        let entries = state.ranked_entries(self.config.r);
+        let fallback: Vec<&JobState> = match entries {
+            Some(_) => Vec::new(),
+            None => {
+                let mut c: Vec<&JobState> = state
+                    .alive_jobs()
+                    .filter(|j| j.total_unscheduled() > 0)
+                    .collect();
+                c.sort_by(|a, b| {
+                    let pa = online_priority(a, self.config.r);
+                    let pb = online_priority(b, self.config.r);
+                    pb.total_cmp(&pa).then_with(|| a.id().cmp(&b.id()))
+                });
+                c
+            }
+        };
+        let candidate = |i: usize| match entries {
+            Some(e) => state.job_at(e[i].1),
+            None => fallback[i],
+        };
+        let num_candidates = entries.map_or(fallback.len(), <[_]>::len);
+        if num_candidates == 0 {
             return Vec::new();
         }
-        // Sort by decreasing w_i / U_i(l); ties by id for determinism.
-        candidates.sort_by(|a, b| {
-            let pa = online_priority(a, self.config.r);
-            let pb = online_priority(b, self.config.r);
-            pb.partial_cmp(&pa)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.id().cmp(&b.id()))
-        });
 
-        let ranked: Vec<(JobId, f64)> = candidates.iter().map(|j| (j.id(), j.weight())).collect();
-        let shares = epsilon_fraction_shares(&ranked, state.total_machines(), self.config.epsilon);
+        let config = self.config;
+        self.ranked.clear();
+        self.ranked.extend((0..num_candidates).map(|i| {
+            let job = candidate(i);
+            (job.id(), job.weight())
+        }));
+        epsilon_fraction_shares_scratch(
+            &self.ranked,
+            state.total_machines(),
+            config.epsilon,
+            &mut self.shares,
+            &mut self.round_scratch,
+        );
 
         let mut actions = Vec::new();
-        let mut launched: std::collections::HashSet<mapreduce_workload::TaskId> =
-            std::collections::HashSet::new();
-        for (job, share) in candidates.iter().zip(shares.iter()) {
+        self.launched_prefix.clear();
+        self.launched_prefix.resize(num_candidates, 0);
+        for (i, share) in self.shares.iter().enumerate() {
+            let job = candidate(i);
             if available == 0 {
                 break;
             }
             if share.machines == 0 {
+                // Shares follow priority order, so the first job outside the
+                // ε-fraction (fractional share exactly zero) ends the pass:
+                // every later job is outside it too.
+                if share.fractional == 0.0 {
+                    break;
+                }
                 continue;
             }
             // σ_i(l): machines the job already holds (running copies of its
@@ -259,40 +334,35 @@ impl Scheduler for SrptMsC {
                 continue;
             }
             let grant = xi.min(available);
-            let (job_actions, used) = self.schedule_tasks_for_job(job, grant);
-            for action in &job_actions {
-                if let Action::Launch { task, .. } = action {
-                    launched.insert(*task);
-                }
-            }
-            actions.extend(job_actions);
+            let (used, tasks_launched) =
+                Self::schedule_tasks_for_job(&config, job, grant, &mut actions);
             available -= used;
+            self.launched_prefix[i] = tasks_launched;
         }
 
         // Work-conserving backfill: machines the ε-fraction could not use go
         // to the remaining unscheduled tasks, one copy each, in priority
-        // order (no cloning outside the ε-fraction share).
-        if self.config.work_conserving && available > 0 {
-            'backfill: for job in &candidates {
-                let phase = if job.num_unscheduled(Phase::Map) > 0 {
-                    Phase::Map
-                } else if job.map_phase_complete() && job.num_unscheduled(Phase::Reduce) > 0 {
-                    Phase::Reduce
-                } else {
+        // order (no cloning outside the ε-fraction share). The ε-pass
+        // launched a prefix of each job's free-list, so the backfill resumes
+        // right after it — no per-task membership checks.
+        if config.work_conserving && available > 0 {
+            'backfill: for (i, &skip) in self.launched_prefix.iter().enumerate() {
+                let job = candidate(i);
+                let Some(phase) = Self::launchable_phase(job) else {
                     continue;
                 };
-                for task in job.unscheduled_tasks(phase) {
+                let unscheduled = job.unscheduled_indices(phase);
+                if skip >= unscheduled.len() {
+                    continue;
+                }
+                for &index in &unscheduled[skip..] {
                     if available == 0 {
                         break 'backfill;
                     }
-                    if launched.contains(&task.id()) {
-                        continue;
-                    }
                     actions.push(Action::Launch {
-                        task: task.id(),
+                        task: TaskId::new(job.id(), phase, index),
                         copies: 1,
                     });
-                    launched.insert(task.id());
                     available -= 1;
                 }
             }

@@ -93,12 +93,19 @@ impl Simulation {
         }
 
         let mut alive = AliveIndex::new();
+        if let Some(r) = scheduler.priority_r() {
+            alive.enable_priority(r);
+        }
         let mut stats = RunStats {
             available: total_machines,
             pending_arrivals: self.jobs.len(),
             ..RunStats::default()
         };
         let mut now: Slot = 0;
+        // Reused across decision instants so the hot loop never allocates for
+        // event delivery.
+        let mut newly_arrived = Vec::new();
+        let mut newly_finished = Vec::new();
 
         let wakeup_every = match (scheduler.wakeup_interval(), self.config.periodic_wakeup) {
             (Some(a), Some(b)) => Some(a.min(b)),
@@ -136,14 +143,14 @@ impl Simulation {
             }
 
             // ---- deliver due events (arrivals sort before completions) ----
-            let mut newly_arrived = Vec::new();
-            let mut newly_finished = Vec::new();
+            newly_arrived.clear();
+            newly_finished.clear();
             while let Some(event) = queue.pop_due(now) {
                 match event {
                     Event::JobArrival { job_index, .. } => {
                         let job = &mut self.jobs[job_index];
                         job.mark_arrived();
-                        alive.insert(job_index, job.weight(), job.total_unscheduled());
+                        alive.insert(job_index, job);
                         stats.pending_arrivals -= 1;
                         newly_arrived.push(job.id());
                     }
@@ -161,7 +168,7 @@ impl Simulation {
                                 self.jobs[job_idx].mark_complete(at);
                                 stats.completed_jobs += 1;
                                 stats.makespan = stats.makespan.max(at);
-                                alive.remove(job_idx, self.jobs[job_idx].weight());
+                                alive.remove(job_idx, &self.jobs[job_idx]);
                             }
                         }
                     }
@@ -175,6 +182,7 @@ impl Simulation {
 
             // ---- invoke the scheduler ----
             stats.scheduler_invocations += 1;
+            alive.flush_priority();
             let actions = {
                 let state = ClusterState::from_index(
                     now,
@@ -276,8 +284,9 @@ impl Simulation {
                 _ => {}
             }
         }
+        let duration = slot.saturating_sub(task.first_launched_at().unwrap_or(slot));
         task.mark_finished(slot);
-        job.note_task_finished(task_id.phase);
+        job.note_task_finished(task_id.phase, task_id.index, duration);
         job.note_copy_released(released);
         stats.available += released;
         stats.busy_machine_slots += busy;
@@ -295,19 +304,26 @@ impl Simulation {
     ) {
         let job = &mut self.jobs[job_idx];
         for index in 0..job.spec().num_reduce_tasks() {
+            let mut earliest_finish: Option<Slot> = None;
             if let Some(task) = job.task_mut(Phase::Reduce, index as u32) {
                 let task_id = task.id();
                 for copy in task.copies_mut().iter_mut() {
                     if copy.phase == CopyPhase::WaitingForMapPhase {
                         copy.phase = CopyPhase::Running;
                         copy.started_at = Some(slot);
+                        let finish = slot + copy.duration;
                         queue.push(Event::CopyFinish {
-                            at: slot + copy.duration,
+                            at: finish,
                             copy: copy.id,
                             task: task_id,
                         });
+                        earliest_finish =
+                            Some(earliest_finish.map_or(finish, |f: Slot| f.min(finish)));
                     }
                 }
+            }
+            if let Some(finish) = earliest_finish {
+                job.note_copy_running(Phase::Reduce, index as u32, finish);
             }
         }
     }
@@ -426,25 +442,29 @@ impl Simulation {
             let copy_id = CopyId(stats.next_copy_id);
             stats.next_copy_id += 1;
 
-            let copy = if task_id.phase == Phase::Reduce && !map_phase_complete {
-                CopyInfo::waiting(copy_id, task_id, now, duration)
+            let (copy, running_finish) = if task_id.phase == Phase::Reduce && !map_phase_complete {
+                (CopyInfo::waiting(copy_id, task_id, now, duration), None)
             } else {
+                let finish = now + duration;
                 let c = CopyInfo::running(copy_id, task_id, now, duration);
                 queue.push(Event::CopyFinish {
-                    at: now + duration,
+                    at: finish,
                     copy: copy_id,
                     task: task_id,
                 });
-                c
+                (c, Some(finish))
             };
 
             if task_was_unscheduled {
-                job.note_first_launch(task_id.phase);
-                alive.note_first_launch();
+                job.note_first_launch(task_id.phase, task_id.index);
+                alive.note_first_launch(job_idx, job);
             }
             job.note_copy_launched();
             if let Some(task) = job.task_mut(task_id.phase, task_id.index) {
                 task.add_copy(copy);
+            }
+            if let Some(finish) = running_finish {
+                job.note_copy_running(task_id.phase, task_id.index, finish);
             }
             stats.available -= 1;
             stats.total_copies += 1;
@@ -478,7 +498,7 @@ impl Simulation {
             .filter(|c| c.is_active())
             .map(|c| (c.progress(now), c.id))
             .collect();
-        active.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        active.sort_by(|a, b| b.0.total_cmp(&a.0));
         let to_cancel: Vec<CopyId> = active.iter().skip(keep).map(|&(_, id)| id).collect();
         let mut released = 0usize;
         let mut busy = 0u64;
@@ -490,6 +510,8 @@ impl Simulation {
                 busy += now.saturating_sub(copy.launched_at);
             }
         }
+        let new_finish = task.copies().iter().filter_map(|c| c.finish_slot()).min();
+        job.refresh_running_finish(task_id.phase, task_id.index, new_finish);
         job.note_copy_released(released);
         stats.available += released;
         stats.busy_machine_slots += busy;

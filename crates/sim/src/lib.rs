@@ -12,6 +12,34 @@
 //! [`Action`]s. The paper's algorithms (crate `mapreduce-sched`) and all the
 //! baselines (crate `mapreduce-baselines`) are implementations of this trait.
 //!
+//! # Incremental scheduler state
+//!
+//! Per-decision cost is proportional to the work actually touched, not to
+//! cluster size. The engine maintains, as events apply:
+//!
+//! * per-job, per-phase **free-lists** of unscheduled and running task
+//!   indices ([`JobState::unscheduled_indices`], [`JobState::running_tasks`])
+//!   — enumerating launchable or running work never scans the full task
+//!   vector;
+//! * a per-job, per-phase **running-by-finish order**
+//!   ([`JobState::running_by_finish`]) keying every running task by the
+//!   earliest finish slot of its copies — detection-based schedulers
+//!   (Mantri) binary-search the straggler cutoff instead of re-deriving
+//!   remaining times for every running task;
+//! * per-job, per-phase **completed-duration aggregates**
+//!   ([`JobState::mean_completed_duration`]) so restart-time estimates
+//!   (`t_new`) are `O(1)`;
+//! * an [`AliveIndex`] over the alive jobs carrying the weight/unscheduled
+//!   aggregates, an **arrival order** for the FIFO family, and an optional
+//!   **priority order** (decreasing `w_i / U_i(l)`, batched per decision
+//!   instant) that a scheduler opts into via [`Scheduler::priority_r`] and
+//!   consumes through [`ClusterState::ranked_entries`].
+//!
+//! The invariants of each structure are documented on the items themselves;
+//! the golden-equivalence suite (`tests/tests/golden_equivalence.rs`) pins
+//! every optimized scheduler to a frozen pre-optimization reference
+//! bit-for-bit.
+//!
 //! # Quick example
 //!
 //! ```

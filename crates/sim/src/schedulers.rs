@@ -6,7 +6,7 @@
 //! for users writing custom schedulers against the [`Scheduler`] trait.
 
 use crate::state::{Action, ClusterState, Scheduler};
-use mapreduce_workload::Phase;
+use mapreduce_workload::{Phase, TaskId};
 
 /// First-come-first-served, work-conserving, no cloning.
 ///
@@ -37,19 +37,19 @@ impl Scheduler for GreedyFifo {
         if budget == 0 {
             return actions;
         }
-        let mut jobs: Vec<_> = state.alive_jobs().collect();
-        jobs.sort_by_key(|j| (j.arrival(), j.id()));
-        for job in jobs {
+        // Arrival order comes pre-maintained from the engine's alive index;
+        // hand-built snapshots fall back to a sort inside the accessor.
+        for job in state.alive_jobs_by_arrival() {
             for phase in [Phase::Map, Phase::Reduce] {
                 if phase == Phase::Reduce && !job.map_phase_complete() {
                     continue;
                 }
-                for task in job.unscheduled_tasks(phase) {
+                for &index in job.unscheduled_indices(phase) {
                     if budget == 0 {
                         return actions;
                     }
                     actions.push(Action::Launch {
-                        task: task.id(),
+                        task: TaskId::new(job.id(), phase, index),
                         copies: 1,
                     });
                     budget -= 1;

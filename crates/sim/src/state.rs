@@ -35,6 +35,11 @@ pub struct TaskState {
     copies: Vec<CopyInfo>,
     first_launched_at: Option<Slot>,
     finished_at: Option<Slot>,
+    /// Cached earliest finish slot across this task's *running* copies.
+    /// Mirrors `min_remaining(now) + now`; maintained by the engine so the
+    /// per-phase running-by-finish index can locate entries without scanning
+    /// the copy vector. `None` while no copy is running.
+    running_finish: Option<Slot>,
 }
 
 impl TaskState {
@@ -46,6 +51,7 @@ impl TaskState {
             copies: Vec::new(),
             first_launched_at: None,
             finished_at: None,
+            running_finish: None,
         }
     }
 
@@ -148,6 +154,59 @@ impl TaskState {
     }
 }
 
+/// Incrementally maintained per-phase bookkeeping of one job.
+///
+/// Invariants (maintained by the engine through the `note_*` mutators):
+/// * `unscheduled` holds exactly the indices of tasks with
+///   [`TaskStatus::Unscheduled`], sorted ascending.
+/// * `running` holds exactly the indices of tasks with
+///   [`TaskStatus::Scheduled`], sorted ascending.
+/// * `running_by_finish` holds one `(finish, index)` entry per task that has
+///   at least one copy in `CopyPhase::Running`, keyed by the earliest finish
+///   slot across its running copies, sorted by `(finish, index)`.
+/// * `completed_count` / `completed_duration_sum` aggregate, over finished
+///   tasks, the wall-clock duration from first launch to completion (the
+///   quantity Mantri's `t_new` estimator averages). Durations are integral
+///   slots, so the incremental sum is exact and order-independent.
+#[derive(Debug, Clone, Default)]
+struct PhaseIndex {
+    /// The live free-list is `unscheduled[unscheduled_head..]`; schedulers
+    /// overwhelmingly launch tasks in free-list order, so consuming from the
+    /// front advances the cursor (`O(1)`) instead of shifting the vector —
+    /// `Vec::remove` is only paid for out-of-order launches.
+    unscheduled: Vec<u32>,
+    unscheduled_head: usize,
+    running: Vec<u32>,
+    running_by_finish: Vec<(Slot, u32)>,
+    completed_count: usize,
+    completed_duration_sum: u64,
+}
+
+impl PhaseIndex {
+    fn with_tasks(count: usize) -> Self {
+        PhaseIndex {
+            unscheduled: (0..count as u32).collect(),
+            ..PhaseIndex::default()
+        }
+    }
+
+    /// The unscheduled task indices, sorted ascending.
+    fn unscheduled(&self) -> &[u32] {
+        &self.unscheduled[self.unscheduled_head..]
+    }
+
+    /// Removes `index` from the unscheduled free-list, if present.
+    fn remove_unscheduled(&mut self, index: u32) {
+        if let Ok(pos) = self.unscheduled().binary_search(&index) {
+            if pos == 0 {
+                self.unscheduled_head += 1;
+            } else {
+                self.unscheduled.remove(self.unscheduled_head + pos);
+            }
+        }
+    }
+}
+
 /// Per-job runtime state: the static [`JobSpec`] plus the dynamic progress of
 /// all its tasks.
 #[derive(Debug, Clone)]
@@ -156,10 +215,10 @@ pub struct JobState {
     arrived: bool,
     map_tasks: Vec<TaskState>,
     reduce_tasks: Vec<TaskState>,
+    map_index: PhaseIndex,
+    reduce_index: PhaseIndex,
     unfinished_map: usize,
     unfinished_reduce: usize,
-    unscheduled_map: usize,
-    unscheduled_reduce: usize,
     active_copies: usize,
     copies_launched: usize,
     completed_at: Option<Slot>,
@@ -187,8 +246,8 @@ impl JobState {
         let unfinished_reduce = reduce_tasks.len();
         JobState {
             arrived: false,
-            unscheduled_map: unfinished_map,
-            unscheduled_reduce: unfinished_reduce,
+            map_index: PhaseIndex::with_tasks(unfinished_map),
+            reduce_index: PhaseIndex::with_tasks(unfinished_reduce),
             unfinished_map,
             unfinished_reduce,
             active_copies: 0,
@@ -197,6 +256,20 @@ impl JobState {
             map_tasks,
             reduce_tasks,
             spec,
+        }
+    }
+
+    fn phase_index(&self, phase: Phase) -> &PhaseIndex {
+        match phase {
+            Phase::Map => &self.map_index,
+            Phase::Reduce => &self.reduce_index,
+        }
+    }
+
+    fn phase_index_mut(&mut self, phase: Phase) -> &mut PhaseIndex {
+        match phase {
+            Phase::Map => &mut self.map_index,
+            Phase::Reduce => &mut self.reduce_index,
         }
     }
 
@@ -262,15 +335,12 @@ impl JobState {
     /// Number of tasks of `phase` that have not been launched yet
     /// (`m_i(l)` / `r_i(l)` in the paper).
     pub fn num_unscheduled(&self, phase: Phase) -> usize {
-        match phase {
-            Phase::Map => self.unscheduled_map,
-            Phase::Reduce => self.unscheduled_reduce,
-        }
+        self.phase_index(phase).unscheduled().len()
     }
 
     /// Total number of unscheduled tasks across both phases (`c_i(l)`).
     pub fn total_unscheduled(&self) -> usize {
-        self.unscheduled_map + self.unscheduled_reduce
+        self.map_index.unscheduled().len() + self.reduce_index.unscheduled().len()
     }
 
     /// Number of tasks of `phase` that have not finished yet.
@@ -284,15 +354,65 @@ impl JobState {
     /// Ids of the unscheduled tasks of a phase, in index order. Schedulers
     /// that want the paper's "choose at random" behaviour can pick any subset;
     /// the engine does not care which unscheduled task is launched first.
+    ///
+    /// Backed by the per-phase free-list: iteration is `O(unscheduled)`, not
+    /// `O(tasks)`.
     pub fn unscheduled_tasks(&self, phase: Phase) -> impl Iterator<Item = &TaskState> {
-        self.tasks(phase).iter().filter(|t| t.is_unscheduled())
+        let tasks = self.tasks(phase);
+        self.phase_index(phase)
+            .unscheduled()
+            .iter()
+            .map(move |&i| &tasks[i as usize])
+    }
+
+    /// Indices of the unscheduled tasks of a phase, sorted ascending.
+    ///
+    /// The cheapest way for a scheduler to enumerate launchable work: build a
+    /// [`mapreduce_workload::TaskId`] from the job id, the phase and an index.
+    pub fn unscheduled_indices(&self, phase: Phase) -> &[u32] {
+        self.phase_index(phase).unscheduled()
     }
 
     /// Tasks of a phase that are scheduled (running) but not finished.
+    ///
+    /// Backed by the per-phase free-list: iteration is `O(running)`, not
+    /// `O(tasks)`.
     pub fn running_tasks(&self, phase: Phase) -> impl Iterator<Item = &TaskState> {
-        self.tasks(phase)
+        let tasks = self.tasks(phase);
+        self.phase_index(phase)
+            .running
             .iter()
-            .filter(|t| t.status() == TaskStatus::Scheduled)
+            .map(move |&i| &tasks[i as usize])
+    }
+
+    /// `(finish_slot, task_index)` entries for every task of `phase` that has
+    /// at least one copy currently running, keyed by the earliest finish slot
+    /// across its running copies and sorted by `(finish_slot, index)`.
+    ///
+    /// Detection-based schedulers (Mantri) use `partition_point` on this
+    /// slice to examine only the straggler tail instead of rescanning every
+    /// running task on every wakeup.
+    pub fn running_by_finish(&self, phase: Phase) -> &[(Slot, u32)] {
+        &self.phase_index(phase).running_by_finish
+    }
+
+    /// `(count, total_duration)` over the finished tasks of `phase`, where a
+    /// task's duration is the slots from its first launch to its completion.
+    pub fn completed_duration_stats(&self, phase: Phase) -> (usize, u64) {
+        let index = self.phase_index(phase);
+        (index.completed_count, index.completed_duration_sum)
+    }
+
+    /// Mean observed duration (first launch to completion) of the finished
+    /// tasks of `phase`, or `None` if nothing has finished yet. `O(1)`: the
+    /// aggregate is maintained incrementally as tasks complete.
+    pub fn mean_completed_duration(&self, phase: Phase) -> Option<f64> {
+        let index = self.phase_index(phase);
+        if index.completed_count > 0 {
+            Some(index.completed_duration_sum as f64 / index.completed_count as f64)
+        } else {
+            None
+        }
     }
 
     /// Number of machines currently occupied by this job's copies
@@ -311,8 +431,9 @@ impl JobState {
     /// `m_i(l)·(E^m + rσ^m) + r_i(l)·(E^r + rσ^r)`, where `m_i(l)` and
     /// `r_i(l)` count *unscheduled* tasks.
     pub fn remaining_effective_workload(&self, r: f64) -> f64 {
-        self.unscheduled_map as f64 * self.spec.map_stats.effective_task_workload(r)
-            + self.unscheduled_reduce as f64 * self.spec.reduce_stats.effective_task_workload(r)
+        self.map_index.unscheduled().len() as f64 * self.spec.map_stats.effective_task_workload(r)
+            + self.reduce_index.unscheduled().len() as f64
+                * self.spec.reduce_stats.effective_task_workload(r)
     }
 
     /// The total effective workload `φ_i` of Equation (2) (static, ignores
@@ -334,10 +455,13 @@ impl JobState {
         }
     }
 
-    pub(crate) fn note_first_launch(&mut self, phase: Phase) {
-        match phase {
-            Phase::Map => self.unscheduled_map = self.unscheduled_map.saturating_sub(1),
-            Phase::Reduce => self.unscheduled_reduce = self.unscheduled_reduce.saturating_sub(1),
+    /// Records the first launch of task `index`: moves it from the
+    /// unscheduled free-list to the running free-list.
+    pub(crate) fn note_first_launch(&mut self, phase: Phase, index: u32) {
+        let pi = self.phase_index_mut(phase);
+        pi.remove_unscheduled(index);
+        if let Err(pos) = pi.running.binary_search(&index) {
+            pi.running.insert(pos, index);
         }
     }
 
@@ -350,10 +474,86 @@ impl JobState {
         self.active_copies = self.active_copies.saturating_sub(count);
     }
 
-    pub(crate) fn note_task_finished(&mut self, phase: Phase) {
+    /// Records that a copy of task `index` started running and will finish at
+    /// `finish` unless cancelled: keeps the running-by-finish index keyed by
+    /// the task's earliest running finish slot.
+    pub(crate) fn note_copy_running(&mut self, phase: Phase, index: u32, finish: Slot) {
+        let old = match self.task(phase, index) {
+            Some(task) => task.running_finish,
+            None => return,
+        };
+        let pi = self.phase_index_mut(phase);
+        match old {
+            Some(old) if finish >= old => return,
+            Some(old) => {
+                if let Ok(pos) = pi.running_by_finish.binary_search(&(old, index)) {
+                    pi.running_by_finish.remove(pos);
+                }
+            }
+            None => {}
+        }
+        if let Err(pos) = pi.running_by_finish.binary_search(&(finish, index)) {
+            pi.running_by_finish.insert(pos, (finish, index));
+        }
+        if let Some(task) = self.task_mut(phase, index) {
+            task.running_finish = Some(finish);
+        }
+    }
+
+    /// Re-keys (or drops) task `index` in the running-by-finish index after
+    /// copies were cancelled; `new_finish` is the earliest finish slot across
+    /// the copies still running, if any.
+    pub(crate) fn refresh_running_finish(
+        &mut self,
+        phase: Phase,
+        index: u32,
+        new_finish: Option<Slot>,
+    ) {
+        let old = match self.task(phase, index) {
+            Some(task) => task.running_finish,
+            None => return,
+        };
+        if old == new_finish {
+            return;
+        }
+        let pi = self.phase_index_mut(phase);
+        if let Some(old) = old {
+            if let Ok(pos) = pi.running_by_finish.binary_search(&(old, index)) {
+                pi.running_by_finish.remove(pos);
+            }
+        }
+        if let Some(finish) = new_finish {
+            if let Err(pos) = pi.running_by_finish.binary_search(&(finish, index)) {
+                pi.running_by_finish.insert(pos, (finish, index));
+            }
+        }
+        if let Some(task) = self.task_mut(phase, index) {
+            task.running_finish = new_finish;
+        }
+    }
+
+    /// Records the completion of task `index`: removes it from the running
+    /// free-list and the running-by-finish index and folds its observed
+    /// duration (first launch to completion) into the phase aggregates.
+    pub(crate) fn note_task_finished(&mut self, phase: Phase, index: u32, duration: Slot) {
         match phase {
             Phase::Map => self.unfinished_map = self.unfinished_map.saturating_sub(1),
             Phase::Reduce => self.unfinished_reduce = self.unfinished_reduce.saturating_sub(1),
+        }
+        let old = self.task(phase, index).and_then(|t| t.running_finish);
+        let pi = self.phase_index_mut(phase);
+        if let Ok(pos) = pi.running.binary_search(&index) {
+            pi.running.remove(pos);
+        }
+        if let Some(old) = old {
+            if let Ok(pos) = pi.running_by_finish.binary_search(&(old, index)) {
+                pi.running_by_finish.remove(pos);
+            }
+        }
+        pi.completed_count += 1;
+        pi.completed_duration_sum += duration;
+        if let Some(task) = self.task_mut(phase, index) {
+            task.running_finish = None;
         }
     }
 
@@ -366,6 +566,120 @@ impl JobState {
     }
 }
 
+/// The priority half of an [`AliveIndex`]: alive jobs that still have
+/// unscheduled tasks, kept in decreasing `w_i / U_i(l)` order.
+///
+/// Invariants (after [`PriorityIndex::flush`]):
+/// * `ranked` holds one `(key, idx)` entry per alive job with at least one
+///   unscheduled task, sorted by (key descending via `f64::total_cmp`, idx
+///   ascending) — exactly the order SRPTMS+C's per-wakeup sort used to
+///   produce.
+/// * `key[idx]` is the job's current priority (`NaN` marks jobs that are not
+///   in the order: completed, or with every task already scheduled).
+/// * `eff[idx]` caches the per-phase `effective_task_workload(r)` of the
+///   job's spec, so re-keying a job after a launch is two multiply-adds and
+///   never recomputes the phase statistics.
+///
+/// Updates are **batched per decision instant**: launch/arrival/completion
+/// events only refresh the `O(1)` key cache and set `dirty`; the order itself
+/// is re-established lazily by `flush` right before the scheduler runs. A
+/// decision instant launches many tasks (clone batches, backfill), so eagerly
+/// repositioning the job on every launch — `O(jobs)` of memmove each — costs
+/// far more than one adaptive sort over cached keys when the order is finally
+/// consumed; the sort input is nearly sorted (only dirty jobs moved), which
+/// the stable sort exploits.
+#[derive(Debug, Default, Clone)]
+struct PriorityIndex {
+    r: f64,
+    ranked: Vec<(f64, usize)>,
+    key: Vec<f64>,
+    eff: Vec<(f64, f64)>,
+    dirty: bool,
+}
+
+impl PriorityIndex {
+    /// Total order on ranked entries: key descending, job index ascending.
+    fn entry_cmp(a: &(f64, usize), b: &(f64, usize)) -> std::cmp::Ordering {
+        b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1))
+    }
+
+    fn ensure_slot(&mut self, idx: usize) {
+        if self.key.len() <= idx {
+            self.key.resize(idx + 1, f64::NAN);
+            self.eff.resize(idx + 1, (0.0, 0.0));
+        }
+    }
+
+    /// The online priority `w_i / U_i(l)` from the cached per-phase effective
+    /// task workloads; bit-identical to
+    /// `priority::online_priority(job, r)` computed from scratch.
+    fn key_for(&self, idx: usize, job: &JobState) -> f64 {
+        let (eff_map, eff_reduce) = self.eff[idx];
+        let u = job.num_unscheduled(Phase::Map) as f64 * eff_map
+            + job.num_unscheduled(Phase::Reduce) as f64 * eff_reduce;
+        if u > 0.0 {
+            job.weight() / u
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn insert(&mut self, idx: usize, job: &JobState) {
+        self.ensure_slot(idx);
+        self.eff[idx] = (
+            job.spec().map_stats.effective_task_workload(self.r),
+            job.spec().reduce_stats.effective_task_workload(self.r),
+        );
+        if job.total_unscheduled() == 0 {
+            self.key[idx] = f64::NAN;
+            return;
+        }
+        let key = self.key_for(idx, job);
+        self.key[idx] = key;
+        self.ranked.push((key, idx));
+        self.dirty = true;
+    }
+
+    fn remove(&mut self, idx: usize) {
+        if self.key.len() <= idx || self.key[idx].is_nan() {
+            return;
+        }
+        self.key[idx] = f64::NAN;
+        self.dirty = true;
+    }
+
+    /// Re-keys job `idx` after its unscheduled counts changed; `O(1)`. The
+    /// job drops out of the order once nothing is left to schedule (a task
+    /// never returns to the unscheduled state, so the job never re-enters).
+    fn update(&mut self, idx: usize, job: &JobState) {
+        if self.key.len() <= idx || self.key[idx].is_nan() {
+            return;
+        }
+        self.key[idx] = if job.total_unscheduled() == 0 {
+            f64::NAN
+        } else {
+            self.key_for(idx, job)
+        };
+        self.dirty = true;
+    }
+
+    /// Re-establishes the ranked order from the key cache: refreshes every
+    /// entry's stored key, drops dead entries (`NaN` key) and re-sorts.
+    /// Called once per decision instant, before the order is consumed.
+    fn flush(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        let key = &self.key;
+        self.ranked.retain_mut(|entry| {
+            entry.0 = key[entry.1];
+            !entry.0.is_nan()
+        });
+        self.ranked.sort_by(Self::entry_cmp);
+        self.dirty = false;
+    }
+}
+
 /// Incrementally maintained index over the alive jobs of a simulation.
 ///
 /// The engine used to rebuild a `Vec` of alive job indices (and any aggregate
@@ -374,14 +688,27 @@ impl JobState {
 /// dominates at 12 000-machine trace scale. This index is updated once per
 /// arrival, completion and first task launch instead, so constructing a
 /// [`ClusterState`] is `O(1)`.
+///
+/// Besides the id-ordered alive set and the weight/unscheduled aggregates,
+/// the index maintains two derived orders so schedulers never sort per
+/// wakeup:
+/// * an **arrival order** (`(arrival, idx)` ascending) consumed by the FIFO
+///   family, and
+/// * an optional **priority order** (decreasing `w_i / U_i(l)`, enabled via
+///   [`AliveIndex::enable_priority`] when the scheduler declares a pessimism
+///   factor through [`Scheduler::priority_r`]) consumed by SRPTMS+C.
 #[derive(Debug, Default, Clone)]
 pub struct AliveIndex {
     /// Alive job indices, kept sorted ascending (job-id order).
     alive: Vec<usize>,
+    /// Alive jobs sorted by `(arrival, idx)` ascending.
+    by_arrival: Vec<(Slot, usize)>,
     /// Sum of the weights of the alive jobs (`W(l)`).
     weight_sum: f64,
     /// Total number of unscheduled tasks across alive jobs.
     unscheduled_sum: usize,
+    /// Priority order, present when enabled.
+    priority: Option<PriorityIndex>,
 }
 
 impl AliveIndex {
@@ -390,32 +717,82 @@ impl AliveIndex {
         AliveIndex::default()
     }
 
+    /// Enables maintenance of the priority order for pessimism factor `r`.
+    /// Must be called before any job is inserted.
+    pub fn enable_priority(&mut self, r: f64) {
+        self.priority = Some(PriorityIndex {
+            r,
+            ..PriorityIndex::default()
+        });
+    }
+
     /// Records the arrival of job `idx`.
-    pub fn insert(&mut self, idx: usize, weight: f64, unscheduled_tasks: usize) {
+    pub fn insert(&mut self, idx: usize, job: &JobState) {
         if let Err(pos) = self.alive.binary_search(&idx) {
             self.alive.insert(pos, idx);
-            self.weight_sum += weight;
-            self.unscheduled_sum += unscheduled_tasks;
+            self.weight_sum += job.weight();
+            self.unscheduled_sum += job.total_unscheduled();
+            let arrival_entry = (job.arrival(), idx);
+            if let Err(pos) = self.by_arrival.binary_search(&arrival_entry) {
+                self.by_arrival.insert(pos, arrival_entry);
+            }
+            if let Some(priority) = &mut self.priority {
+                priority.insert(idx, job);
+            }
         }
     }
 
     /// Records the completion of job `idx` (all of whose tasks have been
     /// scheduled and finished by then).
-    pub fn remove(&mut self, idx: usize, weight: f64) {
+    pub fn remove(&mut self, idx: usize, job: &JobState) {
         if let Ok(pos) = self.alive.binary_search(&idx) {
             self.alive.remove(pos);
-            self.weight_sum -= weight;
+            self.weight_sum -= job.weight();
+            if let Ok(pos) = self.by_arrival.binary_search(&(job.arrival(), idx)) {
+                self.by_arrival.remove(pos);
+            }
+            if let Some(priority) = &mut self.priority {
+                priority.remove(idx);
+            }
         }
     }
 
-    /// Records the first launch of one previously unscheduled task.
-    pub fn note_first_launch(&mut self) {
+    /// Records the first launch of one previously unscheduled task of job
+    /// `idx`; call *after* the job's own counters have been updated. `O(1)` —
+    /// the priority order itself is refreshed by [`AliveIndex::flush_priority`]
+    /// once per decision instant.
+    pub fn note_first_launch(&mut self, idx: usize, job: &JobState) {
         self.unscheduled_sum = self.unscheduled_sum.saturating_sub(1);
+        if let Some(priority) = &mut self.priority {
+            priority.update(idx, job);
+        }
+    }
+
+    /// Re-establishes the priority order after a batch of events; the engine
+    /// calls this once per decision instant, right before building the
+    /// scheduler-facing snapshot. No-op when priority maintenance is disabled
+    /// or nothing changed.
+    pub fn flush_priority(&mut self) {
+        if let Some(priority) = &mut self.priority {
+            priority.flush();
+        }
     }
 
     /// The alive job indices, sorted ascending.
     pub fn alive(&self) -> &[usize] {
         &self.alive
+    }
+
+    /// The alive jobs sorted by `(arrival, idx)` ascending.
+    pub fn alive_by_arrival(&self) -> &[(Slot, usize)] {
+        &self.by_arrival
+    }
+
+    /// The alive jobs with unscheduled tasks as `(priority, idx)` entries in
+    /// decreasing `w_i / U_i(l)` order (ties by idx), if priority maintenance
+    /// is enabled; `None` otherwise.
+    pub fn ranked_by_priority(&self) -> Option<(f64, &[(f64, usize)])> {
+        self.priority.as_ref().map(|p| (p.r, p.ranked.as_slice()))
     }
 
     /// Number of alive jobs.
@@ -452,6 +829,11 @@ pub struct ClusterState<'a> {
     /// built incrementally by the engine. `None` for hand-built snapshots.
     cached_weight: Option<f64>,
     cached_unscheduled: Option<usize>,
+    /// Alive jobs in `(arrival, idx)` order, when index-backed.
+    arrival_order: Option<&'a [(Slot, usize)]>,
+    /// `(priority, idx)` entries in decreasing `w_i / U_i(l)` order for the
+    /// pessimism factor the scheduler declared, when index-backed.
+    ranked: Option<(f64, &'a [(f64, usize)])>,
 }
 
 impl<'a> ClusterState<'a> {
@@ -474,6 +856,8 @@ impl<'a> ClusterState<'a> {
             alive,
             cached_weight: None,
             cached_unscheduled: None,
+            arrival_order: None,
+            ranked: None,
         }
     }
 
@@ -494,6 +878,8 @@ impl<'a> ClusterState<'a> {
             alive: index.alive(),
             cached_weight: Some(index.total_weight()),
             cached_unscheduled: Some(index.total_unscheduled()),
+            arrival_order: Some(index.alive_by_arrival()),
+            ranked: index.ranked_by_priority(),
         }
     }
 
@@ -516,6 +902,58 @@ impl<'a> ClusterState<'a> {
     /// Jobs that have arrived and are not yet complete, in job-id order.
     pub fn alive_jobs(&self) -> impl Iterator<Item = &'a JobState> + '_ {
         self.alive.iter().map(move |&i| &self.jobs[i])
+    }
+
+    /// Alive jobs in `(arrival, id)` order.
+    ///
+    /// Allocation-free for engine-built snapshots (the order is maintained
+    /// incrementally across arrivals and completions and borrowed directly);
+    /// falls back to a sort for hand-built snapshots. FIFO-family schedulers
+    /// iterate this instead of re-sorting the alive set on every wakeup.
+    pub fn alive_jobs_by_arrival(&self) -> impl Iterator<Item = &'a JobState> + '_ {
+        let (indexed, sorted) = match self.arrival_order {
+            Some(order) => (Some(order.iter()), None),
+            None => {
+                let mut v: Vec<usize> = self.alive.to_vec();
+                v.sort_by_key(|&i| (self.jobs[i].arrival(), self.jobs[i].id()));
+                (None, Some(v.into_iter()))
+            }
+        };
+        let mut indexed = indexed;
+        let mut sorted = sorted;
+        std::iter::from_fn(move || {
+            let i = match (&mut indexed, &mut sorted) {
+                (Some(it), _) => it.next().map(|&(_, i)| i),
+                (None, Some(it)) => it.next(),
+                (None, None) => None,
+            }?;
+            Some(&self.jobs[i])
+        })
+    }
+
+    /// The `(priority, job index)` entries of the alive jobs that still have
+    /// unscheduled tasks, in decreasing `w_i / U_i(l)` priority order for
+    /// pessimism factor `r` (ties broken by job index), if the snapshot
+    /// carries a pre-ranked order for exactly that `r`. Indices are resolved
+    /// with [`ClusterState::job_at`].
+    ///
+    /// Engine-built snapshots carry the order when the scheduler declared `r`
+    /// through [`Scheduler::priority_r`]; consuming it makes a decision
+    /// `O(candidates)` instead of `O(candidates · log)` with per-comparison
+    /// priority recomputation, and the borrowed slice can be walked several
+    /// times (share pass, backfill pass) without collecting. Returns `None`
+    /// (caller sorts itself) for hand-built snapshots or a mismatching `r`.
+    pub fn ranked_entries(&self, r: f64) -> Option<&'a [(f64, usize)]> {
+        match self.ranked {
+            Some((indexed_r, entries)) if indexed_r == r => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Resolves a dense job index (as found in [`ClusterState::ranked_entries`])
+    /// to its job state.
+    pub fn job_at(&self, index: usize) -> &'a JobState {
+        &self.jobs[index]
     }
 
     /// Number of alive jobs.
@@ -632,6 +1070,18 @@ pub trait Scheduler {
         None
     }
 
+    /// Pessimism factor `r` for which the engine should maintain the alive
+    /// jobs pre-ranked by `w_i / U_i(l)` (Equation (4)).
+    ///
+    /// Schedulers that rank jobs by the paper's online priority return
+    /// `Some(r)`; the engine then keeps the order current as events apply and
+    /// exposes it through [`ClusterState::ranked_entries`], so the scheduler
+    /// never sorts per wakeup. Returning `None` (the default) skips the
+    /// maintenance entirely.
+    fn priority_r(&self) -> Option<f64> {
+        None
+    }
+
     /// Hook invoked after a job arrives (before the next `schedule` call).
     fn on_job_arrival(&mut self, _job: JobId, _state: &ClusterState<'_>) {}
 
@@ -688,24 +1138,67 @@ mod tests {
         assert!(js.is_alive());
 
         let tid = TaskId::new(JobId::new(0), Phase::Map, 0);
-        js.note_first_launch(Phase::Map);
+        js.note_first_launch(Phase::Map, 0);
         js.note_copy_launched();
         js.task_mut(Phase::Map, 0)
             .unwrap()
             .add_copy(CopyInfo::running(CopyId(0), tid, 5, 10));
+        js.note_copy_running(Phase::Map, 0, 15);
         assert_eq!(js.num_unscheduled(Phase::Map), 1);
         assert_eq!(js.active_copies(), 1);
         assert_eq!(js.copies_launched(), 1);
         assert_eq!(js.unscheduled_tasks(Phase::Map).count(), 1);
+        assert_eq!(js.unscheduled_indices(Phase::Map), &[1]);
         assert_eq!(js.running_tasks(Phase::Map).count(), 1);
+        assert_eq!(js.running_by_finish(Phase::Map), &[(15, 0)]);
 
         js.task_mut(Phase::Map, 0).unwrap().mark_finished(15);
-        js.note_task_finished(Phase::Map);
+        js.note_task_finished(Phase::Map, 0, 10);
         js.note_copy_released(1);
         assert_eq!(js.num_unfinished(Phase::Map), 1);
         assert_eq!(js.active_copies(), 0);
+        assert!(js.running_by_finish(Phase::Map).is_empty());
+        assert_eq!(js.completed_duration_stats(Phase::Map), (1, 10));
+        assert_eq!(js.mean_completed_duration(Phase::Map), Some(10.0));
+        assert_eq!(js.mean_completed_duration(Phase::Reduce), None);
         assert!(!js.all_tasks_finished());
         assert!(!js.map_phase_complete());
+    }
+
+    #[test]
+    fn running_by_finish_tracks_the_earliest_running_copy() {
+        let mut js = job_state();
+        js.mark_arrived();
+        let tid0 = TaskId::new(JobId::new(0), Phase::Map, 0);
+        let tid1 = TaskId::new(JobId::new(0), Phase::Map, 1);
+        js.note_first_launch(Phase::Map, 0);
+        js.task_mut(Phase::Map, 0)
+            .unwrap()
+            .add_copy(CopyInfo::running(CopyId(0), tid0, 0, 30));
+        js.note_copy_running(Phase::Map, 0, 30);
+        js.note_first_launch(Phase::Map, 1);
+        js.task_mut(Phase::Map, 1)
+            .unwrap()
+            .add_copy(CopyInfo::running(CopyId(1), tid1, 0, 10));
+        js.note_copy_running(Phase::Map, 1, 10);
+        assert_eq!(js.running_by_finish(Phase::Map), &[(10, 1), (30, 0)]);
+
+        // A faster clone of task 0 re-keys its entry to the earlier finish.
+        js.task_mut(Phase::Map, 0)
+            .unwrap()
+            .add_copy(CopyInfo::running(CopyId(2), tid0, 2, 3));
+        js.note_copy_running(Phase::Map, 0, 5);
+        assert_eq!(js.running_by_finish(Phase::Map), &[(5, 0), (10, 1)]);
+        // A slower clone leaves the key untouched.
+        js.note_copy_running(Phase::Map, 0, 50);
+        assert_eq!(js.running_by_finish(Phase::Map), &[(5, 0), (10, 1)]);
+
+        // Cancelling the fast copy re-keys back to the surviving copy.
+        js.refresh_running_finish(Phase::Map, 0, Some(30));
+        assert_eq!(js.running_by_finish(Phase::Map), &[(10, 1), (30, 0)]);
+        // Cancelling everything drops the entry.
+        js.refresh_running_finish(Phase::Map, 0, None);
+        assert_eq!(js.running_by_finish(Phase::Map), &[(10, 1)]);
     }
 
     #[test]
@@ -773,25 +1266,91 @@ mod tests {
         assert_eq!(c, back);
     }
 
+    /// Builds a bank of simple arrived jobs for AliveIndex tests: job `i` has
+    /// `maps[i]` unit map tasks, weight `weights[i]`, arrival `arrivals[i]`.
+    fn job_bank(maps: &[usize], weights: &[f64], arrivals: &[Slot]) -> Vec<JobState> {
+        maps.iter()
+            .zip(weights)
+            .zip(arrivals)
+            .enumerate()
+            .map(|(i, ((&m, &w), &a))| {
+                let spec = JobSpecBuilder::new(JobId::new(i as u64))
+                    .weight(w)
+                    .arrival(a)
+                    .map_tasks_from_workloads(&vec![10.0; m])
+                    .map_stats(PhaseStats::new(10.0, 0.0))
+                    .build();
+                let mut js = JobState::new(spec);
+                js.mark_arrived();
+                js
+            })
+            .collect()
+    }
+
     #[test]
     fn alive_index_tracks_arrivals_launches_and_completions() {
+        let jobs = job_bank(&[2, 2, 4, 4], &[1.0, 1.0, 2.0, 2.0], &[0, 9, 5, 5]);
         let mut index = AliveIndex::new();
         assert!(index.is_empty());
-        index.insert(3, 2.0, 4);
-        index.insert(1, 1.0, 2);
-        index.insert(3, 2.0, 4); // duplicate insert is a no-op
+        index.insert(3, &jobs[3]);
+        index.insert(1, &jobs[1]);
+        index.insert(3, &jobs[3]); // duplicate insert is a no-op
         assert_eq!(index.alive(), &[1, 3]);
         assert_eq!(index.len(), 2);
         assert!((index.total_weight() - 3.0).abs() < 1e-12);
         assert_eq!(index.total_unscheduled(), 6);
+        // Arrival order: job 3 arrived at 5, job 1 at 9.
+        assert_eq!(index.alive_by_arrival(), &[(5, 3), (9, 1)]);
 
-        index.note_first_launch();
+        index.note_first_launch(3, &jobs[3]);
         assert_eq!(index.total_unscheduled(), 5);
 
-        index.remove(1, 1.0);
-        index.remove(1, 1.0); // duplicate remove is a no-op
+        index.remove(1, &jobs[1]);
+        index.remove(1, &jobs[1]); // duplicate remove is a no-op
         assert_eq!(index.alive(), &[3]);
+        assert_eq!(index.alive_by_arrival(), &[(5, 3)]);
         assert!((index.total_weight() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alive_index_priority_order_matches_online_priority() {
+        // w/U with r = 0: job0 = 1/20, job1 = 1/20, job2 = 2/40, job3 = 2/40:
+        // all ties → id order. After launching a task of job 2 its priority
+        // rises to 2/30 and it moves to the front.
+        let mut jobs = job_bank(&[2, 2, 4, 4], &[1.0, 1.0, 2.0, 2.0], &[0, 0, 0, 0]);
+        let mut index = AliveIndex::new();
+        index.enable_priority(0.0);
+        for (i, job) in jobs.iter().enumerate() {
+            index.insert(i, job);
+        }
+        index.flush_priority();
+        let (r, ranked) = index.ranked_by_priority().unwrap();
+        assert_eq!(r, 0.0);
+        let order: Vec<usize> = ranked.iter().map(|&(_, i)| i).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+
+        jobs[2].note_first_launch(Phase::Map, 0);
+        index.note_first_launch(2, &jobs[2]);
+        index.flush_priority();
+        let (_, ranked) = index.ranked_by_priority().unwrap();
+        let order: Vec<usize> = ranked.iter().map(|&(_, i)| i).collect();
+        assert_eq!(order, vec![2, 0, 1, 3]);
+
+        // Launching everything drops the job from the priority order.
+        for t in 1..4 {
+            jobs[2].note_first_launch(Phase::Map, t);
+            index.note_first_launch(2, &jobs[2]);
+        }
+        index.flush_priority();
+        let (_, ranked) = index.ranked_by_priority().unwrap();
+        let order: Vec<usize> = ranked.iter().map(|&(_, i)| i).collect();
+        assert_eq!(order, vec![0, 1, 3]);
+
+        index.remove(0, &jobs[0]);
+        index.flush_priority();
+        let (_, ranked) = index.ranked_by_priority().unwrap();
+        let order: Vec<usize> = ranked.iter().map(|&(_, i)| i).collect();
+        assert_eq!(order, vec![1, 3]);
     }
 
     #[test]
@@ -800,7 +1359,7 @@ mod tests {
         j0.mark_arrived();
         let jobs = vec![j0];
         let mut index = AliveIndex::new();
-        index.insert(0, jobs[0].weight(), jobs[0].total_unscheduled());
+        index.insert(0, &jobs[0]);
         let state = ClusterState::from_index(5, 8, 8, &jobs, &index);
         assert_eq!(state.num_alive_jobs(), 1);
         assert!((state.total_alive_weight() - jobs[0].weight()).abs() < 1e-12);

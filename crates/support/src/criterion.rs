@@ -33,20 +33,34 @@ pub struct Criterion {
     results: Vec<BenchResult>,
 }
 
+/// Sample-count override from the `MAPREDUCE_BENCH_SAMPLES` environment
+/// variable, if set and parseable. It wins over both the default and any
+/// explicit [`Criterion::sample_size`] call, so CI can run every bench in a
+/// fast smoke mode (`MAPREDUCE_BENCH_SAMPLES=1`) without touching the bench
+/// sources.
+pub fn env_sample_override() -> Option<usize> {
+    std::env::var("MAPREDUCE_BENCH_SAMPLES")
+        .ok()?
+        .parse::<usize>()
+        .ok()
+        .map(|n| n.max(1))
+}
+
 impl Default for Criterion {
     fn default() -> Self {
         Criterion {
-            sample_size: 10,
+            sample_size: env_sample_override().unwrap_or(10),
             results: Vec::new(),
         }
     }
 }
 
 impl Criterion {
-    /// Sets the number of timed iterations per benchmark.
+    /// Sets the number of timed iterations per benchmark
+    /// (`MAPREDUCE_BENCH_SAMPLES`, when set, overrides this).
     #[must_use]
     pub fn sample_size(mut self, n: usize) -> Self {
-        self.sample_size = n.max(1);
+        self.sample_size = env_sample_override().unwrap_or_else(|| n.max(1));
         self
     }
 

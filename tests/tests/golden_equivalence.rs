@@ -1,0 +1,190 @@
+//! Golden-equivalence tests for the incremental-state optimization.
+//!
+//! Every optimized scheduler (SRPTMS+C, Mantri, LATE, Fair, FIFO, SCA) must
+//! produce a **bit-identical** [`SimOutcome`] to its frozen pre-optimization
+//! reference implementation (`mapreduce_sched::reference`,
+//! `mapreduce_baselines::reference`) on randomized multi-seed workloads. The
+//! references re-scan and re-sort everything per decision and touch none of
+//! the engine's incremental indices, so any divergence in the free-lists, the
+//! priority/arrival orders, the running-by-finish index or the
+//! completed-duration aggregates shows up as an outcome mismatch.
+
+use mapreduce_baselines::{
+    FairScheduler, Fifo, Late, Mantri, ReferenceFair, ReferenceFifo, ReferenceLate,
+    ReferenceMantri, ReferenceSca, Sca,
+};
+use mapreduce_sched::{ReferenceSrptMsC, SrptMsC};
+use mapreduce_sim::{Scheduler, SimConfig, SimOutcome, Simulation, StragglerModel};
+use mapreduce_support::proptest::prelude::*;
+use mapreduce_workload::{ArrivalProcess, DurationDistribution, Trace, WorkloadBuilder};
+
+/// A randomized workload with both phases, heavy-tailed durations and mixed
+/// weights, so every code path (cloning, backfill, detection, precedence) is
+/// exercised.
+fn random_trace(jobs: usize, seed: u64, mean_interarrival: f64, map_mean: f64) -> Trace {
+    WorkloadBuilder::new()
+        .num_jobs(jobs)
+        .arrivals(ArrivalProcess::Poisson { mean_interarrival })
+        .map_tasks_per_job(1, 6)
+        .reduce_tasks_per_job(0, 2)
+        .map_duration(DurationDistribution::lognormal_from_moments(map_mean, map_mean).unwrap())
+        .reduce_duration(
+            DurationDistribution::lognormal_from_moments(map_mean * 1.5, map_mean).unwrap(),
+        )
+        .weights(&[1.0, 2.0, 5.0, 12.0])
+        .build(seed)
+}
+
+fn run(scheduler: &mut dyn Scheduler, trace: &Trace, machines: usize, seed: u64) -> SimOutcome {
+    // Machine stragglers make detection-based schedulers actually speculate.
+    let config = SimConfig::new(machines)
+        .with_seed(seed)
+        .with_straggler_model(StragglerModel::MachineSlowdown {
+            probability: 0.15,
+            factor: 5.0,
+        });
+    Simulation::new(config, trace)
+        .run(scheduler)
+        .expect("simulation must complete")
+}
+
+/// Runs the optimized and reference schedulers over the same trace and
+/// asserts full outcome equality.
+fn assert_equivalent(
+    label: &str,
+    optimized: &mut dyn Scheduler,
+    reference: &mut dyn Scheduler,
+    trace: &Trace,
+    machines: usize,
+    seed: u64,
+) -> Result<(), String> {
+    let a = run(optimized, trace, machines, seed);
+    let b = run(reference, trace, machines, seed);
+    prop_assert_eq!(&a.scheduler, &b.scheduler);
+    prop_assert!(
+        a == b,
+        "{label}: optimized and reference outcomes diverge (machines {machines}, seed {seed}): \
+         mean flowtime {} vs {}, copies {} vs {}, makespan {} vs {}",
+        a.mean_flowtime(),
+        b.mean_flowtime(),
+        a.total_copies,
+        b.total_copies,
+        a.makespan,
+        b.makespan
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn golden_srptmsc_matches_reference(
+        jobs in 5usize..35,
+        machines in 4usize..64,
+        seed in 0u64..1000,
+        interarrival in 1.0f64..60.0,
+        map_mean in 10.0f64..200.0,
+        epsilon in 0.2f64..1.0,
+    ) {
+        let trace = random_trace(jobs, seed, interarrival, map_mean);
+        assert_equivalent(
+            "srptms+c",
+            &mut SrptMsC::new(epsilon, 3.0),
+            &mut ReferenceSrptMsC::new(epsilon, 3.0),
+            &trace,
+            machines,
+            seed,
+        )?;
+    }
+
+    #[test]
+    fn golden_mantri_matches_reference(
+        jobs in 5usize..30,
+        machines in 4usize..48,
+        seed in 0u64..1000,
+        map_mean in 20.0f64..200.0,
+    ) {
+        let trace = random_trace(jobs, seed, 25.0, map_mean);
+        assert_equivalent(
+            "mantri",
+            &mut Mantri::new(),
+            &mut ReferenceMantri::new(),
+            &trace,
+            machines,
+            seed,
+        )?;
+    }
+
+    #[test]
+    fn golden_late_matches_reference(
+        jobs in 5usize..30,
+        machines in 4usize..48,
+        seed in 0u64..1000,
+        map_mean in 20.0f64..200.0,
+    ) {
+        let trace = random_trace(jobs, seed, 25.0, map_mean);
+        assert_equivalent(
+            "late",
+            &mut Late::new(),
+            &mut ReferenceLate::new(),
+            &trace,
+            machines,
+            seed,
+        )?;
+    }
+
+    #[test]
+    fn golden_fair_fifo_sca_match_references(
+        jobs in 5usize..30,
+        machines in 4usize..48,
+        seed in 0u64..1000,
+    ) {
+        let trace = random_trace(jobs, seed, 20.0, 60.0);
+        assert_equivalent(
+            "fair",
+            &mut FairScheduler::new(),
+            &mut ReferenceFair::new(),
+            &trace,
+            machines,
+            seed,
+        )?;
+        assert_equivalent("fifo", &mut Fifo::new(), &mut ReferenceFifo::new(), &trace, machines, seed)?;
+        assert_equivalent("sca", &mut Sca::new(), &mut ReferenceSca::new(), &trace, machines, seed)?;
+    }
+}
+
+/// The committed benchmark scenario itself must also be equivalence-clean:
+/// this is the exact workload whose timings land in `BENCH_engine.json`.
+#[test]
+fn golden_bench_scenario_matches_reference() {
+    let scenario = mapreduce_experiments::Scenario::scaled(120, 1);
+    let seed = scenario.seeds[0];
+    let trace = scenario.trace(seed);
+    let machines = scenario.machines;
+
+    let cases: Vec<(Box<dyn Scheduler>, Box<dyn Scheduler>)> = vec![
+        (
+            Box::new(SrptMsC::new(0.6, 3.0)),
+            Box::new(ReferenceSrptMsC::new(0.6, 3.0)),
+        ),
+        (Box::new(Mantri::new()), Box::new(ReferenceMantri::new())),
+        (Box::new(Late::new()), Box::new(ReferenceLate::new())),
+        (
+            Box::new(FairScheduler::new()),
+            Box::new(ReferenceFair::new()),
+        ),
+        (Box::new(Fifo::new()), Box::new(ReferenceFifo::new())),
+        (Box::new(Sca::new()), Box::new(ReferenceSca::new())),
+    ];
+    for (mut optimized, mut reference) in cases {
+        let config = SimConfig::new(machines).with_seed(seed);
+        let a = Simulation::new(config.clone(), &trace)
+            .run(optimized.as_mut())
+            .unwrap();
+        let b = Simulation::new(config, &trace)
+            .run(reference.as_mut())
+            .unwrap();
+        assert_eq!(a, b, "{} diverges on the bench scenario", a.scheduler);
+    }
+}
