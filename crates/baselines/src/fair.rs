@@ -168,6 +168,11 @@ impl Scheduler for FairScheduler {
     }
 
     fn schedule(&mut self, state: &ClusterState<'_>) -> Vec<Action> {
+        // O(1) early-out on the engine aggregate: no unscheduled task means
+        // the fill cannot launch anything, so skip the alive-set collection.
+        if state.available_machines() == 0 || state.total_unscheduled_tasks() == 0 {
+            return Vec::new();
+        }
         let jobs: Vec<&JobState> = state.alive_jobs().collect();
         fair_fill(&jobs, state.available_machines())
     }

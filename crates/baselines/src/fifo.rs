@@ -1,16 +1,27 @@
 //! FIFO job scheduling without speculation — Hadoop's original default.
 
-use mapreduce_sim::{Action, ClusterState, Scheduler};
-use mapreduce_workload::{Phase, TaskId};
+use mapreduce_sim::{Action, ClusterState, Scheduler, Slot};
+use mapreduce_workload::{JobId, Phase, TaskId};
+use std::collections::BTreeSet;
 
 /// First-in-first-out job order, one copy per task, no speculation.
 ///
 /// Jobs are served strictly in arrival order; within a job, map tasks are
 /// launched before reduce tasks and reduce tasks only start once the Map
 /// phase has completed.
+///
+/// The decision side is incremental: instead of walking every alive job per
+/// wakeup, the scheduler keeps a **ready set** of jobs that may still have
+/// launchable work, ordered by `(arrival, id)`. Jobs enter on arrival and
+/// when their Map phase completes (unlocking reduce tasks) — the only two
+/// events that can create launchable work under FIFO — and leave once
+/// everything launchable has been launched. A `schedule` call therefore
+/// costs `O(launches + ready jobs)` rather than `O(alive jobs)`.
 #[derive(Debug, Default, Clone)]
 pub struct Fifo {
-    _private: (),
+    /// Alive jobs that may still have launchable work, `(arrival, id)`
+    /// ascending — the same order the engine's arrival index yields.
+    ready: BTreeSet<(Slot, JobId)>,
 }
 
 impl Fifo {
@@ -25,30 +36,72 @@ impl Scheduler for Fifo {
         "fifo"
     }
 
+    fn on_job_arrival(&mut self, job: JobId, state: &ClusterState<'_>) {
+        if let Some(j) = state.job(job) {
+            self.ready.insert((j.arrival(), job));
+        }
+    }
+
+    fn on_task_finished(&mut self, task: TaskId, state: &ClusterState<'_>) {
+        // A Map completion may unlock this job's reduce tasks. (A reduce
+        // completion never creates launchable work: any still-unscheduled
+        // reduce task of that job already kept the job in the ready set.)
+        if task.phase != Phase::Map {
+            return;
+        }
+        if let Some(j) = state.job(task.job) {
+            if j.is_alive() && j.map_phase_complete() && j.num_unscheduled(Phase::Reduce) > 0 {
+                self.ready.insert((j.arrival(), task.job));
+            }
+        }
+    }
+
     fn schedule(&mut self, state: &ClusterState<'_>) -> Vec<Action> {
         let mut budget = state.available_machines();
         let mut actions = Vec::new();
-        if budget == 0 {
+        if budget == 0 || self.ready.is_empty() {
             return actions;
         }
-        // The engine maintains the alive set in arrival order incrementally;
-        // no per-wakeup sort.
-        for job in state.alive_jobs_by_arrival() {
-            for phase in [Phase::Map, Phase::Reduce] {
+        // Launch in ready order; drop jobs proven exhausted. A job is
+        // exhausted once every launchable task has been launched — gated
+        // reduce tasks don't count, because Map-phase completion re-inserts
+        // the job. Jobs cut off by the budget keep their entry.
+        let mut exhausted: Vec<(Slot, JobId)> = Vec::new();
+        for &entry in self.ready.iter() {
+            if budget == 0 {
+                break;
+            }
+            let (_, id) = entry;
+            let job = match state.job(id) {
+                Some(job) if job.is_alive() => job,
+                _ => {
+                    exhausted.push(entry);
+                    continue;
+                }
+            };
+            let mut cut_off = false;
+            'phases: for phase in [Phase::Map, Phase::Reduce] {
                 if phase == Phase::Reduce && !job.map_phase_complete() {
                     continue;
                 }
                 for &index in job.unscheduled_indices(phase) {
                     if budget == 0 {
-                        return actions;
+                        cut_off = true;
+                        break 'phases;
                     }
                     actions.push(Action::Launch {
-                        task: TaskId::new(job.id(), phase, index),
+                        task: TaskId::new(id, phase, index),
                         copies: 1,
                     });
                     budget -= 1;
                 }
             }
+            if !cut_off {
+                exhausted.push(entry);
+            }
+        }
+        for entry in exhausted {
+            self.ready.remove(&entry);
         }
         actions
     }
@@ -88,6 +141,21 @@ mod tests {
             .unwrap();
         assert!((outcome.mean_copies_per_task() - 1.0).abs() < 1e-12);
         assert_eq!(outcome.records().len(), 20);
+    }
+
+    #[test]
+    fn reduce_tasks_launch_after_map_completion_under_contention() {
+        // One machine: the ready set must re-admit the job when its Map phase
+        // completes so the gated reduce task still launches.
+        let trace = Trace::new(vec![JobSpecBuilder::new(JobId::new(0))
+            .map_tasks_from_workloads(&[10.0, 10.0])
+            .reduce_tasks_from_workloads(&[5.0])
+            .build()])
+        .unwrap();
+        let outcome = Simulation::new(SimConfig::new(1), &trace)
+            .run(&mut Fifo::new())
+            .unwrap();
+        assert_eq!(outcome.record(JobId::new(0)).unwrap().completion, 25);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! figures and ablations.
 
 use crate::fair::fair_fill_unweighted;
-use mapreduce_sim::{Action, ClusterState, JobState, Scheduler, Slot};
+use mapreduce_sim::{Action, ClusterState, IndexDemands, JobState, Scheduler, Slot};
 use mapreduce_workload::Phase;
 
 /// Configuration of the [`Late`] baseline.
@@ -105,6 +105,14 @@ impl Scheduler for Late {
         Some(self.config.detection_interval)
     }
 
+    fn index_demands(&self) -> IndexDemands {
+        // The detection pass walks the per-phase running free-lists.
+        IndexDemands {
+            running_list: true,
+            ..IndexDemands::default()
+        }
+    }
+
     fn schedule(&mut self, state: &ClusterState<'_>) -> Vec<Action> {
         let mut budget = state.available_machines();
         if budget == 0 {
@@ -113,8 +121,13 @@ impl Scheduler for Late {
         let jobs: Vec<&JobState> = state.alive_jobs().collect();
 
         // Regular work first, via equal-share fair scheduling (LATE, like
-        // Mantri, has no notion of per-job weights).
-        let mut actions = fair_fill_unweighted(&jobs, budget);
+        // Mantri, has no notion of per-job weights). Skipped via the O(1)
+        // aggregate when nothing is launchable.
+        let mut actions = if state.total_unscheduled_tasks() == 0 {
+            Vec::new()
+        } else {
+            fair_fill_unweighted(&jobs, budget)
+        };
         budget -= actions.len().min(budget);
         if budget == 0 {
             return actions;
@@ -125,6 +138,7 @@ impl Scheduler for Late {
         // free-lists, so the detection pass costs O(running tasks), not
         // O(all tasks of all alive jobs).
         let now = state.now();
+        let copies = state.copies();
         let mut speculative_running = 0usize;
         let mut candidates: Vec<(f64, f64, Action)> = Vec::new(); // (rate, est_time_left, action)
         for job in &jobs {
@@ -134,11 +148,11 @@ impl Scheduler for Late {
                         speculative_running += 1;
                         continue;
                     }
-                    let elapsed = task.oldest_active_elapsed(now);
+                    let elapsed = task.oldest_active_elapsed(copies, now);
                     if elapsed < self.config.min_elapsed_for_detection {
                         continue;
                     }
-                    let progress = task.best_progress(now);
+                    let progress = task.best_progress(copies, now);
                     let rate = progress / elapsed.max(1) as f64;
                     let est_left = if rate > 0.0 {
                         (1.0 - progress) / rate

@@ -16,6 +16,10 @@
 //!   the `ε → 0` limit of SRPTMS+C.
 //! * [`Late`] — the LATE heuristic (longest approximate time to end), an
 //!   extra detection-based baseline beyond the paper's line-up.
+//! * [`Restart`] — kill-and-restart speculative execution (the
+//!   cancellation-heavy strategy of the restart literature in PAPERS.md):
+//!   stragglers are cancelled and relaunched instead of duplicated, which
+//!   makes it the adversarial workout for the engine's cancellation path.
 //!
 //! All of them implement [`mapreduce_sim::Scheduler`] and can be swapped into
 //! any experiment or example.
@@ -32,6 +36,7 @@ pub mod fifo;
 pub mod late;
 pub mod mantri;
 pub mod reference;
+pub mod restart;
 pub mod sca;
 pub mod srpt_noclone;
 
@@ -39,6 +44,9 @@ pub use fair::FairScheduler;
 pub use fifo::Fifo;
 pub use late::{Late, LateConfig};
 pub use mantri::{Mantri, MantriConfig};
-pub use reference::{ReferenceFair, ReferenceFifo, ReferenceLate, ReferenceMantri, ReferenceSca};
+pub use reference::{
+    ReferenceFair, ReferenceFifo, ReferenceLate, ReferenceMantri, ReferenceRestart, ReferenceSca,
+};
+pub use restart::{Restart, RestartConfig};
 pub use sca::{Sca, ScaConfig};
 pub use srpt_noclone::SrptNoClone;

@@ -29,7 +29,7 @@
 //! for small jobs.
 
 use crate::fair::fair_fill_unweighted;
-use mapreduce_sim::{Action, ClusterState, JobState, Scheduler, Slot};
+use mapreduce_sim::{Action, ClusterState, IndexDemands, JobState, Scheduler, Slot};
 use mapreduce_workload::Phase;
 
 /// Configuration of the [`Mantri`] baseline.
@@ -135,6 +135,7 @@ impl Mantri {
     fn straggler_candidates(
         &self,
         job: &JobState,
+        copies: &mapreduce_sim::CopyArena,
         now: Slot,
         candidates: &mut Vec<(Slot, Action)>,
     ) {
@@ -154,7 +155,7 @@ impl Mantri {
                 if task.active_copies() >= self.config.max_copies_per_task {
                     continue;
                 }
-                if task.oldest_active_elapsed(now) < self.config.min_elapsed_for_detection {
+                if task.oldest_active_elapsed(copies, now) < self.config.min_elapsed_for_detection {
                     continue;
                 }
                 candidates.push((
@@ -184,6 +185,14 @@ impl Scheduler for Mantri {
         Some(self.config.detection_interval)
     }
 
+    fn index_demands(&self) -> IndexDemands {
+        // Straggler detection partition-points the running-by-finish order.
+        IndexDemands {
+            finish_index: true,
+            ..IndexDemands::default()
+        }
+    }
+
     fn schedule(&mut self, state: &ClusterState<'_>) -> Vec<Action> {
         let mut budget = state.available_machines();
         if budget == 0 {
@@ -192,9 +201,15 @@ impl Scheduler for Mantri {
         // 1. Regular work first (Mantri only uses *spare* machines for
         //    duplicates): equal-share fair scheduling across alive jobs —
         //    Mantri sits on the cluster's stock job scheduler, which knows
-        //    nothing about the trace's priority weights.
+        //    nothing about the trace's priority weights. The fill is skipped
+        //    via the O(1) aggregate when nothing is launchable (it could not
+        //    have produced an action).
         let jobs: Vec<&JobState> = state.alive_jobs().collect();
-        let mut actions = fair_fill_unweighted(&jobs, budget);
+        let mut actions = if state.total_unscheduled_tasks() == 0 {
+            Vec::new()
+        } else {
+            fair_fill_unweighted(&jobs, budget)
+        };
         let launched = actions.len();
         budget -= launched.min(budget);
         if budget == 0 {
@@ -205,7 +220,7 @@ impl Scheduler for Mantri {
         //    worst (largest remaining time) first.
         let mut candidates: Vec<(Slot, Action)> = Vec::new();
         for job in &jobs {
-            self.straggler_candidates(job, state.now(), &mut candidates);
+            self.straggler_candidates(job, state.copies(), state.now(), &mut candidates);
         }
         candidates.sort_by_key(|(t_rem, _)| std::cmp::Reverse(*t_rem));
         for (_, action) in candidates.into_iter().take(budget) {

@@ -12,14 +12,17 @@
 //! counterpart, so the golden-equivalence tests can assert full `SimOutcome`
 //! equality on randomized workloads.
 //!
-//! Do not "improve" this module; its value is that it does not change.
+//! Do not "improve" this module; its value is that it does not change. (The
+//! only edits since freezing are mechanical: the copy-storage refactor moved
+//! the per-copy task queries behind a `&CopyArena` parameter. The decision
+//! logic is untouched.)
 
 use crate::late::LateConfig;
 use crate::mantri::MantriConfig;
 use crate::sca::ScaConfig;
 use mapreduce_sim::{
-    Action, ClusterState, JobState, ParetoSpeedup, Scheduler, Slot, SpeedupFunction, TaskState,
-    TaskStatus,
+    Action, ClusterState, CopyArena, JobState, ParetoSpeedup, Scheduler, Slot, SpeedupFunction,
+    TaskState, TaskStatus,
 };
 use mapreduce_workload::Phase;
 
@@ -218,15 +221,20 @@ impl ReferenceMantri {
         }
     }
 
-    fn straggler_candidates(&self, job: &JobState, now: Slot) -> Vec<(Slot, Action)> {
+    fn straggler_candidates(
+        &self,
+        job: &JobState,
+        copies: &CopyArena,
+        now: Slot,
+    ) -> Vec<(Slot, Action)> {
         let mut candidates = Vec::new();
         for phase in [Phase::Map, Phase::Reduce] {
             let t_new = Self::estimate_t_new(job, phase);
             for task in scan_running(job, phase) {
-                if !self.is_straggler(task, t_new, now) {
+                if !self.is_straggler(task, copies, t_new, now) {
                     continue;
                 }
-                let t_rem = task.min_remaining(now).unwrap_or(0);
+                let t_rem = task.min_remaining(copies, now).unwrap_or(0);
                 candidates.push((
                     t_rem,
                     Action::Launch {
@@ -239,14 +247,14 @@ impl ReferenceMantri {
         candidates
     }
 
-    fn is_straggler(&self, task: &TaskState, t_new: f64, now: Slot) -> bool {
+    fn is_straggler(&self, task: &TaskState, copies: &CopyArena, t_new: f64, now: Slot) -> bool {
         if task.active_copies() >= self.config.max_copies_per_task {
             return false;
         }
-        if task.oldest_active_elapsed(now) < self.config.min_elapsed_for_detection {
+        if task.oldest_active_elapsed(copies, now) < self.config.min_elapsed_for_detection {
             return false;
         }
-        let Some(t_rem) = task.min_remaining(now) else {
+        let Some(t_rem) = task.min_remaining(copies, now) else {
             return false;
         };
         t_rem as f64 > self.config.threshold_factor * t_new
@@ -283,7 +291,7 @@ impl Scheduler for ReferenceMantri {
 
         let mut candidates: Vec<(Slot, Action)> = Vec::new();
         for job in &jobs {
-            candidates.extend(self.straggler_candidates(job, state.now()));
+            candidates.extend(self.straggler_candidates(job, state.copies(), state.now()));
         }
         candidates.sort_by_key(|(t_rem, _)| std::cmp::Reverse(*t_rem));
         for (_, action) in candidates.into_iter().take(budget) {
@@ -342,6 +350,7 @@ impl Scheduler for ReferenceLate {
         }
 
         let now = state.now();
+        let copies = state.copies();
         let mut speculative_running = 0usize;
         let mut candidates: Vec<(f64, f64, Action)> = Vec::new();
         for job in &jobs {
@@ -351,11 +360,11 @@ impl Scheduler for ReferenceLate {
                         speculative_running += 1;
                         continue;
                     }
-                    let elapsed = task.oldest_active_elapsed(now);
+                    let elapsed = task.oldest_active_elapsed(copies, now);
                     if elapsed < self.config.min_elapsed_for_detection {
                         continue;
                     }
-                    let progress = task.best_progress(now);
+                    let progress = task.best_progress(copies, now);
                     let rate = progress / elapsed.max(1) as f64;
                     let est_left = if rate > 0.0 {
                         (1.0 - progress) / rate
@@ -396,6 +405,108 @@ impl Scheduler for ReferenceLate {
         eligible.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
         for (_, action) in eligible.into_iter().take(allowance) {
             actions.push(action);
+        }
+        actions
+    }
+}
+
+/// Scan-based reference of the kill-and-restart baseline: per wakeup it
+/// re-derives `t_new` by scanning every task of the phase and re-examines
+/// every running task of every alive job — no running-by-finish index, no
+/// completed-duration aggregates. The golden-equivalence suite pins
+/// [`crate::Restart`] against this implementation bit-for-bit, which gives
+/// the engine's cancellation path (event retraction, scratch-buffer
+/// cancellation, running-finish re-keying) adversarial randomized coverage.
+#[derive(Debug, Clone)]
+pub struct ReferenceRestart {
+    config: crate::restart::RestartConfig,
+    restarts: std::collections::HashMap<mapreduce_workload::TaskId, u32>,
+}
+
+impl ReferenceRestart {
+    /// Creates the reference with default parameters.
+    pub fn new() -> Self {
+        Self::with_config(crate::restart::RestartConfig::default())
+    }
+
+    /// Creates the reference with a custom configuration.
+    pub fn with_config(config: crate::restart::RestartConfig) -> Self {
+        config.validate();
+        ReferenceRestart {
+            config,
+            restarts: std::collections::HashMap::new(),
+        }
+    }
+
+    fn estimate_t_new(job: &JobState, phase: Phase) -> f64 {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for task in job.tasks(phase) {
+            if let (Some(first), Some(done)) = (task.first_launched_at(), task.finished_at()) {
+                sum += done.saturating_sub(first) as f64;
+                count += 1;
+            }
+        }
+        if count > 0 {
+            sum / count as f64
+        } else {
+            job.spec().stats(phase).mean
+        }
+    }
+}
+
+impl Default for ReferenceRestart {
+    fn default() -> Self {
+        ReferenceRestart::new()
+    }
+}
+
+impl Scheduler for ReferenceRestart {
+    fn name(&self) -> &str {
+        "restart"
+    }
+
+    fn wakeup_interval(&self) -> Option<Slot> {
+        Some(self.config.detection_interval)
+    }
+
+    fn schedule(&mut self, state: &ClusterState<'_>) -> Vec<Action> {
+        let copies = state.copies();
+        let jobs: Vec<&JobState> = state.alive_jobs().collect();
+        let mut actions = reference_fill(&jobs, state.available_machines(), false);
+
+        let now = state.now();
+        let mut candidates: Vec<(Slot, mapreduce_workload::TaskId)> = Vec::new();
+        for job in &jobs {
+            for phase in [Phase::Map, Phase::Reduce] {
+                let t_new = Self::estimate_t_new(job, phase);
+                for task in scan_running(job, phase) {
+                    if task.oldest_active_elapsed(copies, now)
+                        < self.config.min_elapsed_for_detection
+                    {
+                        continue;
+                    }
+                    let Some(t_rem) = task.min_remaining(copies, now) else {
+                        continue;
+                    };
+                    if t_rem as f64 <= self.config.threshold_factor * t_new {
+                        continue;
+                    }
+                    let id = task.id();
+                    if self.restarts.get(&id).copied().unwrap_or(0)
+                        >= self.config.max_restarts_per_task
+                    {
+                        continue;
+                    }
+                    candidates.push((t_rem, id));
+                }
+            }
+        }
+        candidates.sort_by_key(|&(t_rem, _)| std::cmp::Reverse(t_rem));
+        for (_, task) in candidates {
+            *self.restarts.entry(task).or_insert(0) += 1;
+            actions.push(Action::CancelCopies { task, keep: 0 });
+            actions.push(Action::Launch { task, copies: 1 });
         }
         actions
     }

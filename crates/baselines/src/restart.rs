@@ -1,0 +1,283 @@
+//! Kill-and-restart speculative execution — the cancellation-heavy baseline.
+//!
+//! Where Mantri runs a *duplicate* next to a detected straggler and lets
+//! first-copy-wins settle the race, the restart strategy (the classic
+//! straggler response analysed by the replication/restart literature in
+//! PAPERS.md) **kills** the straggling copy and relaunches the task from
+//! scratch: progress is discarded in exchange for a fresh draw from the
+//! workload distribution, and no extra machine is ever consumed — each
+//! restart is a [`Action::CancelCopies`] immediately followed by an
+//! [`Action::Launch`] that reuses the machine the cancellation freed.
+//!
+//! In this codebase the scheduler doubles as the adversarial workout for the
+//! engine's cancellation path: every restart exercises
+//! [`mapreduce_sim::EventQueue::retract`] (the queued finish event of the
+//! killed copy), the running-by-finish re-keying and the scratch-buffer
+//! cancellation pass — under randomized workloads via the golden-equivalence
+//! suite, which pins [`Restart`] against the scan-based
+//! [`crate::reference::ReferenceRestart`] bit-for-bit.
+
+use crate::fair::fair_fill_unweighted;
+use mapreduce_sim::{Action, ClusterState, IndexDemands, JobState, Scheduler, Slot};
+use mapreduce_workload::{Phase, TaskId};
+use std::collections::HashMap;
+
+/// Configuration of the [`Restart`] baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RestartConfig {
+    /// A task is killed and relaunched when `t_rem > threshold_factor ·
+    /// t_new`. Restarting forfeits progress, so the default is more
+    /// conservative than Mantri's duplicate threshold.
+    pub threshold_factor: f64,
+    /// Minimum elapsed running time (slots) before a task may be judged a
+    /// straggler.
+    pub min_elapsed_for_detection: Slot,
+    /// How often (in slots) the detector re-examines running tasks.
+    pub detection_interval: Slot,
+    /// Maximum restarts per task; prevents kill-loops on tasks whose every
+    /// draw is long (or whose job has no resampling distribution).
+    pub max_restarts_per_task: u32,
+}
+
+impl Default for RestartConfig {
+    fn default() -> Self {
+        RestartConfig {
+            threshold_factor: 3.0,
+            min_elapsed_for_detection: 30,
+            detection_interval: 5,
+            max_restarts_per_task: 3,
+        }
+    }
+}
+
+impl RestartConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    /// Panics if the threshold is not positive or the detection interval is
+    /// zero.
+    pub fn validate(&self) {
+        assert!(
+            self.threshold_factor > 0.0,
+            "threshold factor must be positive"
+        );
+        assert!(
+            self.detection_interval >= 1,
+            "detection interval must be >= 1"
+        );
+    }
+}
+
+/// The kill-and-restart baseline.
+#[derive(Debug, Clone)]
+pub struct Restart {
+    config: RestartConfig,
+    /// Restarts issued per task so far.
+    restarts: HashMap<TaskId, u32>,
+}
+
+impl Restart {
+    /// Creates the scheduler with default parameters.
+    pub fn new() -> Self {
+        Self::with_config(RestartConfig::default())
+    }
+
+    /// Creates the scheduler with a custom configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid.
+    pub fn with_config(config: RestartConfig) -> Self {
+        config.validate();
+        Restart {
+            config,
+            restarts: HashMap::new(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RestartConfig {
+        &self.config
+    }
+
+    /// `t_new` estimate, identical to Mantri's: mean completed duration of
+    /// the phase, phase a-priori mean before anything completed. `O(1)` via
+    /// the engine aggregates.
+    fn estimate_t_new(job: &JobState, phase: Phase) -> f64 {
+        job.mean_completed_duration(phase)
+            .unwrap_or_else(|| job.spec().stats(phase).mean)
+    }
+
+    /// Collects `(t_rem, task)` restart candidates of one job from the tail
+    /// of the running-by-finish order (`O(log running + stragglers)`).
+    fn straggler_candidates(
+        &self,
+        job: &JobState,
+        copies: &mapreduce_sim::CopyArena,
+        now: Slot,
+        candidates: &mut Vec<(Slot, TaskId)>,
+    ) {
+        for phase in [Phase::Map, Phase::Reduce] {
+            let entries = job.running_by_finish(phase);
+            if entries.is_empty() {
+                continue;
+            }
+            let t_new = Self::estimate_t_new(job, phase);
+            let start = entries.partition_point(|&(finish, _)| {
+                finish.saturating_sub(now) as f64 <= self.config.threshold_factor * t_new
+            });
+            for &(finish, index) in &entries[start..] {
+                let Some(task) = job.task(phase, index) else {
+                    continue;
+                };
+                if task.oldest_active_elapsed(copies, now) < self.config.min_elapsed_for_detection {
+                    continue;
+                }
+                let id = task.id();
+                if self.restarts.get(&id).copied().unwrap_or(0) >= self.config.max_restarts_per_task
+                {
+                    continue;
+                }
+                candidates.push((finish - now, id));
+            }
+        }
+    }
+}
+
+impl Default for Restart {
+    fn default() -> Self {
+        Restart::new()
+    }
+}
+
+impl Scheduler for Restart {
+    fn name(&self) -> &str {
+        "restart"
+    }
+
+    fn wakeup_interval(&self) -> Option<Slot> {
+        Some(self.config.detection_interval)
+    }
+
+    fn index_demands(&self) -> IndexDemands {
+        IndexDemands {
+            finish_index: true,
+            ..IndexDemands::default()
+        }
+    }
+
+    fn schedule(&mut self, state: &ClusterState<'_>) -> Vec<Action> {
+        // 1. Regular work via equal-share fair scheduling, like the other
+        //    detection-based baselines.
+        let jobs: Vec<&JobState> = state.alive_jobs().collect();
+        let budget = state.available_machines();
+        let mut actions = if budget == 0 || state.total_unscheduled_tasks() == 0 {
+            Vec::new()
+        } else {
+            fair_fill_unweighted(&jobs, budget)
+        };
+
+        // 2. Kill-and-restart detected stragglers, worst (largest remaining
+        //    time) first. Restarts are machine-neutral — the launch reuses
+        //    the machine its cancellation frees — so they are not limited by
+        //    the available-machine budget.
+        let mut candidates: Vec<(Slot, TaskId)> = Vec::new();
+        for job in &jobs {
+            self.straggler_candidates(job, state.copies(), state.now(), &mut candidates);
+        }
+        candidates.sort_by_key(|&(t_rem, _)| std::cmp::Reverse(t_rem));
+        for (_, task) in candidates {
+            *self.restarts.entry(task).or_insert(0) += 1;
+            actions.push(Action::CancelCopies { task, keep: 0 });
+            actions.push(Action::Launch { task, copies: 1 });
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapreduce_sim::{SimConfig, Simulation};
+    use mapreduce_workload::{
+        DurationDistribution, JobId, JobSpecBuilder, PhaseStats, Trace, WorkloadBuilder,
+    };
+
+    #[test]
+    fn completes_ordinary_workloads() {
+        let trace = WorkloadBuilder::new()
+            .num_jobs(25)
+            .map_tasks_per_job(1, 6)
+            .reduce_tasks_per_job(0, 2)
+            .build(8);
+        let outcome = Simulation::new(SimConfig::new(8).with_seed(1), &trace)
+            .run(&mut Restart::new())
+            .unwrap();
+        assert_eq!(outcome.records().len(), 25);
+    }
+
+    #[test]
+    fn restarts_a_clear_straggler_without_extra_machines() {
+        // A 1-machine cluster: Mantri-style duplication is impossible (no
+        // spare machine), but kill-and-restart still rescues the straggler
+        // because the relaunch reuses the freed machine.
+        let job = JobSpecBuilder::new(JobId::new(0))
+            .map_tasks_from_workloads(&[2000.0])
+            .map_stats(PhaseStats::new(20.0, 5.0))
+            .map_distribution(DurationDistribution::Deterministic { value: 20.0 })
+            .build();
+        let trace = Trace::new(vec![job]).unwrap();
+        let outcome = Simulation::new(SimConfig::new(1).with_seed(2), &trace)
+            .run(&mut Restart::new())
+            .unwrap();
+        let record = outcome.record(JobId::new(0)).unwrap();
+        assert!(
+            record.completion < 200,
+            "straggler not restarted: completion {}",
+            record.completion
+        );
+        // The restart shows up as an extra launched copy, but never two
+        // active at once on the single machine.
+        assert!(record.copies_launched >= 2);
+        assert!(outcome.busy_machine_slots <= outcome.makespan);
+    }
+
+    #[test]
+    fn restart_cap_prevents_kill_loops() {
+        // No resampling distribution: every relaunch draws the same long
+        // workload, so only the cap lets the task ever finish.
+        let job = JobSpecBuilder::new(JobId::new(0))
+            .map_tasks_from_workloads(&[500.0])
+            .map_stats(PhaseStats::new(20.0, 5.0))
+            .build();
+        let trace = Trace::new(vec![job]).unwrap();
+        let outcome = Simulation::new(SimConfig::new(2).with_seed(3), &trace)
+            .run(&mut Restart::new())
+            .unwrap();
+        let record = outcome.record(JobId::new(0)).unwrap();
+        // Original + at most max_restarts_per_task relaunches.
+        assert!(record.copies_launched <= 1 + 3);
+        // The final attempt ran its full 500 slots.
+        assert!(record.completion >= 500);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(std::panic::catch_unwind(|| {
+            Restart::with_config(RestartConfig {
+                threshold_factor: 0.0,
+                ..RestartConfig::default()
+            })
+        })
+        .is_err());
+        assert!(std::panic::catch_unwind(|| {
+            Restart::with_config(RestartConfig {
+                detection_interval: 0,
+                ..RestartConfig::default()
+            })
+        })
+        .is_err());
+        assert_eq!(Restart::new().name(), "restart");
+        assert_eq!(Restart::default().wakeup_interval(), Some(5));
+        assert!(Restart::new().index_demands().finish_index);
+    }
+}

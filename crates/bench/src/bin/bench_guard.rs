@@ -1,0 +1,55 @@
+//! Bench-regression guard for CI.
+//!
+//! Reads a bench report (by default the smoke-mode report the bench-smoke
+//! step just merged into `target/BENCH_smoke.json`) and fails — exit code 1 —
+//! if any benchmark id regressed by more than the given factor against its
+//! recorded `prev_mean_ns`. Ids without a previous mean (first run on a
+//! fresh cache, newly added benchmarks) pass trivially.
+//!
+//! ```console
+//! $ cargo run -p mapreduce-bench --bin bench-guard            # smoke report, 2×
+//! $ cargo run -p mapreduce-bench --bin bench-guard -- path.json 1.5
+//! ```
+
+use mapreduce_bench::{find_regressions, SMOKE_REPORT_PATH};
+use mapreduce_support::json::JsonValue;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let path = args.next().unwrap_or_else(|| SMOKE_REPORT_PATH.to_string());
+    let factor: f64 = args
+        .next()
+        .map(|f| f.parse().expect("factor must be a number"))
+        .unwrap_or(2.0);
+
+    let report = match std::fs::read_to_string(&path) {
+        Ok(text) => match JsonValue::parse(&text) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("bench-guard: {path} is not valid JSON ({e}); failing");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(_) => {
+            // No report yet (fresh cache): nothing to compare against.
+            println!("bench-guard: no report at {path}, nothing to check");
+            return ExitCode::SUCCESS;
+        }
+    };
+
+    let regressions = find_regressions(&report, factor);
+    if regressions.is_empty() {
+        println!("bench-guard: no >{factor}x regressions in {path}");
+        return ExitCode::SUCCESS;
+    }
+    for (id, prev, mean) in &regressions {
+        eprintln!(
+            "bench-guard: {id} regressed {:.2}x ({:.3} ms -> {:.3} ms)",
+            mean / prev,
+            prev / 1e6,
+            mean / 1e6,
+        );
+    }
+    ExitCode::FAILURE
+}

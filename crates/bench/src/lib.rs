@@ -54,6 +54,13 @@ pub fn run_reference(
 /// Path of the tracked engine-performance report at the workspace root.
 pub const BENCH_REPORT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
 
+/// Path of the **untracked** smoke-mode report (`MAPREDUCE_BENCH_SAMPLES`
+/// runs). Lives under `target/` so it never pollutes the curated report but
+/// survives across CI runs through the cargo cache, giving the bench-guard a
+/// same-machine-class `prev_mean_ns` to compare against.
+pub const SMOKE_REPORT_PATH: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/BENCH_smoke.json");
+
 /// Merges one benchmark's results into the engine-performance report,
 /// **append-or-update by benchmark name** rather than overwriting the file,
 /// so the perf trajectory accumulates across benches and PRs.
@@ -68,10 +75,22 @@ pub const BENCH_REPORT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../
 /// Smoke-mode runs (`MAPREDUCE_BENCH_SAMPLES` set — CI and local
 /// reproductions of it) leave the tracked report untouched: a one-sample
 /// timing would overwrite the curated means and their `prev_mean_ns`
-/// trajectory with noise.
+/// trajectory with noise. They merge into [`SMOKE_REPORT_PATH`] instead,
+/// whose `prev_mean_ns` trail feeds the CI bench-regression guard
+/// (`bench-guard`).
 pub fn merge_bench_report(benchmark: &str, jobs: usize, machines: usize, results: &[BenchResult]) {
     if mapreduce_support::criterion::env_sample_override().is_some() {
-        println!("MAPREDUCE_BENCH_SAMPLES set: smoke run, leaving {BENCH_REPORT_PATH} untouched");
+        println!(
+            "MAPREDUCE_BENCH_SAMPLES set: smoke run, leaving {BENCH_REPORT_PATH} untouched \
+             (merging into {SMOKE_REPORT_PATH})"
+        );
+        merge_bench_report_at(
+            Path::new(SMOKE_REPORT_PATH),
+            benchmark,
+            jobs,
+            machines,
+            results,
+        );
         return;
     }
     merge_bench_report_at(
@@ -81,6 +100,42 @@ pub fn merge_bench_report(benchmark: &str, jobs: usize, machines: usize, results
         machines,
         results,
     );
+}
+
+/// Scans a bench report for regressions: any result whose **best** sample
+/// (`min_ns`, falling back to `mean_ns`) exceeds `factor × prev_mean_ns` is
+/// returned as `(id, prev_mean_ns, observed_ns)`. Comparing the current
+/// minimum against the previous mean biases against false alarms on noisy
+/// shared runners — a single slow sample cannot trip the guard as long as
+/// one sample ran at normal speed. Results without a recorded previous mean
+/// (first run on a machine, new benchmark id) are skipped.
+pub fn find_regressions(report: &JsonValue, factor: f64) -> Vec<(String, f64, f64)> {
+    let mut regressions = Vec::new();
+    let Some(benchmarks) = report.get("benchmarks").and_then(|b| b.as_array()) else {
+        return regressions;
+    };
+    for entry in benchmarks {
+        let Some(results) = entry.get("results").and_then(|r| r.as_array()) else {
+            continue;
+        };
+        for result in results {
+            let (Some(id), Some(mean), Some(prev)) = (
+                result.get("id").and_then(|v| v.as_str()),
+                result.get("mean_ns").and_then(|v| v.as_f64()),
+                result.get("prev_mean_ns").and_then(|v| v.as_f64()),
+            ) else {
+                continue;
+            };
+            let best = result
+                .get("min_ns")
+                .and_then(|v| v.as_f64())
+                .unwrap_or(mean);
+            if prev > 0.0 && best > factor * prev {
+                regressions.push((id.to_string(), prev, best));
+            }
+        }
+    }
+    regressions
 }
 
 /// [`merge_bench_report`] against an explicit path (tests use a temp file).
@@ -229,6 +284,48 @@ mod tests {
         // A brand-new id has no previous mean.
         assert!(results[1].get("prev_mean_ns").is_none());
         assert!(entry(&report, "full").get("results").is_some());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn find_regressions_flags_only_over_factor_ids_with_history() {
+        let path = std::env::temp_dir().join(format!(
+            "mapreduce_bench_guard_test_{}.json",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        // First merge: no history, guard has nothing to flag.
+        merge_bench_report_at(
+            &path,
+            "smoke",
+            10,
+            5,
+            &[result("smoke/fast", 100.0), result("smoke/slow", 100.0)],
+        );
+        let report = JsonValue::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert!(find_regressions(&report, 2.0).is_empty());
+
+        // Second merge: one id regresses 3x, one improves, one is new.
+        merge_bench_report_at(
+            &path,
+            "smoke",
+            10,
+            5,
+            &[
+                result("smoke/fast", 60.0),
+                result("smoke/slow", 300.0),
+                result("smoke/new", 9000.0),
+            ],
+        );
+        let report = JsonValue::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let regressions = find_regressions(&report, 2.0);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].0, "smoke/slow");
+        // The guard compares the current best sample (min_ns = 0.9 × mean in
+        // this fixture) against the previous mean.
+        assert_eq!((regressions[0].1, regressions[0].2), (100.0, 270.0));
+        // A looser factor passes.
+        assert!(find_regressions(&report, 4.0).is_empty());
         let _ = std::fs::remove_file(&path);
     }
 

@@ -117,6 +117,11 @@ pub struct SimConfig {
     /// no arrival/completion happened (in addition to any interval the
     /// scheduler itself requests). `None` = event-driven only.
     pub periodic_wakeup: Option<u64>,
+    /// Width exponent of the engine's calendar event queue: the ring holds
+    /// `2^event_ring_bits` slot-granular buckets; events further out go to
+    /// the overflow map. A pure performance knob — any width produces the
+    /// bit-identical trajectory. See [`crate::events::EventQueue`].
+    pub event_ring_bits: u8,
 }
 
 impl SimConfig {
@@ -136,6 +141,7 @@ impl SimConfig {
             max_copies_per_task: 64,
             straggler: StragglerModel::None,
             periodic_wakeup: None,
+            event_ring_bits: crate::events::DEFAULT_RING_BITS,
         }
     }
 
@@ -192,6 +198,19 @@ impl SimConfig {
         self.periodic_wakeup = Some(every.max(1));
         self
     }
+
+    /// Sets the calendar-queue ring width exponent (`2^bits` buckets).
+    ///
+    /// # Panics
+    /// Panics unless `4 <= bits <= 20`.
+    pub fn with_event_ring_bits(mut self, bits: u8) -> Self {
+        assert!(
+            (4..=20).contains(&bits),
+            "event ring bits must be in 4..=20, got {bits}"
+        );
+        self.event_ring_bits = bits;
+        self
+    }
 }
 
 impl ToJson for SimConfig {
@@ -208,6 +227,7 @@ impl ToJson for SimConfig {
             ("max_copies_per_task", self.max_copies_per_task.to_json()),
             ("straggler", self.straggler.to_json()),
             ("periodic_wakeup", self.periodic_wakeup.to_json()),
+            ("event_ring_bits", (self.event_ring_bits as u64).to_json()),
         ])
     }
 }
@@ -223,6 +243,17 @@ impl FromJson for SimConfig {
             max_copies_per_task: usize::from_json(value.field("max_copies_per_task")?)?,
             straggler: StragglerModel::from_json(value.field("straggler")?)?,
             periodic_wakeup: Option::from_json(value.field("periodic_wakeup")?)?,
+            // Absent in configs serialised before the calendar queue existed.
+            event_ring_bits: match value.get("event_ring_bits") {
+                Some(v) => {
+                    let bits = u64::from_json(v)?;
+                    if !(4..=20).contains(&bits) {
+                        return Err(JsonError::new("event_ring_bits must be in 4..=20"));
+                    }
+                    bits as u8
+                }
+                None => crate::events::DEFAULT_RING_BITS,
+            },
         })
     }
 }
@@ -286,6 +317,33 @@ mod tests {
             probability: 0.5,
             factor: 0.5,
         });
+    }
+
+    #[test]
+    fn event_ring_bits_knob() {
+        assert_eq!(
+            SimConfig::new(1).event_ring_bits,
+            crate::events::DEFAULT_RING_BITS
+        );
+        assert_eq!(SimConfig::new(1).with_event_ring_bits(8).event_ring_bits, 8);
+        assert!(std::panic::catch_unwind(|| SimConfig::new(1).with_event_ring_bits(3)).is_err());
+        // Configs serialised before the knob existed deserialise with the
+        // default width.
+        let mut legacy = SimConfig::new(2).to_json();
+        if let JsonValue::Object(map) = &mut legacy {
+            map.remove("event_ring_bits");
+        }
+        let back = SimConfig::from_json(&legacy).unwrap();
+        assert_eq!(back.event_ring_bits, crate::events::DEFAULT_RING_BITS);
+        // Out-of-range serialized values are a parse error, not a truncation
+        // or a deferred panic.
+        for bad in [3u64, 25, 260] {
+            let mut json = SimConfig::new(2).to_json();
+            if let JsonValue::Object(map) = &mut json {
+                map.insert("event_ring_bits".into(), bad.to_json());
+            }
+            assert!(SimConfig::from_json(&json).is_err(), "bits {bad} accepted");
+        }
     }
 
     #[test]

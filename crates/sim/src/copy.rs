@@ -12,6 +12,9 @@ use mapreduce_workload::TaskId;
 use std::fmt;
 
 /// Identifier of a single task copy, unique within one simulation run.
+///
+/// Ids are allocated densely in launch order by the run's [`CopyArena`], so a
+/// `CopyId` doubles as the copy's arena index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CopyId(pub u64);
 
@@ -133,6 +136,123 @@ impl CopyInfo {
     }
 }
 
+/// A task's copy-id list with inline storage for the common cases.
+///
+/// Almost every task launches exactly one copy, and cloned tasks usually stay
+/// at two; a heap `Vec` per task means one malloc/free per task for a single
+/// 8-byte id. The list stores up to two ids inline and spills to a `Vec` only
+/// from the third copy on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum CopyList {
+    /// Up to two ids stored inline (`len` of them are valid).
+    Inline { buf: [CopyId; 2], len: u8 },
+    /// Three or more ids.
+    Spilled(Vec<CopyId>),
+}
+
+impl Default for CopyList {
+    fn default() -> Self {
+        CopyList::Inline {
+            buf: [CopyId(0); 2],
+            len: 0,
+        }
+    }
+}
+
+impl CopyList {
+    /// The ids in launch order.
+    pub(crate) fn as_slice(&self) -> &[CopyId] {
+        match self {
+            CopyList::Inline { buf, len } => &buf[..*len as usize],
+            CopyList::Spilled(v) => v,
+        }
+    }
+
+    /// Appends an id.
+    pub(crate) fn push(&mut self, id: CopyId) {
+        match self {
+            CopyList::Inline { buf, len } if (*len as usize) < buf.len() => {
+                buf[*len as usize] = id;
+                *len += 1;
+            }
+            CopyList::Inline { buf, len } => {
+                let mut v = Vec::with_capacity(4);
+                v.extend_from_slice(&buf[..*len as usize]);
+                v.push(id);
+                *self = CopyList::Spilled(v);
+            }
+            CopyList::Spilled(v) => v.push(id),
+        }
+    }
+}
+
+/// Run-level storage of every [`CopyInfo`], indexed by [`CopyId`].
+///
+/// Copies used to live in per-task `Vec<CopyInfo>`s, which made resolving a
+/// `CopyFinish` event a linear `find` over the task's copies. The arena makes
+/// it a single slice index: ids are handed out densely in launch order, so
+/// `arena[id]` is the copy. Tasks keep only small `CopyId` slices
+/// ([`crate::state::TaskState::copies`]).
+#[derive(Debug, Default, Clone)]
+pub struct CopyArena {
+    copies: Vec<CopyInfo>,
+}
+
+impl CopyArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        CopyArena::default()
+    }
+
+    /// Number of copies ever allocated.
+    pub fn len(&self) -> usize {
+        self.copies.len()
+    }
+
+    /// Whether no copy has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.copies.is_empty()
+    }
+
+    /// The id the next allocation will receive.
+    pub fn next_id(&self) -> CopyId {
+        CopyId(self.copies.len() as u64)
+    }
+
+    /// Stores a copy and returns its dense id.
+    ///
+    /// # Panics
+    /// Panics (debug builds) if the copy's recorded id is not the next dense
+    /// id — the engine allocates ids through [`CopyArena::next_id`].
+    pub fn alloc(&mut self, copy: CopyInfo) -> CopyId {
+        debug_assert_eq!(copy.id, self.next_id(), "copy ids must be dense");
+        let id = copy.id;
+        self.copies.push(copy);
+        id
+    }
+
+    /// The copy with the given id.
+    ///
+    /// # Panics
+    /// Panics if the id was not allocated by this arena.
+    pub fn get(&self, id: CopyId) -> &CopyInfo {
+        &self.copies[id.0 as usize]
+    }
+
+    /// Mutable access to the copy with the given id.
+    ///
+    /// # Panics
+    /// Panics if the id was not allocated by this arena.
+    pub(crate) fn get_mut(&mut self, id: CopyId) -> &mut CopyInfo {
+        &mut self.copies[id.0 as usize]
+    }
+
+    /// Every copy in id (launch) order.
+    pub fn as_slice(&self) -> &[CopyInfo] {
+        &self.copies
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,5 +312,19 @@ mod tests {
     #[test]
     fn display_of_copy_id() {
         assert_eq!(CopyId(7).to_string(), "c7");
+    }
+
+    #[test]
+    fn arena_allocates_dense_ids() {
+        let mut arena = CopyArena::new();
+        assert!(arena.is_empty());
+        let id0 = arena.alloc(CopyInfo::running(arena.next_id(), task(), 0, 10));
+        let id1 = arena.alloc(CopyInfo::waiting(arena.next_id(), task(), 3, 5));
+        assert_eq!((id0, id1), (CopyId(0), CopyId(1)));
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.get(id1).launched_at, 3);
+        assert_eq!(arena.as_slice().len(), 2);
+        arena.get_mut(id0).phase = CopyPhase::Finished;
+        assert_eq!(arena.get(id0).phase, CopyPhase::Finished);
     }
 }

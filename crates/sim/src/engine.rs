@@ -13,16 +13,34 @@
 //! the model can change, so this is equivalent to the per-slot loop of the
 //! paper while being fast enough for 12 000-machine traces.
 //!
-//! The arrival/finish/wakeup plumbing lives in [`crate::events`]; the engine
-//! owns the job table, the machine budget and the incrementally maintained
-//! [`AliveIndex`] from which each scheduler-facing [`ClusterState`] snapshot
-//! is built in `O(1)`.
+//! # Event path
+//!
+//! The arrival/finish plumbing lives in [`crate::events`]: a slot-granular
+//! calendar queue with `O(1)` amortized push/pop. Each decision instant is
+//! delivered as one **batch** ([`EventQueue::drain_due`]) — the instant's
+//! bucket is sorted once and handed over wholesale instead of a heap pop per
+//! event, and a task whose clones tie at one slot is finalized exactly once
+//! (the first completion in `(kind, copy-id)` order wins; its siblings fail
+//! the `O(1)` liveness check). Copy records live in a run-level [`CopyArena`]
+//! indexed by [`CopyId`], so resolving a completion is a single slice index,
+//! and cancelled copies *retract* their queued finish events
+//! ([`EventQueue::retract`]) instead of leaving stale heap entries behind.
+//! Early-launched reduce copies are tracked on a per-job waiting list
+//! ([`crate::state::JobState::waiting_copies`]), so Map-phase completion
+//! activates exactly the waiting copies instead of rescanning every reduce
+//! task.
+//!
+//! The engine owns the job table, the machine budget and the incrementally
+//! maintained [`AliveIndex`] from which each scheduler-facing
+//! [`ClusterState`] snapshot is built in `O(1)`.
 
 use crate::config::{SimConfig, StragglerModel};
-use crate::copy::{CopyId, CopyInfo, CopyPhase};
+use crate::copy::{CopyArena, CopyId, CopyInfo, CopyPhase};
 use crate::error::SimError;
 use crate::events::{next_decision, Event, EventQueue};
 use crate::result::{JobRecord, SimOutcome};
+#[cfg(doc)]
+use crate::state::IndexDemands;
 use crate::state::{Action, AliveIndex, ClusterState, JobState, Scheduler, Slot};
 use mapreduce_support::rng::{Rng, SimRng};
 use mapreduce_workload::{Phase, TaskId, Trace};
@@ -41,12 +59,25 @@ pub struct Simulation {
 struct RunStats {
     available: usize,
     busy_machine_slots: u64,
-    next_copy_id: u64,
-    total_copies: usize,
     completed_jobs: usize,
     scheduler_invocations: u64,
     makespan: Slot,
     pending_arrivals: usize,
+}
+
+/// Per-run mutable context: stats, the copy arena and reusable scratch
+/// buffers, grouped so the handlers stay within sane arities and the hot
+/// loop never allocates for event delivery or cancellation.
+#[derive(Debug, Default)]
+struct RunCtx {
+    stats: RunStats,
+    arena: CopyArena,
+    /// Scratch for [`Simulation::cancel_copies`]: `(progress, id)` of the
+    /// task's active copies, reused across calls.
+    cancel_scratch: Vec<(f64, CopyId)>,
+    /// Scratch for [`Simulation::activate_waiting_reduce_copies`]: swapped
+    /// with each job's waiting list so the allocation is recycled.
+    waiting_scratch: Vec<(u32, CopyId)>,
 }
 
 impl Simulation {
@@ -84,7 +115,7 @@ impl Simulation {
 
         // Seed the queue with every arrival; ties are broken by job index,
         // matching the trace's dense arrival order.
-        let mut queue = EventQueue::new();
+        let mut queue = EventQueue::with_ring_bits(self.config.event_ring_bits);
         for (idx, job) in self.jobs.iter().enumerate() {
             queue.push(Event::JobArrival {
                 at: job.arrival(),
@@ -96,14 +127,26 @@ impl Simulation {
         if let Some(r) = scheduler.priority_r() {
             alive.enable_priority(r);
         }
-        let mut stats = RunStats {
-            available: total_machines,
-            pending_arrivals: self.jobs.len(),
-            ..RunStats::default()
+        // Maintain only the per-job indices this scheduler consumes; keeping
+        // a sorted index current costs O(running width) per launch/finish,
+        // which wide jobs turn into a real tax under schedulers that never
+        // read it.
+        let demands = scheduler.index_demands();
+        for job in &mut self.jobs {
+            job.set_index_tracking(demands);
+        }
+        let mut ctx = RunCtx {
+            stats: RunStats {
+                available: total_machines,
+                pending_arrivals: self.jobs.len(),
+                ..RunStats::default()
+            },
+            ..RunCtx::default()
         };
         let mut now: Slot = 0;
         // Reused across decision instants so the hot loop never allocates for
         // event delivery.
+        let mut due: Vec<Event> = Vec::new();
         let mut newly_arrived = Vec::new();
         let mut newly_finished = Vec::new();
 
@@ -114,9 +157,9 @@ impl Simulation {
             (None, None) => None,
         };
 
-        while stats.completed_jobs < self.jobs.len() {
+        while ctx.stats.completed_jobs < self.jobs.len() {
             // ---- determine the next decision instant ----
-            let running_anything = stats.available < total_machines;
+            let running_anything = ctx.stats.available < total_machines;
             let next_wakeup = match wakeup_every {
                 Some(k) if !alive.is_empty() && running_anything => Some(now + k),
                 _ => None,
@@ -137,37 +180,46 @@ impl Simulation {
                 if now > max_slots {
                     return Err(SimError::HorizonExceeded {
                         max_slots,
-                        unfinished_jobs: self.jobs.len() - stats.completed_jobs,
+                        unfinished_jobs: self.jobs.len() - ctx.stats.completed_jobs,
                     });
                 }
             }
 
-            // ---- deliver due events (arrivals sort before completions) ----
+            // ---- deliver the instant's event batch ----
+            // One drain per decision instant: the bucket is sorted once
+            // (arrivals before completions, then sequence order) and handed
+            // over wholesale. Same-slot clone ties cost one O(1) liveness
+            // check each instead of re-running the finalization.
             newly_arrived.clear();
             newly_finished.clear();
-            while let Some(event) = queue.pop_due(now) {
+            due.clear();
+            queue.drain_due(now, &mut due);
+            for &event in &due {
                 match event {
                     Event::JobArrival { job_index, .. } => {
                         let job = &mut self.jobs[job_index];
                         job.mark_arrived();
                         alive.insert(job_index, job);
-                        stats.pending_arrivals -= 1;
+                        ctx.stats.pending_arrivals -= 1;
                         newly_arrived.push(job.id());
                     }
                     Event::CopyFinish { at, copy, task } => {
-                        if let Some(finished) = self.handle_copy_finish(task, copy, at, &mut stats)
+                        if let Some(finished) =
+                            self.handle_copy_finish(task, copy, at, &mut ctx, &mut queue)
                         {
                             newly_finished.push(finished);
                             let job_idx = task.job.as_usize();
                             if task.phase == Phase::Map && self.jobs[job_idx].map_phase_complete() {
-                                self.activate_waiting_reduce_copies(job_idx, at, &mut queue);
+                                self.activate_waiting_reduce_copies(
+                                    job_idx, at, &mut ctx, &mut queue,
+                                );
                             }
                             if self.jobs[job_idx].all_tasks_finished()
                                 && !self.jobs[job_idx].is_complete()
                             {
                                 self.jobs[job_idx].mark_complete(at);
-                                stats.completed_jobs += 1;
-                                stats.makespan = stats.makespan.max(at);
+                                ctx.stats.completed_jobs += 1;
+                                ctx.stats.makespan = ctx.stats.makespan.max(at);
                                 alive.remove(job_idx, &self.jobs[job_idx]);
                             }
                         }
@@ -176,19 +228,20 @@ impl Simulation {
                 }
             }
 
-            if stats.completed_jobs == self.jobs.len() {
+            if ctx.stats.completed_jobs == self.jobs.len() {
                 break;
             }
 
             // ---- invoke the scheduler ----
-            stats.scheduler_invocations += 1;
+            ctx.stats.scheduler_invocations += 1;
             alive.flush_priority();
             let actions = {
                 let state = ClusterState::from_index(
                     now,
                     total_machines,
-                    stats.available,
+                    ctx.stats.available,
                     &self.jobs,
+                    &ctx.arena,
                     &alive,
                 );
                 for job in &newly_arrived {
@@ -200,12 +253,14 @@ impl Simulation {
                 scheduler.schedule(&state)
             };
 
-            self.apply_actions(&actions, now, &mut stats, &mut alive, &mut queue, &mut rng)?;
+            self.apply_actions(&actions, now, &mut ctx, &mut alive, &mut queue, &mut rng)?;
 
             // ---- stall detection ----
             // If nothing is running, nothing will arrive, and jobs remain,
             // the scheduler will never be given a different state again.
-            if stats.available == total_machines && stats.pending_arrivals == 0 && !alive.is_empty()
+            if ctx.stats.available == total_machines
+                && ctx.stats.pending_arrivals == 0
+                && !alive.is_empty()
             {
                 return Err(SimError::SchedulerStalled {
                     slot: now,
@@ -215,7 +270,7 @@ impl Simulation {
         }
 
         // ---- collect records ----
-        let makespan = stats.makespan;
+        let makespan = ctx.stats.makespan;
         let records: Vec<JobRecord> = self
             .jobs
             .iter()
@@ -236,95 +291,121 @@ impl Simulation {
             total_machines,
             records,
             makespan,
-            stats.busy_machine_slots,
-            stats.total_copies,
-            stats.scheduler_invocations,
+            ctx.stats.busy_machine_slots,
+            ctx.arena.len(),
+            ctx.stats.scheduler_invocations,
         ))
     }
 
     /// Processes the completion of one copy. Returns `Some(task_id)` if the
-    /// event was live and the task finished, `None` for stale events.
+    /// event was live and the task finished, `None` for stale events (the
+    /// liveness check is `O(1)`: one arena index).
     fn handle_copy_finish(
         &mut self,
         task_id: TaskId,
         copy_id: CopyId,
         slot: Slot,
-        stats: &mut RunStats,
+        ctx: &mut RunCtx,
+        queue: &mut EventQueue,
     ) -> Option<TaskId> {
         let job = self.jobs.get_mut(task_id.job.as_usize())?;
         let task = job.task_mut(task_id.phase, task_id.index)?;
         if task.is_finished() {
+            // A sibling that tied at this slot already finalized the task.
             return None;
         }
-        // Locate the copy and confirm the event is live.
         {
-            let copies = task.copies_mut();
-            let copy = copies.iter_mut().find(|c| c.id == copy_id)?;
+            let copy = ctx.arena.get(copy_id);
             if copy.phase != CopyPhase::Running || copy.finish_slot() != Some(slot) {
                 return None;
             }
-            copy.phase = CopyPhase::Finished;
-            copy.ended_at = Some(slot);
         }
-        // Cancel the sibling copies (first-copy-wins).
+        // First-copy-wins: the winner finishes; every sibling still holding a
+        // machine is cancelled, and running siblings retract their queued
+        // finish events so the calendar queue can drop them wholesale.
         let mut released = 0usize;
         let mut busy = 0u64;
-        for copy in task.copies_mut().iter_mut() {
+        let mut waiting_cancelled = 0usize;
+        for &cid in task.copies() {
+            let copy = ctx.arena.get_mut(cid);
             match copy.phase {
-                CopyPhase::Finished if copy.id == copy_id => {
+                CopyPhase::Running if cid == copy_id => {
+                    copy.phase = CopyPhase::Finished;
+                    copy.ended_at = Some(slot);
                     released += 1;
                     busy += slot.saturating_sub(copy.launched_at);
                 }
-                CopyPhase::Running | CopyPhase::WaitingForMapPhase => {
+                CopyPhase::Running => {
+                    let finish = copy.finish_slot();
                     copy.phase = CopyPhase::Cancelled;
                     copy.ended_at = Some(slot);
                     released += 1;
                     busy += slot.saturating_sub(copy.launched_at);
+                    if let Some(finish) = finish {
+                        queue.retract(finish, cid);
+                    }
+                }
+                CopyPhase::WaitingForMapPhase => {
+                    copy.phase = CopyPhase::Cancelled;
+                    copy.ended_at = Some(slot);
+                    released += 1;
+                    busy += slot.saturating_sub(copy.launched_at);
+                    waiting_cancelled += 1;
                 }
                 _ => {}
             }
         }
         let duration = slot.saturating_sub(task.first_launched_at().unwrap_or(slot));
+        task.note_copies_released(released);
         task.mark_finished(slot);
         job.note_task_finished(task_id.phase, task_id.index, duration);
         job.note_copy_released(released);
-        stats.available += released;
-        stats.busy_machine_slots += busy;
+        if waiting_cancelled > 0 {
+            job.note_waiting_cancelled(waiting_cancelled);
+        }
+        ctx.stats.available += released;
+        ctx.stats.busy_machine_slots += busy;
         Some(task_id)
     }
 
     /// Starts processing of reduce copies that were launched before the Map
-    /// phase of their job had completed. Completions are queued in task-index
-    /// order, which the event queue preserves for equal finish slots.
+    /// phase of their job had completed, consuming the job's waiting-copy
+    /// list — `O(waiting copies)`, with an `O(1)` early-out when nothing
+    /// waits. Completion order is determined by the queue's `(slot, kind,
+    /// copy-id)` key, so the drain order of the list is immaterial.
     fn activate_waiting_reduce_copies(
         &mut self,
         job_idx: usize,
         slot: Slot,
+        ctx: &mut RunCtx,
         queue: &mut EventQueue,
     ) {
         let job = &mut self.jobs[job_idx];
-        for index in 0..job.spec().num_reduce_tasks() {
-            let mut earliest_finish: Option<Slot> = None;
-            if let Some(task) = job.task_mut(Phase::Reduce, index as u32) {
-                let task_id = task.id();
-                for copy in task.copies_mut().iter_mut() {
-                    if copy.phase == CopyPhase::WaitingForMapPhase {
-                        copy.phase = CopyPhase::Running;
-                        copy.started_at = Some(slot);
-                        let finish = slot + copy.duration;
-                        queue.push(Event::CopyFinish {
-                            at: finish,
-                            copy: copy.id,
-                            task: task_id,
-                        });
-                        earliest_finish =
-                            Some(earliest_finish.map_or(finish, |f: Slot| f.min(finish)));
-                    }
-                }
+        if job.waiting_copies() == 0 {
+            return;
+        }
+        let RunCtx {
+            arena,
+            waiting_scratch,
+            ..
+        } = ctx;
+        job.take_waiting_reduce(waiting_scratch);
+        for &(index, cid) in waiting_scratch.iter() {
+            let copy = arena.get_mut(cid);
+            if copy.phase != CopyPhase::WaitingForMapPhase {
+                // Cancelled while waiting; its list entry went stale.
+                continue;
             }
-            if let Some(finish) = earliest_finish {
-                job.note_copy_running(Phase::Reduce, index as u32, finish);
-            }
+            copy.phase = CopyPhase::Running;
+            copy.started_at = Some(slot);
+            let finish = slot + copy.duration;
+            let task = copy.task;
+            queue.push(Event::CopyFinish {
+                at: finish,
+                copy: cid,
+                task,
+            });
+            job.note_copy_running(Phase::Reduce, index, finish);
         }
     }
 
@@ -334,7 +415,7 @@ impl Simulation {
         &mut self,
         actions: &[Action],
         now: Slot,
-        stats: &mut RunStats,
+        ctx: &mut RunCtx,
         alive: &mut AliveIndex,
         queue: &mut EventQueue,
         rng: &mut SimRng,
@@ -342,10 +423,10 @@ impl Simulation {
         for action in actions {
             match *action {
                 Action::Launch { task, copies } => {
-                    self.launch_copies(task, copies, now, stats, alive, queue, rng)?;
+                    self.launch_copies(task, copies, now, ctx, alive, queue, rng)?;
                 }
                 Action::CancelCopies { task, keep } => {
-                    self.cancel_copies(task, keep, now, stats)?;
+                    self.cancel_copies(task, keep, now, ctx, queue)?;
                 }
             }
         }
@@ -358,7 +439,7 @@ impl Simulation {
         task_id: TaskId,
         requested: usize,
         now: Slot,
-        stats: &mut RunStats,
+        ctx: &mut RunCtx,
         alive: &mut AliveIndex,
         queue: &mut EventQueue,
         rng: &mut SimRng,
@@ -367,29 +448,28 @@ impl Simulation {
         if job_idx >= self.jobs.len() {
             return Err(SimError::UnknownTask(task_id));
         }
-        {
-            let job = &self.jobs[job_idx];
-            if job.task(task_id.phase, task_id.index).is_none() {
-                return Err(SimError::UnknownTask(task_id));
-            }
-            // Ignore launches for jobs that have not arrived, finished jobs,
-            // or finished tasks: the scheduler may be acting on a stale view.
-            if !job.is_alive()
-                || job
-                    .task(task_id.phase, task_id.index)
-                    .map(|t| t.is_finished())
-                    .unwrap_or(true)
-            {
-                return Ok(());
-            }
-        }
-
         let max_per_task = self.config.max_copies_per_task;
         let speed = self.config.machine_speed;
         let resample = self.config.resample_clone_workloads;
         let straggler = self.config.straggler;
 
         let job = &mut self.jobs[job_idx];
+        // One probe of the task yields everything the validation and the
+        // launch loop need.
+        let (active_now, task_finished, mut first_launch) =
+            match job.task(task_id.phase, task_id.index) {
+                Some(task) => (
+                    task.active_copies(),
+                    task.is_finished(),
+                    task.is_unscheduled(),
+                ),
+                None => return Err(SimError::UnknownTask(task_id)),
+            };
+        // Ignore launches for jobs that have not arrived, finished jobs, or
+        // finished tasks: the scheduler may be acting on a stale view.
+        if !job.is_alive() || task_finished {
+            return Ok(());
+        }
         let map_phase_complete = job.map_phase_complete();
         let spec_workload = job
             .spec()
@@ -397,31 +477,27 @@ impl Simulation {
             .get(task_id.index as usize)
             .map(|t| t.workload)
             .ok_or(SimError::UnknownTask(task_id))?;
-        let distribution = job.spec().distribution(task_id.phase).cloned();
+        // Cloned lazily: only clone launches with resampling ever consult the
+        // distribution, and first launches (the overwhelming majority) never
+        // pay for it.
+        let mut distribution: Option<Option<mapreduce_workload::DurationDistribution>> = None;
 
-        let active_now = job
-            .task(task_id.phase, task_id.index)
-            .map(|t| t.active_copies())
-            .unwrap_or(0);
         let capacity_cap = max_per_task.saturating_sub(active_now);
-        let n = requested.min(stats.available).min(capacity_cap);
+        let n = requested.min(ctx.stats.available).min(capacity_cap);
         if n == 0 {
             return Ok(());
         }
 
         for _ in 0..n {
-            let task_was_unscheduled = job
-                .task(task_id.phase, task_id.index)
-                .map(|t| t.is_unscheduled())
-                .unwrap_or(false);
-
             // Workload of this copy: the original sample for the first copy,
             // an i.i.d. resample for clones (if enabled and a distribution is
             // attached to the job).
-            let mut workload = if task_was_unscheduled {
+            let mut workload = if first_launch {
                 spec_workload
             } else if resample {
-                match &distribution {
+                let dist = distribution
+                    .get_or_insert_with(|| job.spec().distribution(task_id.phase).cloned());
+                match dist {
                     Some(dist) => dist.sample(rng),
                     None => spec_workload,
                 }
@@ -439,50 +515,62 @@ impl Simulation {
             }
             let duration = ((workload / speed).ceil() as Slot).max(1);
 
-            let copy_id = CopyId(stats.next_copy_id);
-            stats.next_copy_id += 1;
-
-            let (copy, running_finish) = if task_id.phase == Phase::Reduce && !map_phase_complete {
-                (CopyInfo::waiting(copy_id, task_id, now, duration), None)
+            let copy_id = ctx.arena.next_id();
+            let running_finish = if task_id.phase == Phase::Reduce && !map_phase_complete {
+                ctx.arena
+                    .alloc(CopyInfo::waiting(copy_id, task_id, now, duration));
+                job.note_copy_waiting(task_id.index, copy_id);
+                None
             } else {
                 let finish = now + duration;
-                let c = CopyInfo::running(copy_id, task_id, now, duration);
+                ctx.arena
+                    .alloc(CopyInfo::running(copy_id, task_id, now, duration));
                 queue.push(Event::CopyFinish {
                     at: finish,
                     copy: copy_id,
                     task: task_id,
                 });
-                (c, Some(finish))
+                Some(finish)
             };
 
-            if task_was_unscheduled {
+            if first_launch {
                 job.note_first_launch(task_id.phase, task_id.index);
                 alive.note_first_launch(job_idx, job);
+                first_launch = false;
             }
             job.note_copy_launched();
             if let Some(task) = job.task_mut(task_id.phase, task_id.index) {
-                task.add_copy(copy);
+                task.add_copy(copy_id, now);
             }
             if let Some(finish) = running_finish {
                 job.note_copy_running(task_id.phase, task_id.index, finish);
             }
-            stats.available -= 1;
-            stats.total_copies += 1;
+            ctx.stats.available -= 1;
         }
         Ok(())
     }
 
+    /// Cancels all but the `keep` most-progressed active copies of a task in
+    /// a single pass over its copy-id slice, reusing the run-level scratch
+    /// buffer (no per-call allocation, no membership rescan).
     fn cancel_copies(
         &mut self,
         task_id: TaskId,
         keep: usize,
         now: Slot,
-        stats: &mut RunStats,
+        ctx: &mut RunCtx,
+        queue: &mut EventQueue,
     ) -> Result<(), SimError> {
         let job_idx = task_id.job.as_usize();
         if job_idx >= self.jobs.len() {
             return Err(SimError::UnknownTask(task_id));
         }
+        let RunCtx {
+            stats,
+            arena,
+            cancel_scratch,
+            ..
+        } = ctx;
         let job = &mut self.jobs[job_idx];
         let task = match job.task_mut(task_id.phase, task_id.index) {
             Some(t) => t,
@@ -491,28 +579,50 @@ impl Simulation {
         if task.is_finished() {
             return Ok(());
         }
-        // Order active copies by progress (descending) and cancel the excess.
-        let mut active: Vec<(f64, CopyId)> = task
-            .copies()
-            .iter()
-            .filter(|c| c.is_active())
-            .map(|c| (c.progress(now), c.id))
-            .collect();
-        active.sort_by(|a, b| b.0.total_cmp(&a.0));
-        let to_cancel: Vec<CopyId> = active.iter().skip(keep).map(|&(_, id)| id).collect();
-        let mut released = 0usize;
-        let mut busy = 0u64;
-        for copy in task.copies_mut().iter_mut() {
-            if to_cancel.contains(&copy.id) {
-                copy.phase = CopyPhase::Cancelled;
-                copy.ended_at = Some(now);
-                released += 1;
-                busy += now.saturating_sub(copy.launched_at);
+        // Order active copies by progress (descending, stable so ties keep
+        // launch order) and cancel the excess in the same pass that computes
+        // the surviving earliest finish.
+        cancel_scratch.clear();
+        for &cid in task.copies() {
+            let copy = arena.get(cid);
+            if copy.is_active() {
+                cancel_scratch.push((copy.progress(now), cid));
             }
         }
-        let new_finish = task.copies().iter().filter_map(|c| c.finish_slot()).min();
+        if cancel_scratch.len() <= keep {
+            return Ok(());
+        }
+        cancel_scratch.sort_by(|a, b| b.0.total_cmp(&a.0));
+        let mut released = 0usize;
+        let mut busy = 0u64;
+        let mut waiting_cancelled = 0usize;
+        let mut new_finish: Option<Slot> = None;
+        for (pos, &(_, cid)) in cancel_scratch.iter().enumerate() {
+            if pos < keep {
+                if let Some(finish) = arena.get(cid).finish_slot() {
+                    new_finish = Some(new_finish.map_or(finish, |f: Slot| f.min(finish)));
+                }
+                continue;
+            }
+            let copy = arena.get_mut(cid);
+            let finish = copy.finish_slot();
+            if copy.phase == CopyPhase::WaitingForMapPhase {
+                waiting_cancelled += 1;
+            }
+            copy.phase = CopyPhase::Cancelled;
+            copy.ended_at = Some(now);
+            released += 1;
+            busy += now.saturating_sub(copy.launched_at);
+            if let Some(finish) = finish {
+                queue.retract(finish, cid);
+            }
+        }
+        task.note_copies_released(released);
         job.refresh_running_finish(task_id.phase, task_id.index, new_finish);
         job.note_copy_released(released);
+        if waiting_cancelled > 0 {
+            job.note_waiting_cancelled(waiting_cancelled);
+        }
         stats.available += released;
         stats.busy_machine_slots += busy;
         Ok(())
@@ -699,6 +809,30 @@ mod tests {
     }
 
     #[test]
+    fn ring_width_does_not_change_outcomes() {
+        // The calendar ring width is a pure performance knob: any width must
+        // produce the bit-identical trajectory (order comes from the
+        // (slot, kind, sequence) key, not from bucket geometry).
+        let trace = WorkloadBuilder::new()
+            .num_jobs(25)
+            .map_tasks_per_job(1, 6)
+            .reduce_tasks_per_job(0, 2)
+            .build(4);
+        let reference = Simulation::new(SimConfig::new(8).with_seed(3), &trace)
+            .run(&mut MaxCloneScheduler::new(3))
+            .unwrap();
+        for bits in [4, 6, 16] {
+            let outcome = Simulation::new(
+                SimConfig::new(8).with_seed(3).with_event_ring_bits(bits),
+                &trace,
+            )
+            .run(&mut MaxCloneScheduler::new(3))
+            .unwrap();
+            assert_eq!(outcome, reference, "ring bits {bits} diverged");
+        }
+    }
+
+    #[test]
     fn larger_cluster_is_not_slower() {
         let trace = WorkloadBuilder::new()
             .num_jobs(30)
@@ -732,6 +866,58 @@ mod tests {
             .run(&mut Bogus)
             .unwrap_err();
         assert!(matches!(err, SimError::UnknownTask(_)));
+    }
+
+    #[test]
+    fn cancel_copies_trims_to_the_most_progressed() {
+        // Launch 3 clones of one long task, then cancel down to 1: the
+        // survivor must be the earliest-launched (most progressed) copy, the
+        // two cancelled copies must release their machines immediately, and
+        // the retracted finish events must not linger.
+        struct CancelAfter {
+            cancelled: bool,
+        }
+        impl Scheduler for CancelAfter {
+            fn name(&self) -> &str {
+                "cancel-after"
+            }
+            fn wakeup_interval(&self) -> Option<Slot> {
+                Some(5)
+            }
+            fn schedule(&mut self, state: &ClusterState<'_>) -> Vec<Action> {
+                let job = state.job(JobId::new(0)).unwrap();
+                let task = job.task(Phase::Map, 0).unwrap();
+                if task.is_unscheduled() {
+                    return vec![Action::Launch {
+                        task: task.id(),
+                        copies: 3,
+                    }];
+                }
+                if !self.cancelled && state.now() >= 5 && !task.is_finished() {
+                    self.cancelled = true;
+                    return vec![Action::CancelCopies {
+                        task: task.id(),
+                        keep: 1,
+                    }];
+                }
+                Vec::new()
+            }
+        }
+        let trace = Trace::new(vec![JobSpecBuilder::new(JobId::new(0))
+            .map_tasks_from_workloads(&[20.0])
+            .build()])
+        .unwrap();
+        let outcome = Simulation::new(
+            SimConfig::new(3).with_seed(1).with_resample_clones(false),
+            &trace,
+        )
+        .run(&mut CancelAfter { cancelled: false })
+        .unwrap();
+        // All copies run the same 20-slot workload, so the survivor finishes
+        // at 20; the two cancelled clones were busy for 5 slots each.
+        assert_eq!(outcome.record(JobId::new(0)).unwrap().completion, 20);
+        assert_eq!(outcome.total_copies, 3);
+        assert_eq!(outcome.busy_machine_slots, 20 + 5 + 5);
     }
 
     #[test]

@@ -12,6 +12,22 @@
 //! [`Action`]s. The paper's algorithms (crate `mapreduce-sched`) and all the
 //! baselines (crate `mapreduce-baselines`) are implementations of this trait.
 //!
+//! # Event path
+//!
+//! Event delivery is a slot-granular **calendar queue**
+//! ([`events::EventQueue`]): a ring of `2^`[`SimConfig::event_ring_bits`]
+//! per-slot buckets (default 2048) with a `BTreeMap` overflow for far-future
+//! slots, giving `O(1)` amortized push/pop while reproducing the
+//! `(slot, kind, sequence)` heap order bit-for-bit. Each decision instant is
+//! drained as one batch (the bucket is sorted once), copy records live in a
+//! run-level [`CopyArena`] indexed by [`CopyId`] so completions resolve in
+//! `O(1)`, and cancelled copies **retract** their queued finish events —
+//! buckets compact once half their entries are stale, leaving tombstoned
+//! instants that still wake the engine exactly like the old lazily-deleted
+//! entries did. The frozen pre-calendar heap ([`events::HeapEventQueue`]) is
+//! kept as the ordering oracle for the side-by-side equivalence proptests
+//! and the `event_path` benchmark.
+//!
 //! # Incremental scheduler state
 //!
 //! Per-decision cost is proportional to the work actually touched, not to
@@ -35,10 +51,18 @@
 //!   instant) that a scheduler opts into via [`Scheduler::priority_r`] and
 //!   consumes through [`ClusterState::ranked_entries`].
 //!
+//! The running free-list and the running-by-finish order are maintained only
+//! for schedulers that declare them through [`Scheduler::index_demands`] —
+//! keeping a sorted index current costs `O(running width)` memmove per
+//! launch/finish, a real tax on wide jobs under schedulers that never read
+//! it.
+//!
 //! The invariants of each structure are documented on the items themselves;
 //! the golden-equivalence suite (`tests/tests/golden_equivalence.rs`) pins
 //! every optimized scheduler to a frozen pre-optimization reference
-//! bit-for-bit.
+//! bit-for-bit, and a dedicated proptest drives the calendar queue against
+//! the frozen heap over randomized streams
+//! (`tests/tests/event_queue_equivalence.rs`).
 //!
 //! # Quick example
 //!
@@ -67,12 +91,13 @@ pub mod speedup;
 pub mod state;
 
 pub use config::{SimConfig, StragglerModel};
-pub use copy::{CopyId, CopyInfo, CopyPhase};
+pub use copy::{CopyArena, CopyId, CopyInfo, CopyPhase};
 pub use engine::Simulation;
 pub use error::SimError;
-pub use events::{Event, EventQueue};
+pub use events::{Event, EventQueue, HeapEventQueue, StaleStats};
 pub use result::{JobRecord, SimOutcome};
 pub use speedup::{LinearCappedSpeedup, NoSpeedup, ParetoSpeedup, SpeedupFunction};
 pub use state::{
-    Action, AliveIndex, ClusterState, JobState, Scheduler, Slot, TaskState, TaskStatus,
+    Action, AliveIndex, ClusterState, IndexDemands, JobState, Scheduler, Slot, TaskState,
+    TaskStatus,
 };

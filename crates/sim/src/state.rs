@@ -6,7 +6,7 @@
 //! references and communicate decisions back through [`Action`] values, which
 //! keeps every scheduling algorithm trivially deterministic and replayable.
 
-use crate::copy::{CopyInfo, CopyPhase};
+use crate::copy::{CopyArena, CopyId, CopyList, CopyPhase};
 use mapreduce_support::json::{FromJson, JsonError, JsonValue, ToJson};
 use mapreduce_workload::{JobId, JobSpec, Phase, TaskId};
 
@@ -27,18 +27,25 @@ pub enum TaskStatus {
 }
 
 /// Per-task runtime state.
+///
+/// The copies themselves live in the run-level [`CopyArena`]; the task keeps
+/// a small slice of [`CopyId`]s (typically one, a handful under cloning) plus
+/// cached aggregates, so per-copy queries index the arena instead of owning
+/// the records.
 #[derive(Debug, Clone)]
 pub struct TaskState {
     id: TaskId,
     workload: f64,
     status: TaskStatus,
-    copies: Vec<CopyInfo>,
+    copies: CopyList,
+    /// Cached number of copies currently occupying machines.
+    active: usize,
     first_launched_at: Option<Slot>,
     finished_at: Option<Slot>,
     /// Cached earliest finish slot across this task's *running* copies.
     /// Mirrors `min_remaining(now) + now`; maintained by the engine so the
     /// per-phase running-by-finish index can locate entries without scanning
-    /// the copy vector. `None` while no copy is running.
+    /// the copy list. `None` while no copy is running.
     running_finish: Option<Slot>,
 }
 
@@ -48,7 +55,8 @@ impl TaskState {
             id,
             workload,
             status: TaskStatus::Unscheduled,
-            copies: Vec::new(),
+            copies: CopyList::default(),
+            active: 0,
             first_launched_at: None,
             finished_at: None,
             running_finish: None,
@@ -81,14 +89,17 @@ impl TaskState {
         self.status == TaskStatus::Finished
     }
 
-    /// Every copy ever launched for this task (active, finished or cancelled).
-    pub fn copies(&self) -> &[CopyInfo] {
-        &self.copies
+    /// Ids of every copy ever launched for this task (active, finished or
+    /// cancelled), in launch order. Resolve them through the run's
+    /// [`CopyArena`] ([`ClusterState::copies`]).
+    pub fn copies(&self) -> &[CopyId] {
+        self.copies.as_slice()
     }
 
-    /// Number of copies currently occupying machines.
+    /// Number of copies currently occupying machines. `O(1)`: the engine
+    /// maintains the count across launches, completions and cancellations.
     pub fn active_copies(&self) -> usize {
-        self.copies.iter().filter(|c| c.is_active()).count()
+        self.active
     }
 
     /// Slot of the first launch, if any.
@@ -102,9 +113,11 @@ impl TaskState {
     }
 
     /// Best (largest) progress fraction across the task's copies at `now`.
-    pub fn best_progress(&self, now: Slot) -> f64 {
+    pub fn best_progress(&self, copies: &CopyArena, now: Slot) -> f64 {
         self.copies
+            .as_slice()
             .iter()
+            .map(|&id| copies.get(id))
             .filter(|c| c.phase != CopyPhase::Cancelled)
             .map(|c| c.progress(now))
             .fold(0.0, f64::max)
@@ -112,9 +125,11 @@ impl TaskState {
 
     /// Smallest remaining processing time across running copies at `now`
     /// (`None` if nothing is running).
-    pub fn min_remaining(&self, now: Slot) -> Option<Slot> {
+    pub fn min_remaining(&self, copies: &CopyArena, now: Slot) -> Option<Slot> {
         self.copies
+            .as_slice()
             .iter()
+            .map(|&id| copies.get(id))
             .filter(|c| c.phase == CopyPhase::Running)
             .map(|c| c.remaining(now))
             .min()
@@ -123,9 +138,11 @@ impl TaskState {
     /// Elapsed processing time of the oldest active copy at `now`, zero if no
     /// copy is active. Detection-based schedulers use this as the "age" of
     /// the task attempt.
-    pub fn oldest_active_elapsed(&self, now: Slot) -> Slot {
+    pub fn oldest_active_elapsed(&self, copies: &CopyArena, now: Slot) -> Slot {
         self.copies
+            .as_slice()
             .iter()
+            .map(|&id| copies.get(id))
             .filter(|c| c.is_active())
             .map(|c| c.elapsed(now))
             .max()
@@ -134,18 +151,21 @@ impl TaskState {
 
     // ----- engine-internal mutation -----
 
-    pub(crate) fn add_copy(&mut self, copy: CopyInfo) {
+    pub(crate) fn add_copy(&mut self, id: CopyId, launched_at: Slot) {
         if self.first_launched_at.is_none() {
-            self.first_launched_at = Some(copy.launched_at);
+            self.first_launched_at = Some(launched_at);
         }
         if self.status == TaskStatus::Unscheduled {
             self.status = TaskStatus::Scheduled;
         }
-        self.copies.push(copy);
+        self.copies.push(id);
+        self.active += 1;
     }
 
-    pub(crate) fn copies_mut(&mut self) -> &mut Vec<CopyInfo> {
-        &mut self.copies
+    /// Records that `count` of this task's copies left their machines
+    /// (finished or cancelled).
+    pub(crate) fn note_copies_released(&mut self, count: usize) {
+        self.active = self.active.saturating_sub(count);
     }
 
     pub(crate) fn mark_finished(&mut self, at: Slot) {
@@ -207,6 +227,35 @@ impl PhaseIndex {
     }
 }
 
+/// Which optional per-job indices the engine should maintain, declared by a
+/// [`Scheduler`] through [`Scheduler::index_demands`].
+///
+/// Keeping a sorted index current costs `O(width)` memmove per launch and
+/// completion, where width is the number of concurrently running tasks of a
+/// job — a real tax on wide jobs (hundreds of tasks) under schedulers that
+/// never read the index. The engine therefore maintains each one only when
+/// the scheduler declares it. Hand-built [`JobState`]s (unit tests, scheduler
+/// crates) maintain everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IndexDemands {
+    /// Maintain the per-phase running free-list ([`JobState::running_tasks`],
+    /// `running` in the phase index). Needed by LATE-style scans over running
+    /// work.
+    pub running_list: bool,
+    /// Maintain the per-phase running-by-finish order
+    /// ([`JobState::running_by_finish`]). Needed by Mantri-style straggler
+    /// cutoffs.
+    pub finish_index: bool,
+}
+
+impl IndexDemands {
+    /// Every index maintained (the default for hand-built job states).
+    pub const ALL: IndexDemands = IndexDemands {
+        running_list: true,
+        finish_index: true,
+    };
+}
+
 /// Per-job runtime state: the static [`JobSpec`] plus the dynamic progress of
 /// all its tasks.
 #[derive(Debug, Clone)]
@@ -222,6 +271,16 @@ pub struct JobState {
     active_copies: usize,
     copies_launched: usize,
     completed_at: Option<Slot>,
+    /// Reduce copies launched before the Map phase completed, as
+    /// `(task index, copy id)` in launch order. Consumed wholesale when the
+    /// Map phase finishes; entries whose copy was cancelled in the meantime
+    /// are skipped at activation (the counter below stays exact).
+    waiting_reduce: Vec<(u32, CopyId)>,
+    /// Exact number of copies currently in
+    /// [`CopyPhase::WaitingForMapPhase`].
+    waiting_copies: usize,
+    /// Which optional indices to keep current (see [`IndexDemands`]).
+    track: IndexDemands,
 }
 
 impl JobState {
@@ -253,10 +312,19 @@ impl JobState {
             active_copies: 0,
             copies_launched: 0,
             completed_at: None,
+            waiting_reduce: Vec::new(),
+            waiting_copies: 0,
+            track: IndexDemands::ALL,
             map_tasks,
             reduce_tasks,
             spec,
         }
+    }
+
+    /// Restricts which optional indices are maintained; the engine calls this
+    /// once per run with the scheduler's [`Scheduler::index_demands`].
+    pub(crate) fn set_index_tracking(&mut self, demands: IndexDemands) {
+        self.track = demands;
     }
 
     fn phase_index(&self, phase: Phase) -> &PhaseIndex {
@@ -376,8 +444,13 @@ impl JobState {
     /// Tasks of a phase that are scheduled (running) but not finished.
     ///
     /// Backed by the per-phase free-list: iteration is `O(running)`, not
-    /// `O(tasks)`.
+    /// `O(tasks)`. Maintained only when the scheduler declares
+    /// [`IndexDemands::running_list`] (empty otherwise).
     pub fn running_tasks(&self, phase: Phase) -> impl Iterator<Item = &TaskState> {
+        debug_assert!(
+            self.track.running_list,
+            "running_tasks read without declaring IndexDemands::running_list"
+        );
         let tasks = self.tasks(phase);
         self.phase_index(phase)
             .running
@@ -391,8 +464,13 @@ impl JobState {
     ///
     /// Detection-based schedulers (Mantri) use `partition_point` on this
     /// slice to examine only the straggler tail instead of rescanning every
-    /// running task on every wakeup.
+    /// running task on every wakeup. Maintained only when the scheduler
+    /// declares [`IndexDemands::finish_index`] (empty otherwise).
     pub fn running_by_finish(&self, phase: Phase) -> &[(Slot, u32)] {
+        debug_assert!(
+            self.track.finish_index,
+            "running_by_finish read without declaring IndexDemands::finish_index"
+        );
         &self.phase_index(phase).running_by_finish
     }
 
@@ -419,6 +497,14 @@ impl JobState {
     /// (`σ_i(l)` in the paper).
     pub fn active_copies(&self) -> usize {
         self.active_copies
+    }
+
+    /// Number of this job's copies currently waiting for the Map phase
+    /// (reduce copies launched early). `O(1)`; lets the engine skip the
+    /// activation pass entirely for jobs that never launched a reduce copy
+    /// ahead of its precedence constraint.
+    pub fn waiting_copies(&self) -> usize {
+        self.waiting_copies
     }
 
     /// Total number of copies launched for this job so far (original attempts
@@ -456,12 +542,16 @@ impl JobState {
     }
 
     /// Records the first launch of task `index`: moves it from the
-    /// unscheduled free-list to the running free-list.
+    /// unscheduled free-list to the running free-list (the latter only when
+    /// the scheduler demands it).
     pub(crate) fn note_first_launch(&mut self, phase: Phase, index: u32) {
+        let track_running = self.track.running_list;
         let pi = self.phase_index_mut(phase);
         pi.remove_unscheduled(index);
-        if let Err(pos) = pi.running.binary_search(&index) {
-            pi.running.insert(pos, index);
+        if track_running {
+            if let Err(pos) = pi.running.binary_search(&index) {
+                pi.running.insert(pos, index);
+            }
         }
     }
 
@@ -474,10 +564,35 @@ impl JobState {
         self.active_copies = self.active_copies.saturating_sub(count);
     }
 
+    /// Records a reduce copy launched ahead of the Map phase: it joins the
+    /// per-job waiting list the activation pass consumes.
+    pub(crate) fn note_copy_waiting(&mut self, index: u32, id: CopyId) {
+        self.waiting_reduce.push((index, id));
+        self.waiting_copies += 1;
+    }
+
+    /// Records the cancellation of `count` waiting copies (their entries in
+    /// the waiting list go stale and are skipped at activation).
+    pub(crate) fn note_waiting_cancelled(&mut self, count: usize) {
+        self.waiting_copies = self.waiting_copies.saturating_sub(count);
+    }
+
+    /// Hands the waiting-copy list to the caller (swapping in `into`'s
+    /// storage so the allocation is reused) and zeroes the counter. Called by
+    /// the engine exactly when the Map phase completes.
+    pub(crate) fn take_waiting_reduce(&mut self, into: &mut Vec<(u32, CopyId)>) {
+        into.clear();
+        std::mem::swap(&mut self.waiting_reduce, into);
+        self.waiting_copies = 0;
+    }
+
     /// Records that a copy of task `index` started running and will finish at
     /// `finish` unless cancelled: keeps the running-by-finish index keyed by
     /// the task's earliest running finish slot.
     pub(crate) fn note_copy_running(&mut self, phase: Phase, index: u32, finish: Slot) {
+        if !self.track.finish_index {
+            return;
+        }
         let old = match self.task(phase, index) {
             Some(task) => task.running_finish,
             None => return,
@@ -509,6 +624,9 @@ impl JobState {
         index: u32,
         new_finish: Option<Slot>,
     ) {
+        if !self.track.finish_index {
+            return;
+        }
         let old = match self.task(phase, index) {
             Some(task) => task.running_finish,
             None => return,
@@ -541,9 +659,12 @@ impl JobState {
             Phase::Reduce => self.unfinished_reduce = self.unfinished_reduce.saturating_sub(1),
         }
         let old = self.task(phase, index).and_then(|t| t.running_finish);
+        let track_running = self.track.running_list;
         let pi = self.phase_index_mut(phase);
-        if let Ok(pos) = pi.running.binary_search(&index) {
-            pi.running.remove(pos);
+        if track_running {
+            if let Ok(pos) = pi.running.binary_search(&index) {
+                pi.running.remove(pos);
+            }
         }
         if let Some(old) = old {
             if let Ok(pos) = pi.running_by_finish.binary_search(&(old, index)) {
@@ -825,6 +946,8 @@ pub struct ClusterState<'a> {
     available_machines: usize,
     jobs: &'a [JobState],
     alive: &'a [usize],
+    /// The run's copy storage; per-copy task queries resolve ids against it.
+    copies: &'a CopyArena,
     /// Aggregates carried over from an [`AliveIndex`], when the snapshot was
     /// built incrementally by the engine. `None` for hand-built snapshots.
     cached_weight: Option<f64>,
@@ -847,6 +970,7 @@ impl<'a> ClusterState<'a> {
         available_machines: usize,
         jobs: &'a [JobState],
         alive: &'a [usize],
+        copies: &'a CopyArena,
     ) -> Self {
         ClusterState {
             now,
@@ -854,6 +978,7 @@ impl<'a> ClusterState<'a> {
             available_machines,
             jobs,
             alive,
+            copies,
             cached_weight: None,
             cached_unscheduled: None,
             arrival_order: None,
@@ -868,6 +993,7 @@ impl<'a> ClusterState<'a> {
         total_machines: usize,
         available_machines: usize,
         jobs: &'a [JobState],
+        copies: &'a CopyArena,
         index: &'a AliveIndex,
     ) -> Self {
         ClusterState {
@@ -876,6 +1002,7 @@ impl<'a> ClusterState<'a> {
             available_machines,
             jobs,
             alive: index.alive(),
+            copies,
             cached_weight: Some(index.total_weight()),
             cached_unscheduled: Some(index.total_unscheduled()),
             arrival_order: Some(index.alive_by_arrival()),
@@ -886,6 +1013,14 @@ impl<'a> ClusterState<'a> {
     /// The current slot.
     pub fn now(&self) -> Slot {
         self.now
+    }
+
+    /// The run-level copy storage. Pass it to the per-copy task queries
+    /// ([`TaskState::best_progress`], [`TaskState::min_remaining`],
+    /// [`TaskState::oldest_active_elapsed`]) or index it directly with a
+    /// [`CopyId`] from [`TaskState::copies`].
+    pub fn copies(&self) -> &'a CopyArena {
+        self.copies
     }
 
     /// Total number of machines `M` in the cluster.
@@ -1070,6 +1205,18 @@ pub trait Scheduler {
         None
     }
 
+    /// Which optional per-job indices the engine should maintain for this
+    /// scheduler (see [`IndexDemands`]).
+    ///
+    /// Schedulers that consume [`JobState::running_tasks`] or
+    /// [`JobState::running_by_finish`] must declare it here; the engine skips
+    /// the corresponding bookkeeping otherwise (an undeclared index reads as
+    /// empty). Maintenance has no effect on simulation outcomes — the indices
+    /// are derived state — so this is purely a performance contract.
+    fn index_demands(&self) -> IndexDemands {
+        IndexDemands::default()
+    }
+
     /// Pessimism factor `r` for which the engine should maintain the alive
     /// jobs pre-ranked by `w_i / U_i(l)` (Equation (4)).
     ///
@@ -1092,7 +1239,7 @@ pub trait Scheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::copy::CopyId;
+    use crate::copy::CopyInfo;
     use mapreduce_workload::{JobSpecBuilder, PhaseStats};
 
     fn job_state() -> JobState {
@@ -1137,12 +1284,9 @@ mod tests {
         js.mark_arrived();
         assert!(js.is_alive());
 
-        let tid = TaskId::new(JobId::new(0), Phase::Map, 0);
         js.note_first_launch(Phase::Map, 0);
         js.note_copy_launched();
-        js.task_mut(Phase::Map, 0)
-            .unwrap()
-            .add_copy(CopyInfo::running(CopyId(0), tid, 5, 10));
+        js.task_mut(Phase::Map, 0).unwrap().add_copy(CopyId(0), 5);
         js.note_copy_running(Phase::Map, 0, 15);
         assert_eq!(js.num_unscheduled(Phase::Map), 1);
         assert_eq!(js.active_copies(), 1);
@@ -1169,24 +1313,16 @@ mod tests {
     fn running_by_finish_tracks_the_earliest_running_copy() {
         let mut js = job_state();
         js.mark_arrived();
-        let tid0 = TaskId::new(JobId::new(0), Phase::Map, 0);
-        let tid1 = TaskId::new(JobId::new(0), Phase::Map, 1);
         js.note_first_launch(Phase::Map, 0);
-        js.task_mut(Phase::Map, 0)
-            .unwrap()
-            .add_copy(CopyInfo::running(CopyId(0), tid0, 0, 30));
+        js.task_mut(Phase::Map, 0).unwrap().add_copy(CopyId(0), 0);
         js.note_copy_running(Phase::Map, 0, 30);
         js.note_first_launch(Phase::Map, 1);
-        js.task_mut(Phase::Map, 1)
-            .unwrap()
-            .add_copy(CopyInfo::running(CopyId(1), tid1, 0, 10));
+        js.task_mut(Phase::Map, 1).unwrap().add_copy(CopyId(1), 0);
         js.note_copy_running(Phase::Map, 1, 10);
         assert_eq!(js.running_by_finish(Phase::Map), &[(10, 1), (30, 0)]);
 
         // A faster clone of task 0 re-keys its entry to the earlier finish.
-        js.task_mut(Phase::Map, 0)
-            .unwrap()
-            .add_copy(CopyInfo::running(CopyId(2), tid0, 2, 3));
+        js.task_mut(Phase::Map, 0).unwrap().add_copy(CopyId(2), 2);
         js.note_copy_running(Phase::Map, 0, 5);
         assert_eq!(js.running_by_finish(Phase::Map), &[(5, 0), (10, 1)]);
         // A slower clone leaves the key untouched.
@@ -1203,25 +1339,48 @@ mod tests {
 
     #[test]
     fn task_state_progress_tracking() {
+        let mut arena = CopyArena::new();
         let mut ts = TaskState::new(TaskId::new(JobId::new(1), Phase::Map, 0), 50.0);
         assert!(ts.is_unscheduled());
-        assert_eq!(ts.best_progress(100), 0.0);
-        assert_eq!(ts.min_remaining(100), None);
+        assert_eq!(ts.best_progress(&arena, 100), 0.0);
+        assert_eq!(ts.min_remaining(&arena, 100), None);
 
-        ts.add_copy(CopyInfo::running(CopyId(1), ts.id(), 0, 50));
-        ts.add_copy(CopyInfo::running(CopyId(2), ts.id(), 10, 40));
+        let c0 = arena.alloc(CopyInfo::running(arena.next_id(), ts.id(), 0, 50));
+        ts.add_copy(c0, 0);
+        let c1 = arena.alloc(CopyInfo::running(arena.next_id(), ts.id(), 10, 40));
+        ts.add_copy(c1, 10);
         assert_eq!(ts.status(), TaskStatus::Scheduled);
         assert_eq!(ts.active_copies(), 2);
+        assert_eq!(ts.copies(), &[c0, c1]);
         assert_eq!(ts.first_launched_at(), Some(0));
-        // At slot 30: copy 1 has 30/50 = 0.6 progress, copy 2 has 20/40 = 0.5.
-        assert!((ts.best_progress(30) - 0.6).abs() < 1e-12);
-        // Remaining: copy 1 → 20, copy 2 → 20.
-        assert_eq!(ts.min_remaining(30), Some(20));
-        assert_eq!(ts.oldest_active_elapsed(30), 30);
+        // At slot 30: copy 0 has 30/50 = 0.6 progress, copy 1 has 20/40 = 0.5.
+        assert!((ts.best_progress(&arena, 30) - 0.6).abs() < 1e-12);
+        // Remaining: copy 0 → 20, copy 1 → 20.
+        assert_eq!(ts.min_remaining(&arena, 30), Some(20));
+        assert_eq!(ts.oldest_active_elapsed(&arena, 30), 30);
 
+        ts.note_copies_released(2);
+        assert_eq!(ts.active_copies(), 0);
         ts.mark_finished(50);
         assert!(ts.is_finished());
         assert_eq!(ts.finished_at(), Some(50));
+    }
+
+    #[test]
+    fn waiting_copy_bookkeeping() {
+        let mut js = job_state();
+        js.mark_arrived();
+        assert_eq!(js.waiting_copies(), 0);
+        js.note_copy_waiting(0, CopyId(0));
+        js.note_copy_waiting(0, CopyId(1));
+        assert_eq!(js.waiting_copies(), 2);
+        js.note_waiting_cancelled(1);
+        assert_eq!(js.waiting_copies(), 1);
+        let mut drained = Vec::new();
+        js.take_waiting_reduce(&mut drained);
+        // The list keeps stale (cancelled) entries; the counter is exact.
+        assert_eq!(drained, vec![(0, CopyId(0)), (0, CopyId(1))]);
+        assert_eq!(js.waiting_copies(), 0);
     }
 
     #[test]
@@ -1236,7 +1395,8 @@ mod tests {
         j1.mark_arrived();
         let jobs = vec![j0, j1];
         let alive = vec![0usize, 1usize];
-        let state = ClusterState::new(7, 10, 4, &jobs, &alive);
+        let copies = CopyArena::new();
+        let state = ClusterState::new(7, 10, 4, &jobs, &alive, &copies);
         assert_eq!(state.now(), 7);
         assert_eq!(state.total_machines(), 10);
         assert_eq!(state.available_machines(), 4);
@@ -1358,16 +1518,17 @@ mod tests {
         let mut j0 = job_state();
         j0.mark_arrived();
         let jobs = vec![j0];
+        let copies = CopyArena::new();
         let mut index = AliveIndex::new();
         index.insert(0, &jobs[0]);
-        let state = ClusterState::from_index(5, 8, 8, &jobs, &index);
+        let state = ClusterState::from_index(5, 8, 8, &jobs, &copies, &index);
         assert_eq!(state.num_alive_jobs(), 1);
         assert!((state.total_alive_weight() - jobs[0].weight()).abs() < 1e-12);
         assert_eq!(state.total_unscheduled_tasks(), 3);
 
         // Hand-built snapshots fall back to scanning.
         let alive = vec![0usize];
-        let scanned = ClusterState::new(5, 8, 8, &jobs, &alive);
+        let scanned = ClusterState::new(5, 8, 8, &jobs, &alive, &copies);
         assert_eq!(
             scanned.total_unscheduled_tasks(),
             state.total_unscheduled_tasks()

@@ -1,0 +1,147 @@
+//! Side-by-side equivalence of the calendar event queue and the frozen
+//! binary-heap reference.
+//!
+//! The engine's trajectory is fully determined by the sequence of delivered
+//! events and the sequence of decision instants. These properties drive the
+//! new [`EventQueue`] (calendar/bucket) and the frozen [`HeapEventQueue`]
+//! over identical randomized streams — arrivals and finishes, same-slot
+//! ties, far-future overflow slots, and retractions of queued finishes — and
+//! assert that
+//!
+//! * both queues report the **same next instant** at every step (the
+//!   calendar's tombstoned instants stand in for the heap's lazily deleted
+//!   stale entries), and
+//! * both deliver the **same live events in the same order**, where the heap
+//!   side models the engine's historical pop-time staleness check by
+//!   filtering retracted copies after popping.
+
+use mapreduce_sim::{CopyId, Event, EventQueue, HeapEventQueue};
+use mapreduce_support::proptest::prelude::*;
+use mapreduce_support::rng::{Rng, SimRng};
+use mapreduce_workload::{JobId, Phase, TaskId};
+use std::collections::HashSet;
+
+fn finish_event(at: u64, copy: u64) -> Event {
+    Event::CopyFinish {
+        at,
+        copy: CopyId(copy),
+        task: TaskId::new(JobId::new(copy % 7), Phase::Map, (copy % 13) as u32),
+    }
+}
+
+/// Drives both queues with one randomized stream and checks peek and pop
+/// parity throughout. Returns an error string on divergence (proptest style).
+fn drive(seed: u64, ops: usize, ring_bits: u8) -> Result<(), String> {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut calendar = EventQueue::with_ring_bits(ring_bits);
+    let mut heap = HeapEventQueue::new();
+
+    let mut now: u64 = 0;
+    let mut next_copy: u64 = 0;
+    let mut next_job: usize = 0;
+    // Queued (slot, copy) finish entries that are still retractable.
+    let mut retractable: Vec<(u64, u64)> = Vec::new();
+    let mut retracted: HashSet<u64> = HashSet::new();
+    let mut drained = Vec::new();
+
+    for _ in 0..ops {
+        match rng.gen_range(0u32..10) {
+            // Push a burst of events; small offsets force same-slot ties,
+            // huge offsets land in the calendar's overflow map.
+            0..=5 => {
+                let burst = rng.gen_range(1usize..4);
+                for _ in 0..burst {
+                    let offset = match rng.gen_range(0u32..10) {
+                        0..=5 => rng.gen_range(1u64..8),
+                        6..=8 => rng.gen_range(8u64..5_000),
+                        _ => rng.gen_range(5_000u64..2_000_000),
+                    };
+                    let slot = now + offset;
+                    if rng.gen_range(0u32..5) == 0 {
+                        let event = Event::JobArrival {
+                            at: slot,
+                            job_index: next_job,
+                        };
+                        next_job += 1;
+                        calendar.push(event);
+                        heap.push(event);
+                    } else {
+                        let event = finish_event(slot, next_copy);
+                        retractable.push((slot, next_copy));
+                        next_copy += 1;
+                        calendar.push(event);
+                        heap.push(event);
+                    }
+                }
+            }
+            // Retract a random still-future finish (as first-copy-wins and
+            // CancelCopies do). The heap models the engine's historical
+            // behaviour: the entry stays queued and is skipped at pop time.
+            6..=7 => {
+                retractable.retain(|&(slot, _)| slot > now);
+                if !retractable.is_empty() {
+                    let pick = rng.gen_range(0usize..retractable.len());
+                    let (slot, copy) = retractable.swap_remove(pick);
+                    calendar.retract(slot, CopyId(copy));
+                    retracted.insert(copy);
+                }
+            }
+            // Advance to the next instant (occasionally past it) and drain.
+            _ => {
+                prop_assert_eq!(calendar.peek_slot(), heap.peek_slot());
+                let Some(next) = calendar.peek_slot() else {
+                    continue;
+                };
+                now = next
+                    + if rng.gen_range(0u32..4) == 0 {
+                        rng.gen_range(0u64..20)
+                    } else {
+                        0
+                    };
+                drained.clear();
+                calendar.drain_due(now, &mut drained);
+                let mut heap_live = Vec::new();
+                while let Some(event) = heap.pop_due(now) {
+                    let stale = matches!(event, Event::CopyFinish { copy, .. }
+                        if retracted.contains(&copy.0));
+                    if !stale {
+                        heap_live.push(event);
+                    }
+                }
+                prop_assert_eq!(&drained, &heap_live);
+            }
+        }
+    }
+
+    // Final drain: everything left must still agree.
+    prop_assert_eq!(calendar.peek_slot(), heap.peek_slot());
+    drained.clear();
+    calendar.drain_due(u64::MAX, &mut drained);
+    let mut heap_live = Vec::new();
+    while let Some(event) = heap.pop_due(u64::MAX) {
+        let stale = matches!(event, Event::CopyFinish { copy, .. }
+            if retracted.contains(&copy.0));
+        if !stale {
+            heap_live.push(event);
+        }
+    }
+    prop_assert_eq!(&drained, &heap_live);
+    prop_assert!(calendar.is_empty(), "calendar not empty after full drain");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn calendar_queue_matches_heap_reference(
+        seed in 0u64..1_000_000,
+        ops in 50usize..400,
+        ring_sel in 0usize..3,
+    ) {
+        // Exercise a tiny ring (constant wrap + overflow churn), a mid-size
+        // one, and the engine default.
+        let ring_bits = [4u8, 8, 11][ring_sel];
+        drive(seed, ops, ring_bits)?;
+    }
+}

@@ -11,7 +11,7 @@
 
 use mapreduce_baselines::{
     FairScheduler, Fifo, Late, Mantri, ReferenceFair, ReferenceFifo, ReferenceLate,
-    ReferenceMantri, ReferenceSca, Sca,
+    ReferenceMantri, ReferenceRestart, ReferenceSca, Restart, Sca,
 };
 use mapreduce_sched::{ReferenceSrptMsC, SrptMsC};
 use mapreduce_sim::{Scheduler, SimConfig, SimOutcome, Simulation, StragglerModel};
@@ -135,6 +135,28 @@ proptest! {
     }
 
     #[test]
+    fn golden_restart_matches_reference(
+        jobs in 5usize..30,
+        machines in 4usize..48,
+        seed in 0u64..1000,
+        map_mean in 20.0f64..200.0,
+    ) {
+        // The cancellation-heavy path: every detected straggler is killed
+        // (CancelCopies, exercising event retraction and the running-finish
+        // re-keying) and relaunched. The heavy-tailed workload plus machine
+        // stragglers guarantees restarts actually fire.
+        let trace = random_trace(jobs, seed, 25.0, map_mean);
+        assert_equivalent(
+            "restart",
+            &mut Restart::new(),
+            &mut ReferenceRestart::new(),
+            &trace,
+            machines,
+            seed,
+        )?;
+    }
+
+    #[test]
     fn golden_fair_fifo_sca_match_references(
         jobs in 5usize..30,
         machines in 4usize..48,
@@ -170,6 +192,7 @@ fn golden_bench_scenario_matches_reference() {
         ),
         (Box::new(Mantri::new()), Box::new(ReferenceMantri::new())),
         (Box::new(Late::new()), Box::new(ReferenceLate::new())),
+        (Box::new(Restart::new()), Box::new(ReferenceRestart::new())),
         (
             Box::new(FairScheduler::new()),
             Box::new(ReferenceFair::new()),
