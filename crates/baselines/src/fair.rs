@@ -26,14 +26,29 @@ use std::collections::BinaryHeap;
 /// [`fair_fill_unweighted`] instead, because those systems have no notion of
 /// per-job weights.
 pub fn fair_fill(jobs: &[&JobState], budget: usize) -> Vec<Action> {
-    fill(jobs, budget, true)
+    let mut actions = Vec::new();
+    fill(jobs, budget, true, &mut actions);
+    actions
 }
 
 /// Same as [`fair_fill`] but ignoring job weights (every alive job gets an
 /// equal share), which is how Hadoop/Dryad schedule jobs underneath Mantri
 /// and LATE.
 pub fn fair_fill_unweighted(jobs: &[&JobState], budget: usize) -> Vec<Action> {
-    fill(jobs, budget, false)
+    let mut actions = Vec::new();
+    fill(jobs, budget, false, &mut actions);
+    actions
+}
+
+/// Allocation-free variant of [`fair_fill`]: appends into a caller-owned
+/// buffer (the scheduler-owned action buffer the engine recycles).
+pub fn fair_fill_into(jobs: &[&JobState], budget: usize, actions: &mut Vec<Action>) {
+    fill(jobs, budget, true, actions);
+}
+
+/// Allocation-free variant of [`fair_fill_unweighted`].
+pub fn fair_fill_unweighted_into(jobs: &[&JobState], budget: usize, actions: &mut Vec<Action>) {
+    fill(jobs, budget, false, actions);
 }
 
 /// An `occupied / weight` ratio ordered with `f64::total_cmp`, so the heap
@@ -62,10 +77,9 @@ impl Ord for Ratio {
     }
 }
 
-fn fill(jobs: &[&JobState], mut budget: usize, weighted: bool) -> Vec<Action> {
-    let mut actions = Vec::new();
+fn fill(jobs: &[&JobState], mut budget: usize, weighted: bool, actions: &mut Vec<Action>) {
     if budget == 0 || jobs.is_empty() {
-        return actions;
+        return;
     }
     // Per-job launch cursors over the engine-maintained unscheduled
     // free-lists (no per-call collection) and dynamic occupancy.
@@ -146,7 +160,6 @@ fn fill(jobs: &[&JobState], mut budget: usize, weighted: bool) -> Vec<Action> {
             )));
         }
     }
-    actions
 }
 
 /// Hadoop's weighted fair scheduler: no speculation, no cloning.
@@ -168,13 +181,19 @@ impl Scheduler for FairScheduler {
     }
 
     fn schedule(&mut self, state: &ClusterState<'_>) -> Vec<Action> {
+        let mut actions = Vec::new();
+        self.schedule_into(state, &mut actions);
+        actions
+    }
+
+    fn schedule_into(&mut self, state: &ClusterState<'_>, actions: &mut Vec<Action>) {
         // O(1) early-out on the engine aggregate: no unscheduled task means
         // the fill cannot launch anything, so skip the alive-set collection.
         if state.available_machines() == 0 || state.total_unscheduled_tasks() == 0 {
-            return Vec::new();
+            return;
         }
         let jobs: Vec<&JobState> = state.alive_jobs().collect();
-        fair_fill(&jobs, state.available_machines())
+        fair_fill_into(&jobs, state.available_machines(), actions);
     }
 }
 

@@ -57,10 +57,15 @@ impl Scheduler for Fifo {
     }
 
     fn schedule(&mut self, state: &ClusterState<'_>) -> Vec<Action> {
-        let mut budget = state.available_machines();
         let mut actions = Vec::new();
+        self.schedule_into(state, &mut actions);
+        actions
+    }
+
+    fn schedule_into(&mut self, state: &ClusterState<'_>, actions: &mut Vec<Action>) {
+        let mut budget = state.available_machines();
         if budget == 0 || self.ready.is_empty() {
-            return actions;
+            return;
         }
         // Launch in ready order; drop jobs proven exhausted. A job is
         // exhausted once every launchable task has been launched — gated
@@ -103,7 +108,6 @@ impl Scheduler for Fifo {
         for entry in exhausted {
             self.ready.remove(&entry);
         }
-        actions
     }
 }
 

@@ -8,7 +8,7 @@
 //! scheme, so it is included as an extra reference point for the comparison
 //! figures and ablations.
 
-use crate::fair::fair_fill_unweighted;
+use crate::fair::fair_fill_unweighted_into;
 use mapreduce_sim::{Action, ClusterState, IndexDemands, JobState, Scheduler, Slot};
 use mapreduce_workload::Phase;
 
@@ -114,23 +114,28 @@ impl Scheduler for Late {
     }
 
     fn schedule(&mut self, state: &ClusterState<'_>) -> Vec<Action> {
+        let mut actions = Vec::new();
+        self.schedule_into(state, &mut actions);
+        actions
+    }
+
+    fn schedule_into(&mut self, state: &ClusterState<'_>, actions: &mut Vec<Action>) {
         let mut budget = state.available_machines();
         if budget == 0 {
-            return Vec::new();
+            return;
         }
         let jobs: Vec<&JobState> = state.alive_jobs().collect();
 
         // Regular work first, via equal-share fair scheduling (LATE, like
         // Mantri, has no notion of per-job weights). Skipped via the O(1)
         // aggregate when nothing is launchable.
-        let mut actions = if state.total_unscheduled_tasks() == 0 {
-            Vec::new()
-        } else {
-            fair_fill_unweighted(&jobs, budget)
-        };
-        budget -= actions.len().min(budget);
+        let start = actions.len();
+        if state.total_unscheduled_tasks() > 0 {
+            fair_fill_unweighted_into(&jobs, budget, actions);
+        }
+        budget -= (actions.len() - start).min(budget);
         if budget == 0 {
-            return actions;
+            return;
         }
 
         // Speculative copies, LATE-style, with the leftover machines. The
@@ -171,7 +176,7 @@ impl Scheduler for Late {
             }
         }
         if candidates.is_empty() {
-            return actions;
+            return;
         }
 
         // SlowTaskThreshold: rate must be in the slowest quantile.
@@ -198,7 +203,6 @@ impl Scheduler for Late {
         for (_, action) in eligible.into_iter().take(allowance) {
             actions.push(action);
         }
-        actions
     }
 }
 

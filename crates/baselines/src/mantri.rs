@@ -28,7 +28,7 @@
 //! task has run long enough to produce progress samples, which is too late
 //! for small jobs.
 
-use crate::fair::fair_fill_unweighted;
+use crate::fair::fair_fill_unweighted_into;
 use mapreduce_sim::{Action, ClusterState, IndexDemands, JobState, Scheduler, Slot};
 use mapreduce_workload::Phase;
 
@@ -194,9 +194,15 @@ impl Scheduler for Mantri {
     }
 
     fn schedule(&mut self, state: &ClusterState<'_>) -> Vec<Action> {
+        let mut actions = Vec::new();
+        self.schedule_into(state, &mut actions);
+        actions
+    }
+
+    fn schedule_into(&mut self, state: &ClusterState<'_>, actions: &mut Vec<Action>) {
         let mut budget = state.available_machines();
         if budget == 0 {
-            return Vec::new();
+            return;
         }
         // 1. Regular work first (Mantri only uses *spare* machines for
         //    duplicates): equal-share fair scheduling across alive jobs —
@@ -205,15 +211,14 @@ impl Scheduler for Mantri {
         //    via the O(1) aggregate when nothing is launchable (it could not
         //    have produced an action).
         let jobs: Vec<&JobState> = state.alive_jobs().collect();
-        let mut actions = if state.total_unscheduled_tasks() == 0 {
-            Vec::new()
-        } else {
-            fair_fill_unweighted(&jobs, budget)
-        };
-        let launched = actions.len();
+        let start = actions.len();
+        if state.total_unscheduled_tasks() > 0 {
+            fair_fill_unweighted_into(&jobs, budget, actions);
+        }
+        let launched = actions.len() - start;
         budget -= launched.min(budget);
         if budget == 0 {
-            return actions;
+            return;
         }
 
         // 2. Spend leftover machines on duplicates of detected stragglers,
@@ -226,7 +231,6 @@ impl Scheduler for Mantri {
         for (_, action) in candidates.into_iter().take(budget) {
             actions.push(action);
         }
-        actions
     }
 }
 

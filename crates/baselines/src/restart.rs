@@ -17,7 +17,7 @@
 //! suite, which pins [`Restart`] against the scan-based
 //! [`crate::reference::ReferenceRestart`] bit-for-bit.
 
-use crate::fair::fair_fill_unweighted;
+use crate::fair::fair_fill_unweighted_into;
 use mapreduce_sim::{Action, ClusterState, IndexDemands, JobState, Scheduler, Slot};
 use mapreduce_workload::{Phase, TaskId};
 use std::collections::HashMap;
@@ -166,15 +166,19 @@ impl Scheduler for Restart {
     }
 
     fn schedule(&mut self, state: &ClusterState<'_>) -> Vec<Action> {
+        let mut actions = Vec::new();
+        self.schedule_into(state, &mut actions);
+        actions
+    }
+
+    fn schedule_into(&mut self, state: &ClusterState<'_>, actions: &mut Vec<Action>) {
         // 1. Regular work via equal-share fair scheduling, like the other
         //    detection-based baselines.
         let jobs: Vec<&JobState> = state.alive_jobs().collect();
         let budget = state.available_machines();
-        let mut actions = if budget == 0 || state.total_unscheduled_tasks() == 0 {
-            Vec::new()
-        } else {
-            fair_fill_unweighted(&jobs, budget)
-        };
+        if budget > 0 && state.total_unscheduled_tasks() > 0 {
+            fair_fill_unweighted_into(&jobs, budget, actions);
+        }
 
         // 2. Kill-and-restart detected stragglers, worst (largest remaining
         //    time) first. Restarts are machine-neutral — the launch reuses
@@ -190,7 +194,6 @@ impl Scheduler for Restart {
             actions.push(Action::CancelCopies { task, keep: 0 });
             actions.push(Action::Launch { task, copies: 1 });
         }
-        actions
     }
 }
 

@@ -121,9 +121,15 @@ impl Scheduler for Sca {
     }
 
     fn schedule(&mut self, state: &ClusterState<'_>) -> Vec<Action> {
+        let mut actions = Vec::new();
+        self.schedule_into(state, &mut actions);
+        actions
+    }
+
+    fn schedule_into(&mut self, state: &ClusterState<'_>, actions: &mut Vec<Action>) {
         let mut budget = state.available_machines();
         if budget == 0 {
-            return Vec::new();
+            return;
         }
 
         // Jobs with launchable work, ordered by w / U (small jobs first).
@@ -206,15 +212,12 @@ impl Scheduler for Sca {
             allocations[idx].copies_per_task += 1;
         }
 
-        allocations
-            .into_iter()
-            .flat_map(|alloc| {
-                alloc.tasks.into_iter().map(move |task| Action::Launch {
-                    task,
-                    copies: alloc.copies_per_task,
-                })
+        actions.extend(allocations.into_iter().flat_map(|alloc| {
+            alloc.tasks.into_iter().map(move |task| Action::Launch {
+                task,
+                copies: alloc.copies_per_task,
             })
-            .collect()
+        }));
     }
 }
 

@@ -50,10 +50,15 @@ impl Scheduler for SrptNoClone {
     }
 
     fn schedule(&mut self, state: &ClusterState<'_>) -> Vec<Action> {
-        let mut budget = state.available_machines();
         let mut actions = Vec::new();
+        self.schedule_into(state, &mut actions);
+        actions
+    }
+
+    fn schedule_into(&mut self, state: &ClusterState<'_>, actions: &mut Vec<Action>) {
+        let mut budget = state.available_machines();
         if budget == 0 {
-            return actions;
+            return;
         }
         let mut jobs: Vec<_> = state
             .alive_jobs()
@@ -75,7 +80,7 @@ impl Scheduler for SrptNoClone {
                 }
                 for task in job.unscheduled_tasks(phase) {
                     if budget == 0 {
-                        return actions;
+                        return;
                     }
                     actions.push(Action::Launch {
                         task: task.id(),
@@ -85,7 +90,6 @@ impl Scheduler for SrptNoClone {
                 }
             }
         }
-        actions
     }
 }
 

@@ -15,6 +15,7 @@
 use mapreduce_experiments::{run_scheduler, Scenario, SchedulerKind};
 use mapreduce_sched::ReferenceSrptMsC;
 use mapreduce_support::criterion::{BenchmarkId, Criterion};
+use mapreduce_support::json::ToJson;
 use mapreduce_support::{criterion_group, criterion_main};
 use std::hint::black_box;
 
@@ -27,6 +28,19 @@ fn bench_fullscale(c: &mut Criterion) {
         trace.len(),
         trace.total_tasks(),
         scenario.machines
+    );
+
+    // Peak resident job count (engine-side alive window) of the workload:
+    // identical for streaming and materialized feeds of the same trajectory.
+    // A materialized feed additionally keeps the whole trace resident in the
+    // source; a streaming feed keeps nothing, so its total residency is just
+    // the alive window. Recorded in the report next to the timings.
+    let peak_resident =
+        run_scheduler(SchedulerKind::Fifo, &trace, scenario.machines, seed).peak_resident_jobs;
+    println!(
+        "engine fullscale: peak resident jobs {peak_resident} (materialized feed holds {} \
+         source-resident jobs on top, streaming holds 0)",
+        trace.len()
     );
 
     let mut group = c.benchmark_group("engine_fullscale");
@@ -63,11 +77,19 @@ fn bench_fullscale(c: &mut Criterion) {
     );
     group.finish();
 
-    mapreduce_bench::merge_bench_report(
+    mapreduce_bench::merge_bench_report_with(
         "engine_fullscale",
         scenario.profile.num_jobs,
         scenario.machines,
         c.results(),
+        &[
+            ("peak_resident_jobs", peak_resident.to_json()),
+            (
+                "source_resident_jobs_materialized",
+                scenario.profile.num_jobs.to_json(),
+            ),
+            ("source_resident_jobs_streaming", 0usize.to_json()),
+        ],
     );
 }
 

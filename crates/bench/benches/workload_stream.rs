@@ -1,0 +1,129 @@
+//! Streaming vs materialized arrival feed at full scale.
+//!
+//! Three variants, all FIFO (the cheapest scheduler, so the feed path
+//! dominates the measurement):
+//!
+//! * `materialized/fifo` — the paper-scale trace (6 064 jobs) pre-generated
+//!   once, fed through a [`mapreduce_workload::MaterializedSource`] per
+//!   iteration (trace generation is *outside* the timing, matching how
+//!   experiment sweeps reuse a trace across schedulers).
+//! * `streaming/fifo` — the same scale fed by a
+//!   [`StreamingGenerator`], synthesis *inside* the timing: this is the
+//!   full cost of a run that never materialises its trace.
+//! * `stream100k/fifo` — the 100 000-job fullscale regime the streaming
+//!   subsystem exists for, in bounded memory (peak resident jobs ≪ total;
+//!   both counts are recorded in the report entry).
+//!
+//! Before any timing, the bench asserts that the streaming feed's outcome is
+//! **bit-identical** to running its materialised twin — the same invariant
+//! the `streaming_equivalence` proptest pins at randomized scales.
+//!
+//! Run with `cargo bench -p mapreduce-bench --bench workload_stream`
+//! (`MAPREDUCE_BENCH_SAMPLES=1` for a quick pass). Results merge into
+//! `BENCH_engine.json` / the smoke report and feed the CI bench-guard.
+
+use mapreduce_baselines::Fifo;
+use mapreduce_experiments::{run_scheduler, Scenario, SchedulerKind};
+use mapreduce_sim::{SimConfig, SimOutcome, Simulation};
+use mapreduce_support::criterion::{BenchmarkId, Criterion};
+use mapreduce_support::json::ToJson;
+use mapreduce_support::{criterion_group, criterion_main};
+use mapreduce_workload::{JobSource, StreamingGenerator};
+use std::hint::black_box;
+
+/// One streaming FIFO run over a freshly built source.
+fn run_streaming(source: Box<dyn JobSource>, machines: usize, seed: u64) -> SimOutcome {
+    Simulation::from_source(SimConfig::new(machines).with_seed(seed), source)
+        .run(&mut Fifo::new())
+        .expect("streaming run must complete")
+}
+
+fn bench_workload_stream(c: &mut Criterion) {
+    let scenario = Scenario::paper();
+    let seed = scenario.seeds[0];
+    let machines = scenario.machines;
+    let stream = StreamingGenerator::new(scenario.profile.clone(), seed);
+
+    // Equivalence gate: the streamed run must be bit-identical to running
+    // the stream's materialised twin through the trace path.
+    let streamed = run_streaming(Box::new(stream.clone()), machines, seed);
+    let twin = stream.materialize();
+    let materialized_twin = run_scheduler(SchedulerKind::Fifo, &twin, machines, seed);
+    assert_eq!(
+        streamed, materialized_twin,
+        "streaming and materialized feeds diverged at paper scale"
+    );
+    println!(
+        "workload stream: {} jobs / {} machines, peak resident {} jobs",
+        twin.len(),
+        machines,
+        streamed.peak_resident_jobs
+    );
+
+    let mut group = c.benchmark_group("workload_stream");
+    let trace = scenario.trace(seed);
+    group.bench_with_input(
+        BenchmarkId::from_parameter("materialized/fifo"),
+        &seed,
+        |b, &seed| {
+            b.iter(|| {
+                let outcome = run_scheduler(SchedulerKind::Fifo, black_box(&trace), machines, seed);
+                black_box(outcome.mean_flowtime())
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("streaming/fifo"),
+        &seed,
+        |b, &seed| {
+            b.iter(|| {
+                let source = StreamingGenerator::new(scenario.profile.clone(), seed);
+                let outcome = run_streaming(Box::new(source), machines, seed);
+                black_box(outcome.mean_flowtime())
+            })
+        },
+    );
+
+    // The 100k-job regime: streaming only — materialising this trace is
+    // exactly what the subsystem avoids.
+    let fullscale = Scenario::streaming(100_000, 1);
+    let fullscale_seed = fullscale.seeds[0];
+    let mut peak_100k = 0usize;
+    group.bench_with_input(
+        BenchmarkId::from_parameter("stream100k/fifo"),
+        &fullscale_seed,
+        |b, &seed| {
+            b.iter(|| {
+                let outcome = run_streaming(fullscale.job_source(seed), fullscale.machines, seed);
+                assert_eq!(outcome.records().len(), 100_000);
+                peak_100k = outcome.peak_resident_jobs;
+                black_box(outcome.mean_flowtime())
+            })
+        },
+    );
+    println!(
+        "workload stream: 100k-job streaming run peaked at {peak_100k} resident jobs \
+         ({} machines)",
+        fullscale.machines
+    );
+    group.finish();
+
+    mapreduce_bench::merge_bench_report_with(
+        "workload_stream",
+        scenario.profile.num_jobs,
+        machines,
+        c.results(),
+        &[
+            ("peak_resident_jobs", streamed.peak_resident_jobs.to_json()),
+            ("stream100k_total_jobs", 100_000usize.to_json()),
+            ("stream100k_peak_resident_jobs", peak_100k.to_json()),
+        ],
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(3);
+    targets = bench_workload_stream
+}
+criterion_main!(benches);

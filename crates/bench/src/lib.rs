@@ -79,26 +79,42 @@ pub const SMOKE_REPORT_PATH: &str =
 /// whose `prev_mean_ns` trail feeds the CI bench-regression guard
 /// (`bench-guard`).
 pub fn merge_bench_report(benchmark: &str, jobs: usize, machines: usize, results: &[BenchResult]) {
+    merge_bench_report_with(benchmark, jobs, machines, results, &[]);
+}
+
+/// [`merge_bench_report`] with extra entry-level fields (e.g. the peak
+/// resident job counts the `engine_fullscale` and `workload_stream` benches
+/// record next to their timings, so memory behaviour is visible in the
+/// report alongside speed).
+pub fn merge_bench_report_with(
+    benchmark: &str,
+    jobs: usize,
+    machines: usize,
+    results: &[BenchResult],
+    extras: &[(&'static str, JsonValue)],
+) {
     if mapreduce_support::criterion::env_sample_override().is_some() {
         println!(
             "MAPREDUCE_BENCH_SAMPLES set: smoke run, leaving {BENCH_REPORT_PATH} untouched \
              (merging into {SMOKE_REPORT_PATH})"
         );
-        merge_bench_report_at(
+        merge_bench_report_at_with(
             Path::new(SMOKE_REPORT_PATH),
             benchmark,
             jobs,
             machines,
             results,
+            extras,
         );
         return;
     }
-    merge_bench_report_at(
+    merge_bench_report_at_with(
         Path::new(BENCH_REPORT_PATH),
         benchmark,
         jobs,
         machines,
         results,
+        extras,
     );
 }
 
@@ -145,6 +161,18 @@ pub fn merge_bench_report_at(
     jobs: usize,
     machines: usize,
     results: &[BenchResult],
+) {
+    merge_bench_report_at_with(path, benchmark, jobs, machines, results, &[]);
+}
+
+/// [`merge_bench_report_with`] against an explicit path.
+pub fn merge_bench_report_at_with(
+    path: &Path,
+    benchmark: &str,
+    jobs: usize,
+    machines: usize,
+    results: &[BenchResult],
+    extras: &[(&'static str, JsonValue)],
 ) {
     let existing = std::fs::read_to_string(path)
         .ok()
@@ -194,12 +222,16 @@ pub fn merge_bench_report_at(
             JsonValue::object(fields)
         })
         .collect();
-    let entry = JsonValue::object([
+    let mut entry_fields: Vec<(&'static str, JsonValue)> = vec![
         ("benchmark", JsonValue::String(benchmark.to_string())),
         ("jobs", jobs.to_json()),
         ("machines", machines.to_json()),
         ("results", JsonValue::Array(result_values)),
-    ]);
+    ];
+    for (key, value) in extras {
+        entry_fields.push((key, value.clone()));
+    }
+    let entry = JsonValue::object(entry_fields);
 
     match entries
         .iter()

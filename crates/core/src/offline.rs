@@ -64,10 +64,15 @@ impl Scheduler for OfflineSrpt {
     }
 
     fn schedule(&mut self, state: &ClusterState<'_>) -> Vec<Action> {
-        let mut budget = state.available_machines();
         let mut actions = Vec::new();
+        self.schedule_into(state, &mut actions);
+        actions
+    }
+
+    fn schedule_into(&mut self, state: &ClusterState<'_>, actions: &mut Vec<Action>) {
+        let mut budget = state.available_machines();
         if budget == 0 {
-            return actions;
+            return;
         }
 
         // Sort alive jobs by decreasing static priority w_i / φ_i; ties by id.
@@ -88,7 +93,7 @@ impl Scheduler for OfflineSrpt {
             for phase in [Phase::Map, Phase::Reduce] {
                 for task in job.unscheduled_tasks(phase) {
                     if budget == 0 {
-                        return actions;
+                        return;
                     }
                     actions.push(Action::Launch {
                         task: task.id(),
@@ -98,7 +103,6 @@ impl Scheduler for OfflineSrpt {
                 }
             }
         }
-        actions
     }
 }
 

@@ -259,9 +259,15 @@ impl Scheduler for SrptMsC {
     }
 
     fn schedule(&mut self, state: &ClusterState<'_>) -> Vec<Action> {
+        let mut actions = Vec::new();
+        self.schedule_into(state, &mut actions);
+        actions
+    }
+
+    fn schedule_into(&mut self, state: &ClusterState<'_>, actions: &mut Vec<Action>) {
         let mut available = state.available_machines();
         if available == 0 {
-            return Vec::new();
+            return;
         }
 
         // ψ^s(l): alive jobs that still have unscheduled tasks, ranked by
@@ -291,7 +297,7 @@ impl Scheduler for SrptMsC {
         };
         let num_candidates = entries.map_or(fallback.len(), <[_]>::len);
         if num_candidates == 0 {
-            return Vec::new();
+            return;
         }
 
         let config = self.config;
@@ -308,7 +314,6 @@ impl Scheduler for SrptMsC {
             &mut self.round_scratch,
         );
 
-        let mut actions = Vec::new();
         self.launched_prefix.clear();
         self.launched_prefix.resize(num_candidates, 0);
         for (i, share) in self.shares.iter().enumerate() {
@@ -334,8 +339,7 @@ impl Scheduler for SrptMsC {
                 continue;
             }
             let grant = xi.min(available);
-            let (used, tasks_launched) =
-                Self::schedule_tasks_for_job(&config, job, grant, &mut actions);
+            let (used, tasks_launched) = Self::schedule_tasks_for_job(&config, job, grant, actions);
             available -= used;
             self.launched_prefix[i] = tasks_launched;
         }
@@ -367,7 +371,6 @@ impl Scheduler for SrptMsC {
                 }
             }
         }
-        actions
     }
 }
 

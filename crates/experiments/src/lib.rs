@@ -35,5 +35,5 @@ pub mod scenario;
 pub mod table2;
 pub mod theorem1;
 
-pub use runner::{run_scheduler, run_scheduler_averaged, SchedulerKind};
-pub use scenario::Scenario;
+pub use runner::{run_scheduler, run_scheduler_averaged, run_scheduler_from_source, SchedulerKind};
+pub use scenario::{Scenario, WorkloadSource};

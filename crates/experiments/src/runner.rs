@@ -1,12 +1,12 @@
 //! Running schedulers over scenarios: single runs, multi-seed averaging and
 //! the scheduler registry used by the `reproduce` binary.
 
-use crate::scenario::Scenario;
+use crate::scenario::{Scenario, WorkloadSource};
 use mapreduce_baselines::{FairScheduler, Fifo, Late, Mantri, Sca, SrptNoClone};
 use mapreduce_metrics::FlowtimeSummary;
 use mapreduce_sched::{OfflineSrpt, SrptMsC, SrptMsCConfig};
 use mapreduce_sim::{Scheduler, SimConfig, SimOutcome, Simulation};
-use mapreduce_workload::Trace;
+use mapreduce_workload::{JobSource, Trace};
 
 /// The schedulers known to the experiment harness, with their parameters.
 ///
@@ -128,17 +128,48 @@ pub fn run_scheduler(kind: SchedulerKind, trace: &Trace, machines: usize, seed: 
         .unwrap_or_else(|e| panic!("simulation with {} failed: {e}", kind.label()))
 }
 
+/// Runs one scheduler once over an arbitrary [`JobSource`] — the streaming
+/// counterpart of [`run_scheduler`]; a materialized source produces a
+/// bit-identical outcome to running its trace directly.
+///
+/// # Panics
+/// Panics if the simulation fails.
+pub fn run_scheduler_from_source(
+    kind: SchedulerKind,
+    source: Box<dyn JobSource>,
+    machines: usize,
+    seed: u64,
+) -> SimOutcome {
+    let config = SimConfig::new(machines).with_seed(seed);
+    let mut scheduler = kind.build();
+    Simulation::from_source(config, source)
+        .run(scheduler.as_mut())
+        .unwrap_or_else(|e| panic!("simulation with {} failed: {e}", kind.label()))
+}
+
 /// Runs one scheduler over every seed of a scenario (in parallel) and returns
 /// one outcome per seed, in seed order.
 ///
-/// Each seed is a fully independent deterministic stream: the trace is
-/// generated from the seed and the simulation's RNG is seeded with it, so the
-/// per-seed outcome — and therefore any average over seeds — is bit-identical
-/// whether this runs on one thread (`RAYON_NUM_THREADS=1`) or many.
+/// Each seed is a fully independent deterministic stream: the scenario's
+/// [job source](Scenario::job_source) is built from the seed and the
+/// simulation's RNG is seeded with it, so the per-seed outcome — and
+/// therefore any average over seeds — is bit-identical whether this runs on
+/// one thread (`RAYON_NUM_THREADS=1`) or many. Every cell honours the
+/// scenario's [`crate::scenario::WorkloadSource`], so sweeps can pit
+/// materialized against streaming feeds (or a converted Google CSV) without
+/// touching the figure code.
 pub fn run_scheduler_averaged(kind: SchedulerKind, scenario: &Scenario) -> Vec<SimOutcome> {
-    mapreduce_support::par_map(&scenario.seeds, |_, &seed| {
-        let trace = scenario.trace(seed);
-        run_scheduler(kind, &trace, scenario.machines, seed)
+    // A Google CSV workload is seed-invariant: convert the file once and
+    // share the trace across cells instead of re-parsing it per seed.
+    let shared: Option<Trace> = match &scenario.source {
+        WorkloadSource::GoogleCsv { .. } => {
+            Some(scenario.trace(scenario.seeds.first().copied().unwrap_or(0)))
+        }
+        _ => None,
+    };
+    mapreduce_support::par_map(&scenario.seeds, |_, &seed| match &shared {
+        Some(trace) => run_scheduler(kind, trace, scenario.machines, seed),
+        None => run_scheduler_from_source(kind, scenario.job_source(seed), scenario.machines, seed),
     })
 }
 
@@ -217,5 +248,33 @@ mod tests {
     #[should_panic(expected = "at least one outcome")]
     fn average_of_nothing_panics() {
         average_summary(SchedulerKind::Fair, &[]);
+    }
+
+    #[test]
+    fn materialized_cells_match_the_direct_trace_path() {
+        // Routing run_scheduler_averaged through job sources must not change
+        // materialized outcomes: same trace, same seed, bit-identical.
+        let scenario = Scenario::scaled(40, 2);
+        let averaged = run_scheduler_averaged(SchedulerKind::paper_default(), &scenario);
+        for (i, &seed) in scenario.seeds.iter().enumerate() {
+            let trace = scenario.trace(seed);
+            let direct = run_scheduler(
+                SchedulerKind::paper_default(),
+                &trace,
+                scenario.machines,
+                seed,
+            );
+            assert_eq!(averaged[i], direct, "seed {seed} diverged");
+        }
+    }
+
+    #[test]
+    fn streaming_cells_run_every_scheduler_kind() {
+        let scenario = Scenario::streaming(30, 1);
+        let outcomes = run_scheduler_averaged(SchedulerKind::Fifo, &scenario);
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].records().len(), 30);
+        assert!(outcomes[0].peak_resident_jobs <= 30);
+        assert!(outcomes[0].peak_resident_jobs >= 1);
     }
 }

@@ -1,6 +1,37 @@
-//! Experiment scenarios: workload profile, cluster size and trial seeds.
+//! Experiment scenarios: workload source, cluster size and trial seeds.
 
-use mapreduce_workload::{GoogleTraceProfile, Trace};
+use mapreduce_workload::{
+    GoogleCsvOptions, GoogleTraceProfile, GoogleTraceSource, JobSource, MaterializedSource,
+    StreamingGenerator, Trace,
+};
+use std::path::PathBuf;
+
+/// How a scenario's workload reaches the engine, per seed/cell.
+///
+/// Sweeps name a source per cell: the same profile can drive a fully
+/// materialized trace (the historical behaviour), a constant-memory
+/// streaming feed, or an ingested Google cluster CSV.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum WorkloadSource {
+    /// Generate the whole [`Trace`] up front from the profile and feed it
+    /// through a [`MaterializedSource`]. Bit-identical to the pre-streaming
+    /// trace-vector path.
+    #[default]
+    Materialized,
+    /// Stream jobs lazily from the profile via [`StreamingGenerator`]
+    /// (deterministic per-job RNG streams, bounded memory). Note this is a
+    /// *different* — equally valid — trace than `Materialized` for the same
+    /// seed, because job contents depend only on `(seed, job)` rather than
+    /// on a sequential sample stream.
+    Streaming,
+    /// Convert a Google cluster-usage `task_events` CSV. The file defines
+    /// the workload (identical across seeds); the seed still drives the
+    /// simulator's own RNG (clone resampling, stragglers).
+    GoogleCsv {
+        /// Path of the `task_events` CSV file.
+        path: PathBuf,
+    },
+}
 
 /// A reusable description of "which workload, which cluster, how many
 /// trials" shared by all experiments.
@@ -19,6 +50,8 @@ pub struct Scenario {
     /// Seeds; each seed generates a fresh trace and drives one simulation
     /// repetition. Results are averaged across seeds.
     pub seeds: Vec<u64>,
+    /// How the workload is fed to the engine (see [`WorkloadSource`]).
+    pub source: WorkloadSource,
 }
 
 impl Scenario {
@@ -29,6 +62,7 @@ impl Scenario {
             profile: GoogleTraceProfile::paper(),
             machines: 12_000,
             seeds: (0..10).map(|i| 2015 + i).collect(),
+            source: WorkloadSource::Materialized,
         }
     }
 
@@ -40,7 +74,14 @@ impl Scenario {
             profile: GoogleTraceProfile::scaled(num_jobs),
             machines,
             seeds: (0..seeds as u64).map(|i| 2015 + i).collect(),
+            source: WorkloadSource::Materialized,
         }
+    }
+
+    /// A scaled scenario fed through the streaming generator — the
+    /// constant-memory path for 100k+-job runs.
+    pub fn streaming(num_jobs: usize, seeds: usize) -> Self {
+        Self::scaled(num_jobs, seeds).with_source(WorkloadSource::Streaming)
     }
 
     /// The scenario used by the Criterion benches: small enough for repeated
@@ -54,9 +95,55 @@ impl Scenario {
         Self::scaled(150, 1)
     }
 
-    /// Generates the trace for one seed.
+    /// Returns a copy with a different workload source.
+    pub fn with_source(mut self, source: WorkloadSource) -> Self {
+        self.source = source;
+        self
+    }
+
+    /// Generates the trace for one seed (materialised regardless of the
+    /// scenario's source kind — figure code that needs the whole trace, e.g.
+    /// Table II statistics, goes through this).
+    ///
+    /// # Panics
+    /// Panics if a [`WorkloadSource::GoogleCsv`] file cannot be converted —
+    /// experiment code treats that as a bug, not a recoverable condition.
     pub fn trace(&self, seed: u64) -> Trace {
-        self.profile.generate(seed)
+        match &self.source {
+            WorkloadSource::Materialized => self.profile.generate(seed),
+            WorkloadSource::Streaming => {
+                StreamingGenerator::new(self.profile.clone(), seed).materialize()
+            }
+            WorkloadSource::GoogleCsv { path } => {
+                GoogleTraceSource::from_csv_file(path, &GoogleCsvOptions::default())
+                    .unwrap_or_else(|e| panic!("google csv scenario {}: {e}", path.display()))
+                    .into_trace()
+            }
+        }
+    }
+
+    /// Builds the engine-facing job source for one seed.
+    ///
+    /// For [`WorkloadSource::Materialized`] this wraps the generated trace —
+    /// bit-identical to running the trace directly; for
+    /// [`WorkloadSource::Streaming`] jobs are synthesized on demand and the
+    /// full trace never exists in memory.
+    ///
+    /// # Panics
+    /// Panics if a [`WorkloadSource::GoogleCsv`] file cannot be converted.
+    pub fn job_source(&self, seed: u64) -> Box<dyn JobSource> {
+        match &self.source {
+            WorkloadSource::Materialized => {
+                Box::new(MaterializedSource::new(self.profile.generate(seed)))
+            }
+            WorkloadSource::Streaming => {
+                Box::new(StreamingGenerator::new(self.profile.clone(), seed))
+            }
+            WorkloadSource::GoogleCsv { path } => Box::new(
+                GoogleTraceSource::from_csv_file(path, &GoogleCsvOptions::default())
+                    .unwrap_or_else(|e| panic!("google csv scenario {}: {e}", path.display())),
+            ),
+        }
     }
 
     /// Returns a copy with a different number of machines (used by the Fig. 3
@@ -115,6 +202,31 @@ mod tests {
         assert_eq!(s.trace(1), s.trace(1));
         assert_ne!(s.trace(1), s.trace(2));
         assert_eq!(s.trace(1).len(), s.profile.num_jobs);
+    }
+
+    #[test]
+    fn streaming_scenario_sources() {
+        let s = Scenario::streaming(50, 1);
+        assert_eq!(s.source, WorkloadSource::Streaming);
+        let mut source = s.job_source(4);
+        assert_eq!(source.total_jobs(), 50);
+        assert_eq!(source.resident_jobs(), 0);
+        // The scenario trace is the stream's materialisation: pulling the
+        // source job by job yields exactly the trace's jobs.
+        let trace = s.trace(4);
+        let jobs: Vec<_> = std::iter::from_fn(|| source.next_job()).collect();
+        assert_eq!(jobs, trace.jobs());
+
+        let m = Scenario::scaled(50, 1);
+        assert_eq!(m.source, WorkloadSource::Materialized);
+        let mut mat = m.job_source(4);
+        assert_eq!(mat.resident_jobs(), 50);
+        assert!(mat.next_job().is_some());
+        // Modifiers carry the source kind along.
+        assert_eq!(
+            Scenario::streaming(50, 1).with_machines(9).source,
+            WorkloadSource::Streaming
+        );
     }
 
     #[test]

@@ -175,6 +175,7 @@ mod tests {
             100,
             6,
             10,
+            3,
         );
         let small = FlowtimeSummary::for_bucket(&outcome, FlowtimeBucket::SMALL_JOBS);
         assert_eq!(small.jobs, 2);

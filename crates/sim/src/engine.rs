@@ -6,6 +6,20 @@
 //! one copy of a task finishes) and invokes the [`Scheduler`] whenever the
 //! cluster state changes.
 //!
+//! # Streaming workload seam
+//!
+//! Jobs are *pulled* from a [`JobSource`] rather than copied in up front: a
+//! pull-ahead cursor holds exactly one not-yet-admitted job, its arrival
+//! competes with the event-queue head for the next decision instant, and
+//! every pending job arriving at the chosen instant is admitted into the
+//! same delivery batch — reproducing the all-arrivals-queued-up-front
+//! trajectory bit for bit (same-slot arrivals sort by dense job index
+//! either way). Completed jobs release their task storage right after their
+//! [`JobRecord`] is captured, so memory is bounded by the peak *alive
+//! window* ([`SimOutcome::peak_resident_jobs`]), not by the workload size —
+//! this is what lets 100k+-job [`mapreduce_workload::StreamingGenerator`]
+//! runs complete without ever materialising a [`Trace`].
+//!
 //! Event compression: the scheduler is only woken when an arrival or a
 //! completion happened, or on an explicit periodic wakeup (requested either
 //! by the scheduler itself through [`Scheduler::wakeup_interval`] or globally
@@ -39,19 +53,41 @@ use crate::copy::{CopyArena, CopyId, CopyInfo, CopyPhase};
 use crate::error::SimError;
 use crate::events::{next_decision, Event, EventQueue};
 use crate::result::{JobRecord, SimOutcome};
-#[cfg(doc)]
 use crate::state::IndexDemands;
 use crate::state::{Action, AliveIndex, ClusterState, JobState, Scheduler, Slot};
 use mapreduce_support::rng::{Rng, SimRng};
-use mapreduce_workload::{Phase, TaskId, Trace};
+use mapreduce_workload::{JobSource, MaterializedSource, Phase, TaskId, Trace};
+use std::fmt;
 
-/// A single simulation run: one trace, one configuration, one scheduler.
+/// A single simulation run: one job source, one configuration, one
+/// scheduler.
+///
+/// The workload side is a [`JobSource`] — jobs are *pulled* in arrival order
+/// and admitted as they arrive, so a run never needs the whole workload
+/// materialised at once. [`Simulation::new`] wraps an existing [`Trace`] in a
+/// [`MaterializedSource`], which is bit-identical to the old
+/// trace-vector path; [`Simulation::from_source`] accepts any source (a
+/// [`mapreduce_workload::StreamingGenerator`], a converted Google CSV, …).
 ///
 /// See the crate-level documentation for an end-to-end example.
-#[derive(Debug)]
 pub struct Simulation {
     config: SimConfig,
+    source: Box<dyn JobSource>,
+    /// Runtime state of the admitted jobs, indexed by dense job id. Grows as
+    /// the source is consumed; completed jobs stay (records and scalar state
+    /// remain addressable) but their task storage is released.
     jobs: Vec<JobState>,
+}
+
+impl fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulation")
+            .field("config", &self.config)
+            .field("source", &self.source.name())
+            .field("total_jobs", &self.source.total_jobs())
+            .field("admitted_jobs", &self.jobs.len())
+            .finish()
+    }
 }
 
 /// Mutable per-run bookkeeping shared by the event handlers.
@@ -63,6 +99,10 @@ struct RunStats {
     scheduler_invocations: u64,
     makespan: Slot,
     pending_arrivals: usize,
+    /// Jobs admitted from the source and not yet completed-and-released.
+    resident_jobs: usize,
+    /// High-water mark of `resident_jobs`.
+    peak_resident_jobs: usize,
 }
 
 /// Per-run mutable context: stats, the copy arena and reusable scratch
@@ -78,16 +118,61 @@ struct RunCtx {
     /// Scratch for [`Simulation::activate_waiting_reduce_copies`]: swapped
     /// with each job's waiting list so the allocation is recycled.
     waiting_scratch: Vec<(u32, CopyId)>,
+    /// Completion records, captured the moment each job completes (its task
+    /// storage is released right after); sorted into job-id order at the end.
+    records: Vec<JobRecord>,
+}
+
+/// Pulls, validates and wraps the next job of the source. `index` is the
+/// dense id the job must carry, `last_arrival` the arrival of its
+/// predecessor.
+fn pull_next(
+    source: &mut dyn JobSource,
+    index: usize,
+    last_arrival: Slot,
+    demands: IndexDemands,
+) -> Result<Option<JobState>, SimError> {
+    let Some(spec) = source.next_job() else {
+        return Ok(None);
+    };
+    if spec.id.as_usize() != index {
+        return Err(SimError::InvalidSourceJob {
+            index,
+            message: format!("expected dense job id {index}, got {}", spec.id),
+        });
+    }
+    if spec.arrival < last_arrival {
+        return Err(SimError::InvalidSourceJob {
+            index,
+            message: format!(
+                "arrival {} behind predecessor arrival {last_arrival}",
+                spec.arrival
+            ),
+        });
+    }
+    let mut job = JobState::new(spec);
+    job.set_index_tracking(demands);
+    Ok(Some(job))
 }
 
 impl Simulation {
     /// Creates a simulation over the given trace.
     ///
-    /// The trace is copied into internal per-job runtime state, so the caller
-    /// keeps ownership of the original.
+    /// The trace is copied into an internal [`MaterializedSource`], so the
+    /// caller keeps ownership of the original; the run is bit-identical to
+    /// feeding the same trace through [`Simulation::from_source`].
     pub fn new(config: SimConfig, trace: &Trace) -> Self {
-        let jobs = trace.iter().cloned().map(JobState::new).collect();
-        Simulation { config, jobs }
+        Self::from_source(config, Box::new(MaterializedSource::from_trace(trace)))
+    }
+
+    /// Creates a simulation pulling its workload from an arbitrary
+    /// [`JobSource`].
+    pub fn from_source(config: SimConfig, source: Box<dyn JobSource>) -> Self {
+        Simulation {
+            config,
+            source,
+            jobs: Vec::new(),
+        }
     }
 
     /// The configuration of this simulation.
@@ -111,17 +196,10 @@ impl Simulation {
             return Err(SimError::NoMachines);
         }
         let total_machines = self.config.num_machines;
+        let total_jobs = self.source.total_jobs();
         let mut rng = SimRng::seed_from_u64(self.config.seed);
 
-        // Seed the queue with every arrival; ties are broken by job index,
-        // matching the trace's dense arrival order.
         let mut queue = EventQueue::with_ring_bits(self.config.event_ring_bits);
-        for (idx, job) in self.jobs.iter().enumerate() {
-            queue.push(Event::JobArrival {
-                at: job.arrival(),
-                job_index: idx,
-            });
-        }
 
         let mut alive = AliveIndex::new();
         if let Some(r) = scheduler.priority_r() {
@@ -132,21 +210,26 @@ impl Simulation {
         // which wide jobs turn into a real tax under schedulers that never
         // read it.
         let demands = scheduler.index_demands();
-        for job in &mut self.jobs {
-            job.set_index_tracking(demands);
-        }
         let mut ctx = RunCtx {
             stats: RunStats {
                 available: total_machines,
-                pending_arrivals: self.jobs.len(),
+                pending_arrivals: total_jobs,
                 ..RunStats::default()
             },
             ..RunCtx::default()
         };
+        // Pull-ahead cursor on the source: exactly one not-yet-admitted job
+        // is held in `pending`; its arrival competes with the queue head for
+        // the next decision instant, and once that instant is chosen every
+        // pending job arriving at it is admitted (jobs vector + arrival
+        // event) before the batch is drained — so same-slot arrivals land in
+        // one batch, exactly as when all arrivals were queued up front.
+        let mut pending = pull_next(self.source.as_mut(), 0, 0, demands)?;
         let mut now: Slot = 0;
         // Reused across decision instants so the hot loop never allocates for
-        // event delivery.
+        // event delivery or scheduler decisions.
         let mut due: Vec<Event> = Vec::new();
+        let mut actions: Vec<Action> = Vec::new();
         let mut newly_arrived = Vec::new();
         let mut newly_finished = Vec::new();
 
@@ -157,14 +240,19 @@ impl Simulation {
             (None, None) => None,
         };
 
-        while ctx.stats.completed_jobs < self.jobs.len() {
+        while ctx.stats.completed_jobs < total_jobs {
             // ---- determine the next decision instant ----
             let running_anything = ctx.stats.available < total_machines;
             let next_wakeup = match wakeup_every {
                 Some(k) if !alive.is_empty() && running_anything => Some(now + k),
                 _ => None,
             };
-            let next = match next_decision(queue.peek_slot(), next_wakeup) {
+            let head = match (queue.peek_slot(), pending.as_ref().map(|j| j.arrival())) {
+                (Some(q), Some(a)) => Some(q.min(a)),
+                (Some(q), None) => Some(q),
+                (None, a) => a,
+            };
+            let next = match next_decision(head, next_wakeup) {
                 Some((slot, _)) => slot.max(now),
                 None => {
                     // Nothing can ever happen again yet jobs remain: the
@@ -180,9 +268,28 @@ impl Simulation {
                 if now > max_slots {
                     return Err(SimError::HorizonExceeded {
                         max_slots,
-                        unfinished_jobs: self.jobs.len() - ctx.stats.completed_jobs,
+                        unfinished_jobs: total_jobs - ctx.stats.completed_jobs,
                     });
                 }
+            }
+
+            // ---- admit every pending job arriving at this instant ----
+            // The source yields non-decreasing arrivals, so the admission
+            // frontier is exactly the pending jobs with arrival == now; their
+            // arrival events join the batch drained below.
+            while pending.as_ref().is_some_and(|j| j.arrival() <= now) {
+                let job = pending.take().expect("checked above");
+                let idx = self.jobs.len();
+                let arrival = job.arrival();
+                queue.push(Event::JobArrival {
+                    at: arrival,
+                    job_index: idx,
+                });
+                self.jobs.push(job);
+                ctx.stats.resident_jobs += 1;
+                ctx.stats.peak_resident_jobs =
+                    ctx.stats.peak_resident_jobs.max(ctx.stats.resident_jobs);
+                pending = pull_next(self.source.as_mut(), idx + 1, arrival, demands)?;
             }
 
             // ---- deliver the instant's event batch ----
@@ -221,6 +328,22 @@ impl Simulation {
                                 ctx.stats.completed_jobs += 1;
                                 ctx.stats.makespan = ctx.stats.makespan.max(at);
                                 alive.remove(job_idx, &self.jobs[job_idx]);
+                                // Capture the record now and release the
+                                // job's task storage: memory stays bounded
+                                // by the alive window, not the workload.
+                                let job = &self.jobs[job_idx];
+                                ctx.records.push(JobRecord {
+                                    job: job.id(),
+                                    weight: job.weight(),
+                                    arrival: job.arrival(),
+                                    completion: at,
+                                    num_map_tasks: job.spec().num_map_tasks(),
+                                    num_reduce_tasks: job.spec().num_reduce_tasks(),
+                                    copies_launched: job.copies_launched(),
+                                    true_workload: job.spec().true_total_workload(),
+                                });
+                                self.jobs[job_idx].release_storage();
+                                ctx.stats.resident_jobs -= 1;
                             }
                         }
                     }
@@ -228,14 +351,15 @@ impl Simulation {
                 }
             }
 
-            if ctx.stats.completed_jobs == self.jobs.len() {
+            if ctx.stats.completed_jobs == total_jobs {
                 break;
             }
 
             // ---- invoke the scheduler ----
             ctx.stats.scheduler_invocations += 1;
             alive.flush_priority();
-            let actions = {
+            actions.clear();
+            {
                 let state = ClusterState::from_index(
                     now,
                     total_machines,
@@ -250,8 +374,10 @@ impl Simulation {
                 for task in &newly_finished {
                     scheduler.on_task_finished(*task, &state);
                 }
-                scheduler.schedule(&state)
-            };
+                // One run-level buffer, reused across decision instants: the
+                // per-`schedule` Vec<Action> allocation is gone.
+                scheduler.schedule_into(&state, &mut actions);
+            }
 
             self.apply_actions(&actions, now, &mut ctx, &mut alive, &mut queue, &mut rng)?;
 
@@ -270,30 +396,20 @@ impl Simulation {
         }
 
         // ---- collect records ----
-        let makespan = ctx.stats.makespan;
-        let records: Vec<JobRecord> = self
-            .jobs
-            .iter()
-            .map(|j| JobRecord {
-                job: j.id(),
-                weight: j.weight(),
-                arrival: j.arrival(),
-                completion: j.completed_at().unwrap_or(makespan),
-                num_map_tasks: j.spec().num_map_tasks(),
-                num_reduce_tasks: j.spec().num_reduce_tasks(),
-                copies_launched: j.copies_launched(),
-                true_workload: j.spec().true_total_workload(),
-            })
-            .collect();
+        // Records were captured at completion time (completion order);
+        // outcomes report them in job-id order.
+        let mut records = ctx.records;
+        records.sort_by_key(|r| r.job);
 
         Ok(SimOutcome::new(
             scheduler.name().to_string(),
             total_machines,
             records,
-            makespan,
+            ctx.stats.makespan,
             ctx.stats.busy_machine_slots,
             ctx.arena.len(),
             ctx.stats.scheduler_invocations,
+            ctx.stats.peak_resident_jobs,
         ))
     }
 
@@ -454,6 +570,12 @@ impl Simulation {
         let straggler = self.config.straggler;
 
         let job = &mut self.jobs[job_idx];
+        // Ignore launches for jobs that have not arrived or already finished
+        // (their task storage is released): the scheduler may be acting on a
+        // stale view. The liveness check must precede the task probe.
+        if !job.is_alive() {
+            return Ok(());
+        }
         // One probe of the task yields everything the validation and the
         // launch loop need.
         let (active_now, task_finished, mut first_launch) =
@@ -465,9 +587,7 @@ impl Simulation {
                 ),
                 None => return Err(SimError::UnknownTask(task_id)),
             };
-        // Ignore launches for jobs that have not arrived, finished jobs, or
-        // finished tasks: the scheduler may be acting on a stale view.
-        if !job.is_alive() || task_finished {
+        if task_finished {
             return Ok(());
         }
         let map_phase_complete = job.map_phase_complete();
@@ -572,6 +692,11 @@ impl Simulation {
             ..
         } = ctx;
         let job = &mut self.jobs[job_idx];
+        if job.is_complete() {
+            // Completed jobs released their task storage; a cancellation
+            // for one is a stale no-op, like cancelling a finished task.
+            return Ok(());
+        }
         let task = match job.task_mut(task_id.phase, task_id.index) {
             Some(t) => t,
             None => return Err(SimError::UnknownTask(task_id)),

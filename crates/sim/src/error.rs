@@ -26,6 +26,14 @@ pub enum SimError {
     UnknownTask(TaskId),
     /// The simulator was configured with zero machines.
     NoMachines,
+    /// The job source violated its contract (jobs in non-decreasing arrival
+    /// order with dense ids; see [`mapreduce_workload::JobSource`]).
+    InvalidSourceJob {
+        /// Dense index at which the violation was detected.
+        index: usize,
+        /// What the source did wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -44,6 +52,9 @@ impl fmt::Display for SimError {
             ),
             SimError::UnknownTask(id) => write!(f, "scheduler referenced unknown task {id}"),
             SimError::NoMachines => write!(f, "cluster must have at least one machine"),
+            SimError::InvalidSourceJob { index, message } => {
+                write!(f, "job source broke its contract at job {index}: {message}")
+            }
         }
     }
 }

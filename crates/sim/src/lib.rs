@@ -8,9 +8,16 @@
 //!
 //! The seam between the substrate and the algorithms is the
 //! [`Scheduler`] trait: at every decision point the engine hands the
-//! scheduler a read-only [`ClusterState`] and applies the returned
-//! [`Action`]s. The paper's algorithms (crate `mapreduce-sched`) and all the
-//! baselines (crate `mapreduce-baselines`) are implementations of this trait.
+//! scheduler a read-only [`ClusterState`] and collects its [`Action`]s into
+//! a run-level reusable buffer ([`Scheduler::schedule_into`]). The paper's
+//! algorithms (crate `mapreduce-sched`) and all the baselines (crate
+//! `mapreduce-baselines`) are implementations of this trait.
+//!
+//! The seam on the workload side is [`mapreduce_workload::JobSource`]: the
+//! engine pulls jobs in arrival order ([`Simulation::from_source`]) and
+//! releases each job's task storage at completion, so runs are bounded by
+//! the alive window rather than the workload size — see
+//! [`engine`](crate::engine) for the admission/trajectory guarantees.
 //!
 //! # Event path
 //!

@@ -96,11 +96,18 @@ pub struct SimOutcome {
     pub total_copies: usize,
     /// Total number of scheduler invocations.
     pub scheduler_invocations: u64,
+    /// Peak number of jobs simultaneously resident in the engine (admitted
+    /// from the job source but not yet completed-and-released). Purely a
+    /// memory metric derived from the trajectory — identical for streaming
+    /// and materialized feeds of the same workload; the difference between
+    /// the two modes is what the *source* keeps resident on top of this.
+    pub peak_resident_jobs: usize,
 }
 
 impl SimOutcome {
     /// Builds an outcome from its parts (engine-internal, but public so that
     /// experiment code can synthesise outcomes in tests).
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         scheduler: String,
         num_machines: usize,
@@ -109,6 +116,7 @@ impl SimOutcome {
         busy_machine_slots: u64,
         total_copies: usize,
         scheduler_invocations: u64,
+        peak_resident_jobs: usize,
     ) -> Self {
         SimOutcome {
             scheduler,
@@ -118,6 +126,7 @@ impl SimOutcome {
             busy_machine_slots,
             total_copies,
             scheduler_invocations,
+            peak_resident_jobs,
         }
     }
 
@@ -201,6 +210,7 @@ impl ToJson for SimOutcome {
                 "scheduler_invocations",
                 self.scheduler_invocations.to_json(),
             ),
+            ("peak_resident_jobs", self.peak_resident_jobs.to_json()),
         ])
     }
 }
@@ -215,6 +225,11 @@ impl FromJson for SimOutcome {
             busy_machine_slots: u64::from_json(value.field("busy_machine_slots")?)?,
             total_copies: usize::from_json(value.field("total_copies")?)?,
             scheduler_invocations: u64::from_json(value.field("scheduler_invocations")?)?,
+            // Absent in outcomes serialised before the streaming subsystem.
+            peak_resident_jobs: match value.get("peak_resident_jobs") {
+                Some(v) => usize::from_json(v)?,
+                None => 0,
+            },
         })
     }
 }
@@ -245,6 +260,7 @@ mod tests {
             600,
             8,
             42,
+            2,
         )
     }
 
@@ -279,7 +295,7 @@ mod tests {
 
     #[test]
     fn empty_outcome_is_safe() {
-        let o = SimOutcome::new("x".into(), 5, vec![], 0, 0, 0, 0);
+        let o = SimOutcome::new("x".into(), 5, vec![], 0, 0, 0, 0, 0);
         assert_eq!(o.mean_flowtime(), 0.0);
         assert_eq!(o.weighted_mean_flowtime(), 0.0);
         assert_eq!(o.utilization(), 0.0);

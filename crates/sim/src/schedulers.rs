@@ -32,10 +32,15 @@ impl Scheduler for GreedyFifo {
     }
 
     fn schedule(&mut self, state: &ClusterState<'_>) -> Vec<Action> {
-        let mut budget = state.available_machines();
         let mut actions = Vec::new();
+        self.schedule_into(state, &mut actions);
+        actions
+    }
+
+    fn schedule_into(&mut self, state: &ClusterState<'_>, actions: &mut Vec<Action>) {
+        let mut budget = state.available_machines();
         if budget == 0 {
-            return actions;
+            return;
         }
         // Arrival order comes pre-maintained from the engine's alive index;
         // hand-built snapshots fall back to a sort inside the accessor.
@@ -46,7 +51,7 @@ impl Scheduler for GreedyFifo {
                 }
                 for &index in job.unscheduled_indices(phase) {
                     if budget == 0 {
-                        return actions;
+                        return;
                     }
                     actions.push(Action::Launch {
                         task: TaskId::new(job.id(), phase, index),
@@ -56,7 +61,6 @@ impl Scheduler for GreedyFifo {
                 }
             }
         }
-        actions
     }
 }
 
@@ -102,8 +106,13 @@ impl Scheduler for MaxCloneScheduler {
     }
 
     fn schedule(&mut self, state: &ClusterState<'_>) -> Vec<Action> {
-        let mut budget = state.available_machines();
         let mut actions = Vec::new();
+        self.schedule_into(state, &mut actions);
+        actions
+    }
+
+    fn schedule_into(&mut self, state: &ClusterState<'_>, actions: &mut Vec<Action>) {
+        let mut budget = state.available_machines();
         for job in state.alive_jobs() {
             for phase in [Phase::Map, Phase::Reduce] {
                 if phase == Phase::Reduce && !job.map_phase_complete() {
@@ -111,7 +120,7 @@ impl Scheduler for MaxCloneScheduler {
                 }
                 for task in job.tasks(phase) {
                     if budget == 0 {
-                        return actions;
+                        return;
                     }
                     if task.is_finished() {
                         continue;
@@ -128,7 +137,6 @@ impl Scheduler for MaxCloneScheduler {
                 }
             }
         }
-        actions
     }
 }
 

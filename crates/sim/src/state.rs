@@ -225,6 +225,15 @@ impl PhaseIndex {
             }
         }
     }
+
+    /// Frees the index storage while keeping the completed-duration
+    /// aggregates (which stay readable on completed jobs).
+    fn release(&mut self) {
+        self.unscheduled = Vec::new();
+        self.unscheduled_head = 0;
+        self.running = Vec::new();
+        self.running_by_finish = Vec::new();
+    }
 }
 
 /// Which optional per-job indices the engine should maintain, declared by a
@@ -684,6 +693,29 @@ impl JobState {
 
     pub(crate) fn mark_complete(&mut self, at: Slot) {
         self.completed_at = Some(at);
+    }
+
+    /// Releases the per-task storage of a completed job: task-state vectors
+    /// (including their copy-id lists), phase free-lists, the waiting list,
+    /// and the spec's task vectors and distributions. The scalar summary the
+    /// engine and schedulers may still read on a finished job — id, arrival,
+    /// weight, phase stats, completion slot, copy counters, completed-
+    /// duration aggregates — survives.
+    ///
+    /// This is what bounds a streaming run's memory to the *alive window*
+    /// instead of the whole workload: the engine calls it the moment a job
+    /// completes, right after capturing its [`crate::result::JobRecord`].
+    pub(crate) fn release_storage(&mut self) {
+        debug_assert!(self.is_complete(), "only completed jobs are released");
+        self.map_tasks = Vec::new();
+        self.reduce_tasks = Vec::new();
+        self.map_index.release();
+        self.reduce_index.release();
+        self.waiting_reduce = Vec::new();
+        self.spec.map_tasks = Vec::new();
+        self.spec.reduce_tasks = Vec::new();
+        self.spec.map_distribution = None;
+        self.spec.reduce_distribution = None;
     }
 }
 
@@ -1197,6 +1229,21 @@ pub trait Scheduler {
     /// cluster runs out of available machines; the engine clips the copy
     /// count of the action that crosses the limit and ignores the rest.
     fn schedule(&mut self, state: &ClusterState<'_>) -> Vec<Action>;
+
+    /// Allocation-free variant of [`Scheduler::schedule`]: appends the
+    /// decisions to a caller-owned buffer instead of returning a fresh
+    /// vector.
+    ///
+    /// The engine hands every scheduler one buffer that it clears and reuses
+    /// across all decision instants of a run, so the per-`schedule`
+    /// `Vec<Action>` allocation disappears from the hot loop. The default
+    /// forwards to [`Scheduler::schedule`]; hot schedulers override it (and
+    /// implement `schedule` as a thin collecting wrapper). Implementations
+    /// must only append — the buffer may already hold actions — and must not
+    /// assume it starts empty.
+    fn schedule_into(&mut self, state: &ClusterState<'_>, actions: &mut Vec<Action>) {
+        actions.extend(self.schedule(state));
+    }
 
     /// Optional periodic wakeup interval in slots. Detection-based schedulers
     /// (Mantri, LATE) need this to re-examine running tasks even when no

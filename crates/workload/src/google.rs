@@ -190,6 +190,16 @@ pub struct GoogleTraceGenerator {
     profile: GoogleTraceProfile,
 }
 
+/// Everything sampled about one job except its arrival, priority and id;
+/// produced by [`GoogleTraceGenerator::sample_job_body`] and consumed by
+/// [`GoogleTraceGenerator::build_job`].
+pub(crate) struct JobBody {
+    map_workloads: Vec<f64>,
+    reduce_workloads: Vec<f64>,
+    map_dist: DurationDistribution,
+    reduce_dist: DurationDistribution,
+}
+
 impl GoogleTraceGenerator {
     /// Creates a generator for the given profile.
     ///
@@ -218,80 +228,111 @@ impl GoogleTraceGenerator {
     /// Generates a trace. The same seed always produces the same trace.
     pub fn generate(&self, seed: u64) -> Trace {
         let mut rng = SimRng::seed_from_u64(seed);
-        let p = &self.profile;
-        let total_fraction: f64 = p.classes.iter().map(|c| c.fraction).sum();
+        let total_fraction = self.total_fraction();
 
-        let mut jobs = Vec::with_capacity(p.num_jobs);
-        for idx in 0..p.num_jobs {
-            let class = self.pick_class(&mut rng, total_fraction);
-            let num_tasks = self.sample_num_tasks(&mut rng, class);
-            let num_map =
-                ((num_tasks as f64 * p.map_fraction).round() as usize).clamp(1, num_tasks);
-            let num_reduce = num_tasks - num_map;
-
-            // Per-job mean task duration: log-normal around the class mean.
-            let job_mean_dist = DurationDistribution::lognormal_from_moments(
-                class.mean_task_duration,
-                class.mean_task_duration * class.job_duration_cv,
-            )
-            .expect("class parameters validated");
-            let job_mean = job_mean_dist
-                .sample(&mut rng)
-                .clamp(p.min_task_duration, p.max_task_duration / 2.0);
-
-            // Reduce tasks tend to be longer than map tasks (they aggregate);
-            // keep a fixed 1.5× ratio, as the combined mean stays `job_mean`.
-            let map_mean = job_mean * 0.9;
-            let reduce_mean = job_mean * 1.5;
-
-            let map_dist = self.phase_distribution(map_mean, class.task_duration_cv);
-            let reduce_dist = self.phase_distribution(reduce_mean, class.task_duration_cv);
-
-            let map_workloads: Vec<f64> = (0..num_map)
-                .map(|_| {
-                    map_dist
-                        .sample(&mut rng)
-                        .clamp(p.min_task_duration, p.max_task_duration)
-                })
-                .collect();
-            let reduce_workloads: Vec<f64> = (0..num_reduce)
-                .map(|_| {
-                    reduce_dist
-                        .sample(&mut rng)
-                        .clamp(p.min_task_duration, p.max_task_duration)
-                })
-                .collect();
-
+        let mut jobs = Vec::with_capacity(self.profile.num_jobs);
+        for idx in 0..self.profile.num_jobs {
+            let body = self.sample_job_body(&mut rng, total_fraction);
             let arrival = self.sample_arrival(&mut rng);
             let priority = self.sample_priority(&mut rng);
-            let weight = (priority + 1) as f64;
-
-            let mut builder = JobSpecBuilder::new(JobId::new(idx as u64))
-                .arrival(arrival)
-                .weight(weight)
-                .map_tasks_from_workloads(&map_workloads)
-                .map_stats(PhaseStats::new(
-                    map_dist
-                        .mean()
-                        .clamp(p.min_task_duration, p.max_task_duration),
-                    map_dist.std_dev(),
-                ))
-                .map_distribution(map_dist.clone());
-            if !reduce_workloads.is_empty() {
-                builder = builder
-                    .reduce_tasks_from_workloads(&reduce_workloads)
-                    .reduce_stats(PhaseStats::new(
-                        reduce_dist
-                            .mean()
-                            .clamp(p.min_task_duration, p.max_task_duration),
-                        reduce_dist.std_dev(),
-                    ))
-                    .reduce_distribution(reduce_dist.clone());
-            }
-            jobs.push(builder.build());
+            jobs.push(self.build_job(JobId::new(idx as u64), arrival, priority, body));
         }
 
         Trace::new(jobs).expect("generated jobs are valid by construction")
+    }
+
+    /// Sum of the (unnormalised) class fractions.
+    pub(crate) fn total_fraction(&self) -> f64 {
+        self.profile.classes.iter().map(|c| c.fraction).sum()
+    }
+
+    /// Samples everything about one job except its arrival, priority and id.
+    ///
+    /// Shared by the batch [`GoogleTraceGenerator::generate`] path and the
+    /// streaming per-job path
+    /// ([`crate::source::StreamingGenerator`]); both consume the same draws in
+    /// the same order, so a job's tasks depend only on the RNG stream handed
+    /// in.
+    pub(crate) fn sample_job_body(&self, rng: &mut SimRng, total_fraction: f64) -> JobBody {
+        let p = &self.profile;
+        let class = self.pick_class(rng, total_fraction);
+        let num_tasks = self.sample_num_tasks(rng, class);
+        let num_map = ((num_tasks as f64 * p.map_fraction).round() as usize).clamp(1, num_tasks);
+        let num_reduce = num_tasks - num_map;
+
+        // Per-job mean task duration: log-normal around the class mean.
+        let job_mean_dist = DurationDistribution::lognormal_from_moments(
+            class.mean_task_duration,
+            class.mean_task_duration * class.job_duration_cv,
+        )
+        .expect("class parameters validated");
+        let job_mean = job_mean_dist
+            .sample(rng)
+            .clamp(p.min_task_duration, p.max_task_duration / 2.0);
+
+        // Reduce tasks tend to be longer than map tasks (they aggregate);
+        // keep a fixed 1.5× ratio, as the combined mean stays `job_mean`.
+        let map_mean = job_mean * 0.9;
+        let reduce_mean = job_mean * 1.5;
+
+        let map_dist = self.phase_distribution(map_mean, class.task_duration_cv);
+        let reduce_dist = self.phase_distribution(reduce_mean, class.task_duration_cv);
+
+        let map_workloads: Vec<f64> = (0..num_map)
+            .map(|_| {
+                map_dist
+                    .sample(rng)
+                    .clamp(p.min_task_duration, p.max_task_duration)
+            })
+            .collect();
+        let reduce_workloads: Vec<f64> = (0..num_reduce)
+            .map(|_| {
+                reduce_dist
+                    .sample(rng)
+                    .clamp(p.min_task_duration, p.max_task_duration)
+            })
+            .collect();
+        JobBody {
+            map_workloads,
+            reduce_workloads,
+            map_dist,
+            reduce_dist,
+        }
+    }
+
+    /// Assembles the [`JobSpec`] of one sampled job.
+    pub(crate) fn build_job(
+        &self,
+        id: JobId,
+        arrival: u64,
+        priority: u32,
+        body: JobBody,
+    ) -> crate::job::JobSpec {
+        let p = &self.profile;
+        let weight = (priority + 1) as f64;
+        let mut builder = JobSpecBuilder::new(id)
+            .arrival(arrival)
+            .weight(weight)
+            .map_tasks_from_workloads(&body.map_workloads)
+            .map_stats(PhaseStats::new(
+                body.map_dist
+                    .mean()
+                    .clamp(p.min_task_duration, p.max_task_duration),
+                body.map_dist.std_dev(),
+            ))
+            .map_distribution(body.map_dist);
+        if !body.reduce_workloads.is_empty() {
+            builder = builder
+                .reduce_tasks_from_workloads(&body.reduce_workloads)
+                .reduce_stats(PhaseStats::new(
+                    body.reduce_dist
+                        .mean()
+                        .clamp(p.min_task_duration, p.max_task_duration),
+                    body.reduce_dist.std_dev(),
+                ))
+                .reduce_distribution(body.reduce_dist);
+        }
+        builder.build()
     }
 
     fn pick_class<'a>(&'a self, rng: &mut SimRng, total_fraction: f64) -> &'a JobClass {
@@ -311,7 +352,7 @@ impl GoogleTraceGenerator {
     /// Samples an arrival time: with probability `burst_fraction` inside one
     /// of `num_bursts` short submission bursts, otherwise uniformly over the
     /// window.
-    fn sample_arrival(&self, rng: &mut SimRng) -> u64 {
+    pub(crate) fn sample_arrival(&self, rng: &mut SimRng) -> u64 {
         let p = &self.profile;
         if p.duration == 0 {
             return 0;
@@ -339,7 +380,7 @@ impl GoogleTraceGenerator {
         (n.round() as usize).clamp(class.min_tasks.max(1), class.max_tasks.max(1))
     }
 
-    fn sample_priority(&self, rng: &mut SimRng) -> u32 {
+    pub(crate) fn sample_priority(&self, rng: &mut SimRng) -> u32 {
         let p = self.profile.priority_decay.clamp(0.01, 0.99);
         let mut priority = 0u32;
         while priority < self.profile.max_priority && rng.gen_bool(p) {

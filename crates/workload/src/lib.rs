@@ -16,6 +16,12 @@
 //!   cluster-usage trace statistics reported in the paper (Table II).
 //! * [`generator`] — a generic [`WorkloadBuilder`] for tests, ablations and
 //!   custom experiments (bulk arrivals, Poisson arrivals, bursts, …).
+//! * [`source`] — the streaming side: the [`JobSource`] trait (jobs in
+//!   arrival order, on demand) with [`MaterializedSource`] (wraps a
+//!   [`Trace`]) and [`StreamingGenerator`] (lazy Google-profile synthesis
+//!   with per-job RNG streams, bounded memory at 100k+ jobs).
+//! * [`google_csv`] — an incremental converter from the public Google
+//!   cluster-usage `task_events` CSV schema into traces and sources.
 //!
 //! # Quick example
 //!
@@ -35,13 +41,17 @@
 pub mod distribution;
 pub mod generator;
 pub mod google;
+pub mod google_csv;
 pub mod ids;
 pub mod job;
+pub mod source;
 pub mod trace;
 
 pub use distribution::DurationDistribution;
 pub use generator::{ArrivalProcess, WorkloadBuilder};
 pub use google::{GoogleTraceGenerator, GoogleTraceProfile};
+pub use google_csv::{GoogleCsvError, GoogleCsvOptions, GoogleTraceSource};
 pub use ids::{JobId, Phase, TaskId};
 pub use job::{JobSpec, JobSpecBuilder, PhaseStats, TaskSpec};
+pub use source::{JobSource, MaterializedSource, StreamingGenerator};
 pub use trace::{Trace, TraceError, TraceStats};

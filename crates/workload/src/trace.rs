@@ -101,6 +101,12 @@ impl Trace {
         &self.jobs
     }
 
+    /// Consumes the trace, returning the owned jobs (arrival order, dense
+    /// ids). Lets [`crate::source::MaterializedSource`] yield by move.
+    pub fn into_jobs(self) -> Vec<JobSpec> {
+        self.jobs
+    }
+
     /// Looks a job up by id.
     pub fn job(&self, id: JobId) -> Option<&JobSpec> {
         self.jobs.get(id.as_usize())
