@@ -27,10 +27,12 @@ use std::hint::black_box;
 const EVENTS: usize = 200_000;
 
 fn finish_event(at: u64, copy: u64) -> Event {
+    // No slot recycling in these synthetic streams: seq == copy id.
     Event::CopyFinish {
         at,
         copy: CopyId(copy),
         task: TaskId::new(JobId::new(copy % 1024), Phase::Map, (copy % 64) as u32),
+        seq: copy,
     }
 }
 
@@ -128,7 +130,7 @@ fn cancel_calendar() -> u64 {
         for (i, &f) in finishes.iter().enumerate() {
             let id = next - CLONES + i as u64;
             if f > winner {
-                queue.retract(f, CopyId(id));
+                queue.retract(f, id);
             }
         }
         if rng.gen_range(0u32..4) == 0 {

@@ -89,6 +89,8 @@ fn bench_workload_stream(c: &mut Criterion) {
     let fullscale = Scenario::streaming(100_000, 1);
     let fullscale_seed = fullscale.seeds[0];
     let mut peak_100k = 0usize;
+    let mut peak_slots_100k = 0usize;
+    let mut copies_100k = 0usize;
     group.bench_with_input(
         BenchmarkId::from_parameter("stream100k/fifo"),
         &fullscale_seed,
@@ -97,13 +99,15 @@ fn bench_workload_stream(c: &mut Criterion) {
                 let outcome = run_streaming(fullscale.job_source(seed), fullscale.machines, seed);
                 assert_eq!(outcome.records().len(), 100_000);
                 peak_100k = outcome.peak_resident_jobs;
+                peak_slots_100k = outcome.peak_copy_slots;
+                copies_100k = outcome.total_copies;
                 black_box(outcome.mean_flowtime())
             })
         },
     );
     println!(
-        "workload stream: 100k-job streaming run peaked at {peak_100k} resident jobs \
-         ({} machines)",
+        "workload stream: 100k-job streaming run peaked at {peak_100k} resident jobs and \
+         {peak_slots_100k} copy slots for {copies_100k} copies ({} machines)",
         fullscale.machines
     );
     group.finish();
@@ -117,6 +121,8 @@ fn bench_workload_stream(c: &mut Criterion) {
             ("peak_resident_jobs", streamed.peak_resident_jobs.to_json()),
             ("stream100k_total_jobs", 100_000usize.to_json()),
             ("stream100k_peak_resident_jobs", peak_100k.to_json()),
+            ("stream100k_total_copies", copies_100k.to_json()),
+            ("stream100k_peak_copy_slots", peak_slots_100k.to_json()),
         ],
     );
 }

@@ -108,6 +108,15 @@ fn main() {
         scenario.seeds.len()
     );
 
+    // Figures share cells — Fig. 4 and Fig. 5 run the identical comparison
+    // sweep and only bucket the records differently — so an in-process
+    // result cache makes an `all` run simulate each cell exactly once.
+    // (Persistent cross-run caching is the experiment service's job:
+    // `mapreduce-server`'s `serve` binary.)
+    mapreduce_experiments::install_global_cache(std::sync::Arc::new(
+        mapreduce_experiments::MemoryCache::new(),
+    ));
+
     let experiment = options.experiment.as_str();
     let run_all = experiment == "all";
 

@@ -8,6 +8,14 @@
 //! integration tests. The Criterion benches in `crates/bench` call the same
 //! functions at reduced scale.
 //!
+//! Sweeps are **cache-aware**: every cell (scheduler × scenario × seed) has
+//! a canonical content fingerprint ([`cache::cell_fingerprint`]) and the
+//! multi-seed runner consults an [`cache::OutcomeCache`] — installed
+//! process-wide via [`cache::install_global_cache`] or passed explicitly —
+//! before simulating, so repeated figure sweeps reuse previously computed
+//! cells (see `mapreduce-server` for the persistent, multi-tenant service
+//! built on this seam).
+//!
 //! | Module | Paper artefact |
 //! |---|---|
 //! | [`table2`] | Table II — trace statistics |
@@ -24,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod cache;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;
@@ -35,5 +44,12 @@ pub mod scenario;
 pub mod table2;
 pub mod theorem1;
 
-pub use runner::{run_scheduler, run_scheduler_averaged, run_scheduler_from_source, SchedulerKind};
+pub use cache::{
+    cell_fingerprint, clear_global_cache, global_cache, install_global_cache, CacheStats,
+    MemoryCache, OutcomeCache,
+};
+pub use runner::{
+    run_cell, run_cells, run_scheduler, run_scheduler_averaged, run_scheduler_averaged_with,
+    run_scheduler_from_source, SchedulerKind,
+};
 pub use scenario::{Scenario, WorkloadSource};

@@ -1,12 +1,25 @@
 //! Running schedulers over scenarios: single runs, multi-seed averaging and
 //! the scheduler registry used by the `reproduce` binary.
+//!
+//! Multi-seed sweeps route through the **cache-aware path**: every cell
+//! (scheduler × scenario × seed) is identified by its content
+//! [fingerprint](crate::cache::cell_fingerprint), and if an
+//! [`OutcomeCache`] is supplied — explicitly via
+//! [`run_scheduler_averaged_with`] or process-wide via
+//! [`crate::cache::install_global_cache`] — previously computed cells are
+//! returned from the cache instead of being re-simulated. Cache hits are
+//! bit-identical to fresh runs (the simulator is deterministic and outcomes
+//! roundtrip JSON exactly), which the `server_cache` proptests pin.
 
+use crate::cache::{cell_fingerprint, OutcomeCache};
 use crate::scenario::{Scenario, WorkloadSource};
 use mapreduce_baselines::{FairScheduler, Fifo, Late, Mantri, Sca, SrptNoClone};
 use mapreduce_metrics::FlowtimeSummary;
 use mapreduce_sched::{OfflineSrpt, SrptMsC, SrptMsCConfig};
 use mapreduce_sim::{Scheduler, SimConfig, SimOutcome, Simulation};
+use mapreduce_support::json::{FromJson, JsonError, JsonValue, ToJson};
 use mapreduce_workload::{JobSource, Trace};
+use std::sync::OnceLock;
 
 /// The schedulers known to the experiment harness, with their parameters.
 ///
@@ -98,6 +111,26 @@ impl SchedulerKind {
         }
     }
 
+    /// The canonical scheduler id used by fingerprints and the experiment
+    /// service's wire protocol: unit variants are strings, parameterised
+    /// variants single-key objects (`{"SrptMsC":{"epsilon":0.6,"r":3}}`).
+    fn variant_fields(&self) -> Option<(&'static str, Vec<(&'static str, f64)>)> {
+        match *self {
+            SchedulerKind::SrptMsC { epsilon, r } => {
+                Some(("SrptMsC", vec![("epsilon", epsilon), ("r", r)]))
+            }
+            SchedulerKind::SrptMsNoCloning { epsilon, r } => {
+                Some(("SrptMsNoCloning", vec![("epsilon", epsilon), ("r", r)]))
+            }
+            SchedulerKind::SrptMsStrict { epsilon, r } => {
+                Some(("SrptMsStrict", vec![("epsilon", epsilon), ("r", r)]))
+            }
+            SchedulerKind::OfflineSrpt { r } => Some(("OfflineSrpt", vec![("r", r)])),
+            SchedulerKind::SrptNoClone { r } => Some(("SrptNoClone", vec![("r", r)])),
+            _ => None,
+        }
+    }
+
     /// A short stable label used in tables and benchmark ids.
     pub fn label(&self) -> String {
         match *self {
@@ -112,6 +145,72 @@ impl SchedulerKind {
             SchedulerKind::SrptNoClone { .. } => "SRPT (no cloning)".to_string(),
             SchedulerKind::Late => "LATE".to_string(),
         }
+    }
+}
+
+impl ToJson for SchedulerKind {
+    fn to_json(&self) -> JsonValue {
+        match self.variant_fields() {
+            Some((name, fields)) => JsonValue::object([(
+                name,
+                JsonValue::object(fields.into_iter().map(|(k, v)| (k, v.to_json()))),
+            )]),
+            None => JsonValue::String(
+                match *self {
+                    SchedulerKind::Mantri => "Mantri",
+                    SchedulerKind::Sca => "Sca",
+                    SchedulerKind::Fair => "Fair",
+                    SchedulerKind::Fifo => "Fifo",
+                    SchedulerKind::Late => "Late",
+                    _ => unreachable!("parameterised kinds covered above"),
+                }
+                .to_string(),
+            ),
+        }
+    }
+}
+
+impl FromJson for SchedulerKind {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        if let Some(name) = value.as_str() {
+            return match name {
+                "Mantri" => Ok(SchedulerKind::Mantri),
+                "Sca" => Ok(SchedulerKind::Sca),
+                "Fair" => Ok(SchedulerKind::Fair),
+                "Fifo" => Ok(SchedulerKind::Fifo),
+                "Late" => Ok(SchedulerKind::Late),
+                other => Err(JsonError::new(format!("unknown scheduler `{other}`"))),
+            };
+        }
+        let eps_r = |body: &JsonValue| -> Result<(f64, f64), JsonError> {
+            Ok((
+                f64::from_json(body.field("epsilon")?)?,
+                f64::from_json(body.field("r")?)?,
+            ))
+        };
+        if let Some(body) = value.get("SrptMsC") {
+            let (epsilon, r) = eps_r(body)?;
+            return Ok(SchedulerKind::SrptMsC { epsilon, r });
+        }
+        if let Some(body) = value.get("SrptMsNoCloning") {
+            let (epsilon, r) = eps_r(body)?;
+            return Ok(SchedulerKind::SrptMsNoCloning { epsilon, r });
+        }
+        if let Some(body) = value.get("SrptMsStrict") {
+            let (epsilon, r) = eps_r(body)?;
+            return Ok(SchedulerKind::SrptMsStrict { epsilon, r });
+        }
+        if let Some(body) = value.get("OfflineSrpt") {
+            return Ok(SchedulerKind::OfflineSrpt {
+                r: f64::from_json(body.field("r")?)?,
+            });
+        }
+        if let Some(body) = value.get("SrptNoClone") {
+            return Ok(SchedulerKind::SrptNoClone {
+                r: f64::from_json(body.field("r")?)?,
+            });
+        }
+        Err(JsonError::new("unknown SchedulerKind variant"))
     }
 }
 
@@ -147,29 +246,80 @@ pub fn run_scheduler_from_source(
         .unwrap_or_else(|e| panic!("simulation with {} failed: {e}", kind.label()))
 }
 
+/// Runs one cell — one scheduler over one seed of a scenario — with no cache
+/// involved. This is the ground-truth computation every cached path must
+/// reproduce bit for bit; the experiment service's worker pool goes through
+/// [`run_cells`] for cache misses.
+pub fn run_cell(kind: SchedulerKind, scenario: &Scenario, seed: u64) -> SimOutcome {
+    run_scheduler_from_source(kind, scenario.job_source(seed), scenario.machines, seed)
+}
+
+/// Simulates a batch of cells of one scenario in parallel (order-preserving,
+/// no cache), converting a Google CSV workload once and sharing the trace
+/// across every cell instead of re-parsing the file per cell. Each outcome
+/// is bit-identical to [`run_cell`] of the same `(kind, seed)`.
+pub fn run_cells(scenario: &Scenario, cells: &[(SchedulerKind, u64)]) -> Vec<SimOutcome> {
+    let is_csv = matches!(&scenario.source, WorkloadSource::GoogleCsv { .. });
+    let shared: OnceLock<Trace> = OnceLock::new();
+    mapreduce_support::par_map(cells, |_, &(kind, seed)| {
+        if is_csv {
+            let trace = shared.get_or_init(|| scenario.trace(seed));
+            run_scheduler(kind, trace, scenario.machines, seed)
+        } else {
+            run_cell(kind, scenario, seed)
+        }
+    })
+}
+
 /// Runs one scheduler over every seed of a scenario (in parallel) and returns
-/// one outcome per seed, in seed order.
+/// one outcome per seed, in seed order, consulting the process-wide
+/// [global cache](crate::cache::install_global_cache) if one is installed.
 ///
 /// Each seed is a fully independent deterministic stream: the scenario's
 /// [job source](Scenario::job_source) is built from the seed and the
 /// simulation's RNG is seeded with it, so the per-seed outcome — and
 /// therefore any average over seeds — is bit-identical whether this runs on
-/// one thread (`RAYON_NUM_THREADS=1`) or many. Every cell honours the
-/// scenario's [`crate::scenario::WorkloadSource`], so sweeps can pit
-/// materialized against streaming feeds (or a converted Google CSV) without
-/// touching the figure code.
+/// one thread (`RAYON_NUM_THREADS=1`) or many, and whether a cell comes out
+/// of the cache or a fresh simulation. Every cell honours the scenario's
+/// [`crate::scenario::WorkloadSource`], so sweeps can pit materialized
+/// against streaming feeds (or a converted Google CSV) without touching the
+/// figure code.
 pub fn run_scheduler_averaged(kind: SchedulerKind, scenario: &Scenario) -> Vec<SimOutcome> {
-    // A Google CSV workload is seed-invariant: convert the file once and
-    // share the trace across cells instead of re-parsing it per seed.
-    let shared: Option<Trace> = match &scenario.source {
-        WorkloadSource::GoogleCsv { .. } => {
-            Some(scenario.trace(scenario.seeds.first().copied().unwrap_or(0)))
+    let cache = crate::cache::global_cache();
+    run_scheduler_averaged_with(kind, scenario, cache.as_deref())
+}
+
+/// [`run_scheduler_averaged`] against an explicit cache (or none): cells
+/// whose fingerprint is cached are returned without simulating; misses are
+/// simulated and stored.
+pub fn run_scheduler_averaged_with(
+    kind: SchedulerKind,
+    scenario: &Scenario,
+    cache: Option<&dyn OutcomeCache>,
+) -> Vec<SimOutcome> {
+    // A Google CSV workload is seed-invariant: convert the file once, shared
+    // across cells — but only if some cell actually misses the cache.
+    let is_csv = matches!(&scenario.source, WorkloadSource::GoogleCsv { .. });
+    let shared: OnceLock<Trace> = OnceLock::new();
+    let simulate = |seed: u64| -> SimOutcome {
+        if is_csv {
+            let trace = shared.get_or_init(|| scenario.trace(seed));
+            run_scheduler(kind, trace, scenario.machines, seed)
+        } else {
+            run_cell(kind, scenario, seed)
         }
-        _ => None,
     };
-    mapreduce_support::par_map(&scenario.seeds, |_, &seed| match &shared {
-        Some(trace) => run_scheduler(kind, trace, scenario.machines, seed),
-        None => run_scheduler_from_source(kind, scenario.job_source(seed), scenario.machines, seed),
+    mapreduce_support::par_map(&scenario.seeds, |_, &seed| {
+        let Some(cache) = cache else {
+            return simulate(seed);
+        };
+        let fingerprint = cell_fingerprint(kind, scenario, seed);
+        if let Some(hit) = cache.lookup(fingerprint) {
+            return hit;
+        }
+        let outcome = simulate(seed);
+        cache.store(fingerprint, &outcome);
+        outcome
     })
 }
 
@@ -220,6 +370,56 @@ mod tests {
             assert!(!kind.label().is_empty());
         }
         assert_eq!(SchedulerKind::paper_comparison().len(), 3);
+    }
+
+    #[test]
+    fn scheduler_kind_json_roundtrip() {
+        let kinds = [
+            SchedulerKind::paper_default(),
+            SchedulerKind::SrptMsNoCloning {
+                epsilon: 0.4,
+                r: 2.0,
+            },
+            SchedulerKind::SrptMsStrict {
+                epsilon: 0.6,
+                r: 3.0,
+            },
+            SchedulerKind::OfflineSrpt { r: 1.5 },
+            SchedulerKind::Mantri,
+            SchedulerKind::Sca,
+            SchedulerKind::Fair,
+            SchedulerKind::Fifo,
+            SchedulerKind::SrptNoClone { r: 1.0 },
+            SchedulerKind::Late,
+        ];
+        for kind in kinds {
+            let json = kind.to_json().to_compact_string();
+            let back = SchedulerKind::from_json(&JsonValue::parse(&json).unwrap()).unwrap();
+            assert_eq!(back, kind, "roundtrip failed for {json}");
+        }
+        assert!(SchedulerKind::from_json(&JsonValue::String("Nope".into())).is_err());
+        assert!(SchedulerKind::from_json(&JsonValue::Null).is_err());
+    }
+
+    #[test]
+    fn averaged_sweeps_consult_an_explicit_cache() {
+        use crate::cache::{MemoryCache, OutcomeCache};
+
+        let scenario = Scenario::scaled(30, 2);
+        let cache = MemoryCache::new();
+        let cold = run_scheduler_averaged_with(SchedulerKind::Fifo, &scenario, Some(&cache));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.stores), (0, 2, 2));
+
+        // Warm rerun: every cell comes out of the cache, bit-identical.
+        let warm = run_scheduler_averaged_with(SchedulerKind::Fifo, &scenario, Some(&cache));
+        assert_eq!(warm, cold);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (2, 2));
+
+        // And matches the uncached path exactly.
+        let fresh = run_scheduler_averaged_with(SchedulerKind::Fifo, &scenario, None);
+        assert_eq!(fresh, cold);
     }
 
     #[test]

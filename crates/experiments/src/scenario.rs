@@ -1,5 +1,6 @@
 //! Experiment scenarios: workload source, cluster size and trial seeds.
 
+use mapreduce_support::json::{FromJson, JsonError, JsonValue, ToJson};
 use mapreduce_workload::{
     GoogleCsvOptions, GoogleTraceProfile, GoogleTraceSource, JobSource, MaterializedSource,
     StreamingGenerator, Trace,
@@ -31,6 +32,40 @@ pub enum WorkloadSource {
         /// Path of the `task_events` CSV file.
         path: PathBuf,
     },
+}
+
+impl ToJson for WorkloadSource {
+    fn to_json(&self) -> JsonValue {
+        match self {
+            WorkloadSource::Materialized => JsonValue::String("Materialized".to_string()),
+            WorkloadSource::Streaming => JsonValue::String("Streaming".to_string()),
+            WorkloadSource::GoogleCsv { path } => JsonValue::object([(
+                "GoogleCsv",
+                JsonValue::object([(
+                    "path",
+                    JsonValue::String(path.to_string_lossy().into_owned()),
+                )]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for WorkloadSource {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        if let Some(name) = value.as_str() {
+            return match name {
+                "Materialized" => Ok(WorkloadSource::Materialized),
+                "Streaming" => Ok(WorkloadSource::Streaming),
+                other => Err(JsonError::new(format!("unknown workload source `{other}`"))),
+            };
+        }
+        if let Some(body) = value.get("GoogleCsv") {
+            return Ok(WorkloadSource::GoogleCsv {
+                path: PathBuf::from(String::from_json(body.field("path")?)?),
+            });
+        }
+        Err(JsonError::new("unknown WorkloadSource variant"))
+    }
 }
 
 /// A reusable description of "which workload, which cluster, how many
@@ -174,9 +209,60 @@ impl Scenario {
     }
 }
 
+impl ToJson for Scenario {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("profile", self.profile.to_json()),
+            ("machines", self.machines.to_json()),
+            ("seeds", self.seeds.to_json()),
+            ("source", self.source.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Scenario {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        Ok(Scenario {
+            profile: GoogleTraceProfile::from_json(value.field("profile")?)?,
+            machines: usize::from_json(value.field("machines")?)?,
+            seeds: Vec::from_json(value.field("seeds")?)?,
+            // Absent in requests written before streaming sources existed.
+            source: match value.get("source") {
+                Some(v) => WorkloadSource::from_json(v)?,
+                None => WorkloadSource::Materialized,
+            },
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scenario_json_roundtrip() {
+        // The experiment service receives scenarios over the wire; every
+        // source kind must roundtrip exactly.
+        for scenario in [
+            Scenario::scaled(60, 2),
+            Scenario::streaming(40, 1).with_machines(17),
+            Scenario::test().with_source(WorkloadSource::GoogleCsv {
+                path: PathBuf::from("tests/fixtures/google_sample.csv"),
+            }),
+        ] {
+            let json = scenario.to_json().to_compact_string();
+            let back = Scenario::from_json(&JsonValue::parse(&json).unwrap()).unwrap();
+            assert_eq!(back, scenario, "roundtrip failed for {json}");
+        }
+        // A pre-streaming document without a source field defaults to
+        // materialized.
+        let mut legacy = Scenario::scaled(10, 1).to_json();
+        if let JsonValue::Object(map) = &mut legacy {
+            map.remove("source");
+        }
+        let back = Scenario::from_json(&legacy).unwrap();
+        assert_eq!(back.source, WorkloadSource::Materialized);
+    }
 
     #[test]
     fn paper_scenario_matches_table_ii_scale() {

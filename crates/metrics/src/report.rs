@@ -106,7 +106,17 @@ mod tests {
                 true_workload: 1.0,
             })
             .collect();
-        SimOutcome::new(name.to_string(), 4, records, 100, 10, flowtimes.len(), 5, 1)
+        SimOutcome::new(
+            name.to_string(),
+            4,
+            records,
+            100,
+            10,
+            flowtimes.len(),
+            5,
+            1,
+            1,
+        )
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Flowtime summary statistics.
 
 use mapreduce_sim::{JobRecord, SimOutcome};
+use mapreduce_support::json::{FromJson, JsonError, JsonValue, ToJson};
 
 /// A half-open flowtime bucket `[lo, hi)` used to split jobs into the paper's
 /// "small" (0–300 s) and "big" (300–4000 s) categories.
@@ -112,6 +113,38 @@ impl FlowtimeSummary {
     }
 }
 
+impl ToJson for FlowtimeSummary {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("scheduler", self.scheduler.to_json()),
+            ("jobs", self.jobs.to_json()),
+            ("mean", self.mean.to_json()),
+            ("weighted_mean", self.weighted_mean.to_json()),
+            ("weighted_sum", self.weighted_sum.to_json()),
+            ("median", self.median.to_json()),
+            ("p95", self.p95.to_json()),
+            ("max", self.max.to_json()),
+            ("mean_copies_per_task", self.mean_copies_per_task.to_json()),
+        ])
+    }
+}
+
+impl FromJson for FlowtimeSummary {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        Ok(FlowtimeSummary {
+            scheduler: String::from_json(value.field("scheduler")?)?,
+            jobs: usize::from_json(value.field("jobs")?)?,
+            mean: f64::from_json(value.field("mean")?)?,
+            weighted_mean: f64::from_json(value.field("weighted_mean")?)?,
+            weighted_sum: f64::from_json(value.field("weighted_sum")?)?,
+            median: f64::from_json(value.field("median")?)?,
+            p95: f64::from_json(value.field("p95")?)?,
+            max: f64::from_json(value.field("max")?)?,
+            mean_copies_per_task: f64::from_json(value.field("mean_copies_per_task")?)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,12 +209,25 @@ mod tests {
             6,
             10,
             3,
+            3,
         );
         let small = FlowtimeSummary::for_bucket(&outcome, FlowtimeBucket::SMALL_JOBS);
         assert_eq!(small.jobs, 2);
         let big = FlowtimeSummary::for_bucket(&outcome, FlowtimeBucket::BIG_JOBS);
         assert_eq!(big.jobs, 1);
         assert_eq!(small.scheduler, "sched");
+    }
+
+    #[test]
+    fn summary_json_roundtrip() {
+        // The experiment service ships summaries over its line protocol;
+        // they must roundtrip exactly (bit-identical floats included).
+        let records = vec![record(0, 1.0, 137), record(1, 3.0, 211)];
+        let summary = FlowtimeSummary::from_records("SRPTMS+C", &records, 1.25);
+        let json = summary.to_json().to_compact_string();
+        let back = FlowtimeSummary::from_json(&JsonValue::parse(&json).unwrap()).unwrap();
+        assert_eq!(back, summary);
+        assert!(FlowtimeSummary::from_json(&JsonValue::Null).is_err());
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! `serve` — the experiment-service entry point: a sweep server speaking
+//! line-delimited JSON over stdin/stdout, backed by a persistent result
+//! cache.
+//!
+//! ```text
+//! serve [--cache <path>] [--memory] [--max-entries N] [--smoke]
+//!
+//! --cache        JSON-lines cache file (default: target/sweep-cache.jsonl;
+//!                created on first store, safe to delete at any time)
+//! --memory       in-process cache only, nothing persisted
+//! --max-entries  cap the cache index (oldest-first eviction)
+//! --smoke        run a built-in cold→warm round-trip through the line
+//!                protocol and exit non-zero if the warm pass simulates
+//!                anything or diverges from the cold pass
+//! ```
+//!
+//! Example session (one request per line on stdin):
+//!
+//! ```text
+//! $ cargo run --release -p mapreduce-server --bin serve <<'EOF'
+//! {"cmd":"stats"}
+//! {"cmd":"shutdown"}
+//! EOF
+//! ```
+
+use mapreduce_server::{serve_lines, ResultCache, SweepRequest, SweepResponse, SweepServer};
+use mapreduce_support::json::{FromJson, JsonValue, ToJson};
+use std::process::ExitCode;
+
+struct Options {
+    cache_path: String,
+    in_memory: bool,
+    max_entries: Option<usize>,
+    smoke: bool,
+}
+
+fn parse_args() -> Options {
+    let mut options = Options {
+        cache_path: "target/sweep-cache.jsonl".to_string(),
+        in_memory: false,
+        max_entries: None,
+        smoke: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--cache" => {
+                options.cache_path = args.next().unwrap_or_else(|| {
+                    eprintln!("--cache needs a path");
+                    std::process::exit(2);
+                });
+            }
+            "--memory" => options.in_memory = true,
+            "--max-entries" => {
+                let value = args.next().unwrap_or_else(|| {
+                    eprintln!("--max-entries needs a number");
+                    std::process::exit(2);
+                });
+                let parsed: usize = value.parse().unwrap_or_else(|_| {
+                    eprintln!("invalid --max-entries value: {value}");
+                    std::process::exit(2);
+                });
+                if parsed == 0 {
+                    eprintln!("--max-entries must be at least 1");
+                    std::process::exit(2);
+                }
+                options.max_entries = Some(parsed);
+            }
+            "--smoke" => options.smoke = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: serve [--cache <path>] [--memory] [--max-entries N] [--smoke]\n\
+                     reads line-delimited JSON requests from stdin; see the crate docs for \
+                     the protocol"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    options
+}
+
+/// The canned cold→warm round-trip of `--smoke`: two identical sweep
+/// requests through the real line protocol; the warm pass must simulate
+/// nothing and reproduce the cold summaries exactly. (With a pre-warmed
+/// persistent cache even the first pass is all hits — still a pass.)
+fn smoke(server: &SweepServer) -> Result<(), String> {
+    use mapreduce_experiments::{Scenario, SchedulerKind};
+
+    let request = SweepRequest::new(
+        Scenario::scaled(40, 2),
+        vec![SchedulerKind::Fifo, SchedulerKind::paper_default()],
+    );
+    let line = match request.to_json() {
+        JsonValue::Object(mut map) => {
+            map.insert("cmd".into(), JsonValue::String("sweep".into()));
+            JsonValue::Object(map).to_compact_string()
+        }
+        _ => unreachable!("requests serialize to objects"),
+    };
+    let script = format!("{line}\n{line}\n{{\"cmd\":\"stats\"}}\n{{\"cmd\":\"shutdown\"}}\n");
+    let mut out = Vec::new();
+    serve_lines(server, script.as_bytes(), &mut out).map_err(|e| format!("serve failed: {e}"))?;
+    let text = String::from_utf8(out).map_err(|e| format!("non-utf8 response: {e}"))?;
+    let lines: Vec<JsonValue> = text
+        .lines()
+        .map(|l| JsonValue::parse(l).map_err(|e| format!("bad response line: {e}")))
+        .collect::<Result<_, _>>()?;
+    if lines.len() != 4 {
+        return Err(format!("expected 4 response lines, got {}", lines.len()));
+    }
+    let response = |i: usize| -> Result<SweepResponse, String> {
+        SweepResponse::from_json(
+            lines[i]
+                .get("response")
+                .ok_or_else(|| format!("line {i} has no response: {}", lines[i]))?,
+        )
+        .map_err(|e| format!("line {i}: {e}"))
+    };
+    let cold = response(0)?;
+    let warm = response(1)?;
+    if warm.simulated != 0 {
+        return Err(format!(
+            "warm pass simulated {} cells (expected 0)",
+            warm.simulated
+        ));
+    }
+    if warm.cache_hits != request.num_cells() {
+        return Err(format!(
+            "warm pass hit {} of {} cells",
+            warm.cache_hits,
+            request.num_cells()
+        ));
+    }
+    if warm.averages != cold.averages
+        || warm
+            .cells
+            .iter()
+            .zip(&cold.cells)
+            .any(|(w, c)| w.summary != c.summary || w.fingerprint != c.fingerprint)
+    {
+        return Err("warm results diverge from cold results".to_string());
+    }
+    eprintln!(
+        "smoke ok: {} cells; cold pass simulated {}, warm pass simulated 0 ({} hits)",
+        request.num_cells(),
+        cold.simulated,
+        warm.cache_hits
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let options = parse_args();
+    let cache = if options.in_memory {
+        ResultCache::in_memory()
+    } else {
+        match ResultCache::open(&options.cache_path) {
+            Ok(cache) => cache,
+            Err(e) => {
+                eprintln!("serve: cannot open cache {}: {e}", options.cache_path);
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let cache = match options.max_entries {
+        Some(n) => cache.with_max_entries(n),
+        None => cache,
+    };
+    eprintln!(
+        "serve: cache {} ({} entries loaded, {} corrupt lines skipped)",
+        cache
+            .path()
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|| "in memory".to_string()),
+        cache.len(),
+        cache.skipped_lines()
+    );
+    let server = SweepServer::new(cache);
+
+    if options.smoke {
+        return match smoke(&server) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("serve: smoke failed: {message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    match serve_lines(&server, stdin.lock(), stdout.lock()) {
+        Ok(stats) => {
+            eprintln!(
+                "serve: {} request(s), {} error line(s), {}",
+                stats.requests,
+                stats.errors,
+                if stats.shutdown { "shutdown" } else { "eof" }
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve: transport error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! Line-delimited JSON protocol: one request per input line, one response
+//! per output line.
+//!
+//! The protocol is transport-agnostic ([`serve_lines`] takes any
+//! `BufRead`/`Write` pair); the `serve` binary wires it to stdin/stdout so
+//! external tooling can drive sweeps with nothing but a pipe:
+//!
+//! ```text
+//! {"cmd":"sweep","scenario":{...},"schedulers":["Fifo",{"SrptMsC":{"epsilon":0.6,"r":3}}]}
+//! → {"ok":true,"cmd":"sweep","response":{"cells":[...],"averages":[...],"cache_hits":0,...}}
+//! {"cmd":"stats"}
+//! → {"ok":true,"cmd":"stats","cache":{"entries":20,"hits":0,"misses":20,"stores":20,...}}
+//! {"cmd":"shutdown"}
+//! → {"ok":true,"cmd":"shutdown"}
+//! ```
+//!
+//! Malformed lines produce `{"ok":false,"error":"..."}` and the loop keeps
+//! serving — a multi-tenant stdin feed must never be taken down by one bad
+//! request. Blank lines are ignored; EOF ends the loop like `shutdown`.
+
+use crate::service::{SweepRequest, SweepServer};
+use mapreduce_experiments::cache::OutcomeCache;
+use mapreduce_support::json::{FromJson, JsonError, JsonValue, ToJson};
+use std::io::{BufRead, Write};
+
+/// A parsed protocol request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run (or serve from cache) one sweep.
+    Sweep(SweepRequest),
+    /// Report cache statistics.
+    Stats,
+    /// Stop serving after acknowledging.
+    Shutdown,
+}
+
+impl FromJson for Request {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        let cmd = value
+            .field("cmd")?
+            .as_str()
+            .ok_or_else(|| JsonError::new("`cmd` must be a string"))?;
+        match cmd {
+            "sweep" => Ok(Request::Sweep(SweepRequest::from_json(value)?)),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(JsonError::new(format!("unknown cmd `{other}`"))),
+        }
+    }
+}
+
+/// Accounting of one [`serve_lines`] session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Requests served successfully (sweeps and stats).
+    pub requests: usize,
+    /// Lines rejected with an error response.
+    pub errors: usize,
+    /// Whether the session ended via an explicit `shutdown` (vs EOF).
+    pub shutdown: bool,
+}
+
+/// Serializes the `stats` response body for a server's cache.
+fn cache_stats_json(server: &SweepServer) -> JsonValue {
+    let cache = server.cache();
+    let stats = cache.stats();
+    JsonValue::object([
+        ("entries", cache.len().to_json()),
+        ("hits", stats.hits.to_json()),
+        ("misses", stats.misses.to_json()),
+        ("stores", stats.stores.to_json()),
+        ("evicted", cache.evicted().to_json()),
+        ("skipped_lines", cache.skipped_lines().to_json()),
+        (
+            "path",
+            match cache.path() {
+                Some(path) => JsonValue::String(path.to_string_lossy().into_owned()),
+                None => JsonValue::Null,
+            },
+        ),
+    ])
+}
+
+fn write_line<W: Write>(writer: &mut W, value: &JsonValue) -> std::io::Result<()> {
+    writeln!(writer, "{}", value.to_compact_string())?;
+    writer.flush()
+}
+
+/// Serves line-delimited requests from `reader`, writing one response line
+/// each to `writer`, until EOF or a `shutdown` request.
+///
+/// # Errors
+/// Returns an error only for transport I/O failures; malformed request
+/// content is answered with an `{"ok":false,...}` line instead.
+pub fn serve_lines<R: BufRead, W: Write>(
+    server: &SweepServer,
+    reader: R,
+    mut writer: W,
+) -> std::io::Result<ServeStats> {
+    let mut stats = ServeStats::default();
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = JsonValue::parse(&line)
+            .map_err(|e| e.to_string())
+            .and_then(|v| Request::from_json(&v).map_err(|e| e.to_string()));
+        match request {
+            Err(message) => {
+                stats.errors += 1;
+                write_line(
+                    &mut writer,
+                    &JsonValue::object([("ok", false.to_json()), ("error", message.to_json())]),
+                )?;
+            }
+            Ok(Request::Sweep(sweep)) => {
+                // Degenerate requests are rejected up front; anything that
+                // still panics inside the simulation (a stalled scheduler,
+                // an invalid generator profile) is caught and answered as
+                // an error line — one tenant's bad request must never take
+                // the server down.
+                let result = sweep.validate().and_then(|()| {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| server.submit(&sweep)))
+                        .map_err(|payload| {
+                            let message = payload
+                                .downcast_ref::<String>()
+                                .map(String::as_str)
+                                .or_else(|| payload.downcast_ref::<&str>().copied())
+                                .unwrap_or("sweep panicked");
+                            format!("sweep failed: {message}")
+                        })
+                });
+                match result {
+                    Ok(response) => {
+                        stats.requests += 1;
+                        write_line(
+                            &mut writer,
+                            &JsonValue::object([
+                                ("ok", true.to_json()),
+                                ("cmd", JsonValue::String("sweep".into())),
+                                ("response", response.to_json()),
+                            ]),
+                        )?;
+                    }
+                    Err(message) => {
+                        stats.errors += 1;
+                        write_line(
+                            &mut writer,
+                            &JsonValue::object([
+                                ("ok", false.to_json()),
+                                ("error", message.to_json()),
+                            ]),
+                        )?;
+                    }
+                }
+            }
+            Ok(Request::Stats) => {
+                stats.requests += 1;
+                write_line(
+                    &mut writer,
+                    &JsonValue::object([
+                        ("ok", true.to_json()),
+                        ("cmd", JsonValue::String("stats".into())),
+                        ("cache", cache_stats_json(server)),
+                    ]),
+                )?;
+            }
+            Ok(Request::Shutdown) => {
+                stats.shutdown = true;
+                write_line(
+                    &mut writer,
+                    &JsonValue::object([
+                        ("ok", true.to_json()),
+                        ("cmd", JsonValue::String("shutdown".into())),
+                    ]),
+                )?;
+                break;
+            }
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::ResultCache;
+    use crate::service::SweepResponse;
+    use mapreduce_experiments::{Scenario, SchedulerKind};
+
+    fn server() -> SweepServer {
+        SweepServer::new(ResultCache::in_memory())
+    }
+
+    fn request_line() -> String {
+        let request = SweepRequest::new(Scenario::scaled(12, 1), vec![SchedulerKind::Fifo]);
+        match request.to_json() {
+            JsonValue::Object(mut map) => {
+                map.insert("cmd".into(), JsonValue::String("sweep".into()));
+                JsonValue::Object(map).to_compact_string()
+            }
+            _ => unreachable!("requests serialize to objects"),
+        }
+    }
+
+    /// Runs a scripted session and returns the response lines.
+    fn session(server: &SweepServer, input: &str) -> (Vec<JsonValue>, ServeStats) {
+        let mut out = Vec::new();
+        let stats = serve_lines(server, input.as_bytes(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines = text
+            .lines()
+            .map(|l| JsonValue::parse(l).expect("every response line is JSON"))
+            .collect();
+        (lines, stats)
+    }
+
+    #[test]
+    fn sweep_stats_and_shutdown_round_trip() {
+        let server = server();
+        let input = format!(
+            "{}\n\n{}\n{{\"cmd\":\"stats\"}}\n{{\"cmd\":\"shutdown\"}}\nignored after shutdown\n",
+            request_line(),
+            request_line()
+        );
+        let (lines, stats) = session(&server, &input);
+        assert_eq!(lines.len(), 4);
+        assert_eq!(stats.requests, 3);
+        assert_eq!(stats.errors, 0);
+        assert!(stats.shutdown);
+
+        // Cold sweep simulates, warm sweep is served entirely from cache —
+        // with bit-identical cells.
+        let cold = SweepResponse::from_json(lines[0].field("response").unwrap()).unwrap();
+        let warm = SweepResponse::from_json(lines[1].field("response").unwrap()).unwrap();
+        assert_eq!(cold.simulated, 1);
+        assert_eq!(warm.simulated, 0);
+        assert_eq!(warm.cache_hits, 1);
+        assert_eq!(warm.cells[0].summary, cold.cells[0].summary);
+        assert!(warm.cells[0].from_cache);
+        assert!(!cold.cells[0].from_cache);
+
+        let cache = lines[2].field("cache").unwrap();
+        assert_eq!(cache.field("entries").unwrap().as_u64(), Some(1));
+        assert_eq!(cache.field("path").unwrap(), &JsonValue::Null);
+        assert_eq!(lines[3].field("cmd").unwrap().as_str(), Some("shutdown"));
+    }
+
+    #[test]
+    fn malformed_lines_get_error_responses_and_serving_continues() {
+        let server = server();
+        let input = format!(
+            "not json\n{{\"cmd\":\"nope\"}}\n{{\"nocmd\":1}}\n{}\n",
+            request_line()
+        );
+        let (lines, stats) = session(&server, &input);
+        assert_eq!(lines.len(), 4);
+        assert_eq!(stats.errors, 3);
+        assert_eq!(stats.requests, 1);
+        assert!(!stats.shutdown, "EOF, not shutdown");
+        for line in &lines[..3] {
+            assert_eq!(line.field("ok").unwrap().as_bool(), Some(false));
+            assert!(line.field("error").is_ok());
+        }
+        assert_eq!(lines[3].field("ok").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn degenerate_sweeps_get_error_lines_not_crashes() {
+        let server = server();
+        // Empty seeds, empty scheduler list, zero machines: all well-formed
+        // JSON, all rejected by validation; the server keeps serving.
+        let mut no_seeds = Scenario::scaled(10, 1);
+        no_seeds.seeds.clear();
+        let mut no_machines = Scenario::scaled(10, 1);
+        no_machines.machines = 0;
+        let degenerate = [
+            SweepRequest::new(no_seeds, vec![SchedulerKind::Fifo]),
+            SweepRequest::new(Scenario::scaled(10, 1), Vec::new()),
+            SweepRequest::new(no_machines, vec![SchedulerKind::Fifo]),
+        ];
+        let mut input = String::new();
+        for request in &degenerate {
+            match request.to_json() {
+                JsonValue::Object(mut map) => {
+                    map.insert("cmd".into(), JsonValue::String("sweep".into()));
+                    input.push_str(&JsonValue::Object(map).to_compact_string());
+                    input.push('\n');
+                }
+                _ => unreachable!(),
+            }
+        }
+        input.push_str(&request_line());
+        input.push('\n');
+        let (lines, stats) = session(&server, &input);
+        assert_eq!(stats.errors, 3);
+        assert_eq!(stats.requests, 1);
+        for line in &lines[..3] {
+            assert_eq!(line.field("ok").unwrap().as_bool(), Some(false));
+        }
+        assert_eq!(lines[3].field("ok").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn panicking_sweeps_are_answered_not_fatal() {
+        // A profile that passes shape validation but panics inside the
+        // generator (class fractions summing to zero): the backstop turns
+        // the panic into an error line and the next request still works.
+        let server = server();
+        let mut scenario = Scenario::scaled(10, 1);
+        for class in &mut scenario.profile.classes {
+            class.fraction = 0.0;
+        }
+        let bad = match SweepRequest::new(scenario, vec![SchedulerKind::Fifo]).to_json() {
+            JsonValue::Object(mut map) => {
+                map.insert("cmd".into(), JsonValue::String("sweep".into()));
+                JsonValue::Object(map).to_compact_string()
+            }
+            _ => unreachable!(),
+        };
+        let input = format!("{bad}\n{}\n", request_line());
+        let (lines, stats) = session(&server, &input);
+        assert_eq!(stats.errors, 1);
+        assert_eq!(stats.requests, 1);
+        assert_eq!(lines[0].field("ok").unwrap().as_bool(), Some(false));
+        let message = lines[0].field("error").unwrap().as_str().unwrap();
+        assert!(message.contains("sweep failed"), "got {message}");
+        assert_eq!(lines[1].field("ok").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn request_parsing_rejects_non_object_cmds() {
+        assert!(Request::from_json(&JsonValue::Null).is_err());
+        let bad_cmd = JsonValue::object([("cmd", 5u64.to_json())]);
+        assert!(Request::from_json(&bad_cmd).is_err());
+        let stats = JsonValue::object([("cmd", JsonValue::String("stats".into()))]);
+        assert_eq!(Request::from_json(&stats).unwrap(), Request::Stats);
+    }
+}

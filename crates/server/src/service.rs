@@ -1,0 +1,315 @@
+//! The sweep service: requests, responses, and the cache-aware worker-pool
+//! runtime.
+//!
+//! A [`SweepRequest`] names a [`Scenario`] and a scheduler line-up — exactly
+//! the shape of one figure sweep. [`SweepServer::submit`] expands it into
+//! cells (scheduler × seed), fingerprints each cell, and resolves them in
+//! three tiers:
+//!
+//! 1. **cache hits** — served straight from the [`ResultCache`];
+//! 2. **in-flight duplicates** — cells sharing a fingerprint with another
+//!    miss in the same request are simulated once and fanned back out;
+//! 3. **misses** — simulated on the deterministic worker pool
+//!    ([`mapreduce_support::par_map`], bit-identical under any thread
+//!    count) and stored in the cache.
+//!
+//! The per-cell outcome is identical across all three tiers, so a
+//! [`SweepResponse`] is bit-for-bit the same whether it was computed cold or
+//! served warm — the counters ([`SweepResponse::cache_hits`],
+//! [`SweepResponse::simulated`], …) are the only difference, and they are
+//! exactly how the acceptance tests verify that a warm figure rerun
+//! performs zero cell simulations.
+
+use crate::cache::ResultCache;
+use mapreduce_experiments::cache::OutcomeCache;
+use mapreduce_experiments::runner::average_summary;
+use mapreduce_experiments::{cell_fingerprint, runner::run_cells, Scenario, SchedulerKind};
+use mapreduce_metrics::FlowtimeSummary;
+use mapreduce_sim::SimOutcome;
+use mapreduce_support::hash::Fingerprint;
+use mapreduce_support::json::{FromJson, JsonError, JsonValue, ToJson};
+use std::collections::HashMap;
+
+/// One sweep: a scenario and the schedulers to run over it. The request's
+/// cells are the cross product `schedulers × scenario.seeds`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRequest {
+    /// The workload/cluster/seeds description shared by every cell.
+    pub scenario: Scenario,
+    /// The scheduler line-up; one summary row per entry in the response.
+    pub schedulers: Vec<SchedulerKind>,
+}
+
+impl SweepRequest {
+    /// Builds a request.
+    pub fn new(scenario: Scenario, schedulers: Vec<SchedulerKind>) -> Self {
+        SweepRequest {
+            scenario,
+            schedulers,
+        }
+    }
+
+    /// Number of cells this request expands into.
+    pub fn num_cells(&self) -> usize {
+        self.schedulers.len() * self.scenario.seeds.len()
+    }
+
+    /// Rejects degenerate requests that cannot produce a meaningful sweep —
+    /// the protocol layer answers these with an error line instead of
+    /// letting them reach the simulation's assertions.
+    ///
+    /// # Errors
+    /// Returns a human-readable description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schedulers.is_empty() {
+            return Err("request needs at least one scheduler".to_string());
+        }
+        if self.scenario.seeds.is_empty() {
+            return Err("scenario needs at least one seed".to_string());
+        }
+        if self.scenario.machines == 0 {
+            return Err("scenario needs at least one machine".to_string());
+        }
+        if self.scenario.profile.num_jobs == 0 {
+            return Err("scenario profile needs at least one job".to_string());
+        }
+        if self.scenario.profile.classes.is_empty() {
+            return Err("scenario profile needs at least one job class".to_string());
+        }
+        Ok(())
+    }
+
+    /// The cells in canonical order (scheduler-major, seeds in scenario
+    /// order), each with its fingerprint.
+    fn cells(&self) -> Vec<(SchedulerKind, u64, Fingerprint)> {
+        let mut cells = Vec::with_capacity(self.num_cells());
+        for &kind in &self.schedulers {
+            for &seed in &self.scenario.seeds {
+                cells.push((kind, seed, cell_fingerprint(kind, &self.scenario, seed)));
+            }
+        }
+        cells
+    }
+}
+
+impl ToJson for SweepRequest {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("scenario", self.scenario.to_json()),
+            ("schedulers", self.schedulers.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SweepRequest {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        Ok(SweepRequest {
+            scenario: Scenario::from_json(value.field("scenario")?)?,
+            schedulers: Vec::from_json(value.field("schedulers")?)?,
+        })
+    }
+}
+
+/// The outcome of one cell, as reported to the requester.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// The scheduler of this cell.
+    pub scheduler: SchedulerKind,
+    /// The seed of this cell.
+    pub seed: u64,
+    /// The cell's content fingerprint (the cache key).
+    pub fingerprint: Fingerprint,
+    /// Whether the outcome was served from the cache (`false` for cells
+    /// simulated by this request, including the representative of a
+    /// deduplicated group).
+    pub from_cache: bool,
+    /// Flowtime summary of the cell's outcome.
+    pub summary: FlowtimeSummary,
+}
+
+impl ToJson for CellResult {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("scheduler", self.scheduler.to_json()),
+            ("seed", self.seed.to_json()),
+            ("fingerprint", self.fingerprint.to_json()),
+            ("from_cache", self.from_cache.to_json()),
+            ("summary", self.summary.to_json()),
+        ])
+    }
+}
+
+impl FromJson for CellResult {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        Ok(CellResult {
+            scheduler: SchedulerKind::from_json(value.field("scheduler")?)?,
+            seed: u64::from_json(value.field("seed")?)?,
+            fingerprint: Fingerprint::from_json(value.field("fingerprint")?)?,
+            from_cache: bool::from_json(value.field("from_cache")?)?,
+            summary: FlowtimeSummary::from_json(value.field("summary")?)?,
+        })
+    }
+}
+
+/// The result of one sweep: per-cell summaries, per-scheduler averages, and
+/// the cache accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResponse {
+    /// One entry per cell, in the request's canonical order
+    /// (scheduler-major, seeds in scenario order).
+    pub cells: Vec<CellResult>,
+    /// One seed-averaged summary per requested scheduler, in request order
+    /// (the rows a figure renders).
+    pub averages: Vec<FlowtimeSummary>,
+    /// Cells served from the result cache.
+    pub cache_hits: usize,
+    /// Cells not found in the cache (`simulated + deduped_in_flight`).
+    pub cache_misses: usize,
+    /// Cells actually simulated by this request — **zero** for a fully warm
+    /// sweep; this is the acceptance counter for "a warm rerun performs no
+    /// cell simulations".
+    pub simulated: usize,
+    /// Miss cells that shared a fingerprint with another miss in the same
+    /// request and reused its simulation (in-flight deduplication).
+    pub deduped_in_flight: usize,
+}
+
+impl ToJson for SweepResponse {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("cells", self.cells.to_json()),
+            ("averages", self.averages.to_json()),
+            ("cache_hits", self.cache_hits.to_json()),
+            ("cache_misses", self.cache_misses.to_json()),
+            ("simulated", self.simulated.to_json()),
+            ("deduped_in_flight", self.deduped_in_flight.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SweepResponse {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        Ok(SweepResponse {
+            cells: Vec::from_json(value.field("cells")?)?,
+            averages: Vec::from_json(value.field("averages")?)?,
+            cache_hits: usize::from_json(value.field("cache_hits")?)?,
+            cache_misses: usize::from_json(value.field("cache_misses")?)?,
+            simulated: usize::from_json(value.field("simulated")?)?,
+            deduped_in_flight: usize::from_json(value.field("deduped_in_flight")?)?,
+        })
+    }
+}
+
+/// The long-running service runtime: one shared [`ResultCache`], any number
+/// of sequential [`SweepServer::submit`] calls (the line protocol in
+/// [`crate::protocol`] feeds it one request per line).
+#[derive(Debug)]
+pub struct SweepServer {
+    cache: ResultCache,
+}
+
+impl SweepServer {
+    /// Builds a server around a cache (persistent or in-memory).
+    pub fn new(cache: ResultCache) -> Self {
+        SweepServer { cache }
+    }
+
+    /// The server's cache (e.g. for stats reporting or compaction).
+    pub fn cache(&self) -> &ResultCache {
+        &self.cache
+    }
+
+    /// Resolves one sweep: cache hits first, then in-flight deduplication,
+    /// then the worker pool for genuine misses (which are stored back into
+    /// the cache).
+    ///
+    /// # Panics
+    /// Panics if a cell's simulation fails (stalled scheduler, horizon
+    /// exceeded) — like the experiment harness, the service treats that as a
+    /// bug in the scheduler under test, not a recoverable condition.
+    pub fn submit(&self, request: &SweepRequest) -> SweepResponse {
+        let cells = request.cells();
+
+        // Tier 1: cache lookups.
+        let mut outcomes: Vec<Option<SimOutcome>> = cells
+            .iter()
+            .map(|&(_, _, fingerprint)| self.cache.lookup(fingerprint))
+            .collect();
+        let cache_hits = outcomes.iter().filter(|o| o.is_some()).count();
+
+        // Tier 2: group the misses by fingerprint; the first occurrence is
+        // the representative that will be simulated.
+        let mut representatives: Vec<usize> = Vec::new();
+        let mut by_fingerprint: HashMap<Fingerprint, usize> = HashMap::new();
+        let mut deduped_in_flight = 0usize;
+        for (i, &(_, _, fingerprint)) in cells.iter().enumerate() {
+            if outcomes[i].is_some() {
+                continue;
+            }
+            match by_fingerprint.entry(fingerprint) {
+                std::collections::hash_map::Entry::Occupied(_) => deduped_in_flight += 1,
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(representatives.len());
+                    representatives.push(i);
+                }
+            }
+        }
+
+        // Tier 3: simulate the representatives on the worker pool, in the
+        // deterministic order-preserving fan-out (a Google CSV workload is
+        // converted once and shared across cells).
+        let miss_cells: Vec<(SchedulerKind, u64)> = representatives
+            .iter()
+            .map(|&cell_index| {
+                let (kind, seed, _) = cells[cell_index];
+                (kind, seed)
+            })
+            .collect();
+        let computed: Vec<SimOutcome> = run_cells(&request.scenario, &miss_cells);
+        for (&cell_index, outcome) in representatives.iter().zip(&computed) {
+            let (_, _, fingerprint) = cells[cell_index];
+            self.cache.store(fingerprint, outcome);
+        }
+
+        // Fan results back out to every miss cell.
+        for (i, &(_, _, fingerprint)) in cells.iter().enumerate() {
+            if outcomes[i].is_none() {
+                let rep = by_fingerprint[&fingerprint];
+                outcomes[i] = Some(computed[rep].clone());
+            }
+        }
+
+        // Assemble per-cell summaries and per-scheduler averages.
+        let outcomes: Vec<SimOutcome> = outcomes.into_iter().map(|o| o.expect("filled")).collect();
+        let cell_results: Vec<CellResult> = cells
+            .iter()
+            .zip(&outcomes)
+            .map(|(&(scheduler, seed, fingerprint), outcome)| CellResult {
+                scheduler,
+                seed,
+                fingerprint,
+                // A cell is "from cache" iff it was resolved in tier 1:
+                // tier-1 fingerprints never enter by_fingerprint, miss cells
+                // (representatives and deduped alike) always do.
+                from_cache: !by_fingerprint.contains_key(&fingerprint),
+                summary: FlowtimeSummary::from_outcome(outcome),
+            })
+            .collect();
+        let seeds = request.scenario.seeds.len();
+        let averages: Vec<FlowtimeSummary> = request
+            .schedulers
+            .iter()
+            .enumerate()
+            .map(|(s, &kind)| average_summary(kind, &outcomes[s * seeds..(s + 1) * seeds]))
+            .collect();
+
+        SweepResponse {
+            cells: cell_results,
+            averages,
+            cache_hits,
+            cache_misses: cells.len() - cache_hits,
+            simulated: representatives.len(),
+            deduped_in_flight,
+        }
+    }
+}

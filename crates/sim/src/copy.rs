@@ -58,10 +58,17 @@ pub struct CopyInfo {
     pub phase: CopyPhase,
     /// Slot at which the copy left the machine (finished or cancelled).
     pub ended_at: Option<Slot>,
+    /// Run-unique allocation sequence number, assigned by
+    /// [`CopyArena::alloc`] in launch order. Copy *slots* ([`CopyId`]) are
+    /// recycled once their job completes, so the sequence — not the id —
+    /// orders same-slot finish events and validates queued events against
+    /// slot reuse.
+    seq: u64,
 }
 
 impl CopyInfo {
-    /// Creates a copy that starts processing immediately.
+    /// Creates a copy that starts processing immediately. The allocation
+    /// sequence is assigned when the copy enters a [`CopyArena`].
     pub(crate) fn running(id: CopyId, task: TaskId, launched_at: Slot, duration: Slot) -> Self {
         CopyInfo {
             id,
@@ -71,10 +78,12 @@ impl CopyInfo {
             duration,
             phase: CopyPhase::Running,
             ended_at: None,
+            seq: id.0,
         }
     }
 
-    /// Creates a copy that waits for the Map phase of its job.
+    /// Creates a copy that waits for the Map phase of its job. The allocation
+    /// sequence is assigned when the copy enters a [`CopyArena`].
     pub(crate) fn waiting(id: CopyId, task: TaskId, launched_at: Slot, duration: Slot) -> Self {
         CopyInfo {
             id,
@@ -84,7 +93,14 @@ impl CopyInfo {
             duration,
             phase: CopyPhase::WaitingForMapPhase,
             ended_at: None,
+            seq: id.0,
         }
+    }
+
+    /// Run-unique allocation sequence number (launch order). Slots are
+    /// recycled, sequences never are.
+    pub fn seq(&self) -> u64 {
+        self.seq
     }
 
     /// Whether the copy currently occupies a machine.
@@ -186,16 +202,39 @@ impl CopyList {
     }
 }
 
-/// Run-level storage of every [`CopyInfo`], indexed by [`CopyId`].
+/// Run-level storage of every *live* [`CopyInfo`], indexed by [`CopyId`],
+/// with a free-list over released slots.
 ///
 /// Copies used to live in per-task `Vec<CopyInfo>`s, which made resolving a
 /// `CopyFinish` event a linear `find` over the task's copies. The arena makes
-/// it a single slice index: ids are handed out densely in launch order, so
-/// `arena[id]` is the copy. Tasks keep only small `CopyId` slices
-/// ([`crate::state::TaskState::copies`]).
+/// it a single slice index: `arena[id]` is the copy. Tasks keep only small
+/// `CopyId` slices ([`crate::state::TaskState::copies`]).
+///
+/// # Slot recycling
+///
+/// The arena used to grow monotonically — `O(total copies)` memory, the last
+/// whole-workload memory term of a streaming run. The engine now
+/// [frees](CopyArena::free) every copy slot of a job the moment the job
+/// completes (its records are captured first), and [`CopyArena::alloc`]
+/// reuses freed slots LIFO, so the slot table is bounded by the **peak alive
+/// window** ([`CopyArena::peak_slots`]) rather than the run length. Two
+/// consequences:
+///
+/// * a [`CopyId`] names a *slot*, not a copy-for-all-time: once a job
+///   completes, its ids may be handed to new copies. Every id reachable
+///   through live task state ([`crate::state::TaskState::copies`]) is
+///   current, so schedulers are unaffected;
+/// * the run-unique launch order lives in [`CopyInfo::seq`], which is what
+///   orders same-slot finish events and validates queued events against slot
+///   reuse (the trajectory is bit-identical to the non-recycling arena,
+///   whose dense ids equalled the sequence numbers).
 #[derive(Debug, Default, Clone)]
 pub struct CopyArena {
     copies: Vec<CopyInfo>,
+    /// Released slot indices, reused LIFO.
+    free: Vec<u64>,
+    /// Copies ever allocated; doubles as the next allocation's sequence.
+    next_seq: u64,
 }
 
 impl CopyArena {
@@ -204,50 +243,98 @@ impl CopyArena {
         CopyArena::default()
     }
 
-    /// Number of copies ever allocated.
+    /// Number of slots currently backing the arena (the slot-table
+    /// high-water mark — slots are reused, never returned to the allocator).
     pub fn len(&self) -> usize {
         self.copies.len()
     }
 
-    /// Whether no copy has been allocated.
+    /// Whether no copy has ever been allocated.
     pub fn is_empty(&self) -> bool {
-        self.copies.is_empty()
+        self.next_seq == 0
     }
 
-    /// The id the next allocation will receive.
+    /// Total number of copies ever allocated (the run's copy count; freed
+    /// slots keep contributing).
+    pub fn total_allocated(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Number of slots currently holding a live (not freed) copy.
+    pub fn live_slots(&self) -> usize {
+        self.copies.len() - self.free.len()
+    }
+
+    /// High-water mark of simultaneously backed slots: the memory footprint
+    /// of the arena is `peak_slots × size_of::<CopyInfo>()`, bounded by the
+    /// peak alive window of the run rather than its total copy count.
+    pub fn peak_slots(&self) -> usize {
+        // The slot table only grows when no freed slot is available, so its
+        // length *is* the high-water mark.
+        self.copies.len()
+    }
+
+    /// The id the next allocation will receive (a recycled slot if one is
+    /// free, otherwise a fresh one).
     pub fn next_id(&self) -> CopyId {
-        CopyId(self.copies.len() as u64)
+        match self.free.last() {
+            Some(&slot) => CopyId(slot),
+            None => CopyId(self.copies.len() as u64),
+        }
     }
 
-    /// Stores a copy and returns its dense id.
+    /// Stores a copy, assigns its allocation sequence, and returns its id.
     ///
     /// # Panics
-    /// Panics (debug builds) if the copy's recorded id is not the next dense
-    /// id — the engine allocates ids through [`CopyArena::next_id`].
-    pub fn alloc(&mut self, copy: CopyInfo) -> CopyId {
-        debug_assert_eq!(copy.id, self.next_id(), "copy ids must be dense");
+    /// Panics (debug builds) if the copy's recorded id is not
+    /// [`CopyArena::next_id`] — the engine allocates ids through it.
+    pub fn alloc(&mut self, mut copy: CopyInfo) -> CopyId {
+        debug_assert_eq!(copy.id, self.next_id(), "copy ids must come from next_id");
+        copy.seq = self.next_seq;
+        self.next_seq += 1;
         let id = copy.id;
-        self.copies.push(copy);
+        match self.free.pop() {
+            Some(slot) => self.copies[slot as usize] = copy,
+            None => self.copies.push(copy),
+        }
         id
     }
 
-    /// The copy with the given id.
+    /// Releases a slot for reuse. The engine calls this for every copy of a
+    /// job when the job completes; the stale record stays readable until the
+    /// slot is reallocated (queued events that still reference it are
+    /// rejected by their sequence check).
     ///
     /// # Panics
-    /// Panics if the id was not allocated by this arena.
+    /// Panics (debug builds) if the copy still occupies a machine or the
+    /// slot is already free.
+    pub(crate) fn free(&mut self, id: CopyId) {
+        debug_assert!(
+            !self.copies[id.0 as usize].is_active(),
+            "freeing an active copy"
+        );
+        debug_assert!(!self.free.contains(&id.0), "double free of copy slot {id}");
+        self.free.push(id.0);
+    }
+
+    /// The copy currently held by the slot.
+    ///
+    /// # Panics
+    /// Panics if the slot was never allocated by this arena.
     pub fn get(&self, id: CopyId) -> &CopyInfo {
         &self.copies[id.0 as usize]
     }
 
-    /// Mutable access to the copy with the given id.
+    /// Mutable access to the copy currently held by the slot.
     ///
     /// # Panics
-    /// Panics if the id was not allocated by this arena.
+    /// Panics if the slot was never allocated by this arena.
     pub(crate) fn get_mut(&mut self, id: CopyId) -> &mut CopyInfo {
         &mut self.copies[id.0 as usize]
     }
 
-    /// Every copy in id (launch) order.
+    /// Every backed slot in slot order. Freed slots still show their stale
+    /// record; live task state never references them.
     pub fn as_slice(&self) -> &[CopyInfo] {
         &self.copies
     }
@@ -322,9 +409,37 @@ mod tests {
         let id1 = arena.alloc(CopyInfo::waiting(arena.next_id(), task(), 3, 5));
         assert_eq!((id0, id1), (CopyId(0), CopyId(1)));
         assert_eq!(arena.len(), 2);
+        assert_eq!(arena.total_allocated(), 2);
+        assert_eq!(arena.live_slots(), 2);
         assert_eq!(arena.get(id1).launched_at, 3);
         assert_eq!(arena.as_slice().len(), 2);
         arena.get_mut(id0).phase = CopyPhase::Finished;
         assert_eq!(arena.get(id0).phase, CopyPhase::Finished);
+    }
+
+    #[test]
+    fn arena_recycles_freed_slots_with_fresh_sequences() {
+        let mut arena = CopyArena::new();
+        let id0 = arena.alloc(CopyInfo::running(arena.next_id(), task(), 0, 10));
+        let id1 = arena.alloc(CopyInfo::running(arena.next_id(), task(), 0, 20));
+        assert_eq!(arena.get(id0).seq(), 0);
+        assert_eq!(arena.get(id1).seq(), 1);
+
+        // End and free the first copy: its slot is handed back out, the
+        // sequence keeps counting, and the slot table does not grow.
+        arena.get_mut(id0).phase = CopyPhase::Finished;
+        arena.get_mut(id0).ended_at = Some(10);
+        arena.free(id0);
+        assert_eq!(arena.live_slots(), 1);
+        assert_eq!(arena.next_id(), id0);
+        let id2 = arena.alloc(CopyInfo::running(arena.next_id(), task(), 12, 5));
+        assert_eq!(id2, id0, "freed slot must be reused");
+        assert_eq!(arena.get(id2).seq(), 2, "sequence is never reused");
+        assert_eq!(arena.get(id2).launched_at, 12);
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.peak_slots(), 2);
+        assert_eq!(arena.total_allocated(), 3);
+        assert_eq!(arena.live_slots(), 2);
+        assert!(!arena.is_empty());
     }
 }

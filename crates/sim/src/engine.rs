@@ -34,11 +34,15 @@
 //! delivered as one **batch** ([`EventQueue::drain_due`]) — the instant's
 //! bucket is sorted once and handed over wholesale instead of a heap pop per
 //! event, and a task whose clones tie at one slot is finalized exactly once
-//! (the first completion in `(kind, copy-id)` order wins; its siblings fail
-//! the `O(1)` liveness check). Copy records live in a run-level [`CopyArena`]
-//! indexed by [`CopyId`], so resolving a completion is a single slice index,
-//! and cancelled copies *retract* their queued finish events
-//! ([`EventQueue::retract`]) instead of leaving stale heap entries behind.
+//! (the first completion in `(kind, allocation-sequence)` order wins; its
+//! siblings fail the `O(1)` liveness check). Copy records live in a
+//! run-level [`CopyArena`] indexed by [`CopyId`], so resolving a completion
+//! is a single slice index, and cancelled copies *retract* their queued
+//! finish events ([`EventQueue::retract`]) instead of leaving stale heap
+//! entries behind. Completed jobs hand their copy slots back to the arena's
+//! free-list, so — like the job table — copy memory is bounded by the peak
+//! alive window ([`SimOutcome::peak_copy_slots`]) rather than the run's
+//! total copy count.
 //! Early-launched reduce copies are tracked on a per-job waiting list
 //! ([`crate::state::JobState::waiting_copies`]), so Map-phase completion
 //! activates exactly the waiting copies instead of rescanning every reduce
@@ -310,9 +314,14 @@ impl Simulation {
                         ctx.stats.pending_arrivals -= 1;
                         newly_arrived.push(job.id());
                     }
-                    Event::CopyFinish { at, copy, task } => {
+                    Event::CopyFinish {
+                        at,
+                        copy,
+                        task,
+                        seq,
+                    } => {
                         if let Some(finished) =
-                            self.handle_copy_finish(task, copy, at, &mut ctx, &mut queue)
+                            self.handle_copy_finish(task, copy, seq, at, &mut ctx, &mut queue)
                         {
                             newly_finished.push(finished);
                             let job_idx = task.job.as_usize();
@@ -342,6 +351,20 @@ impl Simulation {
                                     copies_launched: job.copies_launched(),
                                     true_workload: job.spec().true_total_workload(),
                                 });
+                                // Recycle the job's copy slots before the
+                                // id lists are dropped: the arena, like the
+                                // job table, stays bounded by the alive
+                                // window. Every copy of a completed job has
+                                // ended, and no queued event can finalize
+                                // one again (task lookups fail and the
+                                // sequence check rejects reused slots).
+                                for phase in Phase::ALL {
+                                    for task in job.tasks(phase) {
+                                        for &cid in task.copies() {
+                                            ctx.arena.free(cid);
+                                        }
+                                    }
+                                }
                                 self.jobs[job_idx].release_storage();
                                 ctx.stats.resident_jobs -= 1;
                             }
@@ -407,9 +430,10 @@ impl Simulation {
             records,
             ctx.stats.makespan,
             ctx.stats.busy_machine_slots,
-            ctx.arena.len(),
+            ctx.arena.total_allocated() as usize,
             ctx.stats.scheduler_invocations,
             ctx.stats.peak_resident_jobs,
+            ctx.arena.peak_slots(),
         ))
     }
 
@@ -420,6 +444,7 @@ impl Simulation {
         &mut self,
         task_id: TaskId,
         copy_id: CopyId,
+        seq: u64,
         slot: Slot,
         ctx: &mut RunCtx,
         queue: &mut EventQueue,
@@ -432,7 +457,14 @@ impl Simulation {
         }
         {
             let copy = ctx.arena.get(copy_id);
-            if copy.phase != CopyPhase::Running || copy.finish_slot() != Some(slot) {
+            // The sequence check rejects events whose copy slot was freed
+            // and reallocated since the event was queued (only possible for
+            // stale entries of completed jobs — caught by the task lookup
+            // above too — but cheap enough to keep as a second line).
+            if copy.seq() != seq
+                || copy.phase != CopyPhase::Running
+                || copy.finish_slot() != Some(slot)
+            {
                 return None;
             }
         }
@@ -453,12 +485,13 @@ impl Simulation {
                 }
                 CopyPhase::Running => {
                     let finish = copy.finish_slot();
+                    let copy_seq = copy.seq();
                     copy.phase = CopyPhase::Cancelled;
                     copy.ended_at = Some(slot);
                     released += 1;
                     busy += slot.saturating_sub(copy.launched_at);
                     if let Some(finish) = finish {
-                        queue.retract(finish, cid);
+                        queue.retract(finish, copy_seq);
                     }
                 }
                 CopyPhase::WaitingForMapPhase => {
@@ -516,10 +549,12 @@ impl Simulation {
             copy.started_at = Some(slot);
             let finish = slot + copy.duration;
             let task = copy.task;
+            let copy_seq = copy.seq();
             queue.push(Event::CopyFinish {
                 at: finish,
                 copy: cid,
                 task,
+                seq: copy_seq,
             });
             job.note_copy_running(Phase::Reduce, index, finish);
         }
@@ -649,6 +684,7 @@ impl Simulation {
                     at: finish,
                     copy: copy_id,
                     task: task_id,
+                    seq: ctx.arena.get(copy_id).seq(),
                 });
                 Some(finish)
             };
@@ -731,6 +767,7 @@ impl Simulation {
             }
             let copy = arena.get_mut(cid);
             let finish = copy.finish_slot();
+            let copy_seq = copy.seq();
             if copy.phase == CopyPhase::WaitingForMapPhase {
                 waiting_cancelled += 1;
             }
@@ -739,7 +776,7 @@ impl Simulation {
             released += 1;
             busy += now.saturating_sub(copy.launched_at);
             if let Some(finish) = finish {
-                queue.retract(finish, cid);
+                queue.retract(finish, copy_seq);
             }
         }
         task.note_copies_released(released);

@@ -10,7 +10,8 @@
 //!   push and pop. It delivers events in the same total, deterministic order
 //!   as a binary heap over `(slot, kind, sequence)` would: earlier slots
 //!   first, arrivals before copy completions at the same slot, and same-kind
-//!   ties broken by sequence (arrival order / copy id).
+//!   ties broken by sequence (arrival order / copy allocation order — copy
+//!   *slots* are recycled across a run, allocation sequences never are).
 //! * [`HeapEventQueue`] is the frozen pre-calendar implementation (a
 //!   `BinaryHeap` min-heap). It is kept verbatim as the ordering oracle for
 //!   the side-by-side equivalence proptests and the `event_path` benchmark.
@@ -23,7 +24,8 @@
 //! validated every popped completion against live task state. The calendar
 //! queue instead supports **retraction**: when the engine cancels a running
 //! copy it calls [`EventQueue::retract`] with the copy's scheduled finish
-//! slot. The queue appends the copy id to the bucket's retracted list and,
+//! slot. The queue appends the copy's allocation sequence to the bucket's
+//! retracted list and,
 //! once retracted entries reach half the bucket, **compacts** the bucket —
 //! removing the stale entries in one pass. Compaction converts removed
 //! entries into per-bucket **tombstones**: the slot still *fires* (it shows
@@ -53,15 +55,22 @@ pub enum Event {
         job_index: usize,
     },
     /// A running copy reaches its finish slot. May be stale by the time it is
-    /// popped (sibling finished first, or the copy was cancelled); the engine
-    /// validates against live task state.
+    /// popped (sibling finished first, the copy was cancelled, or its slot
+    /// was recycled after the owning job completed); the engine validates
+    /// against live task state and the copy's allocation sequence.
     CopyFinish {
         /// Slot of the (scheduled) completion.
         at: Slot,
-        /// The copy that finishes.
+        /// The arena slot of the copy that finishes.
         copy: CopyId,
         /// The task the copy belongs to.
         task: TaskId,
+        /// The copy's run-unique allocation sequence
+        /// ([`crate::copy::CopyInfo::seq`]). Orders same-slot completions
+        /// deterministically (copy slots are recycled; sequences never are)
+        /// and lets retraction and pop-time validation tell a stale entry
+        /// from a reused slot.
+        seq: u64,
     },
     /// A periodic scheduler wakeup with no state change of its own. The
     /// engine synthesises these between queue events; they never enter the
@@ -83,11 +92,12 @@ impl Event {
     }
 
     /// Deterministic ordering key: slot, then kind (arrivals before
-    /// completions), then sequence.
+    /// completions), then sequence (arrival order / copy allocation order —
+    /// *not* the recyclable copy slot).
     fn key(&self) -> (Slot, u8, u64) {
         match *self {
             Event::JobArrival { at, job_index } => (at, 0, job_index as u64),
-            Event::CopyFinish { at, copy, .. } => (at, 1, copy.0),
+            Event::CopyFinish { at, seq, .. } => (at, 1, seq),
             Event::Wakeup { at } => (at, 2, 0),
         }
     }
@@ -112,9 +122,10 @@ struct Bucket {
     /// Pending events of this slot. Unsorted until the bucket starts
     /// draining, then sorted by `(kind, sequence)`.
     entries: Vec<Event>,
-    /// Copy ids whose `CopyFinish` entries in this bucket were retracted but
-    /// not yet compacted away.
-    retracted: Vec<CopyId>,
+    /// Allocation sequences whose `CopyFinish` entries in this bucket were
+    /// retracted but not yet compacted away. Sequences (not copy slots)
+    /// identify entries uniquely even after slot recycling.
+    retracted: Vec<u64>,
     /// Entries removed by compaction. The slot still fires while any remain.
     tombstones: u32,
     /// Whether `entries` is sorted (set when draining begins).
@@ -147,7 +158,7 @@ impl Bucket {
         let mut kept = cursor;
         for i in cursor..before {
             let stale = match self.entries[i] {
-                Event::CopyFinish { copy, .. } => retracted.binary_search(&copy).is_ok(),
+                Event::CopyFinish { seq, .. } => retracted.binary_search(&seq).is_ok(),
                 _ => false,
             };
             if !stale {
@@ -365,12 +376,12 @@ impl EventQueue {
         }
     }
 
-    /// Retracts the `CopyFinish` entry of `copy` scheduled at `at` (the
-    /// engine calls this when it cancels a running copy). Entries at or
-    /// before the drained position are left for pop-time validation; future
-    /// entries are marked stale and compacted away in bulk once they make up
-    /// half of their bucket.
-    pub fn retract(&mut self, at: Slot, copy: CopyId) {
+    /// Retracts the `CopyFinish` entry with allocation sequence `seq`
+    /// scheduled at `at` (the engine calls this when it cancels a running
+    /// copy). Entries at or before the drained position are left for
+    /// pop-time validation; future entries are marked stale and compacted
+    /// away in bulk once they make up half of their bucket.
+    pub fn retract(&mut self, at: Slot, seq: u64) {
         if at <= self.base {
             self.stats.late_retractions += 1;
             return;
@@ -391,7 +402,7 @@ impl EventQueue {
             self.stats.late_retractions += 1;
             return;
         }
-        bucket.retracted.push(copy);
+        bucket.retracted.push(seq);
         self.stats.retracted += 1;
         if bucket.retracted.len() * 2 >= bucket.live() {
             let removed = bucket.compact();
@@ -626,6 +637,7 @@ mod tests {
             at,
             copy: CopyId(copy),
             task: task(0, Phase::Map, copy as u32),
+            seq: copy,
         }
     }
 
@@ -636,6 +648,7 @@ mod tests {
             at: 30,
             copy: CopyId(2),
             task: task(0, Phase::Map, 0),
+            seq: 2,
         });
         q.push(Event::JobArrival {
             at: 10,
@@ -645,6 +658,7 @@ mod tests {
             at: 20,
             copy: CopyId(1),
             task: task(0, Phase::Map, 1),
+            seq: 1,
         });
         assert_eq!(q.len(), 3);
         assert_eq!(q.peek_slot(), Some(10));
@@ -661,6 +675,7 @@ mod tests {
             at: 5,
             copy: CopyId(0),
             task: task(0, Phase::Map, 0),
+            seq: 0,
         });
         q.push(Event::JobArrival {
             at: 5,
@@ -684,6 +699,7 @@ mod tests {
                 at: 7,
                 copy: CopyId(copy),
                 task: task(0, Phase::Reduce, copy as u32),
+                seq: copy,
             });
         }
         let copies: Vec<u64> = std::iter::from_fn(|| {
@@ -764,8 +780,8 @@ mod tests {
         q.push(finish(20, 1));
         q.push(finish(20, 2));
         q.push(finish(30, 3));
-        q.retract(20, CopyId(1));
-        q.retract(20, CopyId(2));
+        q.retract(20, 1);
+        q.retract(20, 2);
         let stats = q.stale_stats();
         assert_eq!(stats.retracted, 2);
         assert!(stats.compacted >= 1, "half-full bucket must compact");
@@ -794,7 +810,7 @@ mod tests {
         for copy in 1..=5u64 {
             q.push(finish(10, copy));
         }
-        q.retract(10, CopyId(2));
+        q.retract(10, 2);
         assert_eq!(q.stale_stats().compacted, 0);
         let mut out = Vec::new();
         q.drain_due(10, &mut out);
@@ -814,14 +830,14 @@ mod tests {
     fn retraction_of_overflow_and_drained_slots() {
         let mut q = EventQueue::with_ring_bits(4);
         q.push(finish(100_000, 9)); // overflow
-        q.retract(100_000, CopyId(9));
+        q.retract(100_000, 9);
         assert_eq!(q.stale_stats().retracted, 1);
         // The overflow instant fires as a tombstone.
         assert_eq!(q.peek_slot(), Some(100_000));
         assert_eq!(q.pop_due(Slot::MAX), None);
         assert!(q.is_empty());
         // Retracting behind the drained position is counted and ignored.
-        q.retract(5, CopyId(1));
+        q.retract(5, 1);
         assert_eq!(q.stale_stats().late_retractions, 1);
     }
 

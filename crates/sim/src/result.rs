@@ -102,6 +102,11 @@ pub struct SimOutcome {
     /// and materialized feeds of the same workload; the difference between
     /// the two modes is what the *source* keeps resident on top of this.
     pub peak_resident_jobs: usize,
+    /// High-water mark of simultaneously backed copy-arena slots. Completed
+    /// jobs recycle their copy slots, so this tracks the alive window (like
+    /// [`SimOutcome::peak_resident_jobs`]) rather than
+    /// [`SimOutcome::total_copies`]. Purely a memory metric.
+    pub peak_copy_slots: usize,
 }
 
 impl SimOutcome {
@@ -117,6 +122,7 @@ impl SimOutcome {
         total_copies: usize,
         scheduler_invocations: u64,
         peak_resident_jobs: usize,
+        peak_copy_slots: usize,
     ) -> Self {
         SimOutcome {
             scheduler,
@@ -127,6 +133,7 @@ impl SimOutcome {
             total_copies,
             scheduler_invocations,
             peak_resident_jobs,
+            peak_copy_slots,
         }
     }
 
@@ -211,6 +218,7 @@ impl ToJson for SimOutcome {
                 self.scheduler_invocations.to_json(),
             ),
             ("peak_resident_jobs", self.peak_resident_jobs.to_json()),
+            ("peak_copy_slots", self.peak_copy_slots.to_json()),
         ])
     }
 }
@@ -227,6 +235,11 @@ impl FromJson for SimOutcome {
             scheduler_invocations: u64::from_json(value.field("scheduler_invocations")?)?,
             // Absent in outcomes serialised before the streaming subsystem.
             peak_resident_jobs: match value.get("peak_resident_jobs") {
+                Some(v) => usize::from_json(v)?,
+                None => 0,
+            },
+            // Absent in outcomes serialised before the copy-slot free-list.
+            peak_copy_slots: match value.get("peak_copy_slots") {
                 Some(v) => usize::from_json(v)?,
                 None => 0,
             },
@@ -261,6 +274,7 @@ mod tests {
             8,
             42,
             2,
+            5,
         )
     }
 
@@ -295,7 +309,7 @@ mod tests {
 
     #[test]
     fn empty_outcome_is_safe() {
-        let o = SimOutcome::new("x".into(), 5, vec![], 0, 0, 0, 0, 0);
+        let o = SimOutcome::new("x".into(), 5, vec![], 0, 0, 0, 0, 0, 0);
         assert_eq!(o.mean_flowtime(), 0.0);
         assert_eq!(o.weighted_mean_flowtime(), 0.0);
         assert_eq!(o.utilization(), 0.0);

@@ -10,6 +10,9 @@
 //! * [`json`] — a JSON value tree, parser and writer with hand-written
 //!   [`json::ToJson`]/[`json::FromJson`] traits (stands in for
 //!   `serde`/`serde_json`).
+//! * [`hash`] — an FNV-1a 128-bit content hasher and the
+//!   [`hash::Fingerprint`] type the experiment service's result cache is
+//!   keyed by (stands in for `sha2`/`siphasher`-style crates).
 //! * [`parallel`] — order-preserving fork-join map over scoped threads,
 //!   honouring `RAYON_NUM_THREADS` (stands in for `rayon`/`crossbeam`).
 //! * [`proptest`] — a miniature property-testing harness with a
@@ -25,11 +28,13 @@
 #![warn(missing_docs)]
 
 pub mod criterion;
+pub mod hash;
 pub mod json;
 pub mod parallel;
 pub mod proptest;
 pub mod rng;
 
+pub use hash::{Fingerprint, Fnv1a128};
 pub use json::{FromJson, JsonError, JsonValue, ToJson};
 pub use parallel::par_map;
 pub use rng::{Rng, SimRng};

@@ -27,6 +27,7 @@ use crate::distribution::DurationDistribution;
 use crate::ids::JobId;
 use crate::job::{JobSpecBuilder, PhaseStats};
 use crate::trace::Trace;
+use mapreduce_support::json::{FromJson, JsonError, JsonValue, ToJson};
 use mapreduce_support::rng::{Rng, SimRng};
 
 /// One job-size class of the synthetic workload mixture.
@@ -181,6 +182,70 @@ impl GoogleTraceProfile {
 impl Default for GoogleTraceProfile {
     fn default() -> Self {
         Self::paper()
+    }
+}
+
+impl ToJson for JobClass {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("name", self.name.to_json()),
+            ("fraction", self.fraction.to_json()),
+            ("min_tasks", self.min_tasks.to_json()),
+            ("mean_tasks", self.mean_tasks.to_json()),
+            ("max_tasks", self.max_tasks.to_json()),
+            ("mean_task_duration", self.mean_task_duration.to_json()),
+            ("job_duration_cv", self.job_duration_cv.to_json()),
+            ("task_duration_cv", self.task_duration_cv.to_json()),
+        ])
+    }
+}
+
+impl FromJson for JobClass {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        Ok(JobClass {
+            name: String::from_json(value.field("name")?)?,
+            fraction: f64::from_json(value.field("fraction")?)?,
+            min_tasks: usize::from_json(value.field("min_tasks")?)?,
+            mean_tasks: f64::from_json(value.field("mean_tasks")?)?,
+            max_tasks: usize::from_json(value.field("max_tasks")?)?,
+            mean_task_duration: f64::from_json(value.field("mean_task_duration")?)?,
+            job_duration_cv: f64::from_json(value.field("job_duration_cv")?)?,
+            task_duration_cv: f64::from_json(value.field("task_duration_cv")?)?,
+        })
+    }
+}
+
+impl ToJson for GoogleTraceProfile {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("num_jobs", self.num_jobs.to_json()),
+            ("duration", self.duration.to_json()),
+            ("classes", self.classes.to_json()),
+            ("map_fraction", self.map_fraction.to_json()),
+            ("min_task_duration", self.min_task_duration.to_json()),
+            ("max_task_duration", self.max_task_duration.to_json()),
+            ("max_priority", self.max_priority.to_json()),
+            ("priority_decay", self.priority_decay.to_json()),
+            ("burst_fraction", self.burst_fraction.to_json()),
+            ("num_bursts", self.num_bursts.to_json()),
+        ])
+    }
+}
+
+impl FromJson for GoogleTraceProfile {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        Ok(GoogleTraceProfile {
+            num_jobs: usize::from_json(value.field("num_jobs")?)?,
+            duration: u64::from_json(value.field("duration")?)?,
+            classes: Vec::from_json(value.field("classes")?)?,
+            map_fraction: f64::from_json(value.field("map_fraction")?)?,
+            min_task_duration: f64::from_json(value.field("min_task_duration")?)?,
+            max_task_duration: f64::from_json(value.field("max_task_duration")?)?,
+            max_priority: u32::from_json(value.field("max_priority")?)?,
+            priority_decay: f64::from_json(value.field("priority_decay")?)?,
+            burst_fraction: f64::from_json(value.field("burst_fraction")?)?,
+            num_bursts: usize::from_json(value.field("num_bursts")?)?,
+        })
     }
 }
 
@@ -413,6 +478,18 @@ mod tests {
         let c = profile.generate(8);
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn profile_json_roundtrip() {
+        // The experiment service fingerprints scenarios through this JSON
+        // form, so it must roundtrip exactly (classes included).
+        let profile = GoogleTraceProfile::scaled(123).with_task_cv(0.3);
+        let json = profile.to_json().to_compact_string();
+        let back = GoogleTraceProfile::from_json(&JsonValue::parse(&json).unwrap()).unwrap();
+        assert_eq!(back, profile);
+        assert!(GoogleTraceProfile::from_json(&JsonValue::Null).is_err());
+        assert!(JobClass::from_json(&JsonValue::object([])).is_err());
     }
 
     #[test]

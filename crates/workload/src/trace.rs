@@ -250,10 +250,49 @@ pub struct TraceStats {
     pub map_task_fraction: f64,
 }
 
-impl TraceStats {
-    /// Computes the statistics of a trace. All-zero stats for an empty trace.
-    pub fn from_trace(trace: &Trace) -> Self {
-        if trace.is_empty() {
+/// Streaming accumulator behind [`TraceStats::from_trace`] and
+/// [`TraceStats::from_source`]: one job at a time, constant memory, and the
+/// exact fold order of the original whole-trace scan (jobs in arrival order,
+/// map tasks before reduce tasks) so both entry points produce bit-identical
+/// floating-point sums.
+#[derive(Debug, Default)]
+struct StatsAccumulator {
+    total_jobs: usize,
+    total_tasks: usize,
+    map_tasks: usize,
+    min_d: f64,
+    max_d: f64,
+    sum_d: f64,
+    sum_w: f64,
+    min_arrival: u64,
+    max_arrival: u64,
+}
+
+impl StatsAccumulator {
+    fn new() -> Self {
+        StatsAccumulator {
+            min_d: f64::INFINITY,
+            min_arrival: u64::MAX,
+            ..StatsAccumulator::default()
+        }
+    }
+
+    fn fold(&mut self, job: &JobSpec) {
+        self.total_jobs += 1;
+        self.total_tasks += job.num_tasks();
+        self.map_tasks += job.num_map_tasks();
+        self.sum_w += job.weight;
+        self.min_arrival = self.min_arrival.min(job.arrival);
+        self.max_arrival = self.max_arrival.max(job.arrival);
+        for t in job.map_tasks.iter().chain(job.reduce_tasks.iter()) {
+            self.min_d = self.min_d.min(t.workload);
+            self.max_d = self.max_d.max(t.workload);
+            self.sum_d += t.workload;
+        }
+    }
+
+    fn finish(self) -> TraceStats {
+        if self.total_jobs == 0 {
             return TraceStats {
                 total_jobs: 0,
                 total_tasks: 0,
@@ -266,38 +305,45 @@ impl TraceStats {
                 map_task_fraction: 0.0,
             };
         }
-        let total_jobs = trace.len();
-        let mut total_tasks = 0usize;
-        let mut map_tasks = 0usize;
-        let mut min_d = f64::INFINITY;
-        let mut max_d: f64 = 0.0;
-        let mut sum_d = 0.0;
-        let mut sum_w = 0.0;
-        let mut min_arrival = u64::MAX;
-        let mut max_arrival = 0u64;
-        for job in trace.iter() {
-            total_tasks += job.num_tasks();
-            map_tasks += job.num_map_tasks();
-            sum_w += job.weight;
-            min_arrival = min_arrival.min(job.arrival);
-            max_arrival = max_arrival.max(job.arrival);
-            for t in job.map_tasks.iter().chain(job.reduce_tasks.iter()) {
-                min_d = min_d.min(t.workload);
-                max_d = max_d.max(t.workload);
-                sum_d += t.workload;
-            }
-        }
         TraceStats {
-            total_jobs,
-            total_tasks,
-            duration: max_arrival - min_arrival,
-            mean_tasks_per_job: total_tasks as f64 / total_jobs as f64,
-            min_task_duration: min_d,
-            max_task_duration: max_d,
-            mean_task_duration: sum_d / total_tasks as f64,
-            mean_weight: sum_w / total_jobs as f64,
-            map_task_fraction: map_tasks as f64 / total_tasks as f64,
+            total_jobs: self.total_jobs,
+            total_tasks: self.total_tasks,
+            duration: self.max_arrival - self.min_arrival,
+            mean_tasks_per_job: self.total_tasks as f64 / self.total_jobs as f64,
+            min_task_duration: self.min_d,
+            max_task_duration: self.max_d,
+            mean_task_duration: self.sum_d / self.total_tasks as f64,
+            mean_weight: self.sum_w / self.total_jobs as f64,
+            map_task_fraction: self.map_tasks as f64 / self.total_tasks as f64,
         }
+    }
+}
+
+impl TraceStats {
+    /// Computes the statistics of a trace. All-zero stats for an empty trace.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let mut acc = StatsAccumulator::new();
+        for job in trace.iter() {
+            acc.fold(job);
+        }
+        acc.finish()
+    }
+
+    /// Computes the statistics by folding over a [`JobSource`] — the
+    /// streaming counterpart of [`TraceStats::from_trace`]: jobs are pulled
+    /// in arrival order, folded, and dropped, so the full workload is never
+    /// resident. Feeding the materialised twin of a stream through
+    /// [`TraceStats::from_trace`] produces **bit-identical** statistics (the
+    /// fold order is the same, so even the floating-point sums agree).
+    ///
+    /// The source is consumed from its current cursor position; hand in a
+    /// fresh source for whole-workload statistics.
+    pub fn from_source(source: &mut dyn crate::source::JobSource) -> Self {
+        let mut acc = StatsAccumulator::new();
+        while let Some(job) = source.next_job() {
+            acc.fold(&job);
+        }
+        acc.finish()
     }
 
     /// Renders the statistics as a Table II-style two-column text table.
@@ -395,6 +441,27 @@ mod tests {
         assert_eq!(stats.total_jobs, 0);
         assert_eq!(stats.mean_task_duration, 0.0);
         assert!(Trace::empty().is_empty());
+    }
+
+    #[test]
+    fn source_fold_matches_trace_stats_bit_for_bit() {
+        use crate::google::GoogleTraceProfile;
+        use crate::source::{JobSource, MaterializedSource, StreamingGenerator};
+
+        // Materialized source over a trace ≡ the trace's own stats.
+        let trace = GoogleTraceProfile::scaled(40).generate(9);
+        let mut source = MaterializedSource::from_trace(&trace);
+        assert_eq!(TraceStats::from_source(&mut source), trace.stats());
+
+        // Streaming generator ≡ its materialised twin, without the stream
+        // ever materialising the trace.
+        let mut stream = StreamingGenerator::new(GoogleTraceProfile::scaled(60), 4);
+        let twin = stream.materialize();
+        assert_eq!(TraceStats::from_source(&mut stream), twin.stats());
+        assert_eq!(stream.resident_jobs(), 0);
+
+        // A fully drained source folds to the empty statistics.
+        assert_eq!(TraceStats::from_source(&mut stream), Trace::empty().stats());
     }
 
     #[test]

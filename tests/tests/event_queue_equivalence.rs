@@ -22,10 +22,14 @@ use mapreduce_workload::{JobId, Phase, TaskId};
 use std::collections::HashSet;
 
 fn finish_event(at: u64, copy: u64) -> Event {
+    // These synthetic streams never recycle copy slots, so the allocation
+    // sequence equals the copy id — exactly the engine's pre-free-list
+    // behaviour the heap oracle was frozen against.
     Event::CopyFinish {
         at,
         copy: CopyId(copy),
         task: TaskId::new(JobId::new(copy % 7), Phase::Map, (copy % 13) as u32),
+        seq: copy,
     }
 }
 
@@ -82,7 +86,7 @@ fn drive(seed: u64, ops: usize, ring_bits: u8) -> Result<(), String> {
                 if !retractable.is_empty() {
                     let pick = rng.gen_range(0usize..retractable.len());
                     let (slot, copy) = retractable.swap_remove(pick);
-                    calendar.retract(slot, CopyId(copy));
+                    calendar.retract(slot, copy);
                     retracted.insert(copy);
                 }
             }

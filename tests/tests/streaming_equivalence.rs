@@ -121,6 +121,15 @@ fn streaming_peak_residency_is_a_fraction_of_the_workload() {
         "peak resident {} should be well below the {total}-job workload",
         outcome.peak_resident_jobs
     );
+    // The copy arena recycles released slots, so its footprint tracks the
+    // alive window too instead of the run's total copy count.
+    assert!(outcome.peak_copy_slots >= 1);
+    assert!(
+        outcome.peak_copy_slots < outcome.total_copies / 2,
+        "peak copy slots {} should be well below the {} copies launched",
+        outcome.peak_copy_slots,
+        outcome.total_copies
+    );
 }
 
 /// The 100k-job fullscale acceptance run (slow: run explicitly with
@@ -140,4 +149,13 @@ fn streaming_100k_jobs_completes_in_bounded_memory() {
     );
     assert_eq!(outcome.records().len(), 100_000);
     assert!(outcome.peak_resident_jobs < 20_000);
+    // Copy-slot memory is bounded by the alive window, not the ~2.6M copies
+    // a 100k-job run launches: the free-list keeps the slot table at the
+    // peak alive width.
+    assert!(
+        outcome.peak_copy_slots < outcome.total_copies / 4,
+        "peak copy slots {} vs {} total copies",
+        outcome.peak_copy_slots,
+        outcome.total_copies
+    );
 }
