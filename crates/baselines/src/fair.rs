@@ -51,10 +51,33 @@ pub fn fair_fill_unweighted_into(jobs: &[&JobState], budget: usize, actions: &mu
     fill(jobs, budget, false, actions);
 }
 
+/// Fully pooled fill over the snapshot's alive set: no `Vec<&JobState>`
+/// collection and no per-call slot/heap allocation — every buffer lives in
+/// the caller-owned [`FairFillScratch`] and is reused across decisions.
+/// Produces bit-identical actions to [`fair_fill_into`] /
+/// [`fair_fill_unweighted_into`] over `state.alive_jobs()`.
+pub fn fair_fill_alive_into(
+    state: &ClusterState<'_>,
+    budget: usize,
+    weighted: bool,
+    scratch: &mut FairFillScratch,
+    actions: &mut Vec<Action>,
+) {
+    fill_with(
+        scratch,
+        state.num_alive_jobs(),
+        |i| state.alive_job_at(i),
+        budget,
+        weighted,
+        actions,
+    );
+}
+
 /// An `occupied / weight` ratio ordered with `f64::total_cmp`, so the heap
 /// order is total and deterministic. All four comparison traits go through
 /// `total_cmp` — deriving `PartialEq` (IEEE `==`) would disagree with `Ord`
 /// on `±0.0` and `NaN`, which std documents as a logic error.
+#[derive(Debug, Clone, Copy)]
 struct Ratio(f64);
 
 impl PartialEq for Ratio {
@@ -77,47 +100,79 @@ impl Ord for Ratio {
     }
 }
 
-fn fill(jobs: &[&JobState], mut budget: usize, weighted: bool, actions: &mut Vec<Action>) {
-    if budget == 0 || jobs.is_empty() {
+/// Per-job launch cursors over the engine-maintained unscheduled free-lists,
+/// stored without borrows so the table can be pooled across decisions. The
+/// free-list *contents* are re-resolved through the job reference at grant
+/// time; they cannot change mid-fill (the fill only collects actions, the
+/// engine applies them afterwards).
+#[derive(Debug, Clone, Copy, Default)]
+struct JobFill {
+    occupied: usize,
+    /// `job.weight()` under weighted fills, `1.0` otherwise.
+    weight: f64,
+    map_len: usize,
+    /// Zero while the job's Map phase is incomplete (reduces are gated).
+    reduce_len: usize,
+    map_cursor: usize,
+    reduce_cursor: usize,
+}
+
+impl JobFill {
+    fn has_work(&self) -> bool {
+        self.map_cursor < self.map_len || self.reduce_cursor < self.reduce_len
+    }
+}
+
+/// Reusable buffers for the fair fill. Holding one of these in the scheduler
+/// makes every steady-state decision allocation-free: the slot table and the
+/// heap storage retain their capacity across calls.
+#[derive(Debug, Clone, Default)]
+pub struct FairFillScratch {
+    slots: Vec<JobFill>,
+    heap: Vec<Reverse<(Ratio, usize)>>,
+}
+
+fn fill(jobs: &[&JobState], budget: usize, weighted: bool, actions: &mut Vec<Action>) {
+    let mut scratch = FairFillScratch::default();
+    fill_with(
+        &mut scratch,
+        jobs.len(),
+        |i| jobs[i],
+        budget,
+        weighted,
+        actions,
+    );
+}
+
+fn fill_with<'a>(
+    scratch: &mut FairFillScratch,
+    num_jobs: usize,
+    job_at: impl Fn(usize) -> &'a JobState,
+    mut budget: usize,
+    weighted: bool,
+    actions: &mut Vec<Action>,
+) {
+    if budget == 0 || num_jobs == 0 {
         return;
     }
-    // Per-job launch cursors over the engine-maintained unscheduled
-    // free-lists (no per-call collection) and dynamic occupancy.
-    struct JobFill<'a> {
-        job: &'a JobState,
-        occupied: usize,
-        maps: &'a [u32],
-        reduces: &'a [u32],
-        map_cursor: usize,
-        reduce_cursor: usize,
-    }
-    impl JobFill<'_> {
-        fn has_work(&self) -> bool {
-            self.map_cursor < self.maps.len() || self.reduce_cursor < self.reduces.len()
-        }
-        fn weight(&self, weighted: bool) -> f64 {
-            if weighted {
-                self.job.weight()
-            } else {
-                1.0
-            }
-        }
-    }
-    let mut slots: Vec<JobFill<'_>> = jobs
-        .iter()
-        .map(|&job| JobFill {
-            job,
+    let slots = &mut scratch.slots;
+    slots.clear();
+    slots.reserve(num_jobs);
+    for i in 0..num_jobs {
+        let job = job_at(i);
+        slots.push(JobFill {
             occupied: job.active_copies(),
-            maps: job.unscheduled_indices(Phase::Map),
-            reduces: if job.map_phase_complete() {
-                job.unscheduled_indices(Phase::Reduce)
+            weight: if weighted { job.weight() } else { 1.0 },
+            map_len: job.unscheduled_indices(Phase::Map).len(),
+            reduce_len: if job.map_phase_complete() {
+                job.unscheduled_indices(Phase::Reduce).len()
             } else {
-                &[]
+                0
             },
             map_cursor: 0,
             reduce_cursor: 0,
-        })
-        .collect();
+        });
+    }
 
     // Min-heap over (occupied/weight, position): repeatedly grant one machine
     // to the least-served job that still has launchable work. Only the
@@ -125,47 +180,54 @@ fn fill(jobs: &[&JobState], mut budget: usize, weighted: bool, actions: &mut Vec
     // entry keeps the heap exact — `O(log jobs)` per machine instead of the
     // previous full scan (`O(jobs)` per machine, `O(budget · jobs)` total).
     // Ties on the ratio break towards the smaller position, matching the
-    // scan's first-strictly-smaller rule.
-    let mut heap: BinaryHeap<Reverse<(Ratio, usize)>> = slots
-        .iter()
-        .enumerate()
-        .filter(|(_, slot)| slot.has_work())
-        .map(|(idx, slot)| Reverse((Ratio(slot.occupied as f64 / slot.weight(weighted)), idx)))
-        .collect();
+    // scan's first-strictly-smaller rule. The heap's backing storage is
+    // pooled: seeding a Vec and heapifying with `BinaryHeap::from` is exactly
+    // what collecting into a `BinaryHeap` does, so the heap layout — and
+    // therefore the pop order — is unchanged.
+    scratch.heap.clear();
+    scratch.heap.extend(
+        slots
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| slot.has_work())
+            .map(|(idx, slot)| Reverse((Ratio(slot.occupied as f64 / slot.weight), idx))),
+    );
+    let mut heap = BinaryHeap::from(std::mem::take(&mut scratch.heap));
 
     while budget > 0 {
         let Some(Reverse((_, idx))) = heap.pop() else {
             break;
         };
         let slot = &mut slots[idx];
-        let (phase, index) = if slot.map_cursor < slot.maps.len() {
-            let i = slot.maps[slot.map_cursor];
+        let job = job_at(idx);
+        let (phase, index) = if slot.map_cursor < slot.map_len {
+            let i = job.unscheduled_indices(Phase::Map)[slot.map_cursor];
             slot.map_cursor += 1;
             (Phase::Map, i)
         } else {
-            let i = slot.reduces[slot.reduce_cursor];
+            let i = job.unscheduled_indices(Phase::Reduce)[slot.reduce_cursor];
             slot.reduce_cursor += 1;
             (Phase::Reduce, i)
         };
         actions.push(Action::Launch {
-            task: TaskId::new(slot.job.id(), phase, index),
+            task: TaskId::new(job.id(), phase, index),
             copies: 1,
         });
         slot.occupied += 1;
         budget -= 1;
         if slot.has_work() {
-            heap.push(Reverse((
-                Ratio(slot.occupied as f64 / slot.weight(weighted)),
-                idx,
-            )));
+            heap.push(Reverse((Ratio(slot.occupied as f64 / slot.weight), idx)));
         }
     }
+
+    // Hand the heap's storage back to the scratch for the next decision.
+    scratch.heap = heap.into_vec();
 }
 
 /// Hadoop's weighted fair scheduler: no speculation, no cloning.
 #[derive(Debug, Default, Clone)]
 pub struct FairScheduler {
-    _private: (),
+    scratch: FairFillScratch,
 }
 
 impl FairScheduler {
@@ -192,8 +254,13 @@ impl Scheduler for FairScheduler {
         if state.available_machines() == 0 || state.total_unscheduled_tasks() == 0 {
             return;
         }
-        let jobs: Vec<&JobState> = state.alive_jobs().collect();
-        fair_fill_into(&jobs, state.available_machines(), actions);
+        fair_fill_alive_into(
+            state,
+            state.available_machines(),
+            true,
+            &mut self.scratch,
+            actions,
+        );
     }
 }
 

@@ -22,6 +22,8 @@ pub struct Fifo {
     /// Alive jobs that may still have launchable work, `(arrival, id)`
     /// ascending — the same order the engine's arrival index yields.
     ready: BTreeSet<(Slot, JobId)>,
+    /// Pooled per-decision buffer of ready-set entries proven exhausted.
+    exhausted: Vec<(Slot, JobId)>,
 }
 
 impl Fifo {
@@ -70,8 +72,10 @@ impl Scheduler for Fifo {
         // Launch in ready order; drop jobs proven exhausted. A job is
         // exhausted once every launchable task has been launched — gated
         // reduce tasks don't count, because Map-phase completion re-inserts
-        // the job. Jobs cut off by the budget keep their entry.
-        let mut exhausted: Vec<(Slot, JobId)> = Vec::new();
+        // the job. Jobs cut off by the budget keep their entry. The buffer
+        // is pooled across decisions.
+        let exhausted = &mut self.exhausted;
+        exhausted.clear();
         for &entry in self.ready.iter() {
             if budget == 0 {
                 break;
@@ -105,8 +109,8 @@ impl Scheduler for Fifo {
                 exhausted.push(entry);
             }
         }
-        for entry in exhausted {
-            self.ready.remove(&entry);
+        for entry in exhausted.iter() {
+            self.ready.remove(entry);
         }
     }
 }

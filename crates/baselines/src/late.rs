@@ -8,8 +8,8 @@
 //! scheme, so it is included as an extra reference point for the comparison
 //! figures and ablations.
 
-use crate::fair::fair_fill_unweighted_into;
-use mapreduce_sim::{Action, ClusterState, IndexDemands, JobState, Scheduler, Slot};
+use crate::fair::{fair_fill_alive_into, FairFillScratch};
+use mapreduce_sim::{Action, ClusterState, IndexDemands, Scheduler, Slot};
 use mapreduce_workload::Phase;
 
 /// Configuration of the [`Late`] baseline.
@@ -67,6 +67,13 @@ impl LateConfig {
 #[derive(Debug, Clone)]
 pub struct Late {
     config: LateConfig,
+    /// Pooled fair-fill buffers (LATE wakes every `detection_interval`).
+    fill_scratch: FairFillScratch,
+    /// Pooled detection buffers: `(rate, est_time_left, action)` candidates,
+    /// the sorted rate sample, and the eligible slow tasks.
+    candidates: Vec<(f64, f64, Action)>,
+    rates: Vec<f64>,
+    eligible: Vec<(f64, Action)>,
 }
 
 impl Late {
@@ -81,7 +88,13 @@ impl Late {
     /// Panics if the configuration is invalid.
     pub fn with_config(config: LateConfig) -> Self {
         config.validate();
-        Late { config }
+        Late {
+            config,
+            fill_scratch: FairFillScratch::default(),
+            candidates: Vec::new(),
+            rates: Vec::new(),
+            eligible: Vec::new(),
+        }
     }
 
     /// The configuration in use.
@@ -124,14 +137,13 @@ impl Scheduler for Late {
         if budget == 0 {
             return;
         }
-        let jobs: Vec<&JobState> = state.alive_jobs().collect();
 
         // Regular work first, via equal-share fair scheduling (LATE, like
         // Mantri, has no notion of per-job weights). Skipped via the O(1)
         // aggregate when nothing is launchable.
         let start = actions.len();
         if state.total_unscheduled_tasks() > 0 {
-            fair_fill_unweighted_into(&jobs, budget, actions);
+            fair_fill_alive_into(state, budget, false, &mut self.fill_scratch, actions);
         }
         budget -= (actions.len() - start).min(budget);
         if budget == 0 {
@@ -141,12 +153,14 @@ impl Scheduler for Late {
         // Speculative copies, LATE-style, with the leftover machines. The
         // running-task iteration below is backed by the engine's per-phase
         // free-lists, so the detection pass costs O(running tasks), not
-        // O(all tasks of all alive jobs).
+        // O(all tasks of all alive jobs). All detection buffers are pooled
+        // in `self`.
         let now = state.now();
         let copies = state.copies();
         let mut speculative_running = 0usize;
-        let mut candidates: Vec<(f64, f64, Action)> = Vec::new(); // (rate, est_time_left, action)
-        for job in &jobs {
+        let candidates = &mut self.candidates;
+        candidates.clear();
+        for job in state.alive_jobs() {
             for phase in [Phase::Map, Phase::Reduce] {
                 for task in job.running_tasks(phase) {
                     if task.active_copies() >= 2 {
@@ -180,7 +194,9 @@ impl Scheduler for Late {
         }
 
         // SlowTaskThreshold: rate must be in the slowest quantile.
-        let mut rates: Vec<f64> = candidates.iter().map(|(rate, _, _)| *rate).collect();
+        let rates = &mut self.rates;
+        rates.clear();
+        rates.extend(candidates.iter().map(|(rate, _, _)| *rate));
         rates.sort_by(|a, b| a.total_cmp(b));
         let idx = ((rates.len() as f64 * self.config.slow_task_quantile).ceil() as usize)
             .clamp(1, rates.len())
@@ -192,15 +208,19 @@ impl Scheduler for Late {
             ((state.total_machines() as f64 * self.config.speculative_cap).floor() as usize).max(1);
         let allowance = cap.saturating_sub(speculative_running).min(budget);
 
-        let mut eligible: Vec<(f64, Action)> = candidates
-            .into_iter()
-            .filter(|(rate, _, _)| *rate <= threshold)
-            .map(|(_, est, action)| (est, action))
-            .collect();
+        let eligible = &mut self.eligible;
+        eligible.clear();
+        eligible.extend(
+            candidates
+                .iter()
+                .filter(|(rate, _, _)| *rate <= threshold)
+                .map(|&(_, est, action)| (est, action)),
+        );
         // Longest approximate time to end first; `total_cmp` keeps the order
-        // total (the estimates can be infinite).
+        // total (the estimates can be infinite). Stable sort: ties keep the
+        // detection (job-id) order.
         eligible.sort_by(|a, b| b.0.total_cmp(&a.0));
-        for (_, action) in eligible.into_iter().take(allowance) {
+        for &(_, action) in eligible.iter().take(allowance) {
             actions.push(action);
         }
     }

@@ -40,7 +40,7 @@ pub mod restart;
 pub mod sca;
 pub mod srpt_noclone;
 
-pub use fair::FairScheduler;
+pub use fair::{FairFillScratch, FairScheduler};
 pub use fifo::Fifo;
 pub use late::{Late, LateConfig};
 pub use mantri::{Mantri, MantriConfig};

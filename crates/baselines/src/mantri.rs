@@ -28,7 +28,7 @@
 //! task has run long enough to produce progress samples, which is too late
 //! for small jobs.
 
-use crate::fair::fair_fill_unweighted_into;
+use crate::fair::{fair_fill_alive_into, FairFillScratch};
 use mapreduce_sim::{Action, ClusterState, IndexDemands, JobState, Scheduler, Slot};
 use mapreduce_workload::Phase;
 
@@ -89,6 +89,11 @@ impl MantriConfig {
 #[derive(Debug, Clone)]
 pub struct Mantri {
     config: MantriConfig,
+    /// Pooled fair-fill buffers; Mantri wakes every `detection_interval`
+    /// slots, so per-decision allocations here would dominate the run.
+    fill_scratch: FairFillScratch,
+    /// Pooled straggler-candidate buffer (`Action` is `Copy`, no borrows).
+    candidates: Vec<(Slot, Action)>,
 }
 
 impl Mantri {
@@ -103,7 +108,11 @@ impl Mantri {
     /// Panics if the configuration is invalid.
     pub fn with_config(config: MantriConfig) -> Self {
         config.validate();
-        Mantri { config }
+        Mantri {
+            config,
+            fill_scratch: FairFillScratch::default(),
+            candidates: Vec::new(),
+        }
     }
 
     /// The configuration in use.
@@ -210,10 +219,9 @@ impl Scheduler for Mantri {
         //    nothing about the trace's priority weights. The fill is skipped
         //    via the O(1) aggregate when nothing is launchable (it could not
         //    have produced an action).
-        let jobs: Vec<&JobState> = state.alive_jobs().collect();
         let start = actions.len();
         if state.total_unscheduled_tasks() > 0 {
-            fair_fill_unweighted_into(&jobs, budget, actions);
+            fair_fill_alive_into(state, budget, false, &mut self.fill_scratch, actions);
         }
         let launched = actions.len() - start;
         budget -= launched.min(budget);
@@ -222,15 +230,19 @@ impl Scheduler for Mantri {
         }
 
         // 2. Spend leftover machines on duplicates of detected stragglers,
-        //    worst (largest remaining time) first.
-        let mut candidates: Vec<(Slot, Action)> = Vec::new();
-        for job in &jobs {
+        //    worst (largest remaining time) first. The candidate buffer is
+        //    pooled in `self`; the sort must stay stable so equal `t_rem`
+        //    candidates keep job-id order.
+        let mut candidates = std::mem::take(&mut self.candidates);
+        candidates.clear();
+        for job in state.alive_jobs() {
             self.straggler_candidates(job, state.copies(), state.now(), &mut candidates);
         }
         candidates.sort_by_key(|(t_rem, _)| std::cmp::Reverse(*t_rem));
-        for (_, action) in candidates.into_iter().take(budget) {
+        for &(_, action) in candidates.iter().take(budget) {
             actions.push(action);
         }
+        self.candidates = candidates;
     }
 }
 

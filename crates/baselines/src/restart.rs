@@ -17,7 +17,7 @@
 //! suite, which pins [`Restart`] against the scan-based
 //! [`crate::reference::ReferenceRestart`] bit-for-bit.
 
-use crate::fair::fair_fill_unweighted_into;
+use crate::fair::{fair_fill_alive_into, FairFillScratch};
 use mapreduce_sim::{Action, ClusterState, IndexDemands, JobState, Scheduler, Slot};
 use mapreduce_workload::{Phase, TaskId};
 use std::collections::HashMap;
@@ -74,6 +74,10 @@ pub struct Restart {
     config: RestartConfig,
     /// Restarts issued per task so far.
     restarts: HashMap<TaskId, u32>,
+    /// Pooled fair-fill buffers (the detector wakes every few slots).
+    fill_scratch: FairFillScratch,
+    /// Pooled straggler-candidate buffer.
+    candidates: Vec<(Slot, TaskId)>,
 }
 
 impl Restart {
@@ -91,6 +95,8 @@ impl Restart {
         Restart {
             config,
             restarts: HashMap::new(),
+            fill_scratch: FairFillScratch::default(),
+            candidates: Vec::new(),
         }
     }
 
@@ -173,27 +179,29 @@ impl Scheduler for Restart {
 
     fn schedule_into(&mut self, state: &ClusterState<'_>, actions: &mut Vec<Action>) {
         // 1. Regular work via equal-share fair scheduling, like the other
-        //    detection-based baselines.
-        let jobs: Vec<&JobState> = state.alive_jobs().collect();
+        //    detection-based baselines. Fill buffers are pooled in `self`.
         let budget = state.available_machines();
         if budget > 0 && state.total_unscheduled_tasks() > 0 {
-            fair_fill_unweighted_into(&jobs, budget, actions);
+            fair_fill_alive_into(state, budget, false, &mut self.fill_scratch, actions);
         }
 
         // 2. Kill-and-restart detected stragglers, worst (largest remaining
         //    time) first. Restarts are machine-neutral — the launch reuses
         //    the machine its cancellation frees — so they are not limited by
-        //    the available-machine budget.
-        let mut candidates: Vec<(Slot, TaskId)> = Vec::new();
-        for job in &jobs {
+        //    the available-machine budget. The candidate buffer is pooled;
+        //    the sort must stay stable (ties keep job-id order).
+        let mut candidates = std::mem::take(&mut self.candidates);
+        candidates.clear();
+        for job in state.alive_jobs() {
             self.straggler_candidates(job, state.copies(), state.now(), &mut candidates);
         }
         candidates.sort_by_key(|&(t_rem, _)| std::cmp::Reverse(t_rem));
-        for (_, task) in candidates {
+        for &(_, task) in &candidates {
             *self.restarts.entry(task).or_insert(0) += 1;
             actions.push(Action::CancelCopies { task, keep: 0 });
             actions.push(Action::Launch { task, copies: 1 });
         }
+        self.candidates = candidates;
     }
 }
 

@@ -1,0 +1,138 @@
+//! The million-job streaming tier: 1 000 000 jobs on 100 000 machines.
+//!
+//! This is the regime the streaming subsystem and the prefix-truncated
+//! SRPTMS+C decision path exist for: the full trace would be several
+//! gigabytes materialised, so jobs are synthesized on demand
+//! ([`mapreduce_workload::StreamingGenerator`]) and released at completion —
+//! the run's footprint is the alive window, not the workload. Two
+//! schedulers:
+//!
+//! * `stream1m/fifo` — the cheapest decision path; measures the engine +
+//!   feed floor at this scale.
+//! * `stream1m/srptmsc` — the paper's online algorithm; its ε-prefix share
+//!   walk and pooled decision scratch are what keep a million-job run
+//!   tractable (the ranked-prefix counter recorded below shows how little of
+//!   the alive set a decision actually touches).
+//!
+//! Peak-resident counters (jobs, copy slots) are recorded as report extras
+//! and enforced by the CI bench-guard's memory check alongside the timings.
+//!
+//! Run with `cargo bench -p mapreduce-bench --bench stream1m`
+//! (`MAPREDUCE_BENCH_SAMPLES=1` for the CI smoke pass). A real sample takes
+//! minutes: one iteration simulates ≈8 days of cluster time for a million
+//! jobs.
+
+use mapreduce_baselines::Fifo;
+use mapreduce_experiments::Scenario;
+use mapreduce_sched::SrptMsC;
+use mapreduce_sim::{Scheduler, SimConfig, SimOutcome, Simulation};
+use mapreduce_support::criterion::{BenchmarkId, Criterion};
+use mapreduce_support::json::ToJson;
+use mapreduce_support::{criterion_group, criterion_main};
+use std::hint::black_box;
+
+const TOTAL_JOBS: usize = 1_000_000;
+
+/// One streaming run of the million-job scenario.
+fn run_million(scheduler: &mut dyn Scheduler, scenario: &Scenario, seed: u64) -> SimOutcome {
+    let outcome = Simulation::from_source(
+        SimConfig::new(scenario.machines).with_seed(seed),
+        scenario.job_source(seed),
+    )
+    .run(scheduler)
+    .expect("million-job streaming run must complete");
+    assert_eq!(
+        outcome.records().len(),
+        TOTAL_JOBS,
+        "{} completed only {} of {TOTAL_JOBS} jobs",
+        outcome.scheduler,
+        outcome.records().len()
+    );
+    outcome
+}
+
+fn bench_stream1m(c: &mut Criterion) {
+    let scenario = Scenario::million();
+    let seed = scenario.seeds[0];
+
+    let mut group = c.benchmark_group("stream1m");
+    let mut fifo_peak_jobs = 0usize;
+    let mut fifo_peak_slots = 0usize;
+    let mut fifo_copies = 0usize;
+    group.bench_with_input(BenchmarkId::from_parameter("fifo"), &seed, |b, &seed| {
+        b.iter(|| {
+            let outcome = run_million(&mut Fifo::new(), &scenario, seed);
+            fifo_peak_jobs = outcome.peak_resident_jobs;
+            fifo_peak_slots = outcome.peak_copy_slots;
+            fifo_copies = outcome.total_copies;
+            black_box(outcome.mean_flowtime())
+        })
+    });
+    println!(
+        "stream1m/fifo: peak resident {fifo_peak_jobs} jobs, {fifo_peak_slots} copy slots \
+         for {fifo_copies} copies"
+    );
+
+    let mut srpt_peak_jobs = 0usize;
+    let mut srpt_peak_slots = 0usize;
+    let mut srpt_copies = 0usize;
+    let mut srpt_prefix_max = 0usize;
+    let mut srpt_decisions = 0u64;
+    group.bench_with_input(BenchmarkId::from_parameter("srptmsc"), &seed, |b, &seed| {
+        b.iter(|| {
+            let outcome = run_million(&mut SrptMsC::new(0.6, 3.0), &scenario, seed);
+            srpt_peak_jobs = outcome.peak_resident_jobs;
+            srpt_peak_slots = outcome.peak_copy_slots;
+            srpt_copies = outcome.total_copies;
+            srpt_prefix_max = outcome.ranked_prefix_len_max;
+            srpt_decisions = outcome.decision_instants;
+            black_box(outcome.mean_flowtime())
+        })
+    });
+    println!(
+        "stream1m/srptmsc: peak resident {srpt_peak_jobs} jobs, {srpt_peak_slots} copy slots \
+         for {srpt_copies} copies; {srpt_decisions} decision instants, ranked prefix max \
+         {srpt_prefix_max}"
+    );
+    group.finish();
+
+    mapreduce_bench::merge_bench_report_with(
+        "stream1m",
+        TOTAL_JOBS,
+        scenario.machines,
+        c.results(),
+        &[
+            ("stream1m_total_jobs", TOTAL_JOBS.to_json()),
+            ("stream1m_peak_resident_jobs", fifo_peak_jobs.to_json()),
+            ("stream1m_peak_copy_slots", fifo_peak_slots.to_json()),
+            ("stream1m_total_copies", fifo_copies.to_json()),
+            (
+                "stream1m_srptmsc_peak_resident_jobs",
+                srpt_peak_jobs.to_json(),
+            ),
+            (
+                "stream1m_srptmsc_peak_copy_slots",
+                srpt_peak_slots.to_json(),
+            ),
+            ("stream1m_srptmsc_total_copies", srpt_copies.to_json()),
+            (
+                "stream1m_srptmsc_decision_instants",
+                srpt_decisions.to_json(),
+            ),
+            (
+                "stream1m_srptmsc_ranked_prefix_len_max",
+                srpt_prefix_max.to_json(),
+            ),
+        ],
+    );
+}
+
+criterion_group! {
+    name = benches;
+    // One real sample is minutes of wall clock; two samples keep min/mean
+    // meaningful without an hour-long bench. CI overrides via
+    // MAPREDUCE_BENCH_SAMPLES=1.
+    config = Criterion::default().sample_size(2);
+    targets = bench_stream1m
+}
+criterion_main!(benches);

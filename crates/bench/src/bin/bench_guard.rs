@@ -3,15 +3,18 @@
 //! Reads a bench report (by default the smoke-mode report the bench-smoke
 //! step just merged into `target/BENCH_smoke.json`) and fails — exit code 1 —
 //! if any benchmark id regressed by more than the given factor against its
-//! recorded `prev_mean_ns`. Ids without a previous mean (first run on a
-//! fresh cache, newly added benchmarks) pass trivially.
+//! recorded `prev_mean_ns`, or any peak-memory extra (keys containing
+//! `peak`, e.g. `peak_resident_jobs`, `stream100k_peak_copy_slots`) grew
+//! beyond the memory factor against its `prev_extras` baseline. Ids and
+//! extras without a recorded baseline (first run on a fresh cache, newly
+//! added benchmarks) pass trivially.
 //!
 //! ```console
-//! $ cargo run -p mapreduce-bench --bin bench-guard            # smoke report, 2×
-//! $ cargo run -p mapreduce-bench --bin bench-guard -- path.json 1.5
+//! $ cargo run -p mapreduce-bench --bin bench-guard            # smoke report, 2× / 1.5×
+//! $ cargo run -p mapreduce-bench --bin bench-guard -- path.json 1.5 1.2
 //! ```
 
-use mapreduce_bench::{find_regressions, SMOKE_REPORT_PATH};
+use mapreduce_bench::{find_memory_regressions, find_regressions, SMOKE_REPORT_PATH};
 use mapreduce_support::json::JsonValue;
 use std::process::ExitCode;
 
@@ -22,6 +25,12 @@ fn main() -> ExitCode {
         .next()
         .map(|f| f.parse().expect("factor must be a number"))
         .unwrap_or(2.0);
+    // Memory counters are deterministic (no timing noise), so the default
+    // allowance is tighter than the timing factor.
+    let memory_factor: f64 = args
+        .next()
+        .map(|f| f.parse().expect("memory factor must be a number"))
+        .unwrap_or(1.5);
 
     let report = match std::fs::read_to_string(&path) {
         Ok(text) => match JsonValue::parse(&text) {
@@ -39,8 +48,11 @@ fn main() -> ExitCode {
     };
 
     let regressions = find_regressions(&report, factor);
-    if regressions.is_empty() {
-        println!("bench-guard: no >{factor}x regressions in {path}");
+    let memory_regressions = find_memory_regressions(&report, memory_factor);
+    if regressions.is_empty() && memory_regressions.is_empty() {
+        println!(
+            "bench-guard: no >{factor}x timing or >{memory_factor}x memory regressions in {path}"
+        );
         return ExitCode::SUCCESS;
     }
     for (id, prev, mean) in &regressions {
@@ -49,6 +61,12 @@ fn main() -> ExitCode {
             mean / prev,
             prev / 1e6,
             mean / 1e6,
+        );
+    }
+    for (id, prev, current) in &memory_regressions {
+        eprintln!(
+            "bench-guard: {id} memory grew {:.2}x ({prev:.0} -> {current:.0})",
+            current / prev,
         );
     }
     ExitCode::FAILURE

@@ -154,6 +154,47 @@ pub fn find_regressions(report: &JsonValue, factor: f64) -> Vec<(String, f64, f6
     regressions
 }
 
+/// Scans a bench report for **memory** regressions: any peak-footprint extra
+/// (an entry-level extra whose key contains `"peak"`, e.g.
+/// `peak_resident_jobs`, `stream100k_peak_copy_slots`,
+/// `stream1m_srptmsc_peak_copy_slots`) that grew beyond `factor ×` its
+/// recorded `prev_extras` baseline is returned as
+/// `(benchmark:key, prev, current)`.
+///
+/// Peak counters are deterministic for a given engine build (they count
+/// simulation state, not wall clock), so unlike the timing guard there is no
+/// noise allowance to design around — the factor exists only to let
+/// legitimate workload growth land together with its re-baselined report.
+/// Extras without a recorded baseline (first run, new key) are skipped.
+pub fn find_memory_regressions(report: &JsonValue, factor: f64) -> Vec<(String, f64, f64)> {
+    let mut regressions = Vec::new();
+    let Some(benchmarks) = report.get("benchmarks").and_then(|b| b.as_array()) else {
+        return regressions;
+    };
+    for entry in benchmarks {
+        let Some(benchmark) = entry.get("benchmark").and_then(|b| b.as_str()) else {
+            continue;
+        };
+        let Some(JsonValue::Object(prev_extras)) = entry.get("prev_extras") else {
+            continue;
+        };
+        for (key, prev_value) in prev_extras {
+            if !key.contains("peak") {
+                continue;
+            }
+            let (Some(prev), Some(current)) =
+                (prev_value.as_f64(), entry.get(key).and_then(|v| v.as_f64()))
+            else {
+                continue;
+            };
+            if prev > 0.0 && current > factor * prev {
+                regressions.push((format!("{benchmark}:{key}"), prev, current));
+            }
+        }
+    }
+    regressions
+}
+
 /// [`merge_bench_report`] against an explicit path (tests use a temp file).
 pub fn merge_bench_report_at(
     path: &Path,
@@ -188,8 +229,13 @@ pub fn merge_bench_report_at_with(
     };
 
     // Previous means for this benchmark, keyed by result id, so the updated
-    // entry records its own before/after.
+    // entry records its own before/after. Numeric extras get the same
+    // treatment: the old entry's value for every extra key being re-recorded
+    // lands in a `prev_extras` object, giving the memory guard
+    // ([`find_memory_regressions`]) a baseline the way `prev_mean_ns` feeds
+    // the timing guard.
     let mut prev_means: HashMap<String, f64> = HashMap::new();
+    let mut prev_extras: std::collections::BTreeMap<String, JsonValue> = Default::default();
     if let Some(old) = entries
         .iter()
         .find(|e| e.get("benchmark").and_then(|b| b.as_str()) == Some(benchmark))
@@ -202,6 +248,11 @@ pub fn merge_bench_report_at_with(
                 ) {
                     prev_means.insert(id.to_string(), mean);
                 }
+            }
+        }
+        for (key, _) in extras {
+            if let Some(old_value) = old.get(key).filter(|v| v.as_f64().is_some()) {
+                prev_extras.insert(key.to_string(), old_value.clone());
             }
         }
     }
@@ -230,6 +281,9 @@ pub fn merge_bench_report_at_with(
     ];
     for (key, value) in extras {
         entry_fields.push((key, value.clone()));
+    }
+    if !prev_extras.is_empty() {
+        entry_fields.push(("prev_extras", JsonValue::Object(prev_extras)));
     }
     let entry = JsonValue::object(entry_fields);
 
@@ -358,6 +412,61 @@ mod tests {
         assert_eq!((regressions[0].1, regressions[0].2), (100.0, 270.0));
         // A looser factor passes.
         assert!(find_regressions(&report, 4.0).is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn memory_guard_tracks_peak_extras_through_prev_extras() {
+        let path = std::env::temp_dir().join(format!(
+            "mapreduce_bench_memory_guard_test_{}.json",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        // First merge: records the extras, no baseline yet.
+        merge_bench_report_at_with(
+            &path,
+            "stream",
+            100_000,
+            20_000,
+            &[result("stream/fifo", 1e9)],
+            &[
+                ("peak_resident_jobs", 5_000usize.to_json()),
+                ("stream100k_peak_copy_slots", 300_000usize.to_json()),
+                ("stream100k_total_copies", 2_000_000usize.to_json()),
+            ],
+        );
+        let report = JsonValue::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert!(entry(&report, "stream").get("prev_extras").is_none());
+        assert!(find_memory_regressions(&report, 1.5).is_empty());
+
+        // Second merge: one peak extra doubles, one shrinks, and the
+        // non-peak total (which legitimately scales with the workload)
+        // explodes without tripping anything.
+        merge_bench_report_at_with(
+            &path,
+            "stream",
+            100_000,
+            20_000,
+            &[result("stream/fifo", 1e9)],
+            &[
+                ("peak_resident_jobs", 10_000usize.to_json()),
+                ("stream100k_peak_copy_slots", 200_000usize.to_json()),
+                ("stream100k_total_copies", 9_000_000usize.to_json()),
+            ],
+        );
+        let report = JsonValue::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let prev = entry(&report, "stream").get("prev_extras").unwrap();
+        assert_eq!(
+            prev.get("peak_resident_jobs").unwrap().as_f64(),
+            Some(5_000.0)
+        );
+        let regressions = find_memory_regressions(&report, 1.5);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].0, "stream:peak_resident_jobs");
+        assert_eq!((regressions[0].1, regressions[0].2), (5_000.0, 10_000.0));
+        // A looser factor passes; the factor is inclusive of exactly-at-bound.
+        assert!(find_memory_regressions(&report, 2.0).is_empty());
         let _ = std::fs::remove_file(&path);
     }
 

@@ -131,6 +131,87 @@ pub fn epsilon_fraction_shares_scratch(
     largest_remainder_round(shares, total_machines, scratch);
 }
 
+/// Prefix-truncated variant of [`epsilon_fraction_shares_scratch`] for
+/// callers that know `W(l)` up front: only the jobs inside the ε-fraction
+/// are pulled from the iterator and materialised.
+///
+/// The ε-fraction rule assigns **exactly zero** machines to every job whose
+/// cumulative suffix weight `W_i(l)` falls below `(1−ε)·W(l)`, and the suffix
+/// weights strictly decrease along the priority order — so once the walk
+/// crosses the threshold, every remaining share is zero and the walk can
+/// stop. `jobs` is consumed lazily and only up to that boundary: with the
+/// engine maintaining `W(l)` incrementally, a decision touches
+/// `O(prefix)` jobs instead of `O(alive)`.
+///
+/// The emitted prefix is **bit-identical** to the corresponding prefix of the
+/// full walk (same fractional shares, same largest-remainder rounding, same
+/// integer sum `M`): the truncated tail has zero fractional share, is never
+/// eligible for a rounding top-up (eligibility requires a positive fractional
+/// share), and contributes zero to the floored-share sum, so dropping it
+/// changes nothing. Callers must treat jobs without an entry as zero-share.
+///
+/// `total_weight` must equal the sum of **all** candidate weights (the full
+/// ranked list, not just the prefix), accumulated in ranked order —
+/// `jobs.iter().map(|(_, w)| w).sum()` is what the full walk folds. When the
+/// weights are integer-valued `f64`s below 2^53 (every committed workload:
+/// Google-trace weights are `priority + 1`), any exact accumulation — in
+/// particular the engine's incremental counter — produces the same bits; for
+/// general fractional weights the caller must supply the fold-order sum to
+/// keep the truncation bit-identical.
+///
+/// Unlike the full variant, `total_machines == 0` yields an *empty* share
+/// list (the full walk emits one all-zero entry per job); no scheduler
+/// distinguishes the two, as an absent entry already means "no machines".
+///
+/// # Panics
+/// Panics if `epsilon` is not in `(0, 1]` or a *consumed* weight is not
+/// positive (weights past the truncation boundary are never inspected).
+pub fn epsilon_fraction_shares_prefix_into(
+    jobs: impl IntoIterator<Item = (JobId, f64)>,
+    total_weight: f64,
+    total_machines: usize,
+    epsilon: f64,
+    shares: &mut Vec<MachineShare>,
+    scratch: &mut Vec<(f64, usize)>,
+) {
+    assert!(
+        epsilon > 0.0 && epsilon <= 1.0,
+        "epsilon must be in (0, 1], got {epsilon}"
+    );
+    shares.clear();
+    if total_machines == 0 {
+        return;
+    }
+
+    let m = total_machines as f64;
+    let threshold = (1.0 - epsilon) * total_weight;
+
+    // Identical arithmetic to the full walk: W_i(l) is maintained by the
+    // same repeated subtraction, so every emitted share matches bit for bit.
+    let mut suffix_weight = total_weight;
+    for (job, weight) in jobs {
+        assert!(weight > 0.0, "job weights must be positive");
+        let w_i = suffix_weight;
+        if w_i < threshold {
+            // Zero-share region: suffix weights only decrease from here.
+            break;
+        }
+        let fractional = if w_i - weight >= threshold {
+            weight * m / (epsilon * total_weight)
+        } else {
+            (w_i - threshold) * m / (epsilon * total_weight)
+        };
+        shares.push(MachineShare {
+            job,
+            fractional,
+            machines: 0,
+        });
+        suffix_weight -= weight;
+    }
+
+    largest_remainder_round(shares, total_machines, scratch);
+}
+
 /// Rounds fractional shares to integers that sum to `total_machines`, by
 /// flooring every share and then handing the remaining machines to the
 /// largest fractional remainders (ties broken by position, i.e. by priority).
@@ -280,6 +361,126 @@ mod tests {
     #[should_panic(expected = "weights must be positive")]
     fn non_positive_weight_rejected() {
         epsilon_fraction_shares(&[(JobId::new(0), 0.0)], 4, 0.5);
+    }
+
+    /// Runs the prefix walk with the fold-order total weight, the way the
+    /// scheduler does.
+    fn prefix_shares(jobs: &[(JobId, f64)], m: usize, eps: f64) -> Vec<MachineShare> {
+        let total_weight: f64 = jobs.iter().map(|(_, w)| w).sum();
+        let mut shares = Vec::new();
+        let mut scratch = Vec::new();
+        epsilon_fraction_shares_prefix_into(
+            jobs.iter().copied(),
+            total_weight,
+            m,
+            eps,
+            &mut shares,
+            &mut scratch,
+        );
+        shares
+    }
+
+    /// The prefix walk must be a bitwise-identical truncation of the full
+    /// walk: same entries up to the truncation point, all-zero tail beyond
+    /// it, same integer total.
+    fn assert_prefix_matches_full(jobs: &[(JobId, f64)], m: usize, eps: f64) -> Result<(), String> {
+        let full = epsilon_fraction_shares(jobs, m, eps);
+        let prefix = prefix_shares(jobs, m, eps);
+        prop_assert!(
+            prefix.len() <= full.len(),
+            "prefix ({}) longer than full ({})",
+            prefix.len(),
+            full.len()
+        );
+        for (i, (p, f)) in prefix.iter().zip(&full).enumerate() {
+            prop_assert!(p.job == f.job, "job mismatch at {i}");
+            prop_assert!(
+                p.fractional.to_bits() == f.fractional.to_bits(),
+                "fractional share not bit-identical at {i}: {} vs {}",
+                p.fractional,
+                f.fractional
+            );
+            prop_assert!(p.machines == f.machines, "integer share mismatch at {i}");
+        }
+        for (i, f) in full.iter().enumerate().skip(prefix.len()) {
+            prop_assert!(
+                f.fractional == 0.0 && f.machines == 0,
+                "truncated entry {} is nonzero: fractional {}, machines {}",
+                i,
+                f.fractional,
+                f.machines
+            );
+        }
+        let sum: usize = prefix.iter().map(|s| s.machines).sum();
+        prop_assert!(sum == m, "prefix shares sum {sum} != {m}");
+        Ok(())
+    }
+
+    #[test]
+    fn prefix_walk_truncates_zero_share_tail() {
+        // ε = 0.25 over four unit weights: only the top job participates,
+        // so the prefix stops after one entry (plus at most one straddle).
+        let jobs: Vec<(JobId, f64)> = ids(4).into_iter().zip([1.0, 1.0, 1.0, 1.0]).collect();
+        let prefix = prefix_shares(&jobs, 100, 0.25);
+        assert!(prefix.len() <= 2, "prefix kept {} entries", prefix.len());
+        assert_eq!(prefix[0].machines, 100);
+        assert_prefix_matches_full(&jobs, 100, 0.25).unwrap();
+    }
+
+    #[test]
+    fn prefix_walk_with_zero_machines_is_empty() {
+        let jobs: Vec<(JobId, f64)> = ids(3).into_iter().zip([1.0, 2.0, 1.0]).collect();
+        assert!(prefix_shares(&jobs, 0, 0.5).is_empty());
+        assert!(prefix_shares(&[], 10, 0.5).is_empty());
+    }
+
+    #[test]
+    fn prefix_walk_epsilon_one_keeps_every_job() {
+        let jobs: Vec<(JobId, f64)> = ids(5).into_iter().zip([3.0, 1.0, 2.0, 1.0, 5.0]).collect();
+        let prefix = prefix_shares(&jobs, 16, 1.0);
+        assert_eq!(prefix.len(), jobs.len());
+        assert_prefix_matches_full(&jobs, 16, 1.0).unwrap();
+    }
+
+    proptest! {
+        /// Satellite pin: the prefix-truncated walk is interchangeable with
+        /// the full walk over random ranked lists and ε ∈ (0, 1].
+        #[test]
+        fn prop_prefix_walk_matches_full_walk(
+            weights in proptest::collection::vec(0.1f64..20.0, 1..40),
+            m in 0usize..200,
+            eps in 0.05f64..1.0,
+        ) {
+            let jobs: Vec<(JobId, f64)> = weights
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| (JobId::new(i as u64), w))
+                .collect();
+            if m == 0 {
+                prop_assert!(prefix_shares(&jobs, 0, eps).is_empty());
+            } else {
+                // ε = 1.0 is the boundary case the unit test covers; sample
+                // the open range here and the exact endpoint separately.
+                assert_prefix_matches_full(&jobs, m, eps)?;
+                assert_prefix_matches_full(&jobs, m, 1.0)?;
+            }
+        }
+
+        /// Integer-valued weights are the committed-workload regime where the
+        /// incremental W(l) counter is exact; pin it explicitly.
+        #[test]
+        fn prop_prefix_walk_matches_full_walk_integer_weights(
+            weights in proptest::collection::vec(1u32..50, 1..40),
+            m in 1usize..200,
+            eps in 0.05f64..1.0,
+        ) {
+            let jobs: Vec<(JobId, f64)> = weights
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| (JobId::new(i as u64), f64::from(w)))
+                .collect();
+            assert_prefix_matches_full(&jobs, m, eps)?;
+        }
     }
 
     proptest! {

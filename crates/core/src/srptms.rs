@@ -25,7 +25,9 @@
 //! the paper's evaluation (Fig. 1). Cloning can be disabled for ablations.
 
 use crate::priority::online_priority;
-use crate::sharing::{epsilon_fraction_shares_scratch, MachineShare};
+use crate::sharing::{
+    epsilon_fraction_shares_prefix_into, epsilon_fraction_shares_scratch, MachineShare,
+};
 use mapreduce_sim::{Action, ClusterState, JobState, Scheduler};
 use mapreduce_workload::{JobId, Phase, TaskId};
 
@@ -301,21 +303,46 @@ impl Scheduler for SrptMsC {
         }
 
         let config = self.config;
-        self.ranked.clear();
-        self.ranked.extend((0..num_candidates).map(|i| {
-            let job = candidate(i);
-            (job.id(), job.weight())
-        }));
-        epsilon_fraction_shares_scratch(
-            &self.ranked,
-            state.total_machines(),
-            config.epsilon,
-            &mut self.shares,
-            &mut self.round_scratch,
-        );
+        match entries {
+            // Prefix-truncated walk: the ε-fraction rule zeroes every share
+            // past the `(1−ε)·W(l)` cumulative-weight boundary, so only the
+            // jobs inside the boundary are pulled from the ranked order —
+            // `O(prefix)` job derefs instead of `O(alive)`. `W(l)` is the
+            // engine's incrementally maintained unscheduled-weight aggregate
+            // (exact for the integer-valued job weights every committed
+            // workload uses, hence bit-identical to the full walk's fold).
+            Some(e) => epsilon_fraction_shares_prefix_into(
+                e.iter().map(|&(_, idx)| {
+                    let job = state.job_at(idx);
+                    (job.id(), job.weight())
+                }),
+                state.total_unscheduled_weight(),
+                state.total_machines(),
+                config.epsilon,
+                &mut self.shares,
+                &mut self.round_scratch,
+            ),
+            // Hand-built snapshots carry no aggregate: materialise the whole
+            // candidate list and run the full walk.
+            None => {
+                self.ranked.clear();
+                self.ranked.extend((0..num_candidates).map(|i| {
+                    let job = candidate(i);
+                    (job.id(), job.weight())
+                }));
+                epsilon_fraction_shares_scratch(
+                    &self.ranked,
+                    state.total_machines(),
+                    config.epsilon,
+                    &mut self.shares,
+                    &mut self.round_scratch,
+                );
+            }
+        }
+        state.note_ranked_prefix(self.shares.len());
 
         self.launched_prefix.clear();
-        self.launched_prefix.resize(num_candidates, 0);
+        self.launched_prefix.resize(self.shares.len(), 0);
         for (i, share) in self.shares.iter().enumerate() {
             let job = candidate(i);
             if available == 0 {
@@ -350,7 +377,10 @@ impl Scheduler for SrptMsC {
         // launched a prefix of each job's free-list, so the backfill resumes
         // right after it — no per-task membership checks.
         if config.work_conserving && available > 0 {
-            'backfill: for (i, &skip) in self.launched_prefix.iter().enumerate() {
+            // `launched_prefix` only covers the ε-fraction prefix; every
+            // candidate past it got nothing in the ε-pass (skip = 0).
+            'backfill: for i in 0..num_candidates {
+                let skip = self.launched_prefix.get(i).copied().unwrap_or(0);
                 let job = candidate(i);
                 let Some(phase) = Self::launchable_phase(job) else {
                     continue;

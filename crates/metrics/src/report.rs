@@ -116,6 +116,8 @@ mod tests {
             5,
             1,
             1,
+            0,
+            0,
         )
     }
 

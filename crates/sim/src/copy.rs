@@ -1,11 +1,18 @@
 //! Task copies: the unit of execution on a machine.
 //!
 //! Every launch (original attempt, clone, or speculative backup) creates one
-//! [`CopyInfo`]. A copy occupies exactly one machine from the slot it is
-//! launched until it finishes or is cancelled. Reduce copies launched before
-//! their job's Map phase has completed sit in [`CopyPhase::WaitingForMapPhase`]
-//! — they hold their machine (as in the offline algorithm of Section IV) but
+//! copy. A copy occupies exactly one machine from the slot it is launched
+//! until it finishes or is cancelled. Reduce copies launched before their
+//! job's Map phase has completed sit in [`CopyPhase::WaitingForMapPhase`] —
+//! they hold their machine (as in the offline algorithm of Section IV) but
 //! make no progress until the precedence constraint is satisfied.
+//!
+//! Copies are stored struct-of-arrays: the fields the per-decision scans
+//! touch (phase, start, duration, sequence — everything behind
+//! [`CopyRef::progress`], [`CopyRef::remaining`] and the event liveness
+//! check) live in one dense [`HotCopy`] table, while the fields only read on
+//! task completion or in tests ([`ColdCopy`]: owning task, launch slot, end
+//! slot) live in a parallel table the hot scans never pull into cache.
 
 use crate::state::Slot;
 use mapreduce_workload::TaskId;
@@ -40,73 +47,97 @@ pub enum CopyPhase {
     Cancelled,
 }
 
-/// Full description of one copy.
-#[derive(Debug, Clone, PartialEq)]
-pub struct CopyInfo {
-    /// Identifier of the copy.
-    pub id: CopyId,
-    /// The task this copy belongs to.
-    pub task: TaskId,
-    /// Slot at which the copy was launched (machine occupied from here on).
-    pub launched_at: Slot,
-    /// Slot at which the copy started processing (equals `launched_at` except
-    /// for reduce copies that had to wait for the Map phase).
-    pub started_at: Option<Slot>,
-    /// Number of slots of processing this copy needs once started.
-    pub duration: Slot,
+/// Sentinel for "no slot recorded" in the packed hot table (`Slot` is never
+/// `u64::MAX` in a run that completes — the horizon check fires long before).
+const NO_SLOT: Slot = Slot::MAX;
+
+/// The per-copy fields every hot path touches: straggler-detection scans
+/// (progress / remaining / elapsed), the event liveness check (seq, phase,
+/// finish slot) and cancellation. 32 bytes — two copies per cache line,
+/// against 80-byte AoS records before the split.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct HotCopy {
     /// Current lifecycle phase.
-    pub phase: CopyPhase,
-    /// Slot at which the copy left the machine (finished or cancelled).
-    pub ended_at: Option<Slot>,
-    /// Run-unique allocation sequence number, assigned by
-    /// [`CopyArena::alloc`] in launch order. Copy *slots* ([`CopyId`]) are
-    /// recycled once their job completes, so the sequence — not the id —
-    /// orders same-slot finish events and validates queued events against
-    /// slot reuse.
+    phase: CopyPhase,
+    /// Slot at which the copy started processing ([`NO_SLOT`] while waiting;
+    /// equals the launch slot except for reduce copies that had to wait).
+    started_at: Slot,
+    /// Number of slots of processing this copy needs once started.
+    duration: Slot,
+    /// Run-unique allocation sequence number, assigned by the arena in
+    /// launch order. Copy *slots* ([`CopyId`]) are recycled once their job
+    /// completes, so the sequence — not the id — orders same-slot finish
+    /// events and validates queued events against slot reuse.
     seq: u64,
 }
 
-impl CopyInfo {
-    /// Creates a copy that starts processing immediately. The allocation
-    /// sequence is assigned when the copy enters a [`CopyArena`].
-    pub(crate) fn running(id: CopyId, task: TaskId, launched_at: Slot, duration: Slot) -> Self {
-        CopyInfo {
-            id,
-            task,
-            launched_at,
-            started_at: Some(launched_at),
-            duration,
-            phase: CopyPhase::Running,
-            ended_at: None,
-            seq: id.0,
+/// The per-copy fields only read at task completion (busy-slot accounting),
+/// by hand-written tests, or never on the scan path: kept out of the hot
+/// table so detection scans don't drag them through cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ColdCopy {
+    /// The task this copy belongs to.
+    task: TaskId,
+    /// Slot at which the copy was launched (machine occupied from here on).
+    launched_at: Slot,
+    /// Slot at which the copy left the machine (finished or cancelled).
+    ended_at: Option<Slot>,
+}
+
+/// Read-only view of one copy, resolving the hot and cold halves of the
+/// split storage. Holding a `CopyRef` costs two pointers; only the accessors
+/// actually dereference, so hot-only queries never load the cold record.
+#[derive(Debug, Clone, Copy)]
+pub struct CopyRef<'a> {
+    hot: &'a HotCopy,
+    cold: &'a ColdCopy,
+}
+
+impl<'a> CopyRef<'a> {
+    /// The task this copy belongs to.
+    pub fn task(&self) -> TaskId {
+        self.cold.task
+    }
+
+    /// Slot at which the copy was launched (machine occupied from here on).
+    pub fn launched_at(&self) -> Slot {
+        self.cold.launched_at
+    }
+
+    /// Slot at which the copy started processing (`None` while waiting for
+    /// the Map phase).
+    pub fn started_at(&self) -> Option<Slot> {
+        match self.hot.started_at {
+            NO_SLOT => None,
+            s => Some(s),
         }
     }
 
-    /// Creates a copy that waits for the Map phase of its job. The allocation
-    /// sequence is assigned when the copy enters a [`CopyArena`].
-    pub(crate) fn waiting(id: CopyId, task: TaskId, launched_at: Slot, duration: Slot) -> Self {
-        CopyInfo {
-            id,
-            task,
-            launched_at,
-            started_at: None,
-            duration,
-            phase: CopyPhase::WaitingForMapPhase,
-            ended_at: None,
-            seq: id.0,
-        }
+    /// Number of slots of processing this copy needs once started.
+    pub fn duration(&self) -> Slot {
+        self.hot.duration
+    }
+
+    /// Current lifecycle phase.
+    pub fn phase(&self) -> CopyPhase {
+        self.hot.phase
+    }
+
+    /// Slot at which the copy left the machine (finished or cancelled).
+    pub fn ended_at(&self) -> Option<Slot> {
+        self.cold.ended_at
     }
 
     /// Run-unique allocation sequence number (launch order). Slots are
     /// recycled, sequences never are.
     pub fn seq(&self) -> u64 {
-        self.seq
+        self.hot.seq
     }
 
     /// Whether the copy currently occupies a machine.
     pub fn is_active(&self) -> bool {
         matches!(
-            self.phase,
+            self.hot.phase,
             CopyPhase::WaitingForMapPhase | CopyPhase::Running
         )
     }
@@ -114,17 +145,19 @@ impl CopyInfo {
     /// The slot at which this copy will finish, if it is running and nothing
     /// cancels it.
     pub fn finish_slot(&self) -> Option<Slot> {
-        match (self.phase, self.started_at) {
-            (CopyPhase::Running, Some(start)) => Some(start + self.duration),
+        match (self.hot.phase, self.hot.started_at) {
+            (CopyPhase::Running, NO_SLOT) => None,
+            (CopyPhase::Running, start) => Some(start + self.hot.duration),
             _ => None,
         }
     }
 
     /// Slots of processing completed by `now` (zero while waiting).
     pub fn elapsed(&self, now: Slot) -> Slot {
-        match (self.phase, self.started_at) {
-            (CopyPhase::Running, Some(start)) => now.saturating_sub(start).min(self.duration),
-            (CopyPhase::Finished, Some(_)) => self.duration,
+        match (self.hot.phase, self.hot.started_at) {
+            (_, NO_SLOT) => 0,
+            (CopyPhase::Running, start) => now.saturating_sub(start).min(self.hot.duration),
+            (CopyPhase::Finished, _) => self.hot.duration,
             _ => 0,
         }
     }
@@ -134,20 +167,20 @@ impl CopyInfo {
     /// This mirrors the per-task progress score a real MapReduce system
     /// reports and is what detection-based baselines (Mantri, LATE) consume.
     pub fn progress(&self, now: Slot) -> f64 {
-        if self.duration == 0 {
+        if self.hot.duration == 0 {
             return 1.0;
         }
-        self.elapsed(now) as f64 / self.duration as f64
+        self.elapsed(now) as f64 / self.hot.duration as f64
     }
 
     /// Estimated remaining processing slots at `now`, assuming the copy keeps
     /// its current rate (exact in this simulator).
     pub fn remaining(&self, now: Slot) -> Slot {
-        match self.phase {
+        match self.hot.phase {
             CopyPhase::Finished => 0,
             CopyPhase::Cancelled => 0,
-            CopyPhase::WaitingForMapPhase => self.duration,
-            CopyPhase::Running => self.duration.saturating_sub(self.elapsed(now)),
+            CopyPhase::WaitingForMapPhase => self.hot.duration,
+            CopyPhase::Running => self.hot.duration.saturating_sub(self.elapsed(now)),
         }
     }
 }
@@ -202,21 +235,21 @@ impl CopyList {
     }
 }
 
-/// Run-level storage of every *live* [`CopyInfo`], indexed by [`CopyId`],
-/// with a free-list over released slots.
+/// Run-level storage of every *live* copy, indexed by [`CopyId`], with a
+/// free-list over released slots.
 ///
-/// Copies used to live in per-task `Vec<CopyInfo>`s, which made resolving a
+/// Copies used to live in per-task `Vec`s, which made resolving a
 /// `CopyFinish` event a linear `find` over the task's copies. The arena makes
-/// it a single slice index: `arena[id]` is the copy. Tasks keep only small
-/// `CopyId` slices ([`crate::state::TaskState::copies`]).
+/// it a single slice index: [`CopyArena::get`] is the copy. Tasks keep only
+/// small `CopyId` slices ([`crate::state::TaskState::copies`]).
 ///
 /// # Slot recycling
 ///
 /// The arena used to grow monotonically — `O(total copies)` memory, the last
 /// whole-workload memory term of a streaming run. The engine now
 /// [frees](CopyArena::free) every copy slot of a job the moment the job
-/// completes (its records are captured first), and [`CopyArena::alloc`]
-/// reuses freed slots LIFO, so the slot table is bounded by the **peak alive
+/// completes (its records are captured first), and the allocators reuse
+/// freed slots LIFO, so the slot table is bounded by the **peak alive
 /// window** ([`CopyArena::peak_slots`]) rather than the run length. Two
 /// consequences:
 ///
@@ -224,13 +257,16 @@ impl CopyList {
 ///   completes, its ids may be handed to new copies. Every id reachable
 ///   through live task state ([`crate::state::TaskState::copies`]) is
 ///   current, so schedulers are unaffected;
-/// * the run-unique launch order lives in [`CopyInfo::seq`], which is what
+/// * the run-unique launch order lives in [`CopyRef::seq`], which is what
 ///   orders same-slot finish events and validates queued events against slot
 ///   reuse (the trajectory is bit-identical to the non-recycling arena,
 ///   whose dense ids equalled the sequence numbers).
 #[derive(Debug, Default, Clone)]
 pub struct CopyArena {
-    copies: Vec<CopyInfo>,
+    /// Scan-path fields, one dense record per slot.
+    hot: Vec<HotCopy>,
+    /// Completion-path fields, parallel to `hot`.
+    cold: Vec<ColdCopy>,
     /// Released slot indices, reused LIFO.
     free: Vec<u64>,
     /// Copies ever allocated; doubles as the next allocation's sequence.
@@ -246,7 +282,7 @@ impl CopyArena {
     /// Number of slots currently backing the arena (the slot-table
     /// high-water mark — slots are reused, never returned to the allocator).
     pub fn len(&self) -> usize {
-        self.copies.len()
+        self.hot.len()
     }
 
     /// Whether no copy has ever been allocated.
@@ -262,16 +298,16 @@ impl CopyArena {
 
     /// Number of slots currently holding a live (not freed) copy.
     pub fn live_slots(&self) -> usize {
-        self.copies.len() - self.free.len()
+        self.hot.len() - self.free.len()
     }
 
     /// High-water mark of simultaneously backed slots: the memory footprint
-    /// of the arena is `peak_slots × size_of::<CopyInfo>()`, bounded by the
-    /// peak alive window of the run rather than its total copy count.
+    /// of the arena is `peak_slots` hot + cold records, bounded by the peak
+    /// alive window of the run rather than its total copy count.
     pub fn peak_slots(&self) -> usize {
         // The slot table only grows when no freed slot is available, so its
         // length *is* the high-water mark.
-        self.copies.len()
+        self.hot.len()
     }
 
     /// The id the next allocation will receive (a recycled slot if one is
@@ -279,25 +315,104 @@ impl CopyArena {
     pub fn next_id(&self) -> CopyId {
         match self.free.last() {
             Some(&slot) => CopyId(slot),
-            None => CopyId(self.copies.len() as u64),
+            None => CopyId(self.hot.len() as u64),
         }
     }
 
-    /// Stores a copy, assigns its allocation sequence, and returns its id.
+    /// Stores one copy in a recycled or fresh slot and returns its id and
+    /// freshly assigned sequence.
+    fn alloc(&mut self, hot: HotCopy, cold: ColdCopy) -> (CopyId, u64) {
+        let seq = hot.seq;
+        self.next_seq += 1;
+        match self.free.pop() {
+            Some(slot) => {
+                self.hot[slot as usize] = hot;
+                self.cold[slot as usize] = cold;
+                (CopyId(slot), seq)
+            }
+            None => {
+                let slot = self.hot.len() as u64;
+                self.hot.push(hot);
+                self.cold.push(cold);
+                (CopyId(slot), seq)
+            }
+        }
+    }
+
+    /// Allocates a copy that starts processing immediately, returning its id
+    /// and run-unique sequence (the event the caller queues carries both —
+    /// no separate read-back).
+    pub fn alloc_running(
+        &mut self,
+        task: TaskId,
+        launched_at: Slot,
+        duration: Slot,
+    ) -> (CopyId, u64) {
+        self.alloc(
+            HotCopy {
+                phase: CopyPhase::Running,
+                started_at: launched_at,
+                duration,
+                seq: self.next_seq,
+            },
+            ColdCopy {
+                task,
+                launched_at,
+                ended_at: None,
+            },
+        )
+    }
+
+    /// Allocates a copy that waits for the Map phase of its job (holding its
+    /// machine without progressing), returning its id and sequence.
+    pub fn alloc_waiting(
+        &mut self,
+        task: TaskId,
+        launched_at: Slot,
+        duration: Slot,
+    ) -> (CopyId, u64) {
+        self.alloc(
+            HotCopy {
+                phase: CopyPhase::WaitingForMapPhase,
+                started_at: NO_SLOT,
+                duration,
+                seq: self.next_seq,
+            },
+            ColdCopy {
+                task,
+                launched_at,
+                ended_at: None,
+            },
+        )
+    }
+
+    /// Marks a running copy finished at `at` (its result was used).
+    pub(crate) fn finish(&mut self, id: CopyId, at: Slot) {
+        self.hot[id.0 as usize].phase = CopyPhase::Finished;
+        self.cold[id.0 as usize].ended_at = Some(at);
+    }
+
+    /// Marks an active copy cancelled at `at`.
+    pub(crate) fn cancel(&mut self, id: CopyId, at: Slot) {
+        self.hot[id.0 as usize].phase = CopyPhase::Cancelled;
+        self.cold[id.0 as usize].ended_at = Some(at);
+    }
+
+    /// Transitions a waiting copy to running at `at` and returns the slot it
+    /// will finish in.
     ///
     /// # Panics
-    /// Panics (debug builds) if the copy's recorded id is not
-    /// [`CopyArena::next_id`] — the engine allocates ids through it.
-    pub fn alloc(&mut self, mut copy: CopyInfo) -> CopyId {
-        debug_assert_eq!(copy.id, self.next_id(), "copy ids must come from next_id");
-        copy.seq = self.next_seq;
-        self.next_seq += 1;
-        let id = copy.id;
-        match self.free.pop() {
-            Some(slot) => self.copies[slot as usize] = copy,
-            None => self.copies.push(copy),
-        }
-        id
+    /// Panics (debug builds) if the copy is not waiting.
+    pub(crate) fn start_running(&mut self, id: CopyId, at: Slot) -> Slot {
+        let hot = &mut self.hot[id.0 as usize];
+        debug_assert_eq!(
+            hot.phase,
+            CopyPhase::WaitingForMapPhase,
+            "only waiting copies can start running"
+        );
+        hot.phase = CopyPhase::Running;
+        hot.started_at = at;
+        at + hot.duration
     }
 
     /// Releases a slot for reuse. The engine calls this for every copy of a
@@ -309,10 +424,7 @@ impl CopyArena {
     /// Panics (debug builds) if the copy still occupies a machine or the
     /// slot is already free.
     pub(crate) fn free(&mut self, id: CopyId) {
-        debug_assert!(
-            !self.copies[id.0 as usize].is_active(),
-            "freeing an active copy"
-        );
+        debug_assert!(!self.get(id).is_active(), "freeing an active copy");
         debug_assert!(!self.free.contains(&id.0), "double free of copy slot {id}");
         self.free.push(id.0);
     }
@@ -321,22 +433,11 @@ impl CopyArena {
     ///
     /// # Panics
     /// Panics if the slot was never allocated by this arena.
-    pub fn get(&self, id: CopyId) -> &CopyInfo {
-        &self.copies[id.0 as usize]
-    }
-
-    /// Mutable access to the copy currently held by the slot.
-    ///
-    /// # Panics
-    /// Panics if the slot was never allocated by this arena.
-    pub(crate) fn get_mut(&mut self, id: CopyId) -> &mut CopyInfo {
-        &mut self.copies[id.0 as usize]
-    }
-
-    /// Every backed slot in slot order. Freed slots still show their stale
-    /// record; live task state never references them.
-    pub fn as_slice(&self) -> &[CopyInfo] {
-        &self.copies
+    pub fn get(&self, id: CopyId) -> CopyRef<'_> {
+        CopyRef {
+            hot: &self.hot[id.0 as usize],
+            cold: &self.cold[id.0 as usize],
+        }
     }
 }
 
@@ -351,49 +452,84 @@ mod tests {
 
     #[test]
     fn running_copy_progress_and_finish() {
-        let c = CopyInfo::running(CopyId(1), task(), 10, 20);
+        let mut arena = CopyArena::new();
+        let (id, _) = arena.alloc_running(task(), 10, 20);
+        let c = arena.get(id);
         assert!(c.is_active());
+        assert_eq!(c.phase(), CopyPhase::Running);
+        assert_eq!(c.task(), task());
+        assert_eq!(c.launched_at(), 10);
+        assert_eq!(c.started_at(), Some(10));
+        assert_eq!(c.duration(), 20);
         assert_eq!(c.finish_slot(), Some(30));
         assert_eq!(c.elapsed(10), 0);
         assert_eq!(c.elapsed(15), 5);
         assert_eq!(c.elapsed(100), 20);
         assert!((c.progress(20) - 0.5).abs() < 1e-12);
         assert_eq!(c.remaining(15), 15);
+        assert_eq!(c.ended_at(), None);
     }
 
     #[test]
-    fn waiting_copy_makes_no_progress() {
-        let c = CopyInfo::waiting(CopyId(2), task(), 5, 8);
-        assert!(c.is_active());
-        assert_eq!(c.finish_slot(), None);
-        assert_eq!(c.elapsed(50), 0);
-        assert_eq!(c.progress(50), 0.0);
-        assert_eq!(c.remaining(50), 8);
+    fn waiting_copy_makes_no_progress_until_started() {
+        let mut arena = CopyArena::new();
+        let (id, _) = arena.alloc_waiting(task(), 5, 8);
+        {
+            let c = arena.get(id);
+            assert!(c.is_active());
+            assert_eq!(c.phase(), CopyPhase::WaitingForMapPhase);
+            assert_eq!(c.started_at(), None);
+            assert_eq!(c.finish_slot(), None);
+            assert_eq!(c.elapsed(50), 0);
+            assert_eq!(c.progress(50), 0.0);
+            assert_eq!(c.remaining(50), 8);
+        }
+        // Map phase completes at 12: the copy starts and finishes at 20.
+        let finish = arena.start_running(id, 12);
+        assert_eq!(finish, 20);
+        let c = arena.get(id);
+        assert_eq!(c.phase(), CopyPhase::Running);
+        assert_eq!(c.started_at(), Some(12));
+        assert_eq!(c.finish_slot(), Some(20));
+        assert_eq!(c.launched_at(), 5, "launch slot is unchanged by the start");
     }
 
     #[test]
     fn finished_copy_is_complete() {
-        let mut c = CopyInfo::running(CopyId(3), task(), 0, 10);
-        c.phase = CopyPhase::Finished;
-        c.ended_at = Some(10);
+        let mut arena = CopyArena::new();
+        let (id, _) = arena.alloc_running(task(), 0, 10);
+        arena.finish(id, 10);
+        let c = arena.get(id);
         assert!(!c.is_active());
+        assert_eq!(c.phase(), CopyPhase::Finished);
+        assert_eq!(c.ended_at(), Some(10));
         assert_eq!(c.progress(10), 1.0);
         assert_eq!(c.remaining(10), 0);
+        assert_eq!(
+            c.finish_slot(),
+            None,
+            "finished copies have no pending finish"
+        );
     }
 
     #[test]
     fn cancelled_copy_is_inactive() {
-        let mut c = CopyInfo::running(CopyId(4), task(), 0, 10);
-        c.phase = CopyPhase::Cancelled;
-        c.ended_at = Some(3);
+        let mut arena = CopyArena::new();
+        let (id, _) = arena.alloc_running(task(), 0, 10);
+        arena.cancel(id, 3);
+        let c = arena.get(id);
         assert!(!c.is_active());
+        assert_eq!(c.phase(), CopyPhase::Cancelled);
+        assert_eq!(c.ended_at(), Some(3));
         assert_eq!(c.remaining(5), 0);
+        assert_eq!(c.elapsed(5), 0, "cancelled copies report no progress");
     }
 
     #[test]
     fn zero_duration_copy_has_full_progress() {
-        let c = CopyInfo::running(CopyId(5), task(), 0, 0);
-        assert_eq!(c.progress(0), 1.0);
+        let mut arena = CopyArena::new();
+        let (id, _) = arena.alloc_running(task(), 0, 0);
+        assert_eq!(arena.get(id).progress(0), 1.0);
     }
 
     #[test]
@@ -402,40 +538,40 @@ mod tests {
     }
 
     #[test]
-    fn arena_allocates_dense_ids() {
+    fn arena_allocates_dense_ids_and_sequences() {
         let mut arena = CopyArena::new();
         assert!(arena.is_empty());
-        let id0 = arena.alloc(CopyInfo::running(arena.next_id(), task(), 0, 10));
-        let id1 = arena.alloc(CopyInfo::waiting(arena.next_id(), task(), 3, 5));
+        let (id0, seq0) = arena.alloc_running(task(), 0, 10);
+        let (id1, seq1) = arena.alloc_waiting(task(), 3, 5);
         assert_eq!((id0, id1), (CopyId(0), CopyId(1)));
+        assert_eq!((seq0, seq1), (0, 1));
         assert_eq!(arena.len(), 2);
         assert_eq!(arena.total_allocated(), 2);
         assert_eq!(arena.live_slots(), 2);
-        assert_eq!(arena.get(id1).launched_at, 3);
-        assert_eq!(arena.as_slice().len(), 2);
-        arena.get_mut(id0).phase = CopyPhase::Finished;
-        assert_eq!(arena.get(id0).phase, CopyPhase::Finished);
+        assert_eq!(arena.get(id1).launched_at(), 3);
+        assert_eq!(arena.get(id1).seq(), 1);
     }
 
     #[test]
     fn arena_recycles_freed_slots_with_fresh_sequences() {
         let mut arena = CopyArena::new();
-        let id0 = arena.alloc(CopyInfo::running(arena.next_id(), task(), 0, 10));
-        let id1 = arena.alloc(CopyInfo::running(arena.next_id(), task(), 0, 20));
+        let (id0, _) = arena.alloc_running(task(), 0, 10);
+        let (id1, _) = arena.alloc_running(task(), 0, 20);
         assert_eq!(arena.get(id0).seq(), 0);
         assert_eq!(arena.get(id1).seq(), 1);
 
         // End and free the first copy: its slot is handed back out, the
         // sequence keeps counting, and the slot table does not grow.
-        arena.get_mut(id0).phase = CopyPhase::Finished;
-        arena.get_mut(id0).ended_at = Some(10);
+        arena.finish(id0, 10);
         arena.free(id0);
         assert_eq!(arena.live_slots(), 1);
         assert_eq!(arena.next_id(), id0);
-        let id2 = arena.alloc(CopyInfo::running(arena.next_id(), task(), 12, 5));
+        let (id2, seq2) = arena.alloc_running(task(), 12, 5);
         assert_eq!(id2, id0, "freed slot must be reused");
-        assert_eq!(arena.get(id2).seq(), 2, "sequence is never reused");
-        assert_eq!(arena.get(id2).launched_at, 12);
+        assert_eq!(seq2, 2, "sequence is never reused");
+        assert_eq!(arena.get(id2).seq(), 2);
+        assert_eq!(arena.get(id2).launched_at(), 12);
+        assert_eq!(arena.get(id2).ended_at(), None, "cold record is reset too");
         assert_eq!(arena.len(), 2);
         assert_eq!(arena.peak_slots(), 2);
         assert_eq!(arena.total_allocated(), 3);

@@ -53,7 +53,7 @@
 //! [`ClusterState`] snapshot is built in `O(1)`.
 
 use crate::config::{SimConfig, StragglerModel};
-use crate::copy::{CopyArena, CopyId, CopyInfo, CopyPhase};
+use crate::copy::{CopyArena, CopyId, CopyPhase};
 use crate::error::SimError;
 use crate::events::{next_decision, Event, EventQueue};
 use crate::result::{JobRecord, SimOutcome};
@@ -107,6 +107,11 @@ struct RunStats {
     resident_jobs: usize,
     /// High-water mark of `resident_jobs`.
     peak_resident_jobs: usize,
+    /// Decision instants processed (event batches delivered), including the
+    /// final one that completes the run without reaching the scheduler.
+    decision_instants: u64,
+    /// Largest ranked-candidate prefix any decision materialised.
+    ranked_prefix_len_max: usize,
 }
 
 /// Per-run mutable context: stats, the copy arena and reusable scratch
@@ -296,6 +301,8 @@ impl Simulation {
                 pending = pull_next(self.source.as_mut(), idx + 1, arrival, demands)?;
             }
 
+            ctx.stats.decision_instants += 1;
+
             // ---- deliver the instant's event batch ----
             // One drain per decision instant: the bucket is sorted once
             // (arrivals before completions, then sequence order) and handed
@@ -400,6 +407,10 @@ impl Simulation {
                 // One run-level buffer, reused across decision instants: the
                 // per-`schedule` Vec<Action> allocation is gone.
                 scheduler.schedule_into(&state, &mut actions);
+                ctx.stats.ranked_prefix_len_max = ctx
+                    .stats
+                    .ranked_prefix_len_max
+                    .max(state.ranked_prefix_consumed());
             }
 
             self.apply_actions(&actions, now, &mut ctx, &mut alive, &mut queue, &mut rng)?;
@@ -434,6 +445,8 @@ impl Simulation {
             ctx.stats.scheduler_invocations,
             ctx.stats.peak_resident_jobs,
             ctx.arena.peak_slots(),
+            ctx.stats.decision_instants,
+            ctx.stats.ranked_prefix_len_max,
         ))
     }
 
@@ -462,7 +475,7 @@ impl Simulation {
             // stale entries of completed jobs — caught by the task lookup
             // above too — but cheap enough to keep as a second line).
             if copy.seq() != seq
-                || copy.phase != CopyPhase::Running
+                || copy.phase() != CopyPhase::Running
                 || copy.finish_slot() != Some(slot)
             {
                 return None;
@@ -475,31 +488,28 @@ impl Simulation {
         let mut busy = 0u64;
         let mut waiting_cancelled = 0usize;
         for &cid in task.copies() {
-            let copy = ctx.arena.get_mut(cid);
-            match copy.phase {
+            let copy = ctx.arena.get(cid);
+            match copy.phase() {
                 CopyPhase::Running if cid == copy_id => {
-                    copy.phase = CopyPhase::Finished;
-                    copy.ended_at = Some(slot);
+                    busy += slot.saturating_sub(copy.launched_at());
                     released += 1;
-                    busy += slot.saturating_sub(copy.launched_at);
+                    ctx.arena.finish(cid, slot);
                 }
                 CopyPhase::Running => {
                     let finish = copy.finish_slot();
                     let copy_seq = copy.seq();
-                    copy.phase = CopyPhase::Cancelled;
-                    copy.ended_at = Some(slot);
+                    busy += slot.saturating_sub(copy.launched_at());
                     released += 1;
-                    busy += slot.saturating_sub(copy.launched_at);
+                    ctx.arena.cancel(cid, slot);
                     if let Some(finish) = finish {
                         queue.retract(finish, copy_seq);
                     }
                 }
                 CopyPhase::WaitingForMapPhase => {
-                    copy.phase = CopyPhase::Cancelled;
-                    copy.ended_at = Some(slot);
+                    busy += slot.saturating_sub(copy.launched_at());
                     released += 1;
-                    busy += slot.saturating_sub(copy.launched_at);
                     waiting_cancelled += 1;
+                    ctx.arena.cancel(cid, slot);
                 }
                 _ => {}
             }
@@ -540,16 +550,15 @@ impl Simulation {
         } = ctx;
         job.take_waiting_reduce(waiting_scratch);
         for &(index, cid) in waiting_scratch.iter() {
-            let copy = arena.get_mut(cid);
-            if copy.phase != CopyPhase::WaitingForMapPhase {
+            let (phase, task, copy_seq) = {
+                let copy = arena.get(cid);
+                (copy.phase(), copy.task(), copy.seq())
+            };
+            if phase != CopyPhase::WaitingForMapPhase {
                 // Cancelled while waiting; its list entry went stale.
                 continue;
             }
-            copy.phase = CopyPhase::Running;
-            copy.started_at = Some(slot);
-            let finish = slot + copy.duration;
-            let task = copy.task;
-            let copy_seq = copy.seq();
+            let finish = arena.start_running(cid, slot);
             queue.push(Event::CopyFinish {
                 at: finish,
                 copy: cid,
@@ -670,23 +679,23 @@ impl Simulation {
             }
             let duration = ((workload / speed).ceil() as Slot).max(1);
 
-            let copy_id = ctx.arena.next_id();
-            let running_finish = if task_id.phase == Phase::Reduce && !map_phase_complete {
-                ctx.arena
-                    .alloc(CopyInfo::waiting(copy_id, task_id, now, duration));
+            // The allocators hand back the id *and* the sequence the queued
+            // event needs, so no read-back of the fresh record.
+            let (copy_id, running_finish) = if task_id.phase == Phase::Reduce && !map_phase_complete
+            {
+                let (copy_id, _) = ctx.arena.alloc_waiting(task_id, now, duration);
                 job.note_copy_waiting(task_id.index, copy_id);
-                None
+                (copy_id, None)
             } else {
                 let finish = now + duration;
-                ctx.arena
-                    .alloc(CopyInfo::running(copy_id, task_id, now, duration));
+                let (copy_id, seq) = ctx.arena.alloc_running(task_id, now, duration);
                 queue.push(Event::CopyFinish {
                     at: finish,
                     copy: copy_id,
                     task: task_id,
-                    seq: ctx.arena.get(copy_id).seq(),
+                    seq,
                 });
-                Some(finish)
+                (copy_id, Some(finish))
             };
 
             if first_launch {
@@ -765,16 +774,16 @@ impl Simulation {
                 }
                 continue;
             }
-            let copy = arena.get_mut(cid);
-            let finish = copy.finish_slot();
-            let copy_seq = copy.seq();
-            if copy.phase == CopyPhase::WaitingForMapPhase {
-                waiting_cancelled += 1;
-            }
-            copy.phase = CopyPhase::Cancelled;
-            copy.ended_at = Some(now);
+            let (finish, copy_seq) = {
+                let copy = arena.get(cid);
+                if copy.phase() == CopyPhase::WaitingForMapPhase {
+                    waiting_cancelled += 1;
+                }
+                busy += now.saturating_sub(copy.launched_at());
+                (copy.finish_slot(), copy.seq())
+            };
+            arena.cancel(cid, now);
             released += 1;
-            busy += now.saturating_sub(copy.launched_at);
             if let Some(finish) = finish {
                 queue.retract(finish, copy_seq);
             }

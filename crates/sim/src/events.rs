@@ -66,7 +66,7 @@ pub enum Event {
         /// The task the copy belongs to.
         task: TaskId,
         /// The copy's run-unique allocation sequence
-        /// ([`crate::copy::CopyInfo::seq`]). Orders same-slot completions
+        /// ([`crate::copy::CopyRef::seq`]). Orders same-slot completions
         /// deterministically (copy slots are recycled; sequences never are)
         /// and lets retraction and pop-time validation tell a stale entry
         /// from a reused slot.

@@ -98,7 +98,7 @@ pub mod speedup;
 pub mod state;
 
 pub use config::{SimConfig, StragglerModel};
-pub use copy::{CopyArena, CopyId, CopyInfo, CopyPhase};
+pub use copy::{CopyArena, CopyId, CopyPhase, CopyRef};
 pub use engine::Simulation;
 pub use error::SimError;
 pub use events::{Event, EventQueue, HeapEventQueue, StaleStats};

@@ -80,7 +80,13 @@ impl FromJson for JobRecord {
 }
 
 /// Aggregate outcome of one simulation run.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality intentionally ignores the decision-path instrumentation counters
+/// ([`SimOutcome::decision_instants`], [`SimOutcome::ranked_prefix_len_max`]):
+/// they describe how much work the *scheduler implementation* did, not the
+/// trajectory, and the golden-equivalence suite compares optimized schedulers
+/// against frozen references that do strictly more work per decision.
+#[derive(Debug, Clone)]
 pub struct SimOutcome {
     /// Name of the scheduler that produced this outcome.
     pub scheduler: String,
@@ -107,6 +113,31 @@ pub struct SimOutcome {
     /// [`SimOutcome::peak_resident_jobs`]) rather than
     /// [`SimOutcome::total_copies`]. Purely a memory metric.
     pub peak_copy_slots: usize,
+    /// Number of decision instants the engine processed (event batches that
+    /// reached the scheduling step). Deterministic instrumentation for
+    /// decision-path work; excluded from equality.
+    pub decision_instants: u64,
+    /// Largest ranked-candidate prefix any single decision materialised
+    /// (reported by prefix-consuming schedulers via
+    /// [`crate::ClusterState::note_ranked_prefix`]; 0 for schedulers that
+    /// never consume the ranked order). Excluded from equality.
+    pub ranked_prefix_len_max: usize,
+}
+
+impl PartialEq for SimOutcome {
+    fn eq(&self, other: &Self) -> bool {
+        // Instrumentation counters (decision_instants, ranked_prefix_len_max)
+        // are deliberately left out — see the type-level docs.
+        self.scheduler == other.scheduler
+            && self.num_machines == other.num_machines
+            && self.records == other.records
+            && self.makespan == other.makespan
+            && self.busy_machine_slots == other.busy_machine_slots
+            && self.total_copies == other.total_copies
+            && self.scheduler_invocations == other.scheduler_invocations
+            && self.peak_resident_jobs == other.peak_resident_jobs
+            && self.peak_copy_slots == other.peak_copy_slots
+    }
 }
 
 impl SimOutcome {
@@ -123,6 +154,8 @@ impl SimOutcome {
         scheduler_invocations: u64,
         peak_resident_jobs: usize,
         peak_copy_slots: usize,
+        decision_instants: u64,
+        ranked_prefix_len_max: usize,
     ) -> Self {
         SimOutcome {
             scheduler,
@@ -134,6 +167,8 @@ impl SimOutcome {
             scheduler_invocations,
             peak_resident_jobs,
             peak_copy_slots,
+            decision_instants,
+            ranked_prefix_len_max,
         }
     }
 
@@ -219,6 +254,11 @@ impl ToJson for SimOutcome {
             ),
             ("peak_resident_jobs", self.peak_resident_jobs.to_json()),
             ("peak_copy_slots", self.peak_copy_slots.to_json()),
+            ("decision_instants", self.decision_instants.to_json()),
+            (
+                "ranked_prefix_len_max",
+                self.ranked_prefix_len_max.to_json(),
+            ),
         ])
     }
 }
@@ -240,6 +280,15 @@ impl FromJson for SimOutcome {
             },
             // Absent in outcomes serialised before the copy-slot free-list.
             peak_copy_slots: match value.get("peak_copy_slots") {
+                Some(v) => usize::from_json(v)?,
+                None => 0,
+            },
+            // Absent in outcomes serialised before the decision-path counters.
+            decision_instants: match value.get("decision_instants") {
+                Some(v) => u64::from_json(v)?,
+                None => 0,
+            },
+            ranked_prefix_len_max: match value.get("ranked_prefix_len_max") {
                 Some(v) => usize::from_json(v)?,
                 None => 0,
             },
@@ -275,6 +324,8 @@ mod tests {
             42,
             2,
             5,
+            42,
+            7,
         )
     }
 
@@ -309,7 +360,7 @@ mod tests {
 
     #[test]
     fn empty_outcome_is_safe() {
-        let o = SimOutcome::new("x".into(), 5, vec![], 0, 0, 0, 0, 0, 0);
+        let o = SimOutcome::new("x".into(), 5, vec![], 0, 0, 0, 0, 0, 0, 0, 0);
         assert_eq!(o.mean_flowtime(), 0.0);
         assert_eq!(o.weighted_mean_flowtime(), 0.0);
         assert_eq!(o.utilization(), 0.0);
@@ -322,5 +373,20 @@ mod tests {
         let json = o.to_json().to_pretty_string();
         let back = SimOutcome::from_json(&JsonValue::parse(&json).unwrap()).unwrap();
         assert_eq!(back, o);
+        // Instrumentation counters survive the roundtrip even though `==`
+        // ignores them.
+        assert_eq!(back.decision_instants, o.decision_instants);
+        assert_eq!(back.ranked_prefix_len_max, o.ranked_prefix_len_max);
+    }
+
+    #[test]
+    fn equality_ignores_instrumentation_counters() {
+        let a = outcome();
+        let mut b = outcome();
+        b.decision_instants = 9_999;
+        b.ranked_prefix_len_max = 1_234;
+        assert_eq!(a, b, "instrumentation must not affect equality");
+        b.makespan += 1;
+        assert_ne!(a, b, "trajectory fields still must");
     }
 }

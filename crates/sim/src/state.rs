@@ -118,7 +118,7 @@ impl TaskState {
             .as_slice()
             .iter()
             .map(|&id| copies.get(id))
-            .filter(|c| c.phase != CopyPhase::Cancelled)
+            .filter(|c| c.phase() != CopyPhase::Cancelled)
             .map(|c| c.progress(now))
             .fold(0.0, f64::max)
     }
@@ -130,7 +130,7 @@ impl TaskState {
             .as_slice()
             .iter()
             .map(|&id| copies.get(id))
-            .filter(|c| c.phase == CopyPhase::Running)
+            .filter(|c| c.phase() == CopyPhase::Running)
             .map(|c| c.remaining(now))
             .min()
     }
@@ -860,6 +860,15 @@ pub struct AliveIndex {
     weight_sum: f64,
     /// Total number of unscheduled tasks across alive jobs.
     unscheduled_sum: usize,
+    /// Sum of the weights of the alive jobs that still have unscheduled
+    /// tasks — `W(l)` over `ψ^s(l)`, the candidate set of the ε-fraction
+    /// rule. Maintained in `O(1)`: added on arrival, subtracted when the
+    /// job's last unscheduled task launches (jobs never re-enter `ψ^s`).
+    unscheduled_weight_sum: f64,
+    /// Whether job `idx`'s weight is currently counted in
+    /// `unscheduled_weight_sum`, so completion/launch can subtract at most
+    /// once per job.
+    weight_counted: Vec<bool>,
     /// Priority order, present when enabled.
     priority: Option<PriorityIndex>,
 }
@@ -885,6 +894,13 @@ impl AliveIndex {
             self.alive.insert(pos, idx);
             self.weight_sum += job.weight();
             self.unscheduled_sum += job.total_unscheduled();
+            if job.total_unscheduled() > 0 {
+                if self.weight_counted.len() <= idx {
+                    self.weight_counted.resize(idx + 1, false);
+                }
+                self.weight_counted[idx] = true;
+                self.unscheduled_weight_sum += job.weight();
+            }
             let arrival_entry = (job.arrival(), idx);
             if let Err(pos) = self.by_arrival.binary_search(&arrival_entry) {
                 self.by_arrival.insert(pos, arrival_entry);
@@ -901,6 +917,13 @@ impl AliveIndex {
         if let Ok(pos) = self.alive.binary_search(&idx) {
             self.alive.remove(pos);
             self.weight_sum -= job.weight();
+            // Normally already uncounted by `note_first_launch` (a job only
+            // completes after every task launched), but hand-driven indices
+            // may remove a job that never launched.
+            if self.weight_counted.get(idx).copied().unwrap_or(false) {
+                self.weight_counted[idx] = false;
+                self.unscheduled_weight_sum -= job.weight();
+            }
             if let Ok(pos) = self.by_arrival.binary_search(&(job.arrival(), idx)) {
                 self.by_arrival.remove(pos);
             }
@@ -916,6 +939,11 @@ impl AliveIndex {
     /// once per decision instant.
     pub fn note_first_launch(&mut self, idx: usize, job: &JobState) {
         self.unscheduled_sum = self.unscheduled_sum.saturating_sub(1);
+        if job.total_unscheduled() == 0 && self.weight_counted.get(idx).copied().unwrap_or(false) {
+            // Last unscheduled task launched: the job leaves ψ^s(l) for good.
+            self.weight_counted[idx] = false;
+            self.unscheduled_weight_sum -= job.weight();
+        }
         if let Some(priority) = &mut self.priority {
             priority.update(idx, job);
         }
@@ -967,6 +995,12 @@ impl AliveIndex {
     pub fn total_unscheduled(&self) -> usize {
         self.unscheduled_sum
     }
+
+    /// Sum of the weights of the alive jobs that still have unscheduled
+    /// tasks — the `W(l)` the ε-fraction rule normalises by.
+    pub fn total_unscheduled_weight(&self) -> f64 {
+        self.unscheduled_weight_sum
+    }
 }
 
 /// Read-only snapshot of the cluster handed to schedulers at every decision
@@ -984,6 +1018,13 @@ pub struct ClusterState<'a> {
     /// built incrementally by the engine. `None` for hand-built snapshots.
     cached_weight: Option<f64>,
     cached_unscheduled: Option<usize>,
+    /// Incrementally maintained `W(l)` over the jobs with unscheduled tasks,
+    /// when index-backed.
+    cached_unscheduled_weight: Option<f64>,
+    /// How many ranked entries the scheduler actually consumed this decision
+    /// (reported via [`ClusterState::note_ranked_prefix`]); interior-mutable
+    /// because the snapshot is handed to schedulers by shared reference.
+    ranked_prefix_consumed: std::cell::Cell<usize>,
     /// Alive jobs in `(arrival, idx)` order, when index-backed.
     arrival_order: Option<&'a [(Slot, usize)]>,
     /// `(priority, idx)` entries in decreasing `w_i / U_i(l)` order for the
@@ -1013,6 +1054,8 @@ impl<'a> ClusterState<'a> {
             copies,
             cached_weight: None,
             cached_unscheduled: None,
+            cached_unscheduled_weight: None,
+            ranked_prefix_consumed: std::cell::Cell::new(0),
             arrival_order: None,
             ranked: None,
         }
@@ -1037,6 +1080,8 @@ impl<'a> ClusterState<'a> {
             copies,
             cached_weight: Some(index.total_weight()),
             cached_unscheduled: Some(index.total_unscheduled()),
+            cached_unscheduled_weight: Some(index.total_unscheduled_weight()),
+            ranked_prefix_consumed: std::cell::Cell::new(0),
             arrival_order: Some(index.alive_by_arrival()),
             ranked: index.ranked_by_priority(),
         }
@@ -1069,6 +1114,17 @@ impl<'a> ClusterState<'a> {
     /// Jobs that have arrived and are not yet complete, in job-id order.
     pub fn alive_jobs(&self) -> impl Iterator<Item = &'a JobState> + '_ {
         self.alive.iter().map(move |&i| &self.jobs[i])
+    }
+
+    /// The `i`-th alive job, in the same job-id order [`Self::alive_jobs`]
+    /// iterates. Random access lets schedulers drive index-based scratch
+    /// structures over the alive set without collecting a `Vec<&JobState>`
+    /// snapshot on every decision.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.num_alive_jobs()`.
+    pub fn alive_job_at(&self, i: usize) -> &'a JobState {
+        &self.jobs[self.alive[i]]
     }
 
     /// Alive jobs in `(arrival, id)` order.
@@ -1153,6 +1209,39 @@ impl<'a> ClusterState<'a> {
             Some(u) => u,
             None => self.alive_jobs().map(|j| j.total_unscheduled()).sum(),
         }
+    }
+
+    /// Sum of the weights of the alive jobs that still have unscheduled
+    /// tasks — `W(l)` over the ε-fraction rule's candidate set `ψ^s(l)`.
+    ///
+    /// `O(1)` for engine-built snapshots (maintained incrementally by the
+    /// [`AliveIndex`]); falls back to a scan for hand-built ones. Together
+    /// with [`ClusterState::ranked_entries`] this lets SRPTMS+C truncate its
+    /// share walk at the `(1−ε)·W(l)` boundary without touching the tail.
+    pub fn total_unscheduled_weight(&self) -> f64 {
+        match self.cached_unscheduled_weight {
+            Some(w) => w,
+            None => self
+                .alive_jobs()
+                .filter(|j| j.total_unscheduled() > 0)
+                .map(|j| j.weight())
+                .sum(),
+        }
+    }
+
+    /// Reports how many ranked candidates the scheduler materialised this
+    /// decision; the engine folds the per-decision maximum into
+    /// [`crate::SimOutcome::ranked_prefix_len_max`]. Schedulers that do not
+    /// consume the ranked order simply never call this.
+    pub fn note_ranked_prefix(&self, len: usize) {
+        if len > self.ranked_prefix_consumed.get() {
+            self.ranked_prefix_consumed.set(len);
+        }
+    }
+
+    /// The largest ranked-candidate prefix reported this decision.
+    pub fn ranked_prefix_consumed(&self) -> usize {
+        self.ranked_prefix_consumed.get()
     }
 }
 
@@ -1286,7 +1375,6 @@ pub trait Scheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::copy::CopyInfo;
     use mapreduce_workload::{JobSpecBuilder, PhaseStats};
 
     fn job_state() -> JobState {
@@ -1392,9 +1480,9 @@ mod tests {
         assert_eq!(ts.best_progress(&arena, 100), 0.0);
         assert_eq!(ts.min_remaining(&arena, 100), None);
 
-        let c0 = arena.alloc(CopyInfo::running(arena.next_id(), ts.id(), 0, 50));
+        let (c0, _) = arena.alloc_running(ts.id(), 0, 50);
         ts.add_copy(c0, 0);
-        let c1 = arena.alloc(CopyInfo::running(arena.next_id(), ts.id(), 10, 40));
+        let (c1, _) = arena.alloc_running(ts.id(), 10, 40);
         ts.add_copy(c1, 10);
         assert_eq!(ts.status(), TaskStatus::Scheduled);
         assert_eq!(ts.active_copies(), 2);
@@ -1560,6 +1648,82 @@ mod tests {
         assert_eq!(order, vec![1, 3]);
     }
 
+    /// Satellite pin for the incremental `W(l)` counter: the
+    /// unscheduled-weight aggregate must track arrivals, per-task launches
+    /// (the job leaves `ψ^s` exactly when its last unscheduled task starts),
+    /// phase transitions (reduce tasks keep the job counted after its maps
+    /// drain) and completions, and always equal the scan it replaces.
+    #[test]
+    fn alive_index_tracks_unscheduled_weight_incrementally() {
+        let scan = |index: &AliveIndex, jobs: &[JobState]| -> f64 {
+            index
+                .alive()
+                .iter()
+                .map(|&i| &jobs[i])
+                .filter(|j| j.total_unscheduled() > 0)
+                .map(|j| j.weight())
+                .sum()
+        };
+
+        // Job 2 has a reduce phase, so its maps draining must NOT uncount it.
+        let mut jobs = job_bank(&[1, 2, 2, 3], &[1.0, 2.0, 5.0, 12.0], &[0, 0, 0, 0]);
+        let reduce_spec = JobSpecBuilder::new(JobId::new(2))
+            .weight(5.0)
+            .map_tasks_from_workloads(&[10.0, 10.0])
+            .map_stats(PhaseStats::new(10.0, 0.0))
+            .reduce_tasks_from_workloads(&[20.0])
+            .reduce_stats(PhaseStats::new(20.0, 0.0))
+            .build();
+        jobs[2] = JobState::new(reduce_spec);
+        jobs[2].mark_arrived();
+
+        let mut index = AliveIndex::new();
+        assert_eq!(index.total_unscheduled_weight(), 0.0);
+
+        for (i, job) in jobs.iter().enumerate() {
+            index.insert(i, job);
+            assert_eq!(index.total_unscheduled_weight(), scan(&index, &jobs));
+        }
+        assert_eq!(index.total_unscheduled_weight(), 20.0);
+        index.insert(1, &jobs[1]); // duplicate insert must not double-count
+        assert_eq!(index.total_unscheduled_weight(), 20.0);
+
+        // Launch job 0's only task: weight 1 leaves ψ^s immediately.
+        jobs[0].note_first_launch(Phase::Map, 0);
+        index.note_first_launch(0, &jobs[0]);
+        assert_eq!(index.total_unscheduled_weight(), 19.0);
+        assert_eq!(index.total_unscheduled_weight(), scan(&index, &jobs));
+
+        // Launch job 1's tasks one at a time: counted until the last one.
+        jobs[1].note_first_launch(Phase::Map, 0);
+        index.note_first_launch(1, &jobs[1]);
+        assert_eq!(index.total_unscheduled_weight(), 19.0);
+        jobs[1].note_first_launch(Phase::Map, 1);
+        index.note_first_launch(1, &jobs[1]);
+        assert_eq!(index.total_unscheduled_weight(), 17.0);
+        assert_eq!(index.total_unscheduled_weight(), scan(&index, &jobs));
+
+        // Drain job 2's map phase: its reduce task keeps it counted.
+        for t in 0..2 {
+            jobs[2].note_first_launch(Phase::Map, t);
+            index.note_first_launch(2, &jobs[2]);
+        }
+        assert_eq!(index.total_unscheduled_weight(), 17.0);
+        assert_eq!(index.total_unscheduled_weight(), scan(&index, &jobs));
+        // The reduce launch (post phase transition) finally uncounts it.
+        jobs[2].note_first_launch(Phase::Reduce, 0);
+        index.note_first_launch(2, &jobs[2]);
+        assert_eq!(index.total_unscheduled_weight(), 12.0);
+
+        // Completion of an already-uncounted job must not double-subtract;
+        // removing a never-launched job must uncount it.
+        index.remove(0, &jobs[0]);
+        assert_eq!(index.total_unscheduled_weight(), 12.0);
+        index.remove(3, &jobs[3]);
+        assert_eq!(index.total_unscheduled_weight(), 0.0);
+        assert_eq!(index.total_unscheduled_weight(), scan(&index, &jobs));
+    }
+
     #[test]
     fn cluster_state_from_index_uses_cached_aggregates() {
         let mut j0 = job_state();
@@ -1581,5 +1745,14 @@ mod tests {
             state.total_unscheduled_tasks()
         );
         assert!((scanned.total_alive_weight() - state.total_alive_weight()).abs() < 1e-12);
+        assert_eq!(
+            scanned.total_unscheduled_weight(),
+            state.total_unscheduled_weight()
+        );
+
+        assert_eq!(state.ranked_prefix_consumed(), 0);
+        state.note_ranked_prefix(3);
+        state.note_ranked_prefix(2); // max, not last
+        assert_eq!(state.ranked_prefix_consumed(), 3);
     }
 }
