@@ -33,10 +33,25 @@ use std::hint::black_box;
 
 const TOTAL_JOBS: usize = 1_000_000;
 
-/// One streaming run of the million-job scenario.
+/// Human-readable per-stage split of one outcome, for the bench log.
+fn stage_split(outcome: &SimOutcome) -> String {
+    format!(
+        "source {:.2}s, events {:.2}s, decision {:.2}s, metrics {:.2}s",
+        outcome.stage_source_ns as f64 / 1e9,
+        outcome.stage_events_ns as f64 / 1e9,
+        outcome.stage_decision_ns as f64 / 1e9,
+        outcome.stage_metrics_ns as f64 / 1e9,
+    )
+}
+
+/// One streaming run of the million-job scenario. Stage profiling is on:
+/// the per-stage wall-clock split (source/events/decision/metrics) lands in
+/// the report extras so regressions can be localised without a re-run.
 fn run_million(scheduler: &mut dyn Scheduler, scenario: &Scenario, seed: u64) -> SimOutcome {
     let outcome = Simulation::from_source(
-        SimConfig::new(scenario.machines).with_seed(seed),
+        SimConfig::new(scenario.machines)
+            .with_seed(seed)
+            .with_profile_stages(true),
         scenario.job_source(seed),
     )
     .run(scheduler)
@@ -59,12 +74,20 @@ fn bench_stream1m(c: &mut Criterion) {
     let mut fifo_peak_jobs = 0usize;
     let mut fifo_peak_slots = 0usize;
     let mut fifo_copies = 0usize;
+    let mut fifo_stages = (0u64, 0u64, 0u64, 0u64);
     group.bench_with_input(BenchmarkId::from_parameter("fifo"), &seed, |b, &seed| {
         b.iter(|| {
             let outcome = run_million(&mut Fifo::new(), &scenario, seed);
             fifo_peak_jobs = outcome.peak_resident_jobs;
             fifo_peak_slots = outcome.peak_copy_slots;
             fifo_copies = outcome.total_copies;
+            fifo_stages = (
+                outcome.stage_source_ns,
+                outcome.stage_events_ns,
+                outcome.stage_decision_ns,
+                outcome.stage_metrics_ns,
+            );
+            println!("stream1m/fifo stages: {}", stage_split(&outcome));
             black_box(outcome.mean_flowtime())
         })
     });
@@ -78,6 +101,7 @@ fn bench_stream1m(c: &mut Criterion) {
     let mut srpt_copies = 0usize;
     let mut srpt_prefix_max = 0usize;
     let mut srpt_decisions = 0u64;
+    let mut srpt_stages = (0u64, 0u64, 0u64, 0u64);
     group.bench_with_input(BenchmarkId::from_parameter("srptmsc"), &seed, |b, &seed| {
         b.iter(|| {
             let outcome = run_million(&mut SrptMsC::new(0.6, 3.0), &scenario, seed);
@@ -86,6 +110,13 @@ fn bench_stream1m(c: &mut Criterion) {
             srpt_copies = outcome.total_copies;
             srpt_prefix_max = outcome.ranked_prefix_len_max;
             srpt_decisions = outcome.decision_instants;
+            srpt_stages = (
+                outcome.stage_source_ns,
+                outcome.stage_events_ns,
+                outcome.stage_decision_ns,
+                outcome.stage_metrics_ns,
+            );
+            println!("stream1m/srptmsc stages: {}", stage_split(&outcome));
             black_box(outcome.mean_flowtime())
         })
     });
@@ -123,6 +154,17 @@ fn bench_stream1m(c: &mut Criterion) {
                 "stream1m_srptmsc_ranked_prefix_len_max",
                 srpt_prefix_max.to_json(),
             ),
+            ("stream1m_fifo_stage_source_ns", fifo_stages.0.to_json()),
+            ("stream1m_fifo_stage_events_ns", fifo_stages.1.to_json()),
+            ("stream1m_fifo_stage_decision_ns", fifo_stages.2.to_json()),
+            ("stream1m_fifo_stage_metrics_ns", fifo_stages.3.to_json()),
+            ("stream1m_srptmsc_stage_source_ns", srpt_stages.0.to_json()),
+            ("stream1m_srptmsc_stage_events_ns", srpt_stages.1.to_json()),
+            (
+                "stream1m_srptmsc_stage_decision_ns",
+                srpt_stages.2.to_json(),
+            ),
+            ("stream1m_srptmsc_stage_metrics_ns", srpt_stages.3.to_json()),
         ],
     );
 }

@@ -112,6 +112,29 @@ fn bench_workload_stream(c: &mut Criterion) {
     );
     group.finish();
 
+    // Pipeline gate (release mode, every CI run): the pipelined engine —
+    // producer thread feeding admissions, consumer thread folding records —
+    // must be bit-identical to the serial oracle at the 100k-job scale the
+    // proptests can't reach.
+    let serial = run_streaming(
+        fullscale.job_source(fullscale_seed),
+        fullscale.machines,
+        fullscale_seed,
+    );
+    let piped = Simulation::from_source(
+        SimConfig::new(fullscale.machines)
+            .with_seed(fullscale_seed)
+            .with_pipeline(true),
+        fullscale.job_source(fullscale_seed),
+    )
+    .run(&mut Fifo::new())
+    .expect("pipelined run must complete");
+    assert_eq!(
+        serial, piped,
+        "pipelined and serial engines diverged at 100k-job scale"
+    );
+    println!("workload stream: pipelined 100k-job run is bit-identical to the serial oracle");
+
     mapreduce_bench::merge_bench_report_with(
         "workload_stream",
         scenario.profile.num_jobs,

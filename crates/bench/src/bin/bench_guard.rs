@@ -9,6 +9,13 @@
 //! extras without a recorded baseline (first run on a fresh cache, newly
 //! added benchmarks) pass trivially.
 //!
+//! Entries carrying frozen `*_reference` ids are compared in host-normalized
+//! terms: the candidate observation is divided by the reference slowdown of
+//! the same run, so a uniformly slow runner does not read as a code
+//! regression (and a genuine regression cannot hide behind one). See
+//! [`mapreduce_bench::find_regressions`]. The reported "regressed N.NNx"
+//! ratio is therefore in baseline-host time for those entries.
+//!
 //! ```console
 //! $ cargo run -p mapreduce-bench --bin bench-guard            # smoke report, 2× / 1.5×
 //! $ cargo run -p mapreduce-bench --bin bench-guard -- path.json 1.5 1.2

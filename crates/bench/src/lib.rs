@@ -119,12 +119,28 @@ pub fn merge_bench_report_with(
 }
 
 /// Scans a bench report for regressions: any result whose **best** sample
-/// (`min_ns`, falling back to `mean_ns`) exceeds `factor × prev_mean_ns` is
-/// returned as `(id, prev_mean_ns, observed_ns)`. Comparing the current
-/// minimum against the previous mean biases against false alarms on noisy
-/// shared runners — a single slow sample cannot trip the guard as long as
-/// one sample ran at normal speed. Results without a recorded previous mean
-/// (first run on a machine, new benchmark id) are skipped.
+/// (`min_ns`, falling back to `mean_ns`), after host-speed normalization,
+/// exceeds `factor × prev_mean_ns` is returned as
+/// `(id, prev_mean_ns, normalized_observed_ns)`.
+///
+/// Two defenses against noisy shared runners:
+/// * Comparing the current minimum against the previous mean — a single
+///   slow sample cannot trip the guard as long as one sample ran at normal
+///   speed.
+/// * **Reference normalization**: a benchmark entry that carries frozen
+///   `*_reference` ids (pre-optimization scheduler implementations whose
+///   code never changes) uses them as a same-run host speedometer. The
+///   candidate ids' observations are divided by the reference slowdown
+///   `Σ reference mean_ns / Σ reference prev_mean_ns` before the comparison,
+///   so a uniformly slow runner — which drags the frozen code down by the
+///   same factor as the candidate — cancels out, while a genuine candidate
+///   regression (reference steady, candidate slow) survives normalization
+///   intact. The `*_reference` ids themselves are never candidates: their
+///   timing moves only with the host. Entries without a usable reference
+///   ratio fall back to the raw gate.
+///
+/// Results without a recorded previous mean (first run on a machine, new
+/// benchmark id) are skipped.
 pub fn find_regressions(report: &JsonValue, factor: f64) -> Vec<(String, f64, f64)> {
     let mut regressions = Vec::new();
     let Some(benchmarks) = report.get("benchmarks").and_then(|b| b.as_array()) else {
@@ -134,6 +150,11 @@ pub fn find_regressions(report: &JsonValue, factor: f64) -> Vec<(String, f64, f6
         let Some(results) = entry.get("results").and_then(|r| r.as_array()) else {
             continue;
         };
+        // The entry's host speedometer: aggregate current-vs-previous mean
+        // of every frozen `*_reference` id with history. Means on both
+        // sides (not the best sample) so the ratio estimates host speed,
+        // not sampling luck.
+        let (mut ref_now, mut ref_prev) = (0.0_f64, 0.0_f64);
         for result in results {
             let (Some(id), Some(mean), Some(prev)) = (
                 result.get("id").and_then(|v| v.as_str()),
@@ -142,12 +163,34 @@ pub fn find_regressions(report: &JsonValue, factor: f64) -> Vec<(String, f64, f6
             ) else {
                 continue;
             };
+            if id.ends_with("_reference") {
+                ref_now += mean;
+                ref_prev += prev;
+            }
+        }
+        let host_scale = if ref_now > 0.0 && ref_prev > 0.0 && (ref_now / ref_prev).is_finite() {
+            ref_now / ref_prev
+        } else {
+            1.0
+        };
+        for result in results {
+            let (Some(id), Some(mean), Some(prev)) = (
+                result.get("id").and_then(|v| v.as_str()),
+                result.get("mean_ns").and_then(|v| v.as_f64()),
+                result.get("prev_mean_ns").and_then(|v| v.as_f64()),
+            ) else {
+                continue;
+            };
+            if id.ends_with("_reference") {
+                continue;
+            }
             let best = result
                 .get("min_ns")
                 .and_then(|v| v.as_f64())
                 .unwrap_or(mean);
-            if prev > 0.0 && best > factor * prev {
-                regressions.push((id.to_string(), prev, best));
+            let normalized = best / host_scale;
+            if prev > 0.0 && normalized > factor * prev {
+                regressions.push((id.to_string(), prev, normalized));
             }
         }
     }
@@ -412,6 +455,119 @@ mod tests {
         assert_eq!((regressions[0].1, regressions[0].2), (100.0, 270.0));
         // A looser factor passes.
         assert!(find_regressions(&report, 4.0).is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn reference_normalization_cancels_uniform_host_slowdown() {
+        let path = std::env::temp_dir().join(format!(
+            "mapreduce_bench_refnorm_test_{}.json",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        merge_bench_report_at(
+            &path,
+            "engine",
+            300,
+            593,
+            &[
+                result("engine/srptmsc", 100.0),
+                result("engine/srptmsc_reference", 400.0),
+            ],
+        );
+        // The whole host runs 3x slower: candidate AND frozen reference
+        // degrade together. Raw best (270) is 2.7x the previous mean and
+        // would trip a 2x gate; normalized by the reference slowdown
+        // (1200/400 = 3x) it is 90 — faster than baseline, no alarm. The
+        // reference id itself is never a candidate either.
+        merge_bench_report_at(
+            &path,
+            "engine",
+            300,
+            593,
+            &[
+                result("engine/srptmsc", 300.0),
+                result("engine/srptmsc_reference", 1200.0),
+            ],
+        );
+        let report = JsonValue::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert!(find_regressions(&report, 2.0).is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn reference_normalization_still_flags_genuine_regressions() {
+        let path = std::env::temp_dir().join(format!(
+            "mapreduce_bench_refnorm_real_test_{}.json",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        merge_bench_report_at(
+            &path,
+            "engine",
+            300,
+            593,
+            &[
+                result("engine/srptmsc", 100.0),
+                result("engine/srptmsc_reference", 400.0),
+            ],
+        );
+        // The reference holds steady while the candidate triples: the host
+        // did not change, the code did. Normalization (scale 1.0) must not
+        // launder it away.
+        merge_bench_report_at(
+            &path,
+            "engine",
+            300,
+            593,
+            &[
+                result("engine/srptmsc", 300.0),
+                result("engine/srptmsc_reference", 400.0),
+            ],
+        );
+        let report = JsonValue::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let regressions = find_regressions(&report, 2.0);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].0, "engine/srptmsc");
+        assert_eq!((regressions[0].1, regressions[0].2), (100.0, 270.0));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn regressions_survive_normalization_when_exceeding_host_slowdown() {
+        let path = std::env::temp_dir().join(format!(
+            "mapreduce_bench_refnorm_mixed_test_{}.json",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        merge_bench_report_at(
+            &path,
+            "engine",
+            300,
+            593,
+            &[
+                result("engine/srptmsc", 100.0),
+                result("engine/srptmsc_reference", 400.0),
+            ],
+        );
+        // Host 2x slower (reference 400 -> 800) but the candidate is 10x
+        // slower: the 5x residual past the host movement still trips.
+        merge_bench_report_at(
+            &path,
+            "engine",
+            300,
+            593,
+            &[
+                result("engine/srptmsc", 1000.0),
+                result("engine/srptmsc_reference", 800.0),
+            ],
+        );
+        let report = JsonValue::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let regressions = find_regressions(&report, 2.0);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].0, "engine/srptmsc");
+        // Observed best 900, host scale 2.0 -> normalized 450 vs prev 100.
+        assert_eq!((regressions[0].1, regressions[0].2), (100.0, 450.0));
         let _ = std::fs::remove_file(&path);
     }
 

@@ -274,9 +274,9 @@ impl Scheduler for SrptMsC {
 
         // ψ^s(l): alive jobs that still have unscheduled tasks, ranked by
         // decreasing w_i / U_i(l), ties by id. Engine-built snapshots carry
-        // the order pre-ranked (maintained incrementally across events) and
-        // both passes below walk the borrowed slice directly; hand-built
-        // snapshots fall back to collecting and sorting.
+        // the order as a demand-gated view (only the prefix the passes below
+        // actually read gets sorted); hand-built snapshots fall back to
+        // collecting and sorting.
         let entries = state.ranked_entries(self.config.r);
         let fallback: Vec<&JobState> = match entries {
             Some(_) => Vec::new(),
@@ -294,10 +294,10 @@ impl Scheduler for SrptMsC {
             }
         };
         let candidate = |i: usize| match entries {
-            Some(e) => state.job_at(e[i].1),
+            Some(e) => state.job_at(e.entry(i).1),
             None => fallback[i],
         };
-        let num_candidates = entries.map_or(fallback.len(), <[_]>::len);
+        let num_candidates = entries.map_or(fallback.len(), |e| e.len());
         if num_candidates == 0 {
             return;
         }
@@ -312,7 +312,7 @@ impl Scheduler for SrptMsC {
             // (exact for the integer-valued job weights every committed
             // workload uses, hence bit-identical to the full walk's fold).
             Some(e) => epsilon_fraction_shares_prefix_into(
-                e.iter().map(|&(_, idx)| {
+                e.iter().map(|(_, idx)| {
                     let job = state.job_at(idx);
                     (job.id(), job.weight())
                 }),
@@ -341,6 +341,12 @@ impl Scheduler for SrptMsC {
         }
         state.note_ranked_prefix(self.shares.len());
 
+        // Launchable tasks not yet launched this decision: the ε-pass and
+        // the backfill only ever launch launchable unscheduled tasks, so
+        // counting launches against the O(1) aggregate tells both passes
+        // when nothing launchable remains anywhere.
+        let mut launchable_left = state.total_launchable_tasks();
+
         self.launched_prefix.clear();
         self.launched_prefix.resize(self.shares.len(), 0);
         for (i, share) in self.shares.iter().enumerate() {
@@ -368,6 +374,7 @@ impl Scheduler for SrptMsC {
             let grant = xi.min(available);
             let (used, tasks_launched) = Self::schedule_tasks_for_job(&config, job, grant, actions);
             available -= used;
+            launchable_left = launchable_left.saturating_sub(tasks_launched);
             self.launched_prefix[i] = tasks_launched;
         }
 
@@ -378,8 +385,16 @@ impl Scheduler for SrptMsC {
         // right after it — no per-task membership checks.
         if config.work_conserving && available > 0 {
             // `launched_prefix` only covers the ε-fraction prefix; every
-            // candidate past it got nothing in the ε-pass (skip = 0).
+            // candidate past it got nothing in the ε-pass (skip = 0). Both
+            // early exits are action-neutral: with no launchable task left,
+            // every remaining candidate's `unscheduled[skip..]` launchable
+            // slice is empty, and with no machine left no launch can follow —
+            // the old code kept scanning only to discover the same, which
+            // would force the demand-gated order to materialise in full.
             'backfill: for i in 0..num_candidates {
+                if launchable_left == 0 || available == 0 {
+                    break;
+                }
                 let skip = self.launched_prefix.get(i).copied().unwrap_or(0);
                 let job = candidate(i);
                 let Some(phase) = Self::launchable_phase(job) else {
@@ -398,6 +413,7 @@ impl Scheduler for SrptMsC {
                         copies: 1,
                     });
                     available -= 1;
+                    launchable_left -= 1;
                 }
             }
         }

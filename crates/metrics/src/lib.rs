@@ -18,4 +18,4 @@ pub mod summary;
 
 pub use cdf::Ecdf;
 pub use report::ComparisonReport;
-pub use summary::{FlowtimeBucket, FlowtimeSummary};
+pub use summary::{FlowtimeBucket, FlowtimeSummary, StreamingFlowtime};

@@ -113,6 +113,92 @@ impl FlowtimeSummary {
     }
 }
 
+/// Single-pass, `O(1)`-memory flowtime accumulator for runs too large to
+/// hold a per-job flowtime vector comfortably — the `stream10m` tier's ten
+/// million records, or a pipelined engine folding records as they complete.
+///
+/// Tracks exactly the moments that don't need the full sample: job count,
+/// unweighted/weighted flowtime sums and the maximum. Quantiles (median,
+/// p95) need the sorted sample and stay the full [`FlowtimeSummary`]'s job.
+/// Partial accumulators over disjoint record sets [`merge`](Self::merge)
+/// into the whole-run accumulator, so per-shard folds compose.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StreamingFlowtime {
+    jobs: usize,
+    sum: f64,
+    weighted_sum: f64,
+    total_weight: f64,
+    max: u64,
+}
+
+impl StreamingFlowtime {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one completed job into the running statistics.
+    pub fn fold(&mut self, record: &JobRecord) {
+        self.jobs += 1;
+        self.sum += record.flowtime() as f64;
+        self.weighted_sum += record.weighted_flowtime();
+        self.total_weight += record.weight;
+        self.max = self.max.max(record.flowtime());
+    }
+
+    /// Accumulates over a whole record slice (a convenience for callers that
+    /// do hold the records, e.g. a finished [`SimOutcome`]).
+    pub fn from_records(records: &[JobRecord]) -> Self {
+        let mut acc = Self::new();
+        for record in records {
+            acc.fold(record);
+        }
+        acc
+    }
+
+    /// Absorbs another accumulator built over a disjoint set of records.
+    pub fn merge(&mut self, other: &Self) {
+        self.jobs += other.jobs;
+        self.sum += other.sum;
+        self.weighted_sum += other.weighted_sum;
+        self.total_weight += other.total_weight;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of jobs folded so far.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Unweighted mean flowtime (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.jobs == 0 {
+            0.0
+        } else {
+            self.sum / self.jobs as f64
+        }
+    }
+
+    /// Weighted mean flowtime `Σ wF / Σ w` (0 when empty or weightless).
+    pub fn weighted_mean(&self) -> f64 {
+        if self.total_weight > 0.0 {
+            self.weighted_sum / self.total_weight
+        } else {
+            0.0
+        }
+    }
+
+    /// Weighted sum of flowtimes — the paper's objective.
+    pub fn weighted_sum(&self) -> f64 {
+        self.weighted_sum
+    }
+
+    /// Maximum flowtime seen (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+}
+
 impl ToJson for FlowtimeSummary {
     fn to_json(&self) -> JsonValue {
         JsonValue::object([
@@ -230,6 +316,35 @@ mod tests {
         let back = FlowtimeSummary::from_json(&JsonValue::parse(&json).unwrap()).unwrap();
         assert_eq!(back, summary);
         assert!(FlowtimeSummary::from_json(&JsonValue::Null).is_err());
+    }
+
+    #[test]
+    fn streaming_accumulator_matches_the_full_summary() {
+        let records: Vec<JobRecord> = (0..50)
+            .map(|i| record(i, (i % 7) as f64 + 0.5, (i + 1) * 13))
+            .collect();
+        let full = FlowtimeSummary::from_records("x", &records, 1.0);
+        let streaming = StreamingFlowtime::from_records(&records);
+        assert_eq!(streaming.jobs(), full.jobs);
+        assert!((streaming.mean() - full.mean).abs() < 1e-9);
+        assert!((streaming.weighted_mean() - full.weighted_mean).abs() < 1e-9);
+        assert!((streaming.weighted_sum() - full.weighted_sum).abs() < 1e-9);
+        assert_eq!(streaming.max() as f64, full.max);
+    }
+
+    #[test]
+    fn streaming_accumulator_merges_disjoint_shards() {
+        let records: Vec<JobRecord> = (0..30).map(|i| record(i, 2.0, (i + 3) * 7)).collect();
+        let whole = StreamingFlowtime::from_records(&records);
+        let mut merged = StreamingFlowtime::from_records(&records[..11]);
+        merged.merge(&StreamingFlowtime::from_records(&records[11..]));
+        assert_eq!(merged, whole);
+        // Empty accumulators are identities on both sides.
+        let mut empty = StreamingFlowtime::new();
+        assert_eq!(empty.mean(), 0.0);
+        assert_eq!(empty.weighted_mean(), 0.0);
+        empty.merge(&whole);
+        assert_eq!(empty, whole);
     }
 
     #[test]

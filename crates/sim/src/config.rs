@@ -122,6 +122,20 @@ pub struct SimConfig {
     /// the overflow map. A pure performance knob — any width produces the
     /// bit-identical trajectory. See [`crate::events::EventQueue`].
     pub event_ring_bits: u8,
+    /// Run the [`crate::Simulation`]'s source-pull and record-folding stages
+    /// on pipeline threads around the event loop (bounded SPSC channels)
+    /// instead of inline. A pure performance knob — the trajectory and the
+    /// resulting [`crate::SimOutcome`] are bit-identical either way, which
+    /// is why the flag is deliberately **excluded** from the JSON encoding
+    /// (it must not change experiment-cache fingerprints). Default `false`:
+    /// the serial path stays the oracle.
+    pub pipeline: bool,
+    /// Record per-stage wall-clock totals (source pull, event delivery,
+    /// scheduler decisions, metrics folding) into the outcome's
+    /// `stage_*_ns` fields. Profiling-only: costs two `Instant` reads per
+    /// stage slice, never affects the trajectory, and — like `pipeline` —
+    /// is excluded from the JSON encoding. Default `false`.
+    pub profile_stages: bool,
 }
 
 impl SimConfig {
@@ -142,6 +156,8 @@ impl SimConfig {
             straggler: StragglerModel::None,
             periodic_wakeup: None,
             event_ring_bits: crate::events::DEFAULT_RING_BITS,
+            pipeline: false,
+            profile_stages: false,
         }
     }
 
@@ -196,6 +212,18 @@ impl SimConfig {
     /// Sets a periodic scheduler wakeup interval.
     pub fn with_periodic_wakeup(mut self, every: u64) -> Self {
         self.periodic_wakeup = Some(every.max(1));
+        self
+    }
+
+    /// Enables (or disables) the pipeline-parallel run stages.
+    pub fn with_pipeline(mut self, pipeline: bool) -> Self {
+        self.pipeline = pipeline;
+        self
+    }
+
+    /// Enables (or disables) per-stage wall-clock profiling.
+    pub fn with_profile_stages(mut self, profile: bool) -> Self {
+        self.profile_stages = profile;
         self
     }
 
@@ -254,6 +282,10 @@ impl FromJson for SimConfig {
                 }
                 None => crate::events::DEFAULT_RING_BITS,
             },
+            // Execution-strategy knobs: deliberately not serialised (they
+            // cannot change results, so they must not change fingerprints).
+            pipeline: false,
+            profile_stages: false,
         })
     }
 }
@@ -344,6 +376,26 @@ mod tests {
             }
             assert!(SimConfig::from_json(&json).is_err(), "bits {bad} accepted");
         }
+    }
+
+    #[test]
+    fn execution_knobs_are_fingerprint_neutral() {
+        // `pipeline`/`profile_stages` change how a run executes, never what
+        // it produces; serialising them would cold every content-addressed
+        // cache cell for no semantic reason.
+        let cfg = SimConfig::new(3)
+            .with_pipeline(true)
+            .with_profile_stages(true);
+        assert!(cfg.pipeline && cfg.profile_stages);
+        let json = cfg.to_json();
+        assert!(json.get("pipeline").is_none());
+        assert!(json.get("profile_stages").is_none());
+        assert_eq!(
+            json.to_compact_string(),
+            SimConfig::new(3).to_json().to_compact_string()
+        );
+        let back = SimConfig::from_json(&json).unwrap();
+        assert!(!back.pipeline && !back.profile_stages);
     }
 
     #[test]

@@ -59,9 +59,11 @@ use crate::events::{next_decision, Event, EventQueue};
 use crate::result::{JobRecord, SimOutcome};
 use crate::state::IndexDemands;
 use crate::state::{Action, AliveIndex, ClusterState, JobState, Scheduler, Slot};
+use mapreduce_support::channel::{spsc_channel, SpscSender};
 use mapreduce_support::rng::{Rng, SimRng};
 use mapreduce_workload::{JobSource, MaterializedSource, Phase, TaskId, Trace};
 use std::fmt;
+use std::time::Instant;
 
 /// A single simulation run: one job source, one configuration, one
 /// scheduler.
@@ -76,7 +78,10 @@ use std::fmt;
 /// See the crate-level documentation for an end-to-end example.
 pub struct Simulation {
     config: SimConfig,
-    source: Box<dyn JobSource>,
+    /// `Some` until [`Simulation::run`] consumes it — the source is taken
+    /// out up front so it can move onto the pipeline's producer thread (or
+    /// into the serial feed) without borrowing the engine.
+    source: Option<Box<dyn JobSource>>,
     /// Runtime state of the admitted jobs, indexed by dense job id. Grows as
     /// the source is consumed; completed jobs stay (records and scalar state
     /// remain addressable) but their task storage is released.
@@ -87,8 +92,14 @@ impl fmt::Debug for Simulation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Simulation")
             .field("config", &self.config)
-            .field("source", &self.source.name())
-            .field("total_jobs", &self.source.total_jobs())
+            .field(
+                "source",
+                &self.source.as_ref().map_or("<consumed>", |s| s.name()),
+            )
+            .field(
+                "total_jobs",
+                &self.source.as_ref().map_or(0, |s| s.total_jobs()),
+            )
             .field("admitted_jobs", &self.jobs.len())
             .finish()
     }
@@ -164,6 +175,87 @@ fn pull_next(
     Ok(Some(job))
 }
 
+/// Where the event loop gets its next validated job from: the source
+/// directly (serial mode, the default oracle) or a bounded channel fed by a
+/// producer thread (pipeline mode). Both yield the identical job stream —
+/// validation errors included, since the producer sends them in-order after
+/// every preceding job.
+enum JobFeed {
+    /// Pull + validate inline on the event-loop thread.
+    Serial {
+        source: Box<dyn JobSource>,
+        demands: IndexDemands,
+        next_index: usize,
+        last_arrival: Slot,
+    },
+    /// Receive pre-validated jobs from the pipeline's producer thread.
+    Piped {
+        rx: mapreduce_support::channel::SpscReceiver<Result<JobState, SimError>>,
+    },
+}
+
+impl JobFeed {
+    fn serial(source: Box<dyn JobSource>, demands: IndexDemands) -> Self {
+        JobFeed::Serial {
+            source,
+            demands,
+            next_index: 0,
+            last_arrival: 0,
+        }
+    }
+
+    /// The next job of the stream, or `None` once the source is exhausted.
+    fn next(&mut self) -> Result<Option<JobState>, SimError> {
+        match self {
+            JobFeed::Serial {
+                source,
+                demands,
+                next_index,
+                last_arrival,
+            } => {
+                let job = pull_next(source.as_mut(), *next_index, *last_arrival, *demands)?;
+                if let Some(job) = &job {
+                    *next_index += 1;
+                    *last_arrival = job.arrival();
+                }
+                Ok(job)
+            }
+            JobFeed::Piped { rx } => match rx.recv() {
+                None => Ok(None),
+                Some(Ok(job)) => Ok(Some(job)),
+                Some(Err(e)) => Err(e),
+            },
+        }
+    }
+}
+
+/// In-flight bound of the pipeline channels: deep enough to decouple the
+/// stages' burst patterns, small enough that backpressure (not memory) is
+/// what holds back a ten-million-job source.
+const PIPELINE_BUFFER: usize = 256;
+
+/// Per-stage wall-clock accumulator ([`SimConfig::profile_stages`]). When
+/// disabled, `begin` returns `None` and every lap is 0 — the hot loop pays a
+/// branch, not a clock read.
+#[derive(Debug, Default)]
+struct StageClock {
+    enabled: bool,
+    source_ns: u64,
+    events_ns: u64,
+    decision_ns: u64,
+    metrics_ns: u64,
+}
+
+impl StageClock {
+    fn begin(&self) -> Option<Instant> {
+        self.enabled.then(Instant::now)
+    }
+
+    fn lap(t0: Option<Instant>) -> u64 {
+        t0.map_or(0, |t| t.elapsed().as_nanos() as u64)
+    }
+}
+
 impl Simulation {
     /// Creates a simulation over the given trace.
     ///
@@ -179,7 +271,7 @@ impl Simulation {
     pub fn from_source(config: SimConfig, source: Box<dyn JobSource>) -> Self {
         Simulation {
             config,
-            source,
+            source: Some(source),
             jobs: Vec::new(),
         }
     }
@@ -204,8 +296,103 @@ impl Simulation {
         if self.config.num_machines == 0 {
             return Err(SimError::NoMachines);
         }
+        let source = self.source.take().expect("a simulation runs exactly once");
+        let total_jobs = source.total_jobs();
+        // Maintain only the per-job indices this scheduler consumes; keeping
+        // a sorted index current costs O(running width) per launch/finish,
+        // which wide jobs turn into a real tax under schedulers that never
+        // read it.
+        let demands = scheduler.index_demands();
+        if self.config.pipeline {
+            self.run_pipelined(scheduler, source, demands, total_jobs)
+        } else {
+            let mut feed = JobFeed::serial(source, demands);
+            self.run_loop(scheduler, &mut feed, None, total_jobs)
+        }
+    }
+
+    /// Pipeline mode: the job producer and the record consumer run on their
+    /// own scoped threads, talking to the event loop through bounded SPSC
+    /// channels, so source synthesis/parsing and record folding overlap the
+    /// decision path on multi-core hosts. The trajectory — and therefore the
+    /// [`SimOutcome`] — is bit-identical to the serial path: the producer
+    /// ships the exact in-order job stream `pull_next` yields (validation
+    /// errors included), and the consumer re-establishes the job-id record
+    /// order the serial path sorts into.
+    ///
+    /// Shutdown relies on the channels' disconnect semantics: an engine
+    /// error drops the receiving feed, which fails the producer's next
+    /// `send` and lets it exit instead of deadlocking on a full channel;
+    /// dropping the record sender ends the consumer's stream.
+    fn run_pipelined(
+        &mut self,
+        scheduler: &mut dyn Scheduler,
+        source: Box<dyn JobSource>,
+        demands: IndexDemands,
+        total_jobs: usize,
+    ) -> Result<SimOutcome, SimError> {
+        std::thread::scope(|scope| {
+            let (job_tx, job_rx) = spsc_channel::<Result<JobState, SimError>>(PIPELINE_BUFFER);
+            scope.spawn(move || {
+                let mut feed = JobFeed::serial(source, demands);
+                loop {
+                    match feed.next() {
+                        Ok(Some(job)) => {
+                            if job_tx.send(Ok(job)).is_err() {
+                                return; // engine stopped consuming (error path)
+                            }
+                        }
+                        // Dropping the sender ends the stream; an error is
+                        // delivered in-order and ends it too, exactly where
+                        // the serial feed would have surfaced it.
+                        Ok(None) => return,
+                        Err(e) => {
+                            let _ = job_tx.send(Err(e));
+                            return;
+                        }
+                    }
+                }
+            });
+
+            let (record_tx, record_rx) = spsc_channel::<JobRecord>(PIPELINE_BUFFER);
+            let consumer = scope.spawn(move || {
+                let mut records: Vec<JobRecord> = Vec::new();
+                while let Some(record) = record_rx.recv() {
+                    records.push(record);
+                }
+                // Records stream in completion order; outcomes report job-id
+                // order (same sort the serial path runs).
+                records.sort_by_key(|r| r.job);
+                records
+            });
+
+            let mut feed = JobFeed::Piped { rx: job_rx };
+            let result = self.run_loop(scheduler, &mut feed, Some(&record_tx), total_jobs);
+            // Wake both stages regardless of how the loop ended: the
+            // consumer sees end-of-stream, a still-blocked producer sees a
+            // gone receiver.
+            drop(record_tx);
+            drop(feed);
+            let records = consumer.join().expect("record consumer panicked");
+            result.map(|mut outcome| {
+                outcome.replace_records(records);
+                outcome
+            })
+        })
+    }
+
+    /// The event loop itself, shared verbatim by the serial and pipelined
+    /// modes: jobs come from `feed`, completion records go to `record_tx`
+    /// when given (pipeline mode) and into the locally sorted record vector
+    /// otherwise.
+    fn run_loop(
+        &mut self,
+        scheduler: &mut dyn Scheduler,
+        feed: &mut JobFeed,
+        record_tx: Option<&SpscSender<JobRecord>>,
+        total_jobs: usize,
+    ) -> Result<SimOutcome, SimError> {
         let total_machines = self.config.num_machines;
-        let total_jobs = self.source.total_jobs();
         let mut rng = SimRng::seed_from_u64(self.config.seed);
 
         let mut queue = EventQueue::with_ring_bits(self.config.event_ring_bits);
@@ -214,11 +401,10 @@ impl Simulation {
         if let Some(r) = scheduler.priority_r() {
             alive.enable_priority(r);
         }
-        // Maintain only the per-job indices this scheduler consumes; keeping
-        // a sorted index current costs O(running width) per launch/finish,
-        // which wide jobs turn into a real tax under schedulers that never
-        // read it.
-        let demands = scheduler.index_demands();
+        let mut clock = StageClock {
+            enabled: self.config.profile_stages,
+            ..StageClock::default()
+        };
         let mut ctx = RunCtx {
             stats: RunStats {
                 available: total_machines,
@@ -227,13 +413,15 @@ impl Simulation {
             },
             ..RunCtx::default()
         };
-        // Pull-ahead cursor on the source: exactly one not-yet-admitted job
+        // Pull-ahead cursor on the feed: exactly one not-yet-admitted job
         // is held in `pending`; its arrival competes with the queue head for
         // the next decision instant, and once that instant is chosen every
         // pending job arriving at it is admitted (jobs vector + arrival
         // event) before the batch is drained — so same-slot arrivals land in
         // one batch, exactly as when all arrivals were queued up front.
-        let mut pending = pull_next(self.source.as_mut(), 0, 0, demands)?;
+        let t0 = clock.begin();
+        let mut pending = feed.next()?;
+        clock.source_ns += StageClock::lap(t0);
         let mut now: Slot = 0;
         // Reused across decision instants so the hot loop never allocates for
         // event delivery or scheduler decisions.
@@ -286,6 +474,7 @@ impl Simulation {
             // The source yields non-decreasing arrivals, so the admission
             // frontier is exactly the pending jobs with arrival == now; their
             // arrival events join the batch drained below.
+            let t0 = clock.begin();
             while pending.as_ref().is_some_and(|j| j.arrival() <= now) {
                 let job = pending.take().expect("checked above");
                 let idx = self.jobs.len();
@@ -298,8 +487,9 @@ impl Simulation {
                 ctx.stats.resident_jobs += 1;
                 ctx.stats.peak_resident_jobs =
                     ctx.stats.peak_resident_jobs.max(ctx.stats.resident_jobs);
-                pending = pull_next(self.source.as_mut(), idx + 1, arrival, demands)?;
+                pending = feed.next()?;
             }
+            clock.source_ns += StageClock::lap(t0);
 
             ctx.stats.decision_instants += 1;
 
@@ -308,6 +498,8 @@ impl Simulation {
             // (arrivals before completions, then sequence order) and handed
             // over wholesale. Same-slot clone ties cost one O(1) liveness
             // check each instead of re-running the finalization.
+            let t0 = clock.begin();
+            let metrics_before = clock.metrics_ns;
             newly_arrived.clear();
             newly_finished.clear();
             due.clear();
@@ -336,6 +528,9 @@ impl Simulation {
                                 self.activate_waiting_reduce_copies(
                                     job_idx, at, &mut ctx, &mut queue,
                                 );
+                                // The job's unscheduled reduces just became
+                                // launchable; keep the O(1) aggregate exact.
+                                alive.note_map_phase_complete(job_idx, &self.jobs[job_idx]);
                             }
                             if self.jobs[job_idx].all_tasks_finished()
                                 && !self.jobs[job_idx].is_complete()
@@ -348,7 +543,8 @@ impl Simulation {
                                 // job's task storage: memory stays bounded
                                 // by the alive window, not the workload.
                                 let job = &self.jobs[job_idx];
-                                ctx.records.push(JobRecord {
+                                let tm = clock.begin();
+                                let record = JobRecord {
                                     job: job.id(),
                                     weight: job.weight(),
                                     arrival: job.arrival(),
@@ -357,7 +553,15 @@ impl Simulation {
                                     num_reduce_tasks: job.spec().num_reduce_tasks(),
                                     copies_launched: job.copies_launched(),
                                     true_workload: job.spec().true_total_workload(),
-                                });
+                                };
+                                if let Some(tx) = record_tx {
+                                    // A dead consumer only happens if it
+                                    // panicked; the join below surfaces that.
+                                    let _ = tx.send(record);
+                                } else {
+                                    ctx.records.push(record);
+                                }
+                                clock.metrics_ns += StageClock::lap(tm);
                                 // Recycle the job's copy slots before the
                                 // id lists are dropped: the arena, like the
                                 // job table, stays bounded by the alive
@@ -380,12 +584,17 @@ impl Simulation {
                     Event::Wakeup { .. } => unreachable!("wakeups are never queued"),
                 }
             }
+            // Record capture runs inside the event loop but bills to the
+            // metrics stage; subtract the nested laps so stages stay disjoint.
+            clock.events_ns +=
+                StageClock::lap(t0).saturating_sub(clock.metrics_ns - metrics_before);
 
             if ctx.stats.completed_jobs == total_jobs {
                 break;
             }
 
             // ---- invoke the scheduler ----
+            let t0 = clock.begin();
             ctx.stats.scheduler_invocations += 1;
             alive.flush_priority();
             actions.clear();
@@ -414,6 +623,7 @@ impl Simulation {
             }
 
             self.apply_actions(&actions, now, &mut ctx, &mut alive, &mut queue, &mut rng)?;
+            clock.decision_ns += StageClock::lap(t0);
 
             // ---- stall detection ----
             // If nothing is running, nothing will arrive, and jobs remain,
@@ -431,11 +641,15 @@ impl Simulation {
 
         // ---- collect records ----
         // Records were captured at completion time (completion order);
-        // outcomes report them in job-id order.
+        // outcomes report them in job-id order. In pipelined mode the
+        // consumer thread holds them instead — `run_pipelined` splices its
+        // sorted batch in after the join.
+        let t0 = clock.begin();
         let mut records = ctx.records;
         records.sort_by_key(|r| r.job);
+        clock.metrics_ns += StageClock::lap(t0);
 
-        Ok(SimOutcome::new(
+        let mut outcome = SimOutcome::new(
             scheduler.name().to_string(),
             total_machines,
             records,
@@ -447,7 +661,12 @@ impl Simulation {
             ctx.arena.peak_slots(),
             ctx.stats.decision_instants,
             ctx.stats.ranked_prefix_len_max,
-        ))
+        );
+        outcome.stage_source_ns = clock.source_ns;
+        outcome.stage_events_ns = clock.events_ns;
+        outcome.stage_decision_ns = clock.decision_ns;
+        outcome.stage_metrics_ns = clock.metrics_ns;
+        Ok(outcome)
     }
 
     /// Processes the completion of one copy. Returns `Some(task_id)` if the

@@ -105,6 +105,6 @@ pub use events::{Event, EventQueue, HeapEventQueue, StaleStats};
 pub use result::{JobRecord, SimOutcome};
 pub use speedup::{LinearCappedSpeedup, NoSpeedup, ParetoSpeedup, SpeedupFunction};
 pub use state::{
-    Action, AliveIndex, ClusterState, IndexDemands, JobState, Scheduler, Slot, TaskState,
-    TaskStatus,
+    Action, AliveIndex, ClusterState, IndexDemands, JobState, RankedEntries, Scheduler, Slot,
+    TaskState, TaskStatus,
 };

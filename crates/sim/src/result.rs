@@ -82,10 +82,12 @@ impl FromJson for JobRecord {
 /// Aggregate outcome of one simulation run.
 ///
 /// Equality intentionally ignores the decision-path instrumentation counters
-/// ([`SimOutcome::decision_instants`], [`SimOutcome::ranked_prefix_len_max`]):
-/// they describe how much work the *scheduler implementation* did, not the
-/// trajectory, and the golden-equivalence suite compares optimized schedulers
-/// against frozen references that do strictly more work per decision.
+/// ([`SimOutcome::decision_instants`], [`SimOutcome::ranked_prefix_len_max`])
+/// and the stage wall-clock timings ([`SimOutcome::stage_source_ns`] and
+/// friends): they describe how much work the *scheduler implementation* did
+/// (or how long the host took), not the trajectory, and the
+/// golden-equivalence suite compares optimized schedulers against frozen
+/// references that do strictly more work per decision.
 #[derive(Debug, Clone)]
 pub struct SimOutcome {
     /// Name of the scheduler that produced this outcome.
@@ -122,6 +124,20 @@ pub struct SimOutcome {
     /// [`crate::ClusterState::note_ranked_prefix`]; 0 for schedulers that
     /// never consume the ranked order). Excluded from equality.
     pub ranked_prefix_len_max: usize,
+    /// Wall-clock nanoseconds spent pulling/admitting jobs from the source,
+    /// when the run profiled stages (`SimConfig::profile_stages`); 0
+    /// otherwise. Host-dependent instrumentation — excluded from equality
+    /// like the decision-path counters.
+    pub stage_source_ns: u64,
+    /// Wall-clock nanoseconds spent delivering/applying the event batches;
+    /// 0 unless stages were profiled. Excluded from equality.
+    pub stage_events_ns: u64,
+    /// Wall-clock nanoseconds spent in scheduler hooks + decisions + action
+    /// application; 0 unless stages were profiled. Excluded from equality.
+    pub stage_decision_ns: u64,
+    /// Wall-clock nanoseconds spent capturing/folding completion records;
+    /// 0 unless stages were profiled. Excluded from equality.
+    pub stage_metrics_ns: u64,
 }
 
 impl PartialEq for SimOutcome {
@@ -169,12 +185,25 @@ impl SimOutcome {
             peak_copy_slots,
             decision_instants,
             ranked_prefix_len_max,
+            // Stage timings default to "not profiled"; the engine fills them
+            // in post-construction when `SimConfig::profile_stages` is set.
+            stage_source_ns: 0,
+            stage_events_ns: 0,
+            stage_decision_ns: 0,
+            stage_metrics_ns: 0,
         }
     }
 
     /// Per-job completion records, in job-id order.
     pub fn records(&self) -> &[JobRecord] {
         &self.records
+    }
+
+    /// Replaces the record set wholesale. The engine's pipelined mode folds
+    /// records on a consumer thread and splices the sorted batch in here
+    /// after the join; callers must hand over job-id order.
+    pub(crate) fn replace_records(&mut self, records: Vec<JobRecord>) {
+        self.records = records;
     }
 
     /// The record of one job, if it exists.
@@ -259,6 +288,10 @@ impl ToJson for SimOutcome {
                 "ranked_prefix_len_max",
                 self.ranked_prefix_len_max.to_json(),
             ),
+            ("stage_source_ns", self.stage_source_ns.to_json()),
+            ("stage_events_ns", self.stage_events_ns.to_json()),
+            ("stage_decision_ns", self.stage_decision_ns.to_json()),
+            ("stage_metrics_ns", self.stage_metrics_ns.to_json()),
         ])
     }
 }
@@ -290,6 +323,23 @@ impl FromJson for SimOutcome {
             },
             ranked_prefix_len_max: match value.get("ranked_prefix_len_max") {
                 Some(v) => usize::from_json(v)?,
+                None => 0,
+            },
+            // Absent in outcomes serialised before stage profiling.
+            stage_source_ns: match value.get("stage_source_ns") {
+                Some(v) => u64::from_json(v)?,
+                None => 0,
+            },
+            stage_events_ns: match value.get("stage_events_ns") {
+                Some(v) => u64::from_json(v)?,
+                None => 0,
+            },
+            stage_decision_ns: match value.get("stage_decision_ns") {
+                Some(v) => u64::from_json(v)?,
+                None => 0,
+            },
+            stage_metrics_ns: match value.get("stage_metrics_ns") {
+                Some(v) => u64::from_json(v)?,
                 None => 0,
             },
         })
@@ -385,8 +435,42 @@ mod tests {
         let mut b = outcome();
         b.decision_instants = 9_999;
         b.ranked_prefix_len_max = 1_234;
+        b.stage_source_ns = 1;
+        b.stage_events_ns = 2;
+        b.stage_decision_ns = 3;
+        b.stage_metrics_ns = 4;
         assert_eq!(a, b, "instrumentation must not affect equality");
         b.makespan += 1;
         assert_ne!(a, b, "trajectory fields still must");
+    }
+
+    #[test]
+    fn stage_timings_roundtrip_and_default() {
+        let mut o = outcome();
+        o.stage_source_ns = 11;
+        o.stage_events_ns = 22;
+        o.stage_decision_ns = 33;
+        o.stage_metrics_ns = 44;
+        let json = o.to_json().to_compact_string();
+        let back = SimOutcome::from_json(&JsonValue::parse(&json).unwrap()).unwrap();
+        assert_eq!(back.stage_source_ns, 11);
+        assert_eq!(back.stage_events_ns, 22);
+        assert_eq!(back.stage_decision_ns, 33);
+        assert_eq!(back.stage_metrics_ns, 44);
+        // Outcomes serialised before stage profiling existed parse as 0.
+        let mut legacy = o.to_json();
+        if let JsonValue::Object(map) = &mut legacy {
+            for key in [
+                "stage_source_ns",
+                "stage_events_ns",
+                "stage_decision_ns",
+                "stage_metrics_ns",
+            ] {
+                map.remove(key);
+            }
+        }
+        let back = SimOutcome::from_json(&legacy).unwrap();
+        assert_eq!(back.stage_source_ns, 0);
+        assert_eq!(back.stage_metrics_ns, 0);
     }
 }

@@ -420,6 +420,22 @@ impl JobState {
         self.map_index.unscheduled().len() + self.reduce_index.unscheduled().len()
     }
 
+    /// Number of unscheduled tasks a scheduler could usefully launch *now*:
+    /// unscheduled map tasks first; unscheduled reduce tasks only once the
+    /// map phase completed (copies launched earlier just park in the waiting
+    /// list). Mirrors the phase selection of SRPTMS+C's task-scheduling
+    /// procedure.
+    pub fn launchable_unscheduled(&self) -> usize {
+        let maps = self.num_unscheduled(Phase::Map);
+        if maps > 0 {
+            maps
+        } else if self.map_phase_complete() {
+            self.num_unscheduled(Phase::Reduce)
+        } else {
+            0
+        }
+    }
+
     /// Number of tasks of `phase` that have not finished yet.
     pub fn num_unfinished(&self, phase: Phase) -> usize {
         match phase {
@@ -720,40 +736,68 @@ impl JobState {
 }
 
 /// The priority half of an [`AliveIndex`]: alive jobs that still have
-/// unscheduled tasks, kept in decreasing `w_i / U_i(l)` order.
+/// unscheduled tasks, kept in decreasing `w_i / U_i(l)` order — in a
+/// `BTreeSet` maintained **across** decision instants, consumed on demand.
 ///
-/// Invariants (after [`PriorityIndex::flush`]):
-/// * `ranked` holds one `(key, idx)` entry per alive job with at least one
-///   unscheduled task, sorted by (key descending via `f64::total_cmp`, idx
-///   ascending) — exactly the order SRPTMS+C's per-wakeup sort used to
-///   produce.
-/// * `key[idx]` is the job's current priority (`NaN` marks jobs that are not
-///   in the order: completed, or with every task already scheduled).
+/// The 1M-job tier exposed the regime this structure is built for: with
+/// `ε = 0.6` and mostly unit job weights, the ε-fraction share walk consumes
+/// ~60 % of ψ^s at *every* decision instant (up to 1 933 of ~3 000 ranked
+/// entries across 712 668 instants), and since nearly every instant launches
+/// something — re-keying the launched jobs — nearly every instant dirties the
+/// order. Any scheme that re-establishes the order per dirty instant
+/// (a full sort, a `select_nth_unstable_by` partition, a lazy-deletion heap
+/// re-popped per instant) therefore pays `O(alive)`-ish work 712 668 times.
+/// The search tree instead pays `O(log n)` *per key change* (a handful per
+/// instant) and amortised `O(1)` per consumed entry for the in-order walk —
+/// nothing is ever re-sorted.
+///
+/// Invariants:
+/// * `key[idx]` is job `idx`'s current priority; `NaN` marks jobs that are
+///   not in the order (completed, or with every task already scheduled).
+/// * `set` holds `(sort_key(key[idx]), idx)` for exactly the live jobs,
+///   where [`PriorityIndex::sort_key`] maps `f64` bits to a `u64` whose
+///   natural ascending order is `total_cmp`-**descending** — so the set's
+///   iteration order is precisely the `(key desc, idx asc)` ranking, entry
+///   for entry identical to the full stable sort the eager implementation
+///   materialised. Every key change removes the old pair and inserts the
+///   new one immediately; the set never holds stale entries.
 /// * `eff[idx]` caches the per-phase `effective_task_workload(r)` of the
 ///   job's spec, so re-keying a job after a launch is two multiply-adds and
 ///   never recomputes the phase statistics.
-///
-/// Updates are **batched per decision instant**: launch/arrival/completion
-/// events only refresh the `O(1)` key cache and set `dirty`; the order itself
-/// is re-established lazily by `flush` right before the scheduler runs. A
-/// decision instant launches many tasks (clone batches, backfill), so eagerly
-/// repositioning the job on every launch — `O(jobs)` of memmove each — costs
-/// far more than one adaptive sort over cached keys when the order is finally
-/// consumed; the sort input is nearly sorted (only dirty jobs moved), which
-/// the stable sort exploits.
+/// * `prefix` caches the entries walked this instant, so repeated reads and
+///   the random-access [`PriorityIndex::entry`] API cost array lookups; it
+///   is re-validated (cleared) by `flush` once mutations have occurred. The
+///   walk resumes after the last cached entry with one `O(log n)` range
+///   seek, extending geometrically so a sequential consumer pays
+///   `O(log prefix)` seeks per instant, not one per entry.
 #[derive(Debug, Default, Clone)]
 struct PriorityIndex {
     r: f64,
-    ranked: Vec<(f64, usize)>,
+    /// The ranking itself: `(descending-order key bits, idx)`, always live.
+    set: std::collections::BTreeSet<(u64, u32)>,
+    /// Entries walked this instant, in ranking order; interior-mutable
+    /// because consumption happens on demand while the scheduler holds the
+    /// snapshot by shared reference.
+    prefix: std::cell::RefCell<Vec<(f64, u32)>>,
     key: Vec<f64>,
     eff: Vec<(f64, f64)>,
     dirty: bool,
 }
 
 impl PriorityIndex {
-    /// Total order on ranked entries: key descending, job index ascending.
-    fn entry_cmp(a: &(f64, usize), b: &(f64, usize)) -> std::cmp::Ordering {
-        b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1))
+    /// Maps a (non-`NaN`) key to a `u64` whose ascending natural order is
+    /// the key's `total_cmp`-**descending** order: the sign-magnitude bit
+    /// trick that makes float bits integer-comparable, complemented. Ties in
+    /// the set then fall through to the ascending `idx` — exactly the
+    /// ranking's tiebreak.
+    fn sort_key(key: f64) -> u64 {
+        let bits = key.to_bits();
+        let ascending = if bits & (1 << 63) != 0 {
+            !bits
+        } else {
+            bits | (1 << 63)
+        };
+        !ascending
     }
 
     fn ensure_slot(&mut self, idx: usize) {
@@ -789,7 +833,13 @@ impl PriorityIndex {
         }
         let key = self.key_for(idx, job);
         self.key[idx] = key;
-        self.ranked.push((key, idx));
+        if key.is_nan() {
+            // A NaN priority (NaN weight) never enters the order; the eager
+            // implementation dropped such entries at the next flush, before
+            // any read could observe them.
+            return;
+        }
+        self.set.insert((Self::sort_key(key), idx as u32));
         self.dirty = true;
     }
 
@@ -797,39 +847,128 @@ impl PriorityIndex {
         if self.key.len() <= idx || self.key[idx].is_nan() {
             return;
         }
+        // `key[idx]` was live, so the set holds exactly this pair for the
+        // idx (jobs never re-enter ψ^s).
+        self.set
+            .remove(&(Self::sort_key(self.key[idx]), idx as u32));
         self.key[idx] = f64::NAN;
         self.dirty = true;
     }
 
-    /// Re-keys job `idx` after its unscheduled counts changed; `O(1)`. The
-    /// job drops out of the order once nothing is left to schedule (a task
-    /// never returns to the unscheduled state, so the job never re-enters).
+    /// Re-keys job `idx` after its unscheduled counts changed: one
+    /// `O(log n)` removal plus (while still live) one `O(log n)` insertion.
+    /// The job drops out of the order once nothing is left to schedule (a
+    /// task never returns to the unscheduled state, so the job never
+    /// re-enters).
     fn update(&mut self, idx: usize, job: &JobState) {
         if self.key.len() <= idx || self.key[idx].is_nan() {
             return;
         }
-        self.key[idx] = if job.total_unscheduled() == 0 {
+        let key = if job.total_unscheduled() == 0 {
             f64::NAN
         } else {
             self.key_for(idx, job)
         };
+        self.set
+            .remove(&(Self::sort_key(self.key[idx]), idx as u32));
+        if !key.is_nan() {
+            self.set.insert((Self::sort_key(key), idx as u32));
+        }
+        self.key[idx] = key;
         self.dirty = true;
     }
 
-    /// Re-establishes the ranked order from the key cache: refreshes every
-    /// entry's stored key, drops dead entries (`NaN` key) and re-sorts.
-    /// Called once per decision instant, before the order is consumed.
+    /// Starts a fresh decision instant: drops the walked-prefix cache if any
+    /// mutation happened since it was established. `O(1)` — the set itself
+    /// is always current, so there is nothing to rebuild.
     fn flush(&mut self) {
         if !self.dirty {
+            // Nothing moved since the prefix was walked; keep it.
             return;
         }
-        let key = &self.key;
-        self.ranked.retain_mut(|entry| {
-            entry.0 = key[entry.1];
-            !entry.0.is_nan()
-        });
-        self.ranked.sort_by(Self::entry_cmp);
+        self.prefix.get_mut().clear();
         self.dirty = false;
+    }
+
+    /// Number of live entries — the length of the order.
+    fn live_len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// The `i`-th entry of the fully sorted live order, extending the
+    /// walked-prefix cache on demand: one range seek after the last cached
+    /// entry, then in-order steps (amortised `O(1)` each), geometrically
+    /// overshooting the requested index so sequential consumption performs
+    /// `O(log prefix)` seeks per instant. Callers guarantee
+    /// `i < live_len()`.
+    fn entry(&self, i: usize) -> (f64, usize) {
+        let mut prefix = self.prefix.borrow_mut();
+        if i >= prefix.len() {
+            let want = (i + 1).max(prefix.len() * 2).max(16);
+            let mut walk = match prefix.last() {
+                Some(&(key, idx)) => self.set.range((
+                    std::ops::Bound::Excluded((Self::sort_key(key), idx)),
+                    std::ops::Bound::Unbounded,
+                )),
+                None => self.set.range(..),
+            };
+            while prefix.len() < want {
+                let Some(&(sort_key, idx)) = walk.next() else {
+                    break;
+                };
+                let key = self.key[idx as usize];
+                debug_assert_eq!(Self::sort_key(key), sort_key);
+                prefix.push((key, idx));
+            }
+        }
+        let (key, idx) = prefix[i];
+        (key, idx as usize)
+    }
+}
+
+/// Demand-gated view over an enabled priority order: the `(priority, idx)`
+/// entries of the alive jobs with unscheduled tasks, in decreasing
+/// `w_i / U_i(l)` order (ties by ascending idx).
+///
+/// Reads are lazy — [`RankedEntries::entry`] pops the underlying stamp heap
+/// only as far into the order as is actually consumed, which is what makes
+/// SRPTMS+C's decision path pay-for-what-you-read at million-job scale. The
+/// visible order is entry-for-entry identical to a full sort; indices
+/// resolve through [`ClusterState::job_at`].
+#[derive(Clone, Copy, Debug)]
+pub struct RankedEntries<'a> {
+    index: &'a PriorityIndex,
+}
+
+impl<'a> RankedEntries<'a> {
+    /// Number of entries in the (virtual) full order.
+    pub fn len(&self) -> usize {
+        self.index.live_len()
+    }
+
+    /// Whether the order is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i`-th `(priority, idx)` entry of the order.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    pub fn entry(&self, i: usize) -> (f64, usize) {
+        assert!(
+            i < self.len(),
+            "ranked entry {i} out of bounds (len {})",
+            self.len()
+        );
+        self.index.entry(i)
+    }
+
+    /// Iterates the order front to back, extending the sorted region as it
+    /// goes — stop early and the tail is never sorted.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, usize)> + 'a {
+        let this = *self;
+        (0..this.len()).map(move |i| this.entry(i))
     }
 }
 
@@ -869,6 +1008,12 @@ pub struct AliveIndex {
     /// `unscheduled_weight_sum`, so completion/launch can subtract at most
     /// once per job.
     weight_counted: Vec<bool>,
+    /// Per-job cached [`JobState::launchable_unscheduled`] counts, feeding
+    /// `launchable_sum`. Maintained only while the priority order is enabled
+    /// (its sole consumer is SRPTMS+C's backfill early-exit).
+    launchable: Vec<usize>,
+    /// Total launchable unscheduled tasks across alive jobs.
+    launchable_sum: usize,
     /// Priority order, present when enabled.
     priority: Option<PriorityIndex>,
 }
@@ -907,6 +1052,7 @@ impl AliveIndex {
             }
             if let Some(priority) = &mut self.priority {
                 priority.insert(idx, job);
+                self.refresh_launchable(idx, job);
             }
         }
     }
@@ -929,6 +1075,10 @@ impl AliveIndex {
             }
             if let Some(priority) = &mut self.priority {
                 priority.remove(idx);
+                if let Some(cached) = self.launchable.get_mut(idx) {
+                    self.launchable_sum -= *cached;
+                    *cached = 0;
+                }
             }
         }
     }
@@ -946,7 +1096,28 @@ impl AliveIndex {
         }
         if let Some(priority) = &mut self.priority {
             priority.update(idx, job);
+            self.refresh_launchable(idx, job);
         }
+    }
+
+    /// Records that job `idx`'s map phase just completed (its unscheduled
+    /// reduce tasks became launchable); call from the engine's copy-finish
+    /// path. `O(1)`, idempotent, no-op when priority maintenance is off.
+    pub fn note_map_phase_complete(&mut self, idx: usize, job: &JobState) {
+        if self.priority.is_some() {
+            self.refresh_launchable(idx, job);
+        }
+    }
+
+    /// Re-caches job `idx`'s launchable-unscheduled count and folds the
+    /// difference into the aggregate.
+    fn refresh_launchable(&mut self, idx: usize, job: &JobState) {
+        if self.launchable.len() <= idx {
+            self.launchable.resize(idx + 1, 0);
+        }
+        let fresh = job.launchable_unscheduled();
+        self.launchable_sum = self.launchable_sum + fresh - self.launchable[idx];
+        self.launchable[idx] = fresh;
     }
 
     /// Re-establishes the priority order after a batch of events; the engine
@@ -969,11 +1140,14 @@ impl AliveIndex {
         &self.by_arrival
     }
 
-    /// The alive jobs with unscheduled tasks as `(priority, idx)` entries in
-    /// decreasing `w_i / U_i(l)` order (ties by idx), if priority maintenance
-    /// is enabled; `None` otherwise.
-    pub fn ranked_by_priority(&self) -> Option<(f64, &[(f64, usize)])> {
-        self.priority.as_ref().map(|p| (p.r, p.ranked.as_slice()))
+    /// The alive jobs with unscheduled tasks as a demand-gated
+    /// [`RankedEntries`] view in decreasing `w_i / U_i(l)` order (ties by
+    /// idx), if priority maintenance is enabled; `None` otherwise. Call
+    /// [`AliveIndex::flush_priority`] first after mutations.
+    pub fn ranked_by_priority(&self) -> Option<(f64, RankedEntries<'_>)> {
+        self.priority
+            .as_ref()
+            .map(|p| (p.r, RankedEntries { index: p }))
     }
 
     /// Number of alive jobs.
@@ -1001,6 +1175,14 @@ impl AliveIndex {
     pub fn total_unscheduled_weight(&self) -> f64 {
         self.unscheduled_weight_sum
     }
+
+    /// Total launchable unscheduled tasks across alive jobs, when the index
+    /// maintains the aggregate (priority order enabled); `None` otherwise.
+    /// Requires the engine to report map-phase completions through
+    /// [`AliveIndex::note_map_phase_complete`].
+    pub fn total_launchable(&self) -> Option<usize> {
+        self.priority.as_ref().map(|_| self.launchable_sum)
+    }
 }
 
 /// Read-only snapshot of the cluster handed to schedulers at every decision
@@ -1021,15 +1203,18 @@ pub struct ClusterState<'a> {
     /// Incrementally maintained `W(l)` over the jobs with unscheduled tasks,
     /// when index-backed.
     cached_unscheduled_weight: Option<f64>,
+    /// Incrementally maintained launchable-unscheduled total, when
+    /// index-backed with the priority order enabled.
+    cached_launchable: Option<usize>,
     /// How many ranked entries the scheduler actually consumed this decision
     /// (reported via [`ClusterState::note_ranked_prefix`]); interior-mutable
     /// because the snapshot is handed to schedulers by shared reference.
     ranked_prefix_consumed: std::cell::Cell<usize>,
     /// Alive jobs in `(arrival, idx)` order, when index-backed.
     arrival_order: Option<&'a [(Slot, usize)]>,
-    /// `(priority, idx)` entries in decreasing `w_i / U_i(l)` order for the
-    /// pessimism factor the scheduler declared, when index-backed.
-    ranked: Option<(f64, &'a [(f64, usize)])>,
+    /// Demand-gated `(priority, idx)` order (decreasing `w_i / U_i(l)`) for
+    /// the pessimism factor the scheduler declared, when index-backed.
+    ranked: Option<(f64, RankedEntries<'a>)>,
 }
 
 impl<'a> ClusterState<'a> {
@@ -1055,6 +1240,7 @@ impl<'a> ClusterState<'a> {
             cached_weight: None,
             cached_unscheduled: None,
             cached_unscheduled_weight: None,
+            cached_launchable: None,
             ranked_prefix_consumed: std::cell::Cell::new(0),
             arrival_order: None,
             ranked: None,
@@ -1081,6 +1267,7 @@ impl<'a> ClusterState<'a> {
             cached_weight: Some(index.total_weight()),
             cached_unscheduled: Some(index.total_unscheduled()),
             cached_unscheduled_weight: Some(index.total_unscheduled_weight()),
+            cached_launchable: index.total_launchable(),
             ranked_prefix_consumed: std::cell::Cell::new(0),
             arrival_order: Some(index.alive_by_arrival()),
             ranked: index.ranked_by_priority(),
@@ -1161,12 +1348,13 @@ impl<'a> ClusterState<'a> {
     /// with [`ClusterState::job_at`].
     ///
     /// Engine-built snapshots carry the order when the scheduler declared `r`
-    /// through [`Scheduler::priority_r`]; consuming it makes a decision
-    /// `O(candidates)` instead of `O(candidates · log)` with per-comparison
-    /// priority recomputation, and the borrowed slice can be walked several
-    /// times (share pass, backfill pass) without collecting. Returns `None`
-    /// (caller sorts itself) for hand-built snapshots or a mismatching `r`.
-    pub fn ranked_entries(&self, r: f64) -> Option<&'a [(f64, usize)]> {
+    /// through [`Scheduler::priority_r`]. The returned [`RankedEntries`] view
+    /// is **demand-gated**: only the prefix actually read gets sorted, so a
+    /// decision costs `O(prefix consumed)` instead of `O(alive · log)`, and
+    /// the view can be walked several times (share pass, backfill pass)
+    /// without collecting. Returns `None` (caller sorts itself) for
+    /// hand-built snapshots or a mismatching `r`.
+    pub fn ranked_entries(&self, r: f64) -> Option<RankedEntries<'a>> {
         match self.ranked {
             Some((indexed_r, entries)) if indexed_r == r => Some(entries),
             _ => None,
@@ -1226,6 +1414,22 @@ impl<'a> ClusterState<'a> {
                 .filter(|j| j.total_unscheduled() > 0)
                 .map(|j| j.weight())
                 .sum(),
+        }
+    }
+
+    /// Total launchable unscheduled tasks across alive jobs (unscheduled
+    /// maps, plus unscheduled reduces of jobs whose map phase completed).
+    ///
+    /// `O(1)` for engine-built snapshots with the priority order enabled
+    /// (maintained incrementally by the [`AliveIndex`]); falls back to a
+    /// scan otherwise. SRPTMS+C's work-conserving backfill counts its
+    /// launches against this total and stops the moment nothing launchable
+    /// remains — without it, every machines-outlast-work instant would walk
+    /// (and therefore fully sort) the entire demand-gated ranked order.
+    pub fn total_launchable_tasks(&self) -> usize {
+        match self.cached_launchable {
+            Some(c) => c,
+            None => self.alive_jobs().map(|j| j.launchable_unscheduled()).sum(),
         }
     }
 
@@ -1375,6 +1579,7 @@ pub trait Scheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mapreduce_support::{prop_assert, prop_assert_eq, proptest};
     use mapreduce_workload::{JobSpecBuilder, PhaseStats};
 
     fn job_state() -> JobState {
@@ -1621,14 +1826,14 @@ mod tests {
         index.flush_priority();
         let (r, ranked) = index.ranked_by_priority().unwrap();
         assert_eq!(r, 0.0);
-        let order: Vec<usize> = ranked.iter().map(|&(_, i)| i).collect();
+        let order: Vec<usize> = ranked.iter().map(|(_, i)| i).collect();
         assert_eq!(order, vec![0, 1, 2, 3]);
 
         jobs[2].note_first_launch(Phase::Map, 0);
         index.note_first_launch(2, &jobs[2]);
         index.flush_priority();
         let (_, ranked) = index.ranked_by_priority().unwrap();
-        let order: Vec<usize> = ranked.iter().map(|&(_, i)| i).collect();
+        let order: Vec<usize> = ranked.iter().map(|(_, i)| i).collect();
         assert_eq!(order, vec![2, 0, 1, 3]);
 
         // Launching everything drops the job from the priority order.
@@ -1638,13 +1843,13 @@ mod tests {
         }
         index.flush_priority();
         let (_, ranked) = index.ranked_by_priority().unwrap();
-        let order: Vec<usize> = ranked.iter().map(|&(_, i)| i).collect();
+        let order: Vec<usize> = ranked.iter().map(|(_, i)| i).collect();
         assert_eq!(order, vec![0, 1, 3]);
 
         index.remove(0, &jobs[0]);
         index.flush_priority();
         let (_, ranked) = index.ranked_by_priority().unwrap();
-        let order: Vec<usize> = ranked.iter().map(|&(_, i)| i).collect();
+        let order: Vec<usize> = ranked.iter().map(|(_, i)| i).collect();
         assert_eq!(order, vec![1, 3]);
     }
 
@@ -1754,5 +1959,115 @@ mod tests {
         state.note_ranked_prefix(3);
         state.note_ranked_prefix(2); // max, not last
         assert_eq!(state.ranked_prefix_consumed(), 3);
+    }
+
+    /// The eager oracle the demand-gated prefix is pinned against: live
+    /// entries, stably sorted by `(key desc, idx asc)` — exactly the order
+    /// the pre-lazy implementation materialised at every flush.
+    fn full_sort_oracle(keys: &[f64]) -> Vec<(f64, usize)> {
+        let mut order: Vec<(f64, usize)> = keys
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| !k.is_nan())
+            .map(|(idx, &k)| (k, idx))
+            .collect();
+        order.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+        order
+    }
+
+    /// Builds a [`PriorityIndex`] holding the given live keys directly
+    /// (`NaN` = never entered the order), mirroring what a sequence of
+    /// `insert` calls establishes without needing full job specs.
+    fn raw_priority_index(keys: &[f64]) -> PriorityIndex {
+        let mut index = PriorityIndex {
+            r: 1.0,
+            ..Default::default()
+        };
+        for (idx, &k) in keys.iter().enumerate() {
+            index.key.push(k);
+            index.eff.push((0.0, 0.0));
+            if !k.is_nan() {
+                index.set.insert((PriorityIndex::sort_key(k), idx as u32));
+                index.dirty = true;
+            }
+        }
+        index
+    }
+
+    /// Decodes a small integer into a key drawn from a 5-value pool (plus
+    /// `NaN`), so random vectors are saturated with exact-tie groups — the
+    /// adversarial case for an unstable partial sort, which must still
+    /// reproduce the stable oracle's `(key desc, idx asc)` tie order.
+    fn tie_heavy_key(v: u32) -> f64 {
+        if v == 0 {
+            f64::NAN
+        } else {
+            f64::from(v % 6) * 0.5
+        }
+    }
+
+    proptest! {
+        #![proptest_config(mapreduce_support::proptest::ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn demand_gated_prefix_matches_full_sort(
+            seeds in mapreduce_support::proptest::collection::vec(0u32..6, 1..50),
+            kills in mapreduce_support::proptest::collection::vec(0u32..50, 0..12),
+            rekeys in mapreduce_support::proptest::collection::vec(0u32..300, 0..16),
+            takes in mapreduce_support::proptest::collection::vec(0u32..64, 3..4),
+        ) {
+            let keys: Vec<f64> = seeds.iter().map(|&v| tie_heavy_key(v)).collect();
+            let mut index = raw_priority_index(&keys);
+
+            // Three decision instants: pristine, after completions (kills),
+            // after re-keys — each consumes a random-length prefix and must
+            // match the eager oracle entry for entry.
+            for (round, &take_seed) in takes.iter().enumerate() {
+                match round {
+                    1 => {
+                        for &k in &kills {
+                            let idx = k as usize % keys.len();
+                            if !index.key[idx].is_nan() {
+                                // What `remove`/terminal `update` do.
+                                index
+                                    .set
+                                    .remove(&(PriorityIndex::sort_key(index.key[idx]), idx as u32));
+                                index.key[idx] = f64::NAN;
+                                index.dirty = true;
+                            }
+                        }
+                    }
+                    2 => {
+                        for &r in &rekeys {
+                            let idx = (r as usize / 6) % keys.len();
+                            if !index.key[idx].is_nan() {
+                                // What a live re-key in `update` does: the
+                                // old pair leaves the set, the new key's
+                                // pair replaces it.
+                                let nk = f64::from(r % 6) * 0.25 + 0.125;
+                                index
+                                    .set
+                                    .remove(&(PriorityIndex::sort_key(index.key[idx]), idx as u32));
+                                index.set.insert((PriorityIndex::sort_key(nk), idx as u32));
+                                index.key[idx] = nk;
+                                index.dirty = true;
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+                index.flush();
+                let oracle = full_sort_oracle(&index.key);
+                prop_assert_eq!(index.live_len(), oracle.len());
+                let take = take_seed as usize % (oracle.len() + 1);
+                for (i, &expect) in oracle.iter().take(take).enumerate() {
+                    let got = index.entry(i);
+                    prop_assert!(
+                        got == expect,
+                        "round {round} entry {i}: got {got:?}, oracle {expect:?}"
+                    );
+                }
+            }
+        }
     }
 }

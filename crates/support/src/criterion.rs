@@ -135,11 +135,24 @@ pub struct Bencher {
     rounds: usize,
 }
 
+/// Whether the untimed warm-up iteration runs. `MAPREDUCE_BENCH_WARMUP=0`
+/// (or `false`) skips it — at tiers where one iteration takes tens of
+/// minutes (`stream10m`), the warm-up doubles the cost of a run whose
+/// single sample is already its own population.
+pub fn env_warmup_enabled() -> bool {
+    std::env::var("MAPREDUCE_BENCH_WARMUP")
+        .map(|v| v != "0" && !v.eq_ignore_ascii_case("false"))
+        .unwrap_or(true)
+}
+
 impl Bencher {
-    /// Times `f`, once per configured sample after one untimed warm-up.
+    /// Times `f`, once per configured sample after one untimed warm-up
+    /// (skippable via `MAPREDUCE_BENCH_WARMUP=0`).
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         // Warm-up iteration (untimed): page in code and data.
-        std::hint::black_box(f());
+        if env_warmup_enabled() {
+            std::hint::black_box(f());
+        }
         for _ in 0..self.rounds {
             let start = Instant::now();
             std::hint::black_box(f());

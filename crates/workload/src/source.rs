@@ -40,7 +40,12 @@ use mapreduce_support::rng::SimRng;
 /// A pull-based stream of jobs in arrival order.
 ///
 /// See the [module documentation](self) for the ordering/id contract.
-pub trait JobSource {
+///
+/// `Send` is a supertrait so the simulation engine's pipeline mode can run
+/// the producer on its own thread; every source here is a plain owned value
+/// (materialised specs, an RNG cursor, a converted trace), so the bound
+/// costs implementors nothing.
+pub trait JobSource: Send {
     /// Short stable label for reports and benchmark ids.
     fn name(&self) -> &str;
 

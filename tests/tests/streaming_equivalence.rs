@@ -83,6 +83,44 @@ proptest! {
         }
     }
 
+    /// Pipelined engine vs serial oracle, bit-identical for every golden
+    /// scheduler: moving the source pull onto a producer thread and the
+    /// record fold onto a consumer thread is an execution strategy, not a
+    /// semantic change.
+    #[test]
+    fn pipelined_and_serial_outcomes_are_bit_identical(
+        jobs in 8usize..40,
+        machines in 4usize..64,
+        seed in 0u64..1000,
+    ) {
+        let profile = GoogleTraceProfile::scaled(jobs);
+        let stream = StreamingGenerator::new(profile, seed);
+        for (serial_side, piped_side) in golden_suite().iter_mut().zip(golden_suite().iter_mut()) {
+            let serial = run_from_source(
+                serial_side.as_mut(),
+                Box::new(stream.clone()),
+                machines,
+                seed,
+            );
+            let piped = Simulation::from_source(
+                SimConfig::new(machines).with_seed(seed).with_pipeline(true),
+                Box::new(stream.clone()),
+            )
+            .run(piped_side.as_mut())
+            .expect("pipelined run must complete");
+            prop_assert!(
+                serial == piped,
+                "{}: pipelined and serial outcomes diverge (jobs {jobs}, machines {machines}, \
+                 seed {seed}): mean flowtime {} vs {}, copies {} vs {}",
+                serial.scheduler,
+                serial.mean_flowtime(),
+                piped.mean_flowtime(),
+                serial.total_copies,
+                piped.total_copies
+            );
+        }
+    }
+
     /// A MaterializedSource feed is equivalent to handing the trace over
     /// directly — the adapter introduces nothing of its own.
     #[test]
@@ -159,6 +197,43 @@ fn streaming_million_jobs_completes_in_bounded_memory() {
     // load, so residency stays a small multiple of the 100k-job tier's.
     assert!(
         outcome.peak_resident_jobs < 100_000,
+        "peak resident {} is not bounded",
+        outcome.peak_resident_jobs
+    );
+    assert!(
+        outcome.peak_copy_slots < outcome.total_copies / 4,
+        "peak copy slots {} vs {} total copies",
+        outcome.peak_copy_slots,
+        outcome.total_copies
+    );
+}
+
+/// The ten-million-job acceptance run: the `stream10m` tier completes under
+/// FIFO with the alive window — not the workload — occupying memory. Debug
+/// mode makes this hours of wall clock, so it stays `#[ignore]`d; run it
+/// explicitly in release
+/// (`cargo test -p integration-tests --test streaming_equivalence --release
+/// -- --ignored streaming_ten_million`), or measure the same regime through
+/// the `stream10m` bench, which also runs SRPTMS+C over it.
+#[test]
+#[ignore = "ten-million-job run; covered in release mode by the stream10m bench"]
+fn streaming_ten_million_jobs_completes_in_bounded_memory() {
+    let scenario = mapreduce_experiments::Scenario::ten_million();
+    let seed = scenario.seeds[0];
+    let outcome = run_from_source(
+        &mut Fifo::new(),
+        scenario.job_source(seed),
+        scenario.machines,
+        seed,
+    );
+    assert_eq!(outcome.records().len(), 10_000_000);
+    // Residency follows Little's law (arrival rate × flowtime): FIFO's
+    // flowtime grows with scale, so the alive window does too — measured
+    // 205 847 peak resident at this tier — but it stays two orders of
+    // magnitude below the job count. The counter is deterministic, so the
+    // 2× headroom here is real margin, not noise allowance.
+    assert!(
+        outcome.peak_resident_jobs < 400_000,
         "peak resident {} is not bounded",
         outcome.peak_resident_jobs
     );
