@@ -12,11 +12,12 @@ use std::collections::BTreeSet;
 ///
 /// The decision side is incremental: instead of walking every alive job per
 /// wakeup, the scheduler keeps a **ready set** of jobs that may still have
-/// launchable work, ordered by `(arrival, id)`. Jobs enter on arrival and
-/// when their Map phase completes (unlocking reduce tasks) — the only two
-/// events that can create launchable work under FIFO — and leave once
-/// everything launchable has been launched. A `schedule` call therefore
-/// costs `O(launches + ready jobs)` rather than `O(alive jobs)`.
+/// launchable work, ordered by `(arrival, id)`. Jobs enter on arrival, when
+/// their Map phase completes (unlocking reduce tasks), and when a machine
+/// crash returns a task of theirs to the unscheduled pool — the only events
+/// that can create launchable work under FIFO — and leave once everything
+/// launchable has been launched. A `schedule` call therefore costs
+/// `O(launches + ready jobs)` rather than `O(alive jobs)`.
 #[derive(Debug, Default, Clone)]
 pub struct Fifo {
     /// Alive jobs that may still have launchable work, `(arrival, id)`
@@ -53,6 +54,17 @@ impl Scheduler for Fifo {
         }
         if let Some(j) = state.job(task.job) {
             if j.is_alive() && j.map_phase_complete() && j.num_unscheduled(Phase::Reduce) > 0 {
+                self.ready.insert((j.arrival(), task.job));
+            }
+        }
+    }
+
+    fn on_task_unlaunched(&mut self, task: TaskId, state: &ClusterState<'_>) {
+        // A crash returned this task to the unscheduled pool: the job has
+        // launchable work again even though no arrival or Map completion
+        // occurred, so it must rejoin the ready set (insert is idempotent).
+        if let Some(j) = state.job(task.job) {
+            if j.is_alive() {
                 self.ready.insert((j.arrival(), task.job));
             }
         }

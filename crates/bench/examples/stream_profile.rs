@@ -40,6 +40,7 @@ fn main() {
         machines,
         seeds: vec![2015],
         source: WorkloadSource::Streaming,
+        fault: mapreduce_sim::FaultPlan::none(),
     };
     let seed = scenario.seeds[0];
 

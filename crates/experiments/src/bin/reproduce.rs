@@ -5,7 +5,7 @@
 //! reproduce [EXPERIMENT] [--scale full|<num_jobs>] [--seeds N]
 //!
 //! EXPERIMENT: all (default) | table2 | fig1 | fig2 | fig3 | fig4 | fig5 |
-//!             fig6 | theorem1 | ablation
+//!             fig6 | fig7 | theorem1 | ablation
 //! --scale     "full" runs the paper-scale scenario (6 064 jobs, 12 000
 //!             machines, slow); a number runs a scaled-down scenario with
 //!             that many jobs (default 600).
@@ -14,7 +14,7 @@
 //! ```
 
 use mapreduce_experiments::Scenario;
-use mapreduce_experiments::{ablation, fig1, fig2, fig3, fig4, fig5, fig6, table2, theorem1};
+use mapreduce_experiments::{ablation, fig1, fig2, fig3, fig4, fig5, fig6, fig7, table2, theorem1};
 
 struct Options {
     experiment: String,
@@ -64,7 +64,7 @@ fn parse_args() -> Options {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: reproduce [all|table2|fig1|fig2|fig3|fig4|fig5|fig6|theorem1|ablation] \
+                    "usage: reproduce [all|table2|fig1|fig2|fig3|fig4|fig5|fig6|fig7|theorem1|ablation] \
                      [--scale full|<num_jobs>] [--seeds N]"
                 );
                 std::process::exit(0);
@@ -94,7 +94,8 @@ fn scenario_for(options: &Options) -> Scenario {
 fn main() {
     let options = parse_args();
     let known = [
-        "all", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "theorem1", "ablation",
+        "all", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "theorem1",
+        "ablation",
     ];
     if !known.contains(&options.experiment.as_str()) {
         eprintln!("unknown experiment: {}", options.experiment);
@@ -159,6 +160,10 @@ fn main() {
     if run_all || experiment == "fig6" {
         let result = fig6::run(&scenario);
         println!("{}", fig6::render(&result));
+    }
+    if run_all || experiment == "fig7" {
+        let result = fig7::run(&scenario);
+        println!("{}", fig7::render(&result));
     }
     if run_all || experiment == "theorem1" {
         println!("{}", theorem1::render(&theorem1::run(&scenario, 0.0, true)));

@@ -7,7 +7,7 @@
 //!
 //! * [`cell_fingerprint`] — the canonical [`Fingerprint`] of a cell: the
 //!   FNV-1a-128 hash of a canonical JSON document covering the
-//!   [`SimConfig`] the runner builds (machines, seed, speed, straggler
+//!   [`SimConfig`](mapreduce_sim::SimConfig) the runner builds (machines, seed, speed, straggler
 //!   model, …), the workload description ([`GoogleTraceProfile`] +
 //!   [`WorkloadSource`]) and the scheduler id with its parameters. Two cells
 //!   agree on their fingerprint iff they agree on everything that can
@@ -26,7 +26,7 @@
 
 use crate::runner::SchedulerKind;
 use crate::scenario::{Scenario, WorkloadSource};
-use mapreduce_sim::{SimConfig, SimOutcome};
+use mapreduce_sim::SimOutcome;
 use mapreduce_support::hash::{Fingerprint, Fnv1a128};
 use mapreduce_support::json::{JsonValue, ToJson};
 use std::collections::HashMap;
@@ -48,7 +48,11 @@ use std::time::SystemTime;
 /// editing the file colds its cells instead of silently serving outcomes of
 /// the old content.
 pub fn cell_fingerprint(kind: SchedulerKind, scenario: &Scenario, seed: u64) -> Fingerprint {
-    let config = SimConfig::new(scenario.machines).with_seed(seed);
+    // The same construction the runner uses, so every scenario knob that
+    // reaches the engine (machine count, fault plan) reaches the hash; an
+    // empty fault plan serialises to nothing, keeping pre-fault fingerprints
+    // (and every persisted cache keyed by them) valid.
+    let config = scenario.sim_config(seed);
     let mut workload = vec![
         ("profile", scenario.profile.to_json()),
         ("source", scenario.source.to_json()),
@@ -334,6 +338,20 @@ mod tests {
         let mut more_seeds = base.clone();
         more_seeds.seeds = vec![1, 2, 3];
         assert_eq!(reference, fp(SchedulerKind::Fifo, &more_seeds, 1));
+        // A fault plan colds the cell; an explicitly empty one does not.
+        use mapreduce_sim::{FaultClass, FaultPlan};
+        assert_ne!(
+            reference,
+            fp(
+                SchedulerKind::Fifo,
+                &base.with_fault(FaultPlan::new(vec![FaultClass::crashes(8, 400.0, 50.0)])),
+                1
+            )
+        );
+        assert_eq!(
+            reference,
+            fp(SchedulerKind::Fifo, &base.with_fault(FaultPlan::none()), 1)
+        );
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! | [`fig4`] | Fig. 4 — CDF of small-job flowtime, SRPTMS+C vs SCA vs Mantri |
 //! | [`fig5`] | Fig. 5 — CDF of big-job flowtime |
 //! | [`fig6`] | Fig. 6 — weighted/unweighted average flowtime comparison |
+//! | [`fig7`] | Fig. 7 — failure-regime sweep (not in the paper): flowtime vs machine MTBF |
 //! | [`theorem1`] | Theorem 1 / Remark 2 — offline bound check |
 //! | [`ablation`] | design ablations (cloning, rσ term, ε extremes) |
 
@@ -39,6 +40,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod fig7;
 pub mod runner;
 pub mod scenario;
 pub mod table2;

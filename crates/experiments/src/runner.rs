@@ -13,7 +13,7 @@
 
 use crate::cache::{cell_fingerprint, OutcomeCache};
 use crate::scenario::{Scenario, WorkloadSource};
-use mapreduce_baselines::{FairScheduler, Fifo, Late, Mantri, Sca, SrptNoClone};
+use mapreduce_baselines::{FairScheduler, Fifo, Late, Mantri, Restart, Sca, SrptNoClone};
 use mapreduce_metrics::FlowtimeSummary;
 use mapreduce_sched::{OfflineSrpt, SrptMsC, SrptMsCConfig};
 use mapreduce_sim::{Scheduler, SimConfig, SimOutcome, Simulation};
@@ -71,6 +71,8 @@ pub enum SchedulerKind {
     },
     /// LATE speculative execution.
     Late,
+    /// Kill-and-restart speculative execution.
+    Restart,
 }
 
 impl SchedulerKind {
@@ -108,6 +110,7 @@ impl SchedulerKind {
             SchedulerKind::Fifo => Box::new(Fifo::new()),
             SchedulerKind::SrptNoClone { r } => Box::new(SrptNoClone::new(r)),
             SchedulerKind::Late => Box::new(Late::new()),
+            SchedulerKind::Restart => Box::new(Restart::new()),
         }
     }
 
@@ -144,6 +147,7 @@ impl SchedulerKind {
             SchedulerKind::Fifo => "FIFO".to_string(),
             SchedulerKind::SrptNoClone { .. } => "SRPT (no cloning)".to_string(),
             SchedulerKind::Late => "LATE".to_string(),
+            SchedulerKind::Restart => "Restart".to_string(),
         }
     }
 }
@@ -162,6 +166,7 @@ impl ToJson for SchedulerKind {
                     SchedulerKind::Fair => "Fair",
                     SchedulerKind::Fifo => "Fifo",
                     SchedulerKind::Late => "Late",
+                    SchedulerKind::Restart => "Restart",
                     _ => unreachable!("parameterised kinds covered above"),
                 }
                 .to_string(),
@@ -179,6 +184,7 @@ impl FromJson for SchedulerKind {
                 "Fair" => Ok(SchedulerKind::Fair),
                 "Fifo" => Ok(SchedulerKind::Fifo),
                 "Late" => Ok(SchedulerKind::Late),
+                "Restart" => Ok(SchedulerKind::Restart),
                 other => Err(JsonError::new(format!("unknown scheduler `{other}`"))),
             };
         }
@@ -250,8 +256,33 @@ pub fn run_scheduler_from_source(
 /// involved. This is the ground-truth computation every cached path must
 /// reproduce bit for bit; the experiment service's worker pool goes through
 /// [`run_cells`] for cache misses.
+///
+/// Unlike the raw [`run_scheduler`]/[`run_scheduler_from_source`] entry
+/// points, cells run under [`Scenario::sim_config`], so scenario-level knobs
+/// (today: the fault plan) reach the engine on every cached and uncached
+/// path alike.
 pub fn run_cell(kind: SchedulerKind, scenario: &Scenario, seed: u64) -> SimOutcome {
-    run_scheduler_from_source(kind, scenario.job_source(seed), scenario.machines, seed)
+    let config = scenario.sim_config(seed);
+    let mut scheduler = kind.build();
+    Simulation::from_source(config, scenario.job_source(seed))
+        .run(scheduler.as_mut())
+        .unwrap_or_else(|e| panic!("simulation with {} failed: {e}", kind.label()))
+}
+
+/// [`run_cell`] over an already-materialised trace — the shared-conversion
+/// path for Google CSV workloads, bit-identical to `run_cell` of the same
+/// `(kind, seed)`.
+fn run_cell_on_trace(
+    kind: SchedulerKind,
+    scenario: &Scenario,
+    trace: &Trace,
+    seed: u64,
+) -> SimOutcome {
+    let config = scenario.sim_config(seed);
+    let mut scheduler = kind.build();
+    Simulation::new(config, trace)
+        .run(scheduler.as_mut())
+        .unwrap_or_else(|e| panic!("simulation with {} failed: {e}", kind.label()))
 }
 
 /// Simulates a batch of cells of one scenario in parallel (order-preserving,
@@ -264,7 +295,7 @@ pub fn run_cells(scenario: &Scenario, cells: &[(SchedulerKind, u64)]) -> Vec<Sim
     mapreduce_support::par_map(cells, |_, &(kind, seed)| {
         if is_csv {
             let trace = shared.get_or_init(|| scenario.trace(seed));
-            run_scheduler(kind, trace, scenario.machines, seed)
+            run_cell_on_trace(kind, scenario, trace, seed)
         } else {
             run_cell(kind, scenario, seed)
         }
@@ -304,7 +335,7 @@ pub fn run_scheduler_averaged_with(
     let simulate = |seed: u64| -> SimOutcome {
         if is_csv {
             let trace = shared.get_or_init(|| scenario.trace(seed));
-            run_scheduler(kind, trace, scenario.machines, seed)
+            run_cell_on_trace(kind, scenario, trace, seed)
         } else {
             run_cell(kind, scenario, seed)
         }

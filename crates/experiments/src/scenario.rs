@@ -1,5 +1,6 @@
 //! Experiment scenarios: workload source, cluster size and trial seeds.
 
+use mapreduce_sim::{FaultPlan, SimConfig};
 use mapreduce_support::json::{FromJson, JsonError, JsonValue, ToJson};
 use mapreduce_workload::{
     GoogleCsvOptions, GoogleTraceProfile, GoogleTraceSource, JobSource, MaterializedSource,
@@ -87,6 +88,10 @@ pub struct Scenario {
     pub seeds: Vec<u64>,
     /// How the workload is fed to the engine (see [`WorkloadSource`]).
     pub source: WorkloadSource,
+    /// Machine-dynamics fault plan injected into every cell of the scenario.
+    /// Empty by default — fault-free cells are bit-identical to runs
+    /// predating the fault subsystem.
+    pub fault: FaultPlan,
 }
 
 impl Scenario {
@@ -98,6 +103,7 @@ impl Scenario {
             machines: 12_000,
             seeds: (0..10).map(|i| 2015 + i).collect(),
             source: WorkloadSource::Materialized,
+            fault: FaultPlan::none(),
         }
     }
 
@@ -110,6 +116,7 @@ impl Scenario {
             machines,
             seeds: (0..seeds as u64).map(|i| 2015 + i).collect(),
             source: WorkloadSource::Materialized,
+            fault: FaultPlan::none(),
         }
     }
 
@@ -138,6 +145,7 @@ impl Scenario {
             machines,
             seeds: vec![2015],
             source: WorkloadSource::Streaming,
+            fault: FaultPlan::none(),
         }
     }
 
@@ -164,6 +172,7 @@ impl Scenario {
             machines,
             seeds: vec![2015],
             source: WorkloadSource::Streaming,
+            fault: FaultPlan::none(),
         }
     }
 
@@ -255,16 +264,50 @@ impl Scenario {
             ..self.clone()
         }
     }
+
+    /// Returns a copy with a machine-dynamics fault plan attached (used by
+    /// the Fig. 7 failure-regime sweep).
+    ///
+    /// # Panics
+    /// Panics if the plan covers more machines than the scenario has — a
+    /// malformed sweep definition, not a runtime condition.
+    pub fn with_fault(&self, fault: FaultPlan) -> Self {
+        fault.validate(self.machines);
+        Scenario {
+            fault,
+            ..self.clone()
+        }
+    }
+
+    /// The [`SimConfig`] every cell of this scenario runs under: the single
+    /// place where scenario knobs (machines, fault plan) combine with a
+    /// seed. All runner paths and the cache fingerprint go through this, so
+    /// a scenario field that affects the simulation cannot silently escape
+    /// the cache key.
+    pub fn sim_config(&self, seed: u64) -> SimConfig {
+        let config = SimConfig::new(self.machines).with_seed(seed);
+        if self.fault.is_empty() {
+            config
+        } else {
+            config.with_fault_plan(self.fault.clone())
+        }
+    }
 }
 
 impl ToJson for Scenario {
     fn to_json(&self) -> JsonValue {
-        JsonValue::object([
+        let mut fields = vec![
             ("profile", self.profile.to_json()),
             ("machines", self.machines.to_json()),
             ("seeds", self.seeds.to_json()),
             ("source", self.source.to_json()),
-        ])
+        ];
+        // Emitted only when non-empty, so fault-free scenario documents (and
+        // anything fingerprinting them) are byte-identical to pre-fault ones.
+        if !self.fault.is_empty() {
+            fields.push(("fault", self.fault.to_json()));
+        }
+        JsonValue::object(fields)
     }
 }
 
@@ -279,6 +322,11 @@ impl FromJson for Scenario {
                 Some(v) => WorkloadSource::from_json(v)?,
                 None => WorkloadSource::Materialized,
             },
+            // Absent in requests written before fault injection existed.
+            fault: match value.get("fault") {
+                Some(v) => FaultPlan::from_json(v)?,
+                None => FaultPlan::none(),
+            },
         })
     }
 }
@@ -291,12 +339,15 @@ mod tests {
     fn scenario_json_roundtrip() {
         // The experiment service receives scenarios over the wire; every
         // source kind must roundtrip exactly.
+        use mapreduce_sim::FaultClass;
         for scenario in [
             Scenario::scaled(60, 2),
             Scenario::streaming(40, 1).with_machines(17),
             Scenario::test().with_source(WorkloadSource::GoogleCsv {
                 path: PathBuf::from("tests/fixtures/google_sample.csv"),
             }),
+            Scenario::scaled(60, 1)
+                .with_fault(FaultPlan::new(vec![FaultClass::crashes(8, 500.0, 60.0)])),
         ] {
             let json = scenario.to_json().to_compact_string();
             let back = Scenario::from_json(&JsonValue::parse(&json).unwrap()).unwrap();
@@ -310,6 +361,24 @@ mod tests {
         }
         let back = Scenario::from_json(&legacy).unwrap();
         assert_eq!(back.source, WorkloadSource::Materialized);
+        assert!(back.fault.is_empty());
+        // Fault-free scenarios serialise without a fault field at all, so
+        // their documents (and fingerprints derived from them) are unchanged.
+        assert!(Scenario::scaled(10, 1).to_json().get("fault").is_none());
+    }
+
+    #[test]
+    fn sim_config_carries_scenario_knobs() {
+        use mapreduce_sim::FaultClass;
+        let plain = Scenario::scaled(60, 1);
+        let cfg = plain.sim_config(7);
+        assert_eq!(cfg.num_machines, plain.machines);
+        assert_eq!(cfg.seed, 7);
+        assert!(cfg.fault_plan.is_empty());
+
+        let plan = FaultPlan::new(vec![FaultClass::crashes(4, 300.0, 40.0)]);
+        let faulty = plain.with_fault(plan.clone());
+        assert_eq!(faulty.sim_config(7).fault_plan, plan);
     }
 
     #[test]

@@ -3,15 +3,20 @@
 //! cache.
 //!
 //! ```text
-//! serve [--cache <path>] [--memory] [--max-entries N] [--smoke]
+//! serve [--cache <path>] [--memory] [--max-entries N] [--max-cells N]
+//!       [--max-line-bytes N] [--smoke]
 //!
-//! --cache        JSON-lines cache file (default: target/sweep-cache.jsonl;
-//!                created on first store, safe to delete at any time)
-//! --memory       in-process cache only, nothing persisted
-//! --max-entries  cap the cache index (oldest-first eviction)
-//! --smoke        run a built-in cold→warm round-trip through the line
-//!                protocol and exit non-zero if the warm pass simulates
-//!                anything or diverges from the cold pass
+//! --cache           JSON-lines cache file (default: target/sweep-cache.jsonl;
+//!                   created on first store, safe to delete at any time)
+//! --memory          in-process cache only, nothing persisted
+//! --max-entries     cap the cache index (oldest-first eviction)
+//! --max-cells       per-request cell cap; bigger sweeps get an error line
+//!                   (default 4096)
+//! --max-line-bytes  per-request input line cap; longer lines are discarded
+//!                   in constant memory (default 1 MiB)
+//! --smoke           run a built-in cold→warm round-trip through the line
+//!                   protocol and exit non-zero if the warm pass simulates
+//!                   anything or diverges from the cold pass
 //! ```
 //!
 //! Example session (one request per line on stdin):
@@ -23,7 +28,10 @@
 //! EOF
 //! ```
 
-use mapreduce_server::{serve_lines, ResultCache, SweepRequest, SweepResponse, SweepServer};
+use mapreduce_server::{
+    serve_lines, serve_lines_with, ResultCache, ServeOptions, SweepRequest, SweepResponse,
+    SweepServer,
+};
 use mapreduce_support::json::{FromJson, JsonValue, ToJson};
 use std::process::ExitCode;
 
@@ -31,7 +39,25 @@ struct Options {
     cache_path: String,
     in_memory: bool,
     max_entries: Option<usize>,
+    serve: ServeOptions,
     smoke: bool,
+}
+
+/// Parses a positive integer flag value, exiting with usage status on junk.
+fn positive(flag: &str, value: Option<String>) -> usize {
+    let value = value.unwrap_or_else(|| {
+        eprintln!("{flag} needs a number");
+        std::process::exit(2);
+    });
+    let parsed: usize = value.parse().unwrap_or_else(|_| {
+        eprintln!("invalid {flag} value: {value}");
+        std::process::exit(2);
+    });
+    if parsed == 0 {
+        eprintln!("{flag} must be at least 1");
+        std::process::exit(2);
+    }
+    parsed
 }
 
 fn parse_args() -> Options {
@@ -39,6 +65,7 @@ fn parse_args() -> Options {
         cache_path: "target/sweep-cache.jsonl".to_string(),
         in_memory: false,
         max_entries: None,
+        serve: ServeOptions::default(),
         smoke: false,
     };
     let mut args = std::env::args().skip(1);
@@ -52,24 +79,19 @@ fn parse_args() -> Options {
             }
             "--memory" => options.in_memory = true,
             "--max-entries" => {
-                let value = args.next().unwrap_or_else(|| {
-                    eprintln!("--max-entries needs a number");
-                    std::process::exit(2);
-                });
-                let parsed: usize = value.parse().unwrap_or_else(|_| {
-                    eprintln!("invalid --max-entries value: {value}");
-                    std::process::exit(2);
-                });
-                if parsed == 0 {
-                    eprintln!("--max-entries must be at least 1");
-                    std::process::exit(2);
-                }
-                options.max_entries = Some(parsed);
+                options.max_entries = Some(positive("--max-entries", args.next()));
+            }
+            "--max-cells" => {
+                options.serve.max_cells = positive("--max-cells", args.next());
+            }
+            "--max-line-bytes" => {
+                options.serve.max_line_bytes = positive("--max-line-bytes", args.next());
             }
             "--smoke" => options.smoke = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: serve [--cache <path>] [--memory] [--max-entries N] [--smoke]\n\
+                    "usage: serve [--cache <path>] [--memory] [--max-entries N] \
+                     [--max-cells N] [--max-line-bytes N] [--smoke]\n\
                      reads line-delimited JSON requests from stdin; see the crate docs for \
                      the protocol"
                 );
@@ -194,7 +216,7 @@ fn main() -> ExitCode {
 
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
-    match serve_lines(&server, stdin.lock(), stdout.lock()) {
+    match serve_lines_with(&server, stdin.lock(), stdout.lock(), options.serve) {
         Ok(stats) => {
             eprintln!(
                 "serve: {} request(s), {} error line(s), {}",

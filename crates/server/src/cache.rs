@@ -16,8 +16,9 @@
 //! panic. Re-stored fingerprints append a fresh line; the in-memory index
 //! keeps the latest, and [`ResultCache::compact`] rewrites the file to one
 //! line per live entry (dropping duplicates, corrupt lines and evicted
-//! entries). Deleting the cache file is always safe: it only ever holds
-//! recomputable results.
+//! entries) — atomically, via a synced temporary file renamed over the
+//! store, so a crash mid-compaction never truncates the cache. Deleting
+//! the cache file is always safe: it only ever holds recomputable results.
 //!
 //! # Eviction
 //!
@@ -68,6 +69,29 @@ fn entry_line(fingerprint: Fingerprint, outcome: &SimOutcome) -> String {
         ("outcome", outcome.to_json()),
     ])
     .to_compact_string()
+}
+
+/// Replaces `path` atomically: the content is written to a sibling
+/// temporary file, synced, and renamed over the target. A crash at any
+/// point leaves either the old file or the complete new one.
+fn write_atomically(path: &Path, content: &str) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    {
+        let mut file = File::create(&tmp)?;
+        file.write_all(content.as_bytes())?;
+        file.sync_all()?;
+    }
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            // The store still holds its pre-rewrite content; don't leave
+            // the orphaned temp file behind.
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
 }
 
 /// Parses one store line; `None` for anything malformed.
@@ -207,6 +231,15 @@ impl ResultCache {
     /// corrupt lines, and entries evicted by the capacity cap. A no-op for
     /// in-memory caches.
     ///
+    /// The rewrite is **atomic**: the new content goes to a sibling
+    /// temporary file (synced to disk) and replaces the store via
+    /// `rename`, so a crash mid-compaction leaves either the old file or
+    /// the new one — never a truncated mixture. Appends from [`store`]
+    /// remain crash-bounded by the line format instead: a torn final line
+    /// is skipped (and recomputed) on the next open.
+    ///
+    /// [`store`]: OutcomeCache::store
+    ///
     /// # Errors
     /// Returns an error if the file cannot be rewritten.
     pub fn compact(&self) -> std::io::Result<()> {
@@ -221,7 +254,10 @@ impl ResultCache {
                 text.push('\n');
             }
         }
-        std::fs::write(path, text)?;
+        // Close the old append handle before the rename so no further
+        // appends land in the file being replaced.
+        inner.file = None;
+        write_atomically(path, &text)?;
         inner.file = Some(OpenOptions::new().append(true).open(path)?);
         Ok(())
     }
@@ -349,6 +385,65 @@ mod tests {
         assert_eq!(cache.lookup(fp), Some(outcome("v2", 2)));
         cache.compact().unwrap();
         assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_final_line_recovers_by_skip_and_recompute() {
+        // A crash mid-append leaves a torn final line. The reopen must keep
+        // every complete entry, count exactly one skipped line, and let the
+        // torn cell be recomputed and re-stored as if it were a cold miss.
+        let path = temp_path("truncated");
+        let _ = std::fs::remove_file(&path);
+        let intact = Fingerprint::of_bytes(b"intact");
+        let torn = Fingerprint::of_bytes(b"torn");
+        {
+            let cache = ResultCache::open(&path).unwrap();
+            cache.store(intact, &outcome("fifo", 3));
+            cache.store(torn, &outcome("srpt", 8));
+        }
+        // Chop the file mid-way through the final line.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let cut = text.trim_end().len() - 10;
+        std::fs::write(&path, &text[..cut]).unwrap();
+
+        let cache = ResultCache::open(&path).unwrap();
+        assert_eq!(cache.skipped_lines(), 1);
+        assert_eq!(cache.lookup(intact), Some(outcome("fifo", 3)));
+        assert!(cache.lookup(torn).is_none(), "torn entry reads as a miss");
+        // The recompute path: store again, and a clean reopen sees both.
+        cache.store(torn, &outcome("srpt", 8));
+        cache.compact().unwrap();
+        let clean = ResultCache::open(&path).unwrap();
+        assert_eq!(clean.skipped_lines(), 0);
+        assert_eq!(clean.len(), 2);
+        assert_eq!(clean.lookup(torn), Some(outcome("srpt", 8)));
+        // The atomic rewrite leaves no temp file behind.
+        let mut tmp = path.clone().into_os_string();
+        tmp.push(".tmp");
+        assert!(!PathBuf::from(tmp).exists());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compact_is_atomic_under_concurrent_stores() {
+        // Stores racing a compaction must never corrupt the file: every
+        // line on disk afterwards is either parseable or the torn tail of
+        // an append — and a reopen plus compact converges to the index.
+        let path = temp_path("atomic");
+        let _ = std::fs::remove_file(&path);
+        let cache = ResultCache::open(&path).unwrap();
+        for i in 0..16 {
+            let fp = Fingerprint::of_bytes(format!("cell-{i}").as_bytes());
+            cache.store(fp, &outcome("x", i));
+            if i % 4 == 0 {
+                cache.compact().unwrap();
+            }
+        }
+        cache.compact().unwrap();
+        let reopened = ResultCache::open(&path).unwrap();
+        assert_eq!(reopened.skipped_lines(), 0);
+        assert_eq!(reopened.len(), 16);
         let _ = std::fs::remove_file(&path);
     }
 

@@ -46,5 +46,5 @@ pub mod service;
 
 pub use cache::ResultCache;
 pub use mapreduce_support::hash::Fingerprint;
-pub use protocol::{serve_lines, Request, ServeStats};
+pub use protocol::{serve_lines, serve_lines_with, Request, ServeOptions, ServeStats};
 pub use service::{CellResult, SweepRequest, SweepResponse, SweepServer};

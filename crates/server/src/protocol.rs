@@ -17,11 +17,19 @@
 //! Malformed lines produce `{"ok":false,"error":"..."}` and the loop keeps
 //! serving — a multi-tenant stdin feed must never be taken down by one bad
 //! request. Blank lines are ignored; EOF ends the loop like `shutdown`.
+//!
+//! Two resource guards protect the loop from hostile or accidental abuse
+//! (see [`ServeOptions`]): request lines longer than
+//! [`ServeOptions::max_line_bytes`] are discarded without being buffered
+//! (the reader skips to the next newline in constant memory), and sweep
+//! requests expanding to more than [`ServeOptions::max_cells`] cells are
+//! rejected before any simulation starts. Both degrade to an error
+//! response line, never an OOM or a hang.
 
 use crate::service::{SweepRequest, SweepServer};
 use mapreduce_experiments::cache::OutcomeCache;
 use mapreduce_support::json::{FromJson, JsonError, JsonValue, ToJson};
-use std::io::{BufRead, Write};
+use std::io::{BufRead, Read, Write};
 
 /// A parsed protocol request.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,6 +55,81 @@ impl FromJson for Request {
             other => Err(JsonError::new(format!("unknown cmd `{other}`"))),
         }
     }
+}
+
+/// Resource guards of one serving session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Maximum cells (`schedulers × seeds`) one sweep request may expand
+    /// into; larger requests are answered with an error line.
+    pub max_cells: usize,
+    /// Maximum bytes of one request line; longer lines are discarded in
+    /// constant memory and answered with an error line.
+    pub max_line_bytes: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            max_cells: 4096,
+            max_line_bytes: 1 << 20,
+        }
+    }
+}
+
+/// What one bounded line read produced.
+enum LineRead {
+    /// A complete line within the limit (trailing newline stripped).
+    Line,
+    /// The line exceeded the limit; its remainder was skipped unbuffered.
+    Oversized,
+    /// End of input.
+    Eof,
+}
+
+/// Reads one line of at most `max_bytes` bytes into `buf`. An over-long
+/// line is *not* buffered: at most `max_bytes + 1` bytes are held while the
+/// rest is skipped chunk-by-chunk straight off the reader's internal
+/// buffer, so a gigabyte request line costs a gigabyte of I/O but constant
+/// memory.
+fn read_bounded_line<R: BufRead>(
+    reader: &mut R,
+    max_bytes: usize,
+    buf: &mut Vec<u8>,
+) -> std::io::Result<LineRead> {
+    buf.clear();
+    let n = Read::take(&mut *reader, max_bytes as u64 + 1).read_until(b'\n', buf)?;
+    if n == 0 {
+        return Ok(LineRead::Eof);
+    }
+    if buf.last() == Some(&b'\n') {
+        buf.pop();
+        return Ok(LineRead::Line);
+    }
+    if n <= max_bytes {
+        // Final line of the stream, no trailing newline.
+        return Ok(LineRead::Line);
+    }
+    // Limit hit with no newline in sight: drop what we buffered and skip
+    // to the end of the line.
+    buf.clear();
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            break;
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                reader.consume(pos + 1);
+                break;
+            }
+            None => {
+                let len = chunk.len();
+                reader.consume(len);
+            }
+        }
+    }
+    Ok(LineRead::Oversized)
 }
 
 /// Accounting of one [`serve_lines`] session.
@@ -87,7 +170,8 @@ fn write_line<W: Write>(writer: &mut W, value: &JsonValue) -> std::io::Result<()
 }
 
 /// Serves line-delimited requests from `reader`, writing one response line
-/// each to `writer`, until EOF or a `shutdown` request.
+/// each to `writer`, until EOF or a `shutdown` request — with the default
+/// [`ServeOptions`] resource guards.
 ///
 /// # Errors
 /// Returns an error only for transport I/O failures; malformed request
@@ -95,11 +179,48 @@ fn write_line<W: Write>(writer: &mut W, value: &JsonValue) -> std::io::Result<()
 pub fn serve_lines<R: BufRead, W: Write>(
     server: &SweepServer,
     reader: R,
+    writer: W,
+) -> std::io::Result<ServeStats> {
+    serve_lines_with(server, reader, writer, ServeOptions::default())
+}
+
+/// [`serve_lines`] with explicit resource guards.
+///
+/// # Errors
+/// Returns an error only for transport I/O failures; malformed request
+/// content is answered with an `{"ok":false,...}` line instead.
+pub fn serve_lines_with<R: BufRead, W: Write>(
+    server: &SweepServer,
+    mut reader: R,
     mut writer: W,
+    options: ServeOptions,
 ) -> std::io::Result<ServeStats> {
     let mut stats = ServeStats::default();
-    for line in reader.lines() {
-        let line = line?;
+    let mut buf = Vec::new();
+    loop {
+        match read_bounded_line(&mut reader, options.max_line_bytes, &mut buf)? {
+            LineRead::Eof => break,
+            LineRead::Oversized => {
+                stats.errors += 1;
+                write_line(
+                    &mut writer,
+                    &JsonValue::object([
+                        ("ok", false.to_json()),
+                        (
+                            "error",
+                            format!(
+                                "request line exceeds {} bytes and was dropped",
+                                options.max_line_bytes
+                            )
+                            .to_json(),
+                        ),
+                    ]),
+                )?;
+                continue;
+            }
+            LineRead::Line => {}
+        }
+        let line = String::from_utf8_lossy(&buf);
         if line.trim().is_empty() {
             continue;
         }
@@ -115,12 +236,21 @@ pub fn serve_lines<R: BufRead, W: Write>(
                 )?;
             }
             Ok(Request::Sweep(sweep)) => {
-                // Degenerate requests are rejected up front; anything that
-                // still panics inside the simulation (a stalled scheduler,
-                // an invalid generator profile) is caught and answered as
-                // an error line — one tenant's bad request must never take
-                // the server down.
-                let result = sweep.validate().and_then(|()| {
+                // Oversized requests are capped and degenerate requests
+                // rejected up front; anything that still panics inside the
+                // simulation (a stalled scheduler, an invalid generator
+                // profile) is caught and answered as an error line — one
+                // tenant's bad request must never take the server down.
+                let capped = if sweep.num_cells() > options.max_cells {
+                    Err(format!(
+                        "request expands to {} cells, over the per-request cap of {}",
+                        sweep.num_cells(),
+                        options.max_cells
+                    ))
+                } else {
+                    Ok(())
+                };
+                let result = capped.and_then(|()| sweep.validate()).and_then(|()| {
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| server.submit(&sweep)))
                         .map_err(|payload| {
                             let message = payload
@@ -326,6 +456,73 @@ mod tests {
         assert_eq!(lines[0].field("ok").unwrap().as_bool(), Some(false));
         let message = lines[0].field("error").unwrap().as_str().unwrap();
         assert!(message.contains("sweep failed"), "got {message}");
+        assert_eq!(lines[1].field("ok").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn oversized_lines_are_dropped_with_an_error_and_serving_continues() {
+        let server = server();
+        let request = request_line();
+        let options = ServeOptions {
+            max_line_bytes: request.len(),
+            ..ServeOptions::default()
+        };
+        // A hostile line well over the limit (never valid JSON, never
+        // buffered whole), then a legitimate request on the same stream.
+        let input = format!("{}\n{request}\n", "x".repeat(8 * 1024 + request.len()));
+        let mut out = Vec::new();
+        let stats = serve_lines_with(&server, input.as_bytes(), &mut out, options).unwrap();
+        assert_eq!(stats.errors, 1);
+        assert_eq!(stats.requests, 1);
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<JsonValue> = text.lines().map(|l| JsonValue::parse(l).unwrap()).collect();
+        assert_eq!(lines[0].field("ok").unwrap().as_bool(), Some(false));
+        let message = lines[0].field("error").unwrap().as_str().unwrap();
+        assert!(message.contains("bytes and was dropped"), "got {message}");
+        assert_eq!(lines[1].field("ok").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn line_exactly_at_the_limit_is_served() {
+        let server = server();
+        let request = request_line();
+        let options = ServeOptions {
+            max_line_bytes: request.len(),
+            ..ServeOptions::default()
+        };
+        let input = format!("{request}\n");
+        let mut out = Vec::new();
+        let stats = serve_lines_with(&server, input.as_bytes(), &mut out, options).unwrap();
+        assert_eq!((stats.requests, stats.errors), (1, 0));
+    }
+
+    #[test]
+    fn over_cap_sweeps_are_rejected_before_simulation() {
+        let server = server();
+        let options = ServeOptions {
+            max_cells: 1,
+            ..ServeOptions::default()
+        };
+        // Two schedulers × one seed = two cells: over the cap of one.
+        let request = SweepRequest::new(
+            Scenario::scaled(12, 1),
+            vec![SchedulerKind::Fifo, SchedulerKind::Restart],
+        );
+        let big = match request.to_json() {
+            JsonValue::Object(mut map) => {
+                map.insert("cmd".into(), JsonValue::String("sweep".into()));
+                JsonValue::Object(map).to_compact_string()
+            }
+            _ => unreachable!(),
+        };
+        let input = format!("{big}\n{}\n", request_line());
+        let mut out = Vec::new();
+        let stats = serve_lines_with(&server, input.as_bytes(), &mut out, options).unwrap();
+        assert_eq!((stats.errors, stats.requests), (1, 1));
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<JsonValue> = text.lines().map(|l| JsonValue::parse(l).unwrap()).collect();
+        let message = lines[0].field("error").unwrap().as_str().unwrap();
+        assert!(message.contains("per-request cap"), "got {message}");
         assert_eq!(lines[1].field("ok").unwrap().as_bool(), Some(true));
     }
 

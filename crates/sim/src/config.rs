@@ -80,6 +80,192 @@ impl FromJson for StragglerModel {
     }
 }
 
+/// One group of machines sharing identical fault dynamics.
+///
+/// A class is either a **crash** class (`slowdown: None`) — machines
+/// alternate between exponentially distributed up epochs (mean
+/// `mean_up_slots`, the MTBF) and down epochs (mean `mean_down_slots`, the
+/// MTTR); going down kills every resident copy and removes the machine from
+/// the schedulable pool — or a **brown-out** class (`slowdown: Some(f)`) —
+/// machines stay schedulable but copies *launched* during a degraded epoch
+/// run `f`× slower. Classes cover machine indices consecutively from 0, so a
+/// 100k-machine plan is O(classes) in memory, not O(machines).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultClass {
+    /// Number of machines covered by this class.
+    pub machines: usize,
+    /// Mean length (slots) of a healthy epoch — the MTBF.
+    pub mean_up_slots: f64,
+    /// Mean length (slots) of a failed/degraded epoch — the MTTR.
+    pub mean_down_slots: f64,
+    /// `None` for a crash class; `Some(factor >= 1)` for a brown-out class
+    /// whose degraded epochs multiply launched-copy durations by `factor`.
+    pub slowdown: Option<f64>,
+}
+
+impl FaultClass {
+    /// A crash class: machines fail outright and come back empty.
+    pub fn crashes(machines: usize, mean_up_slots: f64, mean_down_slots: f64) -> Self {
+        FaultClass {
+            machines,
+            mean_up_slots,
+            mean_down_slots,
+            slowdown: None,
+        }
+    }
+
+    /// A brown-out class: machines keep running but copies launched during a
+    /// degraded epoch take `slowdown`× longer.
+    pub fn brownouts(
+        machines: usize,
+        mean_up_slots: f64,
+        mean_down_slots: f64,
+        slowdown: f64,
+    ) -> Self {
+        FaultClass {
+            machines,
+            mean_up_slots,
+            mean_down_slots,
+            slowdown: Some(slowdown),
+        }
+    }
+
+    /// Validates one class in isolation.
+    ///
+    /// # Errors
+    /// Returns a human-readable description of the first problem found.
+    pub fn check(&self) -> Result<(), String> {
+        if self.machines == 0 {
+            return Err("fault class must cover at least one machine".to_string());
+        }
+        if !(self.mean_up_slots.is_finite() && self.mean_up_slots > 0.0) {
+            return Err(format!(
+                "fault class mean_up_slots must be finite and positive, got {}",
+                self.mean_up_slots
+            ));
+        }
+        if !(self.mean_down_slots.is_finite() && self.mean_down_slots > 0.0) {
+            return Err(format!(
+                "fault class mean_down_slots must be finite and positive, got {}",
+                self.mean_down_slots
+            ));
+        }
+        if let Some(factor) = self.slowdown {
+            if !(factor.is_finite() && factor >= 1.0) {
+                return Err(format!(
+                    "fault class slowdown must be finite and >= 1, got {factor}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl ToJson for FaultClass {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("machines", self.machines.to_json()),
+            ("mean_up_slots", self.mean_up_slots.to_json()),
+            ("mean_down_slots", self.mean_down_slots.to_json()),
+            ("slowdown", self.slowdown.to_json()),
+        ])
+    }
+}
+
+impl FromJson for FaultClass {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        Ok(FaultClass {
+            machines: usize::from_json(value.field("machines")?)?,
+            mean_up_slots: f64::from_json(value.field("mean_up_slots")?)?,
+            mean_down_slots: f64::from_json(value.field("mean_down_slots")?)?,
+            slowdown: match value.get("slowdown") {
+                Some(v) => Option::from_json(v)?,
+                None => None,
+            },
+        })
+    }
+}
+
+/// Deterministic machine-dynamics plan: which machines fail (or brown out),
+/// how often, and for how long.
+///
+/// Epoch lengths are sampled from a dedicated RNG stream derived from the
+/// simulation seed, so a plan is a pure function of `(plan, seed)` and two
+/// runs with the same config are bit-identical. The **empty plan is free**:
+/// the engine builds no machine-residency state for it and produces the
+/// bit-identical trajectory of a run without fault injection (pinned by the
+/// golden-suite proptests).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Machine classes, covering machine indices consecutively from 0.
+    /// Machines beyond the covered prefix never fail.
+    pub classes: Vec<FaultClass>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no machine ever fails.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Builds a plan from classes.
+    pub fn new(classes: Vec<FaultClass>) -> Self {
+        FaultPlan { classes }
+    }
+
+    /// Whether the plan injects no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Total number of machines covered by the plan's classes.
+    pub fn covered_machines(&self) -> usize {
+        self.classes.iter().map(|c| c.machines).sum()
+    }
+
+    /// Validates the plan against a cluster size.
+    ///
+    /// # Errors
+    /// Returns a human-readable description of the first problem found:
+    /// an invalid class, or classes covering more machines than exist.
+    pub fn check(&self, num_machines: usize) -> Result<(), String> {
+        for class in &self.classes {
+            class.check()?;
+        }
+        let covered = self.covered_machines();
+        if covered > num_machines {
+            return Err(format!(
+                "fault plan covers {covered} machines but the cluster has {num_machines}"
+            ));
+        }
+        Ok(())
+    }
+
+    /// Panicking form of [`FaultPlan::check`] for builder-style use.
+    ///
+    /// # Panics
+    /// Panics if the plan is invalid for `num_machines` machines.
+    pub fn validate(&self, num_machines: usize) {
+        if let Err(message) = self.check(num_machines) {
+            panic!("{message}");
+        }
+    }
+}
+
+impl ToJson for FaultPlan {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([("classes", self.classes.to_json())])
+    }
+}
+
+impl FromJson for FaultPlan {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        Ok(FaultPlan {
+            classes: Vec::from_json(value.field("classes")?)?,
+        })
+    }
+}
+
 /// Configuration of a single simulation run.
 ///
 /// ```
@@ -136,6 +322,11 @@ pub struct SimConfig {
     /// stage slice, never affects the trajectory, and — like `pipeline` —
     /// is excluded from the JSON encoding. Default `false`.
     pub profile_stages: bool,
+    /// Machine crash/recovery and brown-out dynamics. The default (empty)
+    /// plan injects nothing and is bit-identical to a run without fault
+    /// injection; it is serialised **only when non-empty**, so existing
+    /// experiment-cache fingerprints are unaffected by the knob's existence.
+    pub fault_plan: FaultPlan,
 }
 
 impl SimConfig {
@@ -158,6 +349,7 @@ impl SimConfig {
             event_ring_bits: crate::events::DEFAULT_RING_BITS,
             pipeline: false,
             profile_stages: false,
+            fault_plan: FaultPlan::none(),
         }
     }
 
@@ -227,6 +419,16 @@ impl SimConfig {
         self
     }
 
+    /// Sets the machine-dynamics fault plan.
+    ///
+    /// # Panics
+    /// Panics if the plan is invalid for this cluster size.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        plan.validate(self.num_machines);
+        self.fault_plan = plan;
+        self
+    }
+
     /// Sets the calendar-queue ring width exponent (`2^bits` buckets).
     ///
     /// # Panics
@@ -243,7 +445,7 @@ impl SimConfig {
 
 impl ToJson for SimConfig {
     fn to_json(&self) -> JsonValue {
-        JsonValue::object([
+        let mut fields = vec![
             ("num_machines", self.num_machines.to_json()),
             ("seed", self.seed.to_json()),
             ("machine_speed", self.machine_speed.to_json()),
@@ -256,7 +458,14 @@ impl ToJson for SimConfig {
             ("straggler", self.straggler.to_json()),
             ("periodic_wakeup", self.periodic_wakeup.to_json()),
             ("event_ring_bits", (self.event_ring_bits as u64).to_json()),
-        ])
+        ];
+        // The empty plan is the semantic default and bit-identical to runs
+        // predating fault injection: emitting it only when non-empty keeps
+        // every previously persisted cache fingerprint valid.
+        if !self.fault_plan.is_empty() {
+            fields.push(("fault_plan", self.fault_plan.to_json()));
+        }
+        JsonValue::object(fields)
     }
 }
 
@@ -286,6 +495,12 @@ impl FromJson for SimConfig {
             // cannot change results, so they must not change fingerprints).
             pipeline: false,
             profile_stages: false,
+            // Absent means empty: configs serialised before fault injection
+            // existed (and all no-fault configs since) parse identically.
+            fault_plan: match value.get("fault_plan") {
+                Some(v) => FaultPlan::from_json(v)?,
+                None => FaultPlan::none(),
+            },
         })
     }
 }
@@ -410,5 +625,51 @@ mod tests {
         let json = cfg.to_json().to_compact_string();
         let back = SimConfig::from_json(&JsonValue::parse(&json).unwrap()).unwrap();
         assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn fault_plan_json_roundtrip_and_empty_plan_is_fingerprint_neutral() {
+        // The empty plan must serialise to exactly the pre-fault-injection
+        // document: existing persisted cache fingerprints stay valid.
+        let plain = SimConfig::new(4).to_json();
+        assert!(plain.get("fault_plan").is_none());
+        let back = SimConfig::from_json(&plain).unwrap();
+        assert!(back.fault_plan.is_empty());
+
+        let plan = FaultPlan::new(vec![
+            FaultClass::crashes(2, 500.0, 40.0),
+            FaultClass::brownouts(1, 300.0, 100.0, 2.5),
+        ]);
+        assert_eq!(plan.covered_machines(), 3);
+        let cfg = SimConfig::new(4).with_seed(9).with_fault_plan(plan.clone());
+        let json = cfg.to_json();
+        assert!(json.get("fault_plan").is_some());
+        let back =
+            SimConfig::from_json(&JsonValue::parse(&json.to_compact_string()).unwrap()).unwrap();
+        assert_eq!(back, cfg);
+        assert_eq!(back.fault_plan, plan);
+        // And a non-empty plan changes the canonical document.
+        assert_ne!(
+            json.to_compact_string(),
+            SimConfig::new(4).with_seed(9).to_json().to_compact_string()
+        );
+    }
+
+    #[test]
+    fn fault_plan_validation() {
+        assert!(FaultPlan::none().check(0).is_ok());
+        let over = FaultPlan::new(vec![FaultClass::crashes(5, 100.0, 10.0)]);
+        assert!(over.check(4).is_err());
+        assert!(over.check(5).is_ok());
+        assert!(FaultClass::crashes(0, 100.0, 10.0).check().is_err());
+        assert!(FaultClass::crashes(1, 0.0, 10.0).check().is_err());
+        assert!(FaultClass::crashes(1, 100.0, f64::NAN).check().is_err());
+        assert!(FaultClass::brownouts(1, 100.0, 10.0, 0.5).check().is_err());
+        assert!(FaultClass::brownouts(1, 100.0, 10.0, 1.0).check().is_ok());
+        assert!(std::panic::catch_unwind(|| {
+            SimConfig::new(2)
+                .with_fault_plan(FaultPlan::new(vec![FaultClass::crashes(3, 100.0, 10.0)]))
+        })
+        .is_err());
     }
 }

@@ -52,7 +52,7 @@
 //! maintained [`AliveIndex`] from which each scheduler-facing
 //! [`ClusterState`] snapshot is built in `O(1)`.
 
-use crate::config::{SimConfig, StragglerModel};
+use crate::config::{FaultClass, FaultPlan, SimConfig, StragglerModel};
 use crate::copy::{CopyArena, CopyId, CopyPhase};
 use crate::error::SimError;
 use crate::events::{next_decision, Event, EventQueue};
@@ -141,6 +141,191 @@ struct RunCtx {
     /// Completion records, captured the moment each job completes (its task
     /// storage is released right after); sorted into job-id order at the end.
     records: Vec<JobRecord>,
+    /// Machine-identity state, present only when the run has a non-empty
+    /// [`FaultPlan`]. Fault-free runs keep the fungible machine-count model
+    /// and never touch it, which is what makes the empty-plan trajectory
+    /// bit-identical to a build without the subsystem.
+    pool: Option<MachinePool>,
+}
+
+impl RunCtx {
+    /// Returns the machine of a departing copy (finished or cancelled while
+    /// its machine is in service) to the idle pool. No-op without a fault
+    /// plan.
+    fn release_machine(&mut self, cid: CopyId) {
+        if let Some(pool) = &mut self.pool {
+            pool.release(cid);
+        }
+    }
+}
+
+/// Stream salt for the fault-injection RNG: machine epochs draw from their
+/// own xoshiro stream, so attaching a fault plan never perturbs the straggler
+/// and clone-resampling draws of the main run RNG.
+const FAULT_RNG_STREAM: u64 = 0xFA17_14F3_C7ED_5EED;
+
+/// Runtime machine identities for fault injection, built from a
+/// [`FaultPlan`].
+///
+/// The fault-free engine treats machines as a fungible count
+/// (`RunStats::available`); killing the copies *resident on a specific
+/// machine* requires identities. The pool pins every launched copy to a
+/// machine and keeps the set of idle in-service machines as a LIFO free-list
+/// with lazy stale-entry deletion: `enlisted[m]` is true iff machine `m` is
+/// up **and** idle, entries whose flag went false (crashed while idle, or
+/// superseded by a newer entry after a down/up cycle) are discarded at pop.
+/// The invariant tying the two models together: the number of live free-list
+/// entries always equals `RunStats::available`.
+///
+/// Fault epochs are sampled lazily — one pending [`Event::MachineDown`] /
+/// [`Event::MachineUp`] per covered machine at any time, the next epoch drawn
+/// when the current one fires — so a plan costs `O(classes)` to store and
+/// `O(1)` per transition, and 100k-machine plans never materialise a
+/// timeline.
+#[derive(Debug)]
+struct MachinePool {
+    /// The plan's classes; class `k` covers machines
+    /// `[class_start[k], class_start[k] + classes[k].machines)`.
+    classes: Vec<FaultClass>,
+    /// First machine index of each class, ascending.
+    class_start: Vec<u32>,
+    /// Copy currently occupying each machine (running or waiting), if any.
+    resident: Vec<Option<CopyId>>,
+    /// LIFO free-list of idle in-service machines, with lazy deletion.
+    free: Vec<u32>,
+    /// `enlisted[m]` ⟺ machine `m` is up and idle (its entry in `free` is
+    /// live).
+    enlisted: Vec<bool>,
+    /// `down[m]` ⟺ machine `m` is crashed out of service.
+    down: Vec<bool>,
+    /// Number of machines currently down.
+    num_down: usize,
+    /// Slot at which each down machine crashed (valid while `down[m]`).
+    down_since: Vec<Slot>,
+    /// Workload multiplier for copies launched on each machine (1.0 = full
+    /// speed; > 1.0 during a brown-out epoch).
+    slow: Vec<f64>,
+    /// Machine occupied by each copy-arena slot (valid while the copy is
+    /// active; stale entries are overwritten on slot reuse).
+    machine_of: Vec<u32>,
+    /// Dedicated epoch-sampling stream (see [`FAULT_RNG_STREAM`]).
+    rng: SimRng,
+    /// Machine-slots of progress lost to fault kills.
+    wasted_work: u64,
+    /// Copies killed because their machine crashed.
+    copies_killed: u64,
+    /// Machine-slots of completed down epochs (still-open epochs are folded
+    /// in by [`MachinePool::final_downtime`]).
+    downtime: u64,
+}
+
+impl MachinePool {
+    fn new(plan: &FaultPlan, num_machines: usize, seed: u64) -> Self {
+        let mut class_start = Vec::with_capacity(plan.classes.len());
+        let mut next = 0u32;
+        for class in &plan.classes {
+            class_start.push(next);
+            next += class.machines as u32;
+        }
+        debug_assert!(next as usize <= num_machines, "plan validated by SimConfig");
+        MachinePool {
+            classes: plan.classes.clone(),
+            class_start,
+            resident: vec![None; num_machines],
+            // LIFO pop yields machine 0 first: launches fill low indices
+            // first, deterministically.
+            free: (0..num_machines as u32).rev().collect(),
+            enlisted: vec![true; num_machines],
+            down: vec![false; num_machines],
+            num_down: 0,
+            down_since: vec![0; num_machines],
+            slow: vec![1.0; num_machines],
+            machine_of: Vec::new(),
+            rng: SimRng::seed_from_u64(seed ^ FAULT_RNG_STREAM),
+            wasted_work: 0,
+            copies_killed: 0,
+            downtime: 0,
+        }
+    }
+
+    /// Queues the first failure/brown-out of every covered machine. Every
+    /// machine starts the run in service at full speed.
+    fn seed_events(&mut self, queue: &mut EventQueue) {
+        for k in 0..self.classes.len() {
+            let class = self.classes[k];
+            let start = self.class_start[k];
+            let crash = class.slowdown.is_none();
+            for machine in start..start + class.machines as u32 {
+                let at = self.sample_epoch(class.mean_up_slots);
+                queue.push(Event::MachineDown { at, machine, crash });
+            }
+        }
+    }
+
+    /// One exponential epoch draw with the given mean, quantised to whole
+    /// slots and at least 1 (a zero-length epoch would break the per-machine
+    /// down/up alternation).
+    fn sample_epoch(&mut self, mean: f64) -> Slot {
+        let u = self.rng.gen_f64();
+        let draw = -mean * (1.0 - u).ln();
+        (draw.ceil() as Slot).max(1)
+    }
+
+    /// The fault class covering `machine` (only called for covered machines
+    /// — uncovered ones never get fault events).
+    fn class_of(&self, machine: u32) -> FaultClass {
+        let k = self.class_start.partition_point(|&s| s <= machine) - 1;
+        self.classes[k]
+    }
+
+    /// Pops the next idle in-service machine. The free-list invariant
+    /// guarantees a live entry exists whenever `RunStats::available > 0`.
+    fn acquire(&mut self) -> u32 {
+        loop {
+            let m = self
+                .free
+                .pop()
+                .expect("free-list tracks the available count");
+            if self.enlisted[m as usize] {
+                self.enlisted[m as usize] = false;
+                return m;
+            }
+        }
+    }
+
+    /// Pins a freshly launched copy to the machine it occupies.
+    fn assign(&mut self, cid: CopyId, machine: u32) {
+        let slot = cid.0 as usize;
+        if self.machine_of.len() <= slot {
+            self.machine_of.resize(slot + 1, 0);
+        }
+        self.machine_of[slot] = machine;
+        debug_assert!(self.resident[machine as usize].is_none());
+        self.resident[machine as usize] = Some(cid);
+    }
+
+    /// Returns a departing copy's machine to the idle pool. Only called for
+    /// copies leaving through the normal finish/cancel paths — fault kills
+    /// clear residency themselves and keep the machine out of service.
+    fn release(&mut self, cid: CopyId) {
+        let m = self.machine_of[cid.0 as usize] as usize;
+        debug_assert_eq!(self.resident[m], Some(cid));
+        debug_assert!(!self.down[m], "a crash would have killed this copy");
+        self.resident[m] = None;
+        self.free.push(m as u32);
+        self.enlisted[m] = true;
+    }
+
+    /// Total down machine-slots, folding in the epochs still open at `end`.
+    fn final_downtime(&self, end: Slot) -> u64 {
+        let mut total = self.downtime;
+        for m in 0..self.down.len() {
+            if self.down[m] {
+                total += end.saturating_sub(self.down_since[m]);
+            }
+        }
+        total
+    }
 }
 
 /// Pulls, validates and wraps the next job of the source. `index` is the
@@ -413,6 +598,17 @@ impl Simulation {
             },
             ..RunCtx::default()
         };
+        // Fault injection: build machine identities and queue the first
+        // failure epoch of every covered machine. An empty plan skips all of
+        // it — no pool, no events, no per-launch machine bookkeeping — so the
+        // fault-free trajectory is bit-identical to a build without the
+        // subsystem.
+        if !self.config.fault_plan.is_empty() {
+            let mut pool =
+                MachinePool::new(&self.config.fault_plan, total_machines, self.config.seed);
+            pool.seed_events(&mut queue);
+            ctx.pool = Some(pool);
+        }
         // Pull-ahead cursor on the feed: exactly one not-yet-admitted job
         // is held in `pending`; its arrival competes with the queue head for
         // the next decision instant, and once that instant is chosen every
@@ -429,6 +625,7 @@ impl Simulation {
         let mut actions: Vec<Action> = Vec::new();
         let mut newly_arrived = Vec::new();
         let mut newly_finished = Vec::new();
+        let mut newly_unlaunched = Vec::new();
 
         let wakeup_every = match (scheduler.wakeup_interval(), self.config.periodic_wakeup) {
             (Some(a), Some(b)) => Some(a.min(b)),
@@ -439,7 +636,11 @@ impl Simulation {
 
         while ctx.stats.completed_jobs < total_jobs {
             // ---- determine the next decision instant ----
-            let running_anything = ctx.stats.available < total_machines;
+            // Down machines are neither available nor running anything, so
+            // they are subtracted before the idle test (fault-free runs keep
+            // `up == total_machines` and the original expression).
+            let up_machines = total_machines - ctx.pool.as_ref().map_or(0, |p| p.num_down);
+            let running_anything = ctx.stats.available < up_machines;
             let next_wakeup = match wakeup_every {
                 Some(k) if !alive.is_empty() && running_anything => Some(now + k),
                 _ => None,
@@ -502,6 +703,7 @@ impl Simulation {
             let metrics_before = clock.metrics_ns;
             newly_arrived.clear();
             newly_finished.clear();
+            newly_unlaunched.clear();
             due.clear();
             queue.drain_due(now, &mut due);
             for &event in &due {
@@ -581,6 +783,16 @@ impl Simulation {
                             }
                         }
                     }
+                    Event::MachineUp { at, machine, crash } => {
+                        self.handle_machine_up(machine, crash, at, &mut ctx, &mut queue);
+                    }
+                    Event::MachineDown { at, machine, crash } => {
+                        if let Some(task) = self.handle_machine_down(
+                            machine, crash, at, &mut ctx, &mut alive, &mut queue,
+                        ) {
+                            newly_unlaunched.push(task);
+                        }
+                    }
                     Event::Wakeup { .. } => unreachable!("wakeups are never queued"),
                 }
             }
@@ -599,9 +811,14 @@ impl Simulation {
             alive.flush_priority();
             actions.clear();
             {
+                // Recomputed here rather than reused from the loop top: the
+                // event batch just drained may have taken machines down or
+                // brought them back. Schedulers see only in-service capacity,
+                // so every decision path prices in the reduced cluster.
+                let up_machines = total_machines - ctx.pool.as_ref().map_or(0, |p| p.num_down);
                 let state = ClusterState::from_index(
                     now,
-                    total_machines,
+                    up_machines,
                     ctx.stats.available,
                     &self.jobs,
                     &ctx.arena,
@@ -612,6 +829,9 @@ impl Simulation {
                 }
                 for task in &newly_finished {
                     scheduler.on_task_finished(*task, &state);
+                }
+                for task in &newly_unlaunched {
+                    scheduler.on_task_unlaunched(*task, &state);
                 }
                 // One run-level buffer, reused across decision instants: the
                 // per-`schedule` Vec<Action> allocation is gone.
@@ -666,6 +886,11 @@ impl Simulation {
         outcome.stage_events_ns = clock.events_ns;
         outcome.stage_decision_ns = clock.decision_ns;
         outcome.stage_metrics_ns = clock.metrics_ns;
+        if let Some(pool) = &ctx.pool {
+            outcome.wasted_work = pool.wasted_work;
+            outcome.copies_killed_by_fault = pool.copies_killed;
+            outcome.machine_downtime = pool.final_downtime(ctx.stats.makespan);
+        }
         Ok(outcome)
     }
 
@@ -713,6 +938,7 @@ impl Simulation {
                     busy += slot.saturating_sub(copy.launched_at());
                     released += 1;
                     ctx.arena.finish(cid, slot);
+                    ctx.release_machine(cid);
                 }
                 CopyPhase::Running => {
                     let finish = copy.finish_slot();
@@ -720,6 +946,7 @@ impl Simulation {
                     busy += slot.saturating_sub(copy.launched_at());
                     released += 1;
                     ctx.arena.cancel(cid, slot);
+                    ctx.release_machine(cid);
                     if let Some(finish) = finish {
                         queue.retract(finish, copy_seq);
                     }
@@ -729,6 +956,7 @@ impl Simulation {
                     released += 1;
                     waiting_cancelled += 1;
                     ctx.arena.cancel(cid, slot);
+                    ctx.release_machine(cid);
                 }
                 _ => {}
             }
@@ -744,6 +972,186 @@ impl Simulation {
         ctx.stats.available += released;
         ctx.stats.busy_machine_slots += busy;
         Some(task_id)
+    }
+
+    /// A machine's up epoch ends. Crash classes take the machine out of
+    /// service, killing the resident copy (if any); brown-out classes leave
+    /// it in service at degraded speed. Either way the next recovery is
+    /// queued, so each covered machine alternates down/up forever at `O(1)`
+    /// memory. Returns the task that fell back to the unscheduled pool, if
+    /// the crash killed its last copy, so the run loop can notify the
+    /// scheduler's [`Scheduler::on_task_unlaunched`] hook.
+    fn handle_machine_down(
+        &mut self,
+        machine: u32,
+        crash: bool,
+        now: Slot,
+        ctx: &mut RunCtx,
+        alive: &mut AliveIndex,
+        queue: &mut EventQueue,
+    ) -> Option<TaskId> {
+        let victim = {
+            let pool = ctx
+                .pool
+                .as_mut()
+                .expect("machine events are only queued when a fault plan exists");
+            let class = pool.class_of(machine);
+            let down_for = pool.sample_epoch(class.mean_down_slots);
+            queue.push(Event::MachineUp {
+                at: now + down_for,
+                machine,
+                crash,
+            });
+            if !crash {
+                // Brown-out: the machine keeps serving, but copies launched
+                // on it during the epoch carry the class's workload
+                // multiplier. Copies already running are unaffected — the
+                // model degrades placement, it does not rewrite in-flight
+                // finish times.
+                pool.slow[machine as usize] = class.slowdown.unwrap_or(1.0);
+                return None;
+            }
+            let m = machine as usize;
+            debug_assert!(!pool.down[m], "down/up epochs alternate per machine");
+            pool.down[m] = true;
+            pool.num_down += 1;
+            pool.down_since[m] = now;
+            pool.resident[m].take()
+        };
+        match victim {
+            // Work lost, not jobs lost: the resident copy dies and its task
+            // re-enters the unscheduled pool if no sibling survives.
+            Some(cid) => self.kill_copy(cid, now, ctx, alive, queue),
+            None => {
+                // Idle machine: its free-list entry goes stale (lazy
+                // deletion) and the cluster loses one available slot.
+                let pool = ctx.pool.as_mut().expect("fault plan checked above");
+                debug_assert!(pool.enlisted[machine as usize]);
+                pool.enlisted[machine as usize] = false;
+                ctx.stats.available -= 1;
+                None
+            }
+        }
+    }
+
+    /// A machine's down (or brown-out) epoch ends: crash classes re-enter
+    /// service empty and idle, brown-out classes return to full speed. The
+    /// next failure epoch is queued immediately.
+    fn handle_machine_up(
+        &mut self,
+        machine: u32,
+        crash: bool,
+        now: Slot,
+        ctx: &mut RunCtx,
+        queue: &mut EventQueue,
+    ) {
+        let pool = ctx
+            .pool
+            .as_mut()
+            .expect("machine events are only queued when a fault plan exists");
+        let class = pool.class_of(machine);
+        let up_for = pool.sample_epoch(class.mean_up_slots);
+        queue.push(Event::MachineDown {
+            at: now + up_for,
+            machine,
+            crash,
+        });
+        let m = machine as usize;
+        if !crash {
+            pool.slow[m] = 1.0;
+            return;
+        }
+        debug_assert!(pool.down[m], "recovery of a machine that is not down");
+        pool.down[m] = false;
+        pool.num_down -= 1;
+        pool.downtime += now.saturating_sub(pool.down_since[m]);
+        debug_assert!(
+            pool.resident[m].is_none(),
+            "the crash killed the resident copy"
+        );
+        pool.free.push(machine);
+        pool.enlisted[m] = true;
+        ctx.stats.available += 1;
+    }
+
+    /// Kills the copy resident on a crashing machine: progress is wasted, the
+    /// queued finish event is retracted, and if no sibling copy survives the
+    /// task returns to the unscheduled pool so a later decision instant
+    /// re-executes it. The machine is *not* returned to the available count —
+    /// it goes straight from busy to down. Returns the task's id when its
+    /// last copy just died and it re-entered the unscheduled pool.
+    fn kill_copy(
+        &mut self,
+        cid: CopyId,
+        now: Slot,
+        ctx: &mut RunCtx,
+        alive: &mut AliveIndex,
+        queue: &mut EventQueue,
+    ) -> Option<TaskId> {
+        let (task_id, phase_was, finish, seq, launched_at) = {
+            let copy = ctx.arena.get(cid);
+            (
+                copy.task(),
+                copy.phase(),
+                copy.finish_slot(),
+                copy.seq(),
+                copy.launched_at(),
+            )
+        };
+        let elapsed = now.saturating_sub(launched_at);
+        ctx.arena.cancel(cid, now);
+        if phase_was == CopyPhase::Running {
+            if let Some(finish) = finish {
+                queue.retract(finish, seq);
+            }
+        }
+        {
+            let pool = ctx
+                .pool
+                .as_mut()
+                .expect("kill_copy only runs under a fault plan");
+            pool.wasted_work += elapsed;
+            pool.copies_killed += 1;
+        }
+        // The machine really was occupied until the crash instant, so the
+        // lost progress still counts toward utilisation — `wasted_work`
+        // carries the distinction.
+        ctx.stats.busy_machine_slots += elapsed;
+
+        let job_idx = task_id.job.as_usize();
+        let job = &mut self.jobs[job_idx];
+        let task = job
+            .task_mut(task_id.phase, task_id.index)
+            .expect("an active copy's task storage is never released");
+        task.note_copies_released(1);
+        // Recompute the task's surviving-copy picture: the killed copy may
+        // have carried the earliest finish, or been the last copy standing.
+        let mut still_active = 0usize;
+        let mut new_finish: Option<Slot> = None;
+        for &other in task.copies() {
+            let copy = ctx.arena.get(other);
+            if copy.is_active() {
+                still_active += 1;
+                if let Some(f) = copy.finish_slot() {
+                    new_finish = Some(new_finish.map_or(f, |cur| cur.min(f)));
+                }
+            }
+        }
+        job.refresh_running_finish(task_id.phase, task_id.index, new_finish);
+        job.note_copy_released(1);
+        if phase_was == CopyPhase::WaitingForMapPhase {
+            job.note_waiting_cancelled(1);
+        }
+        if still_active == 0 {
+            // Every copy of the task is gone: work lost, not the job. The
+            // task rejoins the unscheduled pool and the aggregate indexes
+            // re-admit it, so the next decision instant can relaunch it.
+            job.note_task_unlaunched(task_id.phase, task_id.index);
+            alive.note_task_unlaunched(job_idx, &self.jobs[job_idx]);
+            Some(task_id)
+        } else {
+            None
+        }
     }
 
     /// Starts processing of reduce copies that were launched before the Map
@@ -896,6 +1304,16 @@ impl Simulation {
                     workload *= factor;
                 }
             }
+            // Fault runs pin every copy to a concrete machine; a machine in
+            // a brown-out epoch inflates the copy's workload at launch time.
+            // `n <= available` guarantees a live free-list entry each turn.
+            let machine = ctx.pool.as_mut().map(|p| p.acquire());
+            if let Some(m) = machine {
+                let mult = ctx.pool.as_ref().expect("pool acquired above").slow[m as usize];
+                if mult != 1.0 {
+                    workload *= mult;
+                }
+            }
             let duration = ((workload / speed).ceil() as Slot).max(1);
 
             // The allocators hand back the id *and* the sequence the queued
@@ -917,6 +1335,12 @@ impl Simulation {
                 (copy_id, Some(finish))
             };
 
+            if let Some(m) = machine {
+                ctx.pool
+                    .as_mut()
+                    .expect("pool acquired above")
+                    .assign(copy_id, m);
+            }
             if first_launch {
                 job.note_first_launch(task_id.phase, task_id.index);
                 alive.note_first_launch(job_idx, job);
@@ -953,6 +1377,7 @@ impl Simulation {
             stats,
             arena,
             cancel_scratch,
+            pool,
             ..
         } = ctx;
         let job = &mut self.jobs[job_idx];
@@ -1003,6 +1428,9 @@ impl Simulation {
             };
             arena.cancel(cid, now);
             released += 1;
+            if let Some(pool) = pool.as_mut() {
+                pool.release(cid);
+            }
             if let Some(finish) = finish {
                 queue.retract(finish, copy_seq);
             }
@@ -1318,5 +1746,85 @@ mod tests {
             .unwrap();
         assert!(outcome.busy_machine_slots <= 5 * outcome.makespan);
         assert!(outcome.utilization() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn crashes_kill_and_reexecute_work() {
+        use crate::config::{FaultClass, FaultPlan};
+        let trace = WorkloadBuilder::new().num_jobs(20).build(11);
+        let plan = FaultPlan::new(vec![FaultClass::crashes(4, 40.0, 15.0)]);
+        let faulty_cfg = SimConfig::new(8).with_seed(3).with_fault_plan(plan);
+
+        let clean = Simulation::new(SimConfig::new(8).with_seed(3), &trace)
+            .run(&mut GreedyFifo::new())
+            .unwrap();
+        let faulty = Simulation::new(faulty_cfg.clone(), &trace)
+            .run(&mut GreedyFifo::new())
+            .unwrap();
+
+        // Work is lost, jobs are not: every job still completes.
+        assert_eq!(faulty.records().len(), 20);
+        assert!(faulty.copies_killed_by_fault > 0, "MTBF 40 must bite");
+        assert!(faulty.wasted_work > 0);
+        assert!(faulty.wasted_work <= faulty.busy_machine_slots);
+        assert!(faulty.machine_downtime > 0);
+        // Churn can only hurt an identical workload.
+        assert!(faulty.mean_flowtime() >= clean.mean_flowtime());
+        // A clean run reports zeroed fault counters.
+        assert_eq!(clean.copies_killed_by_fault, 0);
+        assert_eq!(clean.wasted_work, 0);
+        assert_eq!(clean.machine_downtime, 0);
+
+        // Same seed, same plan → bit-identical trajectory.
+        let again = Simulation::new(faulty_cfg, &trace)
+            .run(&mut GreedyFifo::new())
+            .unwrap();
+        assert_eq!(faulty, again);
+    }
+
+    #[test]
+    fn brownouts_slow_launches_without_killing() {
+        use crate::config::{FaultClass, FaultPlan};
+        // Every machine brown-outs almost immediately and stays degraded for
+        // effectively the whole run: copies launch with 3x workloads, nothing
+        // is killed, no machine ever leaves service.
+        let trace = Trace::new(vec![JobSpecBuilder::new(JobId::new(0))
+            .arrival(10)
+            .map_tasks_from_workloads(&[12.0, 12.0])
+            .build()])
+        .unwrap();
+        let plan = FaultPlan::new(vec![FaultClass::brownouts(4, 1.0, 1e6, 3.0)]);
+        let clean = Simulation::new(SimConfig::new(4).with_seed(5), &trace)
+            .run(&mut GreedyFifo::new())
+            .unwrap();
+        let browned = Simulation::new(SimConfig::new(4).with_seed(5).with_fault_plan(plan), &trace)
+            .run(&mut GreedyFifo::new())
+            .unwrap();
+        assert_eq!(browned.records().len(), 1);
+        assert_eq!(browned.copies_killed_by_fault, 0);
+        assert_eq!(browned.wasted_work, 0);
+        assert_eq!(browned.machine_downtime, 0);
+        assert!(
+            browned.mean_flowtime() > clean.mean_flowtime(),
+            "3x launch multiplier must stretch the flowtime"
+        );
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical() {
+        use crate::config::FaultPlan;
+        let trace = WorkloadBuilder::new().num_jobs(30).build(4);
+        let base = Simulation::new(SimConfig::new(6).with_seed(2), &trace)
+            .run(&mut MaxCloneScheduler::new(3))
+            .unwrap();
+        let with_empty_plan = Simulation::new(
+            SimConfig::new(6)
+                .with_seed(2)
+                .with_fault_plan(FaultPlan::none()),
+            &trace,
+        )
+        .run(&mut MaxCloneScheduler::new(3))
+        .unwrap();
+        assert_eq!(base, with_empty_plan);
     }
 }

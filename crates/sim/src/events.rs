@@ -72,6 +72,29 @@ pub enum Event {
         /// from a reused slot.
         seq: u64,
     },
+    /// A machine recovers (crash class) or leaves a degraded epoch
+    /// (brown-out class). Fires after same-slot completions so a copy
+    /// finishing exactly at the recovery instant completes normally first.
+    MachineUp {
+        /// Slot of the recovery.
+        at: Slot,
+        /// Index of the machine.
+        machine: u32,
+        /// `true` for a crash-class recovery (capacity returns), `false`
+        /// for the end of a brown-out epoch (speed returns).
+        crash: bool,
+    },
+    /// A machine fails (crash class: every resident copy is killed and the
+    /// machine leaves the schedulable pool) or enters a degraded epoch
+    /// (brown-out class: copies launched while degraded run slower).
+    MachineDown {
+        /// Slot of the failure.
+        at: Slot,
+        /// Index of the machine.
+        machine: u32,
+        /// `true` for a crash, `false` for a brown-out.
+        crash: bool,
+    },
     /// A periodic scheduler wakeup with no state change of its own. The
     /// engine synthesises these between queue events; they never enter the
     /// queue.
@@ -87,18 +110,23 @@ impl Event {
         match *self {
             Event::JobArrival { at, .. } => at,
             Event::CopyFinish { at, .. } => at,
+            Event::MachineUp { at, .. } => at,
+            Event::MachineDown { at, .. } => at,
             Event::Wakeup { at } => at,
         }
     }
 
     /// Deterministic ordering key: slot, then kind (arrivals before
-    /// completions), then sequence (arrival order / copy allocation order —
-    /// *not* the recyclable copy slot).
+    /// completions, completions before machine transitions, recoveries
+    /// before failures), then sequence (arrival order / copy allocation
+    /// order / machine index — *not* the recyclable copy slot).
     fn key(&self) -> (Slot, u8, u64) {
         match *self {
             Event::JobArrival { at, job_index } => (at, 0, job_index as u64),
             Event::CopyFinish { at, seq, .. } => (at, 1, seq),
-            Event::Wakeup { at } => (at, 2, 0),
+            Event::MachineUp { at, machine, .. } => (at, 2, machine as u64),
+            Event::MachineDown { at, machine, .. } => (at, 3, machine as u64),
+            Event::Wakeup { at } => (at, 4, 0),
         }
     }
 
@@ -710,6 +738,46 @@ mod tests {
         })
         .collect();
         assert_eq!(copies, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn machine_events_sort_after_completions_and_by_machine() {
+        // Within one instant: arrivals < completions < recoveries <
+        // failures, machine index breaking ties — so a copy finishing
+        // exactly when its machine crashes completes normally before the
+        // crash lands, and a recovery at the failure instant of another
+        // machine restores capacity first.
+        let mut q = EventQueue::new();
+        q.push(Event::MachineDown {
+            at: 5,
+            machine: 3,
+            crash: true,
+        });
+        q.push(Event::MachineDown {
+            at: 5,
+            machine: 1,
+            crash: false,
+        });
+        q.push(Event::MachineUp {
+            at: 5,
+            machine: 9,
+            crash: true,
+        });
+        q.push(finish(5, 0));
+        q.push(Event::JobArrival {
+            at: 5,
+            job_index: 4,
+        });
+        let keys: Vec<(u8, u64)> = std::iter::from_fn(|| {
+            q.pop_due(5).map(|e| {
+                let (slot, kind, seq) = e.key();
+                assert_eq!(slot, 5);
+                assert_eq!(e.at(), 5);
+                (kind, seq)
+            })
+        })
+        .collect();
+        assert_eq!(keys, vec![(0, 4), (1, 0), (2, 9), (3, 1), (3, 3)]);
     }
 
     #[test]

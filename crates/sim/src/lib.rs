@@ -97,7 +97,7 @@ pub mod schedulers;
 pub mod speedup;
 pub mod state;
 
-pub use config::{SimConfig, StragglerModel};
+pub use config::{FaultClass, FaultPlan, SimConfig, StragglerModel};
 pub use copy::{CopyArena, CopyId, CopyPhase, CopyRef};
 pub use engine::Simulation;
 pub use error::SimError;

@@ -124,6 +124,17 @@ pub struct SimOutcome {
     /// [`crate::ClusterState::note_ranked_prefix`]; 0 for schedulers that
     /// never consume the ranked order). Excluded from equality.
     pub ranked_prefix_len_max: usize,
+    /// Machine-slots of progress thrown away by fault-killed copies (elapsed
+    /// running time of every copy killed by a [`crate::FaultPlan`] crash).
+    /// Part of the trajectory — included in equality. 0 without a fault plan.
+    pub wasted_work: u64,
+    /// Number of copies killed because their machine crashed. Part of the
+    /// trajectory — included in equality. 0 without a fault plan.
+    pub copies_killed_by_fault: u64,
+    /// Total machine-slots spent down across all machines (crash epochs
+    /// only; brown-outs keep the machine in service). Part of the trajectory
+    /// — included in equality. 0 without a fault plan.
+    pub machine_downtime: u64,
     /// Wall-clock nanoseconds spent pulling/admitting jobs from the source,
     /// when the run profiled stages (`SimConfig::profile_stages`); 0
     /// otherwise. Host-dependent instrumentation — excluded from equality
@@ -153,6 +164,9 @@ impl PartialEq for SimOutcome {
             && self.scheduler_invocations == other.scheduler_invocations
             && self.peak_resident_jobs == other.peak_resident_jobs
             && self.peak_copy_slots == other.peak_copy_slots
+            && self.wasted_work == other.wasted_work
+            && self.copies_killed_by_fault == other.copies_killed_by_fault
+            && self.machine_downtime == other.machine_downtime
     }
 }
 
@@ -185,6 +199,11 @@ impl SimOutcome {
             peak_copy_slots,
             decision_instants,
             ranked_prefix_len_max,
+            // Fault counters default to a fault-free run; the engine assigns
+            // them post-construction when a fault plan was active.
+            wasted_work: 0,
+            copies_killed_by_fault: 0,
+            machine_downtime: 0,
             // Stage timings default to "not profiled"; the engine fills them
             // in post-construction when `SimConfig::profile_stages` is set.
             stage_source_ns: 0,
@@ -288,6 +307,12 @@ impl ToJson for SimOutcome {
                 "ranked_prefix_len_max",
                 self.ranked_prefix_len_max.to_json(),
             ),
+            ("wasted_work", self.wasted_work.to_json()),
+            (
+                "copies_killed_by_fault",
+                self.copies_killed_by_fault.to_json(),
+            ),
+            ("machine_downtime", self.machine_downtime.to_json()),
             ("stage_source_ns", self.stage_source_ns.to_json()),
             ("stage_events_ns", self.stage_events_ns.to_json()),
             ("stage_decision_ns", self.stage_decision_ns.to_json()),
@@ -323,6 +348,19 @@ impl FromJson for SimOutcome {
             },
             ranked_prefix_len_max: match value.get("ranked_prefix_len_max") {
                 Some(v) => usize::from_json(v)?,
+                None => 0,
+            },
+            // Absent in outcomes serialised before fault injection.
+            wasted_work: match value.get("wasted_work") {
+                Some(v) => u64::from_json(v)?,
+                None => 0,
+            },
+            copies_killed_by_fault: match value.get("copies_killed_by_fault") {
+                Some(v) => u64::from_json(v)?,
+                None => 0,
+            },
+            machine_downtime: match value.get("machine_downtime") {
+                Some(v) => u64::from_json(v)?,
                 None => 0,
             },
             // Absent in outcomes serialised before stage profiling.
@@ -442,6 +480,39 @@ mod tests {
         assert_eq!(a, b, "instrumentation must not affect equality");
         b.makespan += 1;
         assert_ne!(a, b, "trajectory fields still must");
+    }
+
+    #[test]
+    fn fault_counters_are_trajectory_fields() {
+        let a = outcome();
+        let mut b = outcome();
+        b.wasted_work = 17;
+        assert_ne!(a, b, "wasted_work is part of the trajectory");
+        b.wasted_work = 0;
+        b.copies_killed_by_fault = 1;
+        assert_ne!(a, b, "copies_killed_by_fault is part of the trajectory");
+        b.copies_killed_by_fault = 0;
+        b.machine_downtime = 3;
+        assert_ne!(a, b, "machine_downtime is part of the trajectory");
+
+        // Roundtrip preserves the counters; legacy documents parse as 0.
+        let mut o = outcome();
+        o.wasted_work = 5;
+        o.copies_killed_by_fault = 2;
+        o.machine_downtime = 9;
+        let json = o.to_json().to_compact_string();
+        let back = SimOutcome::from_json(&JsonValue::parse(&json).unwrap()).unwrap();
+        assert_eq!(back, o);
+        let mut legacy = o.to_json();
+        if let JsonValue::Object(map) = &mut legacy {
+            for key in ["wasted_work", "copies_killed_by_fault", "machine_downtime"] {
+                map.remove(key);
+            }
+        }
+        let back = SimOutcome::from_json(&legacy).unwrap();
+        assert_eq!(back.wasted_work, 0);
+        assert_eq!(back.copies_killed_by_fault, 0);
+        assert_eq!(back.machine_downtime, 0);
     }
 
     #[test]

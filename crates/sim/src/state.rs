@@ -172,6 +172,22 @@ impl TaskState {
         self.status = TaskStatus::Finished;
         self.finished_at = Some(at);
     }
+
+    /// Returns the task to the unscheduled pool after a machine fault killed
+    /// its last active copy. `first_launched_at` survives — the task *was*
+    /// attempted; re-execution is a new attempt of the same task, and
+    /// duration-based estimators (Mantri's `t_new`) keep measuring from the
+    /// original launch.
+    pub(crate) fn mark_unscheduled(&mut self) {
+        debug_assert_eq!(self.active, 0, "unscheduling a task with active copies");
+        debug_assert_ne!(
+            self.status,
+            TaskStatus::Finished,
+            "unscheduling a finished task"
+        );
+        self.status = TaskStatus::Unscheduled;
+        self.running_finish = None;
+    }
 }
 
 /// Incrementally maintained per-phase bookkeeping of one job.
@@ -222,6 +238,23 @@ impl PhaseIndex {
                 self.unscheduled_head += 1;
             } else {
                 self.unscheduled.remove(self.unscheduled_head + pos);
+            }
+        }
+    }
+
+    /// Re-inserts `index` into the unscheduled free-list (fault-driven
+    /// re-execution). The live list is `unscheduled[unscheduled_head..]`,
+    /// sorted; an index smaller than every live entry reuses the slot just
+    /// behind the cursor (`O(1)`), anything else pays the sorted insert.
+    fn insert_unscheduled(&mut self, index: u32) {
+        match self.unscheduled().binary_search(&index) {
+            Ok(_) => {}
+            Err(pos) if pos == 0 && self.unscheduled_head > 0 => {
+                self.unscheduled_head -= 1;
+                self.unscheduled[self.unscheduled_head] = index;
+            }
+            Err(pos) => {
+                self.unscheduled.insert(self.unscheduled_head + pos, index);
             }
         }
     }
@@ -703,6 +736,31 @@ impl JobState {
         }
     }
 
+    /// Reverse of [`JobState::note_first_launch`]: a machine fault killed the
+    /// last active copy of task `index`, so it returns to the unscheduled
+    /// pool and will be re-launched by the scheduler (work lost, not the
+    /// job). Call *after* the copy-release counters have been updated; the
+    /// next launch re-fires `note_first_launch` symmetrically.
+    pub(crate) fn note_task_unlaunched(&mut self, phase: Phase, index: u32) {
+        let old_finish = self.task(phase, index).and_then(|t| t.running_finish);
+        if let Some(task) = self.task_mut(phase, index) {
+            task.mark_unscheduled();
+        }
+        let track_running = self.track.running_list;
+        let pi = self.phase_index_mut(phase);
+        pi.insert_unscheduled(index);
+        if track_running {
+            if let Ok(pos) = pi.running.binary_search(&index) {
+                pi.running.remove(pos);
+            }
+        }
+        if let Some(old) = old_finish {
+            if let Ok(pos) = pi.running_by_finish.binary_search(&(old, index)) {
+                pi.running_by_finish.remove(pos);
+            }
+        }
+    }
+
     pub(crate) fn all_tasks_finished(&self) -> bool {
         self.unfinished_map == 0 && self.unfinished_reduce == 0
     }
@@ -848,7 +906,7 @@ impl PriorityIndex {
             return;
         }
         // `key[idx]` was live, so the set holds exactly this pair for the
-        // idx (jobs never re-enter ψ^s).
+        // idx (every key change replaces the pair immediately).
         self.set
             .remove(&(Self::sort_key(self.key[idx]), idx as u32));
         self.key[idx] = f64::NAN;
@@ -857,9 +915,9 @@ impl PriorityIndex {
 
     /// Re-keys job `idx` after its unscheduled counts changed: one
     /// `O(log n)` removal plus (while still live) one `O(log n)` insertion.
-    /// The job drops out of the order once nothing is left to schedule (a
-    /// task never returns to the unscheduled state, so the job never
-    /// re-enters).
+    /// The job drops out of the order once nothing is left to schedule; a
+    /// machine fault that returns a task to the unscheduled pool re-enters
+    /// it through [`PriorityIndex::insert`].
     fn update(&mut self, idx: usize, job: &JobState) {
         if self.key.len() <= idx || self.key[idx].is_nan() {
             return;
@@ -1002,7 +1060,8 @@ pub struct AliveIndex {
     /// Sum of the weights of the alive jobs that still have unscheduled
     /// tasks — `W(l)` over `ψ^s(l)`, the candidate set of the ε-fraction
     /// rule. Maintained in `O(1)`: added on arrival, subtracted when the
-    /// job's last unscheduled task launches (jobs never re-enter `ψ^s`).
+    /// job's last unscheduled task launches, re-added if a machine fault
+    /// returns one of its tasks to the unscheduled pool.
     unscheduled_weight_sum: f64,
     /// Whether job `idx`'s weight is currently counted in
     /// `unscheduled_weight_sum`, so completion/launch can subtract at most
@@ -1096,6 +1155,32 @@ impl AliveIndex {
         }
         if let Some(priority) = &mut self.priority {
             priority.update(idx, job);
+            self.refresh_launchable(idx, job);
+        }
+    }
+
+    /// Reverse of [`AliveIndex::note_first_launch`]: a fault returned one
+    /// task of job `idx` to the unscheduled pool. Call *after*
+    /// [`JobState::note_task_unlaunched`] updated the job's own counters.
+    /// The job re-enters `ψ^s(l)` (the unscheduled-weight aggregate and, if
+    /// enabled, the priority order) if this was its first unscheduled task.
+    pub fn note_task_unlaunched(&mut self, idx: usize, job: &JobState) {
+        self.unscheduled_sum += 1;
+        if job.total_unscheduled() > 0 && !self.weight_counted.get(idx).copied().unwrap_or(false) {
+            if self.weight_counted.len() <= idx {
+                self.weight_counted.resize(idx + 1, false);
+            }
+            self.weight_counted[idx] = true;
+            self.unscheduled_weight_sum += job.weight();
+        }
+        if let Some(priority) = &mut self.priority {
+            // A job whose every task had launched carries a NaN key (it left
+            // the order); re-enter through `insert`, otherwise re-key.
+            if priority.key.len() <= idx || priority.key[idx].is_nan() {
+                priority.insert(idx, job);
+            } else {
+                priority.update(idx, job);
+            }
             self.refresh_launchable(idx, job);
         }
     }
@@ -1574,6 +1659,18 @@ pub trait Scheduler {
 
     /// Hook invoked after a task finishes (before the next `schedule` call).
     fn on_task_finished(&mut self, _task: TaskId, _state: &ClusterState<'_>) {}
+
+    /// Hook invoked when a fault kills a task's last copy and the task falls
+    /// back to the unscheduled pool (before the next `schedule` call).
+    ///
+    /// The engine's aggregate indices already re-admit the task, so
+    /// schedulers that re-derive their candidates from [`ClusterState`] each
+    /// wakeup need nothing here (the default is a no-op). Schedulers that
+    /// keep *private* incremental launchability state — a ready set fed only
+    /// by arrivals and completions — must treat this as a third
+    /// launchable-work-creating event or they will never relaunch the task.
+    /// Never invoked when the run has no fault plan.
+    fn on_task_unlaunched(&mut self, _task: TaskId, _state: &ClusterState<'_>) {}
 }
 
 #[cfg(test)]
