@@ -37,10 +37,10 @@ const TOTAL_JOBS: usize = 1_000_000;
 fn stage_split(outcome: &SimOutcome) -> String {
     format!(
         "source {:.2}s, events {:.2}s, decision {:.2}s, metrics {:.2}s",
-        outcome.stage_source_ns as f64 / 1e9,
-        outcome.stage_events_ns as f64 / 1e9,
-        outcome.stage_decision_ns as f64 / 1e9,
-        outcome.stage_metrics_ns as f64 / 1e9,
+        outcome.telemetry.stage_source_ns as f64 / 1e9,
+        outcome.telemetry.stage_events_ns as f64 / 1e9,
+        outcome.telemetry.stage_decision_ns as f64 / 1e9,
+        outcome.telemetry.stage_metrics_ns as f64 / 1e9,
     )
 }
 
@@ -82,10 +82,10 @@ fn bench_stream1m(c: &mut Criterion) {
             fifo_peak_slots = outcome.peak_copy_slots;
             fifo_copies = outcome.total_copies;
             fifo_stages = (
-                outcome.stage_source_ns,
-                outcome.stage_events_ns,
-                outcome.stage_decision_ns,
-                outcome.stage_metrics_ns,
+                outcome.telemetry.stage_source_ns,
+                outcome.telemetry.stage_events_ns,
+                outcome.telemetry.stage_decision_ns,
+                outcome.telemetry.stage_metrics_ns,
             );
             println!("stream1m/fifo stages: {}", stage_split(&outcome));
             black_box(outcome.mean_flowtime())
@@ -108,13 +108,13 @@ fn bench_stream1m(c: &mut Criterion) {
             srpt_peak_jobs = outcome.peak_resident_jobs;
             srpt_peak_slots = outcome.peak_copy_slots;
             srpt_copies = outcome.total_copies;
-            srpt_prefix_max = outcome.ranked_prefix_len_max;
-            srpt_decisions = outcome.decision_instants;
+            srpt_prefix_max = outcome.telemetry.ranked_prefix_len_max;
+            srpt_decisions = outcome.telemetry.decision_instants;
             srpt_stages = (
-                outcome.stage_source_ns,
-                outcome.stage_events_ns,
-                outcome.stage_decision_ns,
-                outcome.stage_metrics_ns,
+                outcome.telemetry.stage_source_ns,
+                outcome.telemetry.stage_events_ns,
+                outcome.telemetry.stage_decision_ns,
+                outcome.telemetry.stage_metrics_ns,
             );
             println!("stream1m/srptmsc stages: {}", stage_split(&outcome));
             black_box(outcome.mean_flowtime())

@@ -135,6 +135,48 @@ fn bench_workload_stream(c: &mut Criterion) {
     );
     println!("workload stream: pipelined 100k-job run is bit-identical to the serial oracle");
 
+    // Telemetry gate (release mode, every CI run): the same 100k-job stream
+    // with the full observer stack attached — counter/histogram fold plus
+    // Chrome-trace recorder — must be bit-identical to the bare run, and the
+    // exported trace must self-validate against the independently folded
+    // registry. The trace lands next to the bench reports for Perfetto.
+    let mut telemetry = mapreduce_metrics::SimTelemetry::new();
+    let mut recorder = mapreduce_metrics::TraceRecorder::new(200_000);
+    let observed = Simulation::from_source(
+        SimConfig::new(fullscale.machines).with_seed(fullscale_seed),
+        fullscale.job_source(fullscale_seed),
+    )
+    .run_with_observer(&mut Fifo::new(), &mut (&mut telemetry, &mut recorder))
+    .expect("observed run must complete");
+    assert_eq!(
+        serial, observed,
+        "attaching observers changed the 100k-job outcome"
+    );
+    let registry = telemetry.into_registry();
+    assert_eq!(
+        registry.counter(mapreduce_metrics::telemetry::names::JOBS_COMPLETED),
+        100_000,
+        "telemetry registry missed job completions"
+    );
+    let trace_text = recorder.to_json().to_compact_string();
+    mapreduce_metrics::validate_trace(&trace_text, &registry)
+        .expect("stream100k trace must validate against its registry");
+    // Anchored to the workspace root: `cargo bench` runs with the crate
+    // directory as cwd, where a relative `target/` does not exist.
+    let trace_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../target/trace_stream100k.json"
+    );
+    match std::fs::write(trace_path, &trace_text) {
+        Ok(()) => println!(
+            "workload stream: observed 100k-job run is bit-identical; trace with {} events \
+             ({} dropped) validated and written to {trace_path}",
+            recorder.retained(),
+            recorder.dropped()
+        ),
+        Err(err) => println!("workload stream: could not write {trace_path}: {err}"),
+    }
+
     mapreduce_bench::merge_bench_report_with(
         "workload_stream",
         scenario.profile.num_jobs,

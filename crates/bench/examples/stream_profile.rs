@@ -75,16 +75,16 @@ fn main() {
     );
     println!(
         "stages: source {:.3}s, events {:.3}s, decision {:.3}s, metrics {:.3}s",
-        outcome.stage_source_ns as f64 / 1e9,
-        outcome.stage_events_ns as f64 / 1e9,
-        outcome.stage_decision_ns as f64 / 1e9,
-        outcome.stage_metrics_ns as f64 / 1e9,
+        outcome.telemetry.stage_source_ns as f64 / 1e9,
+        outcome.telemetry.stage_events_ns as f64 / 1e9,
+        outcome.telemetry.stage_decision_ns as f64 / 1e9,
+        outcome.telemetry.stage_metrics_ns as f64 / 1e9,
     );
     println!(
         "counters: {} copies, {} decision instants, peak resident {}, ranked prefix max {}",
         outcome.total_copies,
-        outcome.decision_instants,
+        outcome.telemetry.decision_instants,
         outcome.peak_resident_jobs,
-        outcome.ranked_prefix_len_max
+        outcome.telemetry.ranked_prefix_len_max
     );
 }

@@ -400,7 +400,7 @@ mod tests {
     #[test]
     fn empty_report_is_trivially_satisfied() {
         let trace = Trace::empty();
-        let outcome = SimOutcome::new("x".into(), 1, vec![], 0, 0, 0, 0, 0, 0, 0, 0);
+        let outcome = SimOutcome::new("x".into(), 1, vec![], 0, 0, 0, 0, 0, 0);
         let report = CompetitiveReport::new(&trace, &outcome, 1, 0.0);
         assert!(report.holds_for_all());
         assert_eq!(report.fraction_within_bound(), 1.0);

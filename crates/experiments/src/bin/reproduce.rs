@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! reproduce [EXPERIMENT] [--scale full|<num_jobs>] [--seeds N]
+//!           [--trace-out FILE]
 //!
 //! EXPERIMENT: all (default) | table2 | fig1 | fig2 | fig3 | fig4 | fig5 |
 //!             fig6 | fig7 | theorem1 | ablation
@@ -11,16 +12,66 @@
 //!             that many jobs (default 600).
 //! --seeds     number of repetitions to average over (default 3 at reduced
 //!             scale, 10 at full scale).
+//! --trace-out additionally re-runs one representative cell (the paper
+//!             scheduler on the scenario's first seed) with the telemetry
+//!             observers attached, asserts the observed run is bit-identical
+//!             to the unobserved one, self-validates the exported trace
+//!             against the metrics registry, and writes Chrome-trace JSON to
+//!             FILE (load it at ui.perfetto.dev or chrome://tracing).
 //! ```
 
 use mapreduce_experiments::Scenario;
 use mapreduce_experiments::{ablation, fig1, fig2, fig3, fig4, fig5, fig6, fig7, table2, theorem1};
+use mapreduce_experiments::{run_cell, run_cell_traced, SchedulerKind};
+use mapreduce_metrics::validate_trace;
+
+/// Default event cap for `--trace-out`: generous for reduced-scale scenarios
+/// (a 600-job cell emits tens of thousands of spans) while keeping the
+/// exported JSON bounded at paper scale — overflow is counted, not silent.
+const TRACE_EVENT_CAP: usize = 250_000;
+
+/// Runs the representative cell twice — once bare, once with the telemetry
+/// observers attached — asserts the runs are bit-identical, self-validates
+/// the exported trace against the independently folded registry, and writes
+/// the Chrome-trace JSON. Any mismatch is a hard failure (exit 1): this
+/// doubles as the CI smoke for the observer seam.
+fn export_trace(scenario: &Scenario, path: &str) {
+    let kind = SchedulerKind::paper_default();
+    let seed = scenario.seeds.first().copied().unwrap_or(2015);
+    let baseline = run_cell(kind, scenario, seed);
+    let (outcome, registry, recorder) = run_cell_traced(kind, scenario, seed, TRACE_EVENT_CAP);
+    if outcome != baseline
+        || outcome.telemetry.decision_instants != baseline.telemetry.decision_instants
+        || outcome.telemetry.ranked_prefix_len_max != baseline.telemetry.ranked_prefix_len_max
+    {
+        eprintln!("--trace-out: observed run diverged from the unobserved run");
+        std::process::exit(1);
+    }
+    let text = recorder.to_json().to_compact_string();
+    if let Err(err) = validate_trace(&text, &registry) {
+        eprintln!("--trace-out: trace failed self-validation: {err}");
+        std::process::exit(1);
+    }
+    if let Err(err) = std::fs::write(path, &text) {
+        eprintln!("--trace-out: cannot write {path}: {err}");
+        std::process::exit(1);
+    }
+    println!(
+        "# Trace export: {} events ({} dropped at cap {}) from one traced cell \
+         (seed {seed}) written to {path} — observed run bit-identical, \
+         trace validated against the registry.",
+        recorder.retained(),
+        recorder.dropped(),
+        TRACE_EVENT_CAP,
+    );
+}
 
 struct Options {
     experiment: String,
     scale: Option<usize>,
     full: bool,
     seeds: Option<usize>,
+    trace_out: Option<String>,
 }
 
 fn parse_args() -> Options {
@@ -29,6 +80,7 @@ fn parse_args() -> Options {
         scale: None,
         full: false,
         seeds: None,
+        trace_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -62,10 +114,17 @@ fn parse_args() -> Options {
                 }
                 options.seeds = Some(seeds);
             }
+            "--trace-out" => {
+                let value = args.next().unwrap_or_else(|| {
+                    eprintln!("--trace-out needs a file path");
+                    std::process::exit(2);
+                });
+                options.trace_out = Some(value);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: reproduce [all|table2|fig1|fig2|fig3|fig4|fig5|fig6|fig7|theorem1|ablation] \
-                     [--scale full|<num_jobs>] [--seeds N]"
+                     [--scale full|<num_jobs>] [--seeds N] [--trace-out FILE]"
                 );
                 std::process::exit(0);
             }
@@ -174,5 +233,8 @@ fn main() {
     }
     if run_all || experiment == "ablation" {
         println!("{}", ablation::render(&ablation::run(&scenario)));
+    }
+    if let Some(path) = &options.trace_out {
+        export_trace(&scenario, path);
     }
 }

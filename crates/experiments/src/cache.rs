@@ -261,7 +261,7 @@ mod tests {
     use std::path::PathBuf;
 
     fn outcome(label: &str) -> SimOutcome {
-        SimOutcome::new(label.to_string(), 4, vec![], 10, 5, 1, 2, 1, 1, 0, 0)
+        SimOutcome::new(label.to_string(), 4, vec![], 10, 5, 1, 2, 1, 1)
     }
 
     #[test]

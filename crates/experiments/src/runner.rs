@@ -14,7 +14,9 @@
 use crate::cache::{cell_fingerprint, OutcomeCache};
 use crate::scenario::{Scenario, WorkloadSource};
 use mapreduce_baselines::{FairScheduler, Fifo, Late, Mantri, Restart, Sca, SrptNoClone};
-use mapreduce_metrics::FlowtimeSummary;
+use mapreduce_metrics::{
+    fold_run_telemetry, FlowtimeSummary, MetricsRegistry, SimTelemetry, TraceRecorder,
+};
 use mapreduce_sched::{OfflineSrpt, SrptMsC, SrptMsCConfig};
 use mapreduce_sim::{Scheduler, SimConfig, SimOutcome, Simulation};
 use mapreduce_support::json::{FromJson, JsonError, JsonValue, ToJson};
@@ -267,6 +269,33 @@ pub fn run_cell(kind: SchedulerKind, scenario: &Scenario, seed: u64) -> SimOutco
     Simulation::from_source(config, scenario.job_source(seed))
         .run(scheduler.as_mut())
         .unwrap_or_else(|e| panic!("simulation with {} failed: {e}", kind.label()))
+}
+
+/// [`run_cell`] with the telemetry consumers attached: a [`SimTelemetry`]
+/// counter/histogram fold and a bounded Chrome-trace [`TraceRecorder`]
+/// capped at `trace_cap` events.
+///
+/// The observed run is bit-identical to the unobserved [`run_cell`] of the
+/// same `(kind, scenario, seed)` — the observer seam is read-only — which
+/// `reproduce --trace-out` re-asserts on every invocation. The returned
+/// registry includes the engine-side [`mapreduce_sim::RunTelemetry`] fold,
+/// so it carries both event counts and stage timings.
+pub fn run_cell_traced(
+    kind: SchedulerKind,
+    scenario: &Scenario,
+    seed: u64,
+    trace_cap: usize,
+) -> (SimOutcome, MetricsRegistry, TraceRecorder) {
+    let config = scenario.sim_config(seed);
+    let mut scheduler = kind.build();
+    let mut telemetry = SimTelemetry::new();
+    let mut recorder = TraceRecorder::new(trace_cap);
+    let outcome = Simulation::from_source(config, scenario.job_source(seed))
+        .run_with_observer(scheduler.as_mut(), &mut (&mut telemetry, &mut recorder))
+        .unwrap_or_else(|e| panic!("traced simulation with {} failed: {e}", kind.label()));
+    let mut registry = telemetry.into_registry();
+    fold_run_telemetry(&mut registry, &outcome.telemetry);
+    (outcome, registry, recorder)
 }
 
 /// [`run_cell`] over an already-materialised trace — the shared-conversion

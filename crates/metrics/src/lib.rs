@@ -8,14 +8,26 @@
 //! * the **CDF of job flowtime**, restricted to small jobs (0–300 s, Fig. 4)
 //!   or big jobs (300–4000 s, Fig. 5) — [`Ecdf`];
 //! * side-by-side **algorithm comparisons** — [`ComparisonReport`].
+//!
+//! On top of the paper-figure metrics, the crate hosts the telemetry
+//! consumers of the engine's [`mapreduce_sim::SimObserver`] seam: a
+//! shard-mergeable counter/histogram [`MetricsRegistry`] with its folding
+//! observer [`SimTelemetry`], and the bounded Chrome-trace exporter
+//! [`TraceRecorder`] (see [`trace_export`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cdf;
+pub mod registry;
 pub mod report;
 pub mod summary;
+pub mod telemetry;
+pub mod trace_export;
 
 pub use cdf::Ecdf;
+pub use registry::{Log2Histogram, MetricsRegistry, HISTOGRAM_BUCKETS};
 pub use report::ComparisonReport;
 pub use summary::{FlowtimeBucket, FlowtimeSummary, StreamingFlowtime};
+pub use telemetry::{fold_run_telemetry, SimTelemetry};
+pub use trace_export::{validate_trace, TraceRecorder};

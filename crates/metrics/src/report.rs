@@ -116,8 +116,6 @@ mod tests {
             5,
             1,
             1,
-            0,
-            0,
         )
     }
 

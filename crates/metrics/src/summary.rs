@@ -296,8 +296,6 @@ mod tests {
             10,
             3,
             3,
-            0,
-            0,
         );
         let small = FlowtimeSummary::for_bucket(&outcome, FlowtimeBucket::SMALL_JOBS);
         assert_eq!(small.jobs, 2);

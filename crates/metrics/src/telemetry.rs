@@ -1,0 +1,304 @@
+//! Registry-folding [`SimObserver`]: turns lifecycle events into counters
+//! and log2 histograms.
+//!
+//! [`SimTelemetry`] is the standard consumer of the engine's telemetry seam:
+//! attach it via [`mapreduce_sim::Simulation::run_with_observer`] and every
+//! event folds into a [`MetricsRegistry`] at counter cost. All folded
+//! quantities are simulation facts (slots, counts), so two runs of the same
+//! configuration produce byte-identical registries — with the single
+//! documented exception of the `decision_cost_ns` histogram, which is fed by
+//! [`DecisionInstant::wall_ns`] and therefore only non-zero (and only
+//! host-dependent) when `SimConfig::with_profile_stages` is on.
+//!
+//! Counter and histogram names are published as constants in [`names`] so
+//! exporters ([`crate::TraceRecorder`]) and tests compare against the same
+//! strings the observer writes.
+
+use crate::registry::MetricsRegistry;
+use mapreduce_sim::telemetry::{
+    CopyCancelled, CopyFinished, CopyLaunched, DecisionInstant, SimObserver,
+};
+use mapreduce_sim::{CancelReason, JobRecord, RunTelemetry, Slot};
+use mapreduce_workload::{JobId, TaskId};
+use std::collections::HashSet;
+
+/// Names of the counters and histograms [`SimTelemetry`] folds, so every
+/// consumer (trace export, server stats, tests) speaks the same vocabulary.
+pub mod names {
+    /// Counter: jobs admitted into the run.
+    pub const JOBS_ARRIVED: &str = "jobs_arrived";
+    /// Counter: jobs completed.
+    pub const JOBS_COMPLETED: &str = "jobs_completed";
+    /// Counter: copies launched (originals + clones + backups).
+    pub const COPIES_LAUNCHED: &str = "copies_launched";
+    /// Counter: the subset of launches that were clones/backups.
+    pub const CLONES_LAUNCHED: &str = "clones_launched";
+    /// Counter: copies that finished and won their task.
+    pub const COPIES_FINISHED: &str = "copies_finished";
+    /// Counter: copies cancelled because a sibling finished first.
+    pub const CANCELLED_SIBLING: &str = "copies_cancelled_sibling";
+    /// Counter: copies cancelled by a scheduler action.
+    pub const CANCELLED_SCHEDULER: &str = "copies_cancelled_scheduler";
+    /// Counter: copies killed by a machine crash.
+    pub const CANCELLED_FAULT: &str = "copies_cancelled_fault";
+    /// Counter: tasks whose last copy died and re-entered the unscheduled
+    /// pool.
+    pub const TASKS_UNLAUNCHED: &str = "tasks_unlaunched";
+    /// Counter: machine down events (crashes and brown-out onsets).
+    pub const MACHINES_DOWN: &str = "machines_down";
+    /// Counter: machine up events (recoveries and brown-out ends).
+    pub const MACHINES_UP: &str = "machines_up";
+    /// Counter: decision instants that reached the scheduler.
+    pub const DECISION_INSTANTS: &str = "decision_instants";
+    /// Counter: `Action::Launch` actions returned by the scheduler.
+    pub const LAUNCH_ACTIONS: &str = "launch_actions";
+    /// Counter: `Action::CancelCopies` actions returned by the scheduler.
+    pub const CANCEL_ACTIONS: &str = "cancel_actions";
+    /// Counter: copies requested across all launch actions (pre-clipping).
+    pub const COPIES_REQUESTED: &str = "copies_requested";
+
+    /// Histogram: copies ever launched for each completed task.
+    pub const COPIES_PER_TASK: &str = "copies_per_task";
+    /// Histogram: lifetime (slots) of winning copies.
+    pub const COPY_LIFETIME: &str = "copy_lifetime";
+    /// Histogram: lifetime (slots) of clone/backup copies at finish or
+    /// cancellation.
+    pub const CLONE_LIFETIME: &str = "clone_lifetime";
+    /// Histogram: machine time (slots) reclaimed per cancelled copy.
+    pub const CANCEL_LATENCY: &str = "cancel_latency";
+    /// Histogram: job flowtimes (slots).
+    pub const JOB_FLOWTIME: &str = "job_flowtime";
+    /// Histogram: ranked-candidate prefix consumed per decision instant.
+    pub const RANKED_PREFIX: &str = "ranked_prefix";
+    /// Histogram: wall-clock nanoseconds per decision instant (all-zero
+    /// unless `SimConfig::with_profile_stages` is on).
+    pub const DECISION_COST_NS: &str = "decision_cost_ns";
+
+    /// Counters [`super::fold_run_telemetry`] adds from a run's
+    /// [`mapreduce_sim::RunTelemetry`], prefixed to keep engine-side numbers
+    /// apart from observer-side ones.
+    pub const ENGINE_DECISION_INSTANTS: &str = "engine_decision_instants";
+    /// Engine-side stage timing counter (see [`super::fold_run_telemetry`]).
+    pub const STAGE_SOURCE_NS: &str = "stage_source_ns";
+    /// Engine-side stage timing counter (see [`super::fold_run_telemetry`]).
+    pub const STAGE_EVENTS_NS: &str = "stage_events_ns";
+    /// Engine-side stage timing counter (see [`super::fold_run_telemetry`]).
+    pub const STAGE_DECISION_NS: &str = "stage_decision_ns";
+    /// Engine-side stage timing counter (see [`super::fold_run_telemetry`]).
+    pub const STAGE_METRICS_NS: &str = "stage_metrics_ns";
+    /// Histogram fed one sample per folded run: the run's largest
+    /// ranked-candidate prefix.
+    pub const RANKED_PREFIX_LEN_MAX: &str = "ranked_prefix_len_max";
+}
+
+/// Folds a run's engine-side [`RunTelemetry`] into a registry: stage
+/// nanoseconds and decision counts add as counters (shard-mergeable across
+/// cells of a sweep), the per-run ranked-prefix maximum lands as one
+/// histogram sample.
+pub fn fold_run_telemetry(registry: &mut MetricsRegistry, telemetry: &RunTelemetry) {
+    registry.inc(names::ENGINE_DECISION_INSTANTS, telemetry.decision_instants);
+    registry.inc(names::STAGE_SOURCE_NS, telemetry.stage_source_ns);
+    registry.inc(names::STAGE_EVENTS_NS, telemetry.stage_events_ns);
+    registry.inc(names::STAGE_DECISION_NS, telemetry.stage_decision_ns);
+    registry.inc(names::STAGE_METRICS_NS, telemetry.stage_metrics_ns);
+    registry.record(
+        names::RANKED_PREFIX_LEN_MAX,
+        telemetry.ranked_prefix_len_max as u64,
+    );
+}
+
+/// The registry-folding observer.
+///
+/// Tracks which active arena slots hold clones (slot ids are reused, so the
+/// set stays bounded by the alive copy window) to attribute lifetimes to the
+/// `clone_lifetime` histogram without the engine having to replay the launch
+/// kind at finish time.
+#[derive(Debug, Default, Clone)]
+pub struct SimTelemetry {
+    registry: MetricsRegistry,
+    /// Arena slots currently occupied by a clone/backup copy.
+    clones: HashSet<u64>,
+}
+
+impl SimTelemetry {
+    /// A fresh observer with an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The folded registry so far.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Consumes the observer, yielding the folded registry.
+    pub fn into_registry(self) -> MetricsRegistry {
+        self.registry
+    }
+
+    /// A copy left its machine: settle its clone bookkeeping and return
+    /// whether it was a clone.
+    fn settle_clone(&mut self, copy: mapreduce_sim::CopyId, lifetime: u64) -> bool {
+        if self.clones.remove(&copy.0) {
+            self.registry.record(names::CLONE_LIFETIME, lifetime);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl SimObserver for SimTelemetry {
+    fn on_job_arrived(&mut self, _at: Slot, _job: JobId) {
+        self.registry.inc(names::JOBS_ARRIVED, 1);
+    }
+
+    fn on_job_completed(&mut self, record: &JobRecord) {
+        self.registry.inc(names::JOBS_COMPLETED, 1);
+        self.registry.record(names::JOB_FLOWTIME, record.flowtime());
+    }
+
+    fn on_copy_launched(&mut self, event: CopyLaunched) {
+        self.registry.inc(names::COPIES_LAUNCHED, 1);
+        if event.clone {
+            self.registry.inc(names::CLONES_LAUNCHED, 1);
+            self.clones.insert(event.copy.0);
+        }
+    }
+
+    fn on_copy_finished(&mut self, event: CopyFinished) {
+        self.registry.inc(names::COPIES_FINISHED, 1);
+        let lifetime = event.at.saturating_sub(event.launched_at);
+        self.registry.record(names::COPY_LIFETIME, lifetime);
+        self.registry
+            .record(names::COPIES_PER_TASK, event.copies_of_task as u64);
+        self.settle_clone(event.copy, lifetime);
+    }
+
+    fn on_copy_cancelled(&mut self, event: CopyCancelled) {
+        let counter = match event.reason {
+            CancelReason::SiblingFinished => names::CANCELLED_SIBLING,
+            CancelReason::Scheduler => names::CANCELLED_SCHEDULER,
+            CancelReason::Fault => names::CANCELLED_FAULT,
+        };
+        self.registry.inc(counter, 1);
+        let lifetime = event.at.saturating_sub(event.launched_at);
+        self.registry.record(names::CANCEL_LATENCY, lifetime);
+        self.settle_clone(event.copy, lifetime);
+    }
+
+    fn on_task_unlaunched(&mut self, _at: Slot, _task: TaskId) {
+        self.registry.inc(names::TASKS_UNLAUNCHED, 1);
+    }
+
+    fn on_machine_down(&mut self, _at: Slot, _machine: u32, _crash: bool) {
+        self.registry.inc(names::MACHINES_DOWN, 1);
+    }
+
+    fn on_machine_up(&mut self, _at: Slot, _machine: u32, _crash: bool) {
+        self.registry.inc(names::MACHINES_UP, 1);
+    }
+
+    fn on_decision_instant(&mut self, event: DecisionInstant) {
+        self.registry.inc(names::DECISION_INSTANTS, 1);
+        self.registry
+            .inc(names::LAUNCH_ACTIONS, event.launch_actions as u64);
+        self.registry
+            .inc(names::CANCEL_ACTIONS, event.cancel_actions as u64);
+        self.registry
+            .inc(names::COPIES_REQUESTED, event.copies_requested as u64);
+        self.registry
+            .record(names::RANKED_PREFIX, event.ranked_prefix as u64);
+        self.registry.record(names::DECISION_COST_NS, event.wall_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapreduce_sim::schedulers::MaxCloneScheduler;
+    use mapreduce_sim::{SimConfig, Simulation};
+    use mapreduce_workload::WorkloadBuilder;
+
+    #[test]
+    fn observed_run_folds_consistent_counters() {
+        let trace = WorkloadBuilder::new().num_jobs(40).build(11);
+        let config = SimConfig::new(16).with_seed(11);
+        let mut scheduler = MaxCloneScheduler::new(3);
+        let mut telemetry = SimTelemetry::new();
+        let outcome = Simulation::new(config.clone(), &trace)
+            .run_with_observer(&mut scheduler, &mut telemetry)
+            .unwrap();
+        let registry = telemetry.registry();
+
+        assert_eq!(
+            registry.counter(names::JOBS_ARRIVED),
+            outcome.records().len() as u64
+        );
+        assert_eq!(
+            registry.counter(names::JOBS_COMPLETED),
+            outcome.records().len() as u64
+        );
+        assert_eq!(
+            registry.counter(names::COPIES_LAUNCHED),
+            outcome.total_copies as u64
+        );
+        // Every launched copy ends exactly one way.
+        assert_eq!(
+            registry.counter(names::COPIES_FINISHED)
+                + registry.counter(names::CANCELLED_SIBLING)
+                + registry.counter(names::CANCELLED_SCHEDULER)
+                + registry.counter(names::CANCELLED_FAULT),
+            outcome.total_copies as u64
+        );
+        // The final event batch never reaches the scheduler.
+        assert_eq!(
+            registry.counter(names::DECISION_INSTANTS),
+            outcome.telemetry.decision_instants - 1
+        );
+        // Cloning scheduler on a wide cluster must actually clone.
+        assert!(registry.counter(names::CLONES_LAUNCHED) > 0);
+        assert_eq!(
+            registry.histogram(names::CLONE_LIFETIME).unwrap().count(),
+            registry.counter(names::CLONES_LAUNCHED)
+        );
+        // Flowtime histogram agrees with the outcome's exact mean.
+        let h = registry.histogram(names::JOB_FLOWTIME).unwrap();
+        assert_eq!(h.count(), outcome.records().len() as u64);
+        assert!((h.mean() - outcome.mean_flowtime()).abs() < 1e-9);
+        // Profiling was off: every decision cost sample is 0.
+        let cost = registry.histogram(names::DECISION_COST_NS).unwrap();
+        assert_eq!(cost.bucket(0), cost.count());
+
+        // Attaching the observer must not perturb the trajectory.
+        let plain = Simulation::new(config, &trace)
+            .run(&mut MaxCloneScheduler::new(3))
+            .unwrap();
+        assert_eq!(plain, outcome);
+    }
+
+    #[test]
+    fn fold_run_telemetry_accumulates_across_cells() {
+        let mut registry = MetricsRegistry::new();
+        let a = RunTelemetry {
+            decision_instants: 10,
+            ranked_prefix_len_max: 4,
+            stage_source_ns: 100,
+            stage_events_ns: 200,
+            stage_decision_ns: 300,
+            stage_metrics_ns: 400,
+        };
+        let b = RunTelemetry {
+            decision_instants: 5,
+            ranked_prefix_len_max: 9,
+            ..RunTelemetry::default()
+        };
+        fold_run_telemetry(&mut registry, &a);
+        fold_run_telemetry(&mut registry, &b);
+        assert_eq!(registry.counter(names::ENGINE_DECISION_INSTANTS), 15);
+        assert_eq!(registry.counter(names::STAGE_DECISION_NS), 300);
+        let h = registry.histogram(names::RANKED_PREFIX_LEN_MAX).unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), 9);
+    }
+}

@@ -1,0 +1,439 @@
+//! Bounded Chrome-trace-event exporter.
+//!
+//! [`TraceRecorder`] is a [`SimObserver`] that renders lifecycle events into
+//! the Chrome trace-event JSON format (the `{"traceEvents": [...]}` object
+//! form), viewable in Perfetto (<https://ui.perfetto.dev>) or
+//! `chrome://tracing`. Slots map to trace microseconds at 1 slot = 1 s
+//! (`ts = slot × 1_000_000`), and the lanes are fixed process ids:
+//!
+//! | pid | lane |
+//! |-----|------|
+//! | 0 | scheduler (decision counters, task unlaunches) |
+//! | 1 | jobs (one complete-event span per job, arrival → completion) |
+//! | 2 | copies (one span per copy, launch → finish/cancel) |
+//! | 3 | machines (down/up instants) |
+//!
+//! The recorder is **bounded**: construction fixes an event cap, events past
+//! the cap are dropped, and a truncation counter records how many — the
+//! exported file always says whether it is complete. Per-kind counts
+//! (named exactly like the [`crate::telemetry::names`] counters) are
+//! embedded in the export, and [`validate_trace`] cross-checks them against
+//! a [`MetricsRegistry`] folded from the same run, which is how the CI trace
+//! smoke asserts the exporter saw every event the registry counted.
+
+use crate::registry::MetricsRegistry;
+use crate::telemetry::names;
+use mapreduce_sim::telemetry::{
+    CopyCancelled, CopyFinished, CopyLaunched, DecisionInstant, SimObserver,
+};
+use mapreduce_sim::{CancelReason, JobRecord, Slot};
+use mapreduce_support::json::{FromJson, JsonValue, ToJson};
+use mapreduce_workload::{JobId, Phase, TaskId};
+
+/// Microseconds per slot in the exported trace: 1 slot = 1 simulated second.
+pub const MICROS_PER_SLOT: u64 = 1_000_000;
+
+/// Trace lane (Chrome `pid`) of scheduler-level events.
+pub const PID_SCHEDULER: u64 = 0;
+/// Trace lane of per-job spans.
+pub const PID_JOBS: u64 = 1;
+/// Trace lane of per-copy spans.
+pub const PID_COPIES: u64 = 2;
+/// Trace lane of machine down/up instants.
+pub const PID_MACHINES: u64 = 3;
+
+/// The counter names a trace export embeds and [`validate_trace`] compares —
+/// exactly the per-event-kind counters [`crate::SimTelemetry`] folds.
+pub const VALIDATED_COUNTERS: [&str; 11] = [
+    names::JOBS_ARRIVED,
+    names::JOBS_COMPLETED,
+    names::COPIES_LAUNCHED,
+    names::COPIES_FINISHED,
+    names::CANCELLED_SIBLING,
+    names::CANCELLED_SCHEDULER,
+    names::CANCELLED_FAULT,
+    names::TASKS_UNLAUNCHED,
+    names::MACHINES_DOWN,
+    names::MACHINES_UP,
+    names::DECISION_INSTANTS,
+];
+
+fn ts(slot: Slot) -> JsonValue {
+    (slot * MICROS_PER_SLOT).to_json()
+}
+
+fn phase_name(phase: Phase) -> &'static str {
+    match phase {
+        Phase::Map => "map",
+        Phase::Reduce => "reduce",
+    }
+}
+
+fn task_args(task: TaskId) -> JsonValue {
+    JsonValue::object([
+        ("job", task.job.to_json()),
+        (
+            "phase",
+            JsonValue::String(phase_name(task.phase).to_string()),
+        ),
+        ("index", task.index.to_json()),
+    ])
+}
+
+/// A bounded Chrome-trace-event recorder.
+///
+/// Spans are emitted when they *end* (job completion, copy finish/cancel) —
+/// the lifecycle events carry their start slots, so no per-entity start map
+/// is kept and recorder memory is exactly the retained event list.
+#[derive(Debug, Clone)]
+pub struct TraceRecorder {
+    events: Vec<JsonValue>,
+    cap: usize,
+    /// Events dropped after the cap was reached.
+    dropped: u64,
+    /// Per-kind attempt counts, named like the registry counters.
+    counts: MetricsRegistry,
+}
+
+impl TraceRecorder {
+    /// A recorder retaining at most `cap` events (counting continues past
+    /// the cap; only the event list is bounded).
+    pub fn new(cap: usize) -> Self {
+        TraceRecorder {
+            events: Vec::new(),
+            cap,
+            dropped: 0,
+            counts: MetricsRegistry::new(),
+        }
+    }
+
+    /// Number of events currently retained.
+    pub fn retained(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Number of events dropped over the cap.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The per-kind attempt counts (every event counts, retained or not).
+    pub fn counts(&self) -> &MetricsRegistry {
+        &self.counts
+    }
+
+    fn push(&mut self, event: JsonValue) {
+        if self.events.len() < self.cap {
+            self.events.push(event);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Renders the trace as a Chrome trace-event JSON document.
+    ///
+    /// Top-level shape: `traceEvents` (the event array, metadata first),
+    /// `displayTimeUnit`, and an `exportStats` object carrying the cap, the
+    /// drop counter and the per-kind counts that [`validate_trace`] checks.
+    pub fn to_json(&self) -> JsonValue {
+        let mut events: Vec<JsonValue> = Vec::with_capacity(self.events.len() + 4);
+        for (pid, name) in [
+            (PID_SCHEDULER, "scheduler"),
+            (PID_JOBS, "jobs"),
+            (PID_COPIES, "copies"),
+            (PID_MACHINES, "machines"),
+        ] {
+            events.push(JsonValue::object([
+                ("name", JsonValue::String("process_name".to_string())),
+                ("ph", JsonValue::String("M".to_string())),
+                ("pid", pid.to_json()),
+                (
+                    "args",
+                    JsonValue::object([("name", JsonValue::String(name.to_string()))]),
+                ),
+            ]));
+        }
+        events.extend(self.events.iter().cloned());
+        JsonValue::object([
+            ("traceEvents", JsonValue::Array(events)),
+            ("displayTimeUnit", JsonValue::String("ms".to_string())),
+            (
+                "exportStats",
+                JsonValue::object([
+                    ("cap", self.cap.to_json()),
+                    ("retained", self.events.len().to_json()),
+                    ("dropped", self.dropped.to_json()),
+                    ("counts", self.counts.to_json()),
+                ]),
+            ),
+        ])
+    }
+
+    /// The complete-event span of a finished or cancelled copy.
+    fn copy_span(&mut self, name: &str, at: Slot, launched_at: Slot, copy: u64, task: TaskId) {
+        let dur = at.saturating_sub(launched_at) * MICROS_PER_SLOT;
+        self.push(JsonValue::object([
+            ("name", JsonValue::String(name.to_string())),
+            ("ph", JsonValue::String("X".to_string())),
+            ("pid", PID_COPIES.to_json()),
+            ("tid", copy.to_json()),
+            ("ts", ts(launched_at)),
+            ("dur", dur.to_json()),
+            ("args", task_args(task)),
+        ]));
+    }
+}
+
+impl SimObserver for TraceRecorder {
+    fn on_job_arrived(&mut self, _at: Slot, _job: JobId) {
+        // Arrival is the start of the job span emitted at completion; only
+        // the count is recorded here.
+        self.counts.inc(names::JOBS_ARRIVED, 1);
+    }
+
+    fn on_job_completed(&mut self, record: &JobRecord) {
+        self.counts.inc(names::JOBS_COMPLETED, 1);
+        self.push(JsonValue::object([
+            ("name", JsonValue::String(format!("job {}", record.job))),
+            ("ph", JsonValue::String("X".to_string())),
+            ("pid", PID_JOBS.to_json()),
+            ("tid", record.job.to_json()),
+            ("ts", ts(record.arrival)),
+            ("dur", (record.flowtime() * MICROS_PER_SLOT).to_json()),
+            (
+                "args",
+                JsonValue::object([
+                    ("copies_launched", record.copies_launched.to_json()),
+                    ("num_tasks", record.num_tasks().to_json()),
+                    ("weight", record.weight.to_json()),
+                ]),
+            ),
+        ]));
+    }
+
+    fn on_copy_launched(&mut self, _event: CopyLaunched) {
+        // The launch slot rides on the finish/cancel event (spans are
+        // emitted when they end); only the count is recorded here.
+        self.counts.inc(names::COPIES_LAUNCHED, 1);
+    }
+
+    fn on_copy_finished(&mut self, event: CopyFinished) {
+        self.counts.inc(names::COPIES_FINISHED, 1);
+        self.copy_span(
+            "copy",
+            event.at,
+            event.launched_at,
+            event.copy.0,
+            event.task,
+        );
+    }
+
+    fn on_copy_cancelled(&mut self, event: CopyCancelled) {
+        let (counter, name) = match event.reason {
+            CancelReason::SiblingFinished => (names::CANCELLED_SIBLING, "cancelled:sibling"),
+            CancelReason::Scheduler => (names::CANCELLED_SCHEDULER, "cancelled:scheduler"),
+            CancelReason::Fault => (names::CANCELLED_FAULT, "cancelled:fault"),
+        };
+        self.counts.inc(counter, 1);
+        self.copy_span(name, event.at, event.launched_at, event.copy.0, event.task);
+    }
+
+    fn on_task_unlaunched(&mut self, at: Slot, task: TaskId) {
+        self.counts.inc(names::TASKS_UNLAUNCHED, 1);
+        self.push(JsonValue::object([
+            ("name", JsonValue::String("task_unlaunched".to_string())),
+            ("ph", JsonValue::String("i".to_string())),
+            ("s", JsonValue::String("p".to_string())),
+            ("pid", PID_SCHEDULER.to_json()),
+            ("tid", 0u64.to_json()),
+            ("ts", ts(at)),
+            ("args", task_args(task)),
+        ]));
+    }
+
+    fn on_machine_down(&mut self, at: Slot, machine: u32, crash: bool) {
+        self.counts.inc(names::MACHINES_DOWN, 1);
+        self.push(JsonValue::object([
+            (
+                "name",
+                JsonValue::String(if crash { "crash" } else { "brownout" }.to_string()),
+            ),
+            ("ph", JsonValue::String("i".to_string())),
+            ("s", JsonValue::String("t".to_string())),
+            ("pid", PID_MACHINES.to_json()),
+            ("tid", machine.to_json()),
+            ("ts", ts(at)),
+        ]));
+    }
+
+    fn on_machine_up(&mut self, at: Slot, machine: u32, crash: bool) {
+        self.counts.inc(names::MACHINES_UP, 1);
+        self.push(JsonValue::object([
+            (
+                "name",
+                JsonValue::String(if crash { "recovered" } else { "brownout_end" }.to_string()),
+            ),
+            ("ph", JsonValue::String("i".to_string())),
+            ("s", JsonValue::String("t".to_string())),
+            ("pid", PID_MACHINES.to_json()),
+            ("tid", machine.to_json()),
+            ("ts", ts(at)),
+        ]));
+    }
+
+    fn on_decision_instant(&mut self, event: DecisionInstant) {
+        self.counts.inc(names::DECISION_INSTANTS, 1);
+        self.push(JsonValue::object([
+            ("name", JsonValue::String("scheduler_actions".to_string())),
+            ("ph", JsonValue::String("C".to_string())),
+            ("pid", PID_SCHEDULER.to_json()),
+            ("ts", ts(event.at)),
+            (
+                "args",
+                JsonValue::object([
+                    ("launch_actions", event.launch_actions.to_json()),
+                    ("cancel_actions", event.cancel_actions.to_json()),
+                    ("copies_requested", event.copies_requested.to_json()),
+                    ("ranked_prefix", event.ranked_prefix.to_json()),
+                ]),
+            ),
+        ]));
+    }
+}
+
+/// Validates an exported trace document against the registry folded from the
+/// same run.
+///
+/// Checks, in order: the text parses as JSON; `traceEvents` is a non-empty
+/// array whose every entry carries the mandatory `ph`/`pid` fields; the
+/// retained + dropped accounting is consistent; and every
+/// [`VALIDATED_COUNTERS`] entry of the embedded per-kind counts equals the
+/// registry's counter of the same name. Returns a description of the first
+/// mismatch.
+pub fn validate_trace(text: &str, registry: &MetricsRegistry) -> Result<(), String> {
+    let doc = JsonValue::parse(text).map_err(|e| format!("trace does not parse: {e}"))?;
+    let JsonValue::Array(events) = doc
+        .field("traceEvents")
+        .map_err(|e| format!("bad trace: {e}"))?
+    else {
+        return Err("traceEvents is not an array".to_string());
+    };
+    if events.is_empty() {
+        return Err("traceEvents is empty".to_string());
+    }
+    let mut spans = 0u64;
+    for event in events {
+        let ph = event
+            .field("ph")
+            .map_err(|e| format!("event without ph: {e}"))?;
+        event
+            .field("pid")
+            .map_err(|e| format!("event without pid: {e}"))?;
+        if matches!(ph, JsonValue::String(s) if s == "X") {
+            spans += 1;
+        }
+    }
+    let stats = doc
+        .field("exportStats")
+        .map_err(|e| format!("bad trace: {e}"))?;
+    let retained = stats
+        .field("retained")
+        .and_then(u64::from_json)
+        .map_err(|e| format!("bad exportStats: {e}"))?;
+    let dropped = stats
+        .field("dropped")
+        .and_then(u64::from_json)
+        .map_err(|e| format!("bad exportStats: {e}"))?;
+    // 4 process_name metadata events ride in front of the retained ones.
+    if events.len() as u64 != retained + 4 {
+        return Err(format!(
+            "traceEvents carries {} events but exportStats.retained says {retained}",
+            events.len()
+        ));
+    }
+    let counts = MetricsRegistry::from_json(
+        stats
+            .field("counts")
+            .map_err(|e| format!("bad exportStats: {e}"))?,
+    )
+    .map_err(|e| format!("bad exportStats.counts: {e}"))?;
+    for name in VALIDATED_COUNTERS {
+        let traced = counts.counter(name);
+        let folded = registry.counter(name);
+        if traced != folded {
+            return Err(format!(
+                "count mismatch for `{name}`: trace saw {traced}, registry folded {folded}"
+            ));
+        }
+    }
+    // Every span-producing kind either landed in the file or in `dropped`.
+    let span_kinds = counts.counter(names::JOBS_COMPLETED)
+        + counts.counter(names::COPIES_FINISHED)
+        + counts.counter(names::CANCELLED_SIBLING)
+        + counts.counter(names::CANCELLED_SCHEDULER)
+        + counts.counter(names::CANCELLED_FAULT);
+    if spans > span_kinds {
+        return Err(format!(
+            "{spans} complete-event spans exceed the {span_kinds} span-producing events counted"
+        ));
+    }
+    if dropped == 0 && spans != span_kinds {
+        return Err(format!(
+            "nothing was dropped but {spans} spans != {span_kinds} span-producing events"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::SimTelemetry;
+    use mapreduce_sim::schedulers::MaxCloneScheduler;
+    use mapreduce_sim::{FaultClass, FaultPlan, SimConfig, Simulation};
+    use mapreduce_workload::WorkloadBuilder;
+
+    fn traced_run(cap: usize) -> (TraceRecorder, SimTelemetry) {
+        let trace = WorkloadBuilder::new().num_jobs(30).build(5);
+        let plan = FaultPlan::new(vec![FaultClass::crashes(4, 60.0, 20.0)]);
+        let config = SimConfig::new(12).with_seed(5).with_fault_plan(plan);
+        let mut recorder = TraceRecorder::new(cap);
+        let mut telemetry = SimTelemetry::new();
+        let mut observer = (&mut telemetry, &mut recorder);
+        Simulation::new(config, &trace)
+            .run_with_observer(&mut MaxCloneScheduler::new(2), &mut observer)
+            .unwrap();
+        (recorder, telemetry)
+    }
+
+    #[test]
+    fn export_validates_against_registry() {
+        let (recorder, telemetry) = traced_run(usize::MAX);
+        assert_eq!(recorder.dropped(), 0);
+        let text = recorder.to_json().to_compact_string();
+        validate_trace(&text, telemetry.registry()).expect("trace must validate");
+    }
+
+    #[test]
+    fn cap_bounds_the_event_list_and_counts_drops() {
+        let (capped, telemetry) = traced_run(10);
+        assert_eq!(capped.retained(), 10);
+        assert!(
+            capped.dropped() > 0,
+            "the run emits far more than 10 events"
+        );
+        // Counts keep going past the cap, so validation still matches.
+        let text = capped.to_json().to_compact_string();
+        validate_trace(&text, telemetry.registry()).expect("capped trace must validate");
+    }
+
+    #[test]
+    fn validation_catches_a_count_mismatch() {
+        let (recorder, telemetry) = traced_run(usize::MAX);
+        let text = recorder.to_json().to_compact_string();
+        let mut wrong = telemetry.registry().clone();
+        wrong.inc(names::COPIES_FINISHED, 1);
+        let err = validate_trace(&text, &wrong).unwrap_err();
+        assert!(err.contains("copies_finished"), "got: {err}");
+    }
+}

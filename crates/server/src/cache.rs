@@ -303,7 +303,7 @@ mod tests {
     use super::*;
 
     fn outcome(label: &str, makespan: u64) -> SimOutcome {
-        SimOutcome::new(label.to_string(), 4, vec![], makespan, 9, 3, 7, 2, 2, 0, 0)
+        SimOutcome::new(label.to_string(), 4, vec![], makespan, 9, 3, 7, 2, 2)
     }
 
     fn temp_path(tag: &str) -> PathBuf {

@@ -9,7 +9,9 @@
 //! {"cmd":"sweep","scenario":{...},"schedulers":["Fifo",{"SrptMsC":{"epsilon":0.6,"r":3}}]}
 //! → {"ok":true,"cmd":"sweep","response":{"cells":[...],"averages":[...],"cache_hits":0,...}}
 //! {"cmd":"stats"}
-//! → {"ok":true,"cmd":"stats","cache":{"entries":20,"hits":0,"misses":20,"stores":20,...}}
+//! → {"ok":true,"cmd":"stats","cache":{"entries":20,"hits":0,"misses":20,...},
+//!    "server":{"uptime_ns":...,"requests_served":2,"cells_simulated_total":20,
+//!              "cache_hit_rate":0.5,"metrics":{...}}}
 //! {"cmd":"shutdown"}
 //! → {"ok":true,"cmd":"shutdown"}
 //! ```
@@ -141,6 +143,29 @@ pub struct ServeStats {
     pub errors: usize,
     /// Whether the session ended via an explicit `shutdown` (vs EOF).
     pub shutdown: bool,
+}
+
+/// Serializes the `server` body of the `stats` response: lifetime request
+/// and simulation counters, uptime, the cache hit-rate, and the engine
+/// telemetry registry folded over every simulated cell.
+fn server_stats_json(server: &SweepServer) -> JsonValue {
+    let stats = server.cache().stats();
+    let lookups = stats.hits + stats.misses;
+    let hit_rate = if lookups == 0 {
+        0.0
+    } else {
+        stats.hits as f64 / lookups as f64
+    };
+    JsonValue::object([
+        ("uptime_ns", server.uptime_ns().to_json()),
+        ("requests_served", server.requests_served().to_json()),
+        (
+            "cells_simulated_total",
+            server.cells_simulated_total().to_json(),
+        ),
+        ("cache_hit_rate", hit_rate.to_json()),
+        ("metrics", server.metrics_snapshot().to_json()),
+    ])
 }
 
 /// Serializes the `stats` response body for a server's cache.
@@ -293,6 +318,7 @@ pub fn serve_lines_with<R: BufRead, W: Write>(
                         ("ok", true.to_json()),
                         ("cmd", JsonValue::String("stats".into())),
                         ("cache", cache_stats_json(server)),
+                        ("server", server_stats_json(server)),
                     ]),
                 )?;
             }
@@ -375,6 +401,22 @@ mod tests {
         assert_eq!(cache.field("entries").unwrap().as_u64(), Some(1));
         assert_eq!(cache.field("path").unwrap(), &JsonValue::Null);
         assert_eq!(lines[3].field("cmd").unwrap().as_str(), Some("shutdown"));
+
+        // The enriched `server` body: two sweeps served, one cell simulated
+        // (the warm rerun hit the cache), a 50 % hit-rate over the two
+        // lookups, a ticking uptime, and the engine-telemetry registry
+        // carrying the simulated cell's decision count.
+        let body = lines[2].field("server").unwrap();
+        assert_eq!(body.field("requests_served").unwrap().as_u64(), Some(2));
+        assert_eq!(
+            body.field("cells_simulated_total").unwrap().as_u64(),
+            Some(1)
+        );
+        assert_eq!(body.field("cache_hit_rate").unwrap().as_f64(), Some(0.5));
+        assert!(body.field("uptime_ns").unwrap().as_u64().unwrap() > 0);
+        let metrics =
+            mapreduce_metrics::MetricsRegistry::from_json(body.field("metrics").unwrap()).unwrap();
+        assert!(metrics.counter(mapreduce_metrics::telemetry::names::ENGINE_DECISION_INSTANTS) > 0);
     }
 
     #[test]

@@ -24,11 +24,14 @@ use crate::cache::ResultCache;
 use mapreduce_experiments::cache::OutcomeCache;
 use mapreduce_experiments::runner::average_summary;
 use mapreduce_experiments::{cell_fingerprint, runner::run_cells, Scenario, SchedulerKind};
-use mapreduce_metrics::FlowtimeSummary;
+use mapreduce_metrics::{fold_run_telemetry, FlowtimeSummary, MetricsRegistry};
 use mapreduce_sim::SimOutcome;
 use mapreduce_support::hash::Fingerprint;
 use mapreduce_support::json::{FromJson, JsonError, JsonValue, ToJson};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// One sweep: a scenario and the schedulers to run over it. The request's
 /// cells are the cross product `schedulers × scenario.seeds`.
@@ -153,7 +156,7 @@ impl FromJson for CellResult {
 
 /// The result of one sweep: per-cell summaries, per-scheduler averages, and
 /// the cache accounting.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct SweepResponse {
     /// One entry per cell, in the request's canonical order
     /// (scheduler-major, seeds in scenario order).
@@ -172,6 +175,26 @@ pub struct SweepResponse {
     /// Miss cells that shared a fingerprint with another miss in the same
     /// request and reused its simulation (in-flight deduplication).
     pub deduped_in_flight: usize,
+    /// Wall-clock nanoseconds [`SweepServer::submit`] spent resolving this
+    /// request (lookup + simulation + assembly). Timing telemetry only:
+    /// **excluded from equality** — like [`mapreduce_sim::RunTelemetry`] on
+    /// `SimOutcome`, so "cold ≡ warm" response comparisons stay exact —
+    /// and absent in pre-telemetry JSON (parses as 0).
+    pub elapsed_ns: u64,
+}
+
+/// Everything except the wall-clock `elapsed_ns`, which is timing
+/// telemetry rather than sweep content — this is the single equality
+/// carve-out that keeps cold-vs-warm bit-identity assertions meaningful.
+impl PartialEq for SweepResponse {
+    fn eq(&self, other: &Self) -> bool {
+        self.cells == other.cells
+            && self.averages == other.averages
+            && self.cache_hits == other.cache_hits
+            && self.cache_misses == other.cache_misses
+            && self.simulated == other.simulated
+            && self.deduped_in_flight == other.deduped_in_flight
+    }
 }
 
 impl ToJson for SweepResponse {
@@ -183,6 +206,7 @@ impl ToJson for SweepResponse {
             ("cache_misses", self.cache_misses.to_json()),
             ("simulated", self.simulated.to_json()),
             ("deduped_in_flight", self.deduped_in_flight.to_json()),
+            ("elapsed_ns", self.elapsed_ns.to_json()),
         ])
     }
 }
@@ -196,6 +220,11 @@ impl FromJson for SweepResponse {
             cache_misses: usize::from_json(value.field("cache_misses")?)?,
             simulated: usize::from_json(value.field("simulated")?)?,
             deduped_in_flight: usize::from_json(value.field("deduped_in_flight")?)?,
+            // Absent in responses serialized before the telemetry subsystem.
+            elapsed_ns: match value.get("elapsed_ns") {
+                Some(v) => u64::from_json(v)?,
+                None => 0,
+            },
         })
     }
 }
@@ -206,17 +235,62 @@ impl FromJson for SweepResponse {
 #[derive(Debug)]
 pub struct SweepServer {
     cache: ResultCache,
+    /// When this server instance was built — the origin of the `stats`
+    /// uptime report.
+    started: Instant,
+    /// Sweep requests resolved by [`SweepServer::submit`] over the server's
+    /// lifetime (hits-only sweeps included).
+    requests_served: AtomicU64,
+    /// Cells actually simulated (cache misses after in-flight dedup) over
+    /// the server's lifetime — the denominator of "how much work did the
+    /// cache save" alongside the cache's own hit counters.
+    cells_simulated_total: AtomicU64,
+    /// Engine telemetry ([`mapreduce_sim::RunTelemetry`]) of every cell this
+    /// server simulated, folded into one shard-mergeable registry — the
+    /// `stats` response surfaces it verbatim.
+    metrics: Mutex<MetricsRegistry>,
 }
 
 impl SweepServer {
     /// Builds a server around a cache (persistent or in-memory).
     pub fn new(cache: ResultCache) -> Self {
-        SweepServer { cache }
+        SweepServer {
+            cache,
+            started: Instant::now(),
+            requests_served: AtomicU64::new(0),
+            cells_simulated_total: AtomicU64::new(0),
+            metrics: Mutex::new(MetricsRegistry::new()),
+        }
     }
 
     /// The server's cache (e.g. for stats reporting or compaction).
     pub fn cache(&self) -> &ResultCache {
         &self.cache
+    }
+
+    /// Nanoseconds since this server instance was built.
+    pub fn uptime_ns(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Sweep requests resolved over the server's lifetime.
+    pub fn requests_served(&self) -> u64 {
+        self.requests_served.load(Ordering::Relaxed)
+    }
+
+    /// Cells simulated (not served from cache or deduped) over the server's
+    /// lifetime.
+    pub fn cells_simulated_total(&self) -> u64 {
+        self.cells_simulated_total.load(Ordering::Relaxed)
+    }
+
+    /// A snapshot of the engine-telemetry registry folded over every cell
+    /// this server simulated.
+    pub fn metrics_snapshot(&self) -> MetricsRegistry {
+        self.metrics
+            .lock()
+            .expect("metrics registry poisoned")
+            .clone()
     }
 
     /// Resolves one sweep: cache hits first, then in-flight deduplication,
@@ -228,6 +302,7 @@ impl SweepServer {
     /// exceeded) — like the experiment harness, the service treats that as a
     /// bug in the scheduler under test, not a recoverable condition.
     pub fn submit(&self, request: &SweepRequest) -> SweepResponse {
+        let started = Instant::now();
         let cells = request.cells();
 
         // Tier 1: cache lookups.
@@ -270,6 +345,12 @@ impl SweepServer {
             let (_, _, fingerprint) = cells[cell_index];
             self.cache.store(fingerprint, outcome);
         }
+        if !computed.is_empty() {
+            let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+            for outcome in &computed {
+                fold_run_telemetry(&mut metrics, &outcome.telemetry);
+            }
+        }
 
         // Fan results back out to every miss cell.
         for (i, &(_, _, fingerprint)) in cells.iter().enumerate() {
@@ -303,6 +384,10 @@ impl SweepServer {
             .map(|(s, &kind)| average_summary(kind, &outcomes[s * seeds..(s + 1) * seeds]))
             .collect();
 
+        self.requests_served.fetch_add(1, Ordering::Relaxed);
+        self.cells_simulated_total
+            .fetch_add(representatives.len() as u64, Ordering::Relaxed);
+
         SweepResponse {
             cells: cell_results,
             averages,
@@ -310,6 +395,7 @@ impl SweepServer {
             cache_misses: cells.len() - cache_hits,
             simulated: representatives.len(),
             deduped_in_flight,
+            elapsed_ns: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
         }
     }
 }

@@ -56,9 +56,13 @@ use crate::config::{FaultClass, FaultPlan, SimConfig, StragglerModel};
 use crate::copy::{CopyArena, CopyId, CopyPhase};
 use crate::error::SimError;
 use crate::events::{next_decision, Event, EventQueue};
-use crate::result::{JobRecord, SimOutcome};
+use crate::result::{JobRecord, RunTelemetry, SimOutcome};
 use crate::state::IndexDemands;
 use crate::state::{Action, AliveIndex, ClusterState, JobState, Scheduler, Slot};
+use crate::telemetry::{
+    CancelReason, CopyCancelled, CopyFinished, CopyLaunched, DecisionInstant, NoopObserver,
+    SimObserver,
+};
 use mapreduce_support::channel::{spsc_channel, SpscSender};
 use mapreduce_support::rng::{Rng, SimRng};
 use mapreduce_workload::{JobSource, MaterializedSource, Phase, TaskId, Trace};
@@ -477,7 +481,26 @@ impl Simulation {
     /// * [`SimError::HorizonExceeded`] if [`SimConfig::max_slots`] is reached.
     /// * [`SimError::UnknownTask`] if the scheduler references a task outside
     ///   the trace.
-    pub fn run(mut self, scheduler: &mut dyn Scheduler) -> Result<SimOutcome, SimError> {
+    pub fn run(self, scheduler: &mut dyn Scheduler) -> Result<SimOutcome, SimError> {
+        self.run_with_observer(scheduler, &mut NoopObserver)
+    }
+
+    /// Runs the simulation to completion with the given scheduler, streaming
+    /// lifecycle events to `observer` (see [`crate::telemetry`]).
+    ///
+    /// The run loop is monomorphized over the observer type: [`NoopObserver`]
+    /// compiles to the observer-free engine, and any observer receives facts
+    /// strictly after the engine applied them, so the trajectory — and the
+    /// returned [`SimOutcome`] — is bit-identical with or without one.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Simulation::run`].
+    pub fn run_with_observer<O: SimObserver>(
+        mut self,
+        scheduler: &mut dyn Scheduler,
+        observer: &mut O,
+    ) -> Result<SimOutcome, SimError> {
         if self.config.num_machines == 0 {
             return Err(SimError::NoMachines);
         }
@@ -489,10 +512,10 @@ impl Simulation {
         // read it.
         let demands = scheduler.index_demands();
         if self.config.pipeline {
-            self.run_pipelined(scheduler, source, demands, total_jobs)
+            self.run_pipelined(scheduler, source, demands, total_jobs, observer)
         } else {
             let mut feed = JobFeed::serial(source, demands);
-            self.run_loop(scheduler, &mut feed, None, total_jobs)
+            self.run_loop(scheduler, &mut feed, None, total_jobs, observer)
         }
     }
 
@@ -509,12 +532,13 @@ impl Simulation {
     /// error drops the receiving feed, which fails the producer's next
     /// `send` and lets it exit instead of deadlocking on a full channel;
     /// dropping the record sender ends the consumer's stream.
-    fn run_pipelined(
+    fn run_pipelined<O: SimObserver>(
         &mut self,
         scheduler: &mut dyn Scheduler,
         source: Box<dyn JobSource>,
         demands: IndexDemands,
         total_jobs: usize,
+        observer: &mut O,
     ) -> Result<SimOutcome, SimError> {
         std::thread::scope(|scope| {
             let (job_tx, job_rx) = spsc_channel::<Result<JobState, SimError>>(PIPELINE_BUFFER);
@@ -552,7 +576,8 @@ impl Simulation {
             });
 
             let mut feed = JobFeed::Piped { rx: job_rx };
-            let result = self.run_loop(scheduler, &mut feed, Some(&record_tx), total_jobs);
+            let result =
+                self.run_loop(scheduler, &mut feed, Some(&record_tx), total_jobs, observer);
             // Wake both stages regardless of how the loop ended: the
             // consumer sees end-of-stream, a still-blocked producer sees a
             // gone receiver.
@@ -570,12 +595,13 @@ impl Simulation {
     /// modes: jobs come from `feed`, completion records go to `record_tx`
     /// when given (pipeline mode) and into the locally sorted record vector
     /// otherwise.
-    fn run_loop(
+    fn run_loop<O: SimObserver>(
         &mut self,
         scheduler: &mut dyn Scheduler,
         feed: &mut JobFeed,
         record_tx: Option<&SpscSender<JobRecord>>,
         total_jobs: usize,
+        observer: &mut O,
     ) -> Result<SimOutcome, SimError> {
         let total_machines = self.config.num_machines;
         let mut rng = SimRng::seed_from_u64(self.config.seed);
@@ -708,12 +734,13 @@ impl Simulation {
             queue.drain_due(now, &mut due);
             for &event in &due {
                 match event {
-                    Event::JobArrival { job_index, .. } => {
+                    Event::JobArrival { at, job_index } => {
                         let job = &mut self.jobs[job_index];
                         job.mark_arrived();
                         alive.insert(job_index, job);
                         ctx.stats.pending_arrivals -= 1;
                         newly_arrived.push(job.id());
+                        observer.on_job_arrived(at, job.id());
                     }
                     Event::CopyFinish {
                         at,
@@ -721,8 +748,8 @@ impl Simulation {
                         task,
                         seq,
                     } => {
-                        if let Some(finished) =
-                            self.handle_copy_finish(task, copy, seq, at, &mut ctx, &mut queue)
+                        if let Some(finished) = self
+                            .handle_copy_finish(task, copy, seq, at, &mut ctx, &mut queue, observer)
                         {
                             newly_finished.push(finished);
                             let job_idx = task.job.as_usize();
@@ -756,6 +783,7 @@ impl Simulation {
                                     copies_launched: job.copies_launched(),
                                     true_workload: job.spec().true_total_workload(),
                                 };
+                                observer.on_job_completed(&record);
                                 if let Some(tx) = record_tx {
                                     // A dead consumer only happens if it
                                     // panicked; the join below surfaces that.
@@ -785,12 +813,18 @@ impl Simulation {
                     }
                     Event::MachineUp { at, machine, crash } => {
                         self.handle_machine_up(machine, crash, at, &mut ctx, &mut queue);
+                        observer.on_machine_up(at, machine, crash);
                     }
                     Event::MachineDown { at, machine, crash } => {
+                        // The down epoch is reported before its consequences
+                        // (fault-cancelled copies, task unlaunches) so trace
+                        // consumers see cause before effect.
+                        observer.on_machine_down(at, machine, crash);
                         if let Some(task) = self.handle_machine_down(
-                            machine, crash, at, &mut ctx, &mut alive, &mut queue,
+                            machine, crash, at, &mut ctx, &mut alive, &mut queue, observer,
                         ) {
                             newly_unlaunched.push(task);
+                            observer.on_task_unlaunched(at, task);
                         }
                     }
                     Event::Wakeup { .. } => unreachable!("wakeups are never queued"),
@@ -810,7 +844,7 @@ impl Simulation {
             ctx.stats.scheduler_invocations += 1;
             alive.flush_priority();
             actions.clear();
-            {
+            let ranked_prefix = {
                 // Recomputed here rather than reused from the loop top: the
                 // event batch just drained may have taken machines down or
                 // brought them back. Schedulers see only in-service capacity,
@@ -836,14 +870,38 @@ impl Simulation {
                 // One run-level buffer, reused across decision instants: the
                 // per-`schedule` Vec<Action> allocation is gone.
                 scheduler.schedule_into(&state, &mut actions);
-                ctx.stats.ranked_prefix_len_max = ctx
-                    .stats
-                    .ranked_prefix_len_max
-                    .max(state.ranked_prefix_consumed());
-            }
+                let consumed = state.ranked_prefix_consumed();
+                ctx.stats.ranked_prefix_len_max = ctx.stats.ranked_prefix_len_max.max(consumed);
+                consumed
+            };
 
-            self.apply_actions(&actions, now, &mut ctx, &mut alive, &mut queue, &mut rng)?;
-            clock.decision_ns += StageClock::lap(t0);
+            self.apply_actions(
+                &actions, now, &mut ctx, &mut alive, &mut queue, &mut rng, observer,
+            )?;
+            let decision_lap = StageClock::lap(t0);
+            clock.decision_ns += decision_lap;
+            if O::ENABLED {
+                let mut launch_actions = 0usize;
+                let mut cancel_actions = 0usize;
+                let mut copies_requested = 0usize;
+                for action in &actions {
+                    match *action {
+                        Action::Launch { copies, .. } => {
+                            launch_actions += 1;
+                            copies_requested += copies;
+                        }
+                        Action::CancelCopies { .. } => cancel_actions += 1,
+                    }
+                }
+                observer.on_decision_instant(DecisionInstant {
+                    at: now,
+                    launch_actions,
+                    cancel_actions,
+                    copies_requested,
+                    ranked_prefix,
+                    wall_ns: decision_lap,
+                });
+            }
 
             // ---- stall detection ----
             // If nothing is running, nothing will arrive, and jobs remain,
@@ -879,13 +937,15 @@ impl Simulation {
             ctx.stats.scheduler_invocations,
             ctx.stats.peak_resident_jobs,
             ctx.arena.peak_slots(),
-            ctx.stats.decision_instants,
-            ctx.stats.ranked_prefix_len_max,
         );
-        outcome.stage_source_ns = clock.source_ns;
-        outcome.stage_events_ns = clock.events_ns;
-        outcome.stage_decision_ns = clock.decision_ns;
-        outcome.stage_metrics_ns = clock.metrics_ns;
+        outcome.telemetry = RunTelemetry {
+            decision_instants: ctx.stats.decision_instants,
+            ranked_prefix_len_max: ctx.stats.ranked_prefix_len_max,
+            stage_source_ns: clock.source_ns,
+            stage_events_ns: clock.events_ns,
+            stage_decision_ns: clock.decision_ns,
+            stage_metrics_ns: clock.metrics_ns,
+        };
         if let Some(pool) = &ctx.pool {
             outcome.wasted_work = pool.wasted_work;
             outcome.copies_killed_by_fault = pool.copies_killed;
@@ -897,7 +957,8 @@ impl Simulation {
     /// Processes the completion of one copy. Returns `Some(task_id)` if the
     /// event was live and the task finished, `None` for stale events (the
     /// liveness check is `O(1)`: one arena index).
-    fn handle_copy_finish(
+    #[allow(clippy::too_many_arguments)]
+    fn handle_copy_finish<O: SimObserver>(
         &mut self,
         task_id: TaskId,
         copy_id: CopyId,
@@ -905,6 +966,7 @@ impl Simulation {
         slot: Slot,
         ctx: &mut RunCtx,
         queue: &mut EventQueue,
+        observer: &mut O,
     ) -> Option<TaskId> {
         let job = self.jobs.get_mut(task_id.job.as_usize())?;
         let task = job.task_mut(task_id.phase, task_id.index)?;
@@ -931,32 +993,57 @@ impl Simulation {
         let mut released = 0usize;
         let mut busy = 0u64;
         let mut waiting_cancelled = 0usize;
+        let copies_of_task = task.copies().len();
         for &cid in task.copies() {
             let copy = ctx.arena.get(cid);
             match copy.phase() {
                 CopyPhase::Running if cid == copy_id => {
-                    busy += slot.saturating_sub(copy.launched_at());
+                    let launched_at = copy.launched_at();
+                    busy += slot.saturating_sub(launched_at);
                     released += 1;
                     ctx.arena.finish(cid, slot);
                     ctx.release_machine(cid);
+                    observer.on_copy_finished(CopyFinished {
+                        at: slot,
+                        copy: cid,
+                        task: task_id,
+                        launched_at,
+                        copies_of_task,
+                    });
                 }
                 CopyPhase::Running => {
                     let finish = copy.finish_slot();
                     let copy_seq = copy.seq();
-                    busy += slot.saturating_sub(copy.launched_at());
+                    let launched_at = copy.launched_at();
+                    busy += slot.saturating_sub(launched_at);
                     released += 1;
                     ctx.arena.cancel(cid, slot);
                     ctx.release_machine(cid);
                     if let Some(finish) = finish {
                         queue.retract(finish, copy_seq);
                     }
+                    observer.on_copy_cancelled(CopyCancelled {
+                        at: slot,
+                        copy: cid,
+                        task: task_id,
+                        launched_at,
+                        reason: CancelReason::SiblingFinished,
+                    });
                 }
                 CopyPhase::WaitingForMapPhase => {
-                    busy += slot.saturating_sub(copy.launched_at());
+                    let launched_at = copy.launched_at();
+                    busy += slot.saturating_sub(launched_at);
                     released += 1;
                     waiting_cancelled += 1;
                     ctx.arena.cancel(cid, slot);
                     ctx.release_machine(cid);
+                    observer.on_copy_cancelled(CopyCancelled {
+                        at: slot,
+                        copy: cid,
+                        task: task_id,
+                        launched_at,
+                        reason: CancelReason::SiblingFinished,
+                    });
                 }
                 _ => {}
             }
@@ -981,7 +1068,8 @@ impl Simulation {
     /// memory. Returns the task that fell back to the unscheduled pool, if
     /// the crash killed its last copy, so the run loop can notify the
     /// scheduler's [`Scheduler::on_task_unlaunched`] hook.
-    fn handle_machine_down(
+    #[allow(clippy::too_many_arguments)]
+    fn handle_machine_down<O: SimObserver>(
         &mut self,
         machine: u32,
         crash: bool,
@@ -989,6 +1077,7 @@ impl Simulation {
         ctx: &mut RunCtx,
         alive: &mut AliveIndex,
         queue: &mut EventQueue,
+        observer: &mut O,
     ) -> Option<TaskId> {
         let victim = {
             let pool = ctx
@@ -1021,7 +1110,7 @@ impl Simulation {
         match victim {
             // Work lost, not jobs lost: the resident copy dies and its task
             // re-enters the unscheduled pool if no sibling survives.
-            Some(cid) => self.kill_copy(cid, now, ctx, alive, queue),
+            Some(cid) => self.kill_copy(cid, now, ctx, alive, queue, observer),
             None => {
                 // Idle machine: its free-list entry goes stale (lazy
                 // deletion) and the cluster loses one available slot.
@@ -1080,13 +1169,14 @@ impl Simulation {
     /// re-executes it. The machine is *not* returned to the available count —
     /// it goes straight from busy to down. Returns the task's id when its
     /// last copy just died and it re-entered the unscheduled pool.
-    fn kill_copy(
+    fn kill_copy<O: SimObserver>(
         &mut self,
         cid: CopyId,
         now: Slot,
         ctx: &mut RunCtx,
         alive: &mut AliveIndex,
         queue: &mut EventQueue,
+        observer: &mut O,
     ) -> Option<TaskId> {
         let (task_id, phase_was, finish, seq, launched_at) = {
             let copy = ctx.arena.get(cid);
@@ -1117,6 +1207,13 @@ impl Simulation {
         // lost progress still counts toward utilisation — `wasted_work`
         // carries the distinction.
         ctx.stats.busy_machine_slots += elapsed;
+        observer.on_copy_cancelled(CopyCancelled {
+            at: now,
+            copy: cid,
+            task: task_id,
+            launched_at,
+            reason: CancelReason::Fault,
+        });
 
         let job_idx = task_id.job.as_usize();
         let job = &mut self.jobs[job_idx];
@@ -1198,7 +1295,8 @@ impl Simulation {
 
     /// Applies the scheduler's actions, clipping launches to the available
     /// machines and the per-task copy cap.
-    fn apply_actions(
+    #[allow(clippy::too_many_arguments)]
+    fn apply_actions<O: SimObserver>(
         &mut self,
         actions: &[Action],
         now: Slot,
@@ -1206,14 +1304,15 @@ impl Simulation {
         alive: &mut AliveIndex,
         queue: &mut EventQueue,
         rng: &mut SimRng,
+        observer: &mut O,
     ) -> Result<(), SimError> {
         for action in actions {
             match *action {
                 Action::Launch { task, copies } => {
-                    self.launch_copies(task, copies, now, ctx, alive, queue, rng)?;
+                    self.launch_copies(task, copies, now, ctx, alive, queue, rng, observer)?;
                 }
                 Action::CancelCopies { task, keep } => {
-                    self.cancel_copies(task, keep, now, ctx, queue)?;
+                    self.cancel_copies(task, keep, now, ctx, queue, observer)?;
                 }
             }
         }
@@ -1221,7 +1320,7 @@ impl Simulation {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn launch_copies(
+    fn launch_copies<O: SimObserver>(
         &mut self,
         task_id: TaskId,
         requested: usize,
@@ -1230,6 +1329,7 @@ impl Simulation {
         alive: &mut AliveIndex,
         queue: &mut EventQueue,
         rng: &mut SimRng,
+        observer: &mut O,
     ) -> Result<(), SimError> {
         let job_idx = task_id.job.as_usize();
         if job_idx >= self.jobs.len() {
@@ -1341,6 +1441,13 @@ impl Simulation {
                     .expect("pool acquired above")
                     .assign(copy_id, m);
             }
+            observer.on_copy_launched(CopyLaunched {
+                at: now,
+                copy: copy_id,
+                task: task_id,
+                clone: !first_launch,
+                expected_finish: running_finish,
+            });
             if first_launch {
                 job.note_first_launch(task_id.phase, task_id.index);
                 alive.note_first_launch(job_idx, job);
@@ -1361,13 +1468,14 @@ impl Simulation {
     /// Cancels all but the `keep` most-progressed active copies of a task in
     /// a single pass over its copy-id slice, reusing the run-level scratch
     /// buffer (no per-call allocation, no membership rescan).
-    fn cancel_copies(
+    fn cancel_copies<O: SimObserver>(
         &mut self,
         task_id: TaskId,
         keep: usize,
         now: Slot,
         ctx: &mut RunCtx,
         queue: &mut EventQueue,
+        observer: &mut O,
     ) -> Result<(), SimError> {
         let job_idx = task_id.job.as_usize();
         if job_idx >= self.jobs.len() {
@@ -1418,13 +1526,13 @@ impl Simulation {
                 }
                 continue;
             }
-            let (finish, copy_seq) = {
+            let (finish, copy_seq, launched_at) = {
                 let copy = arena.get(cid);
                 if copy.phase() == CopyPhase::WaitingForMapPhase {
                     waiting_cancelled += 1;
                 }
                 busy += now.saturating_sub(copy.launched_at());
-                (copy.finish_slot(), copy.seq())
+                (copy.finish_slot(), copy.seq(), copy.launched_at())
             };
             arena.cancel(cid, now);
             released += 1;
@@ -1434,6 +1542,13 @@ impl Simulation {
             if let Some(finish) = finish {
                 queue.retract(finish, copy_seq);
             }
+            observer.on_copy_cancelled(CopyCancelled {
+                at: now,
+                copy: cid,
+                task: task_id,
+                launched_at,
+                reason: CancelReason::Scheduler,
+            });
         }
         task.note_copies_released(released);
         job.refresh_running_finish(task_id.phase, task_id.index, new_finish);

@@ -96,15 +96,20 @@ pub mod result;
 pub mod schedulers;
 pub mod speedup;
 pub mod state;
+pub mod telemetry;
 
 pub use config::{FaultClass, FaultPlan, SimConfig, StragglerModel};
 pub use copy::{CopyArena, CopyId, CopyPhase, CopyRef};
 pub use engine::Simulation;
 pub use error::SimError;
 pub use events::{Event, EventQueue, HeapEventQueue, StaleStats};
-pub use result::{JobRecord, SimOutcome};
+pub use result::{JobRecord, RunTelemetry, SimOutcome};
 pub use speedup::{LinearCappedSpeedup, NoSpeedup, ParetoSpeedup, SpeedupFunction};
 pub use state::{
     Action, AliveIndex, ClusterState, IndexDemands, JobState, RankedEntries, Scheduler, Slot,
     TaskState, TaskStatus,
+};
+pub use telemetry::{
+    CancelReason, CopyCancelled, CopyFinished, CopyLaunched, DecisionInstant, NoopObserver,
+    SimObserver,
 };

@@ -79,15 +79,102 @@ impl FromJson for JobRecord {
     }
 }
 
+/// Run instrumentation: decision-path work counters and per-stage wall-clock
+/// timings.
+///
+/// These fields describe how much work the *scheduler implementation* did
+/// (or how long the host took), not the trajectory — the golden-equivalence
+/// suite compares optimized schedulers against frozen references that do
+/// strictly more work per decision, and stage timings are host noise by
+/// definition. They are therefore carved out of [`SimOutcome`]'s equality in
+/// one place: `SimOutcome == SimOutcome` compares every field *except*
+/// [`SimOutcome::telemetry`].
+///
+/// Serialisation stays flat for back-compat: the fields are emitted as
+/// top-level keys of the outcome JSON (`decision_instants`,
+/// `stage_source_ns`, …), exactly where pre-consolidation documents carried
+/// them, and absent keys parse as 0.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunTelemetry {
+    /// Number of decision instants the engine processed (event batches that
+    /// reached the scheduling step).
+    pub decision_instants: u64,
+    /// Largest ranked-candidate prefix any single decision materialised
+    /// (reported by prefix-consuming schedulers via
+    /// [`crate::ClusterState::note_ranked_prefix`]; 0 for schedulers that
+    /// never consume the ranked order).
+    pub ranked_prefix_len_max: usize,
+    /// Wall-clock nanoseconds spent pulling/admitting jobs from the source,
+    /// when the run profiled stages (`SimConfig::profile_stages`); 0
+    /// otherwise.
+    pub stage_source_ns: u64,
+    /// Wall-clock nanoseconds spent delivering/applying the event batches;
+    /// 0 unless stages were profiled.
+    pub stage_events_ns: u64,
+    /// Wall-clock nanoseconds spent in scheduler hooks + decisions + action
+    /// application; 0 unless stages were profiled.
+    pub stage_decision_ns: u64,
+    /// Wall-clock nanoseconds spent capturing/folding completion records;
+    /// 0 unless stages were profiled.
+    pub stage_metrics_ns: u64,
+}
+
+impl RunTelemetry {
+    /// The flat JSON keys of the telemetry fields, in emission order.
+    const KEYS: [&'static str; 6] = [
+        "decision_instants",
+        "ranked_prefix_len_max",
+        "stage_source_ns",
+        "stage_events_ns",
+        "stage_decision_ns",
+        "stage_metrics_ns",
+    ];
+
+    /// The telemetry as flat `(key, value)` JSON fields — the same top-level
+    /// keys outcomes carried before the consolidation.
+    fn json_fields(&self) -> [(&'static str, JsonValue); 6] {
+        let values = [
+            self.decision_instants.to_json(),
+            self.ranked_prefix_len_max.to_json(),
+            self.stage_source_ns.to_json(),
+            self.stage_events_ns.to_json(),
+            self.stage_decision_ns.to_json(),
+            self.stage_metrics_ns.to_json(),
+        ];
+        let mut iter = Self::KEYS.iter().zip(values);
+        std::array::from_fn(|_| {
+            let (key, value) = iter.next().expect("KEYS and values have equal length");
+            (*key, value)
+        })
+    }
+
+    /// Reads the flat keys back; any absent key (documents serialised before
+    /// the corresponding instrumentation existed) parses as 0.
+    fn from_flat_json(value: &JsonValue) -> Result<Self, JsonError> {
+        let u64_or_zero = |key: &str| -> Result<u64, JsonError> {
+            match value.get(key) {
+                Some(v) => u64::from_json(v),
+                None => Ok(0),
+            }
+        };
+        Ok(RunTelemetry {
+            decision_instants: u64_or_zero("decision_instants")?,
+            ranked_prefix_len_max: match value.get("ranked_prefix_len_max") {
+                Some(v) => usize::from_json(v)?,
+                None => 0,
+            },
+            stage_source_ns: u64_or_zero("stage_source_ns")?,
+            stage_events_ns: u64_or_zero("stage_events_ns")?,
+            stage_decision_ns: u64_or_zero("stage_decision_ns")?,
+            stage_metrics_ns: u64_or_zero("stage_metrics_ns")?,
+        })
+    }
+}
+
 /// Aggregate outcome of one simulation run.
 ///
-/// Equality intentionally ignores the decision-path instrumentation counters
-/// ([`SimOutcome::decision_instants`], [`SimOutcome::ranked_prefix_len_max`])
-/// and the stage wall-clock timings ([`SimOutcome::stage_source_ns`] and
-/// friends): they describe how much work the *scheduler implementation* did
-/// (or how long the host took), not the trajectory, and the
-/// golden-equivalence suite compares optimized schedulers against frozen
-/// references that do strictly more work per decision.
+/// Equality intentionally ignores [`SimOutcome::telemetry`] — the single
+/// instrumentation carve-out; see [`RunTelemetry`] for why.
 #[derive(Debug, Clone)]
 pub struct SimOutcome {
     /// Name of the scheduler that produced this outcome.
@@ -115,15 +202,6 @@ pub struct SimOutcome {
     /// [`SimOutcome::peak_resident_jobs`]) rather than
     /// [`SimOutcome::total_copies`]. Purely a memory metric.
     pub peak_copy_slots: usize,
-    /// Number of decision instants the engine processed (event batches that
-    /// reached the scheduling step). Deterministic instrumentation for
-    /// decision-path work; excluded from equality.
-    pub decision_instants: u64,
-    /// Largest ranked-candidate prefix any single decision materialised
-    /// (reported by prefix-consuming schedulers via
-    /// [`crate::ClusterState::note_ranked_prefix`]; 0 for schedulers that
-    /// never consume the ranked order). Excluded from equality.
-    pub ranked_prefix_len_max: usize,
     /// Machine-slots of progress thrown away by fault-killed copies (elapsed
     /// running time of every copy killed by a [`crate::FaultPlan`] crash).
     /// Part of the trajectory — included in equality. 0 without a fault plan.
@@ -135,26 +213,15 @@ pub struct SimOutcome {
     /// only; brown-outs keep the machine in service). Part of the trajectory
     /// — included in equality. 0 without a fault plan.
     pub machine_downtime: u64,
-    /// Wall-clock nanoseconds spent pulling/admitting jobs from the source,
-    /// when the run profiled stages (`SimConfig::profile_stages`); 0
-    /// otherwise. Host-dependent instrumentation — excluded from equality
-    /// like the decision-path counters.
-    pub stage_source_ns: u64,
-    /// Wall-clock nanoseconds spent delivering/applying the event batches;
-    /// 0 unless stages were profiled. Excluded from equality.
-    pub stage_events_ns: u64,
-    /// Wall-clock nanoseconds spent in scheduler hooks + decisions + action
-    /// application; 0 unless stages were profiled. Excluded from equality.
-    pub stage_decision_ns: u64,
-    /// Wall-clock nanoseconds spent capturing/folding completion records;
-    /// 0 unless stages were profiled. Excluded from equality.
-    pub stage_metrics_ns: u64,
+    /// Decision-path work counters and stage wall-clock timings — the single
+    /// instrumentation carve-out: every other field participates in
+    /// equality, this one never does.
+    pub telemetry: RunTelemetry,
 }
 
 impl PartialEq for SimOutcome {
     fn eq(&self, other: &Self) -> bool {
-        // Instrumentation counters (decision_instants, ranked_prefix_len_max)
-        // are deliberately left out — see the type-level docs.
+        // `telemetry` is deliberately left out — see the type-level docs.
         self.scheduler == other.scheduler
             && self.num_machines == other.num_machines
             && self.records == other.records
@@ -184,8 +251,6 @@ impl SimOutcome {
         scheduler_invocations: u64,
         peak_resident_jobs: usize,
         peak_copy_slots: usize,
-        decision_instants: u64,
-        ranked_prefix_len_max: usize,
     ) -> Self {
         SimOutcome {
             scheduler,
@@ -197,19 +262,15 @@ impl SimOutcome {
             scheduler_invocations,
             peak_resident_jobs,
             peak_copy_slots,
-            decision_instants,
-            ranked_prefix_len_max,
             // Fault counters default to a fault-free run; the engine assigns
             // them post-construction when a fault plan was active.
             wasted_work: 0,
             copies_killed_by_fault: 0,
             machine_downtime: 0,
-            // Stage timings default to "not profiled"; the engine fills them
-            // in post-construction when `SimConfig::profile_stages` is set.
-            stage_source_ns: 0,
-            stage_events_ns: 0,
-            stage_decision_ns: 0,
-            stage_metrics_ns: 0,
+            // Instrumentation defaults to "not measured"; the engine fills
+            // it in post-construction from its run counters and (when
+            // `SimConfig::profile_stages` is set) the stage clock.
+            telemetry: RunTelemetry::default(),
         }
     }
 
@@ -289,7 +350,7 @@ impl SimOutcome {
 
 impl ToJson for SimOutcome {
     fn to_json(&self) -> JsonValue {
-        JsonValue::object([
+        let trajectory = [
             ("scheduler", self.scheduler.to_json()),
             ("num_machines", self.num_machines.to_json()),
             ("records", self.records.to_json()),
@@ -302,22 +363,14 @@ impl ToJson for SimOutcome {
             ),
             ("peak_resident_jobs", self.peak_resident_jobs.to_json()),
             ("peak_copy_slots", self.peak_copy_slots.to_json()),
-            ("decision_instants", self.decision_instants.to_json()),
-            (
-                "ranked_prefix_len_max",
-                self.ranked_prefix_len_max.to_json(),
-            ),
             ("wasted_work", self.wasted_work.to_json()),
             (
                 "copies_killed_by_fault",
                 self.copies_killed_by_fault.to_json(),
             ),
             ("machine_downtime", self.machine_downtime.to_json()),
-            ("stage_source_ns", self.stage_source_ns.to_json()),
-            ("stage_events_ns", self.stage_events_ns.to_json()),
-            ("stage_decision_ns", self.stage_decision_ns.to_json()),
-            ("stage_metrics_ns", self.stage_metrics_ns.to_json()),
-        ])
+        ];
+        JsonValue::object(trajectory.into_iter().chain(self.telemetry.json_fields()))
     }
 }
 
@@ -341,15 +394,6 @@ impl FromJson for SimOutcome {
                 Some(v) => usize::from_json(v)?,
                 None => 0,
             },
-            // Absent in outcomes serialised before the decision-path counters.
-            decision_instants: match value.get("decision_instants") {
-                Some(v) => u64::from_json(v)?,
-                None => 0,
-            },
-            ranked_prefix_len_max: match value.get("ranked_prefix_len_max") {
-                Some(v) => usize::from_json(v)?,
-                None => 0,
-            },
             // Absent in outcomes serialised before fault injection.
             wasted_work: match value.get("wasted_work") {
                 Some(v) => u64::from_json(v)?,
@@ -363,23 +407,8 @@ impl FromJson for SimOutcome {
                 Some(v) => u64::from_json(v)?,
                 None => 0,
             },
-            // Absent in outcomes serialised before stage profiling.
-            stage_source_ns: match value.get("stage_source_ns") {
-                Some(v) => u64::from_json(v)?,
-                None => 0,
-            },
-            stage_events_ns: match value.get("stage_events_ns") {
-                Some(v) => u64::from_json(v)?,
-                None => 0,
-            },
-            stage_decision_ns: match value.get("stage_decision_ns") {
-                Some(v) => u64::from_json(v)?,
-                None => 0,
-            },
-            stage_metrics_ns: match value.get("stage_metrics_ns") {
-                Some(v) => u64::from_json(v)?,
-                None => 0,
-            },
+            // Flat instrumentation keys; each parses as 0 when absent.
+            telemetry: RunTelemetry::from_flat_json(value)?,
         })
     }
 }
@@ -402,7 +431,7 @@ mod tests {
     }
 
     fn outcome() -> SimOutcome {
-        SimOutcome::new(
+        let mut o = SimOutcome::new(
             "test".to_string(),
             10,
             vec![record(0, 1.0, 0, 100), record(1, 3.0, 50, 150)],
@@ -412,9 +441,10 @@ mod tests {
             42,
             2,
             5,
-            42,
-            7,
-        )
+        );
+        o.telemetry.decision_instants = 42;
+        o.telemetry.ranked_prefix_len_max = 7;
+        o
     }
 
     #[test]
@@ -448,7 +478,7 @@ mod tests {
 
     #[test]
     fn empty_outcome_is_safe() {
-        let o = SimOutcome::new("x".into(), 5, vec![], 0, 0, 0, 0, 0, 0, 0, 0);
+        let o = SimOutcome::new("x".into(), 5, vec![], 0, 0, 0, 0, 0, 0);
         assert_eq!(o.mean_flowtime(), 0.0);
         assert_eq!(o.weighted_mean_flowtime(), 0.0);
         assert_eq!(o.utilization(), 0.0);
@@ -463,20 +493,21 @@ mod tests {
         assert_eq!(back, o);
         // Instrumentation counters survive the roundtrip even though `==`
         // ignores them.
-        assert_eq!(back.decision_instants, o.decision_instants);
-        assert_eq!(back.ranked_prefix_len_max, o.ranked_prefix_len_max);
+        assert_eq!(back.telemetry, o.telemetry);
     }
 
     #[test]
     fn equality_ignores_instrumentation_counters() {
         let a = outcome();
         let mut b = outcome();
-        b.decision_instants = 9_999;
-        b.ranked_prefix_len_max = 1_234;
-        b.stage_source_ns = 1;
-        b.stage_events_ns = 2;
-        b.stage_decision_ns = 3;
-        b.stage_metrics_ns = 4;
+        b.telemetry = RunTelemetry {
+            decision_instants: 9_999,
+            ranked_prefix_len_max: 1_234,
+            stage_source_ns: 1,
+            stage_events_ns: 2,
+            stage_decision_ns: 3,
+            stage_metrics_ns: 4,
+        };
         assert_eq!(a, b, "instrumentation must not affect equality");
         b.makespan += 1;
         assert_ne!(a, b, "trajectory fields still must");
@@ -518,30 +549,26 @@ mod tests {
     #[test]
     fn stage_timings_roundtrip_and_default() {
         let mut o = outcome();
-        o.stage_source_ns = 11;
-        o.stage_events_ns = 22;
-        o.stage_decision_ns = 33;
-        o.stage_metrics_ns = 44;
+        o.telemetry.stage_source_ns = 11;
+        o.telemetry.stage_events_ns = 22;
+        o.telemetry.stage_decision_ns = 33;
+        o.telemetry.stage_metrics_ns = 44;
         let json = o.to_json().to_compact_string();
         let back = SimOutcome::from_json(&JsonValue::parse(&json).unwrap()).unwrap();
-        assert_eq!(back.stage_source_ns, 11);
-        assert_eq!(back.stage_events_ns, 22);
-        assert_eq!(back.stage_decision_ns, 33);
-        assert_eq!(back.stage_metrics_ns, 44);
-        // Outcomes serialised before stage profiling existed parse as 0.
+        assert_eq!(back.telemetry.stage_source_ns, 11);
+        assert_eq!(back.telemetry.stage_events_ns, 22);
+        assert_eq!(back.telemetry.stage_decision_ns, 33);
+        assert_eq!(back.telemetry.stage_metrics_ns, 44);
+        // Outcomes serialised before the corresponding instrumentation
+        // existed parse as 0 — the keys stay flat, so pre-consolidation
+        // documents remain readable.
         let mut legacy = o.to_json();
         if let JsonValue::Object(map) = &mut legacy {
-            for key in [
-                "stage_source_ns",
-                "stage_events_ns",
-                "stage_decision_ns",
-                "stage_metrics_ns",
-            ] {
+            for key in RunTelemetry::KEYS {
                 map.remove(key);
             }
         }
         let back = SimOutcome::from_json(&legacy).unwrap();
-        assert_eq!(back.stage_source_ns, 0);
-        assert_eq!(back.stage_metrics_ns, 0);
+        assert_eq!(back.telemetry, RunTelemetry::default());
     }
 }
