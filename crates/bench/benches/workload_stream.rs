@@ -136,23 +136,60 @@ fn bench_workload_stream(c: &mut Criterion) {
     println!("workload stream: pipelined 100k-job run is bit-identical to the serial oracle");
 
     // Telemetry gate (release mode, every CI run): the same 100k-job stream
-    // with the full observer stack attached — counter/histogram fold plus
-    // Chrome-trace recorder — must be bit-identical to the bare run, and the
-    // exported trace must self-validate against the independently folded
-    // registry. The trace lands next to the bench reports for Perfetto.
+    // with the full observer stack attached — counter/histogram fold, the
+    // flowtime quantile sketches, plus Chrome-trace recorder — must be
+    // bit-identical to the bare run, and the exported trace must
+    // self-validate against the independently folded registry. The trace
+    // lands next to the bench reports for Perfetto. Both runs are wall-clock
+    // timed — interleaved, min of two repetitions each, so a transient stall
+    // in either leg can't fake (or mask) observer cost — and the overhead
+    // lands in the report as a ratio the CI bench-guard caps (see
+    // `find_overhead_regressions`).
+    let mut bare_ns = u64::MAX;
+    let mut observed_ns = u64::MAX;
     let mut telemetry = mapreduce_metrics::SimTelemetry::new();
     let mut recorder = mapreduce_metrics::TraceRecorder::new(200_000);
-    let observed = Simulation::from_source(
-        SimConfig::new(fullscale.machines).with_seed(fullscale_seed),
-        fullscale.job_source(fullscale_seed),
-    )
-    .run_with_observer(&mut Fifo::new(), &mut (&mut telemetry, &mut recorder))
-    .expect("observed run must complete");
+    for _ in 0..2 {
+        let bare_start = std::time::Instant::now();
+        let bare = run_streaming(
+            fullscale.job_source(fullscale_seed),
+            fullscale.machines,
+            fullscale_seed,
+        );
+        bare_ns = bare_ns.min(bare_start.elapsed().as_nanos().max(1) as u64);
+        assert_eq!(serial, bare, "bare rerun diverged from the serial oracle");
+        telemetry = mapreduce_metrics::SimTelemetry::new();
+        recorder = mapreduce_metrics::TraceRecorder::new(200_000);
+        let observed_start = std::time::Instant::now();
+        let observed = Simulation::from_source(
+            SimConfig::new(fullscale.machines).with_seed(fullscale_seed),
+            fullscale.job_source(fullscale_seed),
+        )
+        .run_with_observer(&mut Fifo::new(), &mut (&mut telemetry, &mut recorder))
+        .expect("observed run must complete");
+        observed_ns = observed_ns.min(observed_start.elapsed().as_nanos().max(1) as u64);
+        assert_eq!(
+            serial, observed,
+            "attaching observers changed the 100k-job outcome"
+        );
+    }
+    let overhead_ratio = observed_ns as f64 / bare_ns as f64;
+    let (registry, sketches) = telemetry.into_parts();
     assert_eq!(
-        serial, observed,
-        "attaching observers changed the 100k-job outcome"
+        sketches.all.count(),
+        100_000,
+        "flowtime sketch missed job completions"
     );
-    let registry = telemetry.into_registry();
+    let sketch_p50 = sketches.all.quantile(0.50).expect("sketch is non-empty");
+    let sketch_p95 = sketches.all.quantile(0.95).expect("sketch is non-empty");
+    let sketch_p99 = sketches.all.quantile(0.99).expect("sketch is non-empty");
+    println!(
+        "workload stream: telemetry overhead {overhead_ratio:.3}x \
+         (bare {:.2}s, observed {:.2}s); sketch p50/p95/p99 = \
+         {sketch_p50}/{sketch_p95}/{sketch_p99}",
+        bare_ns as f64 / 1e9,
+        observed_ns as f64 / 1e9,
+    );
     assert_eq!(
         registry.counter(mapreduce_metrics::telemetry::names::JOBS_COMPLETED),
         100_000,
@@ -188,6 +225,15 @@ fn bench_workload_stream(c: &mut Criterion) {
             ("stream100k_peak_resident_jobs", peak_100k.to_json()),
             ("stream100k_total_copies", copies_100k.to_json()),
             ("stream100k_peak_copy_slots", peak_slots_100k.to_json()),
+            ("stream100k_sketch_p50", sketch_p50.to_json()),
+            ("stream100k_sketch_p95", sketch_p95.to_json()),
+            ("stream100k_sketch_p99", sketch_p99.to_json()),
+            ("stream100k_bare_ns", bare_ns.to_json()),
+            ("stream100k_observed_ns", observed_ns.to_json()),
+            (
+                "stream100k_telemetry_overhead_ratio",
+                overhead_ratio.to_json(),
+            ),
         ],
     );
 }

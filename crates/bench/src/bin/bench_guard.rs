@@ -5,9 +5,12 @@
 //! if any benchmark id regressed by more than the given factor against its
 //! recorded `prev_mean_ns`, or any peak-memory extra (keys containing
 //! `peak`, e.g. `peak_resident_jobs`, `stream100k_peak_copy_slots`) grew
-//! beyond the memory factor against its `prev_extras` baseline. Ids and
-//! extras without a recorded baseline (first run on a fresh cache, newly
-//! added benchmarks) pass trivially.
+//! beyond the memory factor against its `prev_extras` baseline, or any
+//! telemetry-overhead extra (keys containing `overhead_ratio`, the
+//! observed-vs-bare wall-clock ratio) exceeds the absolute overhead ceiling.
+//! Ids and extras without a recorded baseline (first run on a fresh cache,
+//! newly added benchmarks) pass trivially — except the overhead ceiling,
+//! which is absolute and needs no history.
 //!
 //! Entries carrying frozen `*_reference` ids are compared in host-normalized
 //! terms: the candidate observation is divided by the reference slowdown of
@@ -17,11 +20,13 @@
 //! ratio is therefore in baseline-host time for those entries.
 //!
 //! ```console
-//! $ cargo run -p mapreduce-bench --bin bench-guard            # smoke report, 2× / 1.5×
-//! $ cargo run -p mapreduce-bench --bin bench-guard -- path.json 1.5 1.2
+//! $ cargo run -p mapreduce-bench --bin bench-guard            # smoke report, 2× / 1.5× / 1.5×
+//! $ cargo run -p mapreduce-bench --bin bench-guard -- path.json 1.5 1.2 1.3
 //! ```
 
-use mapreduce_bench::{find_memory_regressions, find_regressions, SMOKE_REPORT_PATH};
+use mapreduce_bench::{
+    find_memory_regressions, find_overhead_regressions, find_regressions, SMOKE_REPORT_PATH,
+};
 use mapreduce_support::json::JsonValue;
 use std::process::ExitCode;
 
@@ -37,6 +42,13 @@ fn main() -> ExitCode {
     let memory_factor: f64 = args
         .next()
         .map(|f| f.parse().expect("memory factor must be a number"))
+        .unwrap_or(1.5);
+    // The observability contract: attaching the full observer stack must not
+    // cost more than 1.5x the bare engine. Absolute (no baseline needed) —
+    // the ratio self-normalizes for host speed.
+    let overhead_limit: f64 = args
+        .next()
+        .map(|f| f.parse().expect("overhead limit must be a number"))
         .unwrap_or(1.5);
 
     let report = match std::fs::read_to_string(&path) {
@@ -56,9 +68,11 @@ fn main() -> ExitCode {
 
     let regressions = find_regressions(&report, factor);
     let memory_regressions = find_memory_regressions(&report, memory_factor);
-    if regressions.is_empty() && memory_regressions.is_empty() {
+    let overhead_violations = find_overhead_regressions(&report, overhead_limit);
+    if regressions.is_empty() && memory_regressions.is_empty() && overhead_violations.is_empty() {
         println!(
-            "bench-guard: no >{factor}x timing or >{memory_factor}x memory regressions in {path}"
+            "bench-guard: no >{factor}x timing, >{memory_factor}x memory, or \
+             >{overhead_limit}x observer-overhead regressions in {path}"
         );
         return ExitCode::SUCCESS;
     }
@@ -74,6 +88,11 @@ fn main() -> ExitCode {
         eprintln!(
             "bench-guard: {id} memory grew {:.2}x ({prev:.0} -> {current:.0})",
             current / prev,
+        );
+    }
+    for (id, limit, observed) in &overhead_violations {
+        eprintln!(
+            "bench-guard: {id} observer overhead {observed:.3}x exceeds the {limit}x ceiling"
         );
     }
     ExitCode::FAILURE

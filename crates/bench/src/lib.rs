@@ -238,6 +238,44 @@ pub fn find_memory_regressions(report: &JsonValue, factor: f64) -> Vec<(String, 
     regressions
 }
 
+/// Scans a bench report for **observability overhead** violations: any
+/// entry-level extra whose key contains `"overhead_ratio"` (e.g.
+/// `stream100k_telemetry_overhead_ratio`, the observed-vs-bare wall-clock
+/// ratio of the 100k-job telemetry gate) that exceeds the absolute `limit`
+/// is returned as `(benchmark:key, limit, observed)`.
+///
+/// Unlike the timing guard this is not a trend check against
+/// `prev_mean_ns`: the ratio is self-normalizing (both runs execute in the
+/// same process back to back, so host speed cancels), which makes a hard
+/// ceiling meaningful on noisy shared runners. The contract it enforces is
+/// the telemetry subsystem's "observation must stay cheap" invariant —
+/// observers fold integers per event and must never dominate the engine.
+pub fn find_overhead_regressions(report: &JsonValue, limit: f64) -> Vec<(String, f64, f64)> {
+    let mut violations = Vec::new();
+    let Some(benchmarks) = report.get("benchmarks").and_then(|b| b.as_array()) else {
+        return violations;
+    };
+    for entry in benchmarks {
+        let Some(benchmark) = entry.get("benchmark").and_then(|b| b.as_str()) else {
+            continue;
+        };
+        let JsonValue::Object(fields) = entry else {
+            continue;
+        };
+        for (key, value) in fields {
+            if !key.contains("overhead_ratio") {
+                continue;
+            }
+            if let Some(ratio) = value.as_f64() {
+                if ratio > limit {
+                    violations.push((format!("{benchmark}:{key}"), limit, ratio));
+                }
+            }
+        }
+    }
+    violations
+}
+
 /// [`merge_bench_report`] against an explicit path (tests use a temp file).
 pub fn merge_bench_report_at(
     path: &Path,
@@ -623,6 +661,41 @@ mod tests {
         assert_eq!((regressions[0].1, regressions[0].2), (5_000.0, 10_000.0));
         // A looser factor passes; the factor is inclusive of exactly-at-bound.
         assert!(find_memory_regressions(&report, 2.0).is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn overhead_guard_enforces_an_absolute_ceiling_without_history() {
+        let path = std::env::temp_dir().join(format!(
+            "mapreduce_bench_overhead_guard_test_{}.json",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        // First (and only) merge: the overhead ratio needs no prev_* baseline
+        // — the ceiling is absolute, so a fresh report can already fail.
+        merge_bench_report_at_with(
+            &path,
+            "workload_stream",
+            100_000,
+            20_000,
+            &[result("stream100k/fifo", 1e9)],
+            &[
+                ("stream100k_telemetry_overhead_ratio", 1.12f64.to_json()),
+                ("stream100k_bare_ns", 4_000_000_000u64.to_json()),
+            ],
+        );
+        let report = JsonValue::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert!(find_overhead_regressions(&report, 1.5).is_empty());
+        // Tighten the ceiling below the observed ratio: the same report fails,
+        // and only the *_overhead_ratio extra is a candidate.
+        let violations = find_overhead_regressions(&report, 1.1);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(
+            violations[0].0,
+            "workload_stream:stream100k_telemetry_overhead_ratio"
+        );
+        assert_eq!((violations[0].1, violations[0].2), (1.1, 1.12));
         let _ = std::fs::remove_file(&path);
     }
 

@@ -19,7 +19,9 @@ impl Ecdf {
     /// Builds the CDF from raw values (order does not matter).
     pub fn from_values(values: &[f64]) -> Self {
         let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        // `total_cmp` per the repo-wide NaN-determinism rule: a total order
+        // never depends on how `partial_cmp` ties are broken.
+        sorted.sort_by(f64::total_cmp);
         Ecdf { sorted }
     }
 
@@ -38,14 +40,16 @@ impl Ecdf {
     /// cumulative fraction is still taken over *all* jobs, so the curve does
     /// not necessarily reach 1 within the window.
     pub fn from_outcome_window(outcome: &SimOutcome, lo: f64, hi: f64) -> (Self, usize) {
-        let all = Self::from_outcome(outcome);
-        let total = all.len();
-        let windowed: Vec<f64> = all
-            .sorted
+        // Single pass: only the windowed values are collected and sorted,
+        // instead of materialising (and sorting) the full CDF first.
+        let total = outcome.records().len();
+        let mut windowed: Vec<f64> = outcome
+            .records()
             .iter()
-            .copied()
+            .map(|r| r.flowtime() as f64)
             .filter(|&v| v >= lo && v < hi)
             .collect();
+        windowed.sort_by(f64::total_cmp);
         (Ecdf { sorted: windowed }, total)
     }
 

@@ -12,8 +12,10 @@
 //! On top of the paper-figure metrics, the crate hosts the telemetry
 //! consumers of the engine's [`mapreduce_sim::SimObserver`] seam: a
 //! shard-mergeable counter/histogram [`MetricsRegistry`] with its folding
-//! observer [`SimTelemetry`], and the bounded Chrome-trace exporter
-//! [`TraceRecorder`] (see [`trace_export`]).
+//! observer [`SimTelemetry`], the streaming [`QuantileSketch`] that yields
+//! Fig. 4/5-shaped CDFs and percentiles in O(1) memory (see [`sketch`]),
+//! and the bounded Chrome-trace exporter [`TraceRecorder`] (see
+//! [`trace_export`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,6 +23,7 @@
 pub mod cdf;
 pub mod registry;
 pub mod report;
+pub mod sketch;
 pub mod summary;
 pub mod telemetry;
 pub mod trace_export;
@@ -28,6 +31,7 @@ pub mod trace_export;
 pub use cdf::Ecdf;
 pub use registry::{Log2Histogram, MetricsRegistry, HISTOGRAM_BUCKETS};
 pub use report::ComparisonReport;
+pub use sketch::{FlowtimeSketches, QuantileSketch};
 pub use summary::{FlowtimeBucket, FlowtimeSummary, StreamingFlowtime};
 pub use telemetry::{fold_run_telemetry, SimTelemetry};
 pub use trace_export::{validate_trace, TraceRecorder};

@@ -235,6 +235,24 @@ impl MetricsRegistry {
         self.counters.is_empty() && self.histograms.is_empty()
     }
 
+    /// Folds a whole histogram into the named slot (merging if it exists,
+    /// inserting a clone if not). Empty histograms are skipped, preserving
+    /// the invariant that a histogram exists iff a sample was recorded —
+    /// this is how observers that accumulate in plain fields (the hot-path
+    /// discipline of [`crate::SimTelemetry`]) materialize a registry without
+    /// per-event name lookups.
+    pub fn merge_histogram(&mut self, name: &str, histogram: &Log2Histogram) {
+        if histogram.count() == 0 {
+            return;
+        }
+        match self.histograms.get_mut(name) {
+            Some(mine) => mine.merge(histogram),
+            None => {
+                self.histograms.insert(name.to_string(), histogram.clone());
+            }
+        }
+    }
+
     /// Folds another registry in: counters add, histograms merge. Associative
     /// and commutative, so shards can be combined in any tree order —
     /// the same discipline as [`crate::StreamingFlowtime::merge`].

@@ -75,7 +75,7 @@ impl FlowtimeSummary {
             };
         }
         let mut flowtimes: Vec<f64> = records.iter().map(|r| r.flowtime() as f64).collect();
-        flowtimes.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        flowtimes.sort_by(f64::total_cmp);
         let n = flowtimes.len();
         let mean = flowtimes.iter().sum::<f64>() / n as f64;
         let total_weight: f64 = records.iter().map(|r| r.weight).sum();
@@ -97,6 +97,37 @@ impl FlowtimeSummary {
             median: quantile(0.5),
             p95: quantile(0.95),
             max: flowtimes[n - 1],
+            mean_copies_per_task: mean_copies,
+        }
+    }
+
+    /// Builds a summary from streaming accumulators alone — no per-job
+    /// record vector anywhere. The moments (`mean`, `weighted_*`, `max`)
+    /// come exactly from the [`StreamingFlowtime`]; `median` and `p95` come
+    /// from the [`QuantileSketch`](crate::QuantileSketch) and carry its
+    /// documented relative-error bound
+    /// ([`QuantileSketch::RELATIVE_ERROR`](crate::QuantileSketch::RELATIVE_ERROR)).
+    /// The two accumulators must have folded the same jobs.
+    pub fn from_streaming(
+        scheduler: &str,
+        streaming: &StreamingFlowtime,
+        sketch: &crate::QuantileSketch,
+        mean_copies: f64,
+    ) -> Self {
+        debug_assert_eq!(
+            streaming.jobs() as u64,
+            sketch.count(),
+            "streaming accumulator and sketch must fold the same jobs"
+        );
+        FlowtimeSummary {
+            scheduler: scheduler.to_string(),
+            jobs: streaming.jobs(),
+            mean: streaming.mean(),
+            weighted_mean: streaming.weighted_mean(),
+            weighted_sum: streaming.weighted_sum(),
+            median: sketch.quantile(0.5).unwrap_or(0) as f64,
+            p95: sketch.quantile(0.95).unwrap_or(0) as f64,
+            max: streaming.max() as f64,
             mean_copies_per_task: mean_copies,
         }
     }
@@ -328,6 +359,31 @@ mod tests {
         assert!((streaming.weighted_mean() - full.weighted_mean).abs() < 1e-9);
         assert!((streaming.weighted_sum() - full.weighted_sum).abs() < 1e-9);
         assert_eq!(streaming.max() as f64, full.max);
+    }
+
+    #[test]
+    fn sketch_backed_summary_tracks_the_exact_one() {
+        let records: Vec<JobRecord> = (0..200)
+            .map(|i| record(i, (i % 5) as f64 + 0.5, (i * i + 7) % 3000))
+            .collect();
+        let exact = FlowtimeSummary::from_records("x", &records, 1.0);
+        let mut streaming = StreamingFlowtime::new();
+        let mut sketch = crate::QuantileSketch::new();
+        for r in &records {
+            streaming.fold(r);
+            sketch.record(r.flowtime());
+        }
+        let approx = FlowtimeSummary::from_streaming("x", &streaming, &sketch, 1.0);
+        // Moments are exact.
+        assert_eq!(approx.jobs, exact.jobs);
+        assert!((approx.mean - exact.mean).abs() < 1e-9);
+        assert!((approx.weighted_mean - exact.weighted_mean).abs() < 1e-9);
+        assert!((approx.weighted_sum - exact.weighted_sum).abs() < 1e-9);
+        assert_eq!(approx.max, exact.max);
+        // Quantiles are within the sketch's documented bound.
+        let bound = crate::QuantileSketch::RELATIVE_ERROR;
+        assert!((approx.median - exact.median).abs() <= exact.median * bound + 1e-9);
+        assert!((approx.p95 - exact.p95).abs() <= exact.p95 * bound + 1e-9);
     }
 
     #[test]

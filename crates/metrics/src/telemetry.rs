@@ -14,13 +14,13 @@
 //! exporters ([`crate::TraceRecorder`]) and tests compare against the same
 //! strings the observer writes.
 
-use crate::registry::MetricsRegistry;
+use crate::registry::{Log2Histogram, MetricsRegistry};
+use crate::sketch::FlowtimeSketches;
 use mapreduce_sim::telemetry::{
     CopyCancelled, CopyFinished, CopyLaunched, DecisionInstant, SimObserver,
 };
 use mapreduce_sim::{CancelReason, JobRecord, RunTelemetry, Slot};
 use mapreduce_workload::{JobId, TaskId};
-use std::collections::HashSet;
 
 /// Names of the counters and histograms [`SimTelemetry`] folds, so every
 /// consumer (trace export, server stats, tests) speaks the same vocabulary.
@@ -107,17 +107,97 @@ pub fn fold_run_telemetry(registry: &mut MetricsRegistry, telemetry: &RunTelemet
     );
 }
 
+/// Per-event-kind lifecycle counters shared by the hot observers
+/// ([`SimTelemetry`], [`crate::TraceRecorder`]): one plain `u64` per event
+/// kind, so the per-event cost is a field increment — no name lookup of any
+/// sort. [`LifecycleCounts::fold_into`] materializes them under the
+/// canonical [`names`] when a [`MetricsRegistry`] is actually wanted
+/// (end of run, export, validation), producing exactly the registry a
+/// per-event `inc` would have built.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct LifecycleCounts {
+    /// Jobs admitted into the run.
+    pub jobs_arrived: u64,
+    /// Jobs completed.
+    pub jobs_completed: u64,
+    /// Copies launched (originals + clones + backups).
+    pub copies_launched: u64,
+    /// Copies that finished and won their task.
+    pub copies_finished: u64,
+    /// Copies cancelled because a sibling finished first.
+    pub cancelled_sibling: u64,
+    /// Copies cancelled by a scheduler action.
+    pub cancelled_scheduler: u64,
+    /// Copies killed by a machine crash.
+    pub cancelled_fault: u64,
+    /// Tasks whose last copy died and re-entered the unscheduled pool.
+    pub tasks_unlaunched: u64,
+    /// Machine down events.
+    pub machines_down: u64,
+    /// Machine up events.
+    pub machines_up: u64,
+    /// Decision instants that reached the scheduler.
+    pub decision_instants: u64,
+}
+
+impl LifecycleCounts {
+    /// Adds every non-zero count to `registry` under its canonical
+    /// [`names`] entry (zero counts create nothing, matching the behaviour
+    /// of per-event [`MetricsRegistry::inc`] folding).
+    pub fn fold_into(&self, registry: &mut MetricsRegistry) {
+        registry.inc(names::JOBS_ARRIVED, self.jobs_arrived);
+        registry.inc(names::JOBS_COMPLETED, self.jobs_completed);
+        registry.inc(names::COPIES_LAUNCHED, self.copies_launched);
+        registry.inc(names::COPIES_FINISHED, self.copies_finished);
+        registry.inc(names::CANCELLED_SIBLING, self.cancelled_sibling);
+        registry.inc(names::CANCELLED_SCHEDULER, self.cancelled_scheduler);
+        registry.inc(names::CANCELLED_FAULT, self.cancelled_fault);
+        registry.inc(names::TASKS_UNLAUNCHED, self.tasks_unlaunched);
+        registry.inc(names::MACHINES_DOWN, self.machines_down);
+        registry.inc(names::MACHINES_UP, self.machines_up);
+        registry.inc(names::DECISION_INSTANTS, self.decision_instants);
+    }
+}
+
 /// The registry-folding observer.
 ///
 /// Tracks which active arena slots hold clones (slot ids are reused, so the
 /// set stays bounded by the alive copy window) to attribute lifetimes to the
 /// `clone_lifetime` histogram without the engine having to replay the launch
 /// kind at finish time.
+///
+/// # Hot-path discipline
+///
+/// Every per-event quantity accumulates in a plain struct field
+/// ([`LifecycleCounts`], bare `u64`s, fixed-array [`Log2Histogram`]s, the
+/// [`FlowtimeSketches`]) — the observer never touches a name-keyed map
+/// while the engine runs. The [`MetricsRegistry`] is materialized on
+/// demand by [`SimTelemetry::registry`] under the canonical [`names`],
+/// byte-identical to what per-event `inc`/`record` calls would have
+/// produced. This is what keeps the full observer stack within the CI
+/// bench-guard's observed-vs-bare overhead ceiling at 100k-job scale.
 #[derive(Debug, Default, Clone)]
 pub struct SimTelemetry {
-    registry: MetricsRegistry,
-    /// Arena slots currently occupied by a clone/backup copy.
-    clones: HashSet<u64>,
+    counts: LifecycleCounts,
+    clones_launched: u64,
+    launch_actions: u64,
+    cancel_actions: u64,
+    copies_requested: u64,
+    copies_per_task: Log2Histogram,
+    copy_lifetime: Log2Histogram,
+    clone_lifetime: Log2Histogram,
+    cancel_latency: Log2Histogram,
+    job_flowtime: Log2Histogram,
+    ranked_prefix: Log2Histogram,
+    decision_cost_ns: Log2Histogram,
+    /// Streaming flowtime quantile sketches (all jobs + the paper's
+    /// small/big figure windows), folded one `JobCompleted` at a time.
+    sketches: FlowtimeSketches,
+    /// Bitset over arena slot ids: bit set while the slot holds a
+    /// clone/backup copy. Slot ids are reused, so the vector stays bounded
+    /// by the alive copy window; word-indexed set/test-and-clear keeps the
+    /// per-copy-event cost hash-free.
+    clones: Vec<u64>,
 }
 
 impl SimTelemetry {
@@ -126,90 +206,124 @@ impl SimTelemetry {
         Self::default()
     }
 
-    /// The folded registry so far.
-    pub fn registry(&self) -> &MetricsRegistry {
-        &self.registry
+    /// Materializes the registry folded so far (counters and histograms
+    /// under the canonical [`names`]). Built on demand from the plain-field
+    /// accumulators — call it at end of run, not per event.
+    pub fn registry(&self) -> MetricsRegistry {
+        let mut registry = MetricsRegistry::new();
+        self.counts.fold_into(&mut registry);
+        registry.inc(names::CLONES_LAUNCHED, self.clones_launched);
+        registry.inc(names::LAUNCH_ACTIONS, self.launch_actions);
+        registry.inc(names::CANCEL_ACTIONS, self.cancel_actions);
+        registry.inc(names::COPIES_REQUESTED, self.copies_requested);
+        registry.merge_histogram(names::COPIES_PER_TASK, &self.copies_per_task);
+        registry.merge_histogram(names::COPY_LIFETIME, &self.copy_lifetime);
+        registry.merge_histogram(names::CLONE_LIFETIME, &self.clone_lifetime);
+        registry.merge_histogram(names::CANCEL_LATENCY, &self.cancel_latency);
+        registry.merge_histogram(names::JOB_FLOWTIME, &self.job_flowtime);
+        registry.merge_histogram(names::RANKED_PREFIX, &self.ranked_prefix);
+        registry.merge_histogram(names::DECISION_COST_NS, &self.decision_cost_ns);
+        registry
+    }
+
+    /// The flowtime quantile sketches folded so far: Fig. 4/5-shaped CDF
+    /// series and percentiles in O(1) memory, no per-job records held.
+    pub fn sketches(&self) -> &FlowtimeSketches {
+        &self.sketches
     }
 
     /// Consumes the observer, yielding the folded registry.
     pub fn into_registry(self) -> MetricsRegistry {
-        self.registry
+        self.registry()
+    }
+
+    /// Consumes the observer, yielding the registry and the flowtime
+    /// sketches.
+    pub fn into_parts(self) -> (MetricsRegistry, FlowtimeSketches) {
+        (self.registry(), self.sketches)
+    }
+
+    /// Marks an arena slot as holding a clone/backup copy.
+    fn mark_clone(&mut self, copy: mapreduce_sim::CopyId) {
+        let (word, bit) = (copy.0 as usize / 64, copy.0 % 64);
+        if word >= self.clones.len() {
+            self.clones.resize(word + 1, 0);
+        }
+        self.clones[word] |= 1 << bit;
     }
 
     /// A copy left its machine: settle its clone bookkeeping and return
     /// whether it was a clone.
     fn settle_clone(&mut self, copy: mapreduce_sim::CopyId, lifetime: u64) -> bool {
-        if self.clones.remove(&copy.0) {
-            self.registry.record(names::CLONE_LIFETIME, lifetime);
-            true
-        } else {
-            false
+        let (word, bit) = (copy.0 as usize / 64, copy.0 % 64);
+        match self.clones.get_mut(word) {
+            Some(w) if *w & (1 << bit) != 0 => {
+                *w &= !(1 << bit);
+                self.clone_lifetime.record(lifetime);
+                true
+            }
+            _ => false,
         }
     }
 }
 
 impl SimObserver for SimTelemetry {
     fn on_job_arrived(&mut self, _at: Slot, _job: JobId) {
-        self.registry.inc(names::JOBS_ARRIVED, 1);
+        self.counts.jobs_arrived += 1;
     }
 
     fn on_job_completed(&mut self, record: &JobRecord) {
-        self.registry.inc(names::JOBS_COMPLETED, 1);
-        self.registry.record(names::JOB_FLOWTIME, record.flowtime());
+        self.counts.jobs_completed += 1;
+        self.job_flowtime.record(record.flowtime());
+        self.sketches.fold(record.flowtime());
     }
 
     fn on_copy_launched(&mut self, event: CopyLaunched) {
-        self.registry.inc(names::COPIES_LAUNCHED, 1);
+        self.counts.copies_launched += 1;
         if event.clone {
-            self.registry.inc(names::CLONES_LAUNCHED, 1);
-            self.clones.insert(event.copy.0);
+            self.clones_launched += 1;
+            self.mark_clone(event.copy);
         }
     }
 
     fn on_copy_finished(&mut self, event: CopyFinished) {
-        self.registry.inc(names::COPIES_FINISHED, 1);
+        self.counts.copies_finished += 1;
         let lifetime = event.at.saturating_sub(event.launched_at);
-        self.registry.record(names::COPY_LIFETIME, lifetime);
-        self.registry
-            .record(names::COPIES_PER_TASK, event.copies_of_task as u64);
+        self.copy_lifetime.record(lifetime);
+        self.copies_per_task.record(event.copies_of_task as u64);
         self.settle_clone(event.copy, lifetime);
     }
 
     fn on_copy_cancelled(&mut self, event: CopyCancelled) {
-        let counter = match event.reason {
-            CancelReason::SiblingFinished => names::CANCELLED_SIBLING,
-            CancelReason::Scheduler => names::CANCELLED_SCHEDULER,
-            CancelReason::Fault => names::CANCELLED_FAULT,
-        };
-        self.registry.inc(counter, 1);
+        match event.reason {
+            CancelReason::SiblingFinished => self.counts.cancelled_sibling += 1,
+            CancelReason::Scheduler => self.counts.cancelled_scheduler += 1,
+            CancelReason::Fault => self.counts.cancelled_fault += 1,
+        }
         let lifetime = event.at.saturating_sub(event.launched_at);
-        self.registry.record(names::CANCEL_LATENCY, lifetime);
+        self.cancel_latency.record(lifetime);
         self.settle_clone(event.copy, lifetime);
     }
 
     fn on_task_unlaunched(&mut self, _at: Slot, _task: TaskId) {
-        self.registry.inc(names::TASKS_UNLAUNCHED, 1);
+        self.counts.tasks_unlaunched += 1;
     }
 
     fn on_machine_down(&mut self, _at: Slot, _machine: u32, _crash: bool) {
-        self.registry.inc(names::MACHINES_DOWN, 1);
+        self.counts.machines_down += 1;
     }
 
     fn on_machine_up(&mut self, _at: Slot, _machine: u32, _crash: bool) {
-        self.registry.inc(names::MACHINES_UP, 1);
+        self.counts.machines_up += 1;
     }
 
     fn on_decision_instant(&mut self, event: DecisionInstant) {
-        self.registry.inc(names::DECISION_INSTANTS, 1);
-        self.registry
-            .inc(names::LAUNCH_ACTIONS, event.launch_actions as u64);
-        self.registry
-            .inc(names::CANCEL_ACTIONS, event.cancel_actions as u64);
-        self.registry
-            .inc(names::COPIES_REQUESTED, event.copies_requested as u64);
-        self.registry
-            .record(names::RANKED_PREFIX, event.ranked_prefix as u64);
-        self.registry.record(names::DECISION_COST_NS, event.wall_ns);
+        self.counts.decision_instants += 1;
+        self.launch_actions += event.launch_actions as u64;
+        self.cancel_actions += event.cancel_actions as u64;
+        self.copies_requested += event.copies_requested as u64;
+        self.ranked_prefix.record(event.ranked_prefix as u64);
+        self.decision_cost_ns.record(event.wall_ns);
     }
 }
 
@@ -269,6 +383,20 @@ mod tests {
         // Profiling was off: every decision cost sample is 0.
         let cost = registry.histogram(names::DECISION_COST_NS).unwrap();
         assert_eq!(cost.bucket(0), cost.count());
+        // The flowtime sketches folded every completed job, with exact
+        // extremes and the small/big windows partitioning below 4000.
+        let sketches = telemetry.sketches();
+        assert_eq!(sketches.all.count(), outcome.records().len() as u64);
+        assert_eq!(
+            sketches.all.max(),
+            outcome
+                .records()
+                .iter()
+                .map(|r| r.flowtime())
+                .max()
+                .unwrap()
+        );
+        assert!(sketches.small.count() + sketches.big.count() <= sketches.all.count());
 
         // Attaching the observer must not perturb the trajectory.
         let plain = Simulation::new(config, &trace)

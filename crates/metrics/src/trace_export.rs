@@ -22,7 +22,7 @@
 //! smoke asserts the exporter saw every event the registry counted.
 
 use crate::registry::MetricsRegistry;
-use crate::telemetry::names;
+use crate::telemetry::{names, LifecycleCounts};
 use mapreduce_sim::telemetry::{
     CopyCancelled, CopyFinished, CopyLaunched, DecisionInstant, SimObserver,
 };
@@ -91,8 +91,9 @@ pub struct TraceRecorder {
     cap: usize,
     /// Events dropped after the cap was reached.
     dropped: u64,
-    /// Per-kind attempt counts, named like the registry counters.
-    counts: MetricsRegistry,
+    /// Per-kind attempt counts — plain fields, so counting past the cap
+    /// costs a field increment (see [`LifecycleCounts`]).
+    counts: LifecycleCounts,
 }
 
 impl TraceRecorder {
@@ -103,7 +104,7 @@ impl TraceRecorder {
             events: Vec::new(),
             cap,
             dropped: 0,
-            counts: MetricsRegistry::new(),
+            counts: LifecycleCounts::default(),
         }
     }
 
@@ -117,17 +118,31 @@ impl TraceRecorder {
         self.dropped
     }
 
-    /// The per-kind attempt counts (every event counts, retained or not).
-    pub fn counts(&self) -> &MetricsRegistry {
-        &self.counts
+    /// The per-kind attempt counts (every event counts, retained or not),
+    /// materialized as a registry under the canonical [`names`].
+    pub fn counts(&self) -> MetricsRegistry {
+        let mut registry = MetricsRegistry::new();
+        self.counts.fold_into(&mut registry);
+        registry
+    }
+
+    /// Reserves one retained-event slot, or counts a drop. Handlers call
+    /// this *before* rendering an event so that once the cap is reached the
+    /// per-event cost collapses to two counter bumps — no JSON object is
+    /// ever built just to be thrown away (at 10M-job scale the dropped tail
+    /// is the overwhelming majority of events).
+    fn reserve(&mut self) -> bool {
+        if self.events.len() < self.cap {
+            true
+        } else {
+            self.dropped += 1;
+            false
+        }
     }
 
     fn push(&mut self, event: JsonValue) {
-        if self.events.len() < self.cap {
-            self.events.push(event);
-        } else {
-            self.dropped += 1;
-        }
+        debug_assert!(self.events.len() < self.cap, "push without reserve");
+        self.events.push(event);
     }
 
     /// Renders the trace as a Chrome trace-event JSON document.
@@ -163,7 +178,7 @@ impl TraceRecorder {
                     ("cap", self.cap.to_json()),
                     ("retained", self.events.len().to_json()),
                     ("dropped", self.dropped.to_json()),
-                    ("counts", self.counts.to_json()),
+                    ("counts", self.counts().to_json()),
                 ]),
             ),
         ])
@@ -171,6 +186,9 @@ impl TraceRecorder {
 
     /// The complete-event span of a finished or cancelled copy.
     fn copy_span(&mut self, name: &str, at: Slot, launched_at: Slot, copy: u64, task: TaskId) {
+        if !self.reserve() {
+            return;
+        }
         let dur = at.saturating_sub(launched_at) * MICROS_PER_SLOT;
         self.push(JsonValue::object([
             ("name", JsonValue::String(name.to_string())),
@@ -188,11 +206,14 @@ impl SimObserver for TraceRecorder {
     fn on_job_arrived(&mut self, _at: Slot, _job: JobId) {
         // Arrival is the start of the job span emitted at completion; only
         // the count is recorded here.
-        self.counts.inc(names::JOBS_ARRIVED, 1);
+        self.counts.jobs_arrived += 1;
     }
 
     fn on_job_completed(&mut self, record: &JobRecord) {
-        self.counts.inc(names::JOBS_COMPLETED, 1);
+        self.counts.jobs_completed += 1;
+        if !self.reserve() {
+            return;
+        }
         self.push(JsonValue::object([
             ("name", JsonValue::String(format!("job {}", record.job))),
             ("ph", JsonValue::String("X".to_string())),
@@ -214,11 +235,11 @@ impl SimObserver for TraceRecorder {
     fn on_copy_launched(&mut self, _event: CopyLaunched) {
         // The launch slot rides on the finish/cancel event (spans are
         // emitted when they end); only the count is recorded here.
-        self.counts.inc(names::COPIES_LAUNCHED, 1);
+        self.counts.copies_launched += 1;
     }
 
     fn on_copy_finished(&mut self, event: CopyFinished) {
-        self.counts.inc(names::COPIES_FINISHED, 1);
+        self.counts.copies_finished += 1;
         self.copy_span(
             "copy",
             event.at,
@@ -229,17 +250,28 @@ impl SimObserver for TraceRecorder {
     }
 
     fn on_copy_cancelled(&mut self, event: CopyCancelled) {
-        let (counter, name) = match event.reason {
-            CancelReason::SiblingFinished => (names::CANCELLED_SIBLING, "cancelled:sibling"),
-            CancelReason::Scheduler => (names::CANCELLED_SCHEDULER, "cancelled:scheduler"),
-            CancelReason::Fault => (names::CANCELLED_FAULT, "cancelled:fault"),
+        let name = match event.reason {
+            CancelReason::SiblingFinished => {
+                self.counts.cancelled_sibling += 1;
+                "cancelled:sibling"
+            }
+            CancelReason::Scheduler => {
+                self.counts.cancelled_scheduler += 1;
+                "cancelled:scheduler"
+            }
+            CancelReason::Fault => {
+                self.counts.cancelled_fault += 1;
+                "cancelled:fault"
+            }
         };
-        self.counts.inc(counter, 1);
         self.copy_span(name, event.at, event.launched_at, event.copy.0, event.task);
     }
 
     fn on_task_unlaunched(&mut self, at: Slot, task: TaskId) {
-        self.counts.inc(names::TASKS_UNLAUNCHED, 1);
+        self.counts.tasks_unlaunched += 1;
+        if !self.reserve() {
+            return;
+        }
         self.push(JsonValue::object([
             ("name", JsonValue::String("task_unlaunched".to_string())),
             ("ph", JsonValue::String("i".to_string())),
@@ -252,7 +284,10 @@ impl SimObserver for TraceRecorder {
     }
 
     fn on_machine_down(&mut self, at: Slot, machine: u32, crash: bool) {
-        self.counts.inc(names::MACHINES_DOWN, 1);
+        self.counts.machines_down += 1;
+        if !self.reserve() {
+            return;
+        }
         self.push(JsonValue::object([
             (
                 "name",
@@ -267,7 +302,10 @@ impl SimObserver for TraceRecorder {
     }
 
     fn on_machine_up(&mut self, at: Slot, machine: u32, crash: bool) {
-        self.counts.inc(names::MACHINES_UP, 1);
+        self.counts.machines_up += 1;
+        if !self.reserve() {
+            return;
+        }
         self.push(JsonValue::object([
             (
                 "name",
@@ -282,7 +320,10 @@ impl SimObserver for TraceRecorder {
     }
 
     fn on_decision_instant(&mut self, event: DecisionInstant) {
-        self.counts.inc(names::DECISION_INSTANTS, 1);
+        self.counts.decision_instants += 1;
+        if !self.reserve() {
+            return;
+        }
         self.push(JsonValue::object([
             ("name", JsonValue::String("scheduler_actions".to_string())),
             ("ph", JsonValue::String("C".to_string())),
@@ -411,7 +452,7 @@ mod tests {
         let (recorder, telemetry) = traced_run(usize::MAX);
         assert_eq!(recorder.dropped(), 0);
         let text = recorder.to_json().to_compact_string();
-        validate_trace(&text, telemetry.registry()).expect("trace must validate");
+        validate_trace(&text, &telemetry.registry()).expect("trace must validate");
     }
 
     #[test]
@@ -424,7 +465,7 @@ mod tests {
         );
         // Counts keep going past the cap, so validation still matches.
         let text = capped.to_json().to_compact_string();
-        validate_trace(&text, telemetry.registry()).expect("capped trace must validate");
+        validate_trace(&text, &telemetry.registry()).expect("capped trace must validate");
     }
 
     #[test]

@@ -107,16 +107,21 @@ fn parse_args() -> Options {
 }
 
 /// The canned cold→warm round-trip of `--smoke`: two identical sweep
-/// requests through the real line protocol; the warm pass must simulate
-/// nothing and reproduce the cold summaries exactly. (With a pre-warmed
-/// persistent cache even the first pass is all hits — still a pass.)
+/// requests (tenant-tagged, with a sketch-backed CDF series) through the
+/// real line protocol; the warm pass must simulate nothing and reproduce
+/// the cold summaries and CDF series exactly, and the `metrics` request
+/// must expose a well-formed registry/sketch/exposition surface. (With a
+/// pre-warmed persistent cache even the first pass is all hits — still a
+/// pass.)
 fn smoke(server: &SweepServer) -> Result<(), String> {
     use mapreduce_experiments::{Scenario, SchedulerKind};
 
     let request = SweepRequest::new(
         Scenario::scaled(40, 2),
         vec![SchedulerKind::Fifo, SchedulerKind::paper_default()],
-    );
+    )
+    .with_tenant("smoke")
+    .with_cdf(0.0, 300.0, 13);
     let line = match request.to_json() {
         JsonValue::Object(mut map) => {
             map.insert("cmd".into(), JsonValue::String("sweep".into()));
@@ -124,7 +129,9 @@ fn smoke(server: &SweepServer) -> Result<(), String> {
         }
         _ => unreachable!("requests serialize to objects"),
     };
-    let script = format!("{line}\n{line}\n{{\"cmd\":\"stats\"}}\n{{\"cmd\":\"shutdown\"}}\n");
+    let script = format!(
+        "{line}\n{line}\n{{\"cmd\":\"stats\"}}\n{{\"cmd\":\"metrics\"}}\n{{\"cmd\":\"shutdown\"}}\n"
+    );
     let mut out = Vec::new();
     serve_lines(server, script.as_bytes(), &mut out).map_err(|e| format!("serve failed: {e}"))?;
     let text = String::from_utf8(out).map_err(|e| format!("non-utf8 response: {e}"))?;
@@ -132,8 +139,8 @@ fn smoke(server: &SweepServer) -> Result<(), String> {
         .lines()
         .map(|l| JsonValue::parse(l).map_err(|e| format!("bad response line: {e}")))
         .collect::<Result<_, _>>()?;
-    if lines.len() != 4 {
-        return Err(format!("expected 4 response lines, got {}", lines.len()));
+    if lines.len() != 5 {
+        return Err(format!("expected 5 response lines, got {}", lines.len()));
     }
     let response = |i: usize| -> Result<SweepResponse, String> {
         SweepResponse::from_json(
@@ -167,12 +174,72 @@ fn smoke(server: &SweepServer) -> Result<(), String> {
     {
         return Err("warm results diverge from cold results".to_string());
     }
+    let cdf = cold
+        .cdf
+        .as_ref()
+        .ok_or("cold response carries no CDF series despite the cdf option")?;
+    if cdf.len() != request.schedulers.len() || cdf.iter().any(|c| c.points.len() != 13) {
+        return Err("CDF series have the wrong shape".to_string());
+    }
+    if warm.cdf != cold.cdf {
+        return Err("warm CDF series diverge from cold CDF series".to_string());
+    }
+    check_metrics_line(&lines[3], cold.simulated + warm.simulated > 0)?;
     eprintln!(
-        "smoke ok: {} cells; cold pass simulated {}, warm pass simulated 0 ({} hits)",
+        "smoke ok: {} cells; cold pass simulated {}, warm pass simulated 0 ({} hits); \
+         CDF + metrics exposition validated",
         request.num_cells(),
         cold.simulated,
         warm.cache_hits
     );
+    Ok(())
+}
+
+/// Validates the `metrics` response line of the smoke script: the sketch
+/// payload must roundtrip (non-empty whenever this process simulated
+/// anything) and the text exposition must be well-formed `name value`
+/// lines under the `mapreduce_` namespace.
+fn check_metrics_line(line: &JsonValue, simulated_here: bool) -> Result<(), String> {
+    use mapreduce_metrics::FlowtimeSketches;
+
+    if line.get("ok") != Some(&JsonValue::Bool(true)) {
+        return Err(format!("metrics request failed: {line}"));
+    }
+    let sketches = FlowtimeSketches::from_json(
+        line.get("sketches")
+            .ok_or("metrics response has no sketches")?,
+    )
+    .map_err(|e| format!("bad sketches payload: {e}"))?;
+    // With a pre-warmed persistent cache the server may never simulate, so
+    // the lifetime sketches are legitimately empty; otherwise they must
+    // have folded every completed job.
+    if simulated_here && sketches.all.is_empty() {
+        return Err("simulated cells but the flowtime sketch is empty".to_string());
+    }
+    let exposition = match line.get("exposition") {
+        Some(JsonValue::String(text)) => text,
+        other => return Err(format!("bad exposition field: {other:?}")),
+    };
+    if exposition.lines().count() == 0 {
+        return Err("empty metrics exposition".to_string());
+    }
+    for row in exposition.lines() {
+        let mut fields = row.split(' ');
+        let (name, value) = match (fields.next(), fields.next(), fields.next()) {
+            (Some(name), Some(value), None) => (name, value),
+            _ => return Err(format!("exposition line is not `name value`: {row}")),
+        };
+        if !name.starts_with("mapreduce_")
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        {
+            return Err(format!("bad exposition metric name: {row}"));
+        }
+        if value.parse::<u128>().is_err() {
+            return Err(format!("non-integer exposition value: {row}"));
+        }
+    }
     Ok(())
 }
 

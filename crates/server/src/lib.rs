@@ -46,5 +46,9 @@ pub mod service;
 
 pub use cache::ResultCache;
 pub use mapreduce_support::hash::Fingerprint;
-pub use protocol::{serve_lines, serve_lines_with, Request, ServeOptions, ServeStats};
-pub use service::{CellResult, SweepRequest, SweepResponse, SweepServer};
+pub use protocol::{
+    metrics_exposition, serve_lines, serve_lines_with, Request, ServeOptions, ServeStats,
+};
+pub use service::{
+    CdfRequest, CellResult, SchedulerCdf, SweepRequest, SweepResponse, SweepServer, MAX_CDF_POINTS,
+};

@@ -12,9 +12,21 @@
 //! → {"ok":true,"cmd":"stats","cache":{"entries":20,"hits":0,"misses":20,...},
 //!    "server":{"uptime_ns":...,"requests_served":2,"cells_simulated_total":20,
 //!              "cache_hit_rate":0.5,"metrics":{...}}}
+//! {"cmd":"metrics"}
+//! → {"ok":true,"cmd":"metrics","metrics":{"counters":{...},"histograms":{...}},
+//!    "sketches":{"all":{...},"small":{...},"big":{...}},
+//!    "exposition":"mapreduce_server_uptime_ns 42\n..."}
 //! {"cmd":"shutdown"}
 //! → {"ok":true,"cmd":"shutdown"}
 //! ```
+//!
+//! The `metrics` request is the live observability surface: the lifetime
+//! [`mapreduce_metrics::MetricsRegistry`] (per-request latency histograms,
+//! per-tenant counters, engine telemetry of every simulated cell) and the
+//! lifetime flowtime [`mapreduce_metrics::QuantileSketch`]es as structured
+//! JSON, plus the same data flattened into a deterministic plain-text
+//! exposition (`name value` lines, sketch quantiles included) for tooling
+//! that scrapes text.
 //!
 //! Malformed lines produce `{"ok":false,"error":"..."}` and the loop keeps
 //! serving — a multi-tenant stdin feed must never be taken down by one bad
@@ -37,9 +49,12 @@ use std::io::{BufRead, Read, Write};
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Run (or serve from cache) one sweep.
-    Sweep(SweepRequest),
+    Sweep(Box<SweepRequest>),
     /// Report cache statistics.
     Stats,
+    /// Report the lifetime metrics registry and flowtime sketches (JSON +
+    /// text exposition).
+    Metrics,
     /// Stop serving after acknowledging.
     Shutdown,
 }
@@ -51,8 +66,9 @@ impl FromJson for Request {
             .as_str()
             .ok_or_else(|| JsonError::new("`cmd` must be a string"))?;
         match cmd {
-            "sweep" => Ok(Request::Sweep(SweepRequest::from_json(value)?)),
+            "sweep" => Ok(Request::Sweep(Box::new(SweepRequest::from_json(value)?))),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(JsonError::new(format!("unknown cmd `{other}`"))),
         }
@@ -189,6 +205,78 @@ fn cache_stats_json(server: &SweepServer) -> JsonValue {
     ])
 }
 
+/// Flattens the server's lifetime metrics into a deterministic plain-text
+/// exposition: one `name value` line per quantity, in fixed order (server
+/// gauges, then registry counters and histograms in name order, then the
+/// flowtime sketches with their bounded-error quantiles). Every value is a
+/// non-negative integer, so the format is trivially scrapeable; only the
+/// uptime line varies between back-to-back scrapes of an idle server.
+pub fn metrics_exposition(server: &SweepServer) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "mapreduce_server_uptime_ns {}", server.uptime_ns());
+    let _ = writeln!(
+        out,
+        "mapreduce_server_requests_served {}",
+        server.requests_served()
+    );
+    let _ = writeln!(
+        out,
+        "mapreduce_server_cells_simulated_total {}",
+        server.cells_simulated_total()
+    );
+    let cache_stats = server.cache().stats();
+    let _ = writeln!(out, "mapreduce_cache_entries {}", server.cache().len());
+    let _ = writeln!(out, "mapreduce_cache_hits {}", cache_stats.hits);
+    let _ = writeln!(out, "mapreduce_cache_misses {}", cache_stats.misses);
+    let registry = server.metrics_snapshot();
+    for (name, value) in registry.counters() {
+        let _ = writeln!(out, "mapreduce_counter_{} {value}", sanitize_name(name));
+    }
+    for (name, histogram) in registry.histograms() {
+        let name = sanitize_name(name);
+        let _ = writeln!(
+            out,
+            "mapreduce_histogram_{name}_count {}",
+            histogram.count()
+        );
+        let _ = writeln!(out, "mapreduce_histogram_{name}_sum {}", histogram.sum());
+        let _ = writeln!(out, "mapreduce_histogram_{name}_max {}", histogram.max());
+    }
+    let sketches = server.sketches_snapshot();
+    for (label, sketch) in [
+        ("all", &sketches.all),
+        ("small", &sketches.small),
+        ("big", &sketches.big),
+    ] {
+        let _ = writeln!(out, "mapreduce_flowtime_{label}_count {}", sketch.count());
+        let _ = writeln!(out, "mapreduce_flowtime_{label}_min {}", sketch.min());
+        let _ = writeln!(out, "mapreduce_flowtime_{label}_max {}", sketch.max());
+        for (tag, q) in [("p50", 0.5), ("p95", 0.95), ("p99", 0.99)] {
+            let _ = writeln!(
+                out,
+                "mapreduce_flowtime_{label}_{tag} {}",
+                sketch.quantile(q).unwrap_or(0)
+            );
+        }
+    }
+    out
+}
+
+/// Maps a metric name onto the exposition's `[a-z0-9_]` charset (tenant
+/// names can carry arbitrary printable characters).
+fn sanitize_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
 fn write_line<W: Write>(writer: &mut W, value: &JsonValue) -> std::io::Result<()> {
     writeln!(writer, "{}", value.to_compact_string())?;
     writer.flush()
@@ -322,6 +410,19 @@ pub fn serve_lines_with<R: BufRead, W: Write>(
                     ]),
                 )?;
             }
+            Ok(Request::Metrics) => {
+                stats.requests += 1;
+                write_line(
+                    &mut writer,
+                    &JsonValue::object([
+                        ("ok", true.to_json()),
+                        ("cmd", JsonValue::String("metrics".into())),
+                        ("metrics", server.metrics_snapshot().to_json()),
+                        ("sketches", server.sketches_snapshot().to_json()),
+                        ("exposition", JsonValue::String(metrics_exposition(server))),
+                    ]),
+                )?;
+            }
             Ok(Request::Shutdown) => {
                 stats.shutdown = true;
                 write_line(
@@ -417,6 +518,160 @@ mod tests {
         let metrics =
             mapreduce_metrics::MetricsRegistry::from_json(body.field("metrics").unwrap()).unwrap();
         assert!(metrics.counter(mapreduce_metrics::telemetry::names::ENGINE_DECISION_INSTANTS) > 0);
+    }
+
+    #[test]
+    fn metrics_request_exposes_registry_and_sketches() {
+        use crate::service::stats_names;
+        let server = server();
+        let input = format!(
+            "{}\n{{\"cmd\":\"metrics\"}}\n{{\"cmd\":\"shutdown\"}}\n",
+            request_line()
+        );
+        let (lines, stats) = session(&server, &input);
+        assert_eq!(stats.requests, 2);
+        let line = &lines[1];
+        assert_eq!(line.field("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(line.field("cmd").unwrap().as_str(), Some("metrics"));
+
+        // The structured registry carries the server-side accounting: one
+        // sweep latency sample (cold split) and the anonymous tenant's
+        // counters.
+        let registry =
+            mapreduce_metrics::MetricsRegistry::from_json(line.field("metrics").unwrap()).unwrap();
+        assert_eq!(
+            registry
+                .histogram(stats_names::SWEEP_LATENCY_NS)
+                .unwrap()
+                .count(),
+            1
+        );
+        assert_eq!(
+            registry
+                .histogram(stats_names::SWEEP_COLD_NS)
+                .unwrap()
+                .count(),
+            1
+        );
+        assert_eq!(
+            registry.counter(&stats_names::tenant_counter(
+                stats_names::DEFAULT_TENANT,
+                stats_names::TENANT_REQUESTS
+            )),
+            1
+        );
+
+        // The lifetime sketches folded every simulated job.
+        let sketches =
+            mapreduce_metrics::FlowtimeSketches::from_json(line.field("sketches").unwrap())
+                .unwrap();
+        assert!(sketches.all.count() > 0);
+
+        // The text exposition is strictly `name value` integer lines.
+        let text = line.field("exposition").unwrap().as_str().unwrap();
+        assert!(text.lines().count() >= 10);
+        for row in text.lines() {
+            let mut parts = row.split(' ');
+            let name = parts.next().unwrap();
+            let value = parts.next().unwrap();
+            assert!(parts.next().is_none(), "more than two fields in {row:?}");
+            assert!(name.starts_with("mapreduce_"), "bad name in {row:?}");
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "bad charset in {row:?}"
+            );
+            value
+                .parse::<u128>()
+                .expect("exposition values are integers");
+        }
+        assert!(text.contains("mapreduce_flowtime_all_count "));
+        assert!(text.contains("mapreduce_server_requests_served 1"));
+    }
+
+    #[test]
+    fn cdf_sweeps_ship_series_not_records() {
+        let server = server();
+        let request = SweepRequest::new(Scenario::scaled(12, 1), vec![SchedulerKind::Fifo])
+            .with_tenant("alice")
+            .with_cdf(0.0, 300.0, 7);
+        let line = match request.to_json() {
+            JsonValue::Object(mut map) => {
+                map.insert("cmd".into(), JsonValue::String("sweep".into()));
+                JsonValue::Object(map).to_compact_string()
+            }
+            _ => unreachable!(),
+        };
+        // Cold, then warm: the sketch-backed series must be bit-identical.
+        let input = format!("{line}\n{line}\n{{\"cmd\":\"shutdown\"}}\n");
+        let (lines, stats) = session(&server, &input);
+        assert_eq!(stats.requests, 2);
+        let cold = SweepResponse::from_json(lines[0].field("response").unwrap()).unwrap();
+        let warm = SweepResponse::from_json(lines[1].field("response").unwrap()).unwrap();
+        assert_eq!(cold.simulated, 1);
+        assert_eq!(warm.simulated, 0);
+        assert_eq!(cold.cdf, warm.cdf, "cold and warm series must be identical");
+        let series = cold.cdf.as_ref().unwrap();
+        assert_eq!(series.len(), 1);
+        assert_eq!(series[0].scheduler, SchedulerKind::Fifo);
+        assert_eq!(series[0].points.len(), 7);
+        assert!(series[0].jobs > 0);
+        let mut prev = -1.0;
+        for &(x, y) in &series[0].points {
+            assert!((0.0..=300.0).contains(&x));
+            assert!(y >= prev && (0.0..=1.0).contains(&y));
+            prev = y;
+        }
+        // Per-tenant accounting picked up the tag.
+        use crate::service::stats_names;
+        let registry = server.metrics_snapshot();
+        assert_eq!(
+            registry.counter(&stats_names::tenant_counter(
+                "alice",
+                stats_names::TENANT_REQUESTS
+            )),
+            2
+        );
+        assert_eq!(
+            registry.counter(&stats_names::tenant_counter(
+                "alice",
+                stats_names::TENANT_CACHE_HITS
+            )),
+            1
+        );
+    }
+
+    #[test]
+    fn degenerate_cdf_and_tenant_options_are_rejected() {
+        let server = server();
+        let bad = [
+            SweepRequest::new(Scenario::scaled(10, 1), vec![SchedulerKind::Fifo])
+                .with_cdf(10.0, 5.0, 4),
+            SweepRequest::new(Scenario::scaled(10, 1), vec![SchedulerKind::Fifo])
+                .with_cdf(0.0, 300.0, 1),
+            SweepRequest::new(Scenario::scaled(10, 1), vec![SchedulerKind::Fifo]).with_cdf(
+                0.0,
+                300.0,
+                crate::service::MAX_CDF_POINTS + 1,
+            ),
+            SweepRequest::new(Scenario::scaled(10, 1), vec![SchedulerKind::Fifo]).with_tenant(""),
+        ];
+        let mut input = String::new();
+        for request in &bad {
+            match request.to_json() {
+                JsonValue::Object(mut map) => {
+                    map.insert("cmd".into(), JsonValue::String("sweep".into()));
+                    input.push_str(&JsonValue::Object(map).to_compact_string());
+                    input.push('\n');
+                }
+                _ => unreachable!(),
+            }
+        }
+        let (lines, stats) = session(&server, &input);
+        assert_eq!(stats.errors, bad.len());
+        for line in &lines {
+            assert_eq!(line.field("ok").unwrap().as_bool(), Some(false));
+        }
     }
 
     #[test]
